@@ -1,0 +1,146 @@
+"""Substrate performance: how fast does the simulator itself run?
+
+Not a paper figure — a health check on the machinery every experiment
+stands on.  Regressions here directly stretch the wall-clock time of
+all the figure benchmarks, so the throughput floors asserted below are
+deliberately conservative.
+
+Unlike the single-shot figure benchmarks, these run multiple rounds:
+they measure steady-state code paths.
+"""
+
+from repro.core import Distiller, constant_trace, install_modulation
+from repro.hosts import LAPTOP_ADDR, ModulationWorld, SERVER_ADDR
+from repro.sim import Simulator, Timeout, spawn
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw schedule/fire cycle."""
+
+    def run_events():
+        sim = Simulator()
+
+        def chain(n):
+            if n > 0:
+                sim.schedule(0.001, chain, n - 1)
+
+        for _ in range(100):
+            sim.schedule(0.0, chain, 100)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_events)
+    assert events >= 10_000
+
+
+def test_process_switch_throughput(benchmark):
+    """Generator-process resume cost."""
+
+    def run_processes():
+        sim = Simulator()
+
+        def sleeper():
+            for _ in range(200):
+                yield Timeout(0.01)
+
+        for _ in range(50):
+            spawn(sim, sleeper())
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_processes)
+    assert events >= 10_000
+
+
+def test_tcp_transfer_throughput(benchmark):
+    """Full-stack cost: one megabyte through TCP over Ethernet."""
+
+    def transfer():
+        world = ModulationWorld(seed=1)
+        done = {}
+
+        def server():
+            listener = world.server.tcp.listen(SERVER_ADDR, 2000)
+            conn = yield from listener.accept()
+            total = 0
+            while True:
+                got = yield from conn.recv_some()
+                if got == 0:
+                    break
+                total += got
+            done["rx"] = total
+            yield from conn.close_and_wait()
+
+        def client():
+            conn = yield from world.laptop.tcp.connect(
+                LAPTOP_ADDR, SERVER_ADDR, 2000)
+            conn.send(1_000_000)
+            yield from conn.drain()
+            yield from conn.close_and_wait()
+
+        world.server.spawn(server())
+        world.laptop.spawn(client())
+        world.run(until=120.0)
+        return done["rx"]
+
+    assert benchmark(transfer) == 1_000_000
+
+
+def test_modulated_ping_throughput(benchmark):
+    """Modulation-layer per-packet cost."""
+    trace = constant_trace(duration=600.0, latency=1e-3,
+                           bandwidth_bps=5e6)
+
+    def run_pings():
+        world = ModulationWorld(seed=2)
+        install_modulation(world.laptop, world.laptop_device, trace,
+                           world.rngs.stream("m"), loop=True)
+        replies = []
+        world.laptop.icmp.on_echo_reply(
+            9, lambda pkt, now: replies.append(now))
+
+        def pinger():
+            yield Timeout(0.2)
+            for seq in range(500):
+                world.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 9,
+                                            seq, 100)
+                yield Timeout(0.002)  # pace below the NIC queue limit
+
+        spawn(world.sim, pinger())
+        world.run(until=30.0)
+        return len(replies)
+
+    assert benchmark(run_pings) == 500
+
+
+def _synthetic_records(groups, F=2e-3, Vb=5e-6, Vr=1e-6, s1=88, s2=1428):
+    """Noiseless ping-group records satisfying Eqs. 5-8 exactly."""
+    from repro.core.traceformat import DIR_IN, DIR_OUT, PacketRecord
+
+    V = Vb + Vr
+    t1 = 2 * (F + s1 * V)
+    t2 = 2 * (F + s2 * V)
+    t3 = t2 + s2 * Vb
+    records = []
+    for g in range(groups):
+        base = float(g)
+        for i, size in enumerate((s1, s2, s2)):
+            records.append(PacketRecord(
+                timestamp=base, direction=DIR_OUT, proto=1, size=size,
+                icmp_type=8, ident=1, seq=3 * g + i))
+        for i, (rtt, size) in enumerate(((t1, s1), (t2, s2), (t3, s2))):
+            records.append(PacketRecord(
+                timestamp=base + rtt, direction=DIR_IN, proto=1, size=size,
+                icmp_type=0, ident=1, seq=3 * g + i, rtt=rtt))
+    return records
+
+
+def test_distillation_throughput(benchmark):
+    """Distiller cost on a large synthetic record set."""
+    records = _synthetic_records(groups=600)  # a ten-minute collection
+
+    def distill():
+        return Distiller().distill(records)
+
+    result = benchmark(distill)
+    assert result.groups_used == 600

@@ -1,0 +1,98 @@
+"""Extension — adaptive-system agility under synthetic traces (§6).
+
+Reproduces the experiment the paper's conclusion points to (its
+reference [14]): drive an adaptive application with step and impulse
+bandwidth variations that "can only be approximated by actual
+networks", and measure how quickly it adapts — the kind of controlled,
+repeatable stress test trace modulation exists to provide.
+"""
+
+from conftest import SEED, emit, once
+
+from repro.analysis import render_table
+from repro.apps.adaptive import AdaptiveFetcher, FidelityServer
+from repro.core import impulse_trace, install_modulation, step_trace
+from repro.hosts import ModulationWorld, SERVER_ADDR
+from repro.sim.rng import derive_seed
+
+PERIOD = 2.0
+
+
+def _run_adaptive(trace, duration, seed_tag):
+    world = ModulationWorld(seed=derive_seed(SEED, seed_tag))
+    install_modulation(world.laptop, world.laptop_device, trace,
+                       world.rngs.stream("mod"), compensation_vb=0.8e-6,
+                       loop=True)
+    FidelityServer(world.server).start()
+    fetcher = AdaptiveFetcher(world.laptop, SERVER_ADDR, period=PERIOD)
+    box = {}
+
+    def body():
+        box["run"] = yield from fetcher.run(duration)
+
+    proc = world.laptop.spawn(body())
+    t = 0.0
+    while proc.alive and t < duration + 60.0:
+        t += 10.0
+        world.run(until=t)
+    if proc.error:
+        raise proc.error
+    return box["run"]
+
+
+def test_agility_step_response(benchmark):
+    # 2 Mb/s <-> 0.12 Mb/s square wave, 20 s half-period.
+    trace = step_trace(duration=80.0, period=20.0, latency=5e-3,
+                       low_bandwidth_bps=0.12e6, high_bandwidth_bps=2e6)
+    run = once(benchmark, lambda: _run_adaptive(trace, 78.0, "step"))
+
+    rows = [[f"{t:.0f}s", frm, to] for t, frm, to in run.transitions()]
+    # Bandwidth steps up at t=20s/60s and down at t=40s (0-20 low).
+    lag_up = run.adaptation_lag(20.0, "full")
+    lag_down = run.adaptation_lag(40.0, "low")
+
+    def fmt(lag):
+        return f"{lag:.1f}s" if lag is not None else "never"
+
+    emit("extension_agility_step", render_table(
+        ["When", "From", "To"], rows,
+        title="Extension: adaptive fidelity transitions (step trace)",
+        caption=f"Upgrade lag after the 20s step-up: {fmt(lag_up)}; "
+                f"downgrade lag after the 40s step-down: {fmt(lag_down)} "
+                f"(fetch period {PERIOD:.0f}s)."))
+
+    assert run.fidelity_at(15.0) in ("low", "medium")   # low phase
+    assert run.fidelity_at(35.0) == "full"              # high phase
+    assert run.fidelity_at(55.0) in ("low", "medium")   # low again
+    assert lag_up is not None and lag_up < 12.0
+    assert lag_down is not None and lag_down < 12.0
+    # The first downgrade step (full -> medium/low) happens within one
+    # slow fetch plus one period: a single missed deadline is evidence.
+    first_downgrade = min(
+        (lag for lag in (run.adaptation_lag(40.0, "medium"),
+                         run.adaptation_lag(40.0, "low"))
+         if lag is not None),
+        default=None)
+    assert first_downgrade is not None and first_downgrade < 8.0
+
+
+def test_agility_impulse_response(benchmark):
+    trace = impulse_trace(duration=60.0, impulse_at=24.0, impulse_width=10.0,
+                          latency=5e-3, base_bandwidth_bps=2e6,
+                          impulse_bandwidth_bps=0.1e6)
+    run = once(benchmark, lambda: _run_adaptive(trace, 58.0, "impulse"))
+
+    misses = sum(r.missed_deadline for r in run.records)
+    emit("extension_agility_impulse", render_table(
+        ["When", "From", "To"],
+        [[f"{t:.0f}s", frm, to] for t, frm, to in run.transitions()],
+        title="Extension: adaptive fidelity transitions (impulse trace)",
+        caption=f"{misses} deadline misses out of {len(run.records)} "
+                f"periods; the impulse spans t=24s..34s."))
+
+    # Full fidelity before the impulse, a downgrade during it, and a
+    # recovery to full afterwards.
+    assert run.fidelity_at(20.0) == "full"
+    during = {run.fidelity_at(t) for t in (28.0, 31.0, 34.0)}
+    assert during & {"low", "medium"}
+    assert run.fidelity_at(56.0) == "full"

@@ -1,0 +1,41 @@
+"""Figure 2 — Porter Traces (inter-building travel).
+
+Collects and distills four traversals of the Porter scenario and
+renders signal level, latency, bandwidth and loss against the x0-x6
+checkpoints, with per-checkpoint ranges across trials — the textual
+analogue of the paper's range-bar plots.
+"""
+
+from conftest import SEED, TRIALS, emit, once
+
+from repro.scenarios import PorterScenario
+from repro.validation import characterize_scenario
+
+
+def test_fig2_porter_traces(benchmark):
+    character = once(benchmark,
+                     lambda: characterize_scenario(PorterScenario(),
+                                                   seed=SEED, trials=TRIALS))
+    emit("fig2_porter", character.render())
+
+    labels, sig_lo, sig_hi = character.checkpoint_ranges("signal")
+    assert labels == [f"x{i}" for i in range(7)]
+    # Signal improves across the patio (x1-x3) vs the lobby (x0)...
+    assert max(sig_hi[2], sig_hi[3]) > sig_hi[0]
+    # ...and falls off through Porter Hall.
+    assert sig_lo[6] < sig_hi[3]
+
+    # Latency: typically a few ms, with spikes well above that.
+    lat = character.all_values("latency_ms")
+    typical = sorted(lat)[len(lat) // 2]
+    assert 0.3 < typical < 12.0
+    assert max(lat) > typical * 3
+
+    # Bandwidth: around 1.1-1.5 Mb/s of the nominal 2 Mb/s.
+    bw = character.all_values("bandwidth_kbps")
+    mean_bw = sum(bw) / len(bw)
+    assert 900 < mean_bw < 1700
+
+    # Loss: typically below 10 percent.
+    loss = character.all_values("loss_pct")
+    assert sorted(loss)[len(loss) // 2] < 10.0

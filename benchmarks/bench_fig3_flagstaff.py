@@ -1,0 +1,48 @@
+"""Figure 3 — Flagstaff Traces (outdoor travel).
+
+Signal starts variable and drops sharply in Schenley Park; latency is
+better than Porter's; bandwidth somewhat better; loss markedly worse,
+especially late in the traversal.
+"""
+
+from conftest import SEED, TRIALS, emit, once
+
+from repro.scenarios import FlagstaffScenario, PorterScenario
+from repro.validation import characterize_scenario
+
+
+def test_fig3_flagstaff_traces(benchmark):
+    character = once(benchmark,
+                     lambda: characterize_scenario(FlagstaffScenario(),
+                                                   seed=SEED, trials=TRIALS))
+    emit("fig3_flagstaff", character.render())
+
+    labels, sig_lo, sig_hi = character.checkpoint_ranges("signal")
+    assert labels == [f"y{i}" for i in range(10)]
+    # Sharp fall entering the park, staying low.
+    assert sig_hi[0] > sig_hi[5]
+    assert max(sig_hi[4:]) < 12.0
+
+    # Loss worsens along the traversal.
+    _, loss_lo, loss_hi = character.checkpoint_ranges("loss_pct")
+    assert max(loss_hi[6:]) > max(loss_hi[:3])
+
+
+def test_fig3_flagstaff_vs_porter_contrast(benchmark):
+    flag = once(benchmark,
+                lambda: characterize_scenario(FlagstaffScenario(),
+                                              seed=SEED, trials=2))
+    porter = characterize_scenario(PorterScenario(), seed=SEED, trials=2)
+
+    def median(values):
+        return sorted(values)[len(values) // 2]
+
+    # "On the whole, latency is much better in Flagstaff than in Porter."
+    assert median(flag.all_values("latency_ms")) < \
+        median(porter.all_values("latency_ms"))
+    # "Average bandwidth is somewhat better in the Flagstaff traces."
+    assert median(flag.all_values("bandwidth_kbps")) > \
+        median(porter.all_values("bandwidth_kbps"))
+    # "Significantly worse ... in loss rate."
+    assert median(flag.all_values("loss_pct")) >= \
+        median(porter.all_values("loss_pct"))

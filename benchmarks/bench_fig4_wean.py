@@ -1,0 +1,46 @@
+"""Figure 4 — Wean Traces (traveling to a classroom via the elevator).
+
+Four motion regions; quality collapses during the elevator ride —
+latency peaking toward hundreds of milliseconds and "atrocious" loss —
+then recovers on the walk to the classroom.
+"""
+
+from conftest import SEED, TRIALS, emit, once
+
+from repro.scenarios import WeanScenario
+from repro.scenarios.wean import ELEVATOR_END, WAIT_END
+from repro.validation import characterize_scenario
+
+
+def test_fig4_wean_traces(benchmark):
+    scenario = WeanScenario()
+    character = once(benchmark,
+                     lambda: characterize_scenario(scenario, seed=SEED,
+                                                   trials=TRIALS))
+    emit("fig4_wean", character.render())
+
+    labels, sig_lo, sig_hi = character.checkpoint_ranges("signal")
+    assert labels == [f"z{i}" for i in range(8)]
+    # Checkpoint bins: z3's bin [0.38, 0.55) is the wait for the
+    # elevator, z4's bin [0.55, 0.68) is the ride, z5 onward the walk
+    # to the classroom.
+    wait_idx, ride_idx, after_idx = 3, 4, 5
+    assert sig_hi[wait_idx] > 18.0
+    assert sig_lo[ride_idx] < 6.0
+    assert sig_hi[after_idx] > 14.0
+
+    # Latency peaks in the elevator region (paper: ~350 ms).
+    _, lat_lo, lat_hi = character.checkpoint_ranges("latency_ms")
+    assert max(lat_hi) > 100.0
+    assert lat_hi[ride_idx] == max(lat_hi)
+
+    # Loss is atrocious in the elevator, low elsewhere.
+    _, loss_lo, loss_hi = character.checkpoint_ranges("loss_pct")
+    assert loss_hi[ride_idx] > 25.0
+    walking = [loss_hi[i] for i in (1, 2, 7)]
+    assert all(v < 15.0 for v in walking)
+
+
+def test_fig4_elevator_region_fractions():
+    # The discontinuous-motion regions the paper describes.
+    assert 0.0 < WAIT_END < ELEVATOR_END < 1.0

@@ -1,0 +1,51 @@
+"""Figure 5 — Chatterbox Traces (busy conference room).
+
+No motion: five SynRGen laptops contend for the medium.  Signal level
+stays consistently high (~18), yet latency and bandwidth are worse than
+the quiet mobile scenarios because of the interfering traffic.  The
+figure renders histograms rather than per-checkpoint series.
+"""
+
+from conftest import SEED, TRIALS, emit, once
+
+from repro.scenarios import ChatterboxScenario, PorterScenario
+from repro.validation import characterize_scenario
+
+
+def test_fig5_chatterbox_traces(benchmark):
+    character = once(benchmark,
+                     lambda: characterize_scenario(ChatterboxScenario(),
+                                                   seed=SEED, trials=TRIALS))
+    emit("fig5_chatterbox", character.render())
+
+    # Consistently high signal (typically around 18).
+    signal = character.all_values("signal")
+    mean_signal = sum(signal) / len(signal)
+    assert 15.0 < mean_signal < 21.0
+
+    # In spite of the signal, latency suffers from contention: the
+    # upper tail stretches far beyond a quiet channel's.
+    latency = sorted(character.all_values("latency_ms"))
+    p90 = latency[int(len(latency) * 0.9)]
+    assert p90 > 3.0
+
+    # Loss rates remain reasonable.
+    loss = character.all_values("loss_pct")
+    assert sorted(loss)[len(loss) // 2] < 8.0
+
+
+def test_fig5_interference_degrades_vs_quiet_porter(benchmark):
+    chatter = once(benchmark,
+                   lambda: characterize_scenario(ChatterboxScenario(),
+                                                 seed=SEED, trials=2))
+    porter = characterize_scenario(PorterScenario(), seed=SEED, trials=2)
+
+    def mean(vals):
+        return sum(vals) / len(vals)
+
+    # "the presence of interfering traffic results in poorer latency
+    # and bandwidth relative to previous scenarios" — despite the
+    # chatterbox channel itself being cleaner than Porter's.
+    assert mean(chatter.all_values("bandwidth_kbps")) < \
+        mean(porter.all_values("bandwidth_kbps")) * 1.25
+    assert mean(chatter.all_values("latency_ms")) > 0.5

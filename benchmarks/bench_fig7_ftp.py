@@ -1,0 +1,75 @@
+"""Figure 7 — Elapsed Times for the FTP Benchmark.
+
+10 MB disk-to-disk transfers, send and receive as independent
+experiments.  The shapes to reproduce from the paper:
+
+* the Ethernet row: send 20.50 s, recv 18.83 s;
+* live WaveLAN roughly 3-5x slower than Ethernet;
+* live send/receive are *asymmetric* (clearest in Flagstaff), while
+  modulated send/receive are nearly symmetric — the distillation's
+  round-trip symmetry assumption;
+* Porter is the troubling scenario: modulation under-delays both
+  directions (the paper reports 1.05x and 1.56x the sigma sum).
+"""
+
+from conftest import SEED, TRIALS, emit, once
+
+from repro.scenarios import ALL_SCENARIOS
+from repro.validation import (
+    FtpRunner,
+    ethernet_baseline,
+    render_benchmark_table,
+    validate_scenario,
+)
+
+
+def test_fig7_ftp_benchmark(benchmark):
+    runner = FtpRunner()
+
+    def experiment():
+        validations = [validate_scenario(cls(), runner, seed=SEED,
+                                         trials=TRIALS)
+                       for cls in ALL_SCENARIOS]
+        baseline = ethernet_baseline(runner, seed=SEED, trials=TRIALS)
+        return validations, baseline
+
+    validations, baseline = once(benchmark, experiment)
+    emit("fig7_ftp", render_benchmark_table(
+        validations, baseline,
+        title="Figure 7: Elapsed Times for FTP Benchmark",
+        caption="Paper reference (real send/recv -> mod send/recv): "
+                "Wean 79.88/64.93 -> 72.65/67.83; "
+                "Porter 86.38/82.23 -> 76.65/72.95; "
+                "Flagstaff 88.15/61.85 -> 74.88/70.80; "
+                "Chatterbox 116.83/96.83 -> 92.13/87.28; "
+                "Ethernet 20.50/18.83."))
+
+    # Ethernet row calibration.
+    assert abs(baseline["send"].mean - 20.5) / 20.5 < 0.10
+    assert abs(baseline["recv"].mean - 18.83) / 18.83 < 0.10
+
+    by_name = {v.scenario: v for v in validations}
+
+    for validation in validations:
+        send = validation.comparison("send")
+        recv = validation.comparison("recv")
+        # Live WaveLAN is several times slower than Ethernet.
+        assert send.real.mean > 3 * baseline["send"].mean
+        assert recv.real.mean > 3 * baseline["recv"].mean
+
+    # Flagstaff live asymmetry: send markedly slower than receive.
+    flag = by_name["flagstaff"]
+    live_gap = flag.comparison("send").real.mean \
+        - flag.comparison("recv").real.mean
+    assert live_gap > 8.0
+    # Modulation is symmetric: its send/recv gap is much smaller.
+    mod_gap = abs(flag.comparison("send").modulated.mean
+                  - flag.comparison("recv").modulated.mean)
+    assert mod_gap < live_gap
+
+    # Porter: modulation under-delays (paper's own divergence).
+    porter = by_name["porter"]
+    assert porter.comparison("send").modulated.mean < \
+        porter.comparison("send").real.mean
+    assert porter.comparison("recv").modulated.mean < \
+        porter.comparison("recv").real.mean

@@ -1,0 +1,62 @@
+"""Figure 8 — Elapsed Times for Andrew Benchmark Phases.
+
+The Andrew benchmark on NFS over each scenario, per-phase means for
+real and modulated runs plus the Ethernet reference row.  Shapes to
+reproduce:
+
+* the Ethernet row: 2.25 / 12.50 / 7.75 / 17.50 / 84.00 / 124.00;
+* Make dominates everywhere (CPU-bound on the 75 MHz laptop);
+* on Wean, the warm-cache status-check phases (ScanDir/ReadAll) are
+  *under-delayed* in modulation — the 10 ms scheduling-granularity
+  artifact the paper calls out in §5.4.
+"""
+
+from conftest import SEED, TRIALS, emit, once
+
+from repro.scenarios import ALL_SCENARIOS
+from repro.validation import (
+    AndrewRunner,
+    ethernet_baseline,
+    render_andrew_table,
+    validate_scenario,
+)
+
+
+def test_fig8_andrew_benchmark(benchmark):
+    def experiment():
+        validations = [validate_scenario(cls(), AndrewRunner(), seed=SEED,
+                                         trials=TRIALS)
+                       for cls in ALL_SCENARIOS]
+        baseline = ethernet_baseline(AndrewRunner(), seed=SEED,
+                                     trials=TRIALS)
+        return validations, baseline
+
+    validations, baseline = once(benchmark, experiment)
+    emit("fig8_andrew", render_andrew_table(validations, baseline))
+
+    # Ethernet row calibration (paper: total 124.00).
+    assert abs(baseline["Total"].mean - 124.0) / 124.0 < 0.08
+    assert abs(baseline["Make"].mean - 84.0) / 84.0 < 0.10
+
+    by_name = {v.scenario: v for v in validations}
+
+    for validation in validations:
+        # Make dominates every configuration.
+        assert validation.comparison("Make").real.mean > \
+            0.5 * validation.comparison("Total").real.mean
+        # Live totals exceed the Ethernet baseline.
+        assert validation.comparison("Total").real.mean > \
+            baseline["Total"].mean
+
+    # Wean's status-check phases are under-delayed in modulation
+    # (scheduling granularity, §5.4).
+    wean = by_name["wean"]
+    readall = wean.comparison("ReadAll")
+    assert readall.modulated.mean < readall.real.mean
+
+    # Real and modulated totals land in the same regime everywhere.
+    for validation in validations:
+        total = validation.comparison("Total")
+        ratio = total.modulated.mean / total.real.mean
+        assert 0.75 < ratio < 1.35, (validation.scenario, total.real,
+                                     total.modulated)

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Deterministic reproduction of a rare bug (§1, §6).
+
+The paper argues trace modulation is "valuable in debugging mobile
+systems because it enables the re-creation of conditions that trigger
+rare but serious bugs".  This example stages exactly that workflow:
+
+1. A fragile file-sync application runs over the live Wean scenario.
+   It has a real bug: it gives up after a single RPC retry instead
+   of backing off — but only the elevator ride's outage ever trips it.
+2. The traversal is traced and distilled once.
+3. The failure is then re-created *on demand, repeatedly, at the
+   desk* by replaying the distilled trace on the wired testbed —
+   no elevator required — and the fix is verified the same way.
+
+Run:  python examples/debug_reproduction.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Distiller,
+    ModulationWorld,
+    NfsClient,
+    NfsServer,
+    SERVER_ADDR,
+    WeanScenario,
+    collect_trace,
+    install_modulation,
+    measure_modulation_network,
+)
+from repro.protocols.rpc import RpcTimeout
+from repro.sim import Timeout
+
+
+class FileSyncApp:
+    """Synchronizes a directory over NFS once per second.
+
+    ``fragile=True`` reproduces the bug: any RPC timeout aborts the
+    whole sync session.  The fixed version retries after backoff.
+    """
+
+    def __init__(self, client: NfsClient, fragile: bool):
+        self.client = client
+        self.fragile = fragile
+        self.synced = 0
+        self.crashed = False
+
+    def run(self, duration: float):
+        sim = self.client.host.sim
+        # Tighter timeout than stock NFS: the app is latency-sensitive.
+        self.client.rpc.initial_timeout = 0.8
+        self.client.rpc.max_retries = 1 if self.fragile else 8
+        base = yield from self.client.walk("sync")
+        start = sim.now
+        while sim.now - start < duration:
+            try:
+                entries = yield from self.client.readdir(base)
+                for _, fid in entries:
+                    yield from self.client.getattr(fid, force=True)
+                self.synced += 1
+            except RpcTimeout:
+                if self.fragile:
+                    self.crashed = True  # the bug: no retry, just die
+                    return
+                yield Timeout(2.0)
+            yield Timeout(1.0)
+
+
+def run_session(world, fragile, duration=200.0):
+    server = NfsServer(world.server)
+    server.fs.makedirs("sync")
+    for i in range(6):
+        server.fs.create_file(f"sync/doc{i}.txt", 2000)
+    server.start()
+    client = NfsClient(world.laptop, SERVER_ADDR)
+    app = FileSyncApp(client, fragile=fragile)
+    proc = world.laptop.spawn(app.run(duration))
+    t = 0.0
+    while proc.alive and t < duration + 30.0:
+        t += 10.0
+        world.run(until=t)
+    return app
+
+
+def main() -> None:
+    scenario = WeanScenario()
+
+    print("1. Field failure: the fragile app rides the Wean elevator...")
+    live = scenario.make_live_world(seed=0, trial=0)
+    app = run_session(live, fragile=True)
+    print(f"   live run: synced {app.synced} times, "
+          f"crashed={app.crashed}  <- the rare bug, seen once in the field")
+
+    print("\n2. Collect + distill one traversal of the same path...")
+    records = collect_trace(scenario, seed=0, trial=0)
+    replay = Distiller().distill(records, name="wean-bug").replay
+    comp = measure_modulation_network(duration=15.0).vb
+
+    print("\n3. Re-create the failure at the desk, deterministically:")
+    for attempt in range(3):
+        world = ModulationWorld(seed=42)  # same seed -> same run
+        install_modulation(world.laptop, world.laptop_device, replay,
+                           world.rngs.stream("mod"),
+                           compensation_vb=comp, loop=True)
+        app = run_session(world, fragile=True)
+        print(f"   replay #{attempt + 1}: synced {app.synced} times, "
+              f"crashed={app.crashed}")
+
+    print("\n4. Verify the fix against the identical conditions:")
+    world = ModulationWorld(seed=42)
+    install_modulation(world.laptop, world.laptop_device, replay,
+                       world.rngs.stream("mod"),
+                       compensation_vb=comp, loop=True)
+    app = run_session(world, fragile=False)
+    print(f"   fixed app: synced {app.synced} times, "
+          f"crashed={app.crashed}  <- survives the replayed outage")
+
+
+if __name__ == "__main__":
+    main()

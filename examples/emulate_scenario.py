@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Compare an application live vs. modulated on any scenario.
+
+This is the paper's validation loop in miniature, usable from the
+command line:
+
+    python examples/emulate_scenario.py wean ftp
+    python examples/emulate_scenario.py flagstaff web
+    python examples/emulate_scenario.py chatterbox andrew --trials 2
+
+It runs live trials over the simulated WaveLAN, collects and distills
+traces, runs modulated trials on the isolated Ethernet, and reports the
+paper's accuracy criterion (difference of means vs. the sum of the
+standard deviations).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    AndrewRunner,
+    FtpRunner,
+    WebRunner,
+    scenario_by_name,
+    validate_scenario,
+)
+
+RUNNERS = {
+    "ftp": lambda: FtpRunner(),
+    "web": lambda: WebRunner(),
+    "andrew": lambda: AndrewRunner(),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scenario",
+                        choices=["wean", "porter", "flagstaff", "chatterbox"])
+    parser.add_argument("benchmark", choices=sorted(RUNNERS))
+    parser.add_argument("--trials", type=int, default=2,
+                        help="trials per condition (paper used 4)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    scenario = scenario_by_name(args.scenario)
+    runner = RUNNERS[args.benchmark]()
+    print(f"Validating {args.benchmark!r} on {args.scenario!r} "
+          f"({args.trials} trials per condition)...")
+
+    validation = validate_scenario(scenario, runner, seed=args.seed,
+                                   trials=args.trials)
+
+    width = max(len(m) for m in validation.comparisons)
+    print(f"\n{'metric':<{width}}  {'real (s)':>16}  {'modulated (s)':>16}  "
+          f"{'dist/sigma':>10}  within")
+    for metric, comp in validation.comparisons.items():
+        print(f"{metric:<{width}}  {comp.real.format():>16}  "
+              f"{comp.modulated.format():>16}  "
+              f"{comp.sigma_distance:>10.2f}  "
+              f"{'yes' if comp.accurate else 'NO'}")
+
+    replay = validation.distillations[0].replay
+    print(f"\nFirst distilled trace: {len(replay)} tuples, "
+          f"F={replay.mean_latency() * 1e3:.2f} ms, "
+          f"bw={replay.mean_bandwidth_bps() / 1e6:.2f} Mb/s, "
+          f"L={replay.mean_loss() * 100:.1f} %")
+
+
+if __name__ == "__main__":
+    main()

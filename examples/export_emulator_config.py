@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Driving modern emulators from a distilled trace.
+
+Trace modulation's lineage runs straight to Linux ``netem`` and to
+Mahimahi's record-and-replay shells.  This example closes the loop: it
+collects and distills a Wean traversal (elevator outage included),
+then exports the replay trace as
+
+* a ``tc netem`` shell script that steps rate/delay/loss through the
+  trace's quality tuples, and
+* an ``mm-link`` packet-delivery trace plus the matching
+  ``mm-delay``/``mm-loss`` invocation,
+
+so the very network this repository simulates can be imposed on real
+Linux hosts.
+
+Run:  python examples/export_emulator_config.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro import Distiller, WeanScenario, collect_trace
+from repro.core.export import (
+    to_mahimahi_commands,
+    to_mahimahi_trace,
+    to_netem_script,
+)
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "/tmp/repro-export"
+    os.makedirs(out_dir, exist_ok=True)
+
+    print("Collecting and distilling one Wean traversal...")
+    records = collect_trace(WeanScenario(), seed=0, trial=0)
+    replay = Distiller().distill(records, name="wean").replay
+    print(f"  {len(replay)} tuples; "
+          f"{replay.mean_bandwidth_bps() / 1e6:.2f} Mb/s bottleneck, "
+          f"{replay.mean_loss() * 100:.1f}% mean loss "
+          f"(the elevator ride is in there)")
+
+    netem_path = os.path.join(out_dir, "wean-netem.sh")
+    with open(netem_path, "w", encoding="utf-8") as f:
+        f.write(to_netem_script(replay, dev="eth0", loop=True))
+    os.chmod(netem_path, 0o755)
+
+    mm_path = os.path.join(out_dir, "wean.up")
+    with open(mm_path, "w", encoding="utf-8") as f:
+        f.write(to_mahimahi_trace(replay))
+
+    print(f"\nWrote {netem_path}")
+    print("  apply with:   sudo sh wean-netem.sh eth0")
+    print("  (steps `tc qdisc change ... netem` once per second, looping)")
+
+    print(f"\nWrote {mm_path} "
+          f"({sum(1 for _ in open(mm_path))} delivery opportunities)")
+    print("  run inside:   "
+          + to_mahimahi_commands(replay, "wean.up").strip())
+
+    # Show the elevator in the generated netem schedule.
+    with open(netem_path) as f:
+        changes = [line for line in f if "qdisc change" in line]
+    worst = max(changes, key=lambda line: "loss" in line and
+                float(line.split("loss ")[1].rstrip("%\n"))
+                if "loss" in line else 0.0)
+    print("\nThe worst second of the traversal, as netem sees it:")
+    print("  " + worst.strip())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Modulation with synthetic traces (§6).
+
+The paper's conclusion points out that replay traces need not come from
+real networks: synthetic traces "generate characteristics that can only
+be approximated by actual networks" — step and impulse bandwidth
+variations for exercising adaptive systems (their reference [14]).
+
+This example subjects a continuously-transferring TCP connection to a
+bandwidth square wave and to a bandwidth impulse, and prints the
+observed goodput over time — the raw material for studying an adaptive
+application's agility.
+
+Run:  python examples/synthetic_traces.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ModulationWorld,
+    SERVER_ADDR,
+    LAPTOP_ADDR,
+    impulse_trace,
+    install_modulation,
+    step_trace,
+)
+from repro.sim import Timeout
+
+
+def goodput_timeline(trace, duration=60.0, bucket=5.0, seed=7):
+    """Continuous bulk transfer; returns per-bucket goodput in Mb/s."""
+    world = ModulationWorld(seed=seed)
+    install_modulation(world.laptop, world.laptop_device, trace,
+                       world.rngs.stream("mod"), compensation_vb=0.8e-6,
+                       loop=True)
+    progress = []
+
+    def server():
+        listener = world.server.tcp.listen(SERVER_ADDR, 2000)
+        conn = yield from listener.accept()
+        while True:
+            got = yield from conn.recv_some()
+            if got == 0:
+                break
+            progress.append((world.sim.now, got))
+
+    def client():
+        conn = yield from world.laptop.tcp.connect(LAPTOP_ADDR, SERVER_ADDR,
+                                                   2000)
+        while world.sim.now < duration:
+            yield from conn.send_wait(8192)
+        yield from conn.drain()
+        yield from conn.close_and_wait()
+
+    world.server.spawn(server())
+    world.laptop.spawn(client())
+    world.run(until=duration + 5.0)
+
+    buckets = [0] * int(duration / bucket)
+    for when, nbytes in progress:
+        idx = int(when / bucket)
+        if idx < len(buckets):
+            buckets[idx] += nbytes
+    return [b * 8 / bucket / 1e6 for b in buckets]
+
+
+def render(label, series, scale=8.0):
+    print(f"\n{label}")
+    for i, mbps in enumerate(series):
+        bar = "#" * int(round(mbps / scale * 40))
+        print(f"  {i * 5:>3}-{i * 5 + 5:<3}s {bar} {mbps:.2f} Mb/s")
+
+
+def main() -> None:
+    step = step_trace(duration=60.0, period=15.0, latency=5e-3,
+                      low_bandwidth_bps=0.4e6, high_bandwidth_bps=1.8e6)
+    render("Step response: bandwidth square wave (0.4 <-> 1.8 Mb/s, 15 s)",
+           goodput_timeline(step), scale=2.0)
+
+    impulse = impulse_trace(duration=60.0, impulse_at=25.0, impulse_width=10.0,
+                            latency=5e-3, base_bandwidth_bps=1.8e6,
+                            impulse_bandwidth_bps=0.15e6)
+    render("Impulse response: 10 s collapse to 0.15 Mb/s at t=25 s",
+           goodput_timeline(impulse), scale=2.0)
+
+    print("\nTCP tracks the square wave with a lag set by its congestion "
+          "window growth;\nthe impulse shows the slow recovery after a "
+          "coarse retransmission timeout —\nexactly the behaviours an "
+          "adaptive transport or application must ride out.")
+
+
+if __name__ == "__main__":
+    main()

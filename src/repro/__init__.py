@@ -1,0 +1,131 @@
+"""Trace-based mobile network emulation.
+
+A from-scratch reproduction of *Trace-Based Mobile Network Emulation*
+(Noble, Satyanarayanan, Nguyen, Katz -- SIGCOMM 1997): the collection /
+distillation / modulation methodology, the simulated WaveLAN testbed it
+is validated on, the paper's three benchmarks, four mobile scenarios,
+and the full validation harness that regenerates every table and
+figure.
+
+Quick start::
+
+    from repro import (PorterScenario, Distiller, ModulationWorld,
+                       collect_trace, install_modulation)
+
+    records = collect_trace(PorterScenario(), seed=0, trial=0)
+    replay = Distiller().distill(records).replay
+    world = ModulationWorld(seed=1)
+    install_modulation(world.laptop, world.laptop_device, replay,
+                       world.rngs.stream("mod"), loop=True)
+    # run any application on world.laptop against world.server ...
+
+See ``examples/`` for complete programs and ``benchmarks/`` for the
+scripts that regenerate the paper's Figures 1-8.
+"""
+
+from .analysis import Summary, sigma_distance, within_sigma_sum
+from .apps.andrew import AndrewBenchmark, AndrewCpuModel
+from .apps.ftp import FtpClient, FtpServer
+from .apps.nfs import NfsClient, NfsServer
+from .apps.ping import ModifiedPing
+from .apps.synrgen import SynRGenUser
+from .apps.web import WebBrowser, WebServer
+from .core import (
+    CircularTraceBuffer,
+    CollectionDaemon,
+    DistillationResult,
+    Distiller,
+    ModulationDaemon,
+    ModulationLayer,
+    PacketTracer,
+    QualityTuple,
+    ReplayTrace,
+    constant_trace,
+    impulse_trace,
+    install_modulation,
+    load_trace,
+    measure_modulation_network,
+    save_trace,
+    step_trace,
+    trace_collection_run,
+    wavelan_like_trace,
+)
+from .hosts import Host, LiveWorld, ModulationWorld, SERVER_ADDR, LAPTOP_ADDR
+from .scenarios import (
+    ALL_SCENARIOS,
+    ChatterboxScenario,
+    FlagstaffScenario,
+    PorterScenario,
+    Scenario,
+    WeanScenario,
+    scenario_by_name,
+)
+from .sim import RngStreams, Simulator
+from .validation import (
+    AndrewRunner,
+    FtpRunner,
+    WebRunner,
+    characterize_scenario,
+    collect_trace,
+    ethernet_baseline,
+    figure1_compensation,
+    validate_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "AndrewBenchmark",
+    "AndrewCpuModel",
+    "AndrewRunner",
+    "ChatterboxScenario",
+    "CircularTraceBuffer",
+    "CollectionDaemon",
+    "DistillationResult",
+    "Distiller",
+    "FlagstaffScenario",
+    "FtpClient",
+    "FtpRunner",
+    "FtpServer",
+    "Host",
+    "LAPTOP_ADDR",
+    "LiveWorld",
+    "ModifiedPing",
+    "ModulationDaemon",
+    "ModulationLayer",
+    "ModulationWorld",
+    "NfsClient",
+    "NfsServer",
+    "PacketTracer",
+    "PorterScenario",
+    "QualityTuple",
+    "ReplayTrace",
+    "RngStreams",
+    "SERVER_ADDR",
+    "Scenario",
+    "Simulator",
+    "Summary",
+    "SynRGenUser",
+    "WeanScenario",
+    "WebBrowser",
+    "WebRunner",
+    "WebServer",
+    "characterize_scenario",
+    "collect_trace",
+    "constant_trace",
+    "ethernet_baseline",
+    "figure1_compensation",
+    "impulse_trace",
+    "install_modulation",
+    "load_trace",
+    "measure_modulation_network",
+    "save_trace",
+    "scenario_by_name",
+    "sigma_distance",
+    "step_trace",
+    "trace_collection_run",
+    "validate_scenario",
+    "wavelan_like_trace",
+    "within_sigma_sum",
+]

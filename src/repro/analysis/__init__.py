@@ -1,0 +1,45 @@
+"""Statistics and rendering for the validation figures/tables."""
+
+from .filter import (
+    FilterError,
+    compile_filter,
+    dump_records,
+    filter_records,
+)
+from .tracestats import (
+    ProtocolCounts,
+    TraceStatistics,
+    analyze_trace,
+    interarrival_summary,
+    signal_timeline,
+    throughput_timeline,
+)
+from .stats import (
+    Summary,
+    histogram,
+    percentile,
+    sigma_distance,
+    within_sigma_sum,
+)
+from .tables import render_histogram, render_series, render_table
+
+__all__ = [
+    "FilterError",
+    "ProtocolCounts",
+    "compile_filter",
+    "dump_records",
+    "filter_records",
+    "Summary",
+    "TraceStatistics",
+    "analyze_trace",
+    "interarrival_summary",
+    "signal_timeline",
+    "throughput_timeline",
+    "histogram",
+    "percentile",
+    "render_histogram",
+    "render_series",
+    "render_table",
+    "sigma_distance",
+    "within_sigma_sum",
+]

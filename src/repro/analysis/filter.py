@@ -1,0 +1,238 @@
+"""A BPF-style filter language for trace records (§2.3).
+
+The paper situates its collection machinery relative to "the Berkeley
+Packet Filter ... typically used in conjunction with tcpdump".  This
+module supplies the analysis half of that comparison: a small,
+tcpdump-flavoured expression language compiled to predicates over
+:class:`~repro.core.traceformat.PacketRecord`, so collected traces can
+be queried the way network people expect:
+
+    icmp and out
+    tcp and port 20
+    udp and size > 8000
+    (icmp and not out) or (tcp and dst 10.0.0.1)
+    time >= 120 and time < 160
+
+Grammar::
+
+    expr    := term ("or" term)*
+    term    := factor ("and" factor)*
+    factor  := "not" factor | "(" expr ")" | primitive
+    primitive :=
+        "icmp" | "udp" | "tcp"          protocol
+      | "in" | "out"                    direction
+      | "echo" | "echoreply"            ICMP type
+      | "port" NUMBER                   src or dst port
+      | "src" VALUE | "dst" VALUE       addresses
+      | FIELD CMP NUMBER                numeric comparison, FIELD in
+                                        {size, seq, ident, time, rtt}
+    CMP := "==" | "!=" | "<" | "<=" | ">" | ">="
+
+``time`` compares against the record timestamp relative to the first
+record's (set via :func:`compile_filter`'s ``t0``, or absolute when
+omitted).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..core.traceformat import DIR_IN, DIR_OUT, PacketRecord
+from ..net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+Predicate = Callable[[PacketRecord], bool]
+
+
+class FilterError(ValueError):
+    """The filter expression could not be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lparen>\()|(?P<rparen>\))"
+    r"|(?P<cmp>==|!=|<=|>=|<|>)"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_.]*)"
+    r"|(?P<value>\d+\.\d+\.\d+\.\d+)"   # IP literals before numbers
+    r"|(?P<number>\d+(?:\.\d+)?))"
+)
+
+_PROTOCOLS = {"icmp": PROTO_ICMP, "udp": PROTO_UDP, "tcp": PROTO_TCP}
+_FIELDS = {"size", "seq", "ident", "time", "rtt"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise FilterError(f"cannot tokenize near {rest[:20]!r}")
+        token = match.group().strip()
+        if token:
+            tokens.append(token)
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser producing a predicate tree."""
+
+    def __init__(self, tokens: List[str], t0: float):
+        self.tokens = tokens
+        self.pos = 0
+        self.t0 = t0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise FilterError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    # ------------------------------------------------------------------
+    def parse(self) -> Predicate:
+        pred = self.expr()
+        if self.peek() is not None:
+            raise FilterError(f"trailing tokens at {self.peek()!r}")
+        return pred
+
+    def expr(self) -> Predicate:
+        left = self.term()
+        while self.peek() == "or":
+            self.take()
+            right = self.term()
+            left = (lambda a, b: lambda r: a(r) or b(r))(left, right)
+        return left
+
+    def term(self) -> Predicate:
+        left = self.factor()
+        while self.peek() == "and":
+            self.take()
+            right = self.factor()
+            left = (lambda a, b: lambda r: a(r) and b(r))(left, right)
+        return left
+
+    def factor(self) -> Predicate:
+        token = self.peek()
+        if token == "not":
+            self.take()
+            inner = self.factor()
+            return lambda r: not inner(r)
+        if token == "(":
+            self.take()
+            inner = self.expr()
+            if self.take() != ")":
+                raise FilterError("expected ')'")
+            return inner
+        return self.primitive()
+
+    # ------------------------------------------------------------------
+    def primitive(self) -> Predicate:
+        token = self.take()
+        if token in _PROTOCOLS:
+            proto = _PROTOCOLS[token]
+            return lambda r: r.proto == proto
+        if token == "in":
+            return lambda r: r.direction == DIR_IN
+        if token == "out":
+            return lambda r: r.direction == DIR_OUT
+        if token == "echo":
+            return lambda r: r.icmp_type == 8
+        if token == "echoreply":
+            return lambda r: r.icmp_type == 0
+        if token == "port":
+            port = self._number()
+            return lambda r: port in (r.src_port, r.dst_port)
+        if token == "src":
+            value = self.take()
+            return lambda r: r.src == value
+        if token == "dst":
+            value = self.take()
+            return lambda r: r.dst == value
+        if token in _FIELDS:
+            op = self.take()
+            number = self._number()
+            return self._comparison(token, op, number)
+        raise FilterError(f"unknown primitive {token!r}")
+
+    def _number(self) -> float:
+        token = self.take()
+        try:
+            return float(token)
+        except ValueError:
+            raise FilterError(f"expected a number, got {token!r}") from None
+
+    def _comparison(self, field: str, op: str, number: float) -> Predicate:
+        ops = {
+            "==": lambda a, b: a == b,
+            "!=": lambda a, b: a != b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+        }
+        if op not in ops:
+            raise FilterError(f"bad comparison operator {op!r}")
+        compare = ops[op]
+        t0 = self.t0
+
+        def value_of(record: PacketRecord) -> float:
+            if field == "time":
+                return record.timestamp - t0
+            return float(getattr(record, field))
+
+        return lambda r: compare(value_of(r), number)
+
+
+def compile_filter(expression: str, t0: float = 0.0) -> Predicate:
+    """Compile a filter expression into a packet-record predicate."""
+    tokens = _tokenize(expression)
+    if not tokens:
+        raise FilterError("empty filter expression")
+    return _Parser(tokens, t0).parse()
+
+
+def filter_records(records: Sequence[Union[PacketRecord, object]],
+                   expression: str,
+                   relative_time: bool = True) -> List[PacketRecord]:
+    """Select the packet records matching ``expression``.
+
+    Non-packet records (device status, loss accounting) never match.
+    With ``relative_time``, ``time`` compares seconds from the first
+    packet record.
+    """
+    packets = [r for r in records if isinstance(r, PacketRecord)]
+    if not packets:
+        return []
+    t0 = min(r.timestamp for r in packets) if relative_time else 0.0
+    predicate = compile_filter(expression, t0=t0)
+    return [r for r in packets if predicate(r)]
+
+
+def dump_records(records: Sequence[PacketRecord],
+                 limit: int = 0) -> str:
+    """tcpdump-style one-line-per-packet rendering."""
+    lines = []
+    shown = records if limit <= 0 else records[:limit]
+    for rec in shown:
+        direction = "<-" if rec.direction == DIR_IN else "->"
+        proto = {PROTO_ICMP: "icmp", PROTO_TCP: "tcp",
+                 PROTO_UDP: "udp"}.get(rec.proto, str(rec.proto))
+        detail = ""
+        if rec.icmp_type == 8:
+            detail = f" echo seq={rec.seq}"
+        elif rec.icmp_type == 0:
+            detail = f" echoreply seq={rec.seq} rtt={rec.rtt * 1e3:.2f}ms"
+        elif rec.src_port >= 0:
+            detail = f" {rec.src_port}>{rec.dst_port}"
+        lines.append(f"{rec.timestamp:12.6f} {direction} {proto:4s} "
+                     f"{rec.src}>{rec.dst} len={rec.size}{detail}")
+    if limit > 0 and len(records) > limit:
+        lines.append(f"... {len(records) - limit} more")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Summary statistics and the paper's accuracy criterion.
+
+The paper's quantitative test (§5.2): trace modulation is "accurate
+within the bounds of experimental error" when the difference between
+the real and modulated means is less than the sum of their standard
+deviations.  §5.3 also quantifies misses in units of that sum
+("modulated send performance is off by 1.05 times the sum of the
+standard deviations").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean and (sample) standard deviation of a set of trials."""
+
+    mean: float
+    std: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        values = list(values)
+        if not values:
+            raise ValueError("no values to summarize")
+        n = len(values)
+        mean = sum(values) / n
+        if n > 1:
+            var = sum((v - mean) ** 2 for v in values) / (n - 1)
+            std = math.sqrt(var)
+        else:
+            std = 0.0
+        return cls(mean=mean, std=std, n=n)
+
+    def format(self, digits: int = 2) -> str:
+        """The paper's table style: ``161.47 (7.82)``."""
+        return f"{self.mean:.{digits}f} ({self.std:.{digits}f})"
+
+
+def sigma_distance(real: Summary, modulated: Summary) -> float:
+    """|mean difference| in units of the sum of standard deviations.
+
+    Values below 1.0 meet the paper's accuracy criterion.  When both
+    deviations are zero the distance is 0 for equal means, else inf.
+    """
+    denom = real.std + modulated.std
+    diff = abs(real.mean - modulated.mean)
+    if denom == 0.0:
+        return 0.0 if diff == 0.0 else math.inf
+    return diff / denom
+
+
+def within_sigma_sum(real: Summary, modulated: Summary) -> bool:
+    """The paper's criterion for 'accurate within experimental error'."""
+    return sigma_distance(real, modulated) < 1.0
+
+
+def histogram(values: Iterable[float], bins: int = 10) -> List[tuple]:
+    """Equal-width histogram: list of (lo, hi, count)."""
+    values = sorted(values)
+    if not values:
+        return []
+    lo, hi = values[0], values[-1]
+    if hi == lo:
+        return [(lo, hi, len(values))]
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    for v in values:
+        idx = min(bins - 1, int((v - lo) / width))
+        counts[idx] += 1
+    return [(lo + i * width, lo + (i + 1) * width, c)
+            for i, c in enumerate(counts)]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, ``p`` in [0, 100]."""
+    if not values:
+        raise ValueError("no values")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile out of range: {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac

@@ -1,0 +1,100 @@
+"""Plain-text table rendering in the paper's style."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "", caption: str = "") -> str:
+    """Render an aligned monospace table.
+
+    Every cell is a string; the first column is left-aligned, the rest
+    right-aligned (numbers, in practice).
+    """
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, "
+                             f"expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                out.append(cell.ljust(widths[i]))
+            else:
+                out.append(cell.rjust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    for row in rows:
+        lines.append(fmt(row))
+    if caption:
+        lines.append("")
+        lines.append(caption)
+    return "\n".join(lines)
+
+
+def render_series(label: str, xs: Sequence[str],
+                  lows: Sequence[float], highs: Sequence[float],
+                  unit: str = "", width: int = 40,
+                  log_scale: bool = False) -> str:
+    """ASCII range-bar chart: one row per X label, a [low..high] bar.
+
+    The textual analogue of the vertical range bars in Figures 2-5.
+    """
+    import math
+
+    if not (len(xs) == len(lows) == len(highs)):
+        raise ValueError("xs, lows, highs must align")
+    vals = [v for v in list(lows) + list(highs) if v > 0 or not log_scale]
+    if not vals:
+        vals = [0.0, 1.0]
+    vmin, vmax = min(vals), max(vals)
+    if log_scale:
+        vmin = max(vmin, 1e-9)
+        vmax = max(vmax, vmin * 10)
+
+    def pos(v: float) -> int:
+        if log_scale:
+            v = max(v, vmin)
+            frac = (math.log10(v) - math.log10(vmin)) / \
+                   (math.log10(vmax) - math.log10(vmin) or 1.0)
+        else:
+            frac = (v - vmin) / ((vmax - vmin) or 1.0)
+        return int(round(frac * (width - 1)))
+
+    lines = [f"{label} [{unit}]  range {vmin:.3g} .. {vmax:.3g}"
+             + ("  (log scale)" if log_scale else "")]
+    for x, lo, hi in zip(xs, lows, highs):
+        a, b = pos(lo), pos(hi)
+        if b < a:
+            a, b = b, a
+        bar = [" "] * width
+        for i in range(a, b + 1):
+            bar[i] = "="
+        bar[a] = "|"
+        bar[b] = "|"
+        lines.append(f"  {x:>6} {''.join(bar)}  {lo:.3g}..{hi:.3g}")
+    return "\n".join(lines)
+
+
+def render_histogram(label: str, bins: Sequence[tuple], unit: str = "",
+                     width: int = 40) -> str:
+    """ASCII histogram from (lo, hi, count) bins (Figure 5 style)."""
+    if not bins:
+        return f"{label} [{unit}]  (no data)"
+    peak = max(c for _, _, c in bins) or 1
+    lines = [f"{label} [{unit}]"]
+    for lo, hi, count in bins:
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  {lo:>9.3g}-{hi:<9.3g} {bar} {count}")
+    return "\n".join(lines)

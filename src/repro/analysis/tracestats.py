@@ -1,0 +1,182 @@
+"""Collected-trace analysis.
+
+The paper notes that recording device characteristics alongside packets
+is "valuable for a better understanding of wireless networks" (§2.3,
+their Winter Simulation Conference companion paper).  This module is
+that analysis half: summary statistics and timelines computed directly
+from collected traces, independent of distillation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.traceformat import (
+    DIR_IN,
+    DIR_OUT,
+    DeviceStatusRecord,
+    LostRecordsRecord,
+    PacketRecord,
+)
+from ..net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from .stats import Summary
+
+PROTO_NAMES = {PROTO_ICMP: "icmp", PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+
+
+@dataclass
+class ProtocolCounts:
+    """Per-protocol packet/byte counters, split by direction."""
+
+    packets_in: int = 0
+    packets_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    @property
+    def packets(self) -> int:
+        return self.packets_in + self.packets_out
+
+    @property
+    def bytes(self) -> int:
+        return self.bytes_in + self.bytes_out
+
+
+@dataclass
+class TraceStatistics:
+    """Everything :func:`analyze_trace` computes."""
+
+    duration: float
+    first_timestamp: float
+    by_protocol: Dict[str, ProtocolCounts]
+    rtt: Optional[Summary]                  # echo-reply round trips
+    signal: Optional[Summary]
+    echo_sent: int
+    echo_answered: int
+    records_lost: int
+    status_samples: int
+
+    @property
+    def total_packets(self) -> int:
+        return sum(c.packets for c in self.by_protocol.values())
+
+    @property
+    def reply_ratio(self) -> float:
+        if self.echo_sent == 0:
+            return 1.0
+        return self.echo_answered / self.echo_sent
+
+    def render(self) -> str:
+        lines = [f"trace: {self.total_packets} packets over "
+                 f"{self.duration:.1f}s"]
+        for name in sorted(self.by_protocol):
+            c = self.by_protocol[name]
+            lines.append(f"  {name:5s} out {c.packets_out:6d} pkts "
+                         f"{c.bytes_out:9d} B | in {c.packets_in:6d} pkts "
+                         f"{c.bytes_in:9d} B")
+        if self.rtt is not None:
+            lines.append(f"  echo RTT {self.rtt.mean * 1e3:.2f} ms mean "
+                         f"({self.rtt.std * 1e3:.2f} ms std, n={self.rtt.n})")
+        lines.append(f"  echoes answered {self.echo_answered}/"
+                     f"{self.echo_sent} ({self.reply_ratio * 100:.1f}%)")
+        if self.signal is not None:
+            lines.append(f"  signal level {self.signal.mean:.1f} mean "
+                         f"({self.signal.std:.1f} std, "
+                         f"n={self.status_samples})")
+        if self.records_lost:
+            lines.append(f"  WARNING: {self.records_lost} trace records "
+                         f"lost to buffer overruns")
+        return "\n".join(lines)
+
+
+def analyze_trace(records: Sequence[Union[PacketRecord, DeviceStatusRecord,
+                                          LostRecordsRecord, dict]]
+                  ) -> TraceStatistics:
+    """Compute summary statistics for a collected trace."""
+    by_protocol: Dict[str, ProtocolCounts] = {}
+    rtts: List[float] = []
+    signals: List[float] = []
+    echo_sent = 0
+    answered = set()
+    lost = 0
+    timestamps: List[float] = []
+
+    for rec in records:
+        if isinstance(rec, PacketRecord):
+            timestamps.append(rec.timestamp)
+            name = PROTO_NAMES.get(rec.proto, f"proto{rec.proto}")
+            counts = by_protocol.setdefault(name, ProtocolCounts())
+            if rec.direction == DIR_OUT:
+                counts.packets_out += 1
+                counts.bytes_out += rec.size
+            else:
+                counts.packets_in += 1
+                counts.bytes_in += rec.size
+            if rec.icmp_type == 8 and rec.direction == DIR_OUT:
+                echo_sent += 1
+            if rec.icmp_type == 0 and rec.direction == DIR_IN:
+                answered.add(rec.seq)
+                if rec.rtt >= 0:
+                    rtts.append(rec.rtt)
+        elif isinstance(rec, DeviceStatusRecord):
+            timestamps.append(rec.timestamp)
+            signals.append(rec.signal_level)
+        elif isinstance(rec, LostRecordsRecord):
+            lost += rec.count
+
+    if not timestamps:
+        raise ValueError("trace contains no timestamped records")
+    first = min(timestamps)
+    return TraceStatistics(
+        duration=max(timestamps) - first,
+        first_timestamp=first,
+        by_protocol=by_protocol,
+        rtt=Summary.of(rtts) if rtts else None,
+        signal=Summary.of(signals) if signals else None,
+        echo_sent=echo_sent,
+        echo_answered=len(answered),
+        records_lost=lost,
+        status_samples=len(signals),
+    )
+
+
+def throughput_timeline(records: Sequence, bucket: float = 5.0,
+                        direction: Optional[int] = None
+                        ) -> List[Tuple[float, float]]:
+    """(bucket start, bits/s) series of traced traffic volume."""
+    if bucket <= 0:
+        raise ValueError("bucket must be positive")
+    packets = [r for r in records if isinstance(r, PacketRecord)
+               and (direction is None or r.direction == direction)]
+    if not packets:
+        return []
+    t0 = min(r.timestamp for r in packets)
+    buckets: Dict[int, int] = {}
+    for rec in packets:
+        idx = int((rec.timestamp - t0) / bucket)
+        buckets[idx] = buckets.get(idx, 0) + rec.size
+    top = max(buckets)
+    return [(i * bucket, buckets.get(i, 0) * 8.0 / bucket)
+            for i in range(top + 1)]
+
+
+def signal_timeline(records: Sequence) -> List[Tuple[float, float]]:
+    """(time, signal level) series from the device-status records."""
+    statuses = [r for r in records if isinstance(r, DeviceStatusRecord)]
+    if not statuses:
+        return []
+    t0 = min(r.timestamp for r in statuses)
+    return [(r.timestamp - t0, r.signal_level) for r in statuses]
+
+
+def interarrival_summary(records: Sequence, proto: int = PROTO_ICMP,
+                         direction: int = DIR_IN) -> Optional[Summary]:
+    """Summary of packet inter-arrival gaps for one protocol/direction."""
+    times = sorted(r.timestamp for r in records
+                   if isinstance(r, PacketRecord)
+                   and r.proto == proto and r.direction == direction)
+    if len(times) < 2:
+        return None
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    return Summary.of(gaps)

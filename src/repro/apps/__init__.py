@@ -1,0 +1,1 @@
+"""Applications and benchmarks running over the simulated stack."""

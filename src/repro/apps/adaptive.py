@@ -1,0 +1,218 @@
+"""An adaptive application for synthetic-trace experiments (§6).
+
+The paper's conclusion cites its companion work (Odyssey, SOSP '97):
+*"a recent paper reports on the use of synthetic traces to explore the
+behavior of an adaptive mobile system in response to step and impulse
+variations in bandwidth."*  This module provides that adaptive system:
+
+* a :class:`BandwidthEstimator` — EWMA over observed fetch throughput,
+  the standard Odyssey-style resource monitor;
+* an :class:`AdaptiveFetcher` — a client that fetches one data item per
+  period at the highest *fidelity* (size tier) whose estimated fetch
+  time fits the period's time budget, upgrading and downgrading as the
+  modulated network's bandwidth moves.
+
+The agility benchmark (``benchmarks/bench_extension_agility.py``)
+subjects it to step and impulse traces and measures adaptation lag —
+the experiment trace modulation was built to make repeatable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..hosts.host import Host
+from ..protocols.tcp import MessageChannel, TCPError
+from ..sim import Timeout
+
+FIDELITY_BYTES: Dict[str, int] = {
+    "full": 96_000,
+    "medium": 32_000,
+    "low": 8_000,
+}
+FIDELITY_ORDER = ("full", "medium", "low")
+
+FETCH_PORT = 8800
+REQUEST_BYTES = 96
+
+
+class BandwidthEstimator:
+    """Asymmetric EWMA throughput estimator.
+
+    Bad news is weighted heavily (``alpha_down``) so a bandwidth
+    collapse is believed after a single slow fetch; good news is
+    averaged in cautiously (``alpha``) so one lucky fetch does not
+    trigger a doomed upgrade — the standard shape of adaptive-system
+    resource monitors.
+    """
+
+    def __init__(self, alpha: float = 0.4, alpha_down: float = 0.8,
+                 initial_bps: float = 1e6):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha out of range: {alpha}")
+        if not 0.0 < alpha_down <= 1.0:
+            raise ValueError(f"alpha_down out of range: {alpha_down}")
+        self.alpha = alpha
+        self.alpha_down = alpha_down
+        self.estimate_bps = initial_bps
+        self.samples = 0
+
+    def observe(self, nbytes: int, elapsed: float) -> float:
+        """Feed one fetch observation; returns the updated estimate."""
+        if elapsed <= 0:
+            raise ValueError("elapsed must be positive")
+        sample = nbytes * 8.0 / elapsed
+        if self.samples == 0:
+            self.estimate_bps = sample
+        else:
+            gain = self.alpha_down if sample < self.estimate_bps else self.alpha
+            self.estimate_bps += gain * (sample - self.estimate_bps)
+        self.samples += 1
+        return self.estimate_bps
+
+    def predicted_fetch_time(self, nbytes: int) -> float:
+        return nbytes * 8.0 / max(self.estimate_bps, 1.0)
+
+
+@dataclass
+class FetchRecord:
+    """One period of the adaptive loop."""
+
+    started: float
+    fidelity: str
+    nbytes: int
+    elapsed: float
+    estimate_bps: float
+    missed_deadline: bool
+
+
+@dataclass
+class AdaptiveRun:
+    """Everything the agility analysis needs."""
+
+    records: List[FetchRecord] = field(default_factory=list)
+
+    def fidelity_at(self, t: float) -> Optional[str]:
+        """The fidelity chosen by the period covering time ``t``."""
+        chosen = None
+        for rec in self.records:
+            if rec.started <= t:
+                chosen = rec.fidelity
+            else:
+                break
+        return chosen
+
+    def transitions(self) -> List[Tuple[float, str, str]]:
+        """(time, from, to) for every fidelity change."""
+        out = []
+        for prev, cur in zip(self.records, self.records[1:]):
+            if prev.fidelity != cur.fidelity:
+                out.append((cur.started, prev.fidelity, cur.fidelity))
+        return out
+
+    def adaptation_lag(self, event_time: float,
+                       target: str) -> Optional[float]:
+        """Seconds from ``event_time`` until ``target`` fidelity holds."""
+        for rec in self.records:
+            if rec.started >= event_time and rec.fidelity == target:
+                return rec.started - event_time
+        return None
+
+    def deadline_miss_ratio(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.missed_deadline for r in self.records) / len(self.records)
+
+
+class FidelityServer:
+    """Serves data items at the requested fidelity over TCP."""
+
+    def __init__(self, host: Host):
+        self.host = host
+        self.requests = 0
+
+    def start(self) -> None:
+        self.host.spawn(self._serve(), name="fidelityd")
+
+    def _serve(self) -> Generator[Any, Any, None]:
+        listener = self.host.tcp.listen(self.host.address, FETCH_PORT)
+        while True:
+            conn = yield from listener.accept()
+            self.host.spawn(self._handle(conn), name="fidelity-conn")
+
+    def _handle(self, conn) -> Generator[Any, Any, None]:
+        channel = MessageChannel(conn)
+        try:
+            msg = yield from channel.recv_message()
+            if msg is not None:
+                (fidelity,), _ = msg
+                nbytes = FIDELITY_BYTES[fidelity]
+                self.requests += 1
+                channel.send_message(nbytes, ("item", fidelity))
+            yield from conn.close_and_wait()
+        except TCPError:
+            pass
+
+
+class AdaptiveFetcher:
+    """The Odyssey-style adaptive client loop.
+
+    Every ``period`` seconds it picks the highest fidelity whose
+    predicted fetch time fits ``budget`` seconds (with ``headroom``
+    margin), fetches it, and feeds the estimator.
+    """
+
+    def __init__(self, host: Host, server_addr: str, period: float = 2.0,
+                 budget: float = 1.5, headroom: float = 0.8,
+                 estimator: Optional[BandwidthEstimator] = None):
+        self.host = host
+        self.server_addr = server_addr
+        self.period = period
+        self.budget = budget
+        self.headroom = headroom
+        self.estimator = estimator or BandwidthEstimator()
+        self.run_log = AdaptiveRun()
+
+    def choose_fidelity(self) -> str:
+        for fidelity in FIDELITY_ORDER:
+            predicted = self.estimator.predicted_fetch_time(
+                FIDELITY_BYTES[fidelity])
+            if predicted <= self.budget * self.headroom:
+                return fidelity
+        return FIDELITY_ORDER[-1]
+
+    def run(self, duration: float) -> Generator[Any, Any, AdaptiveRun]:
+        sim = self.host.sim
+        start = sim.now
+        while sim.now - start < duration:
+            period_start = sim.now
+            fidelity = self.choose_fidelity()
+            nbytes = FIDELITY_BYTES[fidelity]
+            try:
+                elapsed = yield from self._fetch(fidelity)
+            except TCPError:
+                elapsed = None
+            if elapsed is not None:
+                self.estimator.observe(nbytes, elapsed)
+                self.run_log.records.append(FetchRecord(
+                    started=period_start, fidelity=fidelity, nbytes=nbytes,
+                    elapsed=elapsed,
+                    estimate_bps=self.estimator.estimate_bps,
+                    missed_deadline=elapsed > self.budget))
+            remaining = self.period - (sim.now - period_start)
+            if remaining > 0:
+                yield Timeout(remaining)
+        return self.run_log
+
+    def _fetch(self, fidelity: str) -> Generator[Any, Any, float]:
+        t0 = self.host.sim.now
+        conn = yield from self.host.tcp.connect(
+            self.host.address, self.server_addr, FETCH_PORT)
+        channel = MessageChannel(conn)
+        channel.send_message(REQUEST_BYTES, (fidelity,))
+        msg = yield from channel.recv_message()
+        yield from conn.close_and_wait()
+        if msg is None:
+            raise TCPError("fetch aborted")
+        return self.host.sim.now - t0

@@ -1,0 +1,188 @@
+"""The Andrew benchmark over NFS (§4.2, §5.4).
+
+Five phases over a source tree stored on an NFS server:
+
+* **MakeDir** — recreate the directory skeleton under the target;
+* **Copy** — copy every source file into the target tree (NFS READs of
+  the source, CREATEs + synchronous WRITEs of the copies);
+* **ScanDir** — stat every entry in the copied tree (READDIR +
+  GETATTR; with caches warm from Copy these are pure status checks);
+* **ReadAll** — read every file (warm data caches mean GETATTR
+  validations only — the other status-check phase);
+* **Make** — compile each .c file (client CPU, the dominant cost on a
+  75 MHz 486) writing object files, then link a binary (more
+  synchronous WRITE traffic).
+
+The client cache is flushed before each trial, as the paper is careful
+to do.  CPU costs are charged on the client per operation; defaults are
+calibrated so the Ethernet baseline lands near the paper's Figure 8
+final row (124 s total: 2.25 / 12.5 / 7.75 / 17.5 / 84).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from ..hosts.host import Host
+from ..sim import Timeout
+from ..workloads.andrewtree import SourceFile, andrew_tree, tree_directories
+from .filesystem import FileSystem
+from .nfs import NfsClient
+
+PHASES = ("MakeDir", "Copy", "ScanDir", "ReadAll", "Make", "Total")
+
+
+@dataclass
+class AndrewCpuModel:
+    """Client CPU charges (seconds) for a 75 MHz 486 laptop."""
+
+    mkdir: float = 0.35
+    copy_per_file: float = 0.13
+    copy_per_byte: float = 12.0e-6
+    scan_per_entry: float = 0.10
+    read_per_file: float = 0.21
+    read_per_byte: float = 15.0e-6
+    compile_per_file: float = 1.75
+    compile_per_byte: float = 60.0e-6
+    link_fixed: float = 2.0
+    link_per_byte: float = 4.0e-6
+
+
+@dataclass
+class AndrewResult:
+    """Per-phase elapsed times for one trial."""
+
+    phase_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(v for k, v in self.phase_times.items() if k != "Total")
+
+
+class AndrewBenchmark:
+    """Runs the five phases from an NFS client host."""
+
+    OBJECT_RATIO = 1.6       # object file size vs. source size
+    BINARY_BYTES = 320 * 1024
+
+    def __init__(self, client: NfsClient, tree: Optional[List[SourceFile]] = None,
+                 source_root: str = "src", target_root: str = "work",
+                 cpu: Optional[AndrewCpuModel] = None):
+        self.client = client
+        self.tree = tree if tree is not None else andrew_tree()
+        self.source_root = source_root
+        self.target_root = target_root
+        self.cpu = cpu or AndrewCpuModel()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def populate_server(cls, fs: FileSystem, tree: Optional[List[SourceFile]] = None,
+                        source_root: str = "src") -> List[SourceFile]:
+        """Install the source tree directly into the server filesystem."""
+        tree = tree if tree is not None else andrew_tree()
+        fs.makedirs(source_root)
+        for f in tree:
+            fs.create_file(f"{source_root}/{f.path}", f.size)
+        return tree
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator[Any, Any, AndrewResult]:
+        """Coroutine: one full trial (cold caches)."""
+        self.client.flush_caches()
+        result = AndrewResult()
+        for phase, body in (("MakeDir", self._makedir),
+                            ("Copy", self._copy),
+                            ("ScanDir", self._scandir),
+                            ("ReadAll", self._readall),
+                            ("Make", self._make)):
+            start = self.client.host.sim.now
+            yield from body()
+            result.phase_times[phase] = self.client.host.sim.now - start
+        result.phase_times["Total"] = result.total
+        return result
+
+    # ------------------------------------------------------------------
+    def _makedir(self) -> Generator[Any, Any, None]:
+        root_dir = yield from self._ensure_root()
+        self._target_ids: Dict[str, int] = {"": root_dir}
+        for subdir in tree_directories(self.tree):
+            yield Timeout(self.cpu.mkdir)
+            dir_id = yield from self.client.mkdir(root_dir, subdir)
+            self._target_ids[subdir] = dir_id
+
+    def _ensure_root(self) -> Generator[Any, Any, int]:
+        root = self.client.root_fh
+        try:
+            dir_id = yield from self.client.lookup(root, self.target_root)
+        except Exception:
+            dir_id = yield from self.client.mkdir(root, self.target_root)
+        return dir_id
+
+    def _copy(self) -> Generator[Any, Any, None]:
+        src_root = yield from self.client.walk(self.source_root)
+        self._src_ids: Dict[str, int] = {}
+        self._file_ids: Dict[str, int] = {}
+        for f in self.tree:
+            yield Timeout(self.cpu.copy_per_file + f.size * self.cpu.copy_per_byte)
+            src_id = yield from self._walk_from(src_root, f.path, self._src_ids)
+            yield from self.client.read_file(src_id)
+            subdir, _, name = f.path.rpartition("/")
+            dir_id = self._target_ids[subdir]
+            new_id = yield from self.client.create(dir_id, name)
+            yield from self.client.write_file(new_id, f.size)
+            self._file_ids[f.path] = new_id
+
+    def _walk_from(self, base: int, path: str,
+                   cache: Dict[str, int]) -> Generator[Any, Any, int]:
+        if path in cache:
+            return cache[path]
+        fileid = base
+        for part in path.split("/"):
+            fileid = yield from self.client.lookup(fileid, part)
+        cache[path] = fileid
+        return fileid
+
+    def _scandir(self) -> Generator[Any, Any, None]:
+        root_dir = self._target_ids[""]
+        stack = [root_dir]
+        while stack:
+            dir_id = stack.pop()
+            entries = yield from self.client.readdir(dir_id)
+            for _, fileid in entries:
+                yield Timeout(self.cpu.scan_per_entry)
+                attrs = yield from self.client.getattr(fileid)
+                if attrs.kind == "dir":
+                    stack.append(fileid)
+
+    def _readall(self) -> Generator[Any, Any, None]:
+        for f in self.tree:
+            yield Timeout(self.cpu.read_per_file + f.size * self.cpu.read_per_byte)
+            yield from self.client.read_file(self._file_ids[f.path])
+
+    def _make(self) -> Generator[Any, Any, None]:
+        object_bytes_total = 0
+        for f in self.tree:
+            if not f.compiles:
+                continue
+            # Re-read the source (warm cache: a GETATTR validation).
+            yield from self.client.read_file(self._file_ids[f.path])
+            yield Timeout(self.cpu.compile_per_file
+                          + f.size * self.cpu.compile_per_byte)
+            subdir, _, name = f.path.rpartition("/")
+            obj_name = name.replace(".c", ".o")
+            obj_size = int(f.size * self.OBJECT_RATIO)
+            object_bytes_total += obj_size
+            obj_id = yield from self.client.create(self._target_ids[subdir],
+                                                   obj_name)
+            yield from self.client.write_file(obj_id, obj_size)
+        # Link step: objects are cache-fresh; write the binary.
+        yield Timeout(self.cpu.link_fixed
+                      + object_bytes_total * self.cpu.link_per_byte)
+        bin_id = yield from self.client.create(self._target_ids[""], "a.out")
+        yield from self.client.write_file(bin_id, self.BINARY_BYTES)
+
+    # populated during run()
+    _target_ids: Dict[str, int]
+    _src_ids: Dict[str, int]
+    _file_ids: Dict[str, int]

@@ -1,0 +1,193 @@
+"""An in-memory inode filesystem (the NFS server's backing store).
+
+Only metadata and sizes are tracked — file *contents* never matter to
+the benchmarks, but sizes, directory structure and modification times
+drive exactly the NFS traffic mix the Andrew benchmark needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+FILE = "file"
+DIRECTORY = "dir"
+
+
+class FsError(Exception):
+    """Filesystem operation failed (missing path, wrong kind, ...)."""
+
+
+@dataclass
+class Inode:
+    fileid: int
+    kind: str
+    size: int = 0
+    mtime: float = 0.0
+    ctime: float = 0.0
+    children: Dict[str, int] = field(default_factory=dict)  # dirs only
+
+    def is_dir(self) -> bool:
+        return self.kind == DIRECTORY
+
+
+@dataclass(frozen=True)
+class FileAttributes:
+    """What GETATTR returns."""
+
+    fileid: int
+    kind: str
+    size: int
+    mtime: float
+    ctime: float
+
+
+class FileSystem:
+    """Inode table + path helpers."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(2)
+        self._inodes: Dict[int, Inode] = {}
+        self.root = Inode(fileid=1, kind=DIRECTORY)
+        self._inodes[1] = self.root
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Handle-level operations (what NFS procedures call)
+    # ------------------------------------------------------------------
+    def inode(self, fileid: int) -> Inode:
+        try:
+            return self._inodes[fileid]
+        except KeyError:
+            raise FsError(f"stale file handle {fileid}") from None
+
+    def getattr(self, fileid: int) -> FileAttributes:
+        node = self.inode(fileid)
+        return FileAttributes(fileid=node.fileid, kind=node.kind,
+                              size=node.size, mtime=node.mtime,
+                              ctime=node.ctime)
+
+    def lookup(self, dir_id: int, name: str) -> int:
+        node = self.inode(dir_id)
+        if not node.is_dir():
+            raise FsError(f"{dir_id} is not a directory")
+        try:
+            return node.children[name]
+        except KeyError:
+            raise FsError(f"no entry {name!r} in dir {dir_id}") from None
+
+    def _new_child(self, dir_id: int, name: str, kind: str, now: float) -> int:
+        parent = self.inode(dir_id)
+        if not parent.is_dir():
+            raise FsError(f"{dir_id} is not a directory")
+        if name in parent.children:
+            raise FsError(f"{name!r} already exists in dir {dir_id}")
+        node = Inode(fileid=next(self._ids), kind=kind, mtime=now, ctime=now)
+        self._inodes[node.fileid] = node
+        parent.children[name] = node.fileid
+        parent.mtime = now
+        return node.fileid
+
+    def create(self, dir_id: int, name: str, now: float = 0.0) -> int:
+        return self._new_child(dir_id, name, FILE, now)
+
+    def mkdir(self, dir_id: int, name: str, now: float = 0.0) -> int:
+        return self._new_child(dir_id, name, DIRECTORY, now)
+
+    def read(self, fileid: int, offset: int, count: int) -> int:
+        """Returns the number of bytes actually available."""
+        node = self.inode(fileid)
+        if node.is_dir():
+            raise FsError(f"{fileid} is a directory")
+        self.reads += 1
+        if offset >= node.size:
+            return 0
+        return min(count, node.size - offset)
+
+    def write(self, fileid: int, offset: int, count: int,
+              now: float = 0.0) -> int:
+        node = self.inode(fileid)
+        if node.is_dir():
+            raise FsError(f"{fileid} is a directory")
+        self.writes += 1
+        node.size = max(node.size, offset + count)
+        node.mtime = now
+        return count
+
+    def truncate(self, fileid: int, size: int, now: float = 0.0) -> None:
+        node = self.inode(fileid)
+        if node.is_dir():
+            raise FsError(f"{fileid} is a directory")
+        node.size = size
+        node.mtime = now
+
+    def readdir(self, dir_id: int) -> List[Tuple[str, int]]:
+        node = self.inode(dir_id)
+        if not node.is_dir():
+            raise FsError(f"{dir_id} is not a directory")
+        return sorted(node.children.items())
+
+    def rename(self, from_dir: int, from_name: str, to_dir: int,
+               to_name: str, now: float = 0.0) -> None:
+        """Move an entry between directories (overwrite not allowed)."""
+        src = self.inode(from_dir)
+        dst = self.inode(to_dir)
+        if not dst.is_dir():
+            raise FsError(f"{to_dir} is not a directory")
+        child_id = self.lookup(from_dir, from_name)
+        if to_name in dst.children:
+            raise FsError(f"{to_name!r} already exists in dir {to_dir}")
+        del src.children[from_name]
+        dst.children[to_name] = child_id
+        src.mtime = dst.mtime = now
+        self.inode(child_id).ctime = now
+
+    def remove(self, dir_id: int, name: str, now: float = 0.0) -> None:
+        parent = self.inode(dir_id)
+        child_id = self.lookup(dir_id, name)
+        child = self.inode(child_id)
+        if child.is_dir() and child.children:
+            raise FsError(f"directory {name!r} not empty")
+        del parent.children[name]
+        del self._inodes[child_id]
+        parent.mtime = now
+
+    # ------------------------------------------------------------------
+    # Path helpers (local convenience; NFS clients do component walks)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def split(path: str) -> List[str]:
+        return [part for part in path.split("/") if part]
+
+    def resolve(self, path: str) -> int:
+        fileid = self.root.fileid
+        for part in self.split(path):
+            fileid = self.lookup(fileid, part)
+        return fileid
+
+    def makedirs(self, path: str, now: float = 0.0) -> int:
+        fileid = self.root.fileid
+        for part in self.split(path):
+            node = self.inode(fileid)
+            if part in node.children:
+                fileid = node.children[part]
+            else:
+                fileid = self.mkdir(fileid, part, now)
+        return fileid
+
+    def create_file(self, path: str, size: int, now: float = 0.0) -> int:
+        parts = self.split(path)
+        if not parts:
+            raise FsError("empty path")
+        dir_id = self.makedirs("/".join(parts[:-1]), now)
+        fileid = self.create(dir_id, parts[-1], now)
+        self.inode(fileid).size = size
+        return fileid
+
+    def total_bytes(self) -> int:
+        return sum(n.size for n in self._inodes.values() if n.kind == FILE)
+
+    def file_count(self) -> int:
+        return sum(1 for n in self._inodes.values() if n.kind == FILE)

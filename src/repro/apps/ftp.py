@@ -1,0 +1,191 @@
+"""FTP: single-file disk-to-disk transfer over TCP (§4.2).
+
+The benchmark transfers a 10 MB file both to ("send"/STOR) and from
+("recv"/RETR) the laptop.  It is the most network-limited benchmark and
+— because send and receive are independent — the one that exposes the
+distillation symmetry assumption (§5.3).
+
+The model keeps the protocol shape that matters: a short control
+exchange on port 21, then a bulk transfer on a separate data
+connection, the sender paced by its disk and the socket buffer, the
+receiver writing through its disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..hosts.host import Host
+from ..protocols.tcp import MessageChannel, TCPConnection, TCPError
+from .disk import Disk
+
+# Disk calibration: the paper's Ethernet baseline (send 20.5 s, recv
+# 18.8 s for 10 MB disk-to-disk) is host-limited, so the laptop's disk
+# paces the transfer; the Pentium-90 server's disk is faster.
+def laptop_disk(sim) -> Disk:
+    """The ThinkPad 701c disk, calibrated to the paper's Ethernet row."""
+    return Disk(sim, read_rate=565e3, write_rate=620e3, op_overhead=1.5e-3)
+
+
+def server_disk(sim) -> Disk:
+    """The Pentium-90 server disk (faster; never the bottleneck)."""
+    return Disk(sim, read_rate=1.6e6, write_rate=1.4e6, op_overhead=1e-3)
+
+
+FTP_CONTROL_PORT = 21
+FTP_DATA_PORT = 20
+CHUNK = 8192
+CONTROL_MSG_BYTES = 48
+DEFAULT_FILE_BYTES = 10 * 1024 * 1024
+
+
+@dataclass
+class FtpResult:
+    """Outcome of one transfer."""
+
+    direction: str          # "send" (laptop->server) or "recv"
+    nbytes: int
+    started: float
+    finished: float
+    retransmits: int
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished - self.started
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.nbytes * 8.0 / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class FtpServer:
+    """Accepts one control session at a time and serves STOR/RETR."""
+
+    def __init__(self, host: Host, disk: Optional[Disk] = None):
+        self.host = host
+        self.disk = disk or server_disk(host.sim)
+        self.transfers = 0
+        self._running = True
+
+    def start(self) -> None:
+        self.host.spawn(self._serve(), name="ftpd")
+
+    def _serve(self) -> Generator[Any, Any, None]:
+        control = self.host.tcp.listen(self.host.address, FTP_CONTROL_PORT)
+        data_listener = self.host.tcp.listen(self.host.address, FTP_DATA_PORT)
+        while self._running:
+            conn = yield from control.accept()
+            channel = MessageChannel(conn)
+            try:
+                yield from self._session(channel, data_listener)
+            except TCPError:
+                pass  # client died mid-session; await the next one
+            yield from conn.close_and_wait()
+
+    def _session(self, channel: MessageChannel,
+                 data_listener) -> Generator[Any, Any, None]:
+        while True:
+            msg = yield from channel.recv_message()
+            if msg is None:
+                break
+            command, _ = msg
+            verb = command[0]
+            if verb in ("USER", "TYPE"):
+                channel.send_message(CONTROL_MSG_BYTES, ("OK",))
+            elif verb == "STOR":
+                channel.send_message(CONTROL_MSG_BYTES, ("READY",))
+                data = yield from data_listener.accept()
+                yield from self._receive_file(data)
+                channel.send_message(CONTROL_MSG_BYTES, ("DONE",))
+            elif verb == "RETR":
+                nbytes = command[1]
+                channel.send_message(CONTROL_MSG_BYTES, ("READY",))
+                data = yield from data_listener.accept()
+                yield from self._send_file(data, nbytes)
+                channel.send_message(CONTROL_MSG_BYTES, ("DONE",))
+            elif verb == "QUIT":
+                channel.send_message(CONTROL_MSG_BYTES, ("BYE",))
+                break
+
+    def _receive_file(self, conn: TCPConnection) -> Generator[Any, Any, None]:
+        while True:
+            got = yield from conn.recv_some()
+            if got == 0:
+                break
+            yield from self.disk.write(got)
+        self.transfers += 1
+        yield from conn.close_and_wait()
+
+    def _send_file(self, conn: TCPConnection,
+                   nbytes: int) -> Generator[Any, Any, None]:
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(CHUNK, remaining)
+            yield from self.disk.read(chunk)
+            yield from conn.send_wait(chunk)
+            remaining -= chunk
+        yield from conn.drain()
+        yield from conn.close_and_wait()
+        self.transfers += 1
+
+    def stop(self) -> None:
+        self._running = False
+
+
+class FtpClient:
+    """Drives transfers from the laptop side."""
+
+    def __init__(self, host: Host, server_addr: str,
+                 disk: Optional[Disk] = None):
+        self.host = host
+        self.server_addr = server_addr
+        self.disk = disk or laptop_disk(host.sim)
+
+    def transfer(self, direction: str,
+                 nbytes: int = DEFAULT_FILE_BYTES
+                 ) -> Generator[Any, Any, FtpResult]:
+        """Coroutine: run one full transfer; returns an :class:`FtpResult`."""
+        if direction not in ("send", "recv"):
+            raise ValueError(f"direction must be send/recv, got {direction!r}")
+        started = self.host.sim.now
+        control = yield from self.host.tcp.connect(
+            self.host.address, self.server_addr, FTP_CONTROL_PORT)
+        channel = MessageChannel(control)
+        # Login preamble.
+        for verb in ("USER", "TYPE"):
+            channel.send_message(CONTROL_MSG_BYTES, (verb,))
+            yield from channel.recv_message()
+        if direction == "send":
+            channel.send_message(CONTROL_MSG_BYTES, ("STOR", nbytes))
+            yield from channel.recv_message()  # READY
+            data = yield from self.host.tcp.connect(
+                self.host.address, self.server_addr, FTP_DATA_PORT)
+            remaining = nbytes
+            while remaining > 0:
+                chunk = min(CHUNK, remaining)
+                yield from self.disk.read(chunk)
+                yield from data.send_wait(chunk)
+                remaining -= chunk
+            yield from data.drain()
+            yield from data.close_and_wait()
+            yield from channel.recv_message()  # DONE
+            retransmits = data.retransmits
+        else:
+            channel.send_message(CONTROL_MSG_BYTES, ("RETR", nbytes))
+            yield from channel.recv_message()  # READY
+            data = yield from self.host.tcp.connect(
+                self.host.address, self.server_addr, FTP_DATA_PORT)
+            while True:
+                got = yield from data.recv_some()
+                if got == 0:
+                    break
+                yield from self.disk.write(got)
+            yield from data.close_and_wait()
+            yield from channel.recv_message()  # DONE
+            retransmits = data.retransmits
+        channel.send_message(CONTROL_MSG_BYTES, ("QUIT",))
+        yield from channel.recv_message()
+        yield from control.close_and_wait()
+        return FtpResult(direction=direction, nbytes=nbytes, started=started,
+                         finished=self.host.sim.now, retransmits=retransmits)

@@ -1,0 +1,287 @@
+"""NFS over RPC/UDP (§4.2).
+
+An NFSv2-shaped file service: stateless server procedures over UDP RPC
+with client-side retransmission, an attribute cache and whole-file data
+caching on the client.  The traffic mix this produces is what the
+Andrew benchmark's phases exercise:
+
+* **status checks** — GETATTR/LOOKUP, small messages both ways (the
+  warm-cache ScanDir/ReadAll phases send almost nothing else — and
+  these are the short messages the modulator under-delays, §5.4);
+* **data exchanges** — READ replies and WRITE calls carrying up to 8 KB
+  of data (NFSv2 transfer size).
+
+Writes are synchronous (NFSv2 semantics): the client waits for each
+WRITE reply, so write-heavy phases are round-trip-bound on slow links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..hosts.host import Host
+from ..protocols.rpc import RpcClient, RpcServer
+from ..sim import Timeout
+from .disk import Disk
+from .filesystem import FileAttributes, FileSystem, FsError
+
+NFS_PORT = 2049
+TRANSFER_SIZE = 8192          # NFSv2 rsize/wsize
+FH_BYTES = 32
+ATTR_BYTES = 68
+NAME_BYTES = 16               # average encoded component name
+DIRENT_BYTES = 24
+ATTR_CACHE_TTL = 6.0          # seconds; classic acregmin..acregmax midpoint
+
+
+@dataclass
+class NfsStats:
+    """Per-client operation counters."""
+
+    getattr: int = 0
+    lookup: int = 0
+    read: int = 0
+    write: int = 0
+    create: int = 0
+    mkdir: int = 0
+    readdir: int = 0
+    remove: int = 0
+    setattr: int = 0
+    rename: int = 0
+    cache_hits: int = 0
+
+    def total_calls(self) -> int:
+        return (self.getattr + self.lookup + self.read + self.write
+                + self.create + self.mkdir + self.readdir + self.remove
+                + self.setattr + self.rename)
+
+
+class NfsServer:
+    """Stateless NFS procedures over an RPC server."""
+
+    def __init__(self, host: Host, fs: Optional[FileSystem] = None,
+                 disk: Optional[Disk] = None, cpu_per_call: float = 0.8e-3):
+        self.host = host
+        self.fs = fs or FileSystem()
+        self.disk = disk or Disk(host.sim)
+        self.rpc = RpcServer(host.sim, host.udp, host.address, NFS_PORT,
+                             self._dispatch, service_time=cpu_per_call)
+
+    def start(self) -> None:
+        self.host.spawn(self.rpc.loop(), name="nfsd")
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, proc: str, args: Any) -> Tuple[Any, int, float]:
+        now = self.host.sim.now
+        try:
+            if proc == "getattr":
+                attrs = self.fs.getattr(args)
+                return ("ok", attrs), ATTR_BYTES, 0.0
+            if proc == "lookup":
+                dir_id, name = args
+                fileid = self.fs.lookup(dir_id, name)
+                return ("ok", fileid, self.fs.getattr(fileid)), \
+                    FH_BYTES + ATTR_BYTES, 0.0
+            if proc == "read":
+                fileid, offset, count = args
+                got = self.fs.read(fileid, offset, count)
+                disk_time = got / self.disk.read_rate
+                return ("ok", got, self.fs.getattr(fileid)), \
+                    ATTR_BYTES + got, disk_time
+            if proc == "write":
+                fileid, offset, count = args
+                self.fs.write(fileid, offset, count, now)
+                disk_time = count / self.disk.write_rate
+                return ("ok", self.fs.getattr(fileid)), ATTR_BYTES, disk_time
+            if proc == "create":
+                dir_id, name = args
+                fileid = self.fs.create(dir_id, name, now)
+                return ("ok", fileid, self.fs.getattr(fileid)), \
+                    FH_BYTES + ATTR_BYTES, 0.0
+            if proc == "mkdir":
+                dir_id, name = args
+                fileid = self.fs.mkdir(dir_id, name, now)
+                return ("ok", fileid, self.fs.getattr(fileid)), \
+                    FH_BYTES + ATTR_BYTES, 0.0
+            if proc == "readdir":
+                entries = self.fs.readdir(args)
+                return ("ok", entries), 16 + DIRENT_BYTES * len(entries), 0.0
+            if proc == "remove":
+                dir_id, name = args
+                self.fs.remove(dir_id, name, now)
+                return ("ok",), 16, 0.0
+            if proc == "setattr":
+                fileid, size = args
+                self.fs.truncate(fileid, size, now)
+                return ("ok", self.fs.getattr(fileid)), ATTR_BYTES, 0.0
+            if proc == "rename":
+                from_dir, from_name, to_dir, to_name = args
+                self.fs.rename(from_dir, from_name, to_dir, to_name, now)
+                return ("ok",), 16, 0.0
+            return ("error", f"bad procedure {proc}"), 16, 0.0
+        except FsError as err:
+            return ("error", str(err)), 16, 0.0
+
+
+class NfsError(Exception):
+    """The server returned an error status."""
+
+
+class NfsClient:
+    """NFS client with attribute, name and whole-file data caches."""
+
+    def __init__(self, host: Host, server_addr: str,
+                 attr_ttl: float = ATTR_CACHE_TTL):
+        self.host = host
+        self.rpc = RpcClient(host.sim, host.udp, host.address,
+                             server_addr, NFS_PORT)
+        host.spawn(self.rpc.dispatcher(), name="nfsiod")
+        self.attr_ttl = attr_ttl
+        self.stats = NfsStats()
+        self.root_fh = 1
+        self._attr_cache: Dict[int, Tuple[float, FileAttributes]] = {}
+        self._name_cache: Dict[Tuple[int, str], int] = {}
+        # fileid -> mtime at which the whole file was cached
+        self._data_cache: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def flush_caches(self) -> None:
+        """Cold-cache the client (done before each Andrew trial, §4.2)."""
+        self._attr_cache.clear()
+        self._name_cache.clear()
+        self._data_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Primitive procedures
+    # ------------------------------------------------------------------
+    def _call(self, proc: str, args: Any,
+              arg_bytes: int) -> Generator[Any, Any, Any]:
+        result = yield from self.rpc.call(proc, args, arg_bytes)
+        if not isinstance(result, tuple) or result[0] != "ok":
+            detail = result[1] if isinstance(result, tuple) and len(result) > 1 \
+                else result
+            raise NfsError(f"{proc}: {detail}")
+        return result
+
+    def getattr(self, fileid: int,
+                force: bool = False) -> Generator[Any, Any, FileAttributes]:
+        cached = self._attr_cache.get(fileid)
+        now = self.host.sim.now
+        if cached is not None and not force and now - cached[0] < self.attr_ttl:
+            self.stats.cache_hits += 1
+            return cached[1]
+        self.stats.getattr += 1
+        result = yield from self._call("getattr", fileid, FH_BYTES)
+        attrs = result[1]
+        self._attr_cache[fileid] = (now, attrs)
+        return attrs
+
+    def lookup(self, dir_id: int, name: str) -> Generator[Any, Any, int]:
+        key = (dir_id, name)
+        if key in self._name_cache:
+            self.stats.cache_hits += 1
+            return self._name_cache[key]
+        self.stats.lookup += 1
+        result = yield from self._call("lookup", (dir_id, name),
+                                       FH_BYTES + NAME_BYTES)
+        fileid, attrs = result[1], result[2]
+        self._name_cache[key] = fileid
+        self._attr_cache[fileid] = (self.host.sim.now, attrs)
+        return fileid
+
+    def readdir(self, dir_id: int) -> Generator[Any, Any, List[Tuple[str, int]]]:
+        self.stats.readdir += 1
+        result = yield from self._call("readdir", dir_id, FH_BYTES + 8)
+        for name, fileid in result[1]:
+            self._name_cache[(dir_id, name)] = fileid
+        return result[1]
+
+    def create(self, dir_id: int, name: str) -> Generator[Any, Any, int]:
+        self.stats.create += 1
+        result = yield from self._call("create", (dir_id, name),
+                                       FH_BYTES + NAME_BYTES + ATTR_BYTES)
+        fileid = result[1]
+        self._name_cache[(dir_id, name)] = fileid
+        self._attr_cache[fileid] = (self.host.sim.now, result[2])
+        return fileid
+
+    def mkdir(self, dir_id: int, name: str) -> Generator[Any, Any, int]:
+        self.stats.mkdir += 1
+        result = yield from self._call("mkdir", (dir_id, name),
+                                       FH_BYTES + NAME_BYTES + ATTR_BYTES)
+        fileid = result[1]
+        self._name_cache[(dir_id, name)] = fileid
+        self._attr_cache[fileid] = (self.host.sim.now, result[2])
+        return fileid
+
+    def remove(self, dir_id: int, name: str) -> Generator[Any, Any, None]:
+        self.stats.remove += 1
+        yield from self._call("remove", (dir_id, name),
+                              FH_BYTES + NAME_BYTES)
+        self._name_cache.pop((dir_id, name), None)
+
+    def setattr(self, fileid: int,
+                size: int) -> Generator[Any, Any, FileAttributes]:
+        """Truncate/extend a file (the SETATTR size case)."""
+        self.stats.setattr += 1
+        result = yield from self._call("setattr", (fileid, size),
+                                       FH_BYTES + ATTR_BYTES)
+        attrs = result[1]
+        self._attr_cache[fileid] = (self.host.sim.now, attrs)
+        self._data_cache.pop(fileid, None)  # cached contents now stale
+        return attrs
+
+    def rename(self, from_dir: int, from_name: str, to_dir: int,
+               to_name: str) -> Generator[Any, Any, None]:
+        self.stats.rename += 1
+        yield from self._call("rename",
+                              (from_dir, from_name, to_dir, to_name),
+                              2 * (FH_BYTES + NAME_BYTES))
+        fileid = self._name_cache.pop((from_dir, from_name), None)
+        if fileid is not None:
+            self._name_cache[(to_dir, to_name)] = fileid
+
+    # ------------------------------------------------------------------
+    # File-level operations
+    # ------------------------------------------------------------------
+    def walk(self, path: str) -> Generator[Any, Any, int]:
+        """Component-by-component lookup from the root."""
+        fileid = self.root_fh
+        for part in FileSystem.split(path):
+            fileid = yield from self.lookup(fileid, part)
+        return fileid
+
+    def read_file(self, fileid: int) -> Generator[Any, Any, int]:
+        """Read a whole file; warm cache turns this into a status check."""
+        attrs = yield from self.getattr(fileid)
+        cached_mtime = self._data_cache.get(fileid)
+        if cached_mtime is not None and cached_mtime >= attrs.mtime:
+            self.stats.cache_hits += 1
+            return attrs.size
+        offset = 0
+        while offset < attrs.size:
+            count = min(TRANSFER_SIZE, attrs.size - offset)
+            self.stats.read += 1
+            yield from self._call("read", (fileid, offset, count),
+                                  FH_BYTES + 16)
+            offset += count
+        self._data_cache[fileid] = attrs.mtime
+        return attrs.size
+
+    def write_file(self, fileid: int, size: int) -> Generator[Any, Any, None]:
+        """Synchronous whole-file write in 8 KB WRITEs."""
+        offset = 0
+        while offset < size:
+            count = min(TRANSFER_SIZE, size - offset)
+            self.stats.write += 1
+            result = yield from self._call("write", (fileid, offset, count),
+                                           FH_BYTES + 16 + count)
+            attrs = result[1]
+            self._attr_cache[fileid] = (self.host.sim.now, attrs)
+            offset += count
+        # We hold the freshest copy.
+        self._data_cache[fileid] = self._attr_cache[fileid][1].mtime
+
+    def close(self) -> None:
+        self.rpc.close()

@@ -1,0 +1,98 @@
+"""The modified ping workload (§3.1.1, §3.2.2).
+
+Each second the workload emits a group of three ICMP ECHO packets in
+two stages:
+
+1. one ECHO with a *small* payload (size ``s1``); when its ECHOREPLY
+   arrives,
+2. two ECHOs with a *large* payload (size ``s2``), sent back-to-back.
+
+The small/large pair separates latency from per-byte cost (Eqs. 5–6);
+the back-to-back pair exposes the bottleneck's per-byte cost through
+queueing (Eqs. 7–8).  Sequence numbers are ``3g``, ``3g+1``, ``3g+2``
+for group ``g`` so the distiller can regroup and count losses.
+
+Payload timestamps come from the *host's* clock (which may drift), so
+all round-trip times are single-clock measurements — the paper's
+workaround for the absence of synchronized clocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from ..hosts.host import Host
+from ..sim import Signal, Timeout, signal_or_timeout
+
+DEFAULT_SMALL_PAYLOAD = 32     # bytes of ICMP payload (s1 = 28 + this)
+DEFAULT_LARGE_PAYLOAD = 1400   # bytes of ICMP payload (s2 = 28 + this)
+DEFAULT_IDENT = 4097           # "pid" of the ping process
+
+
+class ModifiedPing:
+    """Runs the two-stage ping workload from a host."""
+
+    def __init__(self, host: Host, target: str,
+                 ident: int = DEFAULT_IDENT,
+                 interval: float = 1.0,
+                 small_payload: int = DEFAULT_SMALL_PAYLOAD,
+                 large_payload: int = DEFAULT_LARGE_PAYLOAD,
+                 stage1_timeout: float = 0.8):
+        self.host = host
+        self.target = target
+        self.ident = ident
+        self.interval = interval
+        self.small_payload = small_payload
+        self.large_payload = large_payload
+        self.stage1_timeout = stage1_timeout
+        self.groups_sent = 0
+        self.stage1_timeouts = 0
+        self.echoes_sent = 0
+        self.replies_seen = 0
+        self._reply_signals: Dict[int, Signal] = {}
+        host.icmp.on_echo_reply(ident, self._on_reply)
+
+    # ------------------------------------------------------------------
+    def _on_reply(self, packet, now: float) -> None:
+        self.replies_seen += 1
+        signal = self._reply_signals.pop(packet.icmp.seq, None)
+        if signal is not None:
+            signal.fire(now)
+
+    def _send(self, seq: int, payload: int) -> None:
+        self.host.icmp.send_echo(
+            self.host.address, self.target, self.ident, seq, payload,
+            meta={"echo_sent_at_host": self.host.kernel.timestamp()},
+        )
+        self.echoes_sent += 1
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> Generator[Any, Any, None]:
+        """Process body: emit groups for ``duration`` seconds."""
+        sim = self.host.sim
+        start = sim.now
+        group = 0
+        while sim.now - start < duration:
+            group_start = sim.now
+            seq = 3 * group
+            # Stage 1: small probe; wait for its reply (bounded).
+            waiter = Signal(sim, f"ping:{seq}")
+            self._reply_signals[seq] = waiter
+            self._send(seq, self.small_payload)
+            result = yield signal_or_timeout(sim, waiter, self.stage1_timeout)
+            self._reply_signals.pop(seq, None)
+            if result is not None:
+                # Stage 2: two large probes back-to-back.
+                self._send(seq + 1, self.large_payload)
+                self._send(seq + 2, self.large_payload)
+            else:
+                self.stage1_timeouts += 1
+            self.groups_sent += 1
+            group += 1
+            elapsed = sim.now - group_start
+            if elapsed < self.interval:
+                yield Timeout(self.interval - elapsed)
+
+    def detach(self) -> None:
+        """Remove the ICMP handler (after the run completes)."""
+        self.host.icmp.on_echo_reply(self.ident, None)

@@ -1,0 +1,119 @@
+"""SynRGen-style synthetic file-reference users (§4.1.4).
+
+The Chatterbox scenario surrounds the traced laptop with five other
+laptops "continuously executing a workload produced by SynRGen, a
+synthetic file reference generator ... a user in an edit-debug cycle on
+files stored on a remote NFS file server".
+
+Each user loops: pick a source file, *edit* it (interleaved reads and
+small writes with think times), then *debug* (re-read several related
+files, compile pause, write an object) — producing the bursty NFS/UDP
+traffic that congests the shared wireless medium even though every
+station's signal is strong.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from ..hosts.host import Host
+from ..protocols.rpc import RpcTimeout
+from ..sim import Timeout
+from ..sim.rng import derive_seed
+from .filesystem import FileSystem
+from .nfs import NfsClient, NfsError
+
+
+@dataclass
+class SynRGenConfig:
+    """Knobs for one synthetic user."""
+
+    files: int = 12                   # files in the user's working set
+    mean_file_bytes: int = 14 * 1024
+    edit_reads: int = 4               # reads while editing
+    edit_writes: int = 2              # saves per edit
+    think_mean: float = 0.6           # seconds between actions
+    compile_pause: float = 1.2        # "debugger/compiler running"
+    burst_files: int = 6              # files re-read in a debug burst
+
+
+class SynRGenUser:
+    """One edit-debug-cycle user bound to an NFS client."""
+
+    def __init__(self, host: Host, client: NfsClient, user_id: int,
+                 seed: int = 0, config: Optional[SynRGenConfig] = None):
+        self.host = host
+        self.client = client
+        self.user_id = user_id
+        self.config = config or SynRGenConfig()
+        self.rng = random.Random(derive_seed(seed, f"synrgen:{user_id}"))
+        self.cycles = 0
+        self.errors = 0
+        self._file_ids: List[int] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def populate_server(cls, fs: FileSystem, user_id: int,
+                        config: Optional[SynRGenConfig] = None,
+                        seed: int = 0) -> None:
+        """Create the user's working set directly in the server fs."""
+        config = config or SynRGenConfig()
+        rng = random.Random(derive_seed(seed, f"synrgen-tree:{user_id}"))
+        fs.makedirs(f"synrgen/u{user_id}")
+        for i in range(config.files):
+            size = max(512, int(rng.expovariate(1.0 / config.mean_file_bytes)))
+            fs.create_file(f"synrgen/u{user_id}/f{i}.c", size)
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> Generator[Any, Any, None]:
+        """Process body: edit-debug cycles for ``duration`` seconds."""
+        sim = self.host.sim
+        start = sim.now
+        try:
+            yield from self._open_working_set()
+        except (NfsError, RpcTimeout):
+            self.errors += 1
+            return
+        while sim.now - start < duration:
+            try:
+                yield from self._edit_cycle()
+                yield from self._debug_cycle()
+                self.cycles += 1
+            except (NfsError, RpcTimeout):
+                self.errors += 1
+                yield Timeout(self._think())
+
+    def _open_working_set(self) -> Generator[Any, Any, None]:
+        base = yield from self.client.walk(f"synrgen/u{self.user_id}")
+        entries = yield from self.client.readdir(base)
+        self._file_ids = [fid for _, fid in entries]
+
+    def _edit_cycle(self) -> Generator[Any, Any, None]:
+        fid = self.rng.choice(self._file_ids)
+        for _ in range(self.config.edit_reads):
+            yield from self.client.read_file(fid)
+            yield Timeout(self._think())
+        for _ in range(self.config.edit_writes):
+            attrs = yield from self.client.getattr(fid)
+            delta = self.rng.randint(-256, 512)
+            new_size = max(512, attrs.size + delta)
+            # Editors save by truncating and rewriting the file.
+            yield from self.client.setattr(fid, 0)
+            yield from self.client.write_file(fid, new_size)
+            yield Timeout(self._think())
+
+    def _debug_cycle(self) -> Generator[Any, Any, None]:
+        burst = self.rng.sample(self._file_ids,
+                                min(self.config.burst_files,
+                                    len(self._file_ids)))
+        for fid in burst:
+            yield from self.client.read_file(fid)
+        yield Timeout(self.config.compile_pause)
+        fid = self.rng.choice(self._file_ids)
+        attrs = yield from self.client.getattr(fid)
+        yield from self.client.write_file(fid, int(attrs.size * 1.5))
+
+    def _think(self) -> float:
+        return self.rng.expovariate(1.0 / self.config.think_mean)

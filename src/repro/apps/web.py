@@ -1,0 +1,147 @@
+"""HTTP/1.0-style web server and trace-replaying browser (§4.2).
+
+The benchmark replays users' reference traces "as fast as possible" on
+a modified Mosaic against a private server holding every referenced
+object.  Protocol shape: one TCP connection per request (HTTP/1.0,
+no keep-alive — 1996!), a small GET, a response header plus the object
+body.  The browser charges itself a parse/render CPU cost per object,
+which is what makes the Ethernet baseline minutes rather than seconds
+on a 75 MHz 486 laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from ..hosts.host import Host
+from ..protocols.tcp import MessageChannel, TCPError
+from ..sim import Timeout
+from ..workloads.webtraces import WebReference
+
+HTTP_PORT = 80
+REQUEST_BYTES = 220           # GET + headers
+RESPONSE_HEADER_BYTES = 180   # status line + headers
+
+# Browser CPU model (75 MHz 486): fixed parse cost plus per-byte render.
+RENDER_FIXED = 0.355
+RENDER_PER_BYTE = 1.9e-5
+# Server CPU per request (file open + header formatting).
+SERVER_CPU = 0.015
+
+
+class WebServer:
+    """A private HTTP server primed with an object catalog."""
+
+    def __init__(self, host: Host, catalog: Dict[str, int]):
+        self.host = host
+        self.catalog = dict(catalog)
+        self.requests_served = 0
+        self.not_found = 0
+        self._running = True
+
+    def start(self) -> None:
+        self.host.spawn(self._serve(), name="httpd")
+
+    def _serve(self) -> Generator[Any, Any, None]:
+        listener = self.host.tcp.listen(self.host.address, HTTP_PORT)
+        while self._running:
+            conn = yield from listener.accept()
+            # One connection per request: handle inline (requests from a
+            # single browser arrive sequentially anyway).
+            self.host.spawn(self._handle(conn), name="http-conn")
+
+    def _handle(self, conn) -> Generator[Any, Any, None]:
+        channel = MessageChannel(conn)
+        try:
+            msg = yield from channel.recv_message()
+            if msg is not None:
+                (url,), _ = msg
+                yield Timeout(SERVER_CPU)
+                size = self.catalog.get(url)
+                if size is None:
+                    self.not_found += 1
+                    channel.send_message(RESPONSE_HEADER_BYTES, ("404", 0))
+                else:
+                    self.requests_served += 1
+                    channel.send_message(RESPONSE_HEADER_BYTES + size,
+                                         ("200", size))
+            yield from conn.close_and_wait()
+        except TCPError:
+            pass  # browser gave up; nothing to clean
+
+    def stop(self) -> None:
+        self._running = False
+
+
+@dataclass
+class WebBenchmarkResult:
+    """Elapsed time and accounting for one replay run."""
+
+    started: float
+    finished: float
+    requests: int
+    bytes_fetched: int
+    failures: int
+    per_request_elapsed: List[float] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished - self.started
+
+
+class WebBrowser:
+    """Replays reference traces against the private server."""
+
+    def __init__(self, host: Host, server_addr: str,
+                 render_fixed: float = RENDER_FIXED,
+                 render_per_byte: float = RENDER_PER_BYTE):
+        self.host = host
+        self.server_addr = server_addr
+        self.render_fixed = render_fixed
+        self.render_per_byte = render_per_byte
+
+    def replay(self, traces: List[List[WebReference]]
+               ) -> Generator[Any, Any, WebBenchmarkResult]:
+        """Coroutine: replay every user's trace back-to-back."""
+        started = self.host.sim.now
+        requests = 0
+        bytes_fetched = 0
+        failures = 0
+        per_request: List[float] = []
+        for trace in traces:
+            for ref in trace:
+                t0 = self.host.sim.now
+                size = yield from self._fetch(ref.url)
+                if size is None:
+                    failures += 1
+                else:
+                    bytes_fetched += size
+                    # Parse/render before the next reference.
+                    yield Timeout(self.render_fixed
+                                  + size * self.render_per_byte)
+                requests += 1
+                per_request.append(self.host.sim.now - t0)
+        return WebBenchmarkResult(started=started, finished=self.host.sim.now,
+                                  requests=requests,
+                                  bytes_fetched=bytes_fetched,
+                                  failures=failures,
+                                  per_request_elapsed=per_request)
+
+    def _fetch(self, url: str) -> Generator[Any, Any, Optional[int]]:
+        try:
+            conn = yield from self.host.tcp.connect(
+                self.host.address, self.server_addr, HTTP_PORT)
+        except TCPError:
+            return None
+        channel = MessageChannel(conn)
+        try:
+            channel.send_message(REQUEST_BYTES, (url,))
+            msg = yield from channel.recv_message()
+            if msg is None:
+                return None
+            (status, size), _ = msg
+            yield from conn.close_and_wait()
+            return size if status == "200" else None
+        except TCPError:
+            return None

@@ -1,0 +1,267 @@
+"""Command-line interface.
+
+Mirrors the workflow of the paper's tools: collect a trace of a
+scenario, distill it, inspect it, replay-validate a benchmark against
+it, or export it for modern emulators.
+
+    repro collect    --scenario porter -o porter.trace
+    repro distill    porter.trace -o porter.json
+    repro info       porter.json
+    repro validate   --scenario wean --benchmark ftp --trials 2
+    repro characterize --scenario flagstaff --trials 4
+    repro export     porter.json --format netem -o porter.sh
+    repro compensation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import render_series, render_table
+from .core import Distiller, ReplayTrace, load_trace, save_trace
+from .core.compensation import measure_modulation_network
+from .core.export import (
+    to_mahimahi_commands,
+    to_mahimahi_trace,
+    to_netem_script,
+)
+from .scenarios import ALL_SCENARIOS, scenario_by_name
+from .validation import (
+    AndrewRunner,
+    FtpRunner,
+    WebRunner,
+    characterize_scenario,
+    collect_trace,
+    ethernet_baseline,
+    render_benchmark_table,
+    validate_scenario,
+)
+
+SCENARIO_NAMES = sorted(cls.name for cls in ALL_SCENARIOS)
+RUNNERS = {"ftp": FtpRunner, "web": WebRunner, "andrew": AndrewRunner}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trace-based mobile network emulation (SIGCOMM 1997)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("collect", help="trace one scenario traversal")
+    p.add_argument("--scenario", choices=SCENARIO_NAMES, required=True)
+    p.add_argument("--trial", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True,
+                   help="trace file to write (binary, self-descriptive)")
+
+    p = sub.add_parser("distill", help="collected trace -> replay trace")
+    p.add_argument("trace", help="file written by `repro collect`")
+    p.add_argument("-o", "--output", required=True,
+                   help="replay trace JSON to write")
+    p.add_argument("--window", type=float, default=5.0,
+                   help="sliding window width in seconds (default 5)")
+    p.add_argument("--step", type=float, default=1.0)
+
+    p = sub.add_parser("info", help="summarize a replay trace")
+    p.add_argument("replay", help="replay trace JSON")
+
+    p = sub.add_parser("validate",
+                       help="live-vs-modulated benchmark comparison")
+    p.add_argument("--scenario", choices=SCENARIO_NAMES, required=True)
+    p.add_argument("--benchmark", choices=sorted(RUNNERS), required=True)
+    p.add_argument("--trials", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--baseline", action="store_true",
+                   help="also run the raw-Ethernet reference row")
+
+    p = sub.add_parser("characterize",
+                       help="Figures 2-5 style scenario characterization")
+    p.add_argument("--scenario", choices=SCENARIO_NAMES, required=True)
+    p.add_argument("--trials", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("export", help="replay trace -> netem/mahimahi")
+    p.add_argument("replay", help="replay trace JSON")
+    p.add_argument("--format", choices=("netem", "mahimahi"),
+                   required=True)
+    p.add_argument("--dev", default="eth0", help="netem: interface name")
+    p.add_argument("--loop", action="store_true",
+                   help="netem: loop over the trace until interrupted")
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("analyze", help="statistics of a collected trace")
+    p.add_argument("trace", help="file written by `repro collect`")
+    p.add_argument("--filter", dest="filter_expr", default=None,
+                   help="BPF-style expression, e.g. 'icmp and out'")
+    p.add_argument("--dump", action="store_true",
+                   help="print matching packets, tcpdump style")
+    p.add_argument("--limit", type=int, default=40,
+                   help="max packets printed with --dump")
+
+    sub.add_parser("compensation",
+                   help="measure the testbed's delay-compensation constant")
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_collect(args) -> int:
+    scenario = scenario_by_name(args.scenario)
+    records = collect_trace(scenario, args.seed, args.trial)
+    count = save_trace(args.output, records,
+                       description=f"{args.scenario} trial {args.trial} "
+                                   f"seed {args.seed}")
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def _cmd_distill(args) -> int:
+    records = load_trace(args.trace)
+    distiller = Distiller(window_width=args.window, step=args.step)
+    result = distiller.distill(records, name=args.trace)
+    result.replay.save(args.output)
+    replay = result.replay
+    print(f"distilled {result.groups_used} groups "
+          f"({result.groups_corrected} corrected, "
+          f"{result.groups_skipped} skipped) into {len(replay)} tuples")
+    print(f"wrote {args.output}")
+    _print_replay_summary(replay)
+    return 0
+
+
+def _cmd_info(args) -> int:
+    replay = ReplayTrace.load(args.replay)
+    print(f"replay trace {replay.name!r}: {len(replay)} tuples, "
+          f"{replay.duration:.0f}s")
+    _print_replay_summary(replay)
+    # Coarse timeline: ten segments of the trace.
+    segments = 10
+    labels, lat_lo, lat_hi, loss_lo, loss_hi = [], [], [], [], []
+    for k in range(segments):
+        lo = replay.duration * k / segments
+        hi = replay.duration * (k + 1) / segments
+        tuples = [t for i, t in enumerate(replay)
+                  if lo <= _tuple_start(replay, i) < hi]
+        if not tuples:
+            tuples = [replay.tuple_at(min(lo, replay.duration - 1e-9))]
+        labels.append(f"{int(lo)}s")
+        lat_lo.append(min(t.F for t in tuples) * 1e3)
+        lat_hi.append(max(t.F for t in tuples) * 1e3)
+        loss_lo.append(min(t.L for t in tuples) * 100)
+        loss_hi.append(max(t.L for t in tuples) * 100)
+    print()
+    print(render_series("latency", labels, lat_lo, lat_hi, unit="ms"))
+    print()
+    print(render_series("loss", labels, loss_lo, loss_hi, unit="%"))
+    return 0
+
+
+def _tuple_start(replay: ReplayTrace, index: int) -> float:
+    return sum(t.d for t in replay.tuples[:index])
+
+
+def _print_replay_summary(replay: ReplayTrace) -> None:
+    print(f"  latency   {replay.mean_latency() * 1e3:8.2f} ms (mean)")
+    print(f"  bandwidth {replay.mean_bandwidth_bps() / 1e6:8.2f} Mb/s "
+          f"(bottleneck)")
+    print(f"  loss      {replay.mean_loss() * 100:8.2f} %")
+
+
+def _cmd_validate(args) -> int:
+    scenario = scenario_by_name(args.scenario)
+    runner = RUNNERS[args.benchmark]()
+    validation = validate_scenario(scenario, runner, seed=args.seed,
+                                   trials=args.trials)
+    baseline = (ethernet_baseline(runner, seed=args.seed, trials=args.trials)
+                if args.baseline else
+                {m: _na_summary() for m in validation.comparisons})
+    print(render_benchmark_table(
+        [validation], baseline,
+        title=f"{args.benchmark} on {args.scenario} "
+              f"({args.trials} trials)"))
+    return 0
+
+
+def _na_summary():
+    from .analysis import Summary
+
+    return Summary(mean=float("nan"), std=float("nan"), n=0)
+
+
+def _cmd_characterize(args) -> int:
+    scenario = scenario_by_name(args.scenario)
+    character = characterize_scenario(scenario, seed=args.seed,
+                                      trials=args.trials)
+    print(character.render())
+    return 0
+
+
+def _cmd_export(args) -> int:
+    replay = ReplayTrace.load(args.replay)
+    if args.format == "netem":
+        content = to_netem_script(replay, dev=args.dev, loop=args.loop)
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(content)
+        print(f"wrote netem script to {args.output} "
+              f"(run as: sh {args.output} <dev>)")
+    else:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(to_mahimahi_trace(replay))
+        print(f"wrote mm-link trace to {args.output}")
+        print("run inside:", to_mahimahi_commands(replay, args.output),
+              end="")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import analyze_trace
+    from .analysis.filter import dump_records, filter_records
+
+    records = load_trace(args.trace)
+    if args.filter_expr:
+        matched = filter_records(records, args.filter_expr)
+        print(f"{len(matched)} packets match {args.filter_expr!r}")
+        if args.dump:
+            print(dump_records(matched, limit=args.limit))
+        elif matched:
+            print(analyze_trace(matched).render())
+        return 0
+    if args.dump:
+        from .core.traceformat import PacketRecord
+
+        packets = [r for r in records if isinstance(r, PacketRecord)]
+        print(dump_records(packets, limit=args.limit))
+        return 0
+    print(analyze_trace(records).render())
+    return 0
+
+
+def _cmd_compensation(args) -> int:
+    measurement = measure_modulation_network()
+    print(f"bottleneck per-byte cost Vb = {measurement.vb * 1e6:.3f} us/byte")
+    print(f"  (bandwidth {measurement.bandwidth_bps / 1e6:.2f} Mb/s, "
+          f"latency {measurement.latency * 1e3:.3f} ms)")
+    print("pass this Vb as compensation_vb to install_modulation()")
+    return 0
+
+
+COMMANDS = {
+    "collect": _cmd_collect,
+    "distill": _cmd_distill,
+    "info": _cmd_info,
+    "validate": _cmd_validate,
+    "characterize": _cmd_characterize,
+    "export": _cmd_export,
+    "analyze": _cmd_analyze,
+    "compensation": _cmd_compensation,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

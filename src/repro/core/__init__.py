@@ -1,0 +1,88 @@
+"""The paper's contribution: collection, distillation, modulation."""
+
+from .collection import (
+    CircularTraceBuffer,
+    CollectionDaemon,
+    PacketTracer,
+    TracePseudoDevice,
+    trace_collection_run,
+)
+from .compensation import CompensationMeasurement, measure_modulation_network
+from .delayline import DelaylineSocket, wrap_rpc_client
+from .distill import DistillationResult, Distiller, ParameterEstimate
+from .export import to_mahimahi_commands, to_mahimahi_trace, to_netem_script
+from .oneway import (
+    AsymmetricDistillationResult,
+    AsymmetricModulationLayer,
+    OneWayDistiller,
+    install_asymmetric_modulation,
+)
+from .modulator import (
+    ModulationDaemon,
+    ModulationLayer,
+    ReplayFeedDevice,
+    install_modulation,
+)
+from .replay import QualityTuple, ReplayTrace
+from .synthetic import (
+    constant_trace,
+    impulse_trace,
+    piecewise_trace,
+    slow_network_trace,
+    step_trace,
+    wavelan_like_trace,
+)
+from .traceformat import (
+    DeviceStatusRecord,
+    LostRecordsRecord,
+    PacketRecord,
+    TraceReader,
+    TraceWriter,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    save_trace,
+)
+
+__all__ = [
+    "AsymmetricDistillationResult",
+    "AsymmetricModulationLayer",
+    "OneWayDistiller",
+    "install_asymmetric_modulation",
+    "CircularTraceBuffer",
+    "CollectionDaemon",
+    "DelaylineSocket",
+    "to_mahimahi_commands",
+    "to_mahimahi_trace",
+    "to_netem_script",
+    "wrap_rpc_client",
+    "CompensationMeasurement",
+    "DeviceStatusRecord",
+    "DistillationResult",
+    "Distiller",
+    "LostRecordsRecord",
+    "ModulationDaemon",
+    "ModulationLayer",
+    "PacketRecord",
+    "PacketTracer",
+    "ParameterEstimate",
+    "QualityTuple",
+    "ReplayFeedDevice",
+    "ReplayTrace",
+    "TracePseudoDevice",
+    "TraceReader",
+    "TraceWriter",
+    "constant_trace",
+    "dumps_trace",
+    "impulse_trace",
+    "install_modulation",
+    "load_trace",
+    "loads_trace",
+    "measure_modulation_network",
+    "piecewise_trace",
+    "save_trace",
+    "slow_network_trace",
+    "step_trace",
+    "trace_collection_run",
+    "wavelan_like_trace",
+]

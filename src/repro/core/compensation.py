@@ -1,0 +1,61 @@
+"""Delay compensation measurement (§3.3, Figure 1).
+
+Because the unified delay queue sits at an endpoint, inbound traffic
+pays the physical network's bottleneck cost *and* the emulated one,
+while outbound traffic's emulated spacing subsumes the physical cost.
+The fix: measure the modulating network once — with the very same
+ping/collection/distillation tools — and subtract its long-term average
+bottleneck per-byte cost from the replay trace's ``Vb`` for inbound
+packets.
+
+The measurement is a property of the modulation testbed only; it is
+independent of whatever network is being emulated (the paper verifies
+this with a much slower synthetic trace, and
+``benchmarks/bench_fig1_compensation.py`` repeats that check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.ping import ModifiedPing
+from ..hosts.worlds import ModulationWorld, SERVER_ADDR
+from .collection import trace_collection_run
+from .distill import DistillationResult, Distiller
+
+
+@dataclass
+class CompensationMeasurement:
+    """Measured characteristics of the modulating (physical) network."""
+
+    vb: float          # long-term average bottleneck per-byte cost (s/byte)
+    latency: float     # long-term average one-way latency (s)
+    distillation: DistillationResult
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return 8.0 / self.vb if self.vb > 0 else float("inf")
+
+
+def measure_modulation_network(duration: float = 30.0, seed: int = 1729,
+                               ethernet_bandwidth: float = 10e6
+                               ) -> CompensationMeasurement:
+    """Measure the isolated Ethernet testbed's bottleneck cost.
+
+    Runs the modified ping workload over a pristine
+    :class:`~repro.hosts.worlds.ModulationWorld` (no modulation layer),
+    collects a trace at the laptop, distills it, and averages ``Vb``.
+    This need happen only once per testbed.
+    """
+    world = ModulationWorld(seed=seed, ethernet_bandwidth=ethernet_bandwidth)
+    daemon = trace_collection_run(world.laptop, world.laptop_device)
+    ping = ModifiedPing(world.laptop, SERVER_ADDR)
+    world.laptop.spawn(ping.run(duration), name="ping")
+    world.run(until=duration + 2.0)
+
+    result = Distiller().distill(daemon.records, name="modulating-network")
+    return CompensationMeasurement(
+        vb=result.replay.mean_bottleneck_cost(),
+        latency=result.replay.mean_latency(),
+        distillation=result,
+    )

@@ -1,0 +1,121 @@
+"""A Delayline-style user-level emulation wrapper (§2.3 contrast).
+
+The paper positions trace modulation against user-level emulation
+libraries (Delayline, RPC2's ``slow``): *"such libraries have two
+shortcomings: they require recompilation or relinking of applications,
+and they only influence traffic to or from the applications in
+question."*
+
+This module implements exactly such a library — a wrapper around one
+UDP socket that delays and drops that socket's datagrams according to a
+replay trace — so the shortcoming can be demonstrated quantitatively
+(see ``tests/test_delayline.py`` and the transparency ablation): the
+wrapped application sees the emulated network while every other flow
+on the same host still sees the raw LAN.  The kernel modulation layer,
+by contrast, covers *all* traffic with zero application changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Tuple
+
+from ..protocols.udp import UdpSocket
+from ..sim import Signal
+from .replay import QualityTuple, ReplayTrace
+
+
+class DelaylineSocket:
+    """A UDP socket relinked against the emulation library.
+
+    Outbound datagrams are held for the model's one-way delay before
+    really being sent; inbound datagrams are held after arrival.  Drops
+    are applied per direction.  Only traffic through *this* socket is
+    affected — that is the point being demonstrated.
+    """
+
+    def __init__(self, sock: UdpSocket, trace: ReplayTrace, rng,
+                 loop: bool = True):
+        self._sock = sock
+        self.trace = trace
+        self.rng = rng
+        self.loop = loop
+        self._sim = sock.proto.sim
+        self._t0: Optional[float] = None
+        self._inbox = []
+        self._inbox_signal = Signal(self._sim, "delayline.inbox")
+        self._sim.schedule(0.0, self._pump_start)
+        self.delayed_out = 0
+        self.delayed_in = 0
+        self.dropped_out = 0
+        self.dropped_in = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self._sock.port
+
+    @property
+    def address(self) -> str:
+        return self._sock.address
+
+    def _tuple_now(self) -> QualityTuple:
+        if self._t0 is None:
+            self._t0 = self._sim.now
+        return self.trace.tuple_at(self._sim.now - self._t0, loop=self.loop)
+
+    def _delay_for(self, nbytes: int) -> float:
+        tup = self._tuple_now()
+        return tup.one_way_delay(nbytes)
+
+    def _dropped(self) -> bool:
+        return self.rng.random() < self._tuple_now().L
+
+    # ------------------------------------------------------------------
+    def send_to(self, dst_addr: str, dst_port: int, payload: Any = None,
+                payload_bytes: int = 0) -> None:
+        if self._dropped():
+            self.dropped_out += 1
+            return
+        self.delayed_out += 1
+        self._sim.schedule(self._delay_for(payload_bytes),
+                           self._sock.send_to, dst_addr, dst_port,
+                           payload, payload_bytes)
+
+    def recv(self) -> Generator[Any, Any, Tuple[str, int, Any, int]]:
+        while not self._inbox:
+            yield self._inbox_signal
+        return self._inbox.pop(0)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    # ------------------------------------------------------------------
+    def _pump_start(self) -> None:
+        from ..sim import spawn
+
+        spawn(self._sim, self._pump(), name="delayline-pump")
+
+    def _pump(self):
+        """Drain the real socket, re-queueing datagrams after delay."""
+        while not self._sock.closed:
+            datagram = yield from self._sock.recv()
+            if self._dropped():
+                self.dropped_in += 1
+                continue
+            self.delayed_in += 1
+            self._sim.schedule(self._delay_for(datagram[3]),
+                               self._deliver, datagram)
+
+    def _deliver(self, datagram) -> None:
+        self._inbox.append(datagram)
+        self._inbox_signal.fire()
+
+
+def wrap_rpc_client(rpc_client, trace: ReplayTrace, rng,
+                    loop: bool = True) -> DelaylineSocket:
+    """Relink an :class:`repro.protocols.rpc.RpcClient` against the
+    emulation library by swapping its socket — the "recompilation"
+    the paper speaks of, done monkeypatch-style."""
+    wrapped = DelaylineSocket(rpc_client.sock, trace, rng, loop=loop)
+    rpc_client.sock = wrapped
+    return wrapped

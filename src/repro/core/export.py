@@ -1,0 +1,115 @@
+"""Exporting replay traces to modern emulator formats.
+
+Trace modulation is the direct ancestor of Linux ``netem`` and of
+Mahimahi's record-and-replay shells.  These exporters translate a
+distilled replay trace into their native configuration so a trace
+collected (or synthesized) here can drive a present-day testbed:
+
+* :func:`to_netem_script` — a shell script that steps ``tc qdisc ...
+  netem rate/delay/loss`` through the trace's tuples, sleeping ``d``
+  seconds between steps;
+* :func:`to_mahimahi_trace` — an ``mm-link`` packet-delivery trace:
+  one line per delivery opportunity (milliseconds), MTU-sized, at each
+  tuple's bottleneck rate;
+* :func:`to_mahimahi_commands` — the matching ``mm-delay``/``mm-loss``
+  invocation for the trace's average latency and loss.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .replay import QualityTuple, ReplayTrace
+
+MTU_BYTES = 1500
+
+
+def _tuple_netem_args(tup: QualityTuple) -> str:
+    """netem arguments for one quality tuple.
+
+    netem's ``rate`` models the bottleneck (Vb); its ``delay`` takes
+    the latency plus the residual cost of an MTU-sized packet (netem
+    cannot charge per-byte residual costs, so we bound with the MTU).
+    """
+    rate_kbit = max(1.0, tup.bottleneck_bandwidth_bps() / 1000.0)
+    if math.isinf(rate_kbit):
+        rate_kbit = 10_000_000.0
+    delay_ms = (tup.F + MTU_BYTES * tup.Vr) * 1000.0
+    loss_pct = tup.L * 100.0
+    args = f"rate {rate_kbit:.0f}kbit delay {delay_ms:.2f}ms"
+    if loss_pct > 0.0:
+        args += f" loss {loss_pct:.3f}%"
+    return args
+
+
+def to_netem_script(trace: ReplayTrace, dev: str = "eth0",
+                    loop: bool = False) -> str:
+    """A POSIX shell script stepping netem through the replay trace."""
+    lines: List[str] = [
+        "#!/bin/sh",
+        f"# Generated from replay trace {trace.name!r}: "
+        f"{len(trace)} tuples, {trace.duration:.0f}s.",
+        "# Requires root and the sch_netem module.",
+        f"DEV=\"${{1:-{dev}}}\"",
+        "",
+        f"tc qdisc add dev \"$DEV\" root netem "
+        f"{_tuple_netem_args(trace.tuples[0])}",
+        "trap 'tc qdisc del dev \"$DEV\" root; exit 0' INT TERM",
+        "",
+    ]
+    body: List[str] = []
+    for i, tup in enumerate(trace.tuples):
+        if i > 0:
+            body.append(f"tc qdisc change dev \"$DEV\" root netem "
+                        f"{_tuple_netem_args(tup)}")
+        body.append(f"sleep {tup.d:g}")
+    if loop:
+        lines.append("while true; do")
+        lines.extend("  " + cmd for cmd in body)
+        lines.append("  tc qdisc change dev \"$DEV\" root netem "
+                     + _tuple_netem_args(trace.tuples[0]))
+        lines.append("done")
+    else:
+        lines.extend(body)
+        lines.append("tc qdisc del dev \"$DEV\" root")
+    return "\n".join(lines) + "\n"
+
+
+def to_mahimahi_trace(trace: ReplayTrace, mtu: int = MTU_BYTES) -> str:
+    """An ``mm-link`` delivery-opportunity trace.
+
+    Each output line is a millisecond timestamp at which one MTU-sized
+    packet may be delivered; the inter-line spacing realizes each
+    tuple's bottleneck rate.
+    """
+    lines: List[str] = []
+    now_ms = 0.0
+    for tup in trace.tuples:
+        end_ms = now_ms + tup.d * 1000.0
+        if tup.Vb <= 0:
+            # Effectively infinite rate: one opportunity per ms.
+            step_ms = 1.0
+        else:
+            step_ms = mtu * tup.Vb * 1000.0
+        t = now_ms
+        while t < end_ms:
+            lines.append(str(int(round(t)) or 1))
+            t += step_ms
+        now_ms = end_ms
+    # mm-link requires a non-empty, nondecreasing trace.
+    if not lines:
+        lines = ["1"]
+    return "\n".join(lines) + "\n"
+
+
+def to_mahimahi_commands(trace: ReplayTrace,
+                         trace_filename: str = "replay.up") -> str:
+    """The mm-delay/mm-loss/mm-link pipeline for this trace's averages."""
+    delay_ms = max(0, int(round(trace.mean_latency() * 1000.0)))
+    loss = trace.mean_loss()
+    cmd = f"mm-delay {delay_ms}"
+    if loss > 0.0:
+        cmd += f" mm-loss uplink {loss:.4f} mm-loss downlink {loss:.4f}"
+    cmd += f" mm-link {trace_filename} {trace_filename}"
+    return cmd + "\n"

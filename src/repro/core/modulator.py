@@ -1,0 +1,268 @@
+"""The modulation phase: enforcing a replay trace on live traffic (§3.3).
+
+Two components, exactly as in the paper:
+
+* a **user-level daemon** (:class:`ModulationDaemon`) that feeds network
+  quality tuples through a pseudo-device backed by a fixed-size
+  in-kernel buffer, blocking when the buffer is full, optionally
+  looping over the trace until interrupted;
+* an **in-kernel modulation layer** (:class:`ModulationLayer`) spliced
+  between IP and the link device, which delays and drops *all* inbound
+  and outbound packets according to the current tuple.
+
+Faithfulness notes
+------------------
+* **Unified delay queue.**  Inbound and outbound packets share a single
+  bottleneck horizon, so they interfere with one another just as they
+  would on a real half-duplex wireless link.
+* **Drop after bottleneck.**  A dropped packet still occupies the
+  bottleneck for its serialization time before being discarded.
+* **Scheduling granularity.**  Releases are scheduled on the host
+  kernel's clock-tick grid (10 ms by default); packets whose computed
+  delay is under half a tick are sent immediately.  This reproduces the
+  paper's under-delay artifact for short, sparse messages (§5.4).
+* **Endpoint placement asymmetry + delay compensation.**  An endpoint
+  delay queue cannot overlap the modulating LAN's serialization of an
+  inbound packet with the bottleneck service of its predecessor: by the
+  time the packet reaches the queue, the wire time has already been
+  paid serially.  Outbound packets overlap these costs naturally (the
+  NIC transmits one packet while the queue services the next).  Inbound
+  packets therefore pay the LAN's per-byte cost *in addition to* the
+  emulated bottleneck — exactly the asymmetry Figure 1 shows — and
+  delay compensation subtracts the measured long-term ``Vb`` of the
+  modulating network from inbound packets to cancel it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from ..hosts.host import Host
+from ..hosts.kernel import PseudoDevice
+from ..net.device import NetworkDevice
+from ..net.packet import Packet
+from ..sim import Signal, Timeout
+from .replay import QualityTuple, ReplayTrace
+
+
+class ReplayFeedDevice(PseudoDevice):
+    """/dev/modulate: a bounded in-kernel buffer of quality tuples."""
+
+    def __init__(self, host: Host, capacity: int = 64, name: str = "mod0"):
+        super().__init__(name)
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._tuples: List[QualityTuple] = []
+        self.space_signal = Signal(host.sim, f"{name}.space")
+        self.tuples_written = 0
+        self.tuples_consumed = 0
+        self.underruns = 0
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._tuples)
+
+    def write(self, records: List[QualityTuple]) -> int:
+        """Accept as many tuples as fit; returns the count accepted."""
+        if not self.is_open:
+            raise RuntimeError(f"{self.name}: not open")
+        accepted = records[: self.free_slots]
+        self._tuples.extend(accepted)
+        self.tuples_written += len(accepted)
+        return len(accepted)
+
+    def read(self, max_records: int = 0) -> List[QualityTuple]:
+        limit = max_records if max_records > 0 else len(self._tuples)
+        out = self._tuples[:limit]
+        del self._tuples[:limit]
+        return out
+
+    def next_tuple(self) -> Optional[QualityTuple]:
+        """Kernel side: consume the next tuple (None if starved)."""
+        if not self._tuples:
+            self.underruns += 1
+            return None
+        tup = self._tuples.pop(0)
+        self.tuples_consumed += 1
+        self.space_signal.fire()
+        return tup
+
+
+class ModulationDaemon:
+    """Feeds a replay trace into the kernel buffer, blocking when full."""
+
+    def __init__(self, host: Host, trace: ReplayTrace,
+                 device_name: str = "mod0", loop: bool = False,
+                 batch: int = 16):
+        self.host = host
+        self.trace = trace
+        self.device_name = device_name
+        self.loop_forever = loop
+        self.batch = batch
+        self._stop = False
+        self.passes_completed = 0
+
+    def loop(self) -> Generator[Any, Any, None]:
+        device = self.host.kernel.device(self.device_name)
+        if not device.is_open:
+            device.open()
+        while not self._stop:
+            index = 0
+            tuples = self.trace.tuples
+            while index < len(tuples) and not self._stop:
+                chunk = tuples[index:index + self.batch]
+                written = device.write(chunk)
+                index += written
+                if written < len(chunk):
+                    yield device.space_signal  # buffer full: block
+            self.passes_completed += 1
+            if not self.loop_forever:
+                break
+        # Leave the device open: the kernel keeps draining what remains.
+
+    def stop(self) -> None:
+        self._stop = True
+
+
+class ModulationLayer:
+    """Delays and drops packets according to the current quality tuple."""
+
+    def __init__(self, host: Host, device: NetworkDevice,
+                 feed: ReplayFeedDevice, rng,
+                 compensation_vb: float = 0.0,
+                 inbound_wire_vb: Optional[float] = None):
+        self.host = host
+        self.sim = host.sim
+        self.device = device
+        self.feed = feed
+        self.rng = rng
+        self.compensation_vb = compensation_vb
+        if inbound_wire_vb is None:
+            inbound_wire_vb = self._wire_cost_of(device)
+        self.inbound_wire_vb = inbound_wire_vb
+        self._current: Optional[QualityTuple] = None
+        self._expires = 0.0
+        self._bottleneck_free = 0.0
+        self._installed = False
+        self.out_packets = 0
+        self.in_packets = 0
+        self.out_dropped = 0
+        self.in_dropped = 0
+        self.sent_immediately = 0
+        self.delay_sum = 0.0
+
+    @staticmethod
+    def _wire_cost_of(device: NetworkDevice) -> float:
+        """Per-byte serialization cost of the device's medium, if known."""
+        segment = getattr(device, "segment", None)
+        if segment is not None and hasattr(segment, "per_byte_cost"):
+            return segment.per_byte_cost()
+        link = getattr(device, "link", None)
+        if link is not None and getattr(link, "bandwidth_bps", 0):
+            return 8.0 / link.bandwidth_bps
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Splice into the host stack between IP and the link device."""
+        if self._installed:
+            raise RuntimeError("modulation layer already installed")
+        self.host.ip.outbound_filter = self._outbound
+        self.host.ip.inbound_filter = self._inbound
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Remove the filters, restoring an unmodulated stack."""
+        if self._installed:
+            self.host.ip.outbound_filter = None
+            self.host.ip.inbound_filter = None
+            self._installed = False
+
+    # ------------------------------------------------------------------
+    def _current_tuple(self) -> Optional[QualityTuple]:
+        now = self.sim.now
+        if self._current is None:
+            tup = self.feed.next_tuple()
+            if tup is None:
+                return None
+            self._current = tup
+            self._expires = now + tup.d
+            return tup
+        while now >= self._expires:
+            tup = self.feed.next_tuple()
+            if tup is None:
+                # Starved: hold the last tuple (the daemon either
+                # finished a single pass or has fallen behind).
+                self._expires = now + self._current.d
+                break
+            self._current = tup
+            self._expires += tup.d
+        return self._current
+
+    # ------------------------------------------------------------------
+    def _outbound(self, packet: Packet, device: NetworkDevice,
+                  forward: Callable[[Packet], None]) -> None:
+        self.out_packets += 1
+        dropped = self._modulate(packet, forward, inbound=False)
+        if dropped:
+            self.out_dropped += 1
+
+    def _inbound(self, packet: Packet,
+                 deliver: Callable[[Packet], None]) -> None:
+        self.in_packets += 1
+        dropped = self._modulate(packet, deliver, inbound=True)
+        if dropped:
+            self.in_dropped += 1
+
+    def _modulate(self, packet: Packet, forward: Callable[[Packet], None],
+                  inbound: bool) -> bool:
+        """Apply the model to one packet; returns True if dropped."""
+        tup = self._current_tuple()
+        if tup is None:
+            forward(packet)  # no tuples yet: pass through unmodulated
+            return False
+        now = self.sim.now
+        size = packet.ip_size
+        vb = tup.Vb
+        if inbound:
+            # The wire's serialization of this packet finished before it
+            # reached the delay queue, so it cannot overlap the emulated
+            # bottleneck: the packet pays the LAN cost again here unless
+            # compensation cancels it (Figure 1).
+            vb = max(0.0, vb + self.inbound_wire_vb - self.compensation_vb)
+        start = max(now, self._bottleneck_free)
+        depart = start + size * vb
+        self._bottleneck_free = depart
+        # Losses strike only after the bottleneck has been traversed.
+        if self.rng.random() < tup.L:
+            return True
+        deliver_at = depart + tup.F + size * tup.Vr
+        delay = deliver_at - now
+        self.delay_sum += delay
+        if delay < self.host.kernel.tick_resolution / 2.0:
+            self.sent_immediately += 1
+        self.host.kernel.schedule_rounded(delay, forward, packet)
+        return False
+
+
+def install_modulation(host: Host, device: NetworkDevice, trace: ReplayTrace,
+                       rng, compensation_vb: float = 0.0,
+                       loop: bool = False, buffer_capacity: int = 64,
+                       inbound_wire_vb: Optional[float] = None
+                       ) -> ModulationLayer:
+    """Wire up feed device + daemon + modulation layer on ``host``.
+
+    Returns the installed :class:`ModulationLayer`; the daemon process
+    is already running.
+    """
+    feed = ReplayFeedDevice(host, capacity=buffer_capacity)
+    host.kernel.register_device(feed)
+    feed.open()
+    layer = ModulationLayer(host, device, feed, rng,
+                            compensation_vb=compensation_vb,
+                            inbound_wire_vb=inbound_wire_vb)
+    layer.install()
+    daemon = ModulationDaemon(host, trace, device_name=feed.name, loop=loop)
+    host.spawn(daemon.loop(), name="modulation-daemon")
+    return layer

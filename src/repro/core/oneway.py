@@ -1,0 +1,352 @@
+"""One-way distillation and asymmetric modulation (§6 extension).
+
+The paper's conclusion: *"fine-grain, low-drift, synchronized clocks
+... would enable us to eliminate our assumption of network symmetry and
+hence allow us to use one-way rather than round-trip measurements"* —
+the fix for the Flagstaff FTP divergence (§5.3).  This module builds
+that extension:
+
+* **Two-ended collection** — packet tracers run on *both* endpoints;
+  records are matched by ICMP sequence number, giving one-way delays
+  ``t_arrive − t_send`` across the two hosts' clocks.  This is only
+  meaningful when those clocks are synchronized and low-drift (the
+  laptop's default simulated drift visibly corrupts the estimates; see
+  ``tests/test_oneway.py``).
+
+* **Per-direction distillation** — the same modified-ping workload
+  yields each direction's parameters independently and *cleanly*:
+
+  - uplink: the small and first large ECHO give ``F_up``/``V_up``
+    (one-way analogues of Eqs. 5-6); the two back-to-back large ECHOs
+    arrive spaced by exactly ``s2·Vb_up`` (Eq. 8's logic without the
+    return-path contention that inflates round-trip estimates);
+  - downlink: the small and first large ECHOREPLY give
+    ``F_down``/``V_down``; ``Vb_down`` comes from reply-arrival
+    spacing when it exceeds the departure spacing (queueing observed),
+    otherwise from ``V_down`` less the uplink's residual cost (the
+    residual path is the shared wired segment);
+  - loss is counted per direction by sequence number — no square
+    roots, no symmetry assumption (Eq. 10 reduces to a direct count).
+
+* **Asymmetric modulation** — a modulation layer driven by *two*
+  replay traces, one per direction, over the same unified bottleneck
+  horizon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..hosts.host import Host
+from ..net.device import NetworkDevice
+from ..net.packet import Packet
+from .distill import ICMP_ECHO, ICMP_ECHOREPLY
+from .modulator import ModulationDaemon, ModulationLayer, ReplayFeedDevice
+from .replay import QualityTuple, ReplayTrace
+from .traceformat import DIR_IN, DIR_OUT, PacketRecord
+
+
+@dataclass
+class OneWayEstimate:
+    """Per-direction instantaneous parameters from one packet group."""
+
+    time: float
+    F: float
+    Vb: float
+    Vr: float
+
+
+@dataclass
+class AsymmetricDistillationResult:
+    """Two replay traces — uplink (outbound) and downlink (inbound)."""
+
+    up: ReplayTrace
+    down: ReplayTrace
+    groups_used: int
+    groups_skipped: int
+    up_estimates: List[OneWayEstimate] = field(default_factory=list)
+    down_estimates: List[OneWayEstimate] = field(default_factory=list)
+
+    def asymmetry_ratio(self) -> float:
+        """Mean uplink loss over mean downlink loss (inf if down is 0)."""
+        down = self.down.mean_loss()
+        if down == 0.0:
+            return math.inf if self.up.mean_loss() > 0 else 1.0
+        return self.up.mean_loss() / down
+
+
+class OneWayDistiller:
+    """Distills matched two-ended records into per-direction traces."""
+
+    def __init__(self, window_width: float = 5.0, step: float = 1.0,
+                 ident: Optional[int] = None):
+        if window_width <= 0 or step <= 0:
+            raise ValueError("window width and step must be positive")
+        self.window_width = window_width
+        self.step = step
+        self.ident = ident
+
+    # ------------------------------------------------------------------
+    def distill(self, mobile_records: Sequence, remote_records: Sequence,
+                name: str = "") -> AsymmetricDistillationResult:
+        """``mobile_records`` from the laptop, ``remote_records`` from
+        the server; timestamps must come from synchronized clocks."""
+        m_out, m_in = self._icmp_by_direction(mobile_records)
+        r_out, r_in = self._icmp_by_direction(remote_records)
+        if not m_out:
+            raise ValueError("mobile trace contains no outgoing echoes")
+
+        t0 = min(rec.timestamp for rec in m_out)
+        sizes = sorted({rec.size for rec in m_out})
+        if len(sizes) < 2:
+            raise ValueError("ping workload needs two packet sizes")
+        s1, s2 = sizes[0], sizes[-1]
+
+        echo_sent = {rec.seq: rec for rec in m_out
+                     if rec.icmp_type == ICMP_ECHO}
+        echo_arrived = {rec.seq: rec for rec in r_in
+                        if rec.icmp_type == ICMP_ECHO}
+        reply_sent = {rec.seq: rec for rec in r_out
+                      if rec.icmp_type == ICMP_ECHOREPLY}
+        reply_arrived = {rec.seq: rec for rec in m_in
+                         if rec.icmp_type == ICMP_ECHOREPLY}
+
+        up_est, down_est, used, skipped = self._estimate_groups(
+            echo_sent, echo_arrived, reply_sent, reply_arrived, s1, s2, t0)
+        if not up_est or not down_est:
+            raise ValueError("no usable packet groups; cannot distill")
+
+        duration = max(rec.timestamp for rec in m_out) - t0
+        up = self._window(up_est, echo_sent, echo_arrived, t0, duration)
+        down = self._window(down_est, reply_sent, reply_arrived, t0, duration)
+        return AsymmetricDistillationResult(
+            up=ReplayTrace(up, name=f"{name}-up"),
+            down=ReplayTrace(down, name=f"{name}-down"),
+            groups_used=used, groups_skipped=skipped,
+            up_estimates=up_est, down_estimates=down_est)
+
+    # ------------------------------------------------------------------
+    def _icmp_by_direction(self, records: Sequence
+                           ) -> Tuple[List[PacketRecord], List[PacketRecord]]:
+        out, inc = [], []
+        for rec in records:
+            if not isinstance(rec, PacketRecord) or rec.icmp_type < 0:
+                continue
+            if self.ident is not None and rec.ident != self.ident:
+                continue
+            (out if rec.direction == DIR_OUT else inc).append(rec)
+        return out, inc
+
+    # ------------------------------------------------------------------
+    def _estimate_groups(self, echo_sent, echo_arrived, reply_sent,
+                         reply_arrived, s1, s2, t0):
+        groups = sorted({seq // 3 for seq in echo_sent})
+        up_est: List[OneWayEstimate] = []
+        down_est: List[OneWayEstimate] = []
+        used = skipped = 0
+        for g in groups:
+            seqs = (3 * g, 3 * g + 1, 3 * g + 2)
+            if not all(seq in echo_sent and seq in echo_arrived
+                       and seq in reply_sent and seq in reply_arrived
+                       for seq in seqs):
+                skipped += 1
+                continue
+            when = echo_sent[seqs[0]].timestamp - t0
+            up = self._solve_uplink(
+                send=[echo_sent[s].timestamp for s in seqs],
+                arrive=[echo_arrived[s].timestamp for s in seqs],
+                s1=s1, s2=s2, when=when)
+            down = None
+            if up is not None:
+                down = self._solve_downlink(
+                    send=[reply_sent[s].timestamp for s in seqs],
+                    arrive=[reply_arrived[s].timestamp for s in seqs],
+                    s1=s1, s2=s2, when=when, peer_residual=up.Vr)
+            if up is None or down is None:
+                skipped += 1
+                continue
+            up_est.append(up)
+            down_est.append(down)
+            used += 1
+        return up_est, down_est, used, skipped
+
+    def _solve_uplink(self, send: List[float], arrive: List[float],
+                      s1: int, s2: int,
+                      when: float) -> Optional[OneWayEstimate]:
+        """Uplink: both the small and the first large probe travel an
+        idle channel, so the size/delay slope gives V cleanly; the
+        back-to-back pair's arrival spacing gives Vb (the one-way
+        analogue of Eq. 8, minus the return-path contention)."""
+        d1 = arrive[0] - send[0]
+        d2 = arrive[1] - send[1]
+        if d1 <= 0 or d2 <= 0:
+            return None                   # clock skew artifact
+        V = (d2 - d1) / (s2 - s1)
+        F = d1 - s1 * V
+        arr_spacing = arrive[2] - arrive[1]
+        if arr_spacing <= 0:
+            return None
+        Vb = arr_spacing / s2
+        # The spacing-derived bottleneck cost includes per-frame jitter
+        # the slope-derived V may not: a slightly negative residual is
+        # measurement noise, not an inconsistent group.
+        Vr = max(0.0, V - Vb)
+        if F < -1e-9 * max(abs(V), 1.0) or Vb <= 0.0:
+            return None
+        return OneWayEstimate(time=when, F=max(0.0, F), Vb=Vb, Vr=Vr)
+
+    def _solve_downlink(self, send: List[float], arrive: List[float],
+                        s1: int, s2: int, when: float,
+                        peer_residual: float) -> Optional[OneWayEstimate]:
+        """Downlink: the large replies contend with the still-arriving
+        uplink probes on the half-duplex medium, so their size/delay
+        slope is contaminated.  Only two clean observables remain: the
+        small reply's one-way delay (nothing else was in flight) and
+        the large replies' inter-arrival spacing, which equals
+        max(departure spacing, s2*Vb_down) and therefore bounds —
+        and, on any channel no faster downstream than up, equals —
+        the bottleneck cost.  The residual cost is the shared wired
+        segment, taken from the uplink estimate."""
+        d1 = arrive[0] - send[0]
+        if d1 <= 0:
+            return None
+        arr_spacing = arrive[2] - arrive[1]
+        if arr_spacing <= 0:
+            return None
+        Vb = arr_spacing / s2
+        Vr = max(0.0, peer_residual)
+        V = Vb + Vr
+        F = d1 - s1 * V
+        if F < -1e-9:
+            F = 0.0
+        return OneWayEstimate(time=when, F=max(0.0, F), Vb=Vb, Vr=Vr)
+
+    # ------------------------------------------------------------------
+    def _window(self, estimates: List[OneWayEstimate],
+                sent: Dict[int, PacketRecord],
+                arrived: Dict[int, PacketRecord],
+                t0: float, duration: float) -> List[QualityTuple]:
+        sent_times = sorted((rec.timestamp - t0, seq)
+                            for seq, rec in sent.items())
+        arrived_seqs = set(arrived)
+        tuples: List[QualityTuple] = []
+        prev: Optional[QualityTuple] = None
+        steps = max(1, int(math.ceil(duration / self.step)))
+        for k in range(steps):
+            center = (k + 0.5) * self.step
+            w_lo = center - self.window_width / 2.0
+            w_hi = center + self.window_width / 2.0
+            in_window = [e for e in estimates if w_lo <= e.time < w_hi]
+            if in_window:
+                n = len(in_window)
+                F = sum(e.F for e in in_window) / n
+                Vb = sum(e.Vb for e in in_window) / n
+                Vr = sum(e.Vr for e in in_window) / n
+            elif prev is not None:
+                F, Vb, Vr = prev.F, prev.Vb, prev.Vr
+            else:
+                first = estimates[0]
+                F, Vb, Vr = first.F, first.Vb, first.Vr
+            window_seqs = [seq for t, seq in sent_times if w_lo <= t < w_hi]
+            if window_seqs:
+                lost = sum(1 for seq in window_seqs
+                           if seq not in arrived_seqs)
+                L = lost / len(window_seqs)   # direct one-way count
+            else:
+                L = prev.L if prev is not None else 0.0
+            tup = QualityTuple(d=self.step, F=max(0.0, F), Vb=max(0.0, Vb),
+                               Vr=max(0.0, Vr), L=min(1.0, max(0.0, L)))
+            tuples.append(tup)
+            prev = tup
+        return tuples
+
+
+# ======================================================================
+# Asymmetric modulation
+# ======================================================================
+class AsymmetricModulationLayer(ModulationLayer):
+    """A modulation layer driven by separate up/down replay traces.
+
+    The bottleneck horizon stays unified (the emulated medium is still
+    half-duplex); only the parameters differ per direction.  The
+    inbound wire-cost/compensation handling is inherited.
+    """
+
+    def __init__(self, host: Host, device: NetworkDevice,
+                 feed_up: ReplayFeedDevice, feed_down: ReplayFeedDevice,
+                 rng, compensation_vb: float = 0.0,
+                 inbound_wire_vb: Optional[float] = None):
+        super().__init__(host, device, feed_up, rng,
+                         compensation_vb=compensation_vb,
+                         inbound_wire_vb=inbound_wire_vb)
+        self.feed_down = feed_down
+        self._current_down: Optional[QualityTuple] = None
+        self._expires_down = 0.0
+
+    def _down_tuple(self) -> Optional[QualityTuple]:
+        now = self.sim.now
+        if self._current_down is None:
+            tup = self.feed_down.next_tuple()
+            if tup is None:
+                return None
+            self._current_down = tup
+            self._expires_down = now + tup.d
+            return tup
+        while now >= self._expires_down:
+            tup = self.feed_down.next_tuple()
+            if tup is None:
+                self._expires_down = now + self._current_down.d
+                break
+            self._current_down = tup
+            self._expires_down += tup.d
+        return self._current_down
+
+    def _modulate(self, packet: Packet, forward: Callable[[Packet], None],
+                  inbound: bool) -> bool:
+        tup = self._down_tuple() if inbound else self._current_tuple()
+        if tup is None:
+            forward(packet)
+            return False
+        now = self.sim.now
+        size = packet.ip_size
+        vb = tup.Vb
+        if inbound:
+            vb = max(0.0, vb + self.inbound_wire_vb - self.compensation_vb)
+        start = max(now, self._bottleneck_free)
+        depart = start + size * vb
+        self._bottleneck_free = depart
+        if self.rng.random() < tup.L:
+            return True
+        deliver_at = depart + tup.F + size * tup.Vr
+        delay = deliver_at - now
+        self.delay_sum += delay
+        if delay < self.host.kernel.tick_resolution / 2.0:
+            self.sent_immediately += 1
+        self.host.kernel.schedule_rounded(delay, forward, packet)
+        return False
+
+
+def install_asymmetric_modulation(host: Host, device: NetworkDevice,
+                                  up: ReplayTrace, down: ReplayTrace,
+                                  rng, compensation_vb: float = 0.0,
+                                  loop: bool = False,
+                                  buffer_capacity: int = 64
+                                  ) -> AsymmetricModulationLayer:
+    """Wire up two feed devices + daemons + the asymmetric layer."""
+    feed_up = ReplayFeedDevice(host, capacity=buffer_capacity, name="modup0")
+    feed_down = ReplayFeedDevice(host, capacity=buffer_capacity,
+                                 name="moddn0")
+    host.kernel.register_device(feed_up)
+    host.kernel.register_device(feed_down)
+    feed_up.open()
+    feed_down.open()
+    layer = AsymmetricModulationLayer(host, device, feed_up, feed_down, rng,
+                                      compensation_vb=compensation_vb)
+    layer.install()
+    for feed, trace in ((feed_up, up), (feed_down, down)):
+        daemon = ModulationDaemon(host, trace, device_name=feed.name,
+                                  loop=loop)
+        host.spawn(daemon.loop(), name=f"mod-daemon-{feed.name}")
+    return layer

@@ -1,0 +1,108 @@
+"""Synthetic replay traces (§6).
+
+Beyond replaying real networks, the paper points out that modulation
+with *synthetic* traces "can be used to generate characteristics that
+can only be approximated by actual networks" — step and impulse
+variations in bandwidth for stress-testing adaptive systems (their
+reference [14]).  These generators produce such traces, plus the
+WaveLAN-like constant trace used in Figure 1's compensation study.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .replay import QualityTuple, ReplayTrace
+
+
+def constant_trace(duration: float, latency: float, bandwidth_bps: float,
+                   loss: float = 0.0, residual_fraction: float = 0.1,
+                   step: float = 1.0, name: str = "constant") -> ReplayTrace:
+    """A trace with invariant behaviour.
+
+    ``residual_fraction`` splits the total per-byte cost between the
+    bottleneck (``Vb``) and the rest of the path (``Vr``).
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    total_v = 8.0 / bandwidth_bps
+    vr = total_v * residual_fraction
+    vb = total_v - vr
+    count = max(1, int(round(duration / step)))
+    return ReplayTrace(
+        (QualityTuple(d=step, F=latency, Vb=vb, Vr=vr, L=loss)
+         for _ in range(count)),
+        name=name,
+    )
+
+
+def wavelan_like_trace(duration: float = 120.0,
+                       name: str = "synthetic-wavelan") -> ReplayTrace:
+    """The Figure 1 modulating trace: performance close to a WaveLAN.
+
+    Nominal 2 Mb/s radio delivering ~1.5 Mb/s end-to-end with a few
+    milliseconds of latency and no loss (loss would confound the
+    compensation comparison).
+    """
+    return constant_trace(duration=duration, latency=3e-3,
+                          bandwidth_bps=1.5e6, loss=0.0, name=name)
+
+
+def slow_network_trace(duration: float = 120.0,
+                       name: str = "synthetic-slow") -> ReplayTrace:
+    """A much slower network (Figure 1's independence check)."""
+    return constant_trace(duration=duration, latency=20e-3,
+                          bandwidth_bps=256e3, loss=0.0, name=name)
+
+
+def step_trace(duration: float, period: float, latency: float,
+               low_bandwidth_bps: float, high_bandwidth_bps: float,
+               loss: float = 0.0, step: float = 1.0,
+               name: str = "step") -> ReplayTrace:
+    """Square-wave bandwidth alternating every ``period`` seconds."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+    tuples: List[QualityTuple] = []
+    t = 0.0
+    while t < duration:
+        high_phase = int(t / period) % 2 == 1
+        bw = high_bandwidth_bps if high_phase else low_bandwidth_bps
+        v = 8.0 / bw
+        tuples.append(QualityTuple(d=step, F=latency, Vb=v * 0.9, Vr=v * 0.1,
+                                   L=loss))
+        t += step
+    return ReplayTrace(tuples, name=name)
+
+
+def impulse_trace(duration: float, impulse_at: float, impulse_width: float,
+                  latency: float, base_bandwidth_bps: float,
+                  impulse_bandwidth_bps: float, loss: float = 0.0,
+                  step: float = 1.0, name: str = "impulse") -> ReplayTrace:
+    """A single bandwidth impulse on an otherwise constant network."""
+    tuples: List[QualityTuple] = []
+    t = 0.0
+    while t < duration:
+        in_impulse = impulse_at <= t < impulse_at + impulse_width
+        bw = impulse_bandwidth_bps if in_impulse else base_bandwidth_bps
+        v = 8.0 / bw
+        tuples.append(QualityTuple(d=step, F=latency, Vb=v * 0.9, Vr=v * 0.1,
+                                   L=loss))
+        t += step
+    return ReplayTrace(tuples, name=name)
+
+
+def piecewise_trace(segments: Sequence[Tuple[float, float, float, float]],
+                    step: float = 1.0, residual_fraction: float = 0.1,
+                    name: str = "piecewise") -> ReplayTrace:
+    """Build a trace from (duration, latency, bandwidth_bps, loss) segments."""
+    tuples: List[QualityTuple] = []
+    for duration, latency, bandwidth_bps, loss in segments:
+        total_v = 8.0 / bandwidth_bps
+        vr = total_v * residual_fraction
+        vb = total_v - vr
+        remaining = duration
+        while remaining > 1e-9:
+            d = min(step, remaining)
+            tuples.append(QualityTuple(d=d, F=latency, Vb=vb, Vr=vr, L=loss))
+            remaining -= d
+    return ReplayTrace(tuples, name=name)

@@ -1,0 +1,231 @@
+"""Self-descriptive trace file format.
+
+The paper defines a "flexible and extensible while remaining fully
+self-descriptive" trace format (§3.1, published as RFC 2041).  This
+module implements that idea: a trace file starts with a header that
+*describes the layout of every record type it contains* — field names,
+types and struct codes — so a reader can parse files containing record
+types it has never seen, skipping unknown ones by length.
+
+Record types used by the collection phase:
+
+* ``packet`` — one per traced packet: host-clock timestamp, direction,
+  protocol, wire size, addresses, and protocol-specific fields (ICMP
+  type/ident/seq and the measured round-trip time for ECHOREPLYs).
+* ``device_status`` — periodic snapshot of the wireless device's
+  signal level, signal quality and silence level.
+* ``lost_records`` — written after a circular-buffer overrun with the
+  count of each record type lost, so loss of trace data is always
+  detected (§3.1.2).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, BinaryIO, Dict, Iterable, List, Optional, Tuple, Type, Union
+
+MAGIC = b"RPTR"
+VERSION = 1
+
+DIR_IN = 0
+DIR_OUT = 1
+
+
+@dataclass
+class PacketRecord:
+    """One traced packet."""
+
+    timestamp: float
+    direction: int            # DIR_IN or DIR_OUT
+    proto: int                # IP protocol number
+    size: int                 # IP datagram size in bytes
+    src: str = ""
+    dst: str = ""
+    icmp_type: int = -1
+    ident: int = -1
+    seq: int = -1
+    rtt: float = -1.0         # ECHOREPLY round-trip time; -1 when n/a
+    src_port: int = -1
+    dst_port: int = -1
+    flags: int = 0
+
+    RECORD_TYPE = "packet"
+
+
+@dataclass
+class DeviceStatusRecord:
+    """Periodic wireless device characteristics (§3.1.1)."""
+
+    timestamp: float
+    signal_level: float
+    signal_quality: float
+    silence_level: float
+
+    RECORD_TYPE = "device_status"
+
+
+@dataclass
+class LostRecordsRecord:
+    """Accounting for circular-buffer overruns."""
+
+    timestamp: float
+    record_type: str
+    count: int
+
+    RECORD_TYPE = "lost_records"
+
+
+TraceRecord = Union[PacketRecord, DeviceStatusRecord, LostRecordsRecord]
+
+RECORD_CLASSES: Dict[str, Type[Any]] = {
+    cls.RECORD_TYPE: cls
+    for cls in (PacketRecord, DeviceStatusRecord, LostRecordsRecord)
+}
+
+# struct codes per Python annotation; strings are length-prefixed UTF-8.
+_STRUCT_CODES = {"float": "d", "int": "q", "str": "S"}
+
+
+def _schema_for(cls: Type[Any]) -> List[Tuple[str, str]]:
+    return [(f.name, _STRUCT_CODES[f.type]) for f in fields(cls)]
+
+
+def _pack_value(code: str, value: Any) -> bytes:
+    if code == "S":
+        raw = str(value).encode("utf-8")
+        return struct.pack("<H", len(raw)) + raw
+    return struct.pack("<" + code, value)
+
+
+def _unpack_value(code: str, buf: memoryview, offset: int) -> Tuple[Any, int]:
+    if code == "S":
+        (length,) = struct.unpack_from("<H", buf, offset)
+        start = offset + 2
+        value = bytes(buf[start:start + length]).decode("utf-8")
+        return value, start + length
+    size = struct.calcsize("<" + code)
+    (value,) = struct.unpack_from("<" + code, buf, offset)
+    return value, offset + size
+
+
+class TraceWriter:
+    """Streams records into a self-descriptive binary trace."""
+
+    def __init__(self, stream: BinaryIO, description: str = "",
+                 extra_schemas: Optional[Dict[str, List[Tuple[str, str]]]] = None):
+        self._stream = stream
+        self._schemas: Dict[str, List[Tuple[str, str]]] = {
+            name: _schema_for(cls) for name, cls in RECORD_CLASSES.items()
+        }
+        if extra_schemas:
+            self._schemas.update(extra_schemas)
+        self._type_ids = {name: i for i, name in enumerate(sorted(self._schemas))}
+        self.records_written = 0
+        self._write_header(description)
+
+    def _write_header(self, description: str) -> None:
+        header = {
+            "version": VERSION,
+            "description": description,
+            "types": {name: {"id": self._type_ids[name], "fields": schema}
+                      for name, schema in self._schemas.items()},
+        }
+        blob = json.dumps(header, sort_keys=True).encode("utf-8")
+        self._stream.write(MAGIC)
+        self._stream.write(struct.pack("<I", len(blob)))
+        self._stream.write(blob)
+
+    def write(self, record: TraceRecord) -> None:
+        name = record.RECORD_TYPE
+        schema = self._schemas[name]
+        body = b"".join(
+            _pack_value(code, getattr(record, fname)) for fname, code in schema
+        )
+        self._stream.write(struct.pack("<HI", self._type_ids[name], len(body)))
+        self._stream.write(body)
+        self.records_written += 1
+
+    def write_all(self, records: Iterable[TraceRecord]) -> None:
+        for record in records:
+            self.write(record)
+
+
+class TraceReader:
+    """Parses a trace written by :class:`TraceWriter`.
+
+    Unknown record types (present in the file header but not in
+    ``RECORD_CLASSES``) are surfaced as plain dicts — the format is
+    self-descriptive, so nothing is lost.
+    """
+
+    def __init__(self, stream: BinaryIO):
+        magic = stream.read(4)
+        if magic != MAGIC:
+            raise ValueError(f"bad magic {magic!r}; not a trace file")
+        (header_len,) = struct.unpack("<I", stream.read(4))
+        header = json.loads(stream.read(header_len).decode("utf-8"))
+        if header["version"] != VERSION:
+            raise ValueError(f"unsupported trace version {header['version']}")
+        self.description = header.get("description", "")
+        self._by_id: Dict[int, Tuple[str, List[Tuple[str, str]]]] = {}
+        for name, info in header["types"].items():
+            schema = [tuple(pair) for pair in info["fields"]]
+            self._by_id[info["id"]] = (name, schema)
+        self._stream = stream
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Union[TraceRecord, Dict[str, Any]]:
+        head = self._stream.read(6)
+        if len(head) < 6:
+            raise StopIteration
+        type_id, body_len = struct.unpack("<HI", head)
+        body = memoryview(self._stream.read(body_len))
+        if type_id not in self._by_id:
+            return {"record_type": f"unknown:{type_id}"}
+        name, schema = self._by_id[type_id]
+        values: Dict[str, Any] = {}
+        offset = 0
+        for fname, code in schema:
+            values[fname], offset = _unpack_value(code, body, offset)
+        cls = RECORD_CLASSES.get(name)
+        if cls is None:
+            values["record_type"] = name
+            return values
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in values.items() if k in known})
+
+    def read_all(self) -> List[Union[TraceRecord, Dict[str, Any]]]:
+        return list(self)
+
+
+def save_trace(path: str, records: Iterable[TraceRecord],
+               description: str = "") -> int:
+    """Write ``records`` to ``path``; returns the record count."""
+    with open(path, "wb") as f:
+        writer = TraceWriter(f, description=description)
+        writer.write_all(records)
+        return writer.records_written
+
+
+def load_trace(path: str) -> List[Union[TraceRecord, Dict[str, Any]]]:
+    """Read every record from the trace file at ``path``."""
+    with open(path, "rb") as f:
+        return TraceReader(f).read_all()
+
+
+def dumps_trace(records: Iterable[TraceRecord], description: str = "") -> bytes:
+    """Serialize records to an in-memory trace blob."""
+    buf = io.BytesIO()
+    writer = TraceWriter(buf, description=description)
+    writer.write_all(records)
+    return buf.getvalue()
+
+
+def loads_trace(blob: bytes) -> List[Union[TraceRecord, Dict[str, Any]]]:
+    """Parse a trace blob produced by :func:`dumps_trace`."""
+    return TraceReader(io.BytesIO(blob)).read_all()

@@ -1,0 +1,25 @@
+"""Simulated hosts: kernels, stack assembly, prebuilt worlds."""
+
+from .host import Host
+from .kernel import DEFAULT_TICK, Kernel, PseudoDevice
+from .worlds import (
+    BASE_ADDR,
+    LAPTOP_ADDR,
+    LiveWorld,
+    ModulationWorld,
+    SERVER_ADDR,
+    cross_laptop_addr,
+)
+
+__all__ = [
+    "BASE_ADDR",
+    "DEFAULT_TICK",
+    "Host",
+    "Kernel",
+    "LAPTOP_ADDR",
+    "LiveWorld",
+    "ModulationWorld",
+    "PseudoDevice",
+    "SERVER_ADDR",
+    "cross_laptop_addr",
+]

@@ -1,0 +1,64 @@
+"""Host assembly: kernel + devices + protocol stack."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from ..net.device import NetworkDevice
+from ..protocols.icmp import ICMPProtocol
+from ..protocols.ip import IPLayer
+from ..protocols.tcp import TCPProtocol
+from ..protocols.udp import UDPProtocol
+from ..sim import Process, Simulator, spawn
+from .kernel import DEFAULT_TICK, Kernel
+
+
+class Host:
+    """A simulated end host with a full protocol stack.
+
+    >>> # doctest-style sketch; see tests/test_hosts.py for real usage
+    >>> # host = Host(sim, "laptop", "10.0.0.2")
+    >>> # host.add_device(dev, default=True)
+    """
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 tick_resolution: float = DEFAULT_TICK,
+                 clock_drift: float = 0.0,
+                 forwarding: bool = False):
+        self.sim = sim
+        self.name = name
+        self.address = address
+        self.kernel = Kernel(sim, tick_resolution=tick_resolution,
+                             clock_drift=clock_drift)
+        self.devices: List[NetworkDevice] = []
+        self.ip = IPLayer(sim, [address], forwarding=forwarding)
+        self.icmp = ICMPProtocol(sim, self.ip)
+        self.udp = UDPProtocol(sim, self.ip)
+        self.tcp = TCPProtocol(sim, self.ip, kernel=self.kernel)
+        self.processes: List[Process] = []
+
+    # ------------------------------------------------------------------
+    def add_device(self, device: NetworkDevice, default: bool = False) -> None:
+        """Attach a NIC; optionally make it the default route."""
+        self.devices.append(device)
+        self.ip.attach_device(device)
+        if default:
+            self.ip.routing.set_default(device)
+
+    def add_address(self, address: str) -> None:
+        if address not in self.ip.addresses:
+            self.ip.addresses.append(address)
+
+    def spawn(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
+        proc = spawn(self.sim, gen, name=f"{self.name}:{name or 'proc'}")
+        self.processes.append(proc)
+        return proc
+
+    def device_named(self, name: str) -> NetworkDevice:
+        for device in self.devices:
+            if device.name == name:
+                return device
+        raise KeyError(f"{self.name} has no device {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.name} {self.address}>"

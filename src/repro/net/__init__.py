@@ -1,0 +1,60 @@
+"""Network substrate: packets, devices, queues, wired and wireless media."""
+
+from .bridge import Bridge
+from .device import DIR_IN, DIR_OUT, LoopbackDevice, NetworkDevice
+from .ethernet import EthernetDevice, EthernetSegment
+from .link import LinkDevice, PointToPointLink
+from .packet import (
+    ETHERNET_MTU,
+    ICMPHeader,
+    IPHeader,
+    Packet,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCPHeader,
+    UDPHeader,
+)
+from .queue import DropTailQueue
+from .wavelan import (
+    ChannelConditions,
+    ChannelProfile,
+    DOWNLINK,
+    NOISE_FLOOR,
+    PiecewiseProfile,
+    UPLINK,
+    WAVELAN_RATE_BPS,
+    WaveLANDevice,
+    WirelessMedium,
+)
+
+__all__ = [
+    "Bridge",
+    "ChannelConditions",
+    "ChannelProfile",
+    "DIR_IN",
+    "DIR_OUT",
+    "DOWNLINK",
+    "DropTailQueue",
+    "ETHERNET_MTU",
+    "EthernetDevice",
+    "EthernetSegment",
+    "ICMPHeader",
+    "IPHeader",
+    "LinkDevice",
+    "LoopbackDevice",
+    "NOISE_FLOOR",
+    "NetworkDevice",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "PiecewiseProfile",
+    "PointToPointLink",
+    "TCPHeader",
+    "UDPHeader",
+    "UPLINK",
+    "WAVELAN_RATE_BPS",
+    "WaveLANDevice",
+    "WirelessMedium",
+]

@@ -1,0 +1,117 @@
+"""Network interface devices.
+
+A :class:`NetworkDevice` is the boundary between a host's protocol stack
+and a transmission medium.  Two properties matter for the paper:
+
+* **Tracing hooks.**  The collection phase (§3.1.2) "places hooks in the
+  input and output routines of traced devices".  Devices expose
+  ``input_hooks`` and ``output_hooks`` lists; the in-kernel packet
+  tracer registers callables there and sees every frame with its
+  timestamp.
+* **Status reporting.**  Wireless devices report signal level, signal
+  quality and silence level (§3.1.1) through :meth:`device_status`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim import Simulator
+from .packet import Packet
+from .queue import DropTailQueue
+
+# Hook signature: hook(device, packet, direction, timestamp)
+Hook = Callable[["NetworkDevice", Packet, str, float], None]
+
+DIR_IN = "in"
+DIR_OUT = "out"
+
+
+class NetworkDevice:
+    """Base class for NICs and radios."""
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 queue: Optional[DropTailQueue] = None):
+        self.sim = sim
+        self.name = name
+        self.address = address
+        self.queue = queue or DropTailQueue(max_packets=100, name=f"{name}.txq")
+        self.up = True
+        self.upstream: Optional[Callable[[Packet], None]] = None
+        self.input_hooks: List[Hook] = []
+        self.output_hooks: List[Hook] = []
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.tx_drops = 0
+
+    # ------------------------------------------------------------------
+    # Downward path (stack -> medium)
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Accept a frame from the protocol stack for transmission."""
+        if not self.up:
+            self.tx_drops += 1
+            return
+        for hook in self.output_hooks:
+            hook(self, packet, DIR_OUT, self.sim.now)
+        if not self.queue.offer(packet):
+            self.tx_drops += 1
+            return
+        self._kick_transmit()
+
+    def _kick_transmit(self) -> None:
+        """Start the transmit machinery if idle.  Subclasses implement."""
+        raise NotImplementedError
+
+    def _record_tx(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+
+    # ------------------------------------------------------------------
+    # Upward path (medium -> stack)
+    # ------------------------------------------------------------------
+    def handle_receive(self, packet: Packet) -> None:
+        """Called by the medium when a frame arrives at this device."""
+        if not self.up:
+            return
+        self.rx_packets += 1
+        self.rx_bytes += packet.size
+        for hook in self.input_hooks:
+            hook(self, packet, DIR_IN, self.sim.now)
+        if self.upstream is not None:
+            self.upstream(packet)
+
+    # ------------------------------------------------------------------
+    def device_status(self) -> Dict[str, Any]:
+        """Device characteristics snapshot (subclasses extend)."""
+        return {
+            "device": self.name,
+            "tx_packets": self.tx_packets,
+            "rx_packets": self.rx_packets,
+            "tx_bytes": self.tx_bytes,
+            "rx_bytes": self.rx_bytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name} addr={self.address}>"
+
+
+class LoopbackDevice(NetworkDevice):
+    """Delivers every transmitted frame back to its own stack.
+
+    Useful in tests and as the attachment point for a modulation layer
+    exercised without any physical medium at all.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "lo0", address: str = "127.0.0.1"):
+        super().__init__(sim, name, address)
+        self.delay = 0.0
+
+    def _kick_transmit(self) -> None:
+        packet = self.queue.poll()
+        while packet is not None:
+            self._record_tx(packet)
+            self.sim.schedule(self.delay, self.handle_receive, packet)
+            packet = self.queue.poll()

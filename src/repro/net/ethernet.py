@@ -1,0 +1,122 @@
+"""Shared-medium Ethernet segment.
+
+Classic 10 Mb/s Ethernet is half duplex: every frame occupies the whole
+segment while it is on the wire, so inbound and outbound traffic at a
+host genuinely interfere.  The paper's delay-compensation step (§3.3)
+measures exactly this — the long-term bottleneck per-byte cost of the
+modulating LAN — so the segment models a single shared transmission
+horizon rather than independent per-direction pipes.
+
+CSMA/CD is simplified to FIFO arbitration with a short inter-frame gap;
+collisions are not modelled (the isolated two-host segments used for
+modulation would see almost none).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..sim import Simulator
+from .device import NetworkDevice
+from .packet import Packet
+from .queue import DropTailQueue
+
+
+class EthernetDevice(NetworkDevice):
+    """A NIC attached to an :class:`EthernetSegment`."""
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 queue: Optional[DropTailQueue] = None):
+        super().__init__(sim, name, address, queue)
+        self.segment: Optional["EthernetSegment"] = None
+        self.promiscuous = False
+        self._pending = False
+
+    def _kick_transmit(self) -> None:
+        if self._pending or self.segment is None or self.queue.empty:
+            return
+        self._pending = True
+        self.segment.request_transmit(self)
+
+    def _grant(self) -> Optional[Packet]:
+        """Segment grants the medium; hand it the head frame."""
+        self._pending = False
+        packet = self.queue.poll()
+        if packet is not None:
+            self._record_tx(packet)
+        return packet
+
+    def _after_transmit(self) -> None:
+        if not self.queue.empty:
+            self._kick_transmit()
+
+
+class EthernetSegment:
+    """A shared bus connecting any number of :class:`EthernetDevice`.
+
+    Frames are delivered to the device whose address matches the IP
+    destination when one is attached; otherwise the frame floods to all
+    other devices (bridges listen promiscuously).
+    """
+
+    INTERFRAME_GAP = 9.6e-6  # 96 bit times at 10 Mb/s
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float = 10e6,
+                 prop_delay: float = 25e-6, name: str = "ether0"):
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.prop_delay = prop_delay
+        self.name = name
+        self.devices: List[EthernetDevice] = []
+        self._busy = False
+        self._waiters: Deque[EthernetDevice] = deque()
+        self.frames_carried = 0
+        self.bytes_carried = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, device: EthernetDevice) -> None:
+        if device.segment is not None:
+            raise ValueError(f"{device.name} already attached")
+        device.segment = self
+        self.devices.append(device)
+
+    def per_byte_cost(self) -> float:
+        """Ideal per-byte serialization cost of the segment (s/byte)."""
+        return 8.0 / self.bandwidth_bps
+
+    # ------------------------------------------------------------------
+    def request_transmit(self, device: EthernetDevice) -> None:
+        self._waiters.append(device)
+        self._try_grant()
+
+    def _try_grant(self) -> None:
+        if self._busy or not self._waiters:
+            return
+        device = self._waiters.popleft()
+        packet = device._grant()
+        if packet is None:
+            self._try_grant()
+            return
+        self._busy = True
+        tx_time = packet.size * 8.0 / self.bandwidth_bps
+        self.frames_carried += 1
+        self.bytes_carried += packet.size
+        self.sim.schedule(tx_time, self._transmit_done, device, packet)
+
+    def _transmit_done(self, sender: EthernetDevice, packet: Packet) -> None:
+        self.sim.schedule(self.prop_delay, self._deliver, sender, packet)
+        self.sim.schedule(self.INTERFRAME_GAP, self._release)
+        self.sim.schedule(0.0, sender._after_transmit)
+
+    def _release(self) -> None:
+        self._busy = False
+        self._try_grant()
+
+    def _deliver(self, sender: EthernetDevice, packet: Packet) -> None:
+        dst = packet.ip.dst if packet.ip is not None else None
+        targets = [d for d in self.devices if d is not sender and d.address == dst]
+        if not targets:
+            targets = [d for d in self.devices if d is not sender]
+        for i, device in enumerate(targets):
+            device.handle_receive(packet if i == 0 else packet.clone())

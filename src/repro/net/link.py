@@ -1,0 +1,68 @@
+"""Full-duplex point-to-point wired links."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim import Simulator
+from .device import NetworkDevice
+from .packet import Packet
+from .queue import DropTailQueue
+
+
+class LinkDevice(NetworkDevice):
+    """One endpoint of a :class:`PointToPointLink`."""
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 queue: Optional[DropTailQueue] = None):
+        super().__init__(sim, name, address, queue)
+        self.link: Optional["PointToPointLink"] = None
+        self._transmitting = False
+
+    def _kick_transmit(self) -> None:
+        if self._transmitting or self.link is None:
+            return
+        packet = self.queue.poll()
+        if packet is None:
+            return
+        self._transmitting = True
+        tx_time = self.link.serialization_time(packet)
+        self._record_tx(packet)
+        self.sim.schedule(tx_time, self._transmit_done, packet)
+
+    def _transmit_done(self, packet: Packet) -> None:
+        assert self.link is not None
+        peer = self.link.peer_of(self)
+        self.sim.schedule(self.link.prop_delay, peer.handle_receive, packet)
+        self._transmitting = False
+        self._kick_transmit()
+
+
+class PointToPointLink:
+    """A reliable full-duplex wire between exactly two devices.
+
+    Each direction serializes independently at ``bandwidth`` bits/s and
+    adds ``prop_delay`` seconds of propagation.
+    """
+
+    def __init__(self, sim: Simulator, dev_a: LinkDevice, dev_b: LinkDevice,
+                 bandwidth_bps: float = 10e6, prop_delay: float = 50e-6):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.dev_a = dev_a
+        self.dev_b = dev_b
+        self.bandwidth_bps = bandwidth_bps
+        self.prop_delay = prop_delay
+        dev_a.link = self
+        dev_b.link = self
+
+    def serialization_time(self, packet: Packet) -> float:
+        return packet.size * 8.0 / self.bandwidth_bps
+
+    def peer_of(self, device: LinkDevice) -> LinkDevice:
+        if device is self.dev_a:
+            return self.dev_b
+        if device is self.dev_b:
+            return self.dev_a
+        raise ValueError(f"{device!r} is not attached to this link")

@@ -1,0 +1,178 @@
+"""Packets and protocol headers.
+
+A :class:`Packet` is a lightweight in-memory representation of a frame:
+header objects for each layer that is present plus an opaque payload
+with an explicit byte size.  Nothing is actually serialized on the hot
+path — sizes are tracked arithmetically — but every header knows its
+wire size so end-to-end byte counts match what a real stack would put
+on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+ETHERNET_HEADER_BYTES = 14
+IP_HEADER_BYTES = 20
+ICMP_HEADER_BYTES = 8
+UDP_HEADER_BYTES = 8
+TCP_HEADER_BYTES = 20
+
+ETHERNET_MTU = 1500
+
+# IP protocol numbers (the real ones, for familiarity).
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class IPHeader:
+    """Minimal IPv4 header: addressing, protocol demux, TTL."""
+
+    src: str
+    dst: str
+    proto: int
+    ttl: int = 64
+    ident: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        return IP_HEADER_BYTES
+
+
+@dataclass
+class ICMPHeader:
+    """ICMP echo / echo-reply header.
+
+    ``icmp_type`` is 8 for ECHO and 0 for ECHOREPLY.  ``ident`` carries
+    the pid of the generating process and ``seq`` the sequence number,
+    exactly the fields the paper's collection phase records (§3.1.1).
+    """
+
+    icmp_type: int
+    ident: int = 0
+    seq: int = 0
+
+    ECHO = 8
+    ECHOREPLY = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        return ICMP_HEADER_BYTES
+
+
+@dataclass
+class UDPHeader:
+    src_port: int
+    dst_port: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return UDP_HEADER_BYTES
+
+
+@dataclass
+class TCPHeader:
+    """TCP header with the fields our Reno implementation uses."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+    @property
+    def wire_bytes(self) -> int:
+        return TCP_HEADER_BYTES
+
+    def has(self, flag: int) -> bool:
+        return bool(self.flags & flag)
+
+    def flag_names(self) -> str:
+        names = []
+        for bit, name in ((self.SYN, "SYN"), (self.FIN, "FIN"), (self.RST, "RST"),
+                          (self.PSH, "PSH"), (self.ACK, "ACK")):
+            if self.flags & bit:
+                names.append(name)
+        return "|".join(names) or "-"
+
+
+@dataclass
+class Packet:
+    """A frame in flight.
+
+    ``payload`` is opaque application data (any object); ``payload_bytes``
+    is its wire size.  ``meta`` carries out-of-band bookkeeping (payload
+    timestamps for ping, trace annotations) that a real implementation
+    would encode inside the payload bytes.
+    """
+
+    ip: Optional[IPHeader] = None
+    icmp: Optional[ICMPHeader] = None
+    udp: Optional[UDPHeader] = None
+    tcp: Optional[TCPHeader] = None
+    payload: Any = None
+    payload_bytes: int = 0
+    link_bytes: int = ETHERNET_HEADER_BYTES
+    meta: Dict[str, Any] = field(default_factory=dict)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def size(self) -> int:
+        """Total wire size in bytes, link header included."""
+        total = self.link_bytes + self.payload_bytes
+        for header in (self.ip, self.icmp, self.udp, self.tcp):
+            if header is not None:
+                total += header.wire_bytes
+        return total
+
+    @property
+    def ip_size(self) -> int:
+        """Size of the IP datagram (no link header)."""
+        return self.size - self.link_bytes
+
+    def clone(self) -> "Packet":
+        """A shallow copy with a fresh packet id (used by broadcast fan-out)."""
+        import copy
+
+        dup = Packet(
+            ip=copy.copy(self.ip),
+            icmp=copy.copy(self.icmp),
+            udp=copy.copy(self.udp),
+            tcp=copy.copy(self.tcp),
+            payload=self.payload,
+            payload_bytes=self.payload_bytes,
+            link_bytes=self.link_bytes,
+            meta=dict(self.meta),
+        )
+        return dup
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used in trace dumps)."""
+        if self.ip is None:
+            return f"pkt#{self.packet_id} raw {self.size}B"
+        parts = [f"pkt#{self.packet_id} {self.ip.src}->{self.ip.dst}"]
+        if self.icmp is not None:
+            kind = "ECHO" if self.icmp.icmp_type == ICMPHeader.ECHO else "ECHOREPLY"
+            parts.append(f"icmp {kind} id={self.icmp.ident} seq={self.icmp.seq}")
+        elif self.udp is not None:
+            parts.append(f"udp {self.udp.src_port}->{self.udp.dst_port}")
+        elif self.tcp is not None:
+            parts.append(
+                f"tcp {self.tcp.src_port}->{self.tcp.dst_port}"
+                f" seq={self.tcp.seq} ack={self.tcp.ack} [{self.tcp.flag_names()}]"
+            )
+        parts.append(f"{self.size}B")
+        return " ".join(parts)

@@ -1,0 +1,328 @@
+"""WaveLAN radio model.
+
+The AT&T WaveLAN device used in the paper is a 900 MHz, nominally
+2 Mb/s shared-medium packet radio (§3.1.1).  We model:
+
+* a **shared half-duplex medium** with FIFO arbitration and a random
+  contention backoff, so concurrent stations (Chatterbox's SynRGen
+  laptops) stretch each other's latency and shrink usable bandwidth;
+* **time-varying channel conditions** supplied by a scenario profile —
+  signal level (WaveLAN units), loss probability, bandwidth factor and
+  a mean media-access latency, each allowed to differ by direction so
+  the live network can be *asymmetric* (the effect the paper's FTP
+  results expose, §5.3);
+* **device status reporting** — signal level, signal quality and
+  silence level — sampled by the collection phase alongside packets.
+
+The substitution for real radio hardware is documented in DESIGN.md:
+the methodology consumes only end-to-end observations, so any channel
+whose delay/loss vary plausibly with time exercises the full pipeline
+while giving us ground truth for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim import RngStreams, Simulator
+from .device import NetworkDevice
+from .packet import Packet
+from .queue import DropTailQueue
+
+WAVELAN_RATE_BPS = 2e6
+NOISE_FLOOR = 5.0  # signal levels below this are treated as noise by the driver
+
+UPLINK = "up"      # mobile -> base station
+DOWNLINK = "down"  # base station -> mobile
+
+
+@dataclass
+class ChannelConditions:
+    """Instantaneous channel state as seen by the mobile host."""
+
+    signal_level: float
+    loss_prob_up: float
+    loss_prob_down: float
+    bandwidth_factor: float      # fraction of the nominal 2 Mb/s usable
+    access_latency_mean: float   # mean extra media-access delay (s)
+
+    def loss_prob(self, direction: str) -> float:
+        return self.loss_prob_up if direction == UPLINK else self.loss_prob_down
+
+    def clamped(self) -> "ChannelConditions":
+        """Return a copy with every field forced into its legal range."""
+        return ChannelConditions(
+            signal_level=max(0.0, self.signal_level),
+            loss_prob_up=min(1.0, max(0.0, self.loss_prob_up)),
+            loss_prob_down=min(1.0, max(0.0, self.loss_prob_down)),
+            bandwidth_factor=min(1.0, max(0.01, self.bandwidth_factor)),
+            access_latency_mean=max(0.0, self.access_latency_mean),
+        )
+
+
+class ChannelProfile:
+    """Base class: channel conditions as a function of simulated time.
+
+    Scenario modules subclass or compose this; the default is a perfect
+    channel (used for base stations and wired-quality stations).
+    """
+
+    def conditions(self, t: float) -> ChannelConditions:
+        return ChannelConditions(
+            signal_level=30.0,
+            loss_prob_up=0.0,
+            loss_prob_down=0.0,
+            bandwidth_factor=1.0,
+            access_latency_mean=0.0,
+        )
+
+
+class PiecewiseProfile(ChannelProfile):
+    """A profile interpolated from (time, conditions) control points."""
+
+    def __init__(self, points: List[tuple]):
+        if not points:
+            raise ValueError("profile needs at least one control point")
+        self.points = sorted(points, key=lambda p: p[0])
+
+    def conditions(self, t: float) -> ChannelConditions:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1].clamped()
+        if t >= pts[-1][0]:
+            return pts[-1][1].clamped()
+        for (t0, c0), (t1, c1) in zip(pts, pts[1:]):
+            if t0 <= t <= t1:
+                frac = 0.0 if t1 == t0 else (t - t0) / (t1 - t0)
+
+                def lerp(a: float, b: float) -> float:
+                    return a + (b - a) * frac
+
+                return ChannelConditions(
+                    signal_level=lerp(c0.signal_level, c1.signal_level),
+                    loss_prob_up=lerp(c0.loss_prob_up, c1.loss_prob_up),
+                    loss_prob_down=lerp(c0.loss_prob_down, c1.loss_prob_down),
+                    bandwidth_factor=lerp(c0.bandwidth_factor, c1.bandwidth_factor),
+                    access_latency_mean=lerp(c0.access_latency_mean,
+                                             c1.access_latency_mean),
+                ).clamped()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class WaveLANDevice(NetworkDevice):
+    """A WaveLAN radio attached to a :class:`WirelessMedium`.
+
+    ``profile`` is set on mobile stations; base stations leave it None
+    and inherit the mobile peer's channel for any exchange with it.
+    ``is_base`` marks the infrastructure side so transmission direction
+    (uplink/downlink) can be classified.
+    """
+
+    # Host-side per-packet driver cost between consecutive transmissions.
+    # The 75 MHz 486 laptop needs visibly longer than the WavePoint's
+    # dedicated bridging hardware, which is one source of the live
+    # send/receive asymmetry the paper observes (§5.3).
+    LAPTOP_DRIVER_GAP = 0.6e-3
+    BASE_DRIVER_GAP = 0.3e-3
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 profile: Optional[ChannelProfile] = None,
+                 is_base: bool = False,
+                 queue: Optional[DropTailQueue] = None,
+                 driver_gap: Optional[float] = None):
+        super().__init__(sim, name, address,
+                         queue or DropTailQueue(max_packets=50, name=f"{name}.txq"))
+        self.medium: Optional["WirelessMedium"] = None
+        self.profile = profile
+        self.is_base = is_base
+        if driver_gap is None:
+            driver_gap = self.BASE_DRIVER_GAP if is_base else self.LAPTOP_DRIVER_GAP
+        self.driver_gap = driver_gap
+        self._pending = False
+        self._gap_until = 0.0
+
+    # -- medium interaction (same contract as EthernetDevice) ----------
+    def _kick_transmit(self) -> None:
+        if self._pending or self.medium is None or self.queue.empty:
+            return
+        self._pending = True
+        self.medium.request_transmit(self)
+
+    def _grant(self) -> Optional[Packet]:
+        self._pending = False
+        if self.sim.now < self._gap_until:
+            # The host driver is still busy post-processing the last
+            # frame; come back for the medium once the gap elapses.
+            self.sim.schedule(self._gap_until - self.sim.now,
+                              self._kick_transmit)
+            return None
+        packet = self.queue.poll()
+        if packet is not None:
+            self._record_tx(packet)
+        return packet
+
+    def _after_transmit(self) -> None:
+        self._gap_until = self.sim.now + self.driver_gap
+        if not self.queue.empty:
+            if self.driver_gap > 0.0:
+                self.sim.schedule(self.driver_gap, self._kick_transmit)
+            else:
+                self._kick_transmit()
+
+    # -- status reporting ----------------------------------------------
+    def device_status(self) -> dict:
+        status = super().device_status()
+        profile = self.profile or ChannelProfile()
+        cond = profile.conditions(self.sim.now)
+        noise = 0.0
+        if self.medium is not None:
+            noise = self.medium.rng.gauss(0.0, 0.8)
+        level = max(0.0, cond.signal_level + noise)
+        status.update({
+            "signal_level": level,
+            # WaveLAN "signal quality" loosely tracks SNR; map from loss.
+            "signal_quality": max(0.0, 15.0 * (1.0 - cond.loss_prob_up)),
+            "silence_level": max(0.0, NOISE_FLOOR - 1.0 + abs(noise)),
+        })
+        return status
+
+
+class WirelessMedium:
+    """The shared 2 Mb/s channel.
+
+    Arbitration is FIFO with a random slotted backoff before each
+    transmission; degraded ``bandwidth_factor`` stretches serialization
+    time (modelling retries/rate fallback), which both delays the frame
+    and occupies the medium longer — so back-to-back packets queue at
+    exactly the bottleneck cost the distiller solves for (§3.2.2).
+    """
+
+    SLOT_TIME = 50e-6
+    MAX_BACKOFF_SLOTS = 4
+    PER_FRAME_OVERHEAD = 0.25e-3  # preamble, MAC framing, driver cost
+
+    # Gilbert-Elliott fading: losses cluster into short bad periods
+    # separated by long clean stretches, as on a real radio channel.
+    # The factors are chosen so the long-term average loss tracks the
+    # scenario profile's nominal rate.
+    GE_GOOD_DWELL = 12.0     # mean seconds in the good state
+    GE_BAD_DWELL = 0.6       # mean seconds in a fade
+    GE_GOOD_FACTOR = 0.45    # loss multiplier while good
+    GE_BAD_FACTOR = 8.0     # loss multiplier while fading
+    GE_BAD_CAP = 0.7         # ceiling on fade loss probability
+
+    def __init__(self, sim: Simulator, rngs: RngStreams,
+                 rate_bps: float = WAVELAN_RATE_BPS, prop_delay: float = 5e-6,
+                 name: str = "wlan0", bursty_loss: bool = True):
+        self.sim = sim
+        self.rng = rngs.stream(f"medium:{name}")
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.name = name
+        self.bursty_loss = bursty_loss
+        self.devices: List[WaveLANDevice] = []
+        self._busy = False
+        self._waiters: List[WaveLANDevice] = []
+        self.frames_carried = 0
+        self.frames_lost = 0
+        self._ge_bad = False
+        self._ge_until = 0.0
+
+    # -- fading state ----------------------------------------------------
+    def _loss_multiplier(self) -> float:
+        """Current Gilbert-Elliott loss multiplier."""
+        if not self.bursty_loss:
+            return 1.0
+        now = self.sim.now
+        while now >= self._ge_until:
+            self._ge_bad = not self._ge_bad
+            dwell = self.GE_BAD_DWELL if self._ge_bad else self.GE_GOOD_DWELL
+            self._ge_until += self.rng.expovariate(1.0 / dwell)
+        return self.GE_BAD_FACTOR if self._ge_bad else self.GE_GOOD_FACTOR
+
+    def _effective_loss(self, nominal: float) -> float:
+        if nominal <= 0.0:
+            return 0.0
+        if nominal >= 0.2:
+            # A deep outage (the Wean elevator) dominates fading.
+            return nominal
+        scaled = nominal * self._loss_multiplier()
+        return min(self.GE_BAD_CAP if self._ge_bad else 1.0, scaled)
+
+    def attach(self, device: WaveLANDevice) -> None:
+        if device.medium is not None:
+            raise ValueError(f"{device.name} already attached")
+        device.medium = self
+        self.devices.append(device)
+
+    # ------------------------------------------------------------------
+    def request_transmit(self, device: WaveLANDevice) -> None:
+        self._waiters.append(device)
+        self._try_grant()
+
+    def _try_grant(self) -> None:
+        if self._busy or not self._waiters:
+            return
+        device = self._waiters.pop(0)
+        packet = device._grant()
+        if packet is None:
+            self._try_grant()
+            return
+        self._busy = True
+        cond = self._conditions_for(device, packet)
+        backoff = self.rng.randrange(0, self.MAX_BACKOFF_SLOTS + 1) * self.SLOT_TIME
+        access = 0.0
+        if cond.access_latency_mean > 0.0:
+            access = self.rng.expovariate(1.0 / cond.access_latency_mean)
+        tx_time = (packet.size * 8.0 / (self.rate_bps * cond.bandwidth_factor)
+                   + self.PER_FRAME_OVERHEAD)
+        self.frames_carried += 1
+        self.sim.schedule(backoff + access + tx_time,
+                          self._transmit_done, device, packet, cond)
+
+    def _transmit_done(self, sender: WaveLANDevice, packet: Packet,
+                       cond: ChannelConditions) -> None:
+        direction = UPLINK if not sender.is_base else DOWNLINK
+        if self.rng.random() < self._effective_loss(cond.loss_prob(direction)):
+            self.frames_lost += 1
+        else:
+            self.sim.schedule(self.prop_delay, self._deliver, sender, packet)
+        self._busy = False
+        # The sender's driver gap must be on the books before the next
+        # grant is attempted, or a queued frame would sneak past it.
+        sender._after_transmit()
+        self._try_grant()
+
+    def _conditions_for(self, sender: WaveLANDevice,
+                        packet: Packet) -> ChannelConditions:
+        """Channel conditions governing this transmission.
+
+        The mobile endpoint's profile wins: frames to or from a mobile
+        station see that station's channel.  Base-to-base (or two
+        wired-quality stations) see a perfect channel.
+        """
+        if sender.profile is not None:
+            return sender.profile.conditions(self.sim.now).clamped()
+        receiver = self._receiver_for(sender, packet)
+        if receiver is not None and receiver.profile is not None:
+            return receiver.profile.conditions(self.sim.now).clamped()
+        return ChannelProfile().conditions(self.sim.now)
+
+    def _receiver_for(self, sender: WaveLANDevice,
+                      packet: Packet) -> Optional[WaveLANDevice]:
+        dst = packet.ip.dst if packet.ip is not None else None
+        for device in self.devices:
+            if device is not sender and device.address == dst:
+                return device
+        return None
+
+    def _deliver(self, sender: WaveLANDevice, packet: Packet) -> None:
+        receiver = self._receiver_for(sender, packet)
+        if receiver is not None:
+            receiver.handle_receive(packet)
+            return
+        # No station owns the address: flood (base stations bridge onward).
+        others = [d for d in self.devices if d is not sender]
+        for i, device in enumerate(others):
+            device.handle_receive(packet if i == 0 else packet.clone())

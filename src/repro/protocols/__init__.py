@@ -1,0 +1,32 @@
+"""Protocol stack: IP, ICMP, UDP, TCP (Reno), RPC."""
+
+from .icmp import ICMPProtocol
+from .ip import IPLayer, RoutingTable
+from .rpc import RPC_HEADER_BYTES, RpcClient, RpcServer, RpcTimeout
+from .tcp import (
+    MSS,
+    MessageChannel,
+    TCPConnection,
+    TCPError,
+    TCPListener,
+    TCPProtocol,
+)
+from .udp import UDPProtocol, UdpSocket
+
+__all__ = [
+    "ICMPProtocol",
+    "IPLayer",
+    "MSS",
+    "MessageChannel",
+    "RPC_HEADER_BYTES",
+    "RoutingTable",
+    "RpcClient",
+    "RpcServer",
+    "RpcTimeout",
+    "TCPConnection",
+    "TCPError",
+    "TCPListener",
+    "TCPProtocol",
+    "UDPProtocol",
+    "UdpSocket",
+]

@@ -1,0 +1,78 @@
+"""ICMP echo / echo-reply.
+
+Only the pieces the paper's workload needs: the kernel responder that
+turns an ECHO into an ECHOREPLY (copying ident, seq and payload — the
+payload carries the sender's timestamp, §3.1.1), and a client interface
+that the modified ping program drives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..net.packet import ICMPHeader, IPHeader, Packet, PROTO_ICMP
+from ..sim import Simulator
+
+ReplyHandler = Callable[[Packet, float], None]
+
+
+class ICMPProtocol:
+    """Per-host ICMP: echo responder plus echo-reply demux by ident."""
+
+    def __init__(self, sim: Simulator, ip_layer) -> None:
+        self.sim = sim
+        self.ip = ip_layer
+        self._reply_handlers: Dict[int, ReplyHandler] = {}
+        self.echoes_answered = 0
+        self.replies_received = 0
+        ip_layer.register_protocol(PROTO_ICMP, self.input)
+
+    # ------------------------------------------------------------------
+    def send_echo(self, src: str, dst: str, ident: int, seq: int,
+                  payload_bytes: int,
+                  meta: Optional[Dict] = None) -> Packet:
+        """Transmit an ECHO carrying the current time in its payload.
+
+        ``meta`` extends the payload metadata; ping uses it to embed its
+        host-clock send timestamp (the reply echoes the payload back, so
+        the tracer can compute a single-clock round-trip time).
+        """
+        packet_meta = {"echo_sent_at": self.sim.now}
+        if meta:
+            packet_meta.update(meta)
+        packet = Packet(
+            icmp=ICMPHeader(icmp_type=ICMPHeader.ECHO, ident=ident, seq=seq),
+            payload_bytes=payload_bytes,
+            meta=packet_meta,
+        )
+        self.ip.send(src, dst, PROTO_ICMP, packet)
+        return packet
+
+    def on_echo_reply(self, ident: int, handler: Optional[ReplyHandler]) -> None:
+        """Register (or with None, remove) the reply handler for ``ident``."""
+        if handler is None:
+            self._reply_handlers.pop(ident, None)
+        else:
+            self._reply_handlers[ident] = handler
+
+    # ------------------------------------------------------------------
+    def input(self, packet: Packet) -> None:
+        if packet.icmp is None:
+            return
+        if packet.icmp.icmp_type == ICMPHeader.ECHO:
+            self._answer_echo(packet)
+        elif packet.icmp.icmp_type == ICMPHeader.ECHOREPLY:
+            self.replies_received += 1
+            handler = self._reply_handlers.get(packet.icmp.ident)
+            if handler is not None:
+                handler(packet, self.sim.now)
+
+    def _answer_echo(self, packet: Packet) -> None:
+        self.echoes_answered += 1
+        reply = Packet(
+            icmp=ICMPHeader(icmp_type=ICMPHeader.ECHOREPLY,
+                            ident=packet.icmp.ident, seq=packet.icmp.seq),
+            payload_bytes=packet.payload_bytes,
+            meta=dict(packet.meta),  # the payload timestamp rides back
+        )
+        self.ip.send(packet.ip.dst, packet.ip.src, PROTO_ICMP, reply)

@@ -1,0 +1,223 @@
+"""IP layer: addressing, routing, forwarding, fragmentation, demux.
+
+The modulation layer is spliced *between IP and the link device*
+(§3.3), so the IP layer deliberately routes every packet through a pair
+of indirection points — ``outbound_filter`` and ``inbound_filter`` —
+that default to pass-through and that
+:class:`repro.core.modulator.ModulationLayer` replaces when installed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..net.device import NetworkDevice
+from ..net.packet import ETHERNET_MTU, IP_HEADER_BYTES, IPHeader, Packet
+from ..sim import Simulator
+
+PacketHandler = Callable[[Packet], None]
+
+REASSEMBLY_TIMEOUT = 30.0
+
+
+class Reassembler:
+    """IPv4 fragment reassembly.
+
+    Datagrams larger than the MTU (NFS's 8 KB UDP transfers) travel as
+    fragments; the whole datagram is delivered only when every fragment
+    has arrived, so the loss of *any* fragment loses the datagram — the
+    classic NFS-over-lossy-wireless amplification.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        # (src, ident) -> {"need": int, "have": set, "original": Packet}
+        self._partial: Dict[Tuple[str, int], Dict] = {}
+        self.reassembled = 0
+        self.timed_out = 0
+
+    def accept(self, packet: Packet) -> Optional[Packet]:
+        """Feed one fragment; returns the full datagram when complete."""
+        ident, index, count = packet.meta["fragment"]
+        key = (packet.ip.src, ident)
+        entry = self._partial.get(key)
+        if entry is None:
+            entry = {"need": count, "have": set(),
+                     "original": packet.meta["original"]}
+            self._partial[key] = entry
+            self.sim.schedule(REASSEMBLY_TIMEOUT, self._expire, key)
+        entry["have"].add(index)
+        if len(entry["have"]) == entry["need"]:
+            del self._partial[key]
+            self.reassembled += 1
+            return entry["original"]
+        return None
+
+    def _expire(self, key: Tuple[str, int]) -> None:
+        if key in self._partial:
+            del self._partial[key]
+            self.timed_out += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._partial)
+
+
+class RoutingTable:
+    """Longest-prefix routing reduced to exact-host routes plus a default.
+
+    Our topologies are single-subnet (hosts bridged at layer 2), so
+    host routes and one default route cover everything the paper needs.
+    """
+
+    def __init__(self) -> None:
+        self._host_routes: Dict[str, NetworkDevice] = {}
+        self._default: Optional[NetworkDevice] = None
+
+    def add_host_route(self, dst: str, device: NetworkDevice) -> None:
+        self._host_routes[dst] = device
+
+    def set_default(self, device: NetworkDevice) -> None:
+        self._default = device
+
+    def lookup(self, dst: str) -> Optional[NetworkDevice]:
+        return self._host_routes.get(dst, self._default)
+
+    def routes(self) -> Dict[str, str]:
+        table = {dst: dev.name for dst, dev in self._host_routes.items()}
+        if self._default is not None:
+            table["default"] = self._default.name
+        return table
+
+
+class IPLayer:
+    """Per-host IP input/output with pluggable filters."""
+
+    def __init__(self, sim: Simulator, addresses: List[str],
+                 forwarding: bool = False, mtu: int = ETHERNET_MTU):
+        self.sim = sim
+        self.addresses = list(addresses)
+        self.forwarding = forwarding
+        self.mtu = mtu
+        self.reassembler = Reassembler(sim)
+        self.fragments_sent = 0
+        self.datagrams_fragmented = 0
+        self.routing = RoutingTable()
+        self._proto_handlers: Dict[int, PacketHandler] = {}
+        self._ident = itertools.count(1)
+        # Filters sit between IP and the link layer; a modulation layer
+        # replaces them.  Each receives (packet, device, continuation).
+        self.outbound_filter: Optional[Callable[[Packet, NetworkDevice,
+                                                 Callable[[Packet], None]], None]] = None
+        self.inbound_filter: Optional[Callable[[Packet, Callable[[Packet], None]],
+                                               None]] = None
+        self.sent = 0
+        self.received = 0
+        self.forwarded = 0
+        self.dropped_no_route = 0
+        self.dropped_ttl = 0
+        self.dropped_not_mine = 0
+
+    # ------------------------------------------------------------------
+    def register_protocol(self, proto: int, handler: PacketHandler) -> None:
+        self._proto_handlers[proto] = handler
+
+    def attach_device(self, device: NetworkDevice) -> None:
+        device.upstream = self.input
+
+    # ------------------------------------------------------------------
+    # Output path
+    # ------------------------------------------------------------------
+    def output(self, packet: Packet) -> None:
+        """Route and transmit a packet built by an upper layer."""
+        if packet.ip is None:
+            raise ValueError("packet has no IP header")
+        if packet.ip.ident == 0:
+            packet.ip.ident = next(self._ident)
+        device = self.routing.lookup(packet.ip.dst)
+        if device is None:
+            self.dropped_no_route += 1
+            return
+        self.sent += 1
+        if packet.ip_size > self.mtu:
+            self._fragment(packet, device)
+        else:
+            self._to_device(packet, device)
+
+    def _fragment(self, packet: Packet, device: NetworkDevice) -> None:
+        """Split an oversized datagram into MTU-sized fragments.
+
+        Each fragment is a real packet on the wire (it pays its own IP
+        header and link costs); the original datagram rides along in
+        fragment metadata and is delivered by the receiver's
+        reassembler once every fragment arrives.
+        """
+        self.datagrams_fragmented += 1
+        chunk_capacity = self.mtu - IP_HEADER_BYTES
+        body = packet.ip_size - IP_HEADER_BYTES
+        count = (body + chunk_capacity - 1) // chunk_capacity
+        ident = packet.ip.ident
+        offset = 0
+        for index in range(count):
+            chunk = min(chunk_capacity, body - offset)
+            frag = Packet(
+                ip=IPHeader(src=packet.ip.src, dst=packet.ip.dst,
+                            proto=packet.ip.proto, ttl=packet.ip.ttl,
+                            ident=ident),
+                payload_bytes=chunk,
+                meta={"fragment": (ident, index, count), "original": packet},
+            )
+            offset += chunk
+            self.fragments_sent += 1
+            self._to_device(frag, device)
+
+    def _to_device(self, packet: Packet, device: NetworkDevice) -> None:
+        if self.outbound_filter is not None:
+            self.outbound_filter(packet, device, device.send)
+        else:
+            device.send(packet)
+
+    def send(self, src: str, dst: str, proto: int, packet: Packet) -> None:
+        """Convenience: stamp an IP header onto ``packet`` and output it."""
+        packet.ip = IPHeader(src=src, dst=dst, proto=proto, ident=next(self._ident))
+        self.output(packet)
+
+    # ------------------------------------------------------------------
+    # Input path
+    # ------------------------------------------------------------------
+    def input(self, packet: Packet) -> None:
+        if packet.ip is None:
+            return
+        if packet.ip.dst in self.addresses:
+            if self.inbound_filter is not None:
+                self.inbound_filter(packet, self._local_deliver)
+            else:
+                self._local_deliver(packet)
+        elif self.forwarding:
+            self._forward(packet)
+        else:
+            self.dropped_not_mine += 1
+
+    def _local_deliver(self, packet: Packet) -> None:
+        if "fragment" in packet.meta:
+            whole = self.reassembler.accept(packet)
+            if whole is None:
+                return
+            packet = whole
+        self.received += 1
+        handler = self._proto_handlers.get(packet.ip.proto)
+        if handler is not None:
+            handler(packet)
+
+    def _forward(self, packet: Packet) -> None:
+        if packet.ip.ttl <= 1:
+            self.dropped_ttl += 1
+            return
+        device = self.routing.lookup(packet.ip.dst)
+        if device is None:
+            self.dropped_no_route += 1
+            return
+        packet.ip.ttl -= 1
+        self.forwarded += 1
+        self._to_device(packet, device)

@@ -1,0 +1,173 @@
+"""Sun-RPC-style remote procedure calls over UDP.
+
+NFS v2 runs over UDP with client-side retransmission — on a lossy
+wireless link this is what makes the Andrew benchmark's behaviour so
+different from the TCP benchmarks (§4.2: "NFS ... makes no special
+attempt to defer or eliminate traffic on networks of low quality").
+
+The model: each call is one datagram (header + argument bytes), each
+reply one datagram.  Clients retransmit on a timeout with exponential
+backoff; servers keep a duplicate-request cache so retransmitted calls
+are answered without re-executing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from ..sim import Signal, Simulator, Timeout
+from .udp import UdpSocket, UDPProtocol
+
+RPC_HEADER_BYTES = 96  # xid, call/reply discriminant, program, creds, verifier
+
+# Handler: (proc_name, args) -> (result, reply_payload_bytes)
+RpcHandler = Callable[[str, Any], Tuple[Any, int]]
+
+
+class RpcTimeout(Exception):
+    """The call exhausted its retransmissions without a reply."""
+
+
+class RpcServer:
+    """Serves RPC calls arriving on a UDP port."""
+
+    DUP_CACHE_SIZE = 256
+
+    def __init__(self, sim: Simulator, udp: UDPProtocol, address: str, port: int,
+                 handler: RpcHandler, service_time: float = 0.0):
+        self.sim = sim
+        self.sock = udp.bind(address, port)
+        self.handler = handler
+        self.service_time = service_time
+        self.calls_handled = 0
+        self.duplicates_seen = 0
+        self._dup_cache: "OrderedDict[Tuple[str, int, int], Tuple[Any, int]]" = \
+            OrderedDict()
+        self._running = True
+
+    def loop(self) -> Generator[Any, Any, None]:
+        """Server process body: spawn with ``sim.spawn(server.loop())``."""
+        while self._running:
+            src_addr, src_port, payload, _ = yield from self.sock.recv()
+            if not isinstance(payload, tuple) or payload[0] != "call":
+                continue
+            _, xid, proc, args = payload
+            key = (src_addr, src_port, xid)
+            cached = self._dup_cache.get(key)
+            if cached is not None:
+                self.duplicates_seen += 1
+                result, reply_bytes = cached
+            else:
+                if self.service_time > 0.0:
+                    yield Timeout(self.service_time)
+                outcome = self.handler(proc, args)
+                if len(outcome) == 3:
+                    result, reply_bytes, extra_delay = outcome
+                    if extra_delay > 0.0:
+                        yield Timeout(extra_delay)
+                else:
+                    result, reply_bytes = outcome
+                self.calls_handled += 1
+                self._dup_cache[key] = (result, reply_bytes)
+                while len(self._dup_cache) > self.DUP_CACHE_SIZE:
+                    self._dup_cache.popitem(last=False)
+            self.sock.send_to(src_addr, src_port,
+                              payload=("reply", xid, result),
+                              payload_bytes=RPC_HEADER_BYTES + reply_bytes)
+
+    def stop(self) -> None:
+        self._running = False
+        self.sock.close()
+
+
+class RpcClient:
+    """Issues RPC calls with retransmission and duplicate filtering."""
+
+    def __init__(self, sim: Simulator, udp: UDPProtocol, address: str,
+                 server_addr: str, server_port: int,
+                 initial_timeout: float = 1.1, max_retries: int = 8,
+                 max_timeout: float = 30.0):
+        self.sim = sim
+        self.sock = udp.bind(address, 0)
+        self.server_addr = server_addr
+        self.server_port = server_port
+        self.initial_timeout = initial_timeout
+        self.max_retries = max_retries
+        self.max_timeout = max_timeout
+        self._xid = itertools.count(1)
+        self._pending: Dict[int, Signal] = {}
+        self._replies: Dict[int, Any] = {}
+        self.calls = 0
+        self.retransmissions = 0
+        self.timeouts_exhausted = 0
+        self._dispatcher: Optional[Any] = None
+
+    def dispatcher(self) -> Generator[Any, Any, None]:
+        """Background process demuxing replies to waiting callers."""
+        while True:
+            _, _, payload, _ = yield from self.sock.recv()
+            if not isinstance(payload, tuple) or payload[0] != "reply":
+                continue
+            _, xid, result = payload
+            signal = self._pending.get(xid)
+            if signal is not None:
+                self._replies[xid] = result
+                signal.fire()
+
+    def call(self, proc: str, args: Any,
+             arg_bytes: int) -> Generator[Any, Any, Any]:
+        """Coroutine: perform one RPC; returns the server's result."""
+        xid = next(self._xid)
+        signal = Signal(self.sim, f"rpc:{xid}")
+        self._pending[xid] = signal
+        payload = ("call", xid, proc, args)
+        size = RPC_HEADER_BYTES + arg_bytes
+        timeout = self.initial_timeout
+        self.calls += 1
+        try:
+            for attempt in range(self.max_retries + 1):
+                if attempt > 0:
+                    self.retransmissions += 1
+                self.sock.send_to(self.server_addr, self.server_port,
+                                  payload=payload, payload_bytes=size)
+                deadline = self.sim.now + timeout
+                while self.sim.now < deadline:
+                    if xid in self._replies:
+                        return self._replies.pop(xid)
+                    remaining = deadline - self.sim.now
+                    race = _first_of(self.sim, signal, remaining)
+                    yield race
+                if xid in self._replies:
+                    return self._replies.pop(xid)
+                timeout = min(timeout * 2.0, self.max_timeout)
+            self.timeouts_exhausted += 1
+            raise RpcTimeout(f"rpc {proc} to {self.server_addr} timed out")
+        finally:
+            self._pending.pop(xid, None)
+            self._replies.pop(xid, None)
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+def _first_of(sim: Simulator, signal: Signal, timeout: float) -> Signal:
+    """A signal that fires on ``signal`` or after ``timeout``.
+
+    Implemented by returning a fresh signal wired to both sources; the
+    loser's wakeup finds the caller no longer waiting, which is safe.
+    """
+    race = Signal(sim, "race")
+    timer = sim.schedule(timeout, race.fire)
+
+    def relay(value: Any = None) -> None:
+        timer.cancel()
+        race.fire(value)
+
+    class _Relay:
+        def _resume(self, value: Any) -> None:
+            relay(value)
+
+    signal._add_waiter(_Relay())  # type: ignore[arg-type]
+    return race

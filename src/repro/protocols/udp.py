@@ -1,0 +1,106 @@
+"""UDP sockets.
+
+Datagram service with port demux and a coroutine-friendly receive
+queue.  NFS (and the SynRGen cross traffic that drives Chatterbox) run
+over these sockets via the RPC layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from ..net.packet import Packet, PROTO_UDP, UDPHeader
+from ..sim import Queue, Simulator
+
+Datagram = Tuple[str, int, Any, int]  # (src_addr, src_port, payload, payload_bytes)
+
+
+class UdpSocket:
+    """A bound UDP socket."""
+
+    def __init__(self, proto: "UDPProtocol", address: str, port: int):
+        self.proto = proto
+        self.address = address
+        self.port = port
+        self._queue: Queue = Queue(proto.sim, name=f"udp:{port}")
+        self.closed = False
+        self.rx_datagrams = 0
+        self.tx_datagrams = 0
+
+    def send_to(self, dst_addr: str, dst_port: int, payload: Any = None,
+                payload_bytes: int = 0) -> None:
+        if self.closed:
+            raise RuntimeError("socket is closed")
+        packet = Packet(
+            udp=UDPHeader(src_port=self.port, dst_port=dst_port),
+            payload=payload,
+            payload_bytes=payload_bytes,
+        )
+        self.tx_datagrams += 1
+        self.proto.ip.send(self.address, dst_addr, PROTO_UDP, packet)
+
+    def recv(self) -> Generator[Any, Any, Datagram]:
+        """Coroutine: wait for the next datagram."""
+        item = yield from self._queue.get()
+        return item
+
+    def recv_nowait(self) -> Optional[Datagram]:
+        if len(self._queue):
+            # Drain synchronously; Queue stores items in a plain list.
+            return self._queue._items.pop(0)
+        return None
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.proto._unbind(self.port)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.rx_datagrams += 1
+        self._queue.put((packet.ip.src, packet.udp.src_port,
+                         packet.payload, packet.payload_bytes))
+
+
+class UDPProtocol:
+    """Per-host UDP with ephemeral port allocation."""
+
+    EPHEMERAL_BASE = 32768
+
+    def __init__(self, sim: Simulator, ip_layer) -> None:
+        self.sim = sim
+        self.ip = ip_layer
+        self._sockets: Dict[int, UdpSocket] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+        self.dropped_no_port = 0
+        ip_layer.register_protocol(PROTO_UDP, self.input)
+
+    def bind(self, address: str, port: int = 0) -> UdpSocket:
+        if port == 0:
+            port = self._alloc_port()
+        if port in self._sockets:
+            raise ValueError(f"port {port} already bound")
+        sock = UdpSocket(self, address, port)
+        self._sockets[port] = sock
+        return sock
+
+    def _alloc_port(self) -> int:
+        while self._next_ephemeral in self._sockets:
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def _unbind(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def input(self, packet: Packet) -> None:
+        if packet.udp is None:
+            return
+        sock = self._sockets.get(packet.udp.dst_port)
+        if sock is None:
+            self.dropped_no_port += 1
+            return
+        sock._deliver(packet)

@@ -1,0 +1,44 @@
+"""The four evaluation scenarios (§4.1)."""
+
+from .base import CONTROL_POINT_SPACING, Checkpoint, Scenario, jittered, spike
+from .chatterbox import ChatterboxScenario
+from .flagstaff import FlagstaffScenario
+from .porter import PorterScenario
+from .roaming import (
+    RoamingProfile,
+    RoamingScenario,
+    WavePointSite,
+    evenly_spaced_sites,
+)
+from .wean import WeanScenario
+
+ALL_SCENARIOS = (WeanScenario, PorterScenario, FlagstaffScenario,
+                 ChatterboxScenario)
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Instantiate a scenario by its lowercase name."""
+    for cls in ALL_SCENARIOS:
+        if cls.name == name.lower():
+            return cls()
+    raise KeyError(f"unknown scenario {name!r}; "
+                   f"choose from {[c.name for c in ALL_SCENARIOS]}")
+
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "CONTROL_POINT_SPACING",
+    "ChatterboxScenario",
+    "Checkpoint",
+    "FlagstaffScenario",
+    "PorterScenario",
+    "RoamingProfile",
+    "RoamingScenario",
+    "WavePointSite",
+    "evenly_spaced_sites",
+    "Scenario",
+    "WeanScenario",
+    "jittered",
+    "scenario_by_name",
+    "spike",
+]

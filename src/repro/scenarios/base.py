@@ -1,0 +1,104 @@
+"""Scenario infrastructure.
+
+A scenario stands in for a physical traversal at CMU: it defines the
+time-varying channel the mobile laptop experiences (signal level, loss,
+usable bandwidth, media-access latency — per direction, so live
+asymmetry is expressible), the checkpoint labels the paper's Figures
+2–4 use on their X axes, and how many interfering laptops share the
+medium (Chatterbox).
+
+Per-trial variation: every trial draws its own control points through a
+trial-specific RNG stream, so the four trials of a scenario differ the
+way repeated walks of the same path differ — that spread is exactly
+what the range bars in Figures 2–5 show.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..hosts.worlds import LiveWorld
+from ..net.wavelan import ChannelConditions, ChannelProfile, PiecewiseProfile
+from ..sim.rng import derive_seed
+
+CONTROL_POINT_SPACING = 2.0  # seconds between profile control points
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A labelled location along the path (fraction of the traversal)."""
+
+    label: str
+    fraction: float
+
+
+class Scenario:
+    """Base class: subclasses implement :meth:`base_conditions`."""
+
+    name: str = "scenario"
+    duration: float = 240.0
+    checkpoints: Tuple[Checkpoint, ...] = ()
+    cross_laptops: int = 0
+    has_motion: bool = True
+
+    def base_conditions(self, u: float,
+                        rng: random.Random) -> ChannelConditions:
+        """Channel conditions at normalized position ``u`` in [0, 1].
+
+        ``rng`` is trial-specific; subclasses draw their jitter and
+        spikes from it so trials vary realistically.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def profile(self, seed: int, trial: int) -> ChannelProfile:
+        """The channel profile one trial of this scenario experiences."""
+        rng = random.Random(derive_seed(seed, f"{self.name}:trial{trial}"))
+        points = []
+        t = 0.0
+        while t <= self.duration + CONTROL_POINT_SPACING:
+            u = min(1.0, t / self.duration)
+            points.append((t, self.base_conditions(u, rng)))
+            t += CONTROL_POINT_SPACING
+        return PiecewiseProfile(points)
+
+    def make_live_world(self, seed: int, trial: int,
+                        **world_kwargs) -> LiveWorld:
+        """A live WaveLAN world configured for one trial."""
+        profile = self.profile(seed, trial)
+        return LiveWorld(profile=profile,
+                         seed=derive_seed(seed, f"{self.name}:world{trial}"),
+                         cross_laptops=self.cross_laptops,
+                         **world_kwargs)
+
+    # ------------------------------------------------------------------
+    def checkpoint_for_fraction(self, u: float) -> str:
+        """The nearest checkpoint label at or before fraction ``u``."""
+        label = self.checkpoints[0].label if self.checkpoints else ""
+        for cp in self.checkpoints:
+            if cp.fraction <= u:
+                label = cp.label
+            else:
+                break
+        return label
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Scenario {self.name} {self.duration:.0f}s>"
+
+
+def jittered(rng: random.Random, value: float, rel: float = 0.15,
+             lo: float = 0.0, hi: Optional[float] = None) -> float:
+    """Gaussian jitter of ``value`` by relative sigma ``rel``, clamped."""
+    out = rng.gauss(value, abs(value) * rel)
+    if hi is not None:
+        out = min(hi, out)
+    return max(lo, out)
+
+
+def spike(rng: random.Random, probability: float, magnitude: float) -> float:
+    """Occasionally return ``magnitude`` (scaled), else 0."""
+    if rng.random() < probability:
+        return magnitude * rng.uniform(0.6, 1.4)
+    return 0.0

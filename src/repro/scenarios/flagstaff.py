@@ -1,0 +1,71 @@
+"""Flagstaff: outdoor travel (§4.1.2, Figure 3).
+
+Leave Porter Hall (y0–y1), walk the back edge of campus through
+Schenley Park (y1–y5), then around Flagstaff Hill (y5–y9) — always in
+line of sight of WavePoint-bearing buildings but far from them.
+
+Relative to Porter: signal quality is somewhat lower overall — highly
+variable at the start, then dropping sharply in the park and staying
+low; *latency is better* (no indoor multipath/roaming); *bandwidth is
+somewhat better*; but *loss is markedly worse*, especially late in the
+traversal.  Live send/receive are strongly asymmetric here — the
+paper's FTP results show send slower than receive by more than 20
+seconds, the clearest violation of the distillation symmetry
+assumption (§5.3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..net.wavelan import ChannelConditions
+from .base import Checkpoint, Scenario, jittered, spike
+
+
+class FlagstaffScenario(Scenario):
+    """Outdoor walk through Schenley Park and around Flagstaff Hill."""
+
+    name = "flagstaff"
+    duration = 240.0
+    checkpoints = tuple(
+        Checkpoint(f"y{i}", frac)
+        for i, frac in enumerate((0.0, 0.10, 0.20, 0.31, 0.42, 0.52,
+                                  0.64, 0.76, 0.87, 0.96))
+    )
+
+    def base_conditions(self, u: float,
+                        rng: random.Random) -> ChannelConditions:
+        # --- signal: variable start, sharp fall entering the park ---------
+        if u < 0.10:
+            signal = jittered(rng, 15.0, rel=0.40)
+        elif u < 0.20:
+            ramp = (u - 0.10) / 0.10
+            signal = jittered(rng, 15.0 - 7.0 * ramp, rel=0.20)
+        else:
+            signal = jittered(rng, 7.5, rel=0.18)
+
+        # --- loss: the weak point; worsens along the traversal ------------
+        if u < 0.20:
+            base_loss = 0.005
+        elif u < 0.55:
+            base_loss = 0.008
+        else:
+            base_loss = 0.018              # late traversal: worst
+        loss = jittered(rng, base_loss, rel=0.45, hi=0.05)
+
+        # --- bandwidth somewhat better than Porter ------------------------
+        bw = jittered(rng, 0.76, rel=0.03, lo=0.5, hi=0.84)
+
+        # --- latency much better than Porter (outdoors, no roaming) -------
+        access = jittered(rng, 0.2e-3, rel=0.5, lo=0.05e-3)
+        access += spike(rng, 0.015, 12e-3)
+
+        return ChannelConditions(
+            signal_level=signal,
+            # Strong asymmetry: uplink (laptop -> distant WavePoint) loses
+            # far more than downlink — live FTP send >> recv here.
+            loss_prob_up=min(0.20, loss * 2.2),
+            loss_prob_down=loss * 0.30,
+            bandwidth_factor=bw,
+            access_latency_mean=access,
+        )

@@ -1,0 +1,68 @@
+"""Porter: inter-building travel (§4.1.1, Figure 2).
+
+Wean Hall lobby (x0) → outdoor Wean–Porter patio (x1–x3) → through
+Porter Hall (x4–x6).  Signal is highly variable in the lobby, improves
+steadily across the patio, then falls off inside Porter Hall, turning
+highly variable near x5.  Latency sits between 1.5 and 10 ms with
+occasional spikes toward 100 ms; bandwidth is typically 1.4–1.6 Mb/s
+with dips toward 900 Kb/s; loss stays below ~10 %, worst on the early
+patio and at the end of Porter Hall.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..net.wavelan import ChannelConditions
+from .base import Checkpoint, Scenario, jittered, spike
+
+
+class PorterScenario(Scenario):
+    """Inter-building walk from Wean Hall to and through Porter Hall."""
+
+    name = "porter"
+    duration = 240.0
+    checkpoints = tuple(
+        Checkpoint(f"x{i}", frac)
+        for i, frac in enumerate((0.0, 0.12, 0.26, 0.40, 0.55, 0.75, 0.92))
+    )
+
+    def base_conditions(self, u: float,
+                        rng: random.Random) -> ChannelConditions:
+        # --- signal level -------------------------------------------------
+        if u < 0.12:                      # lobby: highly variable
+            signal = jittered(rng, 14.0, rel=0.40)
+        elif u < 0.40:                    # patio: steady improvement
+            ramp = (u - 0.12) / 0.28
+            signal = jittered(rng, 14.0 + 9.0 * ramp, rel=0.12)
+        elif u < 0.75:                    # Porter Hall: falling off
+            ramp = (u - 0.40) / 0.35
+            signal = jittered(rng, 23.0 - 10.0 * ramp, rel=0.15)
+        else:                             # near x5-x6: variable again
+            signal = jittered(rng, 11.0, rel=0.45)
+
+        # --- loss: worst early patio and end of hall ----------------------
+        if u < 0.25:
+            base_loss = 0.010
+        elif u > 0.80:
+            base_loss = 0.012
+        else:
+            base_loss = 0.004
+        loss = jittered(rng, base_loss, rel=0.5, hi=0.04)
+
+        # --- bandwidth 1.4-1.6 Mb/s, dips to ~0.9 -------------------------
+        bw = jittered(rng, 0.70, rel=0.04, lo=0.35, hi=0.80)
+        if rng.random() < 0.05:           # occasional deep dip
+            bw = rng.uniform(0.42, 0.55)
+
+        # --- latency: 1.5-10 ms typical, spikes toward 100 ms -------------
+        access = jittered(rng, 0.35e-3, rel=0.5, lo=0.05e-3)
+        access += spike(rng, 0.025, 8e-3)
+
+        return ChannelConditions(
+            signal_level=signal,
+            loss_prob_up=loss * 1.25,     # mild live asymmetry (§5.3)
+            loss_prob_down=loss * 0.8,
+            bandwidth_factor=bw,
+            access_latency_mean=access,
+        )

@@ -1,0 +1,148 @@
+"""WavePoint roaming and handoffs (§3.1.1 extension).
+
+The paper's infrastructure is "a collection of base stations called
+WavePoints that serve as bridges to an Ethernet.  A roaming protocol
+triggers handoffs between WavePoints as a WaveLAN host moves."  The
+four evaluation scenarios fold handoff effects into their hand-built
+profiles; this module models the mechanism explicitly:
+
+* a row of :class:`WavePointSite` placements along the path, each with
+  a distance-dependent signal;
+* a :class:`RoamingProfile` — a stateful channel profile that tracks
+  which WavePoint the mobile is associated with, switches when another
+  station's signal exceeds the current one by a hysteresis margin, and
+  imposes a brief total outage (deauth/reauth) at each handoff;
+* a :class:`RoamingScenario` usable with the whole validation harness,
+  whose distilled traces show the handoff signature: latency/loss
+  spikes at the coverage boundaries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..net.wavelan import ChannelConditions, ChannelProfile
+from ..sim.rng import derive_seed
+from .base import Checkpoint, Scenario, jittered
+
+DEFAULT_HANDOFF_OUTAGE = 0.35   # seconds of deauth/reauth blackout
+DEFAULT_HYSTERESIS = 2.0        # signal units required to switch
+
+
+@dataclass(frozen=True)
+class WavePointSite:
+    """One base station along the (normalized) path."""
+
+    position: float             # fraction of the traversal, 0..1
+    peak_signal: float = 26.0   # signal level directly underneath
+    falloff: float = 45.0       # signal units lost per unit of path
+
+    def signal_at(self, u: float) -> float:
+        return max(0.0, self.peak_signal - self.falloff * abs(u - self.position))
+
+
+def evenly_spaced_sites(count: int, peak_signal: float = 26.0,
+                        falloff: float = 45.0) -> Tuple[WavePointSite, ...]:
+    """``count`` WavePoints spread along the path with edge margins."""
+    if count < 1:
+        raise ValueError("need at least one WavePoint")
+    return tuple(
+        WavePointSite(position=(i + 0.5) / count, peak_signal=peak_signal,
+                      falloff=falloff)
+        for i in range(count)
+    )
+
+
+class RoamingProfile(ChannelProfile):
+    """Channel conditions driven by WavePoint association state.
+
+    The profile is stateful: it must be queried with nondecreasing
+    times (which is how the medium and status sampler use it).  The
+    association switches when a rival WavePoint beats the current one
+    by ``hysteresis``; each switch opens an outage window during which
+    every frame is lost and media-access latency spikes.
+    """
+
+    def __init__(self, sites: Tuple[WavePointSite, ...], duration: float,
+                 seed: int = 0,
+                 handoff_outage: float = DEFAULT_HANDOFF_OUTAGE,
+                 hysteresis: float = DEFAULT_HYSTERESIS,
+                 base_loss: float = 0.004):
+        if not sites:
+            raise ValueError("need at least one WavePoint site")
+        self.sites = sites
+        self.duration = duration
+        self.handoff_outage = handoff_outage
+        self.hysteresis = hysteresis
+        self.base_loss = base_loss
+        self.rng = random.Random(derive_seed(seed, "roaming"))
+        self.current_ap = 0
+        self.handoff_until = -1.0
+        self.handoff_times: List[float] = []
+
+    # ------------------------------------------------------------------
+    def _maybe_handoff(self, t: float, u: float) -> None:
+        best = max(range(len(self.sites)),
+                   key=lambda i: self.sites[i].signal_at(u))
+        if best != self.current_ap:
+            gain = (self.sites[best].signal_at(u)
+                    - self.sites[self.current_ap].signal_at(u))
+            if gain >= self.hysteresis:
+                self.current_ap = best
+                self.handoff_until = t + self.handoff_outage
+                self.handoff_times.append(t)
+
+    def conditions(self, t: float) -> ChannelConditions:
+        u = min(1.0, max(0.0, t / self.duration))
+        if t >= self.handoff_until:
+            self._maybe_handoff(t, u)
+        in_handoff = t < self.handoff_until
+        signal = self.sites[self.current_ap].signal_at(u)
+        signal = jittered(self.rng, max(signal, 0.5), rel=0.10)
+        # Weak coverage degrades loss and usable rate smoothly; the
+        # handoff itself is a hard outage.
+        weakness = max(0.0, (12.0 - signal) / 12.0)
+        loss = self.base_loss + 0.05 * weakness ** 2
+        bw = max(0.35, 0.78 - 0.3 * weakness)
+        access = 0.4e-3 + 2e-3 * weakness
+        if in_handoff:
+            loss = 1.0
+            access = 50e-3
+        return ChannelConditions(
+            signal_level=signal,
+            loss_prob_up=min(1.0, loss * 1.2),
+            loss_prob_down=min(1.0, loss * 0.9),
+            bandwidth_factor=bw,
+            access_latency_mean=access,
+        ).clamped()
+
+
+class RoamingScenario(Scenario):
+    """A straight walk under a row of WavePoints with live handoffs."""
+
+    name = "roaming"
+    duration = 240.0
+    checkpoints = tuple(Checkpoint(f"r{i}", i / 5) for i in range(6))
+
+    def __init__(self, wavepoints: int = 4,
+                 handoff_outage: float = DEFAULT_HANDOFF_OUTAGE,
+                 hysteresis: float = DEFAULT_HYSTERESIS):
+        self.sites = evenly_spaced_sites(wavepoints)
+        self.handoff_outage = handoff_outage
+        self.hysteresis = hysteresis
+
+    def profile(self, seed: int, trial: int) -> RoamingProfile:
+        return RoamingProfile(
+            self.sites, self.duration,
+            seed=derive_seed(seed, f"{self.name}:trial{trial}"),
+            handoff_outage=self.handoff_outage,
+            hysteresis=self.hysteresis)
+
+    def base_conditions(self, u, rng):  # pragma: no cover - not used
+        raise NotImplementedError("RoamingScenario builds its own profile")
+
+    def expected_handoffs(self) -> int:
+        """A straight walk crosses every coverage boundary once."""
+        return len(self.sites) - 1

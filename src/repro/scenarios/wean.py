@@ -1,0 +1,78 @@
+"""Wean: traveling to a classroom, with an elevator ride (§4.1.3, Figure 4).
+
+Four motion regions inside Wean Hall:
+
+1. **z0–z3** — from a graduate office with known-poor connectivity,
+   down a hallway to the elevator: variable but acceptable signal;
+2. **z3–z4** — waiting for the elevator: quite good signal;
+3. **z4–z5** — riding the elevator three floors: signal drops
+   precipitously, latency peaks around 350 ms, loss is "atrocious";
+4. **z5–z7** — walking to the classroom: good signal again.
+
+Bandwidth runs somewhat lower than Porter throughout.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..net.wavelan import ChannelConditions
+from .base import Checkpoint, Scenario, jittered, spike
+
+# Region boundaries as fractions of the traversal.
+WALK_END = 0.38       # z0-z3
+WAIT_END = 0.55       # z3-z4
+ELEVATOR_END = 0.68   # z4-z5
+# z5-z7 afterwards
+
+
+class WeanScenario(Scenario):
+    """Office-to-classroom walk inside Wean Hall, elevator included."""
+
+    name = "wean"
+    duration = 240.0
+    checkpoints = tuple(
+        Checkpoint(f"z{i}", frac)
+        for i, frac in enumerate((0.0, 0.13, 0.26, 0.38, 0.55, 0.68,
+                                  0.84, 0.96))
+    )
+
+    def base_conditions(self, u: float,
+                        rng: random.Random) -> ChannelConditions:
+        if u < WALK_END:
+            # Office with poor connectivity, improving along the hallway.
+            ramp = u / WALK_END
+            signal = jittered(rng, 10.0 + 8.0 * ramp, rel=0.30)
+            loss = jittered(rng, 0.005 - 0.003 * ramp, rel=0.5, hi=0.025)
+            access = jittered(rng, 0.4e-3, rel=0.5, lo=0.1e-3)
+            access += spike(rng, 0.02, 12e-3)
+        elif u < WAIT_END:
+            # Waiting by the elevator: quite good.
+            signal = jittered(rng, 22.0, rel=0.08)
+            loss = jittered(rng, 0.004, rel=0.5, hi=0.02)
+            access = jittered(rng, 0.3e-3, rel=0.4, lo=0.1e-3)
+        elif u < ELEVATOR_END:
+            # The elevator: signal collapses, latency ~350 ms, loss atrocious.
+            signal = jittered(rng, 2.0, rel=0.6)
+            loss = jittered(rng, 0.40, rel=0.25, hi=0.70)
+            access = jittered(rng, 120e-3, rel=0.5, lo=20e-3)
+        else:
+            # Walk to the classroom: good again.
+            signal = jittered(rng, 19.0, rel=0.12)
+            loss = jittered(rng, 0.006, rel=0.5, hi=0.03)
+            access = jittered(rng, 0.4e-3, rel=0.5, lo=0.1e-3)
+
+        # Bandwidth somewhat lower than Porter's throughout; terrible
+        # inside the elevator.
+        if u < WAIT_END or u >= ELEVATOR_END:
+            bw = jittered(rng, 0.66, rel=0.04, lo=0.40, hi=0.74)
+        else:
+            bw = jittered(rng, 0.30, rel=0.3, lo=0.10, hi=0.55)
+
+        return ChannelConditions(
+            signal_level=signal,
+            loss_prob_up=min(0.95, loss * 1.2),
+            loss_prob_down=loss * 0.85,
+            bandwidth_factor=bw,
+            access_latency_mean=access,
+        )

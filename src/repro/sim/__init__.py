@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate: engine, processes, RNG streams."""
+
+from .engine import Event, SimulationError, Simulator
+from .process import (
+    Interrupt,
+    Process,
+    Queue,
+    Signal,
+    Timeout,
+    run_process,
+    signal_or_timeout,
+    spawn,
+)
+from .rng import RngStreams, derive_seed
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "Queue",
+    "RngStreams",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "derive_seed",
+    "run_process",
+    "signal_or_timeout",
+    "spawn",
+]

@@ -1,0 +1,20 @@
+"""Deterministic synthetic workloads (web reference traces, Andrew tree)."""
+
+from .andrewtree import SourceFile, andrew_tree, tree_directories, tree_total_bytes
+from .webtraces import (
+    WebReference,
+    all_user_traces,
+    object_catalog,
+    user_trace,
+)
+
+__all__ = [
+    "SourceFile",
+    "WebReference",
+    "all_user_traces",
+    "andrew_tree",
+    "object_catalog",
+    "tree_directories",
+    "tree_total_bytes",
+    "user_trace",
+]

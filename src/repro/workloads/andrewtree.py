@@ -1,0 +1,69 @@
+"""The Andrew benchmark's input tree.
+
+§5.4: "a tree of about 70 source files occupying about 200KB".  The
+original tree (a TeX-era C program) is long gone, so we synthesize one
+with the same shape: a handful of subdirectories, C sources and
+headers, a Makefile — deterministic per seed so every trial copies the
+identical tree.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..sim.rng import derive_seed
+
+DEFAULT_FILE_COUNT = 70
+DEFAULT_TOTAL_BYTES = 200 * 1024
+SUBDIRS = ("cmds", "lib", "hdr", "misc", "doc")
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One file in the benchmark tree."""
+
+    path: str        # relative to the tree root, e.g. "lib/util3.c"
+    size: int
+    compiles: bool   # .c files produce objects in the Make phase
+
+
+def andrew_tree(seed: int = 0, file_count: int = DEFAULT_FILE_COUNT,
+                total_bytes: int = DEFAULT_TOTAL_BYTES) -> List[SourceFile]:
+    """Generate the tree: ~70 files, ~200 KB, across five subdirs."""
+    rng = random.Random(derive_seed(seed, "andrew-tree"))
+    raw: List[tuple] = []
+    for i in range(file_count - 1):
+        subdir = SUBDIRS[i % len(SUBDIRS)]
+        if subdir == "hdr":
+            name, compiles = f"defs{i}.h", False
+        elif subdir == "doc":
+            name, compiles = f"notes{i}.txt", False
+        else:
+            name, compiles = f"mod{i}.c", True
+        weight = rng.lognormvariate(0.0, 0.6)
+        raw.append((f"{subdir}/{name}", weight, compiles))
+    raw.append(("Makefile", 0.35, False))
+    total_weight = sum(w for _, w, _ in raw)
+    files = [
+        SourceFile(path=path, size=max(256, int(total_bytes * w / total_weight)),
+                   compiles=compiles)
+        for path, w, compiles in raw
+    ]
+    return files
+
+
+def tree_directories(files: List[SourceFile]) -> List[str]:
+    """The subdirectories the tree needs, in creation order."""
+    seen = []
+    for f in files:
+        parts = f.path.rsplit("/", 1)
+        if len(parts) == 2 and parts[0] not in seen:
+            seen.append(parts[0])
+    return seen
+
+
+def tree_total_bytes(files: List[SourceFile]) -> int:
+    """Total bytes occupied by the tree (paper: about 200 KB)."""
+    return sum(f.size for f in files)

@@ -1,0 +1,84 @@
+"""Synthetic Web reference traces.
+
+The paper replays "Web reference traces of five users performing search
+tasks" against a private server (§4.2).  Those traces (from Steere's
+dynamic-sets work) are not available, so we generate statistically
+similar ones: each user alternates between queries, result pages, and
+followed documents with inline images — the mid-1990s object-size mix
+(small HTML, a few-KB images, occasional large documents).
+
+Generation is fully deterministic per (seed, user) so every trial
+replays the identical reference stream, exactly like a trace file.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim.rng import derive_seed
+
+DEFAULT_USERS = 5
+DEFAULT_REQUESTS_PER_USER = 55
+
+
+@dataclass(frozen=True)
+class WebReference:
+    """One replayed request."""
+
+    url: str
+    size: int       # response body bytes
+
+
+def _bounded_lognormal(rng: random.Random, mu: float, sigma: float,
+                       lo: int, hi: int) -> int:
+    return int(min(hi, max(lo, rng.lognormvariate(mu, sigma))))
+
+
+def user_trace(seed: int, user: int,
+               requests: int = DEFAULT_REQUESTS_PER_USER) -> List[WebReference]:
+    """The reference stream for one user's search task."""
+    rng = random.Random(derive_seed(seed, f"webtrace:{user}"))
+    refs: List[WebReference] = []
+    doc_index = 0
+    while len(refs) < requests:
+        # A search round: query form, results page, then followed docs.
+        refs.append(WebReference(url=f"/u{user}/query{doc_index}.html",
+                                 size=_bounded_lognormal(rng, 7.3, 0.4,
+                                                         800, 6_000)))
+        refs.append(WebReference(url=f"/u{user}/results{doc_index}.html",
+                                 size=_bounded_lognormal(rng, 8.3, 0.5,
+                                                         2_000, 15_000)))
+        for _ in range(rng.randint(1, 4)):
+            if len(refs) >= requests:
+                break
+            doc = WebReference(url=f"/u{user}/doc{doc_index}-{len(refs)}.html",
+                               size=_bounded_lognormal(rng, 8.9, 0.9,
+                                                       1_500, 60_000))
+            refs.append(doc)
+            # Inline images for some documents.
+            for img in range(rng.randint(0, 2)):
+                if len(refs) >= requests:
+                    break
+                refs.append(WebReference(
+                    url=f"/u{user}/img{doc_index}-{len(refs)}.gif",
+                    size=_bounded_lognormal(rng, 8.0, 0.7, 500, 30_000)))
+        doc_index += 1
+    return refs[:requests]
+
+
+def all_user_traces(seed: int, users: int = DEFAULT_USERS,
+                    requests: int = DEFAULT_REQUESTS_PER_USER
+                    ) -> List[List[WebReference]]:
+    """Reference streams for every user of the web benchmark (§4.2)."""
+    return [user_trace(seed, u, requests) for u in range(users)]
+
+
+def object_catalog(traces: List[List[WebReference]]) -> Dict[str, int]:
+    """url -> size map for priming the private web server."""
+    catalog: Dict[str, int] = {}
+    for trace in traces:
+        for ref in trace:
+            catalog[ref.url] = ref.size
+    return catalog

@@ -1,0 +1,53 @@
+"""Shared test helpers: small worlds, profiles, trace builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hosts import LiveWorld, ModulationWorld, SERVER_ADDR
+from repro.net.wavelan import ChannelConditions, ChannelProfile
+from repro.sim import Simulator
+
+
+class ConstantProfile(ChannelProfile):
+    """A time-invariant channel for controlled experiments."""
+
+    def __init__(self, signal=20.0, loss_up=0.0, loss_down=0.0,
+                 bandwidth_factor=0.8, access_latency=0.0005):
+        self._cond = ChannelConditions(
+            signal_level=signal,
+            loss_prob_up=loss_up,
+            loss_prob_down=loss_down,
+            bandwidth_factor=bandwidth_factor,
+            access_latency_mean=access_latency,
+        )
+
+    def conditions(self, t):
+        return self._cond
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def live_world():
+    return LiveWorld(profile=ConstantProfile(), seed=7)
+
+
+@pytest.fixture
+def mod_world():
+    return ModulationWorld(seed=7)
+
+
+def run_to_completion(world, proc, cap=600.0, chunk=10.0):
+    """Advance the world until the process finishes; raise its error."""
+    t = world.sim.now
+    while proc.alive and t < cap:
+        t += chunk
+        world.run(until=t)
+    if proc.error is not None:
+        raise proc.error
+    assert not proc.alive, f"process still alive after {cap}s"
+    return proc.value

@@ -1,0 +1,147 @@
+"""Tests for the adaptive application (§6 / the Odyssey use case)."""
+
+import pytest
+
+from repro.apps.adaptive import (
+    AdaptiveFetcher,
+    AdaptiveRun,
+    BandwidthEstimator,
+    FetchRecord,
+    FIDELITY_BYTES,
+    FidelityServer,
+)
+from repro.core import constant_trace, install_modulation, step_trace
+from repro.hosts import ModulationWorld, SERVER_ADDR
+from tests.conftest import run_to_completion
+
+
+# ----------------------------------------------------------------------
+# Estimator
+# ----------------------------------------------------------------------
+def test_estimator_first_sample_replaces_prior():
+    est = BandwidthEstimator(initial_bps=1e6)
+    est.observe(125_000, 1.0)  # 1 Mb/s measured
+    assert est.estimate_bps == pytest.approx(1e6)
+    est2 = BandwidthEstimator(initial_bps=1e6)
+    est2.observe(250_000, 1.0)  # 2 Mb/s measured
+    assert est2.estimate_bps == pytest.approx(2e6)
+
+
+def test_estimator_ewma_converges():
+    est = BandwidthEstimator(alpha=0.5)
+    for _ in range(12):
+        est.observe(125_000, 1.0)  # steady 1 Mb/s
+    assert est.estimate_bps == pytest.approx(1e6, rel=0.01)
+
+
+def test_estimator_tracks_downward_step():
+    est = BandwidthEstimator(alpha=0.5)
+    est.observe(250_000, 1.0)
+    for _ in range(6):
+        est.observe(25_000, 1.0)  # collapse to 0.2 Mb/s
+    assert est.estimate_bps < 0.3e6
+
+
+def test_estimator_validation():
+    with pytest.raises(ValueError):
+        BandwidthEstimator(alpha=0.0)
+    with pytest.raises(ValueError):
+        BandwidthEstimator().observe(100, 0.0)
+
+
+def test_predicted_fetch_time():
+    est = BandwidthEstimator()
+    est.observe(125_000, 1.0)  # 1 Mb/s
+    assert est.predicted_fetch_time(125_000) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Fidelity choice
+# ----------------------------------------------------------------------
+def _fetcher_with_estimate(mod_world, bps):
+    est = BandwidthEstimator()
+    est.observe(int(bps / 8), 1.0)
+    return AdaptiveFetcher(mod_world.laptop, SERVER_ADDR, budget=1.5,
+                           headroom=0.8, estimator=est)
+
+
+def test_high_bandwidth_selects_full(mod_world):
+    fetcher = _fetcher_with_estimate(mod_world, 5e6)
+    assert fetcher.choose_fidelity() == "full"
+
+
+def test_medium_bandwidth_selects_medium(mod_world):
+    fetcher = _fetcher_with_estimate(mod_world, 0.4e6)
+    assert fetcher.choose_fidelity() == "medium"
+
+
+def test_low_bandwidth_selects_low(mod_world):
+    fetcher = _fetcher_with_estimate(mod_world, 0.08e6)
+    assert fetcher.choose_fidelity() == "low"
+
+
+def test_fidelity_sizes_are_ordered():
+    assert FIDELITY_BYTES["full"] > FIDELITY_BYTES["medium"] \
+        > FIDELITY_BYTES["low"]
+
+
+# ----------------------------------------------------------------------
+# Run log analysis
+# ----------------------------------------------------------------------
+def _rec(t, fidelity):
+    return FetchRecord(started=t, fidelity=fidelity,
+                       nbytes=FIDELITY_BYTES[fidelity], elapsed=0.5,
+                       estimate_bps=1e6, missed_deadline=False)
+
+
+def test_run_transitions_and_lag():
+    run = AdaptiveRun(records=[_rec(0, "full"), _rec(2, "full"),
+                               _rec(4, "low"), _rec(6, "low"),
+                               _rec(8, "full")])
+    assert run.transitions() == [(4, "full", "low"), (8, "low", "full")]
+    assert run.adaptation_lag(3.0, "low") == pytest.approx(1.0)
+    assert run.adaptation_lag(5.0, "full") == pytest.approx(3.0)
+    assert run.adaptation_lag(9.0, "medium") is None
+    assert run.fidelity_at(5.0) == "low"
+
+
+# ----------------------------------------------------------------------
+# End to end over a modulated network
+# ----------------------------------------------------------------------
+def test_adaptation_to_step_trace(mod_world):
+    w = mod_world
+    trace = step_trace(duration=60.0, period=15.0, latency=5e-3,
+                       low_bandwidth_bps=0.12e6, high_bandwidth_bps=2e6)
+    install_modulation(w.laptop, w.laptop_device, trace,
+                       w.rngs.stream("mod"), compensation_vb=0.8e-6,
+                       loop=True)
+    FidelityServer(w.server).start()
+    fetcher = AdaptiveFetcher(w.laptop, SERVER_ADDR, period=2.0)
+
+    def body():
+        result = yield from fetcher.run(58.0)
+        return result
+
+    run = run_to_completion(w, w.laptop.spawn(body()), cap=120.0)
+    fidelities = {r.fidelity for r in run.records}
+    # The square wave forces both extremes of the fidelity ladder.
+    assert "full" in fidelities
+    assert "low" in fidelities or "medium" in fidelities
+    assert len(run.transitions()) >= 2  # adapted down and back up
+
+
+def test_steady_fast_network_stays_full(mod_world):
+    w = mod_world
+    trace = constant_trace(duration=30.0, latency=2e-3, bandwidth_bps=3e6)
+    install_modulation(w.laptop, w.laptop_device, trace,
+                       w.rngs.stream("mod"), loop=True)
+    FidelityServer(w.server).start()
+    fetcher = AdaptiveFetcher(w.laptop, SERVER_ADDR, period=2.0)
+
+    def body():
+        result = yield from fetcher.run(20.0)
+        return result
+
+    run = run_to_completion(w, w.laptop.spawn(body()), cap=60.0)
+    assert all(r.fidelity == "full" for r in run.records[1:])
+    assert run.deadline_miss_ratio() < 0.2

@@ -1,0 +1,166 @@
+"""Unit tests for statistics and rendering utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    Summary,
+    histogram,
+    percentile,
+    render_histogram,
+    render_series,
+    render_table,
+    sigma_distance,
+    within_sigma_sum,
+)
+
+
+# ----------------------------------------------------------------------
+# Summary and the paper's criterion
+# ----------------------------------------------------------------------
+def test_summary_mean_and_sample_std():
+    s = Summary.of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert s.mean == pytest.approx(5.0)
+    assert s.std == pytest.approx(2.138, rel=1e-3)  # sample (n-1) std
+    assert s.n == 8
+
+
+def test_summary_single_value():
+    s = Summary.of([3.0])
+    assert s.mean == 3.0
+    assert s.std == 0.0
+
+
+def test_summary_empty_rejected():
+    with pytest.raises(ValueError):
+        Summary.of([])
+
+
+def test_summary_paper_format():
+    assert Summary(mean=161.47, std=7.82, n=4).format() == "161.47 (7.82)"
+
+
+def test_sigma_distance_paper_example():
+    """§5.3: Porter send off by 1.05x the sum of standard deviations."""
+    real = Summary(mean=86.38, std=4.94, n=4)
+    mod = Summary(mean=76.65, std=4.29, n=4)
+    assert sigma_distance(real, mod) == pytest.approx(1.05, abs=0.01)
+    assert not within_sigma_sum(real, mod)
+
+
+def test_within_sigma_sum_paper_wean_web():
+    real = Summary(mean=161.47, std=7.82, n=4)
+    mod = Summary(mean=160.04, std=2.60, n=4)
+    assert within_sigma_sum(real, mod)
+
+
+def test_sigma_distance_degenerate_cases():
+    a = Summary(mean=5.0, std=0.0, n=1)
+    b = Summary(mean=5.0, std=0.0, n=1)
+    c = Summary(mean=6.0, std=0.0, n=1)
+    assert sigma_distance(a, b) == 0.0
+    assert sigma_distance(a, c) == math.inf
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=2, max_size=40))
+def test_summary_std_nonnegative_and_mean_bounded(values):
+    s = Summary.of(values)
+    assert s.std >= 0.0
+    assert min(values) - 1e-6 <= s.mean <= max(values) + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Histogram and percentile
+# ----------------------------------------------------------------------
+def test_histogram_counts_sum_to_n():
+    values = [1.0, 2.0, 2.5, 9.0, 9.5]
+    bins = histogram(values, bins=4)
+    assert sum(c for _, _, c in bins) == 5
+
+
+def test_histogram_single_value():
+    assert histogram([3.0, 3.0], bins=5) == [(3.0, 3.0, 2)]
+
+
+def test_histogram_empty():
+    assert histogram([]) == []
+
+
+def test_percentile_bounds():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                min_size=1, max_size=30),
+       st.floats(min_value=0, max_value=100))
+def test_percentile_within_range(values, p):
+    result = percentile(values, p)
+    eps = 1e-9 * (1.0 + abs(max(values)) + abs(min(values)))
+    assert min(values) - eps <= result <= max(values) + eps
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def test_render_table_alignment_and_content():
+    text = render_table(["Scenario", "Real (s)"],
+                        [["Wean", "161.47 (7.82)"],
+                         ["Porter", "159.83 (5.07)"]],
+                        title="Figure 6")
+    lines = text.splitlines()
+    assert lines[0] == "Figure 6"
+    assert "Wean" in text and "159.83 (5.07)" in text
+    # Right-aligned numeric column: rows end at the same offset.
+    assert len(lines[-1]) == len(lines[-2])
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_render_table_caption():
+    text = render_table(["a"], [["1"]], caption="the caption")
+    assert text.endswith("the caption")
+
+
+def test_render_series_shows_ranges():
+    text = render_series("latency", ["x0", "x1"], [1.0, 5.0], [2.0, 9.0],
+                         unit="ms")
+    assert "x0" in text and "x1" in text
+    assert "ms" in text
+    assert "1..2" in text
+
+
+def test_render_series_log_scale():
+    text = render_series("latency", ["a", "b"], [0.001, 1.0], [0.01, 10.0],
+                         unit="ms", log_scale=True)
+    assert "log scale" in text
+
+
+def test_render_series_validates_lengths():
+    with pytest.raises(ValueError):
+        render_series("x", ["a"], [1.0, 2.0], [3.0])
+
+
+def test_render_histogram_bars_scale():
+    text = render_histogram("loss", [(0.0, 1.0, 1), (1.0, 2.0, 10)], unit="%")
+    lines = text.splitlines()
+    assert lines[2].count("#") > lines[1].count("#")
+
+
+def test_render_histogram_empty():
+    assert "no data" in render_histogram("x", [])

@@ -1,0 +1,125 @@
+"""Tests for the Delayline-style user-level wrapper (§2.3 contrast).
+
+The decisive test quantifies the paper's argument for in-kernel
+modulation: a user-level wrapper slows only the application it is
+linked into, while the modulation layer covers every flow on the host.
+"""
+
+import pytest
+
+from repro.core import constant_trace, install_modulation
+from repro.core.delayline import DelaylineSocket, wrap_rpc_client
+from repro.hosts import LAPTOP_ADDR, ModulationWorld, SERVER_ADDR
+from repro.protocols.rpc import RpcClient, RpcServer
+from repro.sim import Timeout
+from tests.conftest import run_to_completion
+
+SLOW = constant_trace(duration=120.0, latency=40e-3, bandwidth_bps=2e6)
+
+
+def _echo_rpc_server(world):
+    server = RpcServer(world.sim, world.server.udp, SERVER_ADDR, 7000,
+                       lambda proc, args: (args, 64))
+    world.server.spawn(server.loop())
+    return server
+
+
+def _rpc_rtt(world, client, n=5):
+    rtts = []
+
+    def body():
+        for i in range(n):
+            start = world.sim.now
+            yield from client.call("echo", i, 32)
+            rtts.append(world.sim.now - start)
+            yield Timeout(0.2)
+
+    proc = world.laptop.spawn(body())
+    run_to_completion(world, proc, cap=120.0)
+    return sum(rtts) / len(rtts)
+
+
+def _icmp_rtt(world, n=5):
+    rtts = []
+    world.laptop.icmp.on_echo_reply(
+        3, lambda pkt, now: rtts.append(now - pkt.meta["echo_sent_at"]))
+
+    def body():
+        for seq in range(n):
+            world.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 3, seq, 64)
+            yield Timeout(0.2)
+
+    proc = world.laptop.spawn(body())
+    run_to_completion(world, proc, cap=60.0)
+    return sum(rtts) / len(rtts)
+
+
+def test_wrapped_socket_sees_emulated_delay(mod_world):
+    w = mod_world
+    _echo_rpc_server(w)
+    client = RpcClient(w.sim, w.laptop.udp, LAPTOP_ADDR, SERVER_ADDR, 7000)
+    wrap_rpc_client(client, SLOW, w.rngs.stream("dl"))
+    w.laptop.spawn(client.dispatcher())
+    rtt = _rpc_rtt(w, client)
+    # ~40 ms each way plus per-byte costs.
+    assert rtt > 0.075
+
+
+def test_unwrapped_socket_is_fast(mod_world):
+    w = mod_world
+    _echo_rpc_server(w)
+    client = RpcClient(w.sim, w.laptop.udp, LAPTOP_ADDR, SERVER_ADDR, 7000)
+    w.laptop.spawn(client.dispatcher())
+    assert _rpc_rtt(w, client) < 0.01
+
+
+def test_delayline_drops_apply(mod_world):
+    w = mod_world
+    lossy = constant_trace(duration=60.0, latency=1e-3, bandwidth_bps=2e6,
+                           loss=1.0)
+    _echo_rpc_server(w)
+    client = RpcClient(w.sim, w.laptop.udp, LAPTOP_ADDR, SERVER_ADDR, 7000,
+                       initial_timeout=0.3, max_retries=1)
+    wrapped = wrap_rpc_client(client, lossy, w.rngs.stream("dl"))
+    w.laptop.spawn(client.dispatcher())
+
+    from repro.protocols.rpc import RpcTimeout
+
+    def body():
+        with pytest.raises(RpcTimeout):
+            yield from client.call("echo", 1, 32)
+
+    run_to_completion(mod_world, w.laptop.spawn(body()), cap=60.0)
+    assert wrapped.dropped_out > 0
+
+
+def test_userlevel_wrapper_misses_other_traffic(mod_world):
+    """The paper's §2.3 point, quantified.
+
+    With the Delayline wrapper, the wrapped RPC flow is slowed ~100x
+    while ICMP on the same host still runs at raw Ethernet speed.
+    With kernel modulation, both flows slow down.
+    """
+    w = mod_world
+    _echo_rpc_server(w)
+    client = RpcClient(w.sim, w.laptop.udp, LAPTOP_ADDR, SERVER_ADDR, 7000)
+    wrap_rpc_client(client, SLOW, w.rngs.stream("dl"))
+    w.laptop.spawn(client.dispatcher())
+    rpc_rtt = _rpc_rtt(w, client)
+    icmp_rtt = _icmp_rtt(w)
+    assert rpc_rtt > 0.075          # the app is emulated...
+    assert icmp_rtt < 0.005         # ...but the rest of the host is not
+
+    # Kernel modulation covers everything.
+    w2 = ModulationWorld(seed=9)
+    install_modulation(w2.laptop, w2.laptop_device, SLOW,
+                       w2.rngs.stream("mod"), loop=True)
+    _echo_rpc_server(w2)
+    client2 = RpcClient(w2.sim, w2.laptop.udp, LAPTOP_ADDR, SERVER_ADDR,
+                        7000)
+    w2.laptop.spawn(client2.dispatcher())
+    w2.run(until=0.5)
+    rpc2 = _rpc_rtt(w2, client2)
+    icmp2 = _icmp_rtt(w2)
+    assert rpc2 > 0.075
+    assert icmp2 > 0.075            # all traffic is accounted for (§1)

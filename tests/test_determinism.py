@@ -1,0 +1,50 @@
+"""Determinism guarantees: identical seeds regenerate identical results.
+
+EXPERIMENTS.md quotes exact numbers; these tests guard the property
+that makes that possible.
+"""
+
+from repro.core import Distiller, dumps_trace
+from repro.scenarios import PorterScenario, WeanScenario
+from repro.validation import collect_trace, run_live_trial
+from repro.validation.harness import FtpRunner
+
+
+def test_collection_is_bit_identical_across_runs():
+    a = collect_trace(PorterScenario(), seed=3, trial=1)
+    b = collect_trace(PorterScenario(), seed=3, trial=1)
+    assert dumps_trace(a) == dumps_trace(b)
+
+
+def test_distillation_is_bit_identical_across_runs():
+    records = collect_trace(WeanScenario(), seed=5, trial=0)
+    a = Distiller().distill(records).replay.to_json()
+    b = Distiller().distill(records).replay.to_json()
+    assert a == b
+
+
+def test_full_pipeline_json_identical():
+    replay_a = Distiller().distill(
+        collect_trace(PorterScenario(), seed=7, trial=2)).replay
+    replay_b = Distiller().distill(
+        collect_trace(PorterScenario(), seed=7, trial=2)).replay
+    assert replay_a.to_json() == replay_b.to_json()
+
+
+def test_different_seeds_differ():
+    a = collect_trace(PorterScenario(), seed=1, trial=0)
+    b = collect_trace(PorterScenario(), seed=2, trial=0)
+    assert dumps_trace(a) != dumps_trace(b)
+
+
+def test_different_trials_differ():
+    a = collect_trace(PorterScenario(), seed=1, trial=0)
+    b = collect_trace(PorterScenario(), seed=1, trial=1)
+    assert dumps_trace(a) != dumps_trace(b)
+
+
+def test_live_benchmark_trial_deterministic():
+    runner = FtpRunner(nbytes=300_000, direction="send")
+    a = run_live_trial(PorterScenario(), runner, seed=4, trial=0)
+    b = run_live_trial(PorterScenario(), runner, seed=4, trial=0)
+    assert a == b

@@ -1,0 +1,34 @@
+"""Smoke tests for the example programs.
+
+Examples are documentation that must not rot: each module has to
+import cleanly and expose a ``main``.  (Their full runs are exercised
+manually / in benchmarks; importing catches API drift cheaply.)
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+
+def _load(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_imports_and_has_main(name):
+    module = _load(name)
+    assert callable(getattr(module, "main", None))
+    assert module.__doc__, f"{name} lacks a module docstring"

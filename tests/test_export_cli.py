@@ -1,0 +1,184 @@
+"""Tests for the netem/mahimahi exporters and the CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core import ReplayTrace, constant_trace
+from repro.core.export import (
+    to_mahimahi_commands,
+    to_mahimahi_trace,
+    to_netem_script,
+)
+from repro.core.replay import QualityTuple
+
+
+# ----------------------------------------------------------------------
+# netem export
+# ----------------------------------------------------------------------
+def _two_phase_trace():
+    return ReplayTrace([
+        QualityTuple(d=2.0, F=5e-3, Vb=5e-6, Vr=1e-6, L=0.0),
+        QualityTuple(d=3.0, F=50e-3, Vb=40e-6, Vr=2e-6, L=0.1),
+    ], name="two-phase")
+
+
+def test_netem_script_structure():
+    script = to_netem_script(_two_phase_trace(), dev="eth1")
+    assert script.startswith("#!/bin/sh")
+    assert 'DEV="${1:-eth1}"' in script
+    assert "tc qdisc add dev" in script
+    assert "tc qdisc change dev" in script
+    assert script.rstrip().endswith('tc qdisc del dev "$DEV" root')
+
+
+def test_netem_script_encodes_tuples():
+    script = to_netem_script(_two_phase_trace())
+    # First tuple: 8/5e-6 = 1.6 Mb/s -> 1600 kbit; 5ms + 1500*1e-6.
+    assert "rate 1600kbit" in script
+    assert "delay 6.50ms" in script
+    # Second tuple: 0.2 Mb/s, 53 ms, 10% loss.
+    assert "rate 200kbit" in script
+    assert "loss 10.000%" in script
+    assert "sleep 2" in script and "sleep 3" in script
+
+
+def test_netem_loop_mode():
+    script = to_netem_script(_two_phase_trace(), loop=True)
+    assert "while true; do" in script
+    assert "tc qdisc del" in script  # only via the INT/TERM trap
+    assert script.count("while true") == 1
+
+
+def test_netem_zero_bottleneck_clamped():
+    trace = ReplayTrace([QualityTuple(d=1.0, F=0, Vb=0, Vr=0, L=0)])
+    script = to_netem_script(trace)
+    assert "rate 10000000kbit" in script
+
+
+# ----------------------------------------------------------------------
+# Mahimahi export
+# ----------------------------------------------------------------------
+def test_mahimahi_trace_rate():
+    # 1.2 Mb/s for 2 s: one 1500-byte opportunity per 10 ms -> 200 lines.
+    trace = constant_trace(duration=2.0, latency=1e-3, bandwidth_bps=1.2e6,
+                           residual_fraction=0.0)
+    lines = to_mahimahi_trace(trace).strip().splitlines()
+    assert len(lines) == pytest.approx(200, abs=3)
+    values = [int(v) for v in lines]
+    assert values == sorted(values)          # nondecreasing
+    assert values[0] >= 1                    # mm-link forbids t=0
+
+
+def test_mahimahi_trace_rate_change_visible():
+    trace = ReplayTrace([
+        QualityTuple(d=1.0, F=0, Vb=12e-6, Vr=0, L=0),   # ~0.67 Mb/s
+        QualityTuple(d=1.0, F=0, Vb=3e-6, Vr=0, L=0),    # ~2.7 Mb/s
+    ])
+    values = [int(v) for v in to_mahimahi_trace(trace).split()]
+    first_second = sum(1 for v in values if v < 1000)
+    second_second = sum(1 for v in values if v >= 1000)
+    assert second_second > first_second * 2.5
+
+
+def test_mahimahi_commands():
+    trace = constant_trace(duration=5.0, latency=30e-3, bandwidth_bps=1e6,
+                           loss=0.02)
+    cmd = to_mahimahi_commands(trace, "up.trace")
+    assert cmd.startswith("mm-delay 30")
+    assert "mm-loss uplink 0.0200" in cmd
+    assert "mm-link up.trace up.trace" in cmd
+
+
+def test_mahimahi_lossless_omits_mm_loss():
+    trace = constant_trace(duration=5.0, latency=1e-3, bandwidth_bps=1e6)
+    assert "mm-loss" not in to_mahimahi_commands(trace)
+
+
+# ----------------------------------------------------------------------
+# CLI (exercised through main(argv) — no subprocesses)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def replay_file(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "replay.json")
+    constant_trace(duration=30.0, latency=5e-3, bandwidth_bps=1.5e6,
+                   loss=0.01).save(path)
+    return path
+
+
+def test_cli_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_info(replay_file, capsys):
+    assert main(["info", replay_file]) == 0
+    out = capsys.readouterr().out
+    assert "30 tuples" in out
+    assert "1.67 Mb/s" in out       # 8/Vb with Vb = 0.9 of total V
+    assert "latency" in out
+
+
+def test_cli_export_netem(replay_file, tmp_path, capsys):
+    out_path = str(tmp_path / "trace.sh")
+    assert main(["export", replay_file, "--format", "netem",
+                 "--dev", "em0", "-o", out_path]) == 0
+    with open(out_path) as f:
+        content = f.read()
+    assert "em0" in content and "netem" in content
+
+
+def test_cli_export_mahimahi(replay_file, tmp_path, capsys):
+    out_path = str(tmp_path / "trace.up")
+    assert main(["export", replay_file, "--format", "mahimahi",
+                 "-o", out_path]) == 0
+    with open(out_path) as f:
+        assert len(f.read().splitlines()) > 100
+    assert "mm-link" in capsys.readouterr().out
+
+
+def test_cli_collect_distill_roundtrip(tmp_path, capsys):
+    trace_path = str(tmp_path / "mini.trace")
+    replay_path = str(tmp_path / "mini.json")
+    assert main(["collect", "--scenario", "porter", "--trial", "0",
+                 "-o", trace_path]) == 0
+    assert os.path.getsize(trace_path) > 1000
+    assert main(["distill", trace_path, "-o", replay_path]) == 0
+    out = capsys.readouterr().out
+    assert "distilled" in out
+    replay = ReplayTrace.load(replay_path)
+    assert 0.8e6 < replay.mean_bandwidth_bps() < 1.8e6
+
+
+def test_cli_characterize(capsys):
+    assert main(["characterize", "--scenario", "wean", "--trials", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "latency_ms" in out and "z4" in out
+
+
+def test_cli_compensation(capsys):
+    assert main(["compensation"]) == 0
+    out = capsys.readouterr().out
+    assert "us/byte" in out
+
+
+def test_cli_validate_mini(capsys):
+    rc = main(["validate", "--scenario", "flagstaff", "--benchmark", "web",
+               "--trials", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Flagstaff" in out and "Real (s)" in out
+
+
+def test_cli_analyze_with_filter(tmp_path, capsys):
+    trace_path = str(tmp_path / "f.trace")
+    assert main(["collect", "--scenario", "porter", "-o", trace_path]) == 0
+    capsys.readouterr()
+    assert main(["analyze", trace_path, "--filter", "echo and out"]) == 0
+    out = capsys.readouterr().out
+    assert "packets match" in out
+    assert main(["analyze", trace_path, "--filter", "icmp",
+                 "--dump", "--limit", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "more" in out and "icmp" in out

@@ -1,0 +1,204 @@
+"""Failure-injection tests: the system under adverse conditions.
+
+Each test breaks something mid-run — daemons die, buffers overrun,
+feeds starve, connections get reset — and checks that the failure is
+contained, visible, and accounted for rather than silent.
+"""
+
+import pytest
+
+from repro.apps.ftp import FtpClient, FtpServer
+from repro.apps.ping import ModifiedPing
+from repro.core import (
+    CollectionDaemon,
+    Distiller,
+    ModulationDaemon,
+    PacketTracer,
+    ReplayFeedDevice,
+    constant_trace,
+    install_modulation,
+    trace_collection_run,
+)
+from repro.core.modulator import ModulationLayer
+from repro.core.traceformat import LostRecordsRecord, PacketRecord
+from repro.hosts import LAPTOP_ADDR, ModulationWorld, SERVER_ADDR
+from repro.protocols.tcp import TCPError, TCPHeader
+from repro.net.packet import Packet, PROTO_TCP
+from repro.sim import Timeout
+from tests.conftest import run_to_completion
+
+
+# ----------------------------------------------------------------------
+# Collection-side failures
+# ----------------------------------------------------------------------
+def test_slow_daemon_overrun_is_accounted_not_silent(live_world):
+    """If the drain daemon stalls, lost records are reported in-band."""
+    w = live_world
+    tracer = PacketTracer(w.laptop, w.radio, buffer_capacity=16)
+    daemon = CollectionDaemon(w.laptop, tracer.pseudo_device.name,
+                              drain_period=60.0)  # effectively stalled
+    w.laptop.spawn(daemon.loop())
+    ping = ModifiedPing(w.laptop, SERVER_ADDR)
+    proc = w.laptop.spawn(ping.run(20.0))
+    run_to_completion(w, proc, cap=40.0)
+    daemon.stop()
+    w.run(until=w.sim.now + 65.0)
+    lost = [r for r in daemon.records if isinstance(r, LostRecordsRecord)]
+    kept = [r for r in daemon.records if isinstance(r, PacketRecord)]
+    assert lost, "overrun happened but was not reported"
+    total_lost = sum(r.count for r in lost)
+    # Conservation: every appended record is either delivered or
+    # reported lost — nothing vanishes silently.
+    status_kept = len(daemon.records) - len(lost) - len(kept)
+    assert len(kept) + status_kept + total_lost \
+        == tracer.buffer.total_appended
+
+
+def test_distiller_survives_gappy_trace(live_world):
+    """A trace with a mid-run collection gap still distills."""
+    w = live_world
+    daemon = trace_collection_run(w.laptop, w.radio)
+    ping = ModifiedPing(w.laptop, SERVER_ADDR)
+    proc = w.laptop.spawn(ping.run(30.0))
+    run_to_completion(w, proc, cap=60.0)
+    w.run(until=w.sim.now + 2.0)
+    records = daemon.records
+    # Cut out the middle third (daemon crash window).
+    packets = [r for r in records if isinstance(r, PacketRecord)]
+    t0 = min(r.timestamp for r in packets)
+    gappy = [r for r in records
+             if not (t0 + 10.0 <= getattr(r, "timestamp", t0) < t0 + 20.0)]
+    result = Distiller().distill(gappy)
+    assert len(result.replay) >= 25
+    # The hole is filled by holding the previous tuple (§3.2.2 spirit).
+    held = result.replay.tuple_at(15.0)
+    assert held.F > 0
+
+
+# ----------------------------------------------------------------------
+# Modulation-side failures
+# ----------------------------------------------------------------------
+def test_feed_starvation_holds_last_tuple(mod_world):
+    """If the tuple daemon dies, modulation holds the last tuple."""
+    w = mod_world
+    trace = constant_trace(duration=3.0, latency=30e-3, bandwidth_bps=2e6)
+    layer = install_modulation(w.laptop, w.laptop_device, trace,
+                               w.rngs.stream("m"), loop=False)
+    rtts = []
+    w.laptop.icmp.on_echo_reply(
+        9, lambda pkt, now: rtts.append(now - pkt.meta["echo_sent_at"]))
+
+    def pinger():
+        yield Timeout(0.5)
+        for seq in range(12):  # far outlives the 3 s trace
+            w.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 9, seq, 64)
+            yield Timeout(1.0)
+
+    w.laptop.spawn(pinger())
+    w.run(until=15.0)
+    assert len(rtts) == 12
+    # Probes after the trace ran out still see ~30 ms latency each way.
+    assert rtts[-1] > 0.04
+    assert layer.feed.underruns > 0
+
+
+def test_modulator_packet_conservation(mod_world):
+    """Every packet entering the layer is delivered or counted dropped."""
+    w = mod_world
+    trace = constant_trace(duration=60.0, latency=5e-3, bandwidth_bps=1e6,
+                           loss=0.3)
+    layer = install_modulation(w.laptop, w.laptop_device, trace,
+                               w.rngs.stream("m"), loop=True)
+    received = []
+    w.laptop.icmp.on_echo_reply(9, lambda pkt, now: received.append(pkt))
+    w.run(until=0.5)
+    for seq in range(200):
+        w.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 9, seq, 200)
+    w.run(until=60.0)
+    answered = w.server.icmp.echoes_answered
+    assert layer.out_packets == 200
+    assert layer.out_dropped + answered == 200
+    assert layer.in_packets == answered
+    assert layer.in_dropped + len(received) == answered
+
+
+def test_modulation_daemon_stop_midway(mod_world):
+    w = mod_world
+    feed = ReplayFeedDevice(w.laptop, capacity=4)
+    w.laptop.kernel.register_device(feed)
+    feed.open()
+    daemon = ModulationDaemon(w.laptop, constant_trace(60.0, 1e-3, 1e6),
+                              device_name="mod0", loop=True)
+    proc = w.laptop.spawn(daemon.loop())
+    w.run(until=1.0)
+    daemon.stop()
+    for _ in range(8):
+        feed.next_tuple()
+        w.run(until=w.sim.now + 0.1)
+    assert not proc.alive  # clean exit, no hang
+
+
+# ----------------------------------------------------------------------
+# Transport-layer failures
+# ----------------------------------------------------------------------
+def test_rst_mid_transfer_fails_loudly(mod_world):
+    w = mod_world
+    FtpServer(w.server).start()
+    client = FtpClient(w.laptop, SERVER_ADDR)
+    outcome = {}
+
+    def body():
+        try:
+            yield from client.transfer("send", 5_000_000)
+            outcome["ok"] = True
+        except TCPError as err:
+            outcome["error"] = str(err)
+
+    proc = w.laptop.spawn(body())
+    w.run(until=3.0)
+    # Forge a RST against the data connection.
+    data_conns = [c for c in w.laptop.tcp._conns.values() if c.rport == 20]
+    assert data_conns
+    victim = data_conns[0]
+    rst = Packet(tcp=TCPHeader(src_port=victim.rport,
+                               dst_port=victim.lport,
+                               flags=TCPHeader.RST))
+    from repro.net.packet import IPHeader
+
+    rst.ip = IPHeader(src=SERVER_ADDR, dst=LAPTOP_ADDR, proto=PROTO_TCP)
+    victim.segment_arrives(rst)
+    run_to_completion(w, proc, cap=400.0)
+    assert "error" in outcome
+    assert "reset" in outcome["error"]
+
+
+def test_server_vanishing_mid_session_recovers_listener(mod_world):
+    """The FTP server survives a client whose connection dies."""
+    w = mod_world
+    server = FtpServer(w.server)
+    server.start()
+    client = FtpClient(w.laptop, SERVER_ADDR)
+
+    def doomed():
+        try:
+            yield from client.transfer("send", 20_000_000)
+        except TCPError:
+            pass
+
+    proc = w.laptop.spawn(doomed())
+    w.run(until=3.0)
+    # Kill every laptop-side connection with local resets.
+    for conn in list(w.laptop.tcp._conns.values()):
+        conn._fail(TCPError("connection reset"))
+    run_to_completion(w, proc, cap=300.0)
+
+    # A fresh session against the same server must still work.
+    outcome = {}
+
+    def retry():
+        result = yield from client.transfer("send", 100_000)
+        outcome["elapsed"] = result.elapsed
+
+    proc = w.laptop.spawn(retry())
+    run_to_completion(w, proc, cap=300.0)
+    assert outcome["elapsed"] > 0

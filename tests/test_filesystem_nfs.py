@@ -1,0 +1,368 @@
+"""Unit tests for the in-memory filesystem, disk model, and NFS."""
+
+import pytest
+
+from repro.apps.disk import Disk
+from repro.apps.filesystem import FileSystem, FsError
+from repro.apps.nfs import NfsClient, NfsError, NfsServer, TRANSFER_SIZE
+from repro.hosts import SERVER_ADDR
+from repro.sim import Simulator, run_process
+from tests.conftest import run_to_completion
+
+
+# ----------------------------------------------------------------------
+# Disk
+# ----------------------------------------------------------------------
+def test_disk_read_time_scales_with_bytes():
+    sim = Simulator()
+    disk = Disk(sim, read_rate=1e6, op_overhead=0.0)
+
+    def body():
+        yield from disk.read(500_000)
+        return sim.now
+
+    assert run_process(sim, body()) == pytest.approx(0.5)
+
+
+def test_disk_overhead_applies_per_operation():
+    sim = Simulator()
+    disk = Disk(sim, read_rate=1e9, op_overhead=2e-3)
+
+    def body():
+        yield from disk.read(1)
+        yield from disk.write(1)
+        return sim.now
+
+    assert run_process(sim, body()) == pytest.approx(4e-3, rel=0.01)
+
+
+def test_disk_counters():
+    sim = Simulator()
+    disk = Disk(sim)
+
+    def body():
+        yield from disk.read(100)
+        yield from disk.write(200)
+
+    run_process(sim, body())
+    assert disk.bytes_read == 100
+    assert disk.bytes_written == 200
+    assert disk.operations == 2
+
+
+def test_disk_rejects_bad_rates():
+    with pytest.raises(ValueError):
+        Disk(Simulator(), read_rate=0.0)
+
+
+# ----------------------------------------------------------------------
+# FileSystem
+# ----------------------------------------------------------------------
+def test_fs_create_and_lookup():
+    fs = FileSystem()
+    fid = fs.create(fs.root.fileid, "hello.c")
+    assert fs.lookup(fs.root.fileid, "hello.c") == fid
+    assert fs.getattr(fid).kind == "file"
+
+
+def test_fs_mkdir_and_nesting():
+    fs = FileSystem()
+    d = fs.mkdir(fs.root.fileid, "src")
+    f = fs.create(d, "a.c")
+    assert fs.resolve("src/a.c") == f
+
+
+def test_fs_lookup_missing_raises():
+    fs = FileSystem()
+    with pytest.raises(FsError):
+        fs.lookup(fs.root.fileid, "ghost")
+
+
+def test_fs_duplicate_name_rejected():
+    fs = FileSystem()
+    fs.create(fs.root.fileid, "x")
+    with pytest.raises(FsError):
+        fs.create(fs.root.fileid, "x")
+
+
+def test_fs_write_extends_size_and_mtime():
+    fs = FileSystem()
+    fid = fs.create(fs.root.fileid, "f")
+    fs.write(fid, 0, 1000, now=5.0)
+    fs.write(fid, 500, 1000, now=6.0)
+    attrs = fs.getattr(fid)
+    assert attrs.size == 1500
+    assert attrs.mtime == 6.0
+
+
+def test_fs_read_respects_eof():
+    fs = FileSystem()
+    fid = fs.create_file("f", 100)
+    assert fs.read(fid, 0, 200) == 100
+    assert fs.read(fid, 50, 200) == 50
+    assert fs.read(fid, 100, 10) == 0
+
+
+def test_fs_read_write_on_directory_rejected():
+    fs = FileSystem()
+    d = fs.mkdir(fs.root.fileid, "d")
+    with pytest.raises(FsError):
+        fs.read(d, 0, 1)
+    with pytest.raises(FsError):
+        fs.write(d, 0, 1)
+
+
+def test_fs_readdir_sorted():
+    fs = FileSystem()
+    for name in ("b", "a", "c"):
+        fs.create(fs.root.fileid, name)
+    assert [n for n, _ in fs.readdir(fs.root.fileid)] == ["a", "b", "c"]
+
+
+def test_fs_remove():
+    fs = FileSystem()
+    fid = fs.create(fs.root.fileid, "gone")
+    fs.remove(fs.root.fileid, "gone")
+    with pytest.raises(FsError):
+        fs.getattr(fid)
+
+
+def test_fs_remove_nonempty_dir_rejected():
+    fs = FileSystem()
+    d = fs.mkdir(fs.root.fileid, "d")
+    fs.create(d, "child")
+    with pytest.raises(FsError):
+        fs.remove(fs.root.fileid, "d")
+
+
+def test_fs_makedirs_idempotent():
+    fs = FileSystem()
+    a = fs.makedirs("x/y/z")
+    b = fs.makedirs("x/y/z")
+    assert a == b
+
+
+def test_fs_truncate():
+    fs = FileSystem()
+    fid = fs.create_file("f", 1000)
+    fs.truncate(fid, 10)
+    assert fs.getattr(fid).size == 10
+
+
+def test_fs_accounting():
+    fs = FileSystem()
+    fs.create_file("a", 100)
+    fs.create_file("d/b", 200)
+    assert fs.total_bytes() == 300
+    assert fs.file_count() == 2
+
+
+def test_fs_stale_handle():
+    fs = FileSystem()
+    with pytest.raises(FsError):
+        fs.getattr(999)
+
+
+# ----------------------------------------------------------------------
+# NFS client/server
+# ----------------------------------------------------------------------
+def _nfs_world(mod_world):
+    server = NfsServer(mod_world.server)
+    server.fs.create_file("src/a.c", 20000)
+    server.fs.create_file("src/b.c", 500)
+    server.start()
+    client = NfsClient(mod_world.laptop, SERVER_ADDR)
+    return server, client
+
+
+def test_nfs_walk_and_getattr(mod_world):
+    server, client = _nfs_world(mod_world)
+
+    def body():
+        fid = yield from client.walk("src/a.c")
+        attrs = yield from client.getattr(fid)
+        return attrs
+
+    attrs = run_to_completion(mod_world, mod_world.laptop.spawn(body()))
+    assert attrs.size == 20000
+    assert attrs.kind == "file"
+
+
+def test_nfs_read_issues_8k_transfers(mod_world):
+    server, client = _nfs_world(mod_world)
+
+    def body():
+        fid = yield from client.walk("src/a.c")
+        size = yield from client.read_file(fid)
+        return size
+
+    assert run_to_completion(mod_world, mod_world.laptop.spawn(body())) == 20000
+    assert client.stats.read == 3  # ceil(20000 / 8192)
+
+
+def test_nfs_warm_read_is_status_check_only(mod_world):
+    """§4.2: warm-cache re-reads send only small status messages."""
+    server, client = _nfs_world(mod_world)
+
+    def body():
+        fid = yield from client.walk("src/a.c")
+        yield from client.read_file(fid)
+        reads_after_first = client.stats.read
+        getattrs_before = client.stats.getattr
+        client._attr_cache.clear()  # attr TTL expiry
+        yield from client.read_file(fid)
+        return (reads_after_first, client.stats.read,
+                client.stats.getattr - getattrs_before)
+
+    first, second, new_getattrs = run_to_completion(
+        mod_world, mod_world.laptop.spawn(body()))
+    assert first == second        # no new READs on the warm path
+    assert new_getattrs == 1      # but a validation GETATTR went out
+
+
+def test_nfs_modified_file_invalidates_data_cache(mod_world):
+    server, client = _nfs_world(mod_world)
+
+    def body():
+        fid = yield from client.walk("src/b.c")
+        yield from client.read_file(fid)
+        # Another client (the server itself here) rewrites the file.
+        server.fs.write(fid, 0, 600, now=mod_world.sim.now + 100.0)
+        client._attr_cache.clear()
+        yield from client.read_file(fid)
+        return client.stats.read
+
+    reads = run_to_completion(mod_world, mod_world.laptop.spawn(body()))
+    assert reads == 2  # one per read_file: cache was invalidated
+
+
+def test_nfs_write_is_synchronous_8k_chunks(mod_world):
+    server, client = _nfs_world(mod_world)
+
+    def body():
+        root = client.root_fh
+        fid = yield from client.create(root, "out.dat")
+        yield from client.write_file(fid, 20000)
+        return fid
+
+    fid = run_to_completion(mod_world, mod_world.laptop.spawn(body()))
+    assert client.stats.write == 3
+    assert server.fs.getattr(fid).size == 20000
+
+
+def test_nfs_mkdir_readdir_remove(mod_world):
+    server, client = _nfs_world(mod_world)
+
+    def body():
+        d = yield from client.mkdir(client.root_fh, "newdir")
+        yield from client.create(d, "f1")
+        entries = yield from client.readdir(d)
+        yield from client.remove(d, "f1")
+        entries_after = yield from client.readdir(d)
+        return entries, entries_after
+
+    entries, after = run_to_completion(mod_world, mod_world.laptop.spawn(body()))
+    assert [n for n, _ in entries] == ["f1"]
+    assert after == []
+
+
+def test_nfs_error_propagates(mod_world):
+    server, client = _nfs_world(mod_world)
+
+    def body():
+        yield from client.walk("src/ghost.c")
+
+    proc = mod_world.laptop.spawn(body())
+    with pytest.raises(NfsError):
+        run_to_completion(mod_world, proc)
+
+
+def test_nfs_name_cache_hits(mod_world):
+    server, client = _nfs_world(mod_world)
+
+    def body():
+        yield from client.walk("src/a.c")
+        lookups_first = client.stats.lookup
+        yield from client.walk("src/a.c")
+        return lookups_first, client.stats.lookup
+
+    first, second = run_to_completion(mod_world, mod_world.laptop.spawn(body()))
+    assert second == first  # all lookups served from the name cache
+
+
+def test_nfs_flush_caches_forces_refetch(mod_world):
+    server, client = _nfs_world(mod_world)
+
+    def body():
+        fid = yield from client.walk("src/a.c")
+        yield from client.read_file(fid)
+        client.flush_caches()
+        fid = yield from client.walk("src/a.c")
+        yield from client.read_file(fid)
+        return client.stats.read
+
+    reads = run_to_completion(mod_world, mod_world.laptop.spawn(body()))
+    assert reads == 6  # 3 cold reads, twice
+
+
+def test_transfer_size_is_nfsv2():
+    assert TRANSFER_SIZE == 8192
+
+
+def test_fs_rename_moves_between_dirs():
+    from repro.apps.filesystem import FileSystem
+
+    fs = FileSystem()
+    a = fs.mkdir(fs.root.fileid, "a")
+    b = fs.mkdir(fs.root.fileid, "b")
+    fid = fs.create(a, "f.c")
+    fs.rename(a, "f.c", b, "g.c", now=3.0)
+    assert fs.lookup(b, "g.c") == fid
+    with pytest.raises(FsError):
+        fs.lookup(a, "f.c")
+
+
+def test_fs_rename_refuses_overwrite():
+    from repro.apps.filesystem import FileSystem
+
+    fs = FileSystem()
+    fs.create(fs.root.fileid, "x")
+    fs.create(fs.root.fileid, "y")
+    with pytest.raises(FsError):
+        fs.rename(fs.root.fileid, "x", fs.root.fileid, "y")
+
+
+def test_nfs_setattr_truncates_and_invalidates_cache(mod_world):
+    server, client = _nfs_world(mod_world)
+
+    def body():
+        fid = yield from client.walk("src/a.c")
+        yield from client.read_file(fid)          # warm the data cache
+        attrs = yield from client.setattr(fid, 100)
+        reads_before = client.stats.read
+        client._attr_cache.clear()
+        yield from client.read_file(fid)          # must re-READ now
+        return attrs.size, client.stats.read - reads_before
+
+    size, new_reads = run_to_completion(mod_world,
+                                        mod_world.laptop.spawn(body()))
+    assert size == 100
+    assert new_reads == 1
+    assert server.fs.resolve("src/a.c") and \
+        server.fs.getattr(server.fs.resolve("src/a.c")).size == 100
+
+
+def test_nfs_rename_updates_name_cache(mod_world):
+    server, client = _nfs_world(mod_world)
+
+    def body():
+        src_dir = yield from client.walk("src")
+        fid = yield from client.lookup(src_dir, "b.c")
+        yield from client.rename(src_dir, "b.c", client.root_fh, "moved.c")
+        moved = yield from client.lookup(client.root_fh, "moved.c")
+        return fid, moved, client.stats.rename
+
+    fid, moved, renames = run_to_completion(mod_world,
+                                            mod_world.laptop.spawn(body()))
+    assert fid == moved
+    assert renames == 1

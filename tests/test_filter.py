@@ -1,0 +1,145 @@
+"""Tests for the BPF-style trace filter language."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.filter import (
+    FilterError,
+    compile_filter,
+    dump_records,
+    filter_records,
+)
+from repro.core.traceformat import DIR_IN, DIR_OUT, DeviceStatusRecord, PacketRecord
+from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+
+def _rec(ts=0.0, direction=DIR_OUT, proto=PROTO_ICMP, size=100,
+         icmp_type=-1, seq=-1, ident=-1, rtt=-1.0, src="10.0.0.2",
+         dst="10.0.0.1", src_port=-1, dst_port=-1):
+    return PacketRecord(timestamp=ts, direction=direction, proto=proto,
+                        size=size, src=src, dst=dst, icmp_type=icmp_type,
+                        ident=ident, seq=seq, rtt=rtt, src_port=src_port,
+                        dst_port=dst_port)
+
+
+SAMPLE = [
+    _rec(ts=0.0, proto=PROTO_ICMP, icmp_type=8, seq=0, size=88),
+    _rec(ts=0.01, direction=DIR_IN, proto=PROTO_ICMP, icmp_type=0, seq=0,
+         rtt=0.01, src="10.0.0.1", dst="10.0.0.2", size=88),
+    _rec(ts=1.0, proto=PROTO_TCP, src_port=49152, dst_port=20, size=1500),
+    _rec(ts=2.0, direction=DIR_IN, proto=PROTO_TCP, src_port=20,
+         dst_port=49152, size=54, src="10.0.0.1", dst="10.0.0.2"),
+    _rec(ts=3.0, proto=PROTO_UDP, src_port=1023, dst_port=2049, size=8400),
+    DeviceStatusRecord(3.5, 18.0, 10.0, 3.0),
+]
+
+
+def _match(expr):
+    return filter_records(SAMPLE, expr)
+
+
+def test_protocol_primitives():
+    assert len(_match("icmp")) == 2
+    assert len(_match("tcp")) == 2
+    assert len(_match("udp")) == 1
+
+
+def test_direction_primitives():
+    assert len(_match("out")) == 3
+    assert len(_match("in")) == 2
+
+
+def test_icmp_type_primitives():
+    assert len(_match("echo")) == 1
+    assert _match("echoreply")[0].rtt == pytest.approx(0.01)
+
+
+def test_port_matches_either_side():
+    assert len(_match("port 20")) == 2
+    assert len(_match("port 2049")) == 1
+
+
+def test_address_primitives():
+    assert len(_match("src 10.0.0.1")) == 2
+    assert len(_match("dst 10.0.0.1")) == 3
+
+
+def test_numeric_comparisons():
+    assert len(_match("size > 1000")) == 2
+    assert len(_match("size <= 88")) == 3  # 2 icmp probes + tcp ack
+    assert len(_match("seq == 0")) == 2
+    assert len(_match("time >= 1 and time < 3")) == 2
+
+
+def test_boolean_combinators():
+    assert len(_match("icmp and out")) == 1
+    assert len(_match("icmp or udp")) == 3
+    assert len(_match("not icmp")) == 3
+    assert len(_match("(icmp and in) or (tcp and out)")) == 2
+
+
+def test_precedence_and_binds_tighter_than_or():
+    # icmp or (tcp and in) -> 2 icmp + 1 tcp-in
+    assert len(_match("icmp or tcp and in")) == 3
+
+
+def test_non_packet_records_never_match():
+    assert all(isinstance(r, PacketRecord) for r in _match("size >= 0"))
+
+
+def test_relative_time_anchored_to_first_packet():
+    shifted = [_rec(ts=100.0, icmp_type=8), _rec(ts=105.0, icmp_type=8)]
+    assert len(filter_records(shifted, "time < 1")) == 1
+
+
+def test_parse_errors():
+    for bad in ("", "and", "icmp and", "size >", "port", "((icmp)",
+                "icmp icmp", "bogus", "size ~ 3"):
+        with pytest.raises(FilterError):
+            compile_filter(bad)
+
+
+def test_dump_format():
+    text = dump_records(_match("icmp"))
+    assert "echo seq=0" in text
+    assert "echoreply seq=0 rtt=10.00ms" in text
+    assert "->" in text and "<-" in text
+
+
+def test_dump_limit():
+    text = dump_records(_match("size >= 0"), limit=2)
+    assert "3 more" in text
+
+
+def test_filter_on_real_trace(live_world):
+    from repro.apps.ping import ModifiedPing
+    from repro.core import trace_collection_run
+    from repro.hosts import SERVER_ADDR
+    from tests.conftest import run_to_completion
+
+    w = live_world
+    daemon = trace_collection_run(w.laptop, w.radio)
+    ping = ModifiedPing(w.laptop, SERVER_ADDR)
+    proc = w.laptop.spawn(ping.run(5.0))
+    run_to_completion(w, proc, cap=10.0)
+    w.run(until=w.sim.now + 2.0)
+    echoes = filter_records(daemon.records, "echo and out")
+    replies = filter_records(daemon.records, "echoreply and in")
+    assert len(echoes) == 15
+    assert len(replies) == 15
+    big = filter_records(daemon.records, "size > 1000")
+    assert all(r.size > 1000 for r in big)
+
+
+@given(st.lists(st.tuples(
+    st.sampled_from([PROTO_ICMP, PROTO_TCP, PROTO_UDP]),
+    st.sampled_from([DIR_IN, DIR_OUT]),
+    st.integers(min_value=0, max_value=9000)), max_size=40))
+def test_not_complements_any_expression(rows):
+    records = [_rec(ts=float(i), proto=p, direction=d, size=s)
+               for i, (p, d, s) in enumerate(rows)]
+    for expr in ("icmp", "out", "size > 500", "tcp and in"):
+        positive = filter_records(records, expr)
+        negative = filter_records(records, f"not ({expr})")
+        assert len(positive) + len(negative) == len(records)
+        assert not (set(map(id, positive)) & set(map(id, negative)))

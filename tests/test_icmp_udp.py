@@ -1,0 +1,150 @@
+"""Unit tests for ICMP and UDP."""
+
+import pytest
+
+from repro.hosts import LAPTOP_ADDR, SERVER_ADDR
+from repro.sim import run_process, spawn
+from tests.conftest import run_to_completion
+
+
+# ----------------------------------------------------------------------
+# ICMP
+# ----------------------------------------------------------------------
+def test_echo_generates_reply(live_world):
+    w = live_world
+    replies = []
+    w.laptop.icmp.on_echo_reply(5, lambda pkt, now: replies.append(pkt))
+    w.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, ident=5, seq=9,
+                            payload_bytes=64)
+    w.run(until=1.0)
+    assert len(replies) == 1
+    assert replies[0].icmp.seq == 9
+    assert replies[0].icmp.ident == 5
+
+
+def test_reply_echoes_payload_size(live_world):
+    w = live_world
+    replies = []
+    w.laptop.icmp.on_echo_reply(5, lambda pkt, now: replies.append(pkt))
+    w.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 5, 0, payload_bytes=777)
+    w.run(until=1.0)
+    assert replies[0].payload_bytes == 777
+
+
+def test_reply_carries_back_meta_timestamp(live_world):
+    w = live_world
+    replies = []
+    w.laptop.icmp.on_echo_reply(5, lambda pkt, now: replies.append(pkt))
+    w.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 5, 0, 64,
+                            meta={"echo_sent_at_host": 0.123})
+    w.run(until=1.0)
+    assert replies[0].meta["echo_sent_at_host"] == 0.123
+
+
+def test_reply_demuxed_by_ident(live_world):
+    w = live_world
+    mine, theirs = [], []
+    w.laptop.icmp.on_echo_reply(1, lambda pkt, now: mine.append(pkt))
+    w.laptop.icmp.on_echo_reply(2, lambda pkt, now: theirs.append(pkt))
+    w.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 1, 0, 64)
+    w.run(until=1.0)
+    assert len(mine) == 1 and theirs == []
+
+
+def test_handler_deregistration(live_world):
+    w = live_world
+    replies = []
+    w.laptop.icmp.on_echo_reply(1, lambda pkt, now: replies.append(pkt))
+    w.laptop.icmp.on_echo_reply(1, None)
+    w.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 1, 0, 64)
+    w.run(until=1.0)
+    assert replies == []
+    assert w.laptop.icmp.replies_received == 1
+
+
+def test_server_counts_echoes_answered(live_world):
+    w = live_world
+    w.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 1, 0, 64)
+    w.run(until=1.0)
+    assert w.server.icmp.echoes_answered == 1
+
+
+# ----------------------------------------------------------------------
+# UDP
+# ----------------------------------------------------------------------
+def test_udp_send_and_receive(mod_world):
+    w = mod_world
+    server_sock = w.server.udp.bind(SERVER_ADDR, 5000)
+    client_sock = w.laptop.udp.bind(LAPTOP_ADDR, 0)
+
+    def server():
+        src, sport, payload, nbytes = yield from server_sock.recv()
+        return (src, sport, payload, nbytes)
+
+    proc = w.server.spawn(server())
+    client_sock.send_to(SERVER_ADDR, 5000, payload="hello", payload_bytes=200)
+    value = run_to_completion(w, proc)
+    assert value[0] == LAPTOP_ADDR
+    assert value[2] == "hello"
+    assert value[3] == 200
+
+
+def test_udp_ephemeral_ports_unique(mod_world):
+    s1 = mod_world.laptop.udp.bind(LAPTOP_ADDR, 0)
+    s2 = mod_world.laptop.udp.bind(LAPTOP_ADDR, 0)
+    assert s1.port != s2.port
+    assert s1.port >= 32768
+
+
+def test_udp_double_bind_rejected(mod_world):
+    mod_world.laptop.udp.bind(LAPTOP_ADDR, 999)
+    with pytest.raises(ValueError):
+        mod_world.laptop.udp.bind(LAPTOP_ADDR, 999)
+
+
+def test_udp_unbound_port_drops(mod_world):
+    w = mod_world
+    sock = w.laptop.udp.bind(LAPTOP_ADDR, 0)
+    sock.send_to(SERVER_ADDR, 4242, payload_bytes=10)
+    w.run(until=1.0)
+    assert w.server.udp.dropped_no_port == 1
+
+
+def test_udp_closed_socket_rejects_send(mod_world):
+    sock = mod_world.laptop.udp.bind(LAPTOP_ADDR, 0)
+    sock.close()
+    with pytest.raises(RuntimeError):
+        sock.send_to(SERVER_ADDR, 1, payload_bytes=1)
+
+
+def test_udp_close_releases_port(mod_world):
+    sock = mod_world.laptop.udp.bind(LAPTOP_ADDR, 888)
+    sock.close()
+    mod_world.laptop.udp.bind(LAPTOP_ADDR, 888)  # no error
+
+
+def test_udp_large_datagram_survives_fragmentation(mod_world):
+    w = mod_world
+    server_sock = w.server.udp.bind(SERVER_ADDR, 5000)
+    client_sock = w.laptop.udp.bind(LAPTOP_ADDR, 0)
+
+    def server():
+        _, _, payload, nbytes = yield from server_sock.recv()
+        return nbytes
+
+    proc = w.server.spawn(server())
+    client_sock.send_to(SERVER_ADDR, 5000, payload="big", payload_bytes=8192)
+    assert run_to_completion(w, proc) == 8192
+    assert w.laptop.ip.datagrams_fragmented == 1
+
+
+def test_udp_recv_nowait_and_pending(mod_world):
+    w = mod_world
+    sock = w.server.udp.bind(SERVER_ADDR, 5000)
+    client = w.laptop.udp.bind(LAPTOP_ADDR, 0)
+    assert sock.recv_nowait() is None
+    client.send_to(SERVER_ADDR, 5000, payload_bytes=10)
+    w.run(until=1.0)
+    assert sock.pending() == 1
+    assert sock.recv_nowait() is not None
+    assert sock.pending() == 0

@@ -1,0 +1,135 @@
+"""Integration tests: the full collect → distill → modulate pipeline."""
+
+import pytest
+
+from repro.apps.ping import ModifiedPing
+from repro.core import (
+    Distiller,
+    dumps_trace,
+    install_modulation,
+    loads_trace,
+    trace_collection_run,
+)
+from repro.hosts import LAPTOP_ADDR, LiveWorld, ModulationWorld, SERVER_ADDR
+from repro.sim import Timeout
+from tests.conftest import ConstantProfile, run_to_completion
+
+
+def _collect(profile, seed=11, duration=40.0):
+    world = LiveWorld(profile=profile, seed=seed)
+    daemon = trace_collection_run(world.laptop, world.radio)
+    ping = ModifiedPing(world.laptop, SERVER_ADDR)
+    proc = world.laptop.spawn(ping.run(duration))
+    run_to_completion(world, proc, cap=duration + 20.0)
+    world.run(until=world.sim.now + 2.0)
+    return daemon.records
+
+
+def _modulated_rtts(replay, payload=1400, count=12, seed=12,
+                    compensation=0.8e-6):
+    world = ModulationWorld(seed=seed)
+    install_modulation(world.laptop, world.laptop_device, replay,
+                       world.rngs.stream("mod"),
+                       compensation_vb=compensation, loop=True)
+    rtts = []
+    world.laptop.icmp.on_echo_reply(
+        9, lambda pkt, now: rtts.append(now - pkt.meta["echo_sent_at"]))
+
+    def pinger():
+        yield Timeout(0.5)
+        for seq in range(count):
+            world.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 9, seq,
+                                        payload)
+            yield Timeout(1.0)
+
+    world.laptop.spawn(pinger())
+    world.run(until=count + 5.0)
+    return rtts
+
+
+def _live_rtts(profile, payload=1400, count=12, seed=21):
+    world = LiveWorld(profile=profile, seed=seed)
+    rtts = []
+    world.laptop.icmp.on_echo_reply(
+        9, lambda pkt, now: rtts.append(now - pkt.meta["echo_sent_at"]))
+
+    def pinger():
+        for seq in range(count):
+            world.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 9, seq,
+                                        payload)
+            yield Timeout(1.0)
+
+    world.laptop.spawn(pinger())
+    world.run(until=count + 5.0)
+    return rtts
+
+
+def test_pipeline_reproduces_single_packet_rtt():
+    """Modulated RTTs track live RTTs for isolated large packets."""
+    profile = ConstantProfile(bandwidth_factor=0.8, access_latency=0.0005)
+    records = _collect(profile)
+    replay = Distiller().distill(records).replay
+    live = _live_rtts(profile)
+    modulated = _modulated_rtts(replay)
+    live_mean = sum(live) / len(live)
+    mod_mean = sum(modulated) / len(modulated)
+    # The model folds half-duplex contention into Vr, so a modest
+    # systematic error is expected; it must stay bounded.
+    assert mod_mean == pytest.approx(live_mean, rel=0.45)
+    assert mod_mean > 0.005  # and is far from raw-Ethernet speed
+
+
+def test_pipeline_reproduces_loss():
+    profile = ConstantProfile(loss_up=0.05, loss_down=0.05,
+                              bandwidth_factor=0.8)
+    records = _collect(profile, duration=80.0)
+    result = Distiller().distill(records)
+    # Distilled loss should sit near the symmetric per-direction rate.
+    assert 0.02 < result.replay.mean_loss() < 0.12
+    modulated = _modulated_rtts(result.replay, count=40)
+    assert len(modulated) < 40  # some probes died in modulation
+
+
+def test_pipeline_tracks_bandwidth_ordering():
+    """A slower live network must distill to a slower replay trace."""
+    fast = Distiller().distill(
+        _collect(ConstantProfile(bandwidth_factor=0.9))).replay
+    slow = Distiller().distill(
+        _collect(ConstantProfile(bandwidth_factor=0.45))).replay
+    assert slow.mean_bandwidth_bps() < fast.mean_bandwidth_bps() * 0.7
+
+
+def test_trace_records_serialize_through_file_format():
+    records = _collect(ConstantProfile(), duration=15.0)
+    back = loads_trace(dumps_trace(records, description="roundtrip"))
+    replay_a = Distiller().distill(records).replay
+    replay_b = Distiller().distill(back).replay
+    assert replay_a.tuples == replay_b.tuples
+
+
+def test_modulated_small_messages_underdelayed():
+    """§5.4: sub-half-tick delays are sent immediately in modulation."""
+    profile = ConstantProfile(bandwidth_factor=0.8, access_latency=0.0003)
+    replay = Distiller().distill(_collect(profile)).replay
+    live = _live_rtts(profile, payload=16)
+    modulated = _modulated_rtts(replay, payload=16)
+    live_mean = sum(live) / len(live)
+    mod_mean = sum(modulated) / len(modulated)
+    assert mod_mean < live_mean * 0.7  # visibly under-delayed
+    assert mod_mean < 0.004            # essentially raw Ethernet
+
+
+def test_clock_drift_does_not_break_distillation():
+    profile = ConstantProfile(bandwidth_factor=0.8)
+    world = LiveWorld(profile=profile, seed=11, laptop_clock_drift=5e-4)
+    daemon = trace_collection_run(world.laptop, world.radio)
+    ping = ModifiedPing(world.laptop, SERVER_ADDR)
+    proc = world.laptop.spawn(ping.run(30.0))
+    run_to_completion(world, proc, cap=60.0)
+    world.run(until=world.sim.now + 2.0)
+    result = Distiller().distill(daemon.records)
+    # Single-host round trips are immune to drift (§3.2.2).
+    assert result.groups_used > 20
+    assert result.replay.mean_bandwidth_bps() == pytest.approx(
+        Distiller().distill(_collect(profile)).replay.mean_bandwidth_bps(),
+        rel=0.15)

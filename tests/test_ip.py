@@ -1,0 +1,268 @@
+"""Unit tests for the IP layer: routing, demux, fragmentation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import IPHeader, LoopbackDevice, Packet, PROTO_ICMP, PROTO_UDP, UDPHeader
+from repro.net.packet import IP_HEADER_BYTES
+from repro.protocols.ip import IPLayer, Reassembler, RoutingTable
+from repro.sim import Simulator
+
+
+def _layer(sim, addresses=("10.0.0.1",), **kw):
+    layer = IPLayer(sim, list(addresses), **kw)
+    device = LoopbackDevice(sim)
+    layer.routing.set_default(device)
+    return layer, device
+
+
+# ----------------------------------------------------------------------
+# Routing table
+# ----------------------------------------------------------------------
+def test_host_route_beats_default():
+    sim = Simulator()
+    table = RoutingTable()
+    d1 = LoopbackDevice(sim, "lo1")
+    d2 = LoopbackDevice(sim, "lo2")
+    table.set_default(d1)
+    table.add_host_route("10.0.0.9", d2)
+    assert table.lookup("10.0.0.9") is d2
+    assert table.lookup("10.0.0.8") is d1
+
+
+def test_no_route_returns_none():
+    assert RoutingTable().lookup("1.2.3.4") is None
+
+
+def test_routes_listing():
+    sim = Simulator()
+    table = RoutingTable()
+    table.set_default(LoopbackDevice(sim, "lo9"))
+    assert table.routes() == {"default": "lo9"}
+
+
+# ----------------------------------------------------------------------
+# Output / input paths
+# ----------------------------------------------------------------------
+def test_send_stamps_header_and_transmits():
+    sim = Simulator()
+    layer, device = _layer(sim)
+    sent = []
+    device.send = sent.append
+    layer.send("10.0.0.1", "10.0.0.2", PROTO_ICMP, Packet(payload_bytes=10))
+    assert len(sent) == 1
+    assert sent[0].ip.src == "10.0.0.1"
+    assert sent[0].ip.ident > 0
+
+
+def test_no_route_counts_drop():
+    sim = Simulator()
+    layer = IPLayer(sim, ["10.0.0.1"])
+    layer.send("10.0.0.1", "10.0.0.2", PROTO_ICMP, Packet())
+    assert layer.dropped_no_route == 1
+
+
+def test_output_requires_ip_header():
+    sim = Simulator()
+    layer, _ = _layer(sim)
+    with pytest.raises(ValueError):
+        layer.output(Packet())
+
+
+def test_input_demuxes_by_protocol():
+    sim = Simulator()
+    layer, _ = _layer(sim)
+    got = []
+    layer.register_protocol(PROTO_ICMP, got.append)
+    pkt = Packet(ip=IPHeader("10.0.0.2", "10.0.0.1", PROTO_ICMP))
+    layer.input(pkt)
+    assert got == [pkt]
+    assert layer.received == 1
+
+
+def test_input_not_mine_dropped_without_forwarding():
+    sim = Simulator()
+    layer, _ = _layer(sim)
+    layer.input(Packet(ip=IPHeader("a", "10.9.9.9", PROTO_ICMP)))
+    assert layer.dropped_not_mine == 1
+
+
+def test_forwarding_decrements_ttl():
+    sim = Simulator()
+    layer, device = _layer(sim, forwarding=True)
+    sent = []
+    device.send = sent.append
+    layer.input(Packet(ip=IPHeader("a", "10.9.9.9", PROTO_ICMP, ttl=5)))
+    assert layer.forwarded == 1
+    assert sent[0].ip.ttl == 4
+
+
+def test_forwarding_drops_expired_ttl():
+    sim = Simulator()
+    layer, device = _layer(sim, forwarding=True)
+    layer.input(Packet(ip=IPHeader("a", "10.9.9.9", PROTO_ICMP, ttl=1)))
+    assert layer.dropped_ttl == 1
+
+
+def test_outbound_filter_intercepts():
+    sim = Simulator()
+    layer, device = _layer(sim)
+    intercepted = []
+
+    def outbound(packet, dev, forward):
+        intercepted.append(packet)
+        forward(packet)
+
+    layer.outbound_filter = outbound
+    sent = []
+    device.send = sent.append
+    layer.send("10.0.0.1", "10.0.0.2", PROTO_ICMP, Packet())
+    assert len(intercepted) == 1 and len(sent) == 1
+
+
+def test_inbound_filter_intercepts():
+    sim = Simulator()
+    layer, _ = _layer(sim)
+    got = []
+    layer.register_protocol(PROTO_ICMP, got.append)
+    dropped = []
+    layer.inbound_filter = lambda packet, deliver: dropped.append(packet)
+    layer.input(Packet(ip=IPHeader("a", "10.0.0.1", PROTO_ICMP)))
+    assert got == [] and len(dropped) == 1
+
+
+def test_multiple_addresses_accepted():
+    sim = Simulator()
+    layer, _ = _layer(sim, addresses=("10.0.0.1", "10.0.0.99"))
+    got = []
+    layer.register_protocol(PROTO_ICMP, got.append)
+    layer.input(Packet(ip=IPHeader("a", "10.0.0.99", PROTO_ICMP)))
+    assert len(got) == 1
+
+
+# ----------------------------------------------------------------------
+# Fragmentation / reassembly
+# ----------------------------------------------------------------------
+def _udp_datagram(nbytes, src="10.0.0.1", dst="10.0.0.2"):
+    return Packet(ip=IPHeader(src, dst, PROTO_UDP, ident=77),
+                  udp=UDPHeader(1000, 2000), payload_bytes=nbytes)
+
+
+def test_small_datagram_not_fragmented():
+    sim = Simulator()
+    layer, device = _layer(sim)
+    sent = []
+    device.send = sent.append
+    layer.output(_udp_datagram(1000))
+    assert len(sent) == 1
+    assert layer.datagrams_fragmented == 0
+
+
+def test_large_datagram_fragments():
+    sim = Simulator()
+    layer, device = _layer(sim)
+    sent = []
+    device.send = sent.append
+    layer.output(_udp_datagram(8192))
+    assert layer.datagrams_fragmented == 1
+    assert len(sent) > 1
+    for frag in sent:
+        assert frag.ip_size <= layer.mtu
+        assert "fragment" in frag.meta
+
+
+def test_fragment_payload_bytes_sum_to_original_body():
+    sim = Simulator()
+    layer, device = _layer(sim)
+    sent = []
+    device.send = sent.append
+    original = _udp_datagram(8192)
+    body = original.ip_size - IP_HEADER_BYTES
+    layer.output(original)
+    assert sum(f.payload_bytes for f in sent) == body
+
+
+def test_reassembly_delivers_original_once():
+    sim = Simulator()
+    send_layer, device = _layer(sim)
+    recv_layer = IPLayer(sim, ["10.0.0.2"])
+    got = []
+    recv_layer.register_protocol(PROTO_UDP, got.append)
+    fragments = []
+    device.send = fragments.append
+    original = _udp_datagram(8192)
+    send_layer.output(original)
+    for frag in fragments:
+        recv_layer.input(frag)
+    assert got == [original]
+
+
+def test_reassembly_handles_out_of_order_fragments():
+    sim = Simulator()
+    send_layer, device = _layer(sim)
+    recv_layer = IPLayer(sim, ["10.0.0.2"])
+    got = []
+    recv_layer.register_protocol(PROTO_UDP, got.append)
+    fragments = []
+    device.send = fragments.append
+    send_layer.output(_udp_datagram(8192))
+    for frag in reversed(fragments):
+        recv_layer.input(frag)
+    assert len(got) == 1
+
+
+def test_missing_fragment_never_delivers():
+    sim = Simulator()
+    send_layer, device = _layer(sim)
+    recv_layer = IPLayer(sim, ["10.0.0.2"])
+    got = []
+    recv_layer.register_protocol(PROTO_UDP, got.append)
+    fragments = []
+    device.send = fragments.append
+    send_layer.output(_udp_datagram(8192))
+    for frag in fragments[:-1]:
+        recv_layer.input(frag)
+    assert got == []
+    assert recv_layer.reassembler.pending == 1
+
+
+def test_reassembly_times_out_partial_datagrams():
+    sim = Simulator()
+    reasm = Reassembler(sim)
+    frag = _udp_datagram(100)
+    frag.meta["fragment"] = (1, 0, 2)
+    frag.meta["original"] = frag
+    assert reasm.accept(frag) is None
+    sim.run(until=60.0)
+    assert reasm.pending == 0
+    assert reasm.timed_out == 1
+
+
+def test_duplicate_fragments_are_idempotent():
+    sim = Simulator()
+    send_layer, device = _layer(sim)
+    recv_layer = IPLayer(sim, ["10.0.0.2"])
+    got = []
+    recv_layer.register_protocol(PROTO_UDP, got.append)
+    fragments = []
+    device.send = fragments.append
+    send_layer.output(_udp_datagram(8192))
+    recv_layer.input(fragments[0])
+    recv_layer.input(fragments[0])  # duplicate
+    for frag in fragments[1:]:
+        recv_layer.input(frag)
+    assert len(got) == 1
+
+
+@given(st.integers(min_value=1, max_value=40000))
+def test_fragment_count_matches_sizes(nbytes):
+    sim = Simulator()
+    layer, device = _layer(sim)
+    sent = []
+    device.send = sent.append
+    layer.output(_udp_datagram(nbytes))
+    total_wire_body = sum(f.ip_size - IP_HEADER_BYTES for f in sent)
+    original_body = _udp_datagram(nbytes).ip_size - IP_HEADER_BYTES
+    assert total_wire_body == original_body
+    for frag in sent:
+        assert frag.ip_size <= layer.mtu

@@ -1,0 +1,224 @@
+"""Unit tests for the host kernel (ticks, drift, pseudo-devices) and worlds."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hosts import (
+    Host,
+    Kernel,
+    LAPTOP_ADDR,
+    LiveWorld,
+    ModulationWorld,
+    PseudoDevice,
+    SERVER_ADDR,
+)
+from repro.sim import Simulator, Timeout
+
+
+# ----------------------------------------------------------------------
+# Tick quantization
+# ----------------------------------------------------------------------
+def test_callout_fires_on_next_tick_boundary():
+    sim = Simulator()
+    kernel = Kernel(sim, tick_resolution=0.010)
+    fired = []
+    sim.schedule(0.003, lambda: kernel.callout(0.001, lambda: fired.append(sim.now)))
+    sim.run()
+    # now=0.003 + delay 0.001 = 0.004 -> next tick is 0.010
+    assert fired == [pytest.approx(0.010)]
+
+
+def test_callout_exact_tick_fires_there():
+    sim = Simulator()
+    kernel = Kernel(sim, tick_resolution=0.010)
+    fired = []
+    kernel.callout(0.020, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [pytest.approx(0.020)]
+
+
+def test_schedule_rounded_under_half_tick_is_immediate():
+    sim = Simulator()
+    kernel = Kernel(sim, tick_resolution=0.010)
+    fired = []
+    sim.schedule(0.0042, lambda: kernel.schedule_rounded(
+        0.0049, lambda: fired.append(sim.now)))
+    sim.run()
+    assert fired == [pytest.approx(0.0042)]  # sent immediately
+
+
+def test_schedule_rounded_rounds_to_nearest_tick():
+    sim = Simulator()
+    kernel = Kernel(sim, tick_resolution=0.010)
+    fired = []
+    kernel.schedule_rounded(0.014, lambda: fired.append(sim.now))
+    kernel.schedule_rounded(0.016, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [pytest.approx(0.010), pytest.approx(0.020)]
+
+
+def test_rounded_never_schedules_in_past():
+    sim = Simulator()
+    kernel = Kernel(sim, tick_resolution=0.010)
+    fired = []
+    sim.schedule(0.009, lambda: kernel.schedule_rounded(
+        0.005, lambda: fired.append(sim.now)))
+    sim.run()
+    assert fired and fired[0] >= 0.009
+
+
+def test_callout_counter():
+    sim = Simulator()
+    kernel = Kernel(sim)
+    kernel.callout(0.01, lambda: None)
+    kernel.callout(0.02, lambda: None)
+    sim.run()
+    assert kernel.callouts_fired == 2
+
+
+def test_invalid_tick_rejected():
+    with pytest.raises(ValueError):
+        Kernel(Simulator(), tick_resolution=0.0)
+
+
+@given(st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+       st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_rounding_error_bounded_by_half_tick(now_offset, delay):
+    sim = Simulator()
+    kernel = Kernel(sim, tick_resolution=0.010)
+    fired = []
+    sim.schedule(now_offset,
+                 lambda: kernel.schedule_rounded(delay,
+                                                 lambda: fired.append(sim.now)))
+    sim.run()
+    actual_delay = fired[0] - now_offset
+    # The paper's policy: error never exceeds half a tick (plus float fuzz)
+    assert abs(actual_delay - delay) <= 0.005 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Clock drift
+# ----------------------------------------------------------------------
+def test_drifting_clock_diverges_from_sim_time():
+    sim = Simulator()
+    kernel = Kernel(sim, clock_drift=1e-4)
+    sim.schedule(100.0, lambda: None)
+    sim.run()
+    assert kernel.timestamp() == pytest.approx(100.01)
+
+
+def test_zero_drift_tracks_sim_time():
+    sim = Simulator()
+    kernel = Kernel(sim)
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert kernel.timestamp() == 5.0
+
+
+# ----------------------------------------------------------------------
+# Pseudo-devices
+# ----------------------------------------------------------------------
+def test_pseudo_device_registry():
+    sim = Simulator()
+    kernel = Kernel(sim)
+    dev = PseudoDevice("trace0")
+    kernel.register_device(dev)
+    assert kernel.device("trace0") is dev
+    assert kernel.device_names() == ["trace0"]
+
+
+def test_duplicate_device_rejected():
+    sim = Simulator()
+    kernel = Kernel(sim)
+    kernel.register_device(PseudoDevice("x"))
+    with pytest.raises(ValueError):
+        kernel.register_device(PseudoDevice("x"))
+
+
+def test_unknown_device_keyerror():
+    with pytest.raises(KeyError):
+        Kernel(Simulator()).device("nope")
+
+
+def test_double_open_rejected():
+    dev = PseudoDevice("d")
+    dev.open()
+    with pytest.raises(RuntimeError):
+        dev.open()
+
+
+# ----------------------------------------------------------------------
+# Hosts and worlds
+# ----------------------------------------------------------------------
+def test_host_has_full_stack():
+    sim = Simulator()
+    host = Host(sim, "h", "10.0.0.5")
+    assert host.ip.addresses == ["10.0.0.5"]
+    assert host.icmp is not None
+    assert host.udp is not None
+    assert host.tcp is not None
+
+
+def test_device_named_lookup(live_world):
+    assert live_world.laptop.device_named("wl0") is live_world.radio
+    with pytest.raises(KeyError):
+        live_world.laptop.device_named("eth9")
+
+
+def test_live_world_end_to_end_connectivity(live_world):
+    w = live_world
+    replies = []
+    w.laptop.icmp.on_echo_reply(1, lambda pkt, now: replies.append(now))
+    w.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 1, 0, 64)
+    w.run(until=2.0)
+    assert len(replies) == 1
+
+
+def test_live_world_reverse_connectivity(live_world):
+    w = live_world
+    replies = []
+    w.server.icmp.on_echo_reply(2, lambda pkt, now: replies.append(now))
+    w.server.icmp.send_echo(SERVER_ADDR, LAPTOP_ADDR, 2, 0, 64)
+    w.run(until=2.0)
+    assert len(replies) == 1
+
+
+def test_live_world_cross_laptops_created():
+    w = LiveWorld(seed=1, cross_laptops=3)
+    assert len(w.cross_hosts) == 3
+    addresses = {h.address for h in w.cross_hosts}
+    assert len(addresses) == 3
+
+
+def test_cross_laptop_reaches_server():
+    w = LiveWorld(seed=1, cross_laptops=1)
+    replies = []
+    cross = w.cross_hosts[0]
+    cross.icmp.on_echo_reply(3, lambda pkt, now: replies.append(now))
+    cross.icmp.send_echo(cross.address, SERVER_ADDR, 3, 0, 64)
+    w.run(until=2.0)
+    assert len(replies) == 1
+
+
+def test_modulation_world_connectivity(mod_world):
+    w = mod_world
+    replies = []
+    w.laptop.icmp.on_echo_reply(1, lambda pkt, now: replies.append(now))
+    w.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 1, 0, 64)
+    w.run(until=1.0)
+    assert len(replies) == 1
+
+
+def test_laptop_clock_drifts_in_live_world(live_world):
+    live_world.run(until=100.0)
+    laptop_clock = live_world.laptop.kernel.timestamp()
+    assert laptop_clock != 100.0  # drift is on by default
+    assert abs(laptop_clock - 100.0) < 0.1
+
+
+def test_bridge_learns_both_sides(live_world):
+    w = live_world
+    w.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 1, 0, 64)
+    w.run(until=2.0)
+    learned = w.bridge.learned_addresses()
+    assert LAPTOP_ADDR in learned and SERVER_ADDR in learned

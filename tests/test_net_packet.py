@@ -1,0 +1,95 @@
+"""Unit tests for packets and headers."""
+
+from repro.net import (
+    ICMPHeader,
+    IPHeader,
+    Packet,
+    PROTO_ICMP,
+    PROTO_TCP,
+    TCPHeader,
+    UDPHeader,
+)
+from repro.net.packet import (
+    ETHERNET_HEADER_BYTES,
+    ICMP_HEADER_BYTES,
+    IP_HEADER_BYTES,
+    TCP_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+)
+
+
+def test_bare_packet_size_is_link_header():
+    assert Packet().size == ETHERNET_HEADER_BYTES
+
+
+def test_ip_packet_size():
+    p = Packet(ip=IPHeader("a", "b", PROTO_ICMP), payload_bytes=100)
+    assert p.size == ETHERNET_HEADER_BYTES + IP_HEADER_BYTES + 100
+
+
+def test_icmp_packet_size():
+    p = Packet(ip=IPHeader("a", "b", PROTO_ICMP),
+               icmp=ICMPHeader(ICMPHeader.ECHO), payload_bytes=32)
+    assert p.ip_size == IP_HEADER_BYTES + ICMP_HEADER_BYTES + 32
+
+
+def test_udp_packet_size():
+    p = Packet(ip=IPHeader("a", "b", 17), udp=UDPHeader(1, 2), payload_bytes=50)
+    assert p.ip_size == IP_HEADER_BYTES + UDP_HEADER_BYTES + 50
+
+
+def test_tcp_packet_size():
+    p = Packet(ip=IPHeader("a", "b", PROTO_TCP),
+               tcp=TCPHeader(1, 2), payload_bytes=1460)
+    assert p.ip_size == IP_HEADER_BYTES + TCP_HEADER_BYTES + 1460
+
+
+def test_ip_size_excludes_link_header():
+    p = Packet(ip=IPHeader("a", "b", PROTO_ICMP), payload_bytes=10)
+    assert p.size - p.ip_size == ETHERNET_HEADER_BYTES
+
+
+def test_packet_ids_are_unique():
+    assert Packet().packet_id != Packet().packet_id
+
+
+def test_clone_copies_headers_independently():
+    p = Packet(ip=IPHeader("a", "b", PROTO_ICMP), payload_bytes=5,
+               meta={"k": 1})
+    q = p.clone()
+    q.ip.dst = "c"
+    q.meta["k"] = 2
+    assert p.ip.dst == "b"
+    assert p.meta["k"] == 1
+    assert p.packet_id != q.packet_id
+    assert p.size == q.size
+
+
+def test_tcp_flag_helpers():
+    h = TCPHeader(1, 2, flags=TCPHeader.SYN | TCPHeader.ACK)
+    assert h.has(TCPHeader.SYN)
+    assert h.has(TCPHeader.ACK)
+    assert not h.has(TCPHeader.FIN)
+    assert h.flag_names() == "SYN|ACK"
+
+
+def test_tcp_flag_names_empty():
+    assert TCPHeader(1, 2).flag_names() == "-"
+
+
+def test_describe_icmp():
+    p = Packet(ip=IPHeader("10.0.0.1", "10.0.0.2", PROTO_ICMP),
+               icmp=ICMPHeader(ICMPHeader.ECHO, ident=7, seq=3))
+    text = p.describe()
+    assert "ECHO" in text and "id=7" in text and "seq=3" in text
+
+
+def test_describe_tcp():
+    p = Packet(ip=IPHeader("a", "b", PROTO_TCP),
+               tcp=TCPHeader(80, 1234, seq=5, ack=9, flags=TCPHeader.ACK))
+    text = p.describe()
+    assert "tcp" in text and "ACK" in text
+
+
+def test_describe_raw():
+    assert "raw" in Packet().describe()

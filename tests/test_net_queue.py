@@ -1,0 +1,105 @@
+"""Unit tests for the drop-tail queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import DropTailQueue, Packet
+
+
+def _pkt(n=100):
+    return Packet(payload_bytes=n)
+
+
+def test_offer_and_poll_fifo():
+    q = DropTailQueue(max_packets=10)
+    a, b = _pkt(), _pkt()
+    q.offer(a)
+    q.offer(b)
+    assert q.poll() is a
+    assert q.poll() is b
+    assert q.poll() is None
+
+
+def test_packet_limit_drops_tail():
+    q = DropTailQueue(max_packets=2)
+    assert q.offer(_pkt())
+    assert q.offer(_pkt())
+    assert not q.offer(_pkt())
+    assert q.dropped == 1
+    assert len(q) == 2
+
+
+def test_byte_limit_drops_tail():
+    q = DropTailQueue(max_packets=None, max_bytes=250)
+    assert q.offer(_pkt(100))   # 114 bytes on the wire
+    assert q.offer(_pkt(100))
+    assert not q.offer(_pkt(100))
+    assert q.dropped == 1
+
+
+def test_needs_at_least_one_limit():
+    with pytest.raises(ValueError):
+        DropTailQueue(max_packets=None, max_bytes=None)
+
+
+def test_byte_accounting_tracks_occupancy():
+    q = DropTailQueue(max_packets=10)
+    p = _pkt(100)
+    q.offer(p)
+    assert q.byte_length == p.size
+    q.poll()
+    assert q.byte_length == 0
+
+
+def test_counters():
+    q = DropTailQueue(max_packets=1)
+    q.offer(_pkt())
+    q.offer(_pkt())
+    q.poll()
+    assert (q.enqueued, q.dequeued, q.dropped) == (1, 1, 1)
+    assert q.dropped_bytes > 0
+
+
+def test_peek_does_not_remove():
+    q = DropTailQueue(max_packets=5)
+    p = _pkt()
+    q.offer(p)
+    assert q.peek() is p
+    assert len(q) == 1
+
+
+def test_empty_property():
+    q = DropTailQueue(max_packets=5)
+    assert q.empty
+    q.offer(_pkt())
+    assert not q.empty
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2000), max_size=60),
+       st.integers(min_value=1, max_value=10))
+def test_occupancy_never_exceeds_packet_limit(sizes, limit):
+    q = DropTailQueue(max_packets=limit)
+    for n in sizes:
+        q.offer(_pkt(n))
+        assert len(q) <= limit
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2000), max_size=60),
+       st.integers(min_value=100, max_value=5000))
+def test_occupancy_never_exceeds_byte_limit(sizes, limit):
+    q = DropTailQueue(max_packets=None, max_bytes=limit)
+    for n in sizes:
+        q.offer(_pkt(n))
+        assert q.byte_length <= limit
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2000), max_size=60))
+def test_conservation_enqueued_equals_dequeued_plus_left(sizes):
+    q = DropTailQueue(max_packets=7)
+    for n in sizes:
+        q.offer(_pkt(n))
+    drained = 0
+    while q.poll() is not None:
+        drained += 1
+    assert q.enqueued == drained
+    assert q.enqueued + q.dropped == len(sizes)

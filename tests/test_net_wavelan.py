@@ -1,0 +1,241 @@
+"""Unit tests for the WaveLAN radio model."""
+
+import pytest
+
+from repro.net import (
+    ChannelConditions,
+    ChannelProfile,
+    IPHeader,
+    Packet,
+    PiecewiseProfile,
+    PROTO_ICMP,
+    WaveLANDevice,
+    WirelessMedium,
+)
+from repro.sim import RngStreams, Simulator
+
+
+def _cond(signal=20.0, lu=0.0, ld=0.0, bw=1.0, access=0.0):
+    return ChannelConditions(signal_level=signal, loss_prob_up=lu,
+                             loss_prob_down=ld, bandwidth_factor=bw,
+                             access_latency_mean=access)
+
+
+class _Const(ChannelProfile):
+    def __init__(self, cond):
+        self._cond = cond
+
+    def conditions(self, t):
+        return self._cond
+
+
+def _pair(sim, profile=None, bursty=False):
+    medium = WirelessMedium(sim, RngStreams(1), bursty_loss=bursty)
+    mobile = WaveLANDevice(sim, "wl0", "10.0.0.2", profile=profile)
+    base = WaveLANDevice(sim, "ap0", "10.0.0.254", is_base=True)
+    medium.attach(mobile)
+    medium.attach(base)
+    return medium, mobile, base
+
+
+def _packet(src, dst, nbytes=1000):
+    return Packet(ip=IPHeader(src, dst, PROTO_ICMP), payload_bytes=nbytes)
+
+
+# ----------------------------------------------------------------------
+# Conditions and profiles
+# ----------------------------------------------------------------------
+def test_conditions_clamped():
+    c = ChannelConditions(signal_level=-3, loss_prob_up=1.7,
+                          loss_prob_down=-0.2, bandwidth_factor=5.0,
+                          access_latency_mean=-1.0).clamped()
+    assert c.signal_level == 0.0
+    assert c.loss_prob_up == 1.0
+    assert c.loss_prob_down == 0.0
+    assert c.bandwidth_factor == 1.0
+    assert c.access_latency_mean == 0.0
+
+
+def test_conditions_loss_by_direction():
+    c = _cond(lu=0.3, ld=0.1)
+    assert c.loss_prob("up") == 0.3
+    assert c.loss_prob("down") == 0.1
+
+
+def test_default_profile_is_perfect():
+    c = ChannelProfile().conditions(123.0)
+    assert c.loss_prob_up == 0.0
+    assert c.bandwidth_factor == 1.0
+
+
+def test_piecewise_interpolates_linearly():
+    prof = PiecewiseProfile([
+        (0.0, _cond(signal=10.0, bw=0.5)),
+        (10.0, _cond(signal=20.0, bw=1.0)),
+    ])
+    mid = prof.conditions(5.0)
+    assert mid.signal_level == pytest.approx(15.0)
+    assert mid.bandwidth_factor == pytest.approx(0.75)
+
+
+def test_piecewise_clamps_outside_range():
+    prof = PiecewiseProfile([(0.0, _cond(signal=10)), (10.0, _cond(signal=20))])
+    assert prof.conditions(-5.0).signal_level == 10
+    assert prof.conditions(50.0).signal_level == 20
+
+
+def test_piecewise_requires_points():
+    with pytest.raises(ValueError):
+        PiecewiseProfile([])
+
+
+# ----------------------------------------------------------------------
+# Medium behaviour
+# ----------------------------------------------------------------------
+def test_frame_delivered_to_addressee():
+    sim = Simulator()
+    medium, mobile, base = _pair(sim)
+    got = []
+    base.upstream = got.append
+    mobile.send(_packet("10.0.0.2", "10.0.0.254"))
+    sim.run()
+    assert len(got) == 1
+
+
+def test_unknown_destination_floods():
+    sim = Simulator()
+    medium, mobile, base = _pair(sim)
+    got = []
+    base.upstream = got.append
+    mobile.send(_packet("10.0.0.2", "10.0.0.1"))  # server beyond the AP
+    sim.run()
+    assert len(got) == 1  # the base hears it (and would bridge it on)
+
+
+def test_bandwidth_factor_stretches_transmission():
+    times = {}
+    for bw in (1.0, 0.5):
+        sim = Simulator()
+        medium, mobile, base = _pair(sim, profile=_Const(_cond(bw=bw)))
+        mobile.driver_gap = 0.0
+        base.upstream = lambda pkt: times.setdefault(bw, sim.now)
+        mobile.send(_packet("10.0.0.2", "10.0.0.254"))
+        sim.run()
+    assert times[0.5] > times[1.0] * 1.5
+
+
+def test_total_loss_drops_everything():
+    sim = Simulator()
+    medium, mobile, base = _pair(sim, profile=_Const(_cond(lu=1.0)))
+    got = []
+    base.upstream = got.append
+    for _ in range(20):
+        mobile.send(_packet("10.0.0.2", "10.0.0.254", nbytes=10))
+    sim.run()
+    assert got == []
+    assert medium.frames_lost == 20
+
+
+def test_loss_is_directional():
+    sim = Simulator()
+    medium, mobile, base = _pair(sim, profile=_Const(_cond(lu=1.0, ld=0.0)))
+    up, down = [], []
+    base.upstream = up.append
+    mobile.upstream = down.append
+    mobile.send(_packet("10.0.0.2", "10.0.0.254", nbytes=10))
+    base.send(_packet("10.0.0.254", "10.0.0.2", nbytes=10))
+    sim.run()
+    assert up == []          # uplink lost
+    assert len(down) == 1    # downlink survives
+
+
+def test_base_transmission_uses_mobile_receiver_profile():
+    sim = Simulator()
+    medium, mobile, base = _pair(sim, profile=_Const(_cond(ld=1.0)))
+    got = []
+    mobile.upstream = got.append
+    base.send(_packet("10.0.0.254", "10.0.0.2", nbytes=10))
+    sim.run()
+    assert got == []  # the mobile's downlink loss applied
+
+
+def test_medium_is_half_duplex():
+    sim = Simulator()
+    medium, mobile, base = _pair(sim)
+    mobile.driver_gap = 0.0
+    base.driver_gap = 0.0
+    arrivals = []
+    base.upstream = lambda pkt: arrivals.append(sim.now)
+    mobile.upstream = lambda pkt: arrivals.append(sim.now)
+    mobile.send(_packet("10.0.0.2", "10.0.0.254", nbytes=1400))
+    base.send(_packet("10.0.0.254", "10.0.0.2", nbytes=1400))
+    sim.run()
+    assert len(arrivals) == 2
+    # ~5.9 ms serialization each at 2 Mb/s: no overlap allowed.
+    assert abs(arrivals[1] - arrivals[0]) > 0.004
+
+
+def test_driver_gap_separates_back_to_back_frames():
+    sim = Simulator()
+    medium, mobile, base = _pair(sim)
+    arrivals = []
+    base.upstream = lambda pkt: arrivals.append(sim.now)
+    mobile.send(_packet("10.0.0.2", "10.0.0.254", nbytes=100))
+    mobile.send(_packet("10.0.0.2", "10.0.0.254", nbytes=100))
+    sim.run()
+    gap = arrivals[1] - arrivals[0]
+    assert gap >= mobile.driver_gap
+
+
+def test_base_station_has_smaller_driver_gap():
+    sim = Simulator()
+    _, mobile, base = _pair(sim)
+    assert base.driver_gap < mobile.driver_gap
+
+
+def test_access_latency_delays_frames():
+    slow_t, fast_t = {}, {}
+    for label, access, store in (("fast", 0.0, fast_t), ("slow", 0.05, slow_t)):
+        sim = Simulator()
+        medium, mobile, base = _pair(sim, profile=_Const(_cond(access=access)))
+        base.upstream = lambda pkt, s=store: s.setdefault("t", sim.now)
+        mobile.send(_packet("10.0.0.2", "10.0.0.254"))
+        sim.run()
+    assert slow_t["t"] > fast_t["t"]
+
+
+def test_gilbert_elliott_average_loss_tracks_nominal():
+    sim = Simulator()
+    medium, mobile, base = _pair(sim, profile=_Const(_cond(lu=0.05)),
+                                 bursty=True)
+    mobile.driver_gap = 0.0
+    base.upstream = lambda pkt: None
+    lost = 0
+    sent = 4000
+    for _ in range(sent):
+        mobile.send(_packet("10.0.0.2", "10.0.0.254", nbytes=10))
+    sim.run()
+    rate = medium.frames_lost / sent
+    assert 0.008 < rate < 0.15  # clustered, but averages near nominal
+
+
+def test_deep_outage_bypasses_fading_model():
+    sim = Simulator()
+    medium, mobile, base = _pair(sim, profile=_Const(_cond(lu=0.5)),
+                                 bursty=True)
+    assert medium._effective_loss(0.5) == 0.5
+
+
+def test_device_status_reports_signal_fields():
+    sim = Simulator()
+    medium, mobile, base = _pair(sim, profile=_Const(_cond(signal=17.0)))
+    status = mobile.device_status()
+    assert {"signal_level", "signal_quality", "silence_level"} <= set(status)
+    assert 12.0 < status["signal_level"] < 22.0
+
+
+def test_double_attach_rejected():
+    sim = Simulator()
+    medium, mobile, _ = _pair(sim)
+    with pytest.raises(ValueError):
+        medium.attach(mobile)

@@ -1,0 +1,185 @@
+"""Tests for the one-way distillation extension (§6)."""
+
+import pytest
+
+from repro.apps.ping import ModifiedPing
+from repro.core import (
+    Distiller,
+    OneWayDistiller,
+    install_asymmetric_modulation,
+    trace_collection_run,
+)
+from repro.core.oneway import AsymmetricModulationLayer
+from repro.hosts import LAPTOP_ADDR, LiveWorld, ModulationWorld, SERVER_ADDR
+from repro.sim import Timeout
+from tests.conftest import ConstantProfile, run_to_completion
+
+
+def _two_ended_records(profile, duration=60.0, seed=5, drift=0.0):
+    world = LiveWorld(profile=profile, seed=seed, laptop_clock_drift=drift)
+    world.medium.bursty_loss = False
+    mobile = trace_collection_run(world.laptop, world.radio)
+    remote = trace_collection_run(world.server, world.server.devices[0])
+    ping = ModifiedPing(world.laptop, SERVER_ADDR)
+    proc = world.laptop.spawn(ping.run(duration))
+    run_to_completion(world, proc, cap=duration + 30.0)
+    world.run(until=world.sim.now + 2.0)
+    return mobile.records, remote.records
+
+
+def test_oneway_distills_both_directions():
+    mob, rem = _two_ended_records(ConstantProfile())
+    result = OneWayDistiller().distill(mob, rem, name="t")
+    assert result.groups_used > 40
+    assert len(result.up) == len(result.down)
+    assert result.up.mean_bandwidth_bps() > 0.8e6
+    assert result.down.mean_bandwidth_bps() > 0.8e6
+
+
+def test_oneway_separates_loss_by_direction():
+    profile = ConstantProfile(loss_up=0.05, loss_down=0.0,
+                              bandwidth_factor=0.8)
+    mob, rem = _two_ended_records(profile, duration=120.0)
+    result = OneWayDistiller().distill(mob, rem)
+    assert result.up.mean_loss() > 0.02
+    assert result.down.mean_loss() < 0.005
+    assert result.asymmetry_ratio() > 4
+
+
+def test_oneway_loss_is_direct_count_not_sqrt():
+    """One-way loss needs no symmetry assumption (cf. Eq. 10)."""
+    profile = ConstantProfile(loss_up=0.08, loss_down=0.08,
+                              bandwidth_factor=0.8)
+    mob, rem = _two_ended_records(profile, duration=120.0)
+    oneway = OneWayDistiller().distill(mob, rem)
+    # Each direction's estimate sits near its true 8%, not near the
+    # round-trip-derived 1 - sqrt((1-l)^2) = l.
+    assert oneway.up.mean_loss() == pytest.approx(0.08, abs=0.04)
+    assert oneway.down.mean_loss() == pytest.approx(0.08, abs=0.05)
+
+
+def test_oneway_uplink_latency_cleaner_than_roundtrip():
+    """Round-trip V folds in reply contention; one-way V does not."""
+    profile = ConstantProfile(bandwidth_factor=0.8)
+    mob, rem = _two_ended_records(profile)
+    oneway = OneWayDistiller().distill(mob, rem)
+    symmetric = Distiller().distill(mob).replay
+    # True one-way per-byte cost at 1.6 Mb/s is 5 us/B; the uplink
+    # estimate must be closer to it than the symmetric estimate's V.
+    true_v = 8.0 / 1.6e6
+
+    def mean_v(trace):
+        return sum((t.Vb + t.Vr) * t.d for t in trace) / \
+            sum(t.d for t in trace)
+
+    assert abs(mean_v(oneway.up) - true_v) < abs(mean_v(symmetric) - true_v)
+
+
+def test_clock_drift_corrupts_oneway_estimates():
+    """Why the paper could not do this in 1996: unsynchronized clocks."""
+    profile = ConstantProfile(bandwidth_factor=0.8)
+    clean = OneWayDistiller().distill(
+        *_two_ended_records(profile, duration=80.0, drift=0.0))
+    drifted = OneWayDistiller().distill(
+        *_two_ended_records(profile, duration=80.0, drift=5e-4))
+    # With 500 ppm drift the laptop's clock runs ahead ~5 ms within
+    # ten seconds — more than the whole uplink delay — so measured
+    # one-way delays go negative and nearly every group is rejected.
+    # This is precisely why the paper was "forced to use a strategy
+    # that depends only on timestamps taken on a single host" (§3.2.2).
+    assert drifted.groups_skipped > 50
+    assert drifted.groups_used < clean.groups_used / 4
+
+
+def test_oneway_requires_two_sizes():
+    mob, rem = _two_ended_records(ConstantProfile(), duration=20.0)
+    small_only = [r for r in mob if getattr(r, "size", 0) < 1000]
+    with pytest.raises(ValueError):
+        OneWayDistiller().distill(small_only, rem)
+
+
+def test_oneway_empty_rejected():
+    with pytest.raises(ValueError):
+        OneWayDistiller().distill([], [])
+
+
+def test_asymmetric_modulation_applies_direction_parameters():
+    from repro.core.replay import QualityTuple, ReplayTrace
+
+    up = ReplayTrace([QualityTuple(d=1.0, F=40e-3, Vb=1e-6, Vr=0, L=0)
+                      for _ in range(60)])
+    down = ReplayTrace([QualityTuple(d=1.0, F=5e-3, Vb=1e-6, Vr=0, L=0)
+                        for _ in range(60)])
+    world = ModulationWorld(seed=3)
+    layer = install_asymmetric_modulation(
+        world.laptop, world.laptop_device, up, down,
+        world.rngs.stream("m"), compensation_vb=0.8e-6, loop=True)
+    assert isinstance(layer, AsymmetricModulationLayer)
+    rtts = []
+    world.laptop.icmp.on_echo_reply(
+        9, lambda pkt, now: rtts.append(now - pkt.meta["echo_sent_at"]))
+
+    def pinger():
+        yield Timeout(0.5)
+        for seq in range(6):
+            world.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 9, seq, 64)
+            yield Timeout(1.0)
+
+    world.laptop.spawn(pinger())
+    world.run(until=10.0)
+    # RTT ~= 40 ms out + 5 ms back (ticks round 5 -> 0 or 10).
+    mean = sum(rtts) / len(rtts)
+    assert mean == pytest.approx(0.045, abs=0.012)
+
+
+def test_asymmetric_modulation_directional_loss():
+    from repro.core.replay import QualityTuple, ReplayTrace
+
+    up = ReplayTrace([QualityTuple(d=1.0, F=1e-3, Vb=1e-6, Vr=0, L=1.0)
+                      for _ in range(30)])
+    down = ReplayTrace([QualityTuple(d=1.0, F=1e-3, Vb=1e-6, Vr=0, L=0.0)
+                        for _ in range(30)])
+    world = ModulationWorld(seed=3)
+    layer = install_asymmetric_modulation(
+        world.laptop, world.laptop_device, up, down,
+        world.rngs.stream("m"), loop=True)
+    world.run(until=0.5)
+    for seq in range(5):
+        world.laptop.icmp.send_echo(LAPTOP_ADDR, SERVER_ADDR, 9, seq, 64)
+    world.run(until=5.0)
+    assert layer.out_dropped == 5   # every uplink packet dies
+    assert layer.in_dropped == 0
+
+
+def test_oneway_restores_live_asymmetry_ordering():
+    """The §6 claim, end to end: one-way traces let modulation
+    reproduce the live send/recv ordering that symmetric traces
+    cannot express."""
+    profile = ConstantProfile(loss_up=0.035, loss_down=0.002,
+                              bandwidth_factor=0.8, access_latency=0.0004)
+    mob, rem = _two_ended_records(profile, duration=90.0)
+    asym = OneWayDistiller().distill(mob, rem)
+
+    from repro.apps.ftp import FtpClient, FtpServer
+    from repro.sim.rng import derive_seed
+
+    def mod_ftp(direction):
+        world = ModulationWorld(seed=derive_seed(1, direction))
+        install_asymmetric_modulation(
+            world.laptop, world.laptop_device, asym.up, asym.down,
+            world.rngs.stream("m"), compensation_vb=0.8e-6, loop=True)
+        FtpServer(world.server).start()
+        client = FtpClient(world.laptop, SERVER_ADDR)
+        sink = {}
+
+        def body():
+            result = yield from client.transfer(direction, 3_000_000)
+            sink["t"] = result.elapsed
+
+        proc = world.laptop.spawn(body())
+        run_to_completion(world, proc, cap=1200.0)
+        return sink["t"]
+
+    send = mod_ftp("send")
+    recv = mod_ftp("recv")
+    assert send > recv * 1.05  # lossy uplink direction is slower

@@ -1,0 +1,149 @@
+"""Unit tests for the network-quality model and replay traces."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.replay import QualityTuple, ReplayTrace
+
+
+def _tuple(d=1.0, F=2e-3, Vb=5e-6, Vr=1e-6, L=0.0):
+    return QualityTuple(d=d, F=F, Vb=Vb, Vr=Vr, L=L)
+
+
+# ----------------------------------------------------------------------
+# QualityTuple
+# ----------------------------------------------------------------------
+def test_total_per_byte_cost():
+    assert _tuple(Vb=4e-6, Vr=1e-6).V == pytest.approx(5e-6)
+
+
+def test_one_way_delay_equation_4():
+    tup = _tuple(F=3e-3, Vb=5e-6, Vr=1e-6)
+    assert tup.one_way_delay(1000) == pytest.approx(3e-3 + 1000 * 6e-6)
+
+
+def test_bottleneck_bandwidth():
+    assert _tuple(Vb=4e-6).bottleneck_bandwidth_bps() == pytest.approx(2e6)
+    assert _tuple(Vb=0.0).bottleneck_bandwidth_bps() == float("inf")
+
+
+def test_invalid_duration_rejected():
+    with pytest.raises(ValueError):
+        QualityTuple(d=0.0, F=0, Vb=0, Vr=0, L=0)
+
+
+def test_invalid_loss_rejected():
+    with pytest.raises(ValueError):
+        QualityTuple(d=1.0, F=0, Vb=0, Vr=0, L=1.5)
+    with pytest.raises(ValueError):
+        QualityTuple(d=1.0, F=0, Vb=0, Vr=0, L=-0.1)
+
+
+def test_scaled_tuple():
+    tup = _tuple(F=2e-3, Vb=4e-6, Vr=2e-6)
+    faster = tup.scaled(bandwidth_factor=2.0, latency_factor=0.5)
+    assert faster.Vb == pytest.approx(2e-6)
+    assert faster.Vr == pytest.approx(1e-6)
+    assert faster.F == pytest.approx(1e-3)
+
+
+# ----------------------------------------------------------------------
+# ReplayTrace
+# ----------------------------------------------------------------------
+def test_empty_trace_rejected():
+    with pytest.raises(ValueError):
+        ReplayTrace([])
+
+
+def test_duration_is_sum_of_tuples():
+    trace = ReplayTrace([_tuple(d=1.0), _tuple(d=2.5)])
+    assert trace.duration == pytest.approx(3.5)
+
+
+def test_tuple_at_selects_correct_interval():
+    a, b, c = _tuple(F=1e-3), _tuple(F=2e-3), _tuple(F=3e-3)
+    trace = ReplayTrace([a, b, c])
+    assert trace.tuple_at(0.0) is a
+    assert trace.tuple_at(0.999) is a
+    assert trace.tuple_at(1.0) is b
+    assert trace.tuple_at(2.5) is c
+
+
+def test_tuple_at_past_end_holds_last():
+    trace = ReplayTrace([_tuple(F=1e-3), _tuple(F=9e-3)])
+    assert trace.tuple_at(100.0).F == pytest.approx(9e-3)
+
+
+def test_tuple_at_loops_when_asked():
+    trace = ReplayTrace([_tuple(F=1e-3), _tuple(F=9e-3)])
+    assert trace.tuple_at(2.0, loop=True).F == pytest.approx(1e-3)
+    assert trace.tuple_at(3.5, loop=True).F == pytest.approx(9e-3)
+
+
+def test_tuple_at_negative_time_rejected():
+    with pytest.raises(ValueError):
+        ReplayTrace([_tuple()]).tuple_at(-1.0)
+
+
+def test_means_are_duration_weighted():
+    trace = ReplayTrace([
+        QualityTuple(d=3.0, F=1e-3, Vb=4e-6, Vr=0, L=0.0),
+        QualityTuple(d=1.0, F=5e-3, Vb=8e-6, Vr=0, L=0.4),
+    ])
+    assert trace.mean_latency() == pytest.approx(2e-3)
+    assert trace.mean_bottleneck_cost() == pytest.approx(5e-6)
+    assert trace.mean_loss() == pytest.approx(0.1)
+    assert trace.mean_bandwidth_bps() == pytest.approx(8.0 / 5e-6)
+
+
+def test_json_roundtrip():
+    trace = ReplayTrace([_tuple(F=1e-3, L=0.25), _tuple(d=2.0)], name="t")
+    back = ReplayTrace.from_json(trace.to_json())
+    assert back.name == "t"
+    assert back.tuples == trace.tuples
+
+
+def test_save_and_load(tmp_path):
+    path = str(tmp_path / "trace.json")
+    trace = ReplayTrace([_tuple() for _ in range(5)], name="porter-0")
+    trace.save(path)
+    back = ReplayTrace.load(path)
+    assert back.tuples == trace.tuples
+    assert back.name == "porter-0"
+
+
+def test_iteration_and_len():
+    trace = ReplayTrace([_tuple(), _tuple(), _tuple()])
+    assert len(trace) == 3
+    assert len(list(trace)) == 3
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1,
+                max_size=30),
+       st.floats(min_value=0.0, max_value=500.0))
+def test_tuple_at_always_lands_in_covering_interval(durations, t):
+    tuples = [QualityTuple(d=d, F=float(i) * 1e-3, Vb=1e-6, Vr=0, L=0)
+              for i, d in enumerate(durations)]
+    trace = ReplayTrace(tuples)
+    chosen = trace.tuple_at(t)
+    if t >= trace.duration:
+        assert chosen is tuples[-1]
+    else:
+        start = 0.0
+        for tup in tuples:
+            if start <= t < start + tup.d:
+                assert chosen is tup
+                break
+            start += tup.d
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1,
+                max_size=20),
+       st.floats(min_value=0.0, max_value=100.0))
+def test_looped_lookup_equals_modulo_lookup(durations, t):
+    tuples = [QualityTuple(d=d, F=float(i) * 1e-3, Vb=1e-6, Vr=0, L=0)
+              for i, d in enumerate(durations)]
+    trace = ReplayTrace(tuples)
+    looped = trace.tuple_at(t, loop=True)
+    direct = trace.tuple_at(t % trace.duration)
+    assert looped is direct

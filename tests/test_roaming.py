@@ -1,0 +1,114 @@
+"""Tests for the WavePoint roaming/handoff extension."""
+
+import pytest
+
+from repro.apps.ping import ModifiedPing
+from repro.core import Distiller, trace_collection_run
+from repro.hosts import SERVER_ADDR
+from repro.scenarios.roaming import (
+    DEFAULT_HANDOFF_OUTAGE,
+    RoamingProfile,
+    RoamingScenario,
+    WavePointSite,
+    evenly_spaced_sites,
+)
+from tests.conftest import run_to_completion
+
+
+def test_site_signal_peaks_at_position():
+    site = WavePointSite(position=0.5, peak_signal=26.0, falloff=40.0)
+    assert site.signal_at(0.5) == 26.0
+    assert site.signal_at(0.4) == pytest.approx(22.0)
+    assert site.signal_at(0.0) == pytest.approx(6.0)
+    far = WavePointSite(position=0.0, peak_signal=10.0, falloff=100.0)
+    assert far.signal_at(1.0) == 0.0  # clamped
+
+
+def test_evenly_spaced_sites_cover_path():
+    sites = evenly_spaced_sites(4)
+    assert [s.position for s in sites] == [0.125, 0.375, 0.625, 0.875]
+    with pytest.raises(ValueError):
+        evenly_spaced_sites(0)
+
+
+def test_profile_associates_with_strongest():
+    profile = RoamingProfile(evenly_spaced_sites(2), duration=100.0, seed=1)
+    profile.conditions(1.0)            # near the first WavePoint
+    assert profile.current_ap == 0
+    for t in range(2, 100, 2):         # walk the path
+        profile.conditions(float(t))
+    assert profile.current_ap == 1
+
+
+def test_walk_triggers_expected_handoffs():
+    scenario = RoamingScenario(wavepoints=4)
+    profile = scenario.profile(seed=0, trial=0)
+    for t in range(0, 241):
+        profile.conditions(float(t))
+    assert len(profile.handoff_times) == scenario.expected_handoffs()
+
+
+def test_handoff_opens_total_outage_window():
+    profile = RoamingProfile(evenly_spaced_sites(2), duration=100.0, seed=1)
+    last_loss = []
+    for t in [x / 4 for x in range(0, 400)]:
+        cond = profile.conditions(t)
+        last_loss.append((t, cond.loss_prob_up))
+    outage = [t for t, loss in last_loss if loss >= 0.99]
+    assert outage, "no outage observed at the handoff"
+    span = max(outage) - min(outage)
+    assert span <= DEFAULT_HANDOFF_OUTAGE + 0.3
+
+
+def test_hysteresis_prevents_ping_pong():
+    # With a huge hysteresis the mobile never switches.
+    profile = RoamingProfile(evenly_spaced_sites(2), duration=100.0,
+                             seed=1, hysteresis=100.0)
+    for t in range(0, 101):
+        profile.conditions(float(t))
+    assert profile.current_ap == 0
+    assert profile.handoff_times == []
+
+
+def test_signal_sawtooth_shape():
+    """Signal rises toward each WavePoint and dips between them."""
+    profile = RoamingProfile(evenly_spaced_sites(3), duration=90.0, seed=2)
+    series = [profile.conditions(float(t)).signal_level
+              for t in range(0, 91)]
+    mid_ap = series[15]        # under the first WavePoint (u=1/6)
+    boundary = series[30]      # between the first and second (u=1/3)
+    assert mid_ap > boundary + 5.0
+
+
+def test_roaming_scenario_distills_handoff_signature():
+    """Collected traces show the handoff outages as loss spikes."""
+    scenario = RoamingScenario(wavepoints=4, handoff_outage=1.2)
+    world = scenario.make_live_world(seed=0, trial=0)
+    daemon = trace_collection_run(world.laptop, world.radio)
+    ping = ModifiedPing(world.laptop, SERVER_ADDR)
+    proc = world.laptop.spawn(ping.run(scenario.duration))
+    run_to_completion(world, proc, cap=scenario.duration + 30.0)
+    world.run(until=world.sim.now + 2.0)
+    result = Distiller().distill(daemon.records)
+    profile = world.radio.profile
+    assert len(profile.handoff_times) == 3
+    # Every handoff leaves an elevated-loss window in the replay trace.
+    for when in profile.handoff_times:
+        nearby = [result.replay.tuple_at(max(0.0, when + dt)).L
+                  for dt in (-1.0, 0.0, 1.0, 2.0)]
+        assert max(nearby) > 0.05, f"no loss spike near handoff at {when:.0f}s"
+    # Loss away from any handoff stays low.
+    quiet = [t for t in (20.0, 50.0, 110.0, 170.0, 230.0)
+             if all(abs(t - h) > 8.0 for h in profile.handoff_times)]
+    assert quiet
+    for t in quiet:
+        assert result.replay.tuple_at(t).L < 0.05
+
+
+def test_roaming_scenario_checkpoints_and_registry_independence():
+    scenario = RoamingScenario()
+    assert scenario.checkpoint_for_fraction(0.5) == "r2"
+    # The extension does not perturb the paper's four scenarios.
+    from repro.scenarios import ALL_SCENARIOS
+
+    assert all(cls.name != "roaming" for cls in ALL_SCENARIOS)

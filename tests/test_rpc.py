@@ -1,0 +1,137 @@
+"""Unit tests for RPC over UDP."""
+
+import pytest
+
+from repro.hosts import LAPTOP_ADDR, LiveWorld, SERVER_ADDR
+from repro.protocols.rpc import RpcClient, RpcServer, RpcTimeout
+from tests.conftest import ConstantProfile, run_to_completion
+
+
+def _handler(proc, args):
+    if proc == "double":
+        return args * 2, 64
+    if proc == "slow":
+        return "ok", 64, 0.5
+    return ("unknown",), 16
+
+
+def _setup(world, service_time=0.0, **client_kw):
+    server = RpcServer(world.sim, world.server.udp, SERVER_ADDR, 7000,
+                       _handler, service_time=service_time)
+    world.server.spawn(server.loop())
+    client = RpcClient(world.sim, world.laptop.udp, LAPTOP_ADDR,
+                       SERVER_ADDR, 7000, **client_kw)
+    world.laptop.spawn(client.dispatcher())
+    return server, client
+
+
+def test_basic_call_returns_result(mod_world):
+    server, client = _setup(mod_world)
+
+    def body():
+        result = yield from client.call("double", 21, arg_bytes=16)
+        return result
+
+    proc = mod_world.laptop.spawn(body())
+    assert run_to_completion(mod_world, proc) == 42
+
+
+def test_sequential_calls(mod_world):
+    server, client = _setup(mod_world)
+
+    def body():
+        out = []
+        for i in range(5):
+            out.append((yield from client.call("double", i, 16)))
+        return out
+
+    proc = mod_world.laptop.spawn(body())
+    assert run_to_completion(mod_world, proc) == [0, 2, 4, 6, 8]
+
+
+def test_server_service_time_delays_reply(mod_world):
+    server, client = _setup(mod_world, service_time=0.25)
+
+    def body():
+        start = mod_world.sim.now
+        yield from client.call("double", 1, 16)
+        return mod_world.sim.now - start
+
+    proc = mod_world.laptop.spawn(body())
+    assert run_to_completion(mod_world, proc) >= 0.25
+
+
+def test_handler_extra_delay(mod_world):
+    server, client = _setup(mod_world)
+
+    def body():
+        start = mod_world.sim.now
+        yield from client.call("slow", None, 16)
+        return mod_world.sim.now - start
+
+    proc = mod_world.laptop.spawn(body())
+    assert run_to_completion(mod_world, proc) >= 0.5
+
+
+def test_retransmission_on_total_loss_then_timeout():
+    world = LiveWorld(profile=ConstantProfile(loss_up=1.0, loss_down=1.0),
+                      seed=1)
+    server, client = _setup(world, initial_timeout=0.5, max_retries=2)
+
+    def body():
+        yield from client.call("double", 1, 16)
+
+    proc = world.laptop.spawn(body())
+    with pytest.raises(RpcTimeout):
+        run_to_completion(world, proc, cap=60.0)
+    assert client.retransmissions == 2
+    assert client.timeouts_exhausted == 1
+
+
+def test_call_survives_moderate_loss():
+    world = LiveWorld(profile=ConstantProfile(loss_up=0.3, loss_down=0.3),
+                      seed=3)
+    world.medium.bursty_loss = False
+    server, client = _setup(world, initial_timeout=0.4, max_retries=10)
+
+    def body():
+        out = []
+        for i in range(10):
+            out.append((yield from client.call("double", i, 16)))
+        return out
+
+    proc = world.laptop.spawn(body())
+    assert run_to_completion(world, proc, cap=300.0) == [i * 2 for i in range(10)]
+    assert client.retransmissions > 0
+
+
+def test_duplicate_request_cache_suppresses_reexecution():
+    # Drop only replies: the server executes once, later retransmissions
+    # must be answered from the duplicate cache.
+    class ReplyLossy(ConstantProfile):
+        def __init__(self):
+            super().__init__(loss_up=0.0, loss_down=0.6)
+
+    world = LiveWorld(profile=ReplyLossy(), seed=11)
+    world.medium.bursty_loss = False
+    server, client = _setup(world, initial_timeout=0.4, max_retries=15)
+
+    def body():
+        yield from client.call("double", 7, 16)
+
+    proc = world.laptop.spawn(body())
+    run_to_completion(world, proc, cap=120.0)
+    assert server.calls_handled == 1
+    if client.retransmissions > 0:
+        assert server.duplicates_seen > 0
+
+
+def test_unknown_procedure_returns_error_result(mod_world):
+    server, client = _setup(mod_world)
+
+    def body():
+        result = yield from client.call("nope", None, 16)
+        return result
+
+    proc = mod_world.laptop.spawn(body())
+    assert run_to_completion(mod_world, proc) == ("unknown",)

@@ -1,0 +1,191 @@
+"""Unit tests for the four evaluation scenarios (§4.1)."""
+
+import pytest
+
+from repro.scenarios import (
+    ALL_SCENARIOS,
+    ChatterboxScenario,
+    FlagstaffScenario,
+    PorterScenario,
+    Scenario,
+    WeanScenario,
+    scenario_by_name,
+)
+from repro.scenarios.wean import ELEVATOR_END, WAIT_END
+
+
+def _mean(scenario, attr, u_range, samples=60, trials=6):
+    total, count = 0.0, 0
+    for trial in range(trials):
+        profile = scenario.profile(seed=0, trial=trial)
+        for i in range(samples):
+            u = u_range[0] + (u_range[1] - u_range[0]) * i / (samples - 1)
+            cond = profile.conditions(u * scenario.duration)
+            total += getattr(cond, attr)
+            count += 1
+    return total / count
+
+
+# ----------------------------------------------------------------------
+# Generic machinery
+# ----------------------------------------------------------------------
+def test_registry_has_all_four():
+    names = {cls.name for cls in ALL_SCENARIOS}
+    assert names == {"wean", "porter", "flagstaff", "chatterbox"}
+
+
+def test_scenario_by_name():
+    assert isinstance(scenario_by_name("porter"), PorterScenario)
+    assert isinstance(scenario_by_name("WEAN"), WeanScenario)
+    with pytest.raises(KeyError):
+        scenario_by_name("mars")
+
+
+def test_profiles_deterministic_per_trial():
+    sc = PorterScenario()
+    a = sc.profile(seed=1, trial=0).conditions(30.0)
+    b = sc.profile(seed=1, trial=0).conditions(30.0)
+    assert a == b
+
+
+def test_trials_differ():
+    sc = PorterScenario()
+    a = sc.profile(seed=1, trial=0).conditions(30.0)
+    b = sc.profile(seed=1, trial=1).conditions(30.0)
+    assert a != b
+
+
+def test_checkpoint_lookup():
+    sc = PorterScenario()
+    assert sc.checkpoint_for_fraction(0.0) == "x0"
+    assert sc.checkpoint_for_fraction(0.5) == "x3"
+    assert sc.checkpoint_for_fraction(1.0) == "x6"
+
+
+def test_make_live_world_wires_profile():
+    sc = WeanScenario()
+    world = sc.make_live_world(seed=0, trial=0)
+    assert world.radio.profile is not None
+    assert world.cross_hosts == []
+
+
+def test_conditions_always_legal():
+    for cls in ALL_SCENARIOS:
+        sc = cls()
+        profile = sc.profile(seed=3, trial=2)
+        for i in range(121):
+            cond = profile.conditions(sc.duration * i / 120)
+            assert 0.0 <= cond.loss_prob_up <= 1.0
+            assert 0.0 <= cond.loss_prob_down <= 1.0
+            assert 0.0 < cond.bandwidth_factor <= 1.0
+            assert cond.signal_level >= 0.0
+            assert cond.access_latency_mean >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Porter (Figure 2)
+# ----------------------------------------------------------------------
+def test_porter_signal_improves_across_patio_then_falls():
+    sc = PorterScenario()
+    lobby = _mean(sc, "signal_level", (0.0, 0.1))
+    patio_end = _mean(sc, "signal_level", (0.33, 0.40))
+    hall_end = _mean(sc, "signal_level", (0.85, 1.0))
+    assert patio_end > lobby
+    assert hall_end < patio_end
+
+
+def test_porter_loss_worst_at_ends():
+    sc = PorterScenario()
+    early = _mean(sc, "loss_prob_up", (0.0, 0.2))
+    middle = _mean(sc, "loss_prob_up", (0.45, 0.7))
+    late = _mean(sc, "loss_prob_up", (0.85, 1.0))
+    assert early > middle
+    assert late > middle
+
+
+# ----------------------------------------------------------------------
+# Flagstaff (Figure 3)
+# ----------------------------------------------------------------------
+def test_flagstaff_signal_drops_entering_park():
+    sc = FlagstaffScenario()
+    start = _mean(sc, "signal_level", (0.0, 0.08))
+    park = _mean(sc, "signal_level", (0.3, 1.0))
+    assert park < start
+
+
+def test_flagstaff_loss_worsens_along_path():
+    sc = FlagstaffScenario()
+    early = _mean(sc, "loss_prob_up", (0.0, 0.2))
+    late = _mean(sc, "loss_prob_up", (0.6, 1.0))
+    assert late > early * 1.5
+
+
+def test_flagstaff_is_strongly_asymmetric():
+    """§5.3: live Flagstaff send and receive differ markedly."""
+    sc = FlagstaffScenario()
+    up = _mean(sc, "loss_prob_up", (0.0, 1.0))
+    down = _mean(sc, "loss_prob_down", (0.0, 1.0))
+    assert up > down * 3
+
+
+def test_flagstaff_latency_better_than_porter():
+    flag = _mean(FlagstaffScenario(), "access_latency_mean", (0.0, 1.0))
+    porter = _mean(PorterScenario(), "access_latency_mean", (0.0, 1.0))
+    assert flag < porter
+
+
+# ----------------------------------------------------------------------
+# Wean (Figure 4)
+# ----------------------------------------------------------------------
+def test_wean_elevator_collapses_quality():
+    sc = WeanScenario()
+    mid_elevator = (WAIT_END + ELEVATOR_END) / 2
+    walking = _mean(sc, "loss_prob_up", (0.1, WAIT_END - 0.05))
+    elevator = _mean(sc, "loss_prob_up",
+                     (WAIT_END + 0.02, ELEVATOR_END - 0.02))
+    assert elevator > 10 * walking
+    signal = _mean(sc, "signal_level",
+                   (WAIT_END + 0.02, ELEVATOR_END - 0.02))
+    assert signal < 5.0  # below the WaveLAN noise floor
+
+
+def test_wean_elevator_latency_spikes():
+    sc = WeanScenario()
+    elevator = _mean(sc, "access_latency_mean",
+                     (WAIT_END + 0.02, ELEVATOR_END - 0.02))
+    assert elevator > 0.05  # distils to RTT peaks of hundreds of ms
+
+
+def test_wean_recovers_after_elevator():
+    sc = WeanScenario()
+    after = _mean(sc, "signal_level", (ELEVATOR_END + 0.05, 1.0))
+    assert after > 15.0
+
+
+def test_wean_four_motion_regions_in_checkpoints():
+    assert len(WeanScenario.checkpoints) == 8  # z0..z7
+
+
+# ----------------------------------------------------------------------
+# Chatterbox (Figure 5)
+# ----------------------------------------------------------------------
+def test_chatterbox_static_with_cross_traffic():
+    sc = ChatterboxScenario()
+    assert not sc.has_motion
+    assert sc.cross_laptops == 5
+    assert sc.checkpoints == ()
+
+
+def test_chatterbox_signal_high_despite_interference():
+    signal = _mean(ChatterboxScenario(), "signal_level", (0.0, 1.0))
+    assert 15.0 < signal < 21.0
+
+
+def test_chatterbox_loss_reasonable():
+    loss = _mean(ChatterboxScenario(), "loss_prob_up", (0.0, 1.0))
+    assert loss < 0.03
+
+
+def test_chatterbox_world_has_five_interferers():
+    world = ChatterboxScenario().make_live_world(seed=0, trial=0)
+    assert len(world.cross_hosts) == 5

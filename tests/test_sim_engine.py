@@ -1,0 +1,200 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_fires_in_time_order(sim):
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_clock_advances_to_event_time(sim):
+    times = []
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [1.5]
+    assert sim.now == 1.5
+
+
+def test_ties_fire_in_scheduling_order(sim):
+    fired = []
+    for i in range(10):
+        sim.schedule(1.0, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_schedule_at_absolute_time(sim):
+    fired = []
+    sim.schedule_at(3.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 3.0
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected(sim):
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_cancel_prevents_firing(sim):
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert not event.pending
+
+
+def test_cancel_is_idempotent(sim):
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_event_pending_lifecycle(sim):
+    event = sim.schedule(1.0, lambda: None)
+    assert event.pending
+    sim.run()
+    assert event.fired
+    assert not event.pending
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0  # clock advances to the horizon
+
+
+def test_run_until_then_resume(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_exact_event_time_fires_event(sim):
+    fired = []
+    sim.schedule(2.0, fired.append, "x")
+    sim.run(until=2.0)
+    assert fired == ["x"]
+
+
+def test_max_events_limits_execution(sim):
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_events_scheduled_during_run_fire(sim):
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_step_fires_one_event(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+
+
+def test_step_on_empty_queue_returns_false(sim):
+    assert not sim.step()
+
+
+def test_step_skips_cancelled(sim):
+    fired = []
+    event = sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    event.cancel()
+    assert sim.step()
+    assert fired == ["b"]
+
+
+def test_pending_count_excludes_cancelled(sim):
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_count() == 2
+    e1.cancel()
+    assert sim.pending_count() == 1
+
+
+def test_events_processed_counter(sim):
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_not_reentrant(sim):
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+
+
+def test_zero_delay_fires_at_current_time(sim):
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, fired.append, sim.now))
+    sim.run()
+    assert fired == [1.0]
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=29))
+def test_cancelling_any_event_removes_exactly_that_one(n, victim):
+    victim = victim % n
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(float(i + 1), fired.append, i) for i in range(n)]
+    events[victim].cancel()
+    sim.run()
+    assert fired == [i for i in range(n) if i != victim]

@@ -1,0 +1,310 @@
+"""Unit tests for generator-based processes, signals and queues."""
+
+import pytest
+
+from repro.sim import (
+    Interrupt,
+    Queue,
+    Signal,
+    Simulator,
+    Timeout,
+    run_process,
+    signal_or_timeout,
+    spawn,
+)
+
+
+def test_timeout_advances_clock(sim):
+    def body():
+        yield Timeout(2.5)
+        return sim.now
+
+    assert run_process(sim, body()) == 2.5
+
+
+def test_sequential_timeouts_accumulate(sim):
+    def body():
+        yield Timeout(1.0)
+        yield Timeout(2.0)
+        return sim.now
+
+    assert run_process(sim, body()) == 3.0
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_process_return_value(sim):
+    def body():
+        yield Timeout(0.1)
+        return "done"
+
+    assert run_process(sim, body()) == "done"
+
+
+def test_signal_wakes_waiter_with_value(sim):
+    signal = Signal(sim)
+    got = []
+
+    def waiter():
+        value = yield signal
+        got.append(value)
+
+    spawn(sim, waiter())
+    sim.schedule(1.0, signal.fire, 42)
+    sim.run()
+    assert got == [42]
+
+
+def test_signal_wakes_all_current_waiters(sim):
+    signal = Signal(sim)
+    got = []
+
+    def waiter(i):
+        yield signal
+        got.append(i)
+
+    for i in range(3):
+        spawn(sim, waiter(i))
+    sim.schedule(1.0, signal.fire)
+    sim.run()
+    assert sorted(got) == [0, 1, 2]
+
+
+def test_signal_fire_returns_waiter_count(sim):
+    signal = Signal(sim)
+
+    def waiter():
+        yield signal
+
+    spawn(sim, waiter())
+    spawn(sim, waiter())
+    sim.run(until=0.1)
+    assert signal.fire() == 2
+
+
+def test_signal_does_not_wake_future_waiters(sim):
+    signal = Signal(sim)
+    woken = []
+    signal.fire("early")
+
+    def waiter():
+        value = yield signal
+        woken.append(value)
+
+    spawn(sim, waiter())
+    sim.schedule(1.0, signal.fire, "late")
+    sim.run()
+    assert woken == ["late"]
+
+
+def test_waiting_on_child_process_gets_value(sim):
+    def child():
+        yield Timeout(1.0)
+        return "child-result"
+
+    def parent():
+        proc = spawn(sim, child())
+        value = yield proc
+        return value
+
+    assert run_process(sim, parent()) == "child-result"
+
+
+def test_waiting_on_finished_child_resumes_immediately(sim):
+    def child():
+        yield Timeout(0.5)
+        return 7
+
+    def parent():
+        proc = spawn(sim, child())
+        yield Timeout(2.0)  # child long done
+        value = yield proc
+        return (value, sim.now)
+
+    value, now = run_process(sim, parent())
+    assert value == 7
+    assert now == 2.0
+
+
+def test_child_exception_propagates_to_parent(sim):
+    def child():
+        yield Timeout(0.1)
+        raise RuntimeError("boom")
+
+    def parent():
+        proc = spawn(sim, child())
+        try:
+            yield proc
+        except RuntimeError as err:
+            return f"caught {err}"
+
+    assert run_process(sim, parent()) == "caught boom"
+
+
+def test_unwaited_process_error_raises_from_run(sim):
+    def body():
+        yield Timeout(0.1)
+        raise ValueError("unhandled")
+
+    spawn(sim, body())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_interrupt_thrown_at_wait_point(sim):
+    log = []
+
+    def body():
+        try:
+            yield Timeout(100.0)
+        except Interrupt as intr:
+            log.append(intr.cause)
+
+    proc = spawn(sim, body())
+    sim.schedule(1.0, proc.interrupt, "stop")
+    sim.run()
+    assert log == ["stop"]
+    assert not proc.alive
+
+
+def test_interrupt_cancels_pending_timer(sim):
+    def body():
+        yield Timeout(100.0)
+
+    proc = spawn(sim, body())
+    sim.schedule(1.0, proc.interrupt)
+    sim.run()
+    assert sim.now < 100.0
+
+
+def test_interrupt_dead_process_is_noop(sim):
+    def body():
+        yield Timeout(0.1)
+
+    proc = spawn(sim, body())
+    sim.run()
+    proc.interrupt()  # must not raise
+    sim.run()
+
+
+def test_bare_yield_is_cooperative(sim):
+    order = []
+
+    def a():
+        order.append("a1")
+        yield
+        order.append("a2")
+
+    def b():
+        order.append("b1")
+        yield
+        order.append("b2")
+
+    spawn(sim, a())
+    spawn(sim, b())
+    sim.run()
+    assert order == ["a1", "b1", "a2", "b2"]
+
+
+def test_unsupported_yield_value_errors(sim):
+    def body():
+        yield "nonsense"
+
+    spawn(sim, body())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_run_process_detects_incomplete(sim):
+    signal = Signal(sim)
+
+    def body():
+        yield signal  # never fired
+
+    with pytest.raises(RuntimeError):
+        run_process(sim, body())
+
+
+def test_queue_put_then_get(sim):
+    queue = Queue(sim)
+    queue.put("item")
+
+    def body():
+        item = yield from queue.get()
+        return item
+
+    assert run_process(sim, body()) == "item"
+
+
+def test_queue_get_blocks_until_put(sim):
+    queue = Queue(sim)
+
+    def body():
+        item = yield from queue.get()
+        return (item, sim.now)
+
+    proc = spawn(sim, body())
+    sim.schedule(3.0, queue.put, "late")
+    sim.run()
+    assert proc.value == ("late", 3.0)
+
+
+def test_queue_fifo_order(sim):
+    queue = Queue(sim)
+    for i in range(3):
+        queue.put(i)
+
+    def body():
+        out = []
+        for _ in range(3):
+            out.append((yield from queue.get()))
+        return out
+
+    assert run_process(sim, body()) == [0, 1, 2]
+
+
+def test_queue_len(sim):
+    queue = Queue(sim)
+    queue.put(1)
+    queue.put(2)
+    assert len(queue) == 2
+
+
+def test_signal_or_timeout_times_out_with_none(sim):
+    signal = Signal(sim)
+
+    def body():
+        value = yield signal_or_timeout(sim, signal, 2.0)
+        return (value, sim.now)
+
+    assert run_process(sim, body()) == (None, 2.0)
+
+
+def test_signal_or_timeout_signal_wins(sim):
+    signal = Signal(sim)
+
+    def body():
+        value = yield signal_or_timeout(sim, signal, 10.0)
+        return (value, sim.now)
+
+    proc = spawn(sim, body())
+    sim.schedule(1.0, signal.fire, "won")
+    sim.run()
+    assert proc.value == ("won", 1.0)
+    assert sim.now < 10.0  # the timer was cancelled
+
+
+def test_spawned_process_does_not_start_synchronously(sim):
+    started = []
+
+    def body():
+        started.append(True)
+        yield Timeout(0.0)
+
+    spawn(sim, body())
+    assert started == []
+    sim.run()
+    assert started == [True]

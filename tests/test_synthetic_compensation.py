@@ -1,0 +1,112 @@
+"""Unit tests for synthetic trace generators and compensation measurement."""
+
+import pytest
+
+from repro.core.compensation import measure_modulation_network
+from repro.core.synthetic import (
+    constant_trace,
+    impulse_trace,
+    piecewise_trace,
+    slow_network_trace,
+    step_trace,
+    wavelan_like_trace,
+)
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def test_constant_trace_parameters():
+    trace = constant_trace(duration=10.0, latency=5e-3, bandwidth_bps=2e6,
+                           loss=0.1)
+    assert len(trace) == 10
+    for tup in trace:
+        assert tup.F == 5e-3
+        assert tup.L == 0.1
+        assert tup.V == pytest.approx(8.0 / 2e6)
+
+
+def test_constant_trace_residual_split():
+    trace = constant_trace(10.0, 1e-3, 1e6, residual_fraction=0.25)
+    tup = trace.tuples[0]
+    assert tup.Vr == pytest.approx(tup.V * 0.25)
+    assert tup.Vb == pytest.approx(tup.V * 0.75)
+
+
+def test_constant_trace_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        constant_trace(10.0, 1e-3, 0.0)
+
+
+def test_wavelan_like_trace_resembles_wavelan():
+    trace = wavelan_like_trace()
+    assert trace.mean_bandwidth_bps() < 2e6
+    assert trace.mean_bandwidth_bps() > 1e6
+    assert trace.mean_loss() == 0.0
+
+
+def test_slow_network_trace_is_much_slower():
+    assert slow_network_trace().mean_bandwidth_bps() < \
+        wavelan_like_trace().mean_bandwidth_bps() / 3
+
+
+def test_step_trace_alternates_bandwidth():
+    trace = step_trace(duration=40.0, period=10.0, latency=1e-3,
+                       low_bandwidth_bps=0.5e6, high_bandwidth_bps=2e6)
+    low = trace.tuple_at(5.0)
+    high = trace.tuple_at(15.0)
+    assert high.bottleneck_bandwidth_bps() > low.bottleneck_bandwidth_bps() * 3
+    low2 = trace.tuple_at(25.0)
+    assert low2.Vb == pytest.approx(low.Vb)
+
+
+def test_step_trace_rejects_bad_period():
+    with pytest.raises(ValueError):
+        step_trace(10.0, 0.0, 1e-3, 1e6, 2e6)
+
+
+def test_impulse_trace_single_excursion():
+    trace = impulse_trace(duration=30.0, impulse_at=10.0, impulse_width=5.0,
+                          latency=1e-3, base_bandwidth_bps=2e6,
+                          impulse_bandwidth_bps=0.2e6)
+    assert trace.tuple_at(5.0).bottleneck_bandwidth_bps() > 1e6
+    assert trace.tuple_at(12.0).bottleneck_bandwidth_bps() < 0.3e6
+    assert trace.tuple_at(20.0).bottleneck_bandwidth_bps() > 1e6
+
+
+def test_piecewise_trace_segments():
+    trace = piecewise_trace([
+        (5.0, 1e-3, 2e6, 0.0),
+        (5.0, 50e-3, 0.1e6, 0.2),
+    ])
+    assert trace.duration == pytest.approx(10.0)
+    assert trace.tuple_at(2.0).F == pytest.approx(1e-3)
+    assert trace.tuple_at(7.0).F == pytest.approx(50e-3)
+    assert trace.tuple_at(7.0).L == pytest.approx(0.2)
+
+
+def test_piecewise_fractional_tail():
+    trace = piecewise_trace([(2.5, 1e-3, 1e6, 0.0)], step=1.0)
+    assert trace.duration == pytest.approx(2.5)
+    assert trace.tuples[-1].d == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# Compensation measurement (§3.3, Figure 1)
+# ----------------------------------------------------------------------
+def test_measured_vb_matches_ethernet_cost():
+    measurement = measure_modulation_network(duration=15.0, seed=100)
+    # 10 Mb/s Ethernet: 0.8 us/byte; host costs push it slightly above.
+    assert measurement.vb == pytest.approx(0.8e-6, rel=0.25)
+    assert 7e6 < measurement.bandwidth_bps < 11e6
+
+
+def test_measurement_is_stable_across_seeds():
+    a = measure_modulation_network(duration=15.0, seed=1)
+    b = measure_modulation_network(duration=15.0, seed=2)
+    assert a.vb == pytest.approx(b.vb, rel=0.15)
+
+
+def test_measurement_latency_small():
+    measurement = measure_modulation_network(duration=15.0, seed=100)
+    assert measurement.latency < 2e-3

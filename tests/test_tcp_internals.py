@@ -1,0 +1,371 @@
+"""Surgical TCP tests: fabricated segments against one endpoint.
+
+These bypass the network entirely — packets are injected straight into
+``segment_arrives`` — to pin down the state machine, congestion
+control, and timer behaviour precisely.
+"""
+
+import pytest
+
+from repro.net.packet import IPHeader, Packet, PROTO_TCP, TCPHeader
+from repro.protocols.ip import IPLayer
+from repro.protocols.tcp import (
+    CLOSE_WAIT,
+    CLOSED,
+    DUPACK_THRESHOLD,
+    ESTABLISHED,
+    FIN_WAIT_1,
+    FIN_WAIT_2,
+    FIN_WAIT_2_TIMEOUT,
+    LAST_ACK,
+    MIN_RTO,
+    MSS,
+    SYN_RCVD,
+    SYN_SENT,
+    TCPProtocol,
+)
+from repro.sim import Simulator
+
+
+class Harness:
+    """A TCP endpoint whose wire is a list we can inspect."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        self.ip = IPLayer(self.sim, ["10.0.0.1"])
+        self.wire = []
+        self.ip.output = lambda packet: self.wire.append(packet)
+        self.proto = TCPProtocol(self.sim, self.ip)
+
+    def connect(self):
+        gen = self.proto.connect("10.0.0.1", "10.0.0.2", 80)
+        # Drive the generator manually: it yields the state signal.
+        try:
+            next(gen)
+        except StopIteration:
+            pass
+        self.conn = list(self.proto._conns.values())[0]
+        return self.conn
+
+    def inject(self, seq=0, ack=0, flags=TCPHeader.ACK, length=0,
+               window=65535, payload=None):
+        packet = Packet(
+            ip=IPHeader("10.0.0.2", "10.0.0.1", PROTO_TCP),
+            tcp=TCPHeader(src_port=80, dst_port=self.conn.lport, seq=seq,
+                          ack=ack, flags=flags, window=window),
+            payload_bytes=length,
+            payload=payload,
+        )
+        self.conn.segment_arrives(packet)
+
+    def establish(self):
+        self.connect()
+        self.inject(flags=TCPHeader.SYN | TCPHeader.ACK, ack=1)
+        assert self.conn.state == ESTABLISHED
+        self.wire.clear()
+        return self.conn
+
+    def sent_segments(self):
+        return [p.tcp for p in self.wire]
+
+
+@pytest.fixture
+def h():
+    return Harness()
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+def test_active_open_sends_syn(h):
+    conn = h.connect()
+    assert conn.state == SYN_SENT
+    assert h.wire[0].tcp.has(TCPHeader.SYN)
+    assert not h.wire[0].tcp.has(TCPHeader.ACK)
+
+
+def test_synack_establishes_and_acks(h):
+    conn = h.connect()
+    h.wire.clear()
+    h.inject(flags=TCPHeader.SYN | TCPHeader.ACK, ack=1)
+    assert conn.state == ESTABLISHED
+    assert h.wire[-1].tcp.has(TCPHeader.ACK)
+    assert h.wire[-1].tcp.ack == 1
+
+
+def test_syn_retransmitted_on_timeout(h):
+    conn = h.connect()
+    h.wire.clear()
+    h.sim.run(until=3.0)
+    syns = [t for t in h.sent_segments() if t.has(TCPHeader.SYN)]
+    assert len(syns) >= 1
+    assert conn.retransmits >= 1
+
+
+def test_syn_gives_up_eventually(h):
+    conn = h.connect()
+    h.sim.run(until=600.0)
+    assert conn.state == CLOSED
+    assert conn.error is not None
+
+
+# ----------------------------------------------------------------------
+# Congestion control
+# ----------------------------------------------------------------------
+def test_slow_start_doubles_per_ack_round(h):
+    conn = h.establish()
+    conn.send(100 * MSS)
+    assert conn.cwnd == MSS  # initial window: one segment in flight
+    first = [t for t in h.sent_segments() if t.seq == 1]
+    assert len(first) == 1
+    h.inject(ack=1 + MSS)
+    assert conn.cwnd == 2 * MSS
+    h.inject(ack=1 + 3 * MSS)
+    assert conn.cwnd == 3 * MSS
+
+
+def test_congestion_avoidance_linear_growth(h):
+    conn = h.establish()
+    conn.ssthresh = 2 * MSS  # force CA immediately
+    conn.send(100 * MSS)
+    h.inject(ack=1 + MSS)
+    h.inject(ack=1 + 2 * MSS)
+    # In CA each ack adds MSS^2/cwnd (< MSS).
+    assert 2 * MSS < conn.cwnd < 3.1 * MSS
+
+
+def test_three_dupacks_trigger_fast_retransmit(h):
+    conn = h.establish()
+    conn.cwnd = 10 * MSS
+    conn.send(10 * MSS)
+    h.wire.clear()
+    for _ in range(DUPACK_THRESHOLD):
+        h.inject(ack=1)  # duplicate acks (nothing new acked)
+    assert conn.fast_retransmits == 1
+    assert conn.in_fast_recovery
+    rtx = h.sent_segments()[0]
+    assert rtx.seq == 1  # the oldest unacked segment
+
+
+def test_two_dupacks_do_not_retransmit(h):
+    conn = h.establish()
+    conn.cwnd = 10 * MSS
+    conn.send(10 * MSS)
+    h.wire.clear()
+    h.inject(ack=1)
+    h.inject(ack=1)
+    assert conn.fast_retransmits == 0
+
+
+def test_window_update_is_not_a_dupack(h):
+    conn = h.establish()
+    conn.cwnd = 10 * MSS
+    conn.send(10 * MSS)
+    h.wire.clear()
+    for window in (30000, 20000, 40000):  # window changes, same ack
+        h.inject(ack=1, window=window)
+    assert conn.fast_retransmits == 0
+
+
+def test_segment_with_data_is_not_a_dupack(h):
+    conn = h.establish()
+    conn.cwnd = 10 * MSS
+    conn.send(10 * MSS)
+    h.wire.clear()
+    for i in range(3):
+        h.inject(seq=1 + i * 100, ack=1, length=100)
+    assert conn.fast_retransmits == 0
+
+
+def test_recovery_exits_at_recovery_point(h):
+    conn = h.establish()
+    conn.cwnd = 10 * MSS
+    conn.send(10 * MSS)
+    point = conn.snd_nxt
+    for _ in range(DUPACK_THRESHOLD):
+        h.inject(ack=1)
+    assert conn.in_fast_recovery
+    h.inject(ack=point)
+    assert not conn.in_fast_recovery
+    assert conn.cwnd == pytest.approx(conn.ssthresh)
+
+
+def test_partial_ack_retransmits_next_hole(h):
+    conn = h.establish()
+    conn.cwnd = 10 * MSS
+    conn.send(10 * MSS)
+    for _ in range(DUPACK_THRESHOLD):
+        h.inject(ack=1)
+    h.wire.clear()
+    h.inject(ack=1 + 2 * MSS)  # partial: holes remain
+    assert conn.in_fast_recovery
+    rtx = [t for t in h.sent_segments() if t.seq == 1 + 2 * MSS]
+    assert rtx  # the next hole was retransmitted immediately
+
+
+def test_timeout_collapses_window_and_backs_off(h):
+    conn = h.establish()
+    conn.cwnd = 8 * MSS
+    conn.send(8 * MSS)
+    h.wire.clear()
+    h.sim.run(until=MIN_RTO + 2.0)
+    assert conn.timeouts >= 1
+    assert conn.cwnd == MSS
+    assert conn.backoff >= 2
+    assert any(t.seq == 1 for t in h.sent_segments())  # go-back-N restart
+
+
+def test_ack_above_pulled_back_snd_nxt_accepted(h):
+    conn = h.establish()
+    conn.cwnd = 8 * MSS
+    conn.send(8 * MSS)
+    high = conn.snd_nxt
+    h.sim.run(until=MIN_RTO + 2.0)   # timeout pulls snd_nxt back
+    assert conn.snd_nxt < high
+    h.inject(ack=high)               # receiver had buffered everything
+    assert conn.snd_una == high
+    assert conn.snd_nxt >= high
+
+
+def test_rtt_estimator_sets_rto(h):
+    conn = h.establish()
+    conn.send(MSS)
+    h.sim.schedule(0.05, lambda: None)
+    h.sim.run(until=0.05)
+    h.inject(ack=1 + MSS)
+    assert conn.srtt == pytest.approx(0.05, abs=0.01)
+    assert conn.rto == MIN_RTO  # floor dominates small RTTs
+
+
+# ----------------------------------------------------------------------
+# Receive path
+# ----------------------------------------------------------------------
+def test_out_of_order_buffered_then_delivered(h):
+    conn = h.establish()
+    h.inject(seq=1 + 500, length=500)       # hole at the front
+    assert conn.readable_bytes() == 0
+    h.inject(seq=1, length=500)             # fill the hole
+    assert conn.readable_bytes() == 1000
+
+
+def test_out_of_order_triggers_immediate_dup_ack(h):
+    conn = h.establish()
+    h.wire.clear()
+    h.inject(seq=1 + 500, length=500)
+    acks = h.sent_segments()
+    assert acks and acks[-1].ack == 1  # duplicate ack for the hole
+
+
+def test_duplicate_data_ignored_but_acked(h):
+    conn = h.establish()
+    h.inject(seq=1, length=500, flags=TCPHeader.ACK | TCPHeader.PSH)
+    h.wire.clear()
+    h.inject(seq=1, length=500, flags=TCPHeader.ACK | TCPHeader.PSH)
+    assert conn.readable_bytes() == 500  # not double-counted
+    assert h.sent_segments()             # but re-acked
+
+
+def test_psh_forces_immediate_ack(h):
+    conn = h.establish()
+    h.wire.clear()
+    h.inject(seq=1, length=100, flags=TCPHeader.ACK | TCPHeader.PSH)
+    assert h.sent_segments()[-1].ack == 101
+
+
+def test_delayed_ack_fires_on_timer(h):
+    conn = h.establish()
+    h.wire.clear()
+    h.inject(seq=1, length=100)  # no PSH: ack is delayed
+    assert not h.sent_segments()
+    h.sim.run(until=0.5)
+    assert h.sent_segments()[-1].ack == 101
+
+
+def test_every_second_segment_acked_immediately(h):
+    conn = h.establish()
+    h.wire.clear()
+    h.inject(seq=1, length=MSS)
+    h.inject(seq=1 + MSS, length=MSS)
+    assert h.sent_segments()[-1].ack == 1 + 2 * MSS
+
+
+# ----------------------------------------------------------------------
+# Teardown
+# ----------------------------------------------------------------------
+def test_close_sends_fin_after_data(h):
+    conn = h.establish()
+    conn.send(100)
+    conn.close()
+    # The data fit in the window, so the FIN follows it immediately
+    # and occupies the next sequence slot.
+    assert conn.state == FIN_WAIT_1
+    fins = [t for t in h.sent_segments() if t.has(TCPHeader.FIN)]
+    assert fins and fins[-1].seq == 101
+
+
+def test_close_defers_fin_until_window_allows(h):
+    conn = h.establish()
+    conn.cwnd = float(MSS)
+    conn.send(5 * MSS)   # only the first segment fits the window
+    conn.close()
+    assert conn.state == ESTABLISHED   # FIN cannot jump the queue
+    fins = [t for t in h.sent_segments() if t.has(TCPHeader.FIN)]
+    assert not fins
+    for k in range(1, 6):              # ack everything, window opens
+        h.inject(ack=1 + k * MSS)
+    assert conn.state == FIN_WAIT_1
+    fins = [t for t in h.sent_segments() if t.has(TCPHeader.FIN)]
+    assert fins and fins[-1].seq == 1 + 5 * MSS
+
+
+def test_fin_ack_then_peer_fin_completes(h):
+    conn = h.establish()
+    conn.close()
+    h.inject(ack=2)  # our FIN (seq 1) acked
+    assert conn.state == FIN_WAIT_2
+    h.inject(seq=1, flags=TCPHeader.ACK | TCPHeader.FIN, ack=2)
+    assert conn.state == CLOSED
+
+
+def test_simultaneous_close_via_closing_state(h):
+    conn = h.establish()
+    conn.close()
+    assert conn.state == FIN_WAIT_1
+    h.inject(seq=1, flags=TCPHeader.ACK | TCPHeader.FIN, ack=1)  # FIN, no ack of ours
+    # Both FINs crossed: we are in CLOSING until our FIN is acked.
+    h.inject(ack=2)
+    assert conn.state == CLOSED
+
+
+def test_peer_close_first_then_ours(h):
+    conn = h.establish()
+    h.inject(seq=1, flags=TCPHeader.ACK | TCPHeader.FIN, ack=1)
+    assert conn.state == CLOSE_WAIT
+    conn.close()
+    assert conn.state == LAST_ACK
+    h.inject(ack=2)
+    assert conn.state == CLOSED
+
+
+def test_fin_wait_2_reaper_cleans_orphan(h):
+    conn = h.establish()
+    conn.close()
+    h.inject(ack=2)
+    assert conn.state == FIN_WAIT_2
+    h.sim.run(until=FIN_WAIT_2_TIMEOUT + 15.0)
+    assert conn.state == CLOSED
+
+
+def test_rst_tears_down_immediately(h):
+    conn = h.establish()
+    conn.send(1000)
+    h.inject(flags=TCPHeader.RST)
+    assert conn.state == CLOSED
+    assert conn.error is not None
+
+
+def test_fin_counted_in_sequence_space(h):
+    conn = h.establish()
+    h.inject(seq=1, length=100, flags=TCPHeader.ACK | TCPHeader.FIN)
+    assert conn.rcv_nxt == 102  # 100 data + 1 FIN
+    assert conn.readable_bytes() == 100

@@ -1,0 +1,132 @@
+"""Unit tests for the self-descriptive trace format."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.traceformat import (
+    DIR_IN,
+    DIR_OUT,
+    DeviceStatusRecord,
+    LostRecordsRecord,
+    PacketRecord,
+    TraceReader,
+    TraceWriter,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    save_trace,
+)
+
+
+def _packet_record(**kw):
+    defaults = dict(timestamp=1.5, direction=DIR_OUT, proto=1, size=92,
+                    src="10.0.0.2", dst="10.0.0.1", icmp_type=8, ident=7,
+                    seq=3, rtt=-1.0)
+    defaults.update(kw)
+    return PacketRecord(**defaults)
+
+
+def test_packet_record_roundtrip():
+    rec = _packet_record(rtt=0.0123)
+    (back,) = loads_trace(dumps_trace([rec]))
+    assert back == rec
+
+
+def test_device_status_roundtrip():
+    rec = DeviceStatusRecord(timestamp=2.0, signal_level=17.5,
+                             signal_quality=12.0, silence_level=4.0)
+    (back,) = loads_trace(dumps_trace([rec]))
+    assert back == rec
+
+
+def test_lost_records_roundtrip():
+    rec = LostRecordsRecord(timestamp=3.0, record_type="packet", count=42)
+    (back,) = loads_trace(dumps_trace([rec]))
+    assert back == rec
+
+
+def test_mixed_stream_preserves_order():
+    records = [
+        _packet_record(seq=0),
+        DeviceStatusRecord(1.0, 10.0, 5.0, 2.0),
+        _packet_record(seq=1, direction=DIR_IN),
+        LostRecordsRecord(2.0, "device_status", 1),
+    ]
+    assert loads_trace(dumps_trace(records)) == records
+
+
+def test_description_preserved():
+    blob = dumps_trace([], description="porter trial 3")
+    reader = TraceReader(io.BytesIO(blob))
+    assert reader.description == "porter trial 3"
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValueError):
+        TraceReader(io.BytesIO(b"JUNKxxxxxxxx"))
+
+
+def test_empty_trace_ok():
+    assert loads_trace(dumps_trace([])) == []
+
+
+def test_save_and_load_file(tmp_path):
+    path = str(tmp_path / "trial.trace")
+    records = [_packet_record(seq=i) for i in range(5)]
+    assert save_trace(path, records, description="t") == 5
+    assert load_trace(path) == records
+
+
+def test_self_descriptive_unknown_record_type():
+    """A reader can parse record types it has never seen."""
+    buf = io.BytesIO()
+    writer = TraceWriter(buf, extra_schemas={
+        "gps_fix": [("timestamp", "d"), ("lat", "d"), ("lon", "d"),
+                    ("label", "S")],
+    })
+
+    class GpsFix:
+        RECORD_TYPE = "gps_fix"
+        timestamp = 9.0
+        lat = 40.44
+        lon = -79.94
+        label = "wean hall"
+
+    writer.write(GpsFix())
+    writer.write(_packet_record())
+    records = loads_trace(buf.getvalue())
+    assert records[0]["record_type"] == "gps_fix"
+    assert records[0]["label"] == "wean hall"
+    assert isinstance(records[1], PacketRecord)
+
+
+def test_unicode_strings_survive():
+    rec = _packet_record(src="höst-α", dst="β")
+    (back,) = loads_trace(dumps_trace([rec]))
+    assert back.src == "höst-α"
+
+
+def test_writer_counts_records():
+    buf = io.BytesIO()
+    writer = TraceWriter(buf)
+    writer.write_all([_packet_record() for _ in range(3)])
+    assert writer.records_written == 3
+
+
+@given(st.lists(st.tuples(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.integers(min_value=0, max_value=1),
+    st.integers(min_value=-1, max_value=2**31),
+    st.floats(min_value=-1.0, max_value=10.0, allow_nan=False),
+    st.text(max_size=20),
+), max_size=20))
+def test_roundtrip_arbitrary_packet_records(rows):
+    records = [
+        PacketRecord(timestamp=ts, direction=d, proto=1, size=100,
+                     src=name, dst="x", icmp_type=0, ident=1, seq=seq,
+                     rtt=rtt)
+        for ts, d, seq, rtt, name in rows
+    ]
+    assert loads_trace(dumps_trace(records)) == records

@@ -1,0 +1,133 @@
+"""Tests for collected-trace analysis."""
+
+import pytest
+
+from repro.analysis.tracestats import (
+    analyze_trace,
+    interarrival_summary,
+    signal_timeline,
+    throughput_timeline,
+)
+from repro.apps.ping import ModifiedPing
+from repro.core import trace_collection_run
+from repro.core.traceformat import (
+    DIR_IN,
+    DIR_OUT,
+    DeviceStatusRecord,
+    LostRecordsRecord,
+    PacketRecord,
+)
+from repro.hosts import SERVER_ADDR
+from repro.net.packet import PROTO_ICMP, PROTO_UDP
+from tests.conftest import run_to_completion
+
+
+def _rec(ts, direction=DIR_OUT, proto=PROTO_ICMP, size=100, icmp_type=-1,
+         seq=-1, rtt=-1.0):
+    return PacketRecord(timestamp=ts, direction=direction, proto=proto,
+                        size=size, icmp_type=icmp_type, seq=seq, rtt=rtt)
+
+
+def test_analyze_counts_by_protocol_and_direction():
+    records = [
+        _rec(0.0, DIR_OUT, PROTO_ICMP, 100),
+        _rec(0.5, DIR_IN, PROTO_ICMP, 100),
+        _rec(1.0, DIR_OUT, PROTO_UDP, 300),
+    ]
+    stats = analyze_trace(records)
+    assert stats.by_protocol["icmp"].packets == 2
+    assert stats.by_protocol["icmp"].bytes_in == 100
+    assert stats.by_protocol["udp"].packets_out == 1
+    assert stats.total_packets == 3
+    assert stats.duration == pytest.approx(1.0)
+
+
+def test_analyze_rtt_and_reply_ratio():
+    records = [
+        _rec(0.0, DIR_OUT, icmp_type=8, seq=0),
+        _rec(0.01, DIR_IN, icmp_type=0, seq=0, rtt=0.01),
+        _rec(1.0, DIR_OUT, icmp_type=8, seq=1),  # never answered
+    ]
+    stats = analyze_trace(records)
+    assert stats.echo_sent == 2
+    assert stats.echo_answered == 1
+    assert stats.reply_ratio == pytest.approx(0.5)
+    assert stats.rtt.mean == pytest.approx(0.01)
+
+
+def test_analyze_signal_and_losses():
+    records = [
+        _rec(0.0),
+        DeviceStatusRecord(0.5, 17.0, 10.0, 3.0),
+        DeviceStatusRecord(1.5, 19.0, 10.0, 3.0),
+        LostRecordsRecord(-1.0, "packet", 7),
+    ]
+    stats = analyze_trace(records)
+    assert stats.signal.mean == pytest.approx(18.0)
+    assert stats.status_samples == 2
+    assert stats.records_lost == 7
+    assert "WARNING" in stats.render()
+
+
+def test_analyze_empty_rejected():
+    with pytest.raises(ValueError):
+        analyze_trace([])
+
+
+def test_render_contains_key_lines():
+    records = [
+        _rec(0.0, DIR_OUT, icmp_type=8, seq=0),
+        _rec(0.01, DIR_IN, icmp_type=0, seq=0, rtt=0.01),
+    ]
+    text = analyze_trace(records).render()
+    assert "icmp" in text
+    assert "echo RTT" in text
+    assert "echoes answered 1/1" in text
+
+
+def test_throughput_timeline_buckets():
+    records = [_rec(t, size=1000) for t in (0.0, 1.0, 2.0, 7.0)]
+    timeline = throughput_timeline(records, bucket=5.0)
+    assert timeline[0] == (0.0, pytest.approx(3000 * 8 / 5.0))
+    assert timeline[1] == (5.0, pytest.approx(1000 * 8 / 5.0))
+
+
+def test_throughput_timeline_direction_filter():
+    records = [_rec(0.0, DIR_OUT, size=1000), _rec(0.1, DIR_IN, size=500)]
+    out_only = throughput_timeline(records, bucket=1.0, direction=DIR_OUT)
+    assert out_only[0][1] == pytest.approx(8000.0)
+
+
+def test_throughput_timeline_validation():
+    with pytest.raises(ValueError):
+        throughput_timeline([], bucket=0.0)
+    assert throughput_timeline([], bucket=1.0) == []
+
+
+def test_signal_timeline_relative_times():
+    records = [DeviceStatusRecord(10.0, 15.0, 1, 1),
+               DeviceStatusRecord(12.0, 18.0, 1, 1)]
+    timeline = signal_timeline(records)
+    assert timeline == [(0.0, 15.0), (2.0, 18.0)]
+
+
+def test_interarrival_summary():
+    records = [_rec(t, DIR_IN) for t in (0.0, 1.0, 3.0)]
+    summary = interarrival_summary(records, direction=DIR_IN)
+    assert summary.mean == pytest.approx(1.5)
+    assert interarrival_summary([], direction=DIR_IN) is None
+
+
+def test_analyze_real_collected_trace(live_world):
+    w = live_world
+    daemon = trace_collection_run(w.laptop, w.radio)
+    ping = ModifiedPing(w.laptop, SERVER_ADDR)
+    proc = w.laptop.spawn(ping.run(10.0))
+    run_to_completion(w, proc, cap=20.0)
+    w.run(until=w.sim.now + 2.0)
+    stats = analyze_trace(daemon.records)
+    assert stats.by_protocol["icmp"].packets_out == 30
+    assert stats.reply_ratio == 1.0
+    assert stats.rtt is not None and stats.rtt.mean < 0.1
+    assert stats.signal is not None
+    assert 8.0 <= stats.duration <= 13.0

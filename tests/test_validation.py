@@ -1,0 +1,161 @@
+"""Tests for the validation harness and figure renderers.
+
+These run miniature versions of the paper's experiments (small
+transfers, short traces, two trials) so the whole machinery is
+exercised in seconds rather than minutes.
+"""
+
+import pytest
+
+from repro.analysis import Summary
+from repro.scenarios import PorterScenario, WeanScenario
+from repro.scenarios.base import Scenario
+from repro.validation import (
+    AndrewRunner,
+    FtpRunner,
+    WebRunner,
+    characterize_scenario,
+    compensation_vb,
+    ethernet_baseline,
+    figure1_compensation,
+    render_andrew_table,
+    render_benchmark_table,
+    run_ethernet_trial,
+    run_live_trial,
+    validate_scenario,
+)
+from repro.validation.figures import Figure1Result, CompensationPoint
+from tests.conftest import ConstantProfile
+
+
+class MiniScenario(Scenario):
+    """A short, benign scenario for fast harness tests."""
+
+    name = "mini"
+    duration = 60.0
+    checkpoints = ()
+
+    def base_conditions(self, u, rng):
+        from repro.net.wavelan import ChannelConditions
+
+        return ChannelConditions(
+            signal_level=20.0 + rng.uniform(-1, 1),
+            loss_prob_up=0.005,
+            loss_prob_down=0.004,
+            bandwidth_factor=0.8,
+            access_latency_mean=0.0004,
+        )
+
+
+MINI_FTP = FtpRunner(nbytes=1_000_000)
+
+
+def test_compensation_vb_cached():
+    a = compensation_vb()
+    b = compensation_vb()
+    assert a == b
+    assert a == pytest.approx(0.8e-6, rel=0.3)
+
+
+def test_run_live_trial_returns_metrics():
+    runner = FtpRunner(nbytes=500_000, direction="send")
+    metrics = run_live_trial(MiniScenario(), runner, seed=0, trial=0)
+    assert set(metrics) == {"send"}
+    assert metrics["send"] > 3.0  # slower than Ethernet for 500 KB
+
+
+def test_run_ethernet_trial_faster_than_live():
+    runner = FtpRunner(nbytes=500_000, direction="send")
+    live = run_live_trial(MiniScenario(), runner, seed=0, trial=0)
+    ether = run_ethernet_trial(runner, seed=0, trial=0)
+    assert ether["send"] < live["send"]
+
+
+def test_validate_scenario_full_protocol():
+    validation = validate_scenario(MiniScenario(), MINI_FTP, seed=0, trials=2)
+    assert validation.scenario == "mini"
+    assert set(validation.comparisons) == {"send", "recv"}
+    assert len(validation.distillations) == 2
+    comp = validation.comparison("send")
+    assert comp.real.n == 2 and comp.modulated.n == 2
+    assert comp.real.mean > 0
+    assert comp.sigma_distance >= 0.0
+
+
+def test_ftp_variants_are_independent_runs():
+    runner = FtpRunner(nbytes=1000)
+    variants = runner.variants()
+    assert [v.metrics for v in variants] == [("send",), ("recv",)]
+
+
+def test_ethernet_baseline_all_metrics():
+    baseline = ethernet_baseline(FtpRunner(nbytes=500_000), seed=0, trials=2)
+    assert set(baseline) == {"send", "recv"}
+    assert all(isinstance(s, Summary) for s in baseline.values())
+
+
+def test_characterize_scenario_produces_series():
+    character = characterize_scenario(PorterScenario(), seed=0, trials=2)
+    labels, lows, highs = character.checkpoint_ranges("latency_ms")
+    assert labels == [f"x{i}" for i in range(7)]
+    assert all(h >= l for l, h in zip(lows, highs))
+    bw = character.all_values("bandwidth_kbps")
+    assert bw and 500 < sum(bw) / len(bw) < 2000  # Kb/s
+    text = character.render()
+    assert "latency_ms" in text and "x3" in text
+
+
+def test_characterize_histogram_mode():
+    character = characterize_scenario(MiniScenario(), seed=0, trials=2)
+    character.scenario.has_motion = False
+    text = character.render()
+    assert "loss_pct" in text
+
+
+def test_render_benchmark_table_shapes():
+    validation = validate_scenario(MiniScenario(), MINI_FTP, seed=0, trials=2)
+    baseline = ethernet_baseline(MINI_FTP, seed=0, trials=2)
+    text = render_benchmark_table([validation], baseline,
+                                  title="Figure 7 (mini)")
+    assert "Mini" in text
+    assert "send" in text and "recv" in text
+    assert "Ethernet" in text
+
+
+def test_render_andrew_table_layout():
+    summaries = {p: Summary(mean=float(i + 1), std=0.1, n=4)
+                 for i, p in enumerate(("MakeDir", "Copy", "ScanDir",
+                                        "ReadAll", "Make", "Total"))}
+
+    class FakeComparison:
+        def __init__(self, s):
+            self.real = s
+            self.modulated = s
+
+    class FakeValidation:
+        scenario = "wean"
+        comparisons = {p: FakeComparison(s) for p, s in summaries.items()}
+
+    text = render_andrew_table([FakeValidation()], summaries)
+    assert "MakeDir" in text and "Wean" in text and "Ethernet" in text
+
+
+def test_figure1_result_gap_math():
+    result = Figure1Result(points=[
+        CompensationPoint(1000, "store", True, 10.0),
+        CompensationPoint(1000, "fetch", True, 11.0),
+        CompensationPoint(1000, "fetch", False, 14.0),
+        CompensationPoint(1000, "store", False, 10.0),
+    ])
+    gap_with = result.fetch_store_gap(compensated=True)
+    gap_without = result.fetch_store_gap(compensated=False)
+    assert gap_without > gap_with > 0.0
+    assert "Figure 1" in result.render()
+
+
+def test_figure1_compensation_mini_run():
+    result = figure1_compensation(seed=0, sizes=(512 * 1024,))
+    assert len(result.points) == 4
+    # Without compensation, fetch must lag store; with it, the gap
+    # narrows.
+    assert result.fetch_store_gap(False) > result.fetch_store_gap(True)

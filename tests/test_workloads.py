@@ -1,0 +1,95 @@
+"""Unit tests for the deterministic synthetic workloads."""
+
+from repro.workloads import (
+    all_user_traces,
+    andrew_tree,
+    object_catalog,
+    tree_directories,
+    tree_total_bytes,
+    user_trace,
+)
+
+
+# ----------------------------------------------------------------------
+# Web reference traces
+# ----------------------------------------------------------------------
+def test_user_trace_deterministic():
+    assert user_trace(7, 0) == user_trace(7, 0)
+
+
+def test_user_traces_differ_by_user_and_seed():
+    assert user_trace(7, 0) != user_trace(7, 1)
+    assert user_trace(7, 0) != user_trace(8, 0)
+
+
+def test_user_trace_length():
+    assert len(user_trace(1, 0, requests=40)) == 40
+
+
+def test_all_user_traces_shape():
+    traces = all_user_traces(1, users=5, requests=55)
+    assert len(traces) == 5
+    assert all(len(t) == 55 for t in traces)
+
+
+def test_object_sizes_in_mid_90s_range():
+    for ref in user_trace(1, 0):
+        assert 500 <= ref.size <= 60_000
+
+
+def test_total_workload_volume_reasonable():
+    traces = all_user_traces(42)
+    total = sum(r.size for t in traces for r in t)
+    assert 1_000_000 < total < 4_000_000  # a couple of MB, 1996-style
+
+
+def test_urls_unique_enough_for_catalog():
+    traces = all_user_traces(1)
+    catalog = object_catalog(traces)
+    for trace in traces:
+        for ref in trace:
+            assert catalog[ref.url] == ref.size
+
+
+def test_trace_contains_search_pattern():
+    urls = [r.url for r in user_trace(1, 0)]
+    assert any("query" in u for u in urls)
+    assert any("results" in u for u in urls)
+    assert any("doc" in u for u in urls)
+
+
+# ----------------------------------------------------------------------
+# Andrew tree
+# ----------------------------------------------------------------------
+def test_tree_has_about_70_files():
+    assert len(andrew_tree()) == 70
+
+
+def test_tree_occupies_about_200kb():
+    total = tree_total_bytes(andrew_tree())
+    assert 180_000 < total < 230_000
+
+
+def test_tree_deterministic():
+    assert andrew_tree(seed=3) == andrew_tree(seed=3)
+    assert andrew_tree(seed=3) != andrew_tree(seed=4)
+
+
+def test_tree_has_compilable_sources_and_headers():
+    tree = andrew_tree()
+    assert any(f.compiles for f in tree)
+    assert any(not f.compiles for f in tree)
+    assert any(f.path.endswith(".h") for f in tree)
+    assert any(f.path == "Makefile" for f in tree)
+
+
+def test_tree_directories_cover_all_subdirs():
+    tree = andrew_tree()
+    dirs = tree_directories(tree)
+    for f in tree:
+        if "/" in f.path:
+            assert f.path.split("/")[0] in dirs
+
+
+def test_tree_minimum_file_size():
+    assert all(f.size >= 256 for f in andrew_tree())
