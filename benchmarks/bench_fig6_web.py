@@ -7,14 +7,13 @@ scenarios the real/modulated difference is within the sum of the
 standard deviations.
 """
 
-from conftest import SEED, TRIALS, emit, once
+from conftest import SEED, TRIALS, WORKERS, emit, once
 
 from repro.scenarios import ALL_SCENARIOS
 from repro.validation import (
     WebRunner,
-    ethernet_baseline,
     render_benchmark_table,
-    validate_scenario,
+    run_validation,
 )
 
 
@@ -22,11 +21,10 @@ def test_fig6_web_benchmark(benchmark):
     runner = WebRunner()
 
     def experiment():
-        validations = [validate_scenario(cls(), runner, seed=SEED,
-                                         trials=TRIALS)
-                       for cls in ALL_SCENARIOS]
-        baseline = ethernet_baseline(runner, seed=SEED, trials=TRIALS)
-        return validations, baseline
+        sweep = run_validation(ALL_SCENARIOS, runner, seed=SEED,
+                               trials=TRIALS, baseline=True,
+                               workers=WORKERS)
+        return sweep.validations, sweep.baseline
 
     validations, baseline = once(benchmark, experiment)
     emit("fig6_web", render_benchmark_table(

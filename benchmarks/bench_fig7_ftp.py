@@ -12,14 +12,13 @@ experiments.  The shapes to reproduce from the paper:
   directions (the paper reports 1.05x and 1.56x the sigma sum).
 """
 
-from conftest import SEED, TRIALS, emit, once
+from conftest import SEED, TRIALS, WORKERS, emit, once
 
 from repro.scenarios import ALL_SCENARIOS
 from repro.validation import (
     FtpRunner,
-    ethernet_baseline,
     render_benchmark_table,
-    validate_scenario,
+    run_validation,
 )
 
 
@@ -27,11 +26,10 @@ def test_fig7_ftp_benchmark(benchmark):
     runner = FtpRunner()
 
     def experiment():
-        validations = [validate_scenario(cls(), runner, seed=SEED,
-                                         trials=TRIALS)
-                       for cls in ALL_SCENARIOS]
-        baseline = ethernet_baseline(runner, seed=SEED, trials=TRIALS)
-        return validations, baseline
+        sweep = run_validation(ALL_SCENARIOS, runner, seed=SEED,
+                               trials=TRIALS, baseline=True,
+                               workers=WORKERS)
+        return sweep.validations, sweep.baseline
 
     validations, baseline = once(benchmark, experiment)
     emit("fig7_ftp", render_benchmark_table(

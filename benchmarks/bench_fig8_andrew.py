@@ -11,25 +11,22 @@ reproduce:
   artifact the paper calls out in §5.4.
 """
 
-from conftest import SEED, TRIALS, emit, once
+from conftest import SEED, TRIALS, WORKERS, emit, once
 
 from repro.scenarios import ALL_SCENARIOS
 from repro.validation import (
     AndrewRunner,
-    ethernet_baseline,
     render_andrew_table,
-    validate_scenario,
+    run_validation,
 )
 
 
 def test_fig8_andrew_benchmark(benchmark):
     def experiment():
-        validations = [validate_scenario(cls(), AndrewRunner(), seed=SEED,
-                                         trials=TRIALS)
-                       for cls in ALL_SCENARIOS]
-        baseline = ethernet_baseline(AndrewRunner(), seed=SEED,
-                                     trials=TRIALS)
-        return validations, baseline
+        sweep = run_validation(ALL_SCENARIOS, AndrewRunner(), seed=SEED,
+                               trials=TRIALS, baseline=True,
+                               workers=WORKERS)
+        return sweep.validations, sweep.baseline
 
     validations, baseline = once(benchmark, experiment)
     emit("fig8_andrew", render_andrew_table(validations, baseline))

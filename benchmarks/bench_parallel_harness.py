@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""End-to-end benchmark for the parallel harness + engine hot path.
+
+Produces ``BENCH_engine.json`` at the repo root with two families of
+measurements:
+
+1. **Engine microbenchmarks** — single-threaded events/sec of the
+   current :class:`repro.sim.engine.Simulator` against the seed
+   revision's simulator (a faithful copy lives in
+   :mod:`_seed_baseline`), on two workloads:
+
+   * ``chain`` — a pure event chain, one event schedules the next.
+     Measures raw schedule/dispatch overhead (the ``__lt__``-ordered
+     Event vs. the seed's wrapper tuples).
+   * ``retransmit`` — the TCP pattern: every step schedules a data
+     event *and* a far-future retransmit timer, then cancels the
+     previous timer.  The seed's heap accumulates every dead timer
+     until the end of time; the current engine's lazy compaction keeps
+     the heap near its live size.
+
+2. **Validation-sweep wall clock** — the paper's Figure-7 FTP protocol
+   over all four scenarios (``run_validation`` with ``baseline=True``),
+   timed three ways, interleaved, best-of-N:
+
+   * ``seed_serial`` — the seed revision's hot paths (via
+     :func:`_seed_baseline.seed_mode`), serial;
+   * ``serial`` — current code, ``workers=1``;
+   * ``parallel`` — current code, ``workers=N`` (default 4).
+
+   The serial and parallel sweeps must render byte-identical tables;
+   the script asserts this on every repeat.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_harness.py          # full
+    PYTHONPATH=src python benchmarks/bench_parallel_harness.py --quick  # CI smoke
+
+The full run takes a few minutes; ``--quick`` runs a reduced sweep
+(smaller transfer, fewer trials, one repeat) in well under a minute and
+still exercises every code path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from typing import Callable, Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _seed_baseline import SeedSimulator, seed_mode  # noqa: E402
+
+from repro.scenarios import ALL_SCENARIOS  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.validation.harness import FtpRunner  # noqa: E402
+from repro.validation.parallel import run_validation  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
+
+
+# ======================================================================
+# Engine microbenchmarks
+# ======================================================================
+def _run_chain(sim, n: int) -> None:
+    """One event chain: each callback schedules its successor."""
+    remaining = [n]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.001, tick)
+    sim.run()
+
+
+def _run_retransmit(sim, n: int) -> None:
+    """TCP-style churn: schedule a data event plus a 30 s retransmit
+    timer each step, cancelling the previous timer (it never fires)."""
+    state = {"remaining": n, "timer": None}
+
+    def _rto() -> None:  # pragma: no cover - timers are always cancelled
+        raise AssertionError("retransmit timer fired")
+
+    def tick() -> None:
+        if state["timer"] is not None:
+            state["timer"].cancel()
+        state["remaining"] -= 1
+        if state["remaining"] > 0:
+            state["timer"] = sim.schedule(30.0, _rto)
+            sim.schedule(0.001, tick)
+        else:
+            state["timer"] = None
+
+    state["timer"] = sim.schedule(30.0, _rto)
+    sim.schedule(0.001, tick)
+    sim.run(until=float(n))  # stop before any surviving timer would fire
+
+
+_WORKLOADS: Dict[str, Callable[[object, int], None]] = {
+    "chain": _run_chain,
+    "retransmit": _run_retransmit,
+}
+
+
+def bench_engine(n_events: int, repeats: int) -> Dict[str, object]:
+    """Time each workload on the seed and current engines, best-of-N."""
+    out: Dict[str, object] = {"n_events": n_events, "workloads": {}}
+    speedups: List[float] = []
+    stats_sample = None
+    for name, workload in _WORKLOADS.items():
+        seed_best = cur_best = math.inf
+        for _ in range(repeats):
+            sim = SeedSimulator()
+            t0 = time.perf_counter()
+            workload(sim, n_events)
+            seed_best = min(seed_best, time.perf_counter() - t0)
+
+            sim = Simulator()
+            t0 = time.perf_counter()
+            workload(sim, n_events)
+            cur_best = min(cur_best, time.perf_counter() - t0)
+            if name == "retransmit":
+                stats_sample = sim.stats().as_dict()
+        speedup = seed_best / cur_best
+        speedups.append(speedup)
+        out["workloads"][name] = {
+            "seed_seconds": round(seed_best, 4),
+            "current_seconds": round(cur_best, 4),
+            "seed_events_per_sec": round(n_events / seed_best),
+            "current_events_per_sec": round(n_events / cur_best),
+            "speedup": round(speedup, 3),
+        }
+        print(f"  engine/{name:<11} seed {seed_best:7.3f}s   "
+              f"current {cur_best:7.3f}s   {speedup:5.2f}x")
+    out["single_thread_speedup"] = round(
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 3)
+    out["stats_sample"] = stats_sample
+    return out
+
+
+# ======================================================================
+# Validation-sweep wall clock
+# ======================================================================
+def _time_sweep(runner: FtpRunner, trials: int, workers: int):
+    t0 = time.perf_counter()
+    sweep = run_validation(ALL_SCENARIOS, runner, seed=0, trials=trials,
+                           baseline=True, workers=workers)
+    return time.perf_counter() - t0, sweep
+
+
+def bench_sweep(ftp_bytes: int, trials: int, workers: int,
+                repeats: int) -> Dict[str, object]:
+    """Time the three sweep legs, interleaved so machine noise hits all
+    legs equally; keep the best of ``repeats`` for each."""
+    runner = FtpRunner(nbytes=ftp_bytes)
+    best = {"seed_serial": math.inf, "serial": math.inf, "parallel": math.inf}
+    tables_identical = True
+    workers_used = 0
+    for rep in range(repeats):
+        with seed_mode():
+            elapsed, _ = _time_sweep(runner, trials, workers=1)
+        best["seed_serial"] = min(best["seed_serial"], elapsed)
+        print(f"  sweep[{rep}] seed_serial {elapsed:6.2f}s")
+
+        elapsed, serial_sweep = _time_sweep(runner, trials, workers=1)
+        best["serial"] = min(best["serial"], elapsed)
+        print(f"  sweep[{rep}] serial      {elapsed:6.2f}s")
+
+        elapsed, parallel_sweep = _time_sweep(runner, trials, workers=workers)
+        best["parallel"] = min(best["parallel"], elapsed)
+        workers_used = parallel_sweep.workers_used
+        print(f"  sweep[{rep}] parallel    {elapsed:6.2f}s "
+              f"(workers={parallel_sweep.workers_used})")
+
+        if serial_sweep.render() != parallel_sweep.render():
+            tables_identical = False
+            print("  WARNING: serial and parallel tables differ!")
+    return {
+        "scenarios": [cls.name for cls in ALL_SCENARIOS],
+        "ftp_bytes": ftp_bytes,
+        "trials": trials,
+        "workers": workers,
+        "workers_used": workers_used,
+        "repeats": repeats,
+        "seed_serial_seconds": round(best["seed_serial"], 3),
+        "serial_seconds": round(best["serial"], 3),
+        "parallel_seconds": round(best["parallel"], 3),
+        "speedup_serial_vs_seed_serial": round(
+            best["seed_serial"] / best["serial"], 3),
+        "speedup_parallel_vs_serial": round(
+            best["serial"] / best["parallel"], 3),
+        "speedup_parallel_vs_seed_serial": round(
+            best["seed_serial"] / best["parallel"], 3),
+        "tables_identical": tables_identical,
+    }
+
+
+# ======================================================================
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="reduced CI smoke run (smaller sweep, one repeat)")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="worker count for the parallel leg (default 4)")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="best-of-N repeats (default 3, or 1 with --quick)")
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help=f"output JSON path (default {DEFAULT_OUT})")
+    args = ap.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (
+        1 if args.quick else 3)
+    repeats = max(1, repeats)
+    if args.quick:
+        engine_events, ftp_bytes, trials = 50_000, 200_000, 2
+    else:
+        engine_events, ftp_bytes, trials = 300_000, 2_000_000, 4
+
+    print(f"engine microbenchmarks ({engine_events:,} events, "
+          f"best of {repeats}):")
+    engine = bench_engine(engine_events, repeats)
+
+    print(f"validation sweep (4 scenarios, ftp {ftp_bytes:,}B x{trials} "
+          f"trials, best of {repeats}):")
+    sweep = bench_sweep(ftp_bytes, trials, args.workers, repeats)
+
+    result = {
+        "benchmark": "parallel_harness",
+        "mode": "quick" if args.quick else "full",
+        "engine": engine,
+        "sweep": sweep,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+
+    print(f"\nsingle-thread engine speedup : "
+          f"{engine['single_thread_speedup']:.2f}x (target >= 1.2x)")
+    print(f"parallel vs seed serial      : "
+          f"{sweep['speedup_parallel_vs_seed_serial']:.2f}x (target >= 2x)")
+    print(f"parallel vs current serial   : "
+          f"{sweep['speedup_parallel_vs_serial']:.2f}x")
+    print(f"tables identical             : {sweep['tables_identical']}")
+    print(f"[written to {args.out}]")
+    return 0 if sweep["tables_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

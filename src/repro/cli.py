@@ -34,9 +34,8 @@ from .validation import (
     WebRunner,
     characterize_scenario,
     collect_trace,
-    ethernet_baseline,
-    render_benchmark_table,
-    validate_scenario,
+    default_workers,
+    run_validation,
 )
 
 SCENARIO_NAMES = sorted(cls.name for cls in ALL_SCENARIOS)
@@ -75,12 +74,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--baseline", action="store_true",
                    help="also run the raw-Ethernet reference row")
+    p.add_argument("--workers", type=int, default=None,
+                   help="trial process-pool size (default: one per CPU; "
+                        "1 forces serial; results are identical either way)")
+    p.add_argument("--ftp-bytes", type=int, default=None,
+                   help="ftp benchmark only: transfer size in bytes "
+                        "(default 10 MB, the paper's)")
 
     p = sub.add_parser("characterize",
                        help="Figures 2-5 style scenario characterization")
     p.add_argument("--scenario", choices=SCENARIO_NAMES, required=True)
     p.add_argument("--trials", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=None,
+                   help="trial process-pool size (default: one per CPU)")
 
     p = sub.add_parser("export", help="replay trace -> netem/mahimahi")
     p.add_argument("replay", help="replay trace JSON")
@@ -170,29 +177,24 @@ def _print_replay_summary(replay: ReplayTrace) -> None:
 
 def _cmd_validate(args) -> int:
     scenario = scenario_by_name(args.scenario)
-    runner = RUNNERS[args.benchmark]()
-    validation = validate_scenario(scenario, runner, seed=args.seed,
-                                   trials=args.trials)
-    baseline = (ethernet_baseline(runner, seed=args.seed, trials=args.trials)
-                if args.baseline else
-                {m: _na_summary() for m in validation.comparisons})
-    print(render_benchmark_table(
-        [validation], baseline,
+    if args.benchmark == "ftp" and args.ftp_bytes is not None:
+        runner = RUNNERS[args.benchmark](nbytes=args.ftp_bytes)
+    else:
+        runner = RUNNERS[args.benchmark]()
+    sweep = run_validation(scenario, runner, seed=args.seed,
+                           trials=args.trials, baseline=args.baseline,
+                           workers=args.workers)
+    print(sweep.render(
         title=f"{args.benchmark} on {args.scenario} "
               f"({args.trials} trials)"))
     return 0
 
 
-def _na_summary():
-    from .analysis import Summary
-
-    return Summary(mean=float("nan"), std=float("nan"), n=0)
-
-
 def _cmd_characterize(args) -> int:
     scenario = scenario_by_name(args.scenario)
+    workers = args.workers if args.workers is not None else default_workers()
     character = characterize_scenario(scenario, seed=args.seed,
-                                      trials=args.trials)
+                                      trials=args.trials, workers=workers)
     print(character.render())
     return 0
 

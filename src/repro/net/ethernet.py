@@ -99,15 +99,32 @@ class EthernetSegment:
             self._try_grant()
             return
         self._busy = True
-        tx_time = packet.size * 8.0 / self.bandwidth_bps
+        size = packet.size
+        tx_time = size * 8.0 / self.bandwidth_bps
         self.frames_carried += 1
-        self.bytes_carried += packet.size
-        self.sim.schedule(tx_time, self._transmit_done, device, packet)
+        self.bytes_carried += size
+        # When propagation outlasts the inter-frame gap (every real
+        # segment here), the entire frame lifetime — serialization,
+        # propagation, release — rides a single event; otherwise the
+        # classic sequence keeps delivery at exactly ``prop_delay``.
+        if self.prop_delay >= self.INTERFRAME_GAP:
+            self.sim.schedule(tx_time + self.prop_delay,
+                              self._deliver_release, device, packet)
+        else:
+            self.sim.schedule(tx_time, self._transmit_done, device, packet)
 
     def _transmit_done(self, sender: EthernetDevice, packet: Packet) -> None:
+        sender._after_transmit()
         self.sim.schedule(self.prop_delay, self._deliver, sender, packet)
         self.sim.schedule(self.INTERFRAME_GAP, self._release)
-        self.sim.schedule(0.0, sender._after_transmit)
+
+    def _deliver_release(self, sender: EthernetDevice, packet: Packet) -> None:
+        # The sender re-queues before the medium is released so its
+        # next frame contends in the same arbitration round.
+        sender._after_transmit()
+        self._busy = False
+        self._try_grant()
+        self._deliver(sender, packet)
 
     def _release(self) -> None:
         self._busy = False

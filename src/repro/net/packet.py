@@ -30,8 +30,26 @@ PROTO_UDP = 17
 _packet_ids = itertools.count(1)
 
 
+class _FastCopy:
+    """Allocation-light shallow copy for header dataclasses.
+
+    ``copy.copy`` pays a generic ``__reduce_ex__`` round trip per call;
+    broadcast fan-out on the shared WaveLAN medium clones headers
+    hundreds of thousands of times per trial, so headers copy via
+    ``__new__`` plus a dict update instead.
+    """
+
+    __slots__ = ()
+
+    def copy(self):
+        cls = type(self)
+        dup = cls.__new__(cls)
+        dup.__dict__.update(self.__dict__)
+        return dup
+
+
 @dataclass
-class IPHeader:
+class IPHeader(_FastCopy):
     """Minimal IPv4 header: addressing, protocol demux, TTL."""
 
     src: str
@@ -46,7 +64,7 @@ class IPHeader:
 
 
 @dataclass
-class ICMPHeader:
+class ICMPHeader(_FastCopy):
     """ICMP echo / echo-reply header.
 
     ``icmp_type`` is 8 for ECHO and 0 for ECHOREPLY.  ``ident`` carries
@@ -67,7 +85,7 @@ class ICMPHeader:
 
 
 @dataclass
-class UDPHeader:
+class UDPHeader(_FastCopy):
     src_port: int
     dst_port: int
 
@@ -77,7 +95,7 @@ class UDPHeader:
 
 
 @dataclass
-class TCPHeader:
+class TCPHeader(_FastCopy):
     """TCP header with the fields our Reno implementation uses."""
 
     src_port: int
@@ -128,15 +146,31 @@ class Packet:
     link_bytes: int = ETHERNET_HEADER_BYTES
     meta: Dict[str, Any] = field(default_factory=dict)
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    # Memoized wire size.  Headers are attached before a packet first
+    # touches a device (the one post-construction assignment,
+    # IPLayer.send, resets this), so the size is stable for the whole
+    # journey through queues, media, and tracing hooks.
+    _size: Optional[int] = field(default=None, repr=False, compare=False)
 
     @property
     def size(self) -> int:
         """Total wire size in bytes, link header included."""
-        total = self.link_bytes + self.payload_bytes
-        for header in (self.ip, self.icmp, self.udp, self.tcp):
-            if header is not None:
-                total += header.wire_bytes
-        return total
+        size = self._size
+        if size is None:
+            # Header sizes are fixed per layer; summing constants keeps
+            # the first computation cheap, and the memo makes the many
+            # queue/medium/tracer reads per frame O(1).
+            size = self.link_bytes + self.payload_bytes
+            if self.ip is not None:
+                size += IP_HEADER_BYTES
+            if self.icmp is not None:
+                size += ICMP_HEADER_BYTES
+            if self.udp is not None:
+                size += UDP_HEADER_BYTES
+            if self.tcp is not None:
+                size += TCP_HEADER_BYTES
+            self._size = size
+        return size
 
     @property
     def ip_size(self) -> int:
@@ -145,18 +179,18 @@ class Packet:
 
     def clone(self) -> "Packet":
         """A shallow copy with a fresh packet id (used by broadcast fan-out)."""
-        import copy
-
-        dup = Packet(
-            ip=copy.copy(self.ip),
-            icmp=copy.copy(self.icmp),
-            udp=copy.copy(self.udp),
-            tcp=copy.copy(self.tcp),
-            payload=self.payload,
-            payload_bytes=self.payload_bytes,
-            link_bytes=self.link_bytes,
-            meta=dict(self.meta),
-        )
+        ip, icmp, udp, tcp = self.ip, self.icmp, self.udp, self.tcp
+        dup = Packet.__new__(Packet)
+        dup.ip = None if ip is None else ip.copy()
+        dup.icmp = None if icmp is None else icmp.copy()
+        dup.udp = None if udp is None else udp.copy()
+        dup.tcp = None if tcp is None else tcp.copy()
+        dup.payload = self.payload
+        dup.payload_bytes = self.payload_bytes
+        dup.link_bytes = self.link_bytes
+        dup.meta = dict(self.meta)
+        dup.packet_id = next(_packet_ids)
+        dup._size = self._size
         return dup
 
     def describe(self) -> str:

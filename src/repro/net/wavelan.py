@@ -22,8 +22,9 @@ while giving us ground truth for validation.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..sim import RngStreams, Simulator
 from .device import NetworkDevice
@@ -79,12 +80,18 @@ class ChannelProfile:
 
 
 class PiecewiseProfile(ChannelProfile):
-    """A profile interpolated from (time, conditions) control points."""
+    """A profile interpolated from (time, conditions) control points.
+
+    ``conditions`` runs once per media grant, so the interval lookup is
+    a bisect over the precomputed time axis rather than a linear scan,
+    and interpolation + clamping happen in one allocation.
+    """
 
     def __init__(self, points: List[tuple]):
         if not points:
             raise ValueError("profile needs at least one control point")
         self.points = sorted(points, key=lambda p: p[0])
+        self._times = [p[0] for p in self.points]
 
     def conditions(self, t: float) -> ChannelConditions:
         pts = self.points
@@ -92,22 +99,28 @@ class PiecewiseProfile(ChannelProfile):
             return pts[0][1].clamped()
         if t >= pts[-1][0]:
             return pts[-1][1].clamped()
-        for (t0, c0), (t1, c1) in zip(pts, pts[1:]):
-            if t0 <= t <= t1:
-                frac = 0.0 if t1 == t0 else (t - t0) / (t1 - t0)
-
-                def lerp(a: float, b: float) -> float:
-                    return a + (b - a) * frac
-
-                return ChannelConditions(
-                    signal_level=lerp(c0.signal_level, c1.signal_level),
-                    loss_prob_up=lerp(c0.loss_prob_up, c1.loss_prob_up),
-                    loss_prob_down=lerp(c0.loss_prob_down, c1.loss_prob_down),
-                    bandwidth_factor=lerp(c0.bandwidth_factor, c1.bandwidth_factor),
-                    access_latency_mean=lerp(c0.access_latency_mean,
-                                             c1.access_latency_mean),
-                ).clamped()
-        raise AssertionError("unreachable")  # pragma: no cover
+        # First interval with t0 <= t <= t1: bisect_left yields the
+        # smallest index j with times[j] >= t, so (j-1, j) brackets t.
+        j = bisect_left(self._times, t)
+        t0, c0 = pts[j - 1]
+        t1, c1 = pts[j]
+        frac = 0.0 if t1 == t0 else (t - t0) / (t1 - t0)
+        sl = c0.signal_level + (c1.signal_level - c0.signal_level) * frac
+        lu = c0.loss_prob_up + (c1.loss_prob_up - c0.loss_prob_up) * frac
+        ld = (c0.loss_prob_down
+              + (c1.loss_prob_down - c0.loss_prob_down) * frac)
+        bw = (c0.bandwidth_factor
+              + (c1.bandwidth_factor - c0.bandwidth_factor) * frac)
+        al = (c0.access_latency_mean
+              + (c1.access_latency_mean - c0.access_latency_mean) * frac)
+        # Clamp inline (same formulas as ChannelConditions.clamped).
+        return ChannelConditions(
+            signal_level=max(0.0, sl),
+            loss_prob_up=min(1.0, max(0.0, lu)),
+            loss_prob_down=min(1.0, max(0.0, ld)),
+            bandwidth_factor=min(1.0, max(0.01, bw)),
+            access_latency_mean=max(0.0, al),
+        )
 
 
 class WaveLANDevice(NetworkDevice):
@@ -165,10 +178,14 @@ class WaveLANDevice(NetworkDevice):
     def _after_transmit(self) -> None:
         self._gap_until = self.sim.now + self.driver_gap
         if not self.queue.empty:
-            if self.driver_gap > 0.0:
-                self.sim.schedule(self.driver_gap, self._kick_transmit)
-            else:
-                self._kick_transmit()
+            # Re-enter the arbitration queue immediately rather than
+            # waiting out the driver gap: under contention the medium
+            # is busy far longer than the gap, so by the time the grant
+            # comes around the gap has usually elapsed and no wakeup
+            # event is ever needed.  ``_grant`` still defers (and
+            # schedules the one necessary wakeup) if the medium comes
+            # free while the driver is mid-gap.
+            self._kick_transmit()
 
     # -- status reporting ----------------------------------------------
     def device_status(self) -> dict:
@@ -222,6 +239,7 @@ class WirelessMedium:
         self.name = name
         self.bursty_loss = bursty_loss
         self.devices: List[WaveLANDevice] = []
+        self._by_address: Dict[str, WaveLANDevice] = {}
         self._busy = False
         self._waiters: List[WaveLANDevice] = []
         self.frames_carried = 0
@@ -255,6 +273,7 @@ class WirelessMedium:
             raise ValueError(f"{device.name} already attached")
         device.medium = self
         self.devices.append(device)
+        self._by_address.setdefault(device.address, device)
 
     # ------------------------------------------------------------------
     def request_transmit(self, device: WaveLANDevice) -> None:
@@ -278,21 +297,27 @@ class WirelessMedium:
         tx_time = (packet.size * 8.0 / (self.rate_bps * cond.bandwidth_factor)
                    + self.PER_FRAME_OVERHEAD)
         self.frames_carried += 1
-        self.sim.schedule(backoff + access + tx_time,
+        # Propagation rides the same event as serialization: the frame
+        # arrives (or is lost) one event after the grant, and the
+        # medium frees at arrival time.
+        self.sim.schedule(backoff + access + tx_time + self.prop_delay,
                           self._transmit_done, device, packet, cond)
 
     def _transmit_done(self, sender: WaveLANDevice, packet: Packet,
                        cond: ChannelConditions) -> None:
         direction = UPLINK if not sender.is_base else DOWNLINK
-        if self.rng.random() < self._effective_loss(cond.loss_prob(direction)):
+        lost = self.rng.random() < self._effective_loss(cond.loss_prob(direction))
+        if lost:
             self.frames_lost += 1
-        else:
-            self.sim.schedule(self.prop_delay, self._deliver, sender, packet)
         self._busy = False
         # The sender's driver gap must be on the books before the next
-        # grant is attempted, or a queued frame would sneak past it.
+        # grant is attempted, or a queued frame would sneak past it;
+        # delivery stays after the grant attempt, matching the order the
+        # separate propagation event used to impose.
         sender._after_transmit()
         self._try_grant()
+        if not lost:
+            self._deliver(sender, packet)
 
     def _conditions_for(self, sender: WaveLANDevice,
                         packet: Packet) -> ChannelConditions:
@@ -312,9 +337,11 @@ class WirelessMedium:
     def _receiver_for(self, sender: WaveLANDevice,
                       packet: Packet) -> Optional[WaveLANDevice]:
         dst = packet.ip.dst if packet.ip is not None else None
-        for device in self.devices:
-            if device is not sender and device.address == dst:
-                return device
+        if dst is None:
+            return None
+        device = self._by_address.get(dst)
+        if device is not None and device is not sender:
+            return device
         return None
 
     def _deliver(self, sender: WaveLANDevice, packet: Packet) -> None:
@@ -322,7 +349,18 @@ class WirelessMedium:
         if receiver is not None:
             receiver.handle_receive(packet)
             return
-        # No station owns the address: flood (base stations bridge onward).
-        others = [d for d in self.devices if d is not sender]
-        for i, device in enumerate(others):
-            device.handle_receive(packet if i == 0 else packet.clone())
+        # No station owns the address: the frame leaves the cell through
+        # a base station.  The radio is physically broadcast, but a
+        # station's receive filter discards frames addressed elsewhere
+        # with no observable effect, so delivery short-circuits to the
+        # devices that actually look at the frame: base stations (which
+        # bridge it onward) and any device carrying an input tap (the
+        # collection daemon's hook makes the traced laptop
+        # promiscuous).  Loss was already decided per transmission, so
+        # skipping deaf stations draws no RNG and changes no result.
+        first = True
+        for device in self.devices:
+            if device is sender or not (device.is_base or device.input_hooks):
+                continue
+            device.handle_receive(packet if first else packet.clone())
+            first = False

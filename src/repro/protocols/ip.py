@@ -44,12 +44,16 @@ class Reassembler:
         entry = self._partial.get(key)
         if entry is None:
             entry = {"need": count, "have": set(),
-                     "original": packet.meta["original"]}
+                     "original": packet.meta["original"],
+                     "timer": self.sim.schedule(REASSEMBLY_TIMEOUT,
+                                                self._expire, key)}
             self._partial[key] = entry
-            self.sim.schedule(REASSEMBLY_TIMEOUT, self._expire, key)
         entry["have"].add(index)
         if len(entry["have"]) == entry["need"]:
             del self._partial[key]
+            # Cancel the expiry timer so completed datagrams don't pile
+            # dead 30-second callouts onto the event heap.
+            entry["timer"].cancel()
             self.reassembled += 1
             return entry["original"]
         return None
@@ -181,6 +185,7 @@ class IPLayer:
     def send(self, src: str, dst: str, proto: int, packet: Packet) -> None:
         """Convenience: stamp an IP header onto ``packet`` and output it."""
         packet.ip = IPHeader(src=src, dst=dst, proto=proto, ident=next(self._ident))
+        packet._size = None  # header added after construction: drop the size memo
         self.output(packet)
 
     # ------------------------------------------------------------------

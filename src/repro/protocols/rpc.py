@@ -152,6 +152,20 @@ class RpcClient:
         self.sock.close()
 
 
+class _Relay:
+    """Forwards a signal wakeup into a race signal, cancelling the timer."""
+
+    __slots__ = ("_timer", "_race")
+
+    def __init__(self, timer, race: Signal):
+        self._timer = timer
+        self._race = race
+
+    def _resume(self, value: Any) -> None:
+        self._timer.cancel()
+        self._race.fire(value)
+
+
 def _first_of(sim: Simulator, signal: Signal, timeout: float) -> Signal:
     """A signal that fires on ``signal`` or after ``timeout``.
 
@@ -160,14 +174,5 @@ def _first_of(sim: Simulator, signal: Signal, timeout: float) -> Signal:
     """
     race = Signal(sim, "race")
     timer = sim.schedule(timeout, race.fire)
-
-    def relay(value: Any = None) -> None:
-        timer.cancel()
-        race.fire(value)
-
-    class _Relay:
-        def _resume(self, value: Any) -> None:
-            relay(value)
-
-    signal._add_waiter(_Relay())  # type: ignore[arg-type]
+    signal._add_waiter(_Relay(timer, race))  # type: ignore[arg-type]
     return race

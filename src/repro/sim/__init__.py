@@ -1,6 +1,7 @@
 """Discrete-event simulation substrate: engine, processes, RNG streams."""
 
-from .engine import Event, SimulationError, Simulator
+from .engine import COMPACT_MIN_DEAD, Event, SimulationError, Simulator
+from .perf import PerfCounters
 from .process import (
     Interrupt,
     Process,
@@ -14,8 +15,10 @@ from .process import (
 from .rng import RngStreams, derive_seed
 
 __all__ = [
+    "COMPACT_MIN_DEAD",
     "Event",
     "Interrupt",
+    "PerfCounters",
     "Process",
     "Queue",
     "RngStreams",

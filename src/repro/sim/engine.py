@@ -9,8 +9,20 @@ Design notes
 * Simulated time is a ``float`` number of seconds.  Events scheduled for
   the same instant fire in scheduling order (a monotone sequence number
   breaks ties), which keeps every run fully deterministic.
-* Cancellation is O(1): cancelling marks the event dead and the event is
-  skipped when it reaches the head of the heap.
+* :class:`Event` instances are heap-ordered directly (``__lt__`` on the
+  ``(time, seq)`` key) so the queue holds events themselves rather than
+  wrapper tuples.
+* Cancellation is O(1): cancelling marks the event dead, fixes the live
+  counter, and the entry is dropped either when it reaches the head of
+  the heap or by a lazy compaction pass.  Compaction runs when dead
+  entries outnumber live ones (TCP retransmit timers are the classic
+  producer of dead bloat: almost every data segment schedules a timer
+  that the ACK cancels long before it would fire).  Rebuilding filters
+  on the ``cancelled`` flag only, and the ``(time, seq)`` key is a
+  total order, so compaction can never reorder live events.
+* Perf counters (fired/cancelled/compactions, wall time, events/sec)
+  are kept as plain attributes and snapshot via :meth:`Simulator.stats`;
+  see :mod:`repro.sim.perf`.
 * The engine knows nothing about clock-tick quantization; hosts that
   model a coarse kernel clock (the paper's 10 ms resolution) quantize
   their own callouts in :mod:`repro.hosts.kernel`.
@@ -20,7 +32,20 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Callable, List, Optional
+
+from .perf import PerfCounters
+
+# Compaction threshold: rebuild the heap once more than this many dead
+# entries accumulate *and* they outnumber the live ones.  The floor
+# keeps tiny simulations from compacting a dozen-entry heap; the ratio
+# bounds wasted heap depth to one doubling, making compaction amortized
+# O(1) per cancellation.
+COMPACT_MIN_DEAD = 64
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(Exception):
@@ -34,19 +59,42 @@ class Event:
     treat instances as opaque handles.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+    __slots__ = ("_key", "time", "seq", "fn", "args", "cancelled", "fired",
+                 "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any],
+                 args: tuple, sim: "Optional[Simulator]" = None):
+        self._key = (time, seq)
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
+
+    def __lt__(self, other: "Event") -> bool:
+        # Heap order is the (time, seq) key: time-ordered, with the
+        # monotone sequence number breaking ties in scheduling order.
+        return self._key < other._key
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Safe to call more than once."""
+        """Prevent the event from firing.  Safe to call more than once.
+
+        Cancelling an event that already fired (or was already
+        cancelled) is a no-op, so the simulator's live-event counter is
+        adjusted exactly once per effective cancellation.
+        """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._live -= 1
+            sim._cancelled_count += 1
+            dead = sim._dead = sim._dead + 1
+            if dead > COMPACT_MIN_DEAD and dead > sim._live:
+                sim._compact()
 
     @property
     def pending(self) -> bool:
@@ -56,6 +104,9 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
         return f"<Event t={self.time:.6f} fn={getattr(self.fn, '__name__', self.fn)!r} {state}>"
+
+
+_new_event = Event.__new__
 
 
 class Simulator:
@@ -74,10 +125,22 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._queue: List[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        # Live/dead bookkeeping: _live counts not-yet-cancelled,
+        # not-yet-fired events in the queue; _dead counts cancelled
+        # entries still occupying heap slots.
+        self._live = 0
+        self._dead = 0
+        # Perf counters (see repro.sim.perf for semantics).
+        self._scheduled_count = 0
+        self._cancelled_count = 0
+        self._compactions = 0
+        self._events_compacted = 0
+        self._runs = 0
+        self._wall_time = 0.0
 
     # ------------------------------------------------------------------
     # Clock
@@ -97,9 +160,22 @@ class Simulator:
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        # Hot path: validated once here, no detour through schedule_at.
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn, *args)
+        event = _new_event(Event)
+        when = event.time = self._now + delay
+        seq = event.seq = next(self._seq)
+        event._key = (when, seq)
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event.fired = False
+        event._sim = self
+        _heappush(self._queue, event)
+        self._live += 1
+        self._scheduled_count += 1
+        return event
 
     def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run at absolute time ``when``."""
@@ -107,21 +183,52 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (when={when}, now={self._now})"
             )
-        event = Event(when, next(self._seq), fn, args)
-        heapq.heappush(self._queue, (when, event.seq, event))
+        event = _new_event(Event)
+        event.time = when
+        seq = event.seq = next(self._seq)
+        event._key = (when, seq)
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event.fired = False
+        event._sim = self
+        _heappush(self._queue, event)
+        self._live += 1
+        self._scheduled_count += 1
         return event
+
+    # ------------------------------------------------------------------
+    # Heap maintenance
+    # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        """Rebuild the heap without dead (cancelled) entries.
+
+        In-place (slice assignment) so a ``run`` loop holding a local
+        reference to the queue keeps seeing the same list object even
+        when a callback's ``cancel`` triggers compaction mid-run.
+        """
+        queue = self._queue
+        before = len(queue)
+        queue[:] = [e for e in queue if not e.cancelled]
+        heapq.heapify(queue)
+        self._events_compacted += before - len(queue)
+        self._dead = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if none remain."""
-        while self._queue:
-            when, _, event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            event = _heappop(queue)
             if event.cancelled:
+                self._dead -= 1
                 continue
-            self._now = when
+            self._now = event.time
             event.fired = True
+            self._live -= 1
             self._events_processed += 1
             event.fn(*event.args)
             return True
@@ -133,32 +240,105 @@ class Simulator:
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the queue drains earlier, so back-to-back ``run`` calls
         observe a monotone clock.
+
+        ``max_events`` counts *fired* events only: cancelled entries
+        popped off the heap never count toward the budget.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
-        fired = 0
+        started = perf_counter()
         try:
-            while self._queue:
-                when, _, event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and when > until:
-                    break
-                if max_events is not None and fired >= max_events:
-                    break
-                heapq.heappop(self._queue)
-                self._now = when
-                event.fired = True
-                self._events_processed += 1
-                fired += 1
-                event.fn(*event.args)
+            if max_events is None:
+                if until is None:
+                    self._run_unbounded()
+                else:
+                    self._run_until(until)
+            else:
+                self._run_bounded(until, max_events)
         finally:
             self._running = False
+            self._runs += 1
+            self._wall_time += perf_counter() - started
         if until is not None and self._now < until:
             self._now = until
 
+    def _run_unbounded(self) -> None:
+        """Drain the queue with no horizon or budget checks (hot loop)."""
+        queue = self._queue
+        while queue:
+            event = _heappop(queue)
+            if event.cancelled:
+                self._dead -= 1
+                continue
+            self._now = event.time
+            event.fired = True
+            self._live -= 1
+            self._events_processed += 1
+            event.fn(*event.args)
+
+    def _run_until(self, until: float) -> None:
+        """Drain events up to a horizon, no event budget (hot loop).
+
+        This is the harness's main pattern (``world.run(until=t)`` in
+        fixed chunks), so it avoids the per-iteration budget checks of
+        :meth:`_run_bounded`.
+        """
+        queue = self._queue
+        while queue:
+            event = queue[0]
+            if event.cancelled:
+                _heappop(queue)
+                self._dead -= 1
+                continue
+            if event.time > until:
+                break
+            _heappop(queue)
+            self._now = event.time
+            event.fired = True
+            self._live -= 1
+            self._events_processed += 1
+            event.fn(*event.args)
+
+    def _run_bounded(self, until: Optional[float],
+                     max_events: Optional[int]) -> None:
+        queue = self._queue
+        fired = 0
+        while queue:
+            event = queue[0]
+            if event.cancelled:
+                _heappop(queue)
+                self._dead -= 1
+                continue
+            if until is not None and event.time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            _heappop(queue)
+            self._now = event.time
+            event.fired = True
+            self._live -= 1
+            self._events_processed += 1
+            fired += 1
+            event.fn(*event.args)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for _, _, e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events still in the queue (O(1))."""
+        return self._live
+
+    def stats(self) -> PerfCounters:
+        """An immutable snapshot of the engine's performance counters."""
+        return PerfCounters(
+            events_scheduled=self._scheduled_count,
+            events_fired=self._events_processed,
+            events_cancelled=self._cancelled_count,
+            compactions=self._compactions,
+            events_compacted=self._events_compacted,
+            pending=self._live,
+            dead=self._dead,
+            runs=self._runs,
+            wall_time=self._wall_time,
+        )

@@ -237,14 +237,22 @@ def signal_or_timeout(sim: Simulator, signal: Signal, timeout: float) -> Signal:
     """
     race = Signal(sim, name=f"race:{signal.name}")
     timer = sim.schedule(timeout, race.fire, None)
-
-    class _Relay:
-        def _resume(self, value: Any) -> None:
-            timer.cancel()
-            race.fire(value)
-
-    signal._add_waiter(_Relay())  # type: ignore[arg-type]
+    signal._add_waiter(_SignalRelay(timer, race))  # type: ignore[arg-type]
     return race
+
+
+class _SignalRelay:
+    """Forwards a signal wakeup into a race signal, cancelling the timer."""
+
+    __slots__ = ("_timer", "_race")
+
+    def __init__(self, timer, race: Signal):
+        self._timer = timer
+        self._race = race
+
+    def _resume(self, value: Any) -> None:
+        self._timer.cancel()
+        self._race.fire(value)
 
 
 class Queue:

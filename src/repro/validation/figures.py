@@ -236,8 +236,20 @@ class ScenarioCharacterization:
 
 
 def characterize_scenario(scenario: Scenario, seed: int = 0,
-                          trials: int = 4) -> ScenarioCharacterization:
-    """Collect and distill ``trials`` traversals (Figures 2-5 data)."""
+                          trials: int = 4,
+                          workers: int = 1) -> ScenarioCharacterization:
+    """Collect and distill ``trials`` traversals (Figures 2-5 data).
+
+    ``workers`` fans the traversals out over a process pool
+    (:mod:`repro.validation.parallel`); results are bit-identical for
+    any worker count because each traversal draws from named seeded
+    RNG streams keyed only by ``(scenario, seed, trial)``.
+    """
+    if workers != 1:
+        from .parallel import characterize_scenario_parallel
+
+        return characterize_scenario_parallel(scenario, seed=seed,
+                                              trials=trials, workers=workers)
     distillations = []
     for t in range(trials):
         records = collect_trace(scenario, seed, t)

@@ -1,0 +1,509 @@
+"""Parallel trial fan-out for the validation harness.
+
+Every figure in the paper's evaluation is built from batches of
+*independent, seeded* trials: four live runs, four trace-collection
+traversals, four modulated runs per scenario/benchmark pair.  Each
+trial builds its own world from named seeded RNG streams
+(:mod:`repro.sim.rng`), so trials share no state and their results
+depend only on ``(scenario, runner, seed, trial)`` — which makes them
+embarrassingly parallel *and* guarantees that a parallel run is
+bit-identical to a serial one.
+
+This module fans those trials out over a ``ProcessPoolExecutor``:
+
+* :class:`TrialSpec` — a picklable description of one trial;
+* :func:`execute_trial` — the worker entry point (module-level, so it
+  pickles by reference);
+* :class:`TrialExecutor` — an order-preserving map over specs with a
+  configurable worker count and an automatic serial fallback;
+* :func:`run_validation` — the full multi-scenario sweep (the paper's
+  Figures 6–8 protocol), collection and benchmark phases each fanned
+  out across *all* scenarios at once;
+* :func:`validate_scenario_parallel`, :func:`ethernet_baseline_parallel`,
+  :func:`characterize_scenario_parallel` — parallel twins of the serial
+  entry points in :mod:`repro.validation.harness` and
+  :mod:`repro.validation.figures`.
+
+Determinism contract: for any ``workers`` value (including the serial
+fallback), results are byte-identical to ``workers=1`` because every
+spec is executed by the same pure function with the same arguments and
+results are reassembled in submission order.  The only ordering freedom
+the pool has is *wall-clock* completion order, which is never observed.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pickle import PicklingError
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..analysis.stats import Summary
+from ..core.distill import DistillationResult, Distiller
+from ..core.replay import ReplayTrace
+from ..scenarios.base import Scenario
+from .harness import (
+    BenchmarkRunner,
+    MetricComparison,
+    ScenarioValidation,
+    collect_trace,
+    compensation_vb,
+    distill_scenario_trace,
+    run_ethernet_trial,
+    run_live_trial,
+    run_modulated_trial,
+)
+
+__all__ = [
+    "TrialSpec",
+    "TrialExecutor",
+    "ValidationSweep",
+    "execute_trial",
+    "run_validation",
+    "validate_scenario_parallel",
+    "ethernet_baseline_parallel",
+    "characterize_scenario_parallel",
+    "default_workers",
+]
+
+
+def default_workers() -> int:
+    """Worker count used when the caller does not pin one."""
+    return os.cpu_count() or 1
+
+
+# ======================================================================
+# Trial specs and the worker entry point
+# ======================================================================
+@dataclass(frozen=True)
+class TrialSpec:
+    """A picklable description of one independent trial.
+
+    ``kind`` selects the work:
+
+    ``"distill"``
+        Collect one trace-collection traversal of ``scenario`` and
+        distill it; returns a :class:`DistillationResult`.  (Collection
+        and distillation stay in the worker so the bulky raw records
+        never cross the process boundary.)
+    ``"live"``
+        One live benchmark trial; returns the metric dict.
+    ``"modulated"``
+        One modulated benchmark trial over ``replay``; returns the
+        metric dict.
+    ``"ethernet"``
+        One unmodulated Ethernet baseline trial; returns the metric
+        dict.
+    """
+
+    kind: str
+    seed: int
+    trial: int
+    scenario: Optional[Scenario] = None
+    runner: Optional[BenchmarkRunner] = None
+    replay: Optional[ReplayTrace] = None
+    compensation: float = 0.0
+    distiller: Optional[Distiller] = None
+    name: str = ""
+
+    def cost_hint(self) -> float:
+        """Rough relative wall-clock cost, for longest-first submission.
+
+        Live and collection trials simulate the full scenario traversal
+        with its cross traffic; modulated and Ethernet trials run on the
+        small isolated-Ethernet world.  The exact values only affect
+        load balancing, never results.
+        """
+        if self.kind in ("distill", "live"):
+            scenario = self.scenario
+            duration = getattr(scenario, "duration", 240.0)
+            cross = getattr(scenario, "cross_laptops", 0)
+            return duration * (1.0 + 2.0 * cross)
+        if self.kind == "modulated":
+            return 60.0
+        return 30.0
+
+
+def execute_trial(spec: TrialSpec):
+    """Run one trial described by ``spec`` (the pool's worker function).
+
+    Pure: the result depends only on the spec, so serial and parallel
+    execution agree bit-for-bit.
+    """
+    if spec.kind == "distill":
+        records = collect_trace(spec.scenario, spec.seed, spec.trial)
+        return distill_scenario_trace(records, name=spec.name,
+                                      distiller=spec.distiller)
+    if spec.kind == "live":
+        return run_live_trial(spec.scenario, spec.runner, spec.seed,
+                              spec.trial)
+    if spec.kind == "modulated":
+        return run_modulated_trial(spec.replay, spec.runner, spec.seed,
+                                   spec.trial, spec.compensation)
+    if spec.kind == "ethernet":
+        return run_ethernet_trial(spec.runner, spec.seed, spec.trial)
+    raise ValueError(f"unknown trial kind {spec.kind!r}")
+
+
+# ======================================================================
+# The executor
+# ======================================================================
+class _TrialFuture:
+    """Result handle for one submitted spec.
+
+    In serial mode the trial runs lazily on the first ``result()`` call;
+    on a pool it wraps the real future and, if the pool breaks or the
+    spec will not pickle, recomputes the trial in-process.  Either way
+    ``result()`` returns exactly what ``execute_trial(spec)`` returns,
+    so the executor's fallback paths cannot change any result.
+    """
+
+    _UNSET = object()
+
+    def __init__(self, spec: TrialSpec, future=None,
+                 executor: Optional["TrialExecutor"] = None):
+        self._spec = spec
+        self._future = future
+        self._executor = executor
+        self._result = self._UNSET
+
+    def result(self):
+        if self._result is not self._UNSET:
+            return self._result
+        if self._future is not None:
+            try:
+                self._result = self._future.result()
+            except (BrokenProcessPool, PicklingError, OSError):
+                if self._executor is not None:
+                    self._executor._mark_broken()
+                self._result = execute_trial(self._spec)
+        else:
+            self._result = execute_trial(self._spec)
+        return self._result
+
+
+class TrialExecutor:
+    """Order-preserving trial execution with a process pool under it.
+
+    ``workers=None`` sizes the pool to the machine; ``workers=1`` (or a
+    pool that cannot be created — restricted sandboxes, missing
+    semaphores) degrades to in-process serial execution of the very
+    same ``execute_trial`` calls.  ``submit`` returns a
+    :class:`_TrialFuture`; ``map`` preserves submission order
+    regardless of completion order — which is what makes parallel
+    sweeps bit-identical to serial ones.
+
+    Usable as a context manager; the pool is created lazily on the
+    first parallel submission and reused across phases so worker
+    startup is paid once per sweep, not once per phase.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = default_workers() if workers is None else max(1, int(workers))
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._serial_fallback = self.workers <= 1
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "TrialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _mark_broken(self) -> None:
+        """Drop to serial for every later submission (pool died)."""
+        self._serial_fallback = True
+        self.shutdown()
+
+    @property
+    def effective_workers(self) -> int:
+        """1 when running serially, else the configured worker count."""
+        return 1 if self._serial_fallback else self.workers
+
+    # -- execution ------------------------------------------------------
+    def submit(self, spec: TrialSpec) -> _TrialFuture:
+        """Queue one trial; its result is read with ``.result()``."""
+        pool = self._ensure_pool()
+        if pool is None:
+            return _TrialFuture(spec)
+        try:
+            future = pool.submit(execute_trial, spec)
+        except (BrokenProcessPool, PicklingError, OSError, RuntimeError):
+            self._mark_broken()
+            return _TrialFuture(spec)
+        return _TrialFuture(spec, future=future, executor=self)
+
+    def submit_all(self, specs: Sequence[TrialSpec]) -> List[_TrialFuture]:
+        """Submit a batch, longest trials first.
+
+        Submission order affects only wall time (short tasks fill the
+        tail of the schedule); the returned futures align
+        index-for-index with ``specs``.
+        """
+        specs = list(specs)
+        order = sorted(range(len(specs)),
+                       key=lambda i: specs[i].cost_hint(), reverse=True)
+        futures: List[Optional[_TrialFuture]] = [None] * len(specs)
+        for i in order:
+            futures[i] = self.submit(specs[i])
+        return futures
+
+    def map(self, specs: Sequence[TrialSpec]) -> List:
+        """Execute all specs; results align index-for-index with specs."""
+        specs = list(specs)
+        if self._serial_fallback or len(specs) <= 1:
+            return [execute_trial(s) for s in specs]
+        return [f.result() for f in self.submit_all(specs)]
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._serial_fallback:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, ValueError, NotImplementedError, ImportError):
+                self._serial_fallback = True
+        return self._pool
+
+
+def _executor_for(workers: Optional[int],
+                  executor: Optional[TrialExecutor]) -> tuple:
+    """(executor, owns_it): reuse the caller's executor when given."""
+    if executor is not None:
+        return executor, False
+    return TrialExecutor(workers=workers), True
+
+
+# ======================================================================
+# Parallel twins of the harness entry points
+# ======================================================================
+def _distill_specs(scenario: Scenario, seed: int, trials: int,
+                   distiller: Optional[Distiller]) -> List[TrialSpec]:
+    return [TrialSpec(kind="distill", seed=seed, trial=t, scenario=scenario,
+                      distiller=distiller, name=f"{scenario.name}-{t}")
+            for t in range(trials)]
+
+
+def _assemble_validation(scenario: Scenario, runner: BenchmarkRunner,
+                         distillations: List[DistillationResult],
+                         real_by_variant: List[List[Dict[str, float]]],
+                         mod_by_variant: List[List[Dict[str, float]]]
+                         ) -> ScenarioValidation:
+    """Fold per-trial metric dicts into the harness's result object.
+
+    Mirrors :func:`repro.validation.harness.validate_scenario` exactly
+    (same Summary construction, same comparison ordering) so rendered
+    tables match the serial path byte-for-byte.
+    """
+    validation = ScenarioValidation(scenario=scenario.name,
+                                    benchmark=runner.name,
+                                    distillations=distillations)
+    for variant, real_runs, modulated_runs in zip(runner.variants(),
+                                                  real_by_variant,
+                                                  mod_by_variant):
+        for metric in variant.metrics:
+            validation.comparisons[metric] = MetricComparison(
+                metric=metric,
+                real=Summary.of([r[metric] for r in real_runs]),
+                modulated=Summary.of([m[metric] for m in modulated_runs]),
+            )
+    return validation
+
+
+def validate_scenario_parallel(scenario: Scenario, runner: BenchmarkRunner,
+                               seed: int = 0, trials: int = 4,
+                               distiller: Optional[Distiller] = None,
+                               compensation: Optional[float] = None,
+                               workers: Optional[int] = None,
+                               executor: Optional[TrialExecutor] = None
+                               ) -> ScenarioValidation:
+    """Parallel version of :func:`repro.validation.harness.validate_scenario`.
+
+    Bit-identical to the serial implementation for the same arguments.
+    """
+    sweep = run_validation([scenario], runner, seed=seed, trials=trials,
+                           distiller=distiller, compensation=compensation,
+                           workers=workers, executor=executor)
+    return sweep.validations[0]
+
+
+def ethernet_baseline_parallel(runner: BenchmarkRunner, seed: int = 0,
+                               trials: int = 4,
+                               workers: Optional[int] = None,
+                               executor: Optional[TrialExecutor] = None
+                               ) -> Dict[str, Summary]:
+    """Parallel version of :func:`repro.validation.harness.ethernet_baseline`."""
+    exe, owned = _executor_for(workers, executor)
+    try:
+        variants = runner.variants()
+        specs = [TrialSpec(kind="ethernet", seed=seed, trial=t,
+                           runner=variant)
+                 for variant in variants for t in range(trials)]
+        results = exe.map(specs)
+        out: Dict[str, Summary] = {}
+        for v, variant in enumerate(variants):
+            runs = results[v * trials:(v + 1) * trials]
+            for metric in variant.metrics:
+                out[metric] = Summary.of([r[metric] for r in runs])
+        return out
+    finally:
+        if owned:
+            exe.shutdown()
+
+
+def characterize_scenario_parallel(scenario: Scenario, seed: int = 0,
+                                   trials: int = 4,
+                                   workers: Optional[int] = None,
+                                   executor: Optional[TrialExecutor] = None):
+    """Parallel version of :func:`repro.validation.figures.characterize_scenario`."""
+    from .figures import ScenarioCharacterization
+
+    exe, owned = _executor_for(workers, executor)
+    try:
+        distillations = exe.map(_distill_specs(scenario, seed, trials, None))
+        return ScenarioCharacterization(scenario=scenario,
+                                        distillations=distillations)
+    finally:
+        if owned:
+            exe.shutdown()
+
+
+# ======================================================================
+# The full sweep
+# ======================================================================
+@dataclass
+class ValidationSweep:
+    """Everything one benchmark sweep produced, plus how it ran."""
+
+    benchmark: str
+    validations: List[ScenarioValidation] = field(default_factory=list)
+    baseline: Optional[Dict[str, Summary]] = None
+    workers_used: int = 1
+
+    def render(self, title: Optional[str] = None, caption: str = "") -> str:
+        """The Figures 6–8 style table for this sweep.
+
+        Byte-identical for any worker count — the determinism tests
+        compare exactly this string across ``workers`` values.
+        """
+        from .figures import render_benchmark_table
+
+        baseline = self.baseline
+        if baseline is None:
+            metrics = self.validations[0].comparisons if self.validations else {}
+            baseline = {m: Summary(mean=float("nan"), std=float("nan"), n=0)
+                        for m in metrics}
+        return render_benchmark_table(
+            self.validations, baseline,
+            title=title or f"Validation sweep: {self.benchmark}",
+            caption=caption)
+
+
+def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
+                   runner: BenchmarkRunner,
+                   seed: int = 0, trials: int = 4,
+                   distiller: Optional[Distiller] = None,
+                   compensation: Optional[float] = None,
+                   baseline: bool = False,
+                   workers: Optional[int] = None,
+                   executor: Optional[TrialExecutor] = None
+                   ) -> ValidationSweep:
+    """Run the paper's validation protocol over one or more scenarios.
+
+    The sweep is fully pipelined: every trial with no input dependency
+    — all trace-collection traversals, all live trials, the Ethernet
+    baseline — is queued up front (longest first), and each scenario's
+    modulated trials are queued the moment its distillations resolve.
+    The pool therefore never idles at a phase barrier; cheap
+    scenarios' modulated trials run while expensive collections are
+    still in flight.
+
+    The delay-compensation constant is measured once, in the parent,
+    and shipped to every worker — exactly like the serial harness,
+    which measures it once per process.
+    """
+    if isinstance(scenarios, Scenario):
+        scenarios = [scenarios]
+    # Accept scenario classes (ALL_SCENARIOS is a tuple of classes).
+    scenarios = [s() if isinstance(s, type) else s for s in scenarios]
+    comp = compensation if compensation is not None else compensation_vb()
+    exe, owned = _executor_for(workers, executor)
+    try:
+        variants = runner.variants()
+        n = len(scenarios)
+
+        # ---- queue every dependency-free trial -----------------------
+        nodep_specs: List[TrialSpec] = []
+        for scenario in scenarios:
+            nodep_specs.extend(
+                _distill_specs(scenario, seed, trials, distiller))
+        for scenario in scenarios:
+            for variant in variants:
+                for t in range(trials):
+                    nodep_specs.append(TrialSpec(
+                        kind="live", seed=seed, trial=t,
+                        scenario=scenario, runner=variant))
+        if baseline:
+            for variant in variants:
+                for t in range(trials):
+                    nodep_specs.append(TrialSpec(
+                        kind="ethernet", seed=seed, trial=t,
+                        runner=variant))
+        nodep_futs = exe.submit_all(nodep_specs)
+        dist_futs = [nodep_futs[s * trials:(s + 1) * trials]
+                     for s in range(n)]
+        bench_futs = nodep_futs[n * trials:]
+
+        # ---- queue modulated trials as distillations resolve ---------
+        # Cheapest scenarios first: their modulated trials slot in
+        # behind the expensive collections still running.
+        resolve_order = sorted(
+            range(n), key=lambda s: dist_futs[s][0]._spec.cost_hint())
+        dist_by_scenario: List[List[DistillationResult]] = [[] for _ in range(n)]
+        mod_futs: List[List[_TrialFuture]] = [[] for _ in range(n)]
+        for s in resolve_order:
+            dist_by_scenario[s] = [f.result() for f in dist_futs[s]]
+            mod_specs = [TrialSpec(kind="modulated", seed=seed, trial=t,
+                                   runner=variant,
+                                   replay=dist_by_scenario[s][t].replay,
+                                   compensation=comp)
+                         for variant in variants for t in range(trials)]
+            mod_futs[s] = exe.submit_all(mod_specs)
+
+        # ---- reassembly ---------------------------------------------
+        sweep = ValidationSweep(benchmark=runner.name,
+                                workers_used=exe.effective_workers)
+        cursor = 0
+        for s, scenario in enumerate(scenarios):
+            real_by_variant: List[List[Dict[str, float]]] = []
+            mod_by_variant: List[List[Dict[str, float]]] = []
+            for v, _variant in enumerate(variants):
+                real_by_variant.append(
+                    [f.result() for f in bench_futs[cursor:cursor + trials]])
+                cursor += trials
+                mod_by_variant.append(
+                    [f.result()
+                     for f in mod_futs[s][v * trials:(v + 1) * trials]])
+            sweep.validations.append(_assemble_validation(
+                scenario, runner, dist_by_scenario[s],
+                real_by_variant, mod_by_variant))
+        if baseline:
+            out: Dict[str, Summary] = {}
+            for variant in variants:
+                runs = [f.result()
+                        for f in bench_futs[cursor:cursor + trials]]
+                cursor += trials
+                for metric in variant.metrics:
+                    out[metric] = Summary.of([r[metric] for r in runs])
+            sweep.baseline = out
+        return sweep
+    finally:
+        if owned:
+            exe.shutdown()

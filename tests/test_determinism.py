@@ -48,3 +48,20 @@ def test_live_benchmark_trial_deterministic():
     a = run_live_trial(PorterScenario(), runner, seed=4, trial=0)
     b = run_live_trial(PorterScenario(), runner, seed=4, trial=0)
     assert a == b
+
+
+def test_run_validation_parallel_bit_identical_to_serial():
+    """The tentpole determinism contract: a 4-worker validation sweep
+    renders byte-for-byte the same table as a serial one, because every
+    trial depends only on (scenario, runner, seed, trial)."""
+    from repro.validation.parallel import run_validation
+
+    scenarios = [PorterScenario(), WeanScenario()]
+    runner = FtpRunner(nbytes=300_000, direction="send")
+    serial = run_validation(scenarios, runner, seed=0, trials=2,
+                            baseline=True, workers=1)
+    parallel = run_validation(scenarios, runner, seed=0, trials=2,
+                              baseline=True, workers=4)
+    assert serial.workers_used == 1
+    assert parallel.workers_used > 1
+    assert serial.render() == parallel.render()

@@ -1,0 +1,156 @@
+"""Tests for the parallel trial executor (repro.validation.parallel).
+
+The determinism contract — parallel byte-identical to serial — is
+covered end-to-end in test_determinism.py; these tests cover the
+machinery itself: spec pickling, the worker entry point, order
+preservation, the serial fallback, and the parallel twins of the
+serial harness entry points.
+"""
+
+import pickle
+
+import pytest
+
+from repro.scenarios import PorterScenario
+from repro.validation.harness import (
+    FtpRunner,
+    compensation_vb,
+    ethernet_baseline,
+    run_live_trial,
+    validate_scenario,
+)
+from repro.validation.parallel import (
+    TrialExecutor,
+    TrialSpec,
+    default_workers,
+    ethernet_baseline_parallel,
+    execute_trial,
+    run_validation,
+    validate_scenario_parallel,
+)
+
+RUNNER = FtpRunner(nbytes=200_000, direction="send")
+
+
+# ----------------------------------------------------------------------
+# TrialSpec + execute_trial
+# ----------------------------------------------------------------------
+def test_trial_spec_round_trips_through_pickle():
+    spec = TrialSpec(kind="live", seed=3, trial=1,
+                     scenario=PorterScenario(), runner=RUNNER)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone.kind == "live"
+    assert clone.seed == 3 and clone.trial == 1
+    assert clone.scenario.name == "porter"
+    assert clone.runner.name == RUNNER.name
+
+
+def test_execute_trial_matches_direct_serial_call():
+    spec = TrialSpec(kind="live", seed=2, trial=0,
+                     scenario=PorterScenario(), runner=RUNNER)
+    assert execute_trial(spec) == run_live_trial(
+        PorterScenario(), RUNNER, seed=2, trial=0)
+
+
+def test_execute_trial_same_result_after_pickle():
+    spec = TrialSpec(kind="ethernet", seed=1, trial=0, runner=RUNNER)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert execute_trial(spec) == execute_trial(clone)
+
+
+def test_cost_hint_ranks_live_above_modulated():
+    live = TrialSpec(kind="live", seed=0, trial=0,
+                     scenario=PorterScenario(), runner=RUNNER)
+    mod = TrialSpec(kind="modulated", seed=0, trial=0, runner=RUNNER)
+    assert live.cost_hint() > mod.cost_hint()
+
+
+def test_unknown_trial_kind_raises():
+    with pytest.raises(ValueError):
+        execute_trial(TrialSpec(kind="bogus", seed=0, trial=0))
+
+
+# ----------------------------------------------------------------------
+# TrialExecutor
+# ----------------------------------------------------------------------
+def test_default_workers_positive():
+    assert default_workers() >= 1
+
+
+def test_workers_one_is_serial():
+    exe = TrialExecutor(workers=1)
+    try:
+        assert exe.effective_workers == 1
+        spec = TrialSpec(kind="ethernet", seed=0, trial=0, runner=RUNNER)
+        assert exe.map([spec])[0] == execute_trial(spec)
+    finally:
+        exe.shutdown()
+
+
+def test_map_preserves_submission_order():
+    """Results come back in submission order even though the pool may
+    finish them in any wall-clock order (longest-first submission)."""
+    specs = [TrialSpec(kind="ethernet", seed=0, trial=t, runner=RUNNER)
+             for t in range(4)]
+    exe = TrialExecutor(workers=2)
+    try:
+        parallel = exe.map(specs)
+    finally:
+        exe.shutdown()
+    serial = [execute_trial(s) for s in specs]
+    assert parallel == serial
+
+
+def test_map_on_empty_list():
+    exe = TrialExecutor(workers=2)
+    try:
+        assert exe.map([]) == []
+    finally:
+        exe.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Parallel twins of the serial entry points
+# ----------------------------------------------------------------------
+def test_validate_scenario_parallel_matches_serial():
+    comp = compensation_vb()
+    serial = validate_scenario(PorterScenario(), RUNNER, seed=0, trials=2,
+                               compensation=comp)
+    parallel = validate_scenario_parallel(PorterScenario(), RUNNER, seed=0,
+                                          trials=2, compensation=comp,
+                                          workers=2)
+    assert parallel.scenario == serial.scenario
+    assert parallel.benchmark == serial.benchmark
+    assert set(parallel.comparisons) == set(serial.comparisons)
+    for metric, cmp_serial in serial.comparisons.items():
+        cmp_parallel = parallel.comparisons[metric]
+        assert cmp_parallel.real == cmp_serial.real
+        assert cmp_parallel.modulated == cmp_serial.modulated
+
+
+def test_ethernet_baseline_parallel_matches_serial():
+    serial = ethernet_baseline(RUNNER, seed=0, trials=2)
+    parallel = ethernet_baseline_parallel(RUNNER, seed=0, trials=2, workers=2)
+    assert parallel == serial
+
+
+def test_run_validation_accepts_single_scenario_and_classes():
+    single = run_validation(PorterScenario(), RUNNER, seed=0, trials=1,
+                            workers=1)
+    from_class = run_validation([PorterScenario], RUNNER, seed=0, trials=1,
+                                workers=1)
+    assert len(single.validations) == 1
+    assert single.render() == from_class.render()
+
+
+# ----------------------------------------------------------------------
+# CLI smoke
+# ----------------------------------------------------------------------
+def test_cli_validate_workers_flag(capsys):
+    from repro.cli import main
+
+    rc = main(["validate", "--scenario", "porter", "--benchmark", "ftp",
+               "--trials", "1", "--workers", "2", "--ftp-bytes", "200000"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "porter" in out

@@ -198,3 +198,135 @@ def test_cancelling_any_event_removes_exactly_that_one(n, victim):
     events[victim].cancel()
     sim.run()
     assert fired == [i for i in range(n) if i != victim]
+
+
+# ----------------------------------------------------------------------
+# Hot-path behaviour: compaction, counters, cancelled-event accounting
+# ----------------------------------------------------------------------
+def test_max_events_never_counts_cancelled(sim):
+    """A budget of N fires exactly N live events even when cancelled
+    entries are interleaved ahead of them on the heap."""
+    fired = []
+    cancelled = []
+    for i in range(20):
+        e = sim.schedule(float(i + 1), fired.append, i)
+        if i % 2 == 0:
+            cancelled.append(e)
+    for e in cancelled:
+        e.cancel()
+    sim.run(max_events=5)
+    assert fired == [1, 3, 5, 7, 9]  # five *live* events, none skipped
+
+
+def test_max_events_budget_resumes_cleanly(sim):
+    fired = []
+    events = [sim.schedule(float(i + 1), fired.append, i) for i in range(10)]
+    events[0].cancel()
+    events[1].cancel()
+    sim.run(max_events=3)
+    assert fired == [2, 3, 4]
+    sim.run()
+    assert fired == list(range(2, 10))
+
+
+def test_cancel_is_idempotent_and_counted_once(sim):
+    e = sim.schedule(1.0, lambda: None)
+    e.cancel()
+    e.cancel()
+    e.cancel()
+    assert sim.stats().events_cancelled == 1
+    assert sim.pending_count() == 0
+
+
+def test_cancel_after_firing_is_a_noop(sim):
+    fired = []
+    e = sim.schedule(1.0, fired.append, "x")
+    sim.run()
+    e.cancel()
+    assert fired == ["x"]
+    assert sim.stats().events_cancelled == 0
+
+
+def test_heap_compaction_under_retransmit_churn(sim):
+    """The TCP retransmit pattern — schedule a far-future timer every
+    step, cancel it the next step — must trigger heap compaction and
+    keep ordering and the fired-event count exactly as if no dead
+    entries had ever existed."""
+    n = 10_000
+    fired_times = []
+    state = {"remaining": n, "timer": None}
+
+    def rto():  # timers are always cancelled before they fire
+        raise AssertionError("cancelled retransmit timer fired")
+
+    def tick():
+        if state["timer"] is not None:
+            state["timer"].cancel()
+        fired_times.append(sim.now)
+        state["remaining"] -= 1
+        if state["remaining"] > 0:
+            state["timer"] = sim.schedule(30.0, rto)
+            sim.schedule(0.001, tick)
+        else:
+            state["timer"] = None
+
+    state["timer"] = sim.schedule(30.0, rto)
+    sim.schedule(0.001, tick)
+    sim.run(until=25.0)  # all ticks fire by t=10; no timer survives to 30
+
+    stats = sim.stats()
+    assert fired_times == sorted(fired_times)
+    assert sim.events_processed == n  # only the ticks; never a dead timer
+    assert stats.events_fired == n
+    assert stats.events_cancelled == n
+    assert stats.compactions > 0
+    assert stats.events_compacted > 0
+    # Compaction keeps the heap near its live size: with every timer
+    # dead, the dead backlog stays bounded rather than growing to n.
+    assert stats.dead < n // 2
+    assert sim.pending_count() == 0
+
+
+def test_compaction_preserves_interleaved_ordering(sim):
+    """Cancel-heavy churn with live events on both sides of the dead
+    entries: everything still fires in (time, schedule-order)."""
+    fired = []
+    keep = []
+    for i in range(2_000):
+        keep.append(sim.schedule(float(i) + 0.5, fired.append, i))
+        doomed = sim.schedule(float(i) + 0.25, fired.append, -1)
+        doomed.cancel()
+    sim.run()
+    assert fired == list(range(2_000))
+    assert sim.stats().events_fired == 2_000
+
+
+def test_stats_counters_track_schedule_fire_cancel(sim):
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e1.cancel()
+    sim.run()
+    stats = sim.stats()
+    assert stats.events_scheduled == 2
+    assert stats.events_fired == 1
+    assert stats.events_cancelled == 1
+    assert stats.runs == 1
+    assert stats.wall_time >= 0.0
+    assert stats.pending == 0
+    d = stats.as_dict()
+    assert d["events_fired"] == 1
+    assert "events_per_sec" in d
+
+
+def test_pending_count_is_constant_time_bookkeeping(sim):
+    """pending_count is maintained incrementally: it stays exact
+    through schedule / cancel / fire without scanning the heap."""
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    assert sim.pending_count() == 100
+    for e in events[:40]:
+        e.cancel()
+    assert sim.pending_count() == 60
+    sim.run(max_events=10)
+    assert sim.pending_count() == 50
+    sim.run()
+    assert sim.pending_count() == 0
