@@ -67,6 +67,34 @@ class TraceStatistics:
             return 1.0
         return self.echo_answered / self.echo_sent
 
+    def as_dict(self) -> dict:
+        """JSON-friendly view (the `repro analyze --json` payload)."""
+        def summary(s: Optional[Summary]) -> Optional[dict]:
+            if s is None:
+                return None
+            return {"mean": s.mean, "std": s.std, "n": s.n}
+
+        return {
+            "duration": self.duration,
+            "first_timestamp": self.first_timestamp,
+            "total_packets": self.total_packets,
+            "by_protocol": {
+                name: {
+                    "packets_in": c.packets_in,
+                    "packets_out": c.packets_out,
+                    "bytes_in": c.bytes_in,
+                    "bytes_out": c.bytes_out,
+                } for name, c in sorted(self.by_protocol.items())
+            },
+            "rtt": summary(self.rtt),
+            "signal": summary(self.signal),
+            "echo_sent": self.echo_sent,
+            "echo_answered": self.echo_answered,
+            "reply_ratio": self.reply_ratio,
+            "records_lost": self.records_lost,
+            "status_samples": self.status_samples,
+        }
+
     def render(self) -> str:
         lines = [f"trace: {self.total_packets} packets over "
                  f"{self.duration:.1f}s"]

@@ -9,15 +9,22 @@ it, or export it for modern emulators.
     repro info       porter.json
     repro validate   --scenario wean --benchmark ftp --trials 2
     repro characterize --scenario flagstaff --trials 4
+    repro trace      wean --benchmark ftp -o wean.trace.json
     repro export     porter.json --format netem -o porter.sh
     repro compensation
+
+Observability: ``repro trace`` runs one fully-instrumented trial;
+``validate``/``characterize`` grow ``--metrics-out`` (per-trial JSONL)
+and ``--trace-out`` (Chrome trace-event JSON, loadable in Perfetto or
+chrome://tracing); ``info`` and ``analyze`` grow ``--json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .analysis import render_series, render_table
 from .core import Distiller, ReplayTrace, load_trace, save_trace
@@ -27,14 +34,25 @@ from .core.export import (
     to_mahimahi_trace,
     to_netem_script,
 )
+from .obs import (
+    DEFAULT_SPAN_LIMIT,
+    ObsConfig,
+    render_obs_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .scenarios import ALL_SCENARIOS, scenario_by_name
 from .validation import (
     AndrewRunner,
     FtpRunner,
     WebRunner,
-    characterize_scenario,
+    characterize_scenario_parallel,
     collect_trace,
+    compensation_vb,
     default_workers,
+    distill_scenario_trace,
+    run_live_trial,
+    run_modulated_trial,
     run_validation,
 )
 
@@ -65,6 +83,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="summarize a replay trace")
     p.add_argument("replay", help="replay trace JSON")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit machine-readable JSON (round-trips through "
+                        "ReplayTrace.from_json)")
 
     p = sub.add_parser("validate",
                        help="live-vs-modulated benchmark comparison")
@@ -80,6 +101,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ftp-bytes", type=int, default=None,
                    help="ftp benchmark only: transfer size in bytes "
                         "(default 10 MB, the paper's)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write one metrics record per trial as JSONL")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Chrome trace-event JSON of every trial "
+                        "(open in Perfetto or chrome://tracing)")
 
     p = sub.add_parser("characterize",
                        help="Figures 2-5 style scenario characterization")
@@ -88,6 +114,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=None,
                    help="trial process-pool size (default: one per CPU)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write one metrics record per traversal as JSONL")
+
+    p = sub.add_parser(
+        "trace",
+        help="run one fully-instrumented trial (packet-lifecycle spans, "
+             "metrics, modulation-fidelity audit)")
+    p.add_argument("scenario", choices=SCENARIO_NAMES)
+    p.add_argument("--benchmark", choices=sorted(RUNNERS), default="ftp")
+    p.add_argument("--mode", choices=("modulated", "live"),
+                   default="modulated",
+                   help="modulated: collect+distill the scenario, then "
+                        "trace the replayed benchmark; live: trace the "
+                        "benchmark on the live WaveLAN world")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trial", type=int, default=0)
+    p.add_argument("--ftp-bytes", type=int, default=512 * 1024,
+                   help="ftp benchmark only: transfer size (default 512 KB "
+                        "to keep single traced runs quick)")
+    p.add_argument("--span-limit", type=int, default=DEFAULT_SPAN_LIMIT,
+                   help="max stored span events (overruns are counted)")
+    p.add_argument("-o", "--trace-out", default=None, metavar="FILE",
+                   help="write the Chrome trace-event JSON here")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the trial's metrics record as JSONL")
 
     p = sub.add_parser("export", help="replay trace -> netem/mahimahi")
     p.add_argument("replay", help="replay trace JSON")
@@ -106,6 +157,8 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="print matching packets, tcpdump style")
     p.add_argument("--limit", type=int, default=40,
                    help="max packets printed with --dump")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the statistics as machine-readable JSON")
 
     sub.add_parser("compensation",
                    help="measure the testbed's delay-compensation constant")
@@ -139,6 +192,23 @@ def _cmd_distill(args) -> int:
 
 def _cmd_info(args) -> int:
     replay = ReplayTrace.load(args.replay)
+    if args.as_json:
+        from dataclasses import asdict
+
+        print(json.dumps({
+            "name": replay.name,
+            "duration": replay.duration,
+            "tuples": [asdict(t) for t in replay.tuples],
+            # Extra keys are ignored by ReplayTrace.from_json, so this
+            # document round-trips back into an identical replay trace.
+            "summary": {
+                "count": len(replay),
+                "mean_latency": replay.mean_latency(),
+                "mean_bandwidth_bps": replay.mean_bandwidth_bps(),
+                "mean_loss": replay.mean_loss(),
+            },
+        }, indent=1))
+        return 0
     print(f"replay trace {replay.name!r}: {len(replay)} tuples, "
           f"{replay.duration:.0f}s")
     _print_replay_summary(replay)
@@ -175,27 +245,99 @@ def _print_replay_summary(replay: ReplayTrace) -> None:
     print(f"  loss      {replay.mean_loss() * 100:8.2f} %")
 
 
+def _record_label(record: Dict[str, Any]) -> str:
+    """Short per-trial label for Chrome trace process grouping."""
+    parts = [str(record.get("kind", "trial"))]
+    for key in ("scenario", "benchmark", "replay"):
+        value = record.get(key)
+        if value:
+            parts.append(str(value))
+    parts.append(f"t{record.get('trial', 0)}")
+    return ":".join(parts)
+
+
+def _write_obs_outputs(records: List[Dict[str, Any]],
+                       metrics_out: Optional[str],
+                       trace_out: Optional[str]) -> None:
+    """Write the metrics JSONL and/or the Chrome trace from records."""
+    if metrics_out:
+        # Raw span events go to the Chrome trace, not the JSONL stream;
+        # everything else in the record is kept verbatim.
+        slim = [{k: v for k, v in record.items() if k != "spans"}
+                for record in records]
+        count = write_jsonl(metrics_out, slim)
+        print(f"wrote {count} metrics records to {metrics_out}")
+    if trace_out:
+        groups = [(_record_label(record), record["spans"])
+                  for record in records if record.get("spans")]
+        count = write_chrome_trace(trace_out, groups)
+        print(f"wrote {count} trace events to {trace_out} "
+              f"(open in Perfetto or chrome://tracing)")
+
+
 def _cmd_validate(args) -> int:
     scenario = scenario_by_name(args.scenario)
     if args.benchmark == "ftp" and args.ftp_bytes is not None:
         runner = RUNNERS[args.benchmark](nbytes=args.ftp_bytes)
     else:
         runner = RUNNERS[args.benchmark]()
+    obs = None
+    if args.metrics_out or args.trace_out:
+        obs = ObsConfig(metrics=True, trace=bool(args.trace_out),
+                        spans=bool(args.trace_out))
     sweep = run_validation(scenario, runner, seed=args.seed,
                            trials=args.trials, baseline=args.baseline,
-                           workers=args.workers)
+                           workers=args.workers, obs=obs)
     print(sweep.render(
         title=f"{args.benchmark} on {args.scenario} "
               f"({args.trials} trials)"))
+    _write_obs_outputs(sweep.trial_metrics, args.metrics_out,
+                       args.trace_out)
     return 0
 
 
 def _cmd_characterize(args) -> int:
     scenario = scenario_by_name(args.scenario)
     workers = args.workers if args.workers is not None else default_workers()
-    character = characterize_scenario(scenario, seed=args.seed,
-                                      trials=args.trials, workers=workers)
+    obs = ObsConfig(metrics=True) if args.metrics_out else None
+    trial_metrics: List[Dict[str, Any]] = []
+    character = characterize_scenario_parallel(
+        scenario, seed=args.seed, trials=args.trials, workers=workers,
+        obs=obs, trial_metrics=trial_metrics)
     print(character.render())
+    _write_obs_outputs(trial_metrics, args.metrics_out, None)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    scenario = scenario_by_name(args.scenario)
+    if args.benchmark == "ftp":
+        runner = RUNNERS["ftp"](nbytes=args.ftp_bytes, direction="send")
+    else:
+        runner = RUNNERS[args.benchmark]()
+    variant = runner.variants()[0]
+    obs = ObsConfig(metrics=True, trace=True, spans=True,
+                    span_limit=args.span_limit)
+    if args.mode == "live":
+        sink = run_live_trial(scenario, variant, args.seed, args.trial,
+                              obs=obs)
+    else:
+        records = collect_trace(scenario, args.seed, args.trial)
+        dist = distill_scenario_trace(
+            records, name=f"{scenario.name}-{args.trial}")
+        sink = run_modulated_trial(dist.replay, variant, args.seed,
+                                   args.trial, compensation_vb(), obs=obs)
+    record = sink.pop("__obs__", None)
+    if record is None:
+        print("observability is globally disabled "
+              "(repro.obs.set_enabled(False)); nothing to report")
+        return 1
+    metrics = ", ".join(f"{name}={value:.2f}s"
+                        for name, value in sink.items())
+    print(f"{args.benchmark} on {args.scenario} ({args.mode}): {metrics}")
+    print()
+    print(render_obs_summary(record))
+    _write_obs_outputs([record], args.metrics_out, args.trace_out)
     return 0
 
 
@@ -223,11 +365,20 @@ def _cmd_analyze(args) -> int:
     records = load_trace(args.trace)
     if args.filter_expr:
         matched = filter_records(records, args.filter_expr)
+        if args.as_json:
+            doc = {"filter": args.filter_expr, "matched": len(matched),
+                   "statistics": (analyze_trace(matched).as_dict()
+                                  if matched else None)}
+            print(json.dumps(doc, indent=1))
+            return 0
         print(f"{len(matched)} packets match {args.filter_expr!r}")
         if args.dump:
             print(dump_records(matched, limit=args.limit))
         elif matched:
             print(analyze_trace(matched).render())
+        return 0
+    if args.as_json:
+        print(json.dumps(analyze_trace(records).as_dict(), indent=1))
         return 0
     if args.dump:
         from .core.traceformat import PacketRecord
@@ -254,6 +405,7 @@ COMMANDS = {
     "info": _cmd_info,
     "validate": _cmd_validate,
     "characterize": _cmd_characterize,
+    "trace": _cmd_trace,
     "export": _cmd_export,
     "analyze": _cmd_analyze,
     "compensation": _cmd_compensation,

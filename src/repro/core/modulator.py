@@ -145,6 +145,9 @@ class ModulationLayer:
         self._expires = 0.0
         self._bottleneck_free = 0.0
         self._installed = False
+        # repro.obs hooks; None keeps modulation on the fast path.
+        self.tracer = None
+        self.audit = None
         self.out_packets = 0
         self.in_packets = 0
         self.out_dropped = 0
@@ -220,6 +223,11 @@ class ModulationLayer:
         """Apply the model to one packet; returns True if dropped."""
         tup = self._current_tuple()
         if tup is None:
+            if self.audit is not None:
+                self.audit.observe_passthrough()
+            if self.tracer is not None:
+                self.tracer.event("mod", "passthrough", packet,
+                                  inbound=inbound)
             forward(packet)  # no tuples yet: pass through unmodulated
             return False
         now = self.sim.now
@@ -236,13 +244,36 @@ class ModulationLayer:
         self._bottleneck_free = depart
         # Losses strike only after the bottleneck has been traversed.
         if self.rng.random() < tup.L:
+            if self.audit is not None:
+                self.audit.observe(tup, size,
+                                   depart + tup.F + size * tup.Vr - now,
+                                   0.0, True)
+            if self.tracer is not None:
+                self.tracer.drop("mod", packet, "modulation_loss",
+                                 inbound=inbound)
             return True
         deliver_at = depart + tup.F + size * tup.Vr
         delay = deliver_at - now
         self.delay_sum += delay
-        if delay < self.host.kernel.tick_resolution / 2.0:
+        kernel = self.host.kernel
+        if delay < kernel.tick_resolution / 2.0:
             self.sent_immediately += 1
-        self.host.kernel.schedule_rounded(delay, forward, packet)
+        if self.audit is not None or self.tracer is not None:
+            # The delay the tick-quantized kernel will actually apply:
+            # schedule_rounded sends sub-half-tick releases immediately
+            # and rounds everything else to the nearest tick (clamped to
+            # now).  Computed only when instrumented — the scheduling
+            # call below stays byte-for-byte identical either way.
+            if delay < kernel.tick_resolution / 2.0:
+                applied = 0.0
+            else:
+                applied = max(kernel.nearest_tick_at(now + delay), now) - now
+            if self.audit is not None:
+                self.audit.observe(tup, size, delay, applied, False)
+            if self.tracer is not None:
+                self.tracer.event("mod", "delay", packet, inbound=inbound,
+                                  intended=delay, applied=applied)
+        kernel.schedule_rounded(delay, forward, packet)
         return False
 
 

@@ -54,6 +54,47 @@ class Host:
         self.processes.append(proc)
         return proc
 
+    def stats(self) -> dict:
+        """Rollup of every per-layer counter this host accumulates.
+
+        Surfaces the counters that previously sat orphaned on their
+        objects (queue drops, device tx_drops, the protocols' demux
+        drops) in one JSON-friendly snapshot; the observability layer's
+        registry collectors read exactly this.
+        """
+        ip = self.ip
+        return {
+            "host": self.name,
+            "devices": [{
+                "device": device.name,
+                "tx_packets": device.tx_packets,
+                "rx_packets": device.rx_packets,
+                "tx_bytes": device.tx_bytes,
+                "rx_bytes": device.rx_bytes,
+                "tx_drops": device.tx_drops,
+                "queue": device.queue.stats(),
+            } for device in self.devices],
+            "ip": {
+                "sent": ip.sent,
+                "received": ip.received,
+                "forwarded": ip.forwarded,
+                "dropped_no_route": ip.dropped_no_route,
+                "dropped_ttl": ip.dropped_ttl,
+                "dropped_not_mine": ip.dropped_not_mine,
+                "fragments_sent": ip.fragments_sent,
+                "datagrams_fragmented": ip.datagrams_fragmented,
+                "reassembled": ip.reassembler.reassembled,
+                "reassembly_timeouts": ip.reassembler.timed_out,
+            },
+            "tcp": {"dropped_no_conn": self.tcp.dropped_no_conn},
+            "udp": {"dropped_no_port": self.udp.dropped_no_port},
+            "kernel": {
+                "callouts_fired": self.kernel.callouts_fired,
+                "immediate_callouts": self.kernel.immediate_callouts,
+                "rounded_callouts": self.kernel.rounded_callouts,
+            },
+        }
+
     def device_named(self, name: str) -> NetworkDevice:
         for device in self.devices:
             if device.name == name:

@@ -60,6 +60,11 @@ class Kernel:
         self.clock_offset = clock_offset
         self._devices: Dict[str, PseudoDevice] = {}
         self.callouts_fired = 0
+        # schedule_rounded policy accounting (modulation-fidelity audit):
+        # how often releases fell under the half-tick immediate path vs.
+        # landing on the rounded tick grid.
+        self.immediate_callouts = 0
+        self.rounded_callouts = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -102,7 +107,9 @@ class Kernel:
         exhibit.
         """
         if delay < self.tick_resolution / 2.0:
+            self.immediate_callouts += 1
             return self.sim.schedule(0.0, self._fire, fn, args)
+        self.rounded_callouts += 1
         target = self.nearest_tick_at(self.sim.now + delay)
         target = max(target, self.sim.now)
         return self.sim.schedule_at(target, self._fire, fn, args)

@@ -40,6 +40,9 @@ class NetworkDevice:
         self.upstream: Optional[Callable[[Packet], None]] = None
         self.input_hooks: List[Hook] = []
         self.output_hooks: List[Hook] = []
+        # Lifecycle-tracer scope (repro.obs); None keeps the device on
+        # the uninstrumented fast path.
+        self.tracer = None
         self.tx_packets = 0
         self.tx_bytes = 0
         self.rx_packets = 0
@@ -51,14 +54,21 @@ class NetworkDevice:
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> None:
         """Accept a frame from the protocol stack for transmission."""
+        tracer = self.tracer
         if not self.up:
             self.tx_drops += 1
+            if tracer is not None:
+                tracer.drop("dev", packet, "device_down", device=self.name)
             return
         for hook in self.output_hooks:
             hook(self, packet, DIR_OUT, self.sim.now)
         if not self.queue.offer(packet):
             self.tx_drops += 1
+            if tracer is not None:
+                tracer.drop("dev", packet, "queue_full", device=self.name)
             return
+        if tracer is not None:
+            tracer.event("dev", "enqueue", packet, device=self.name)
         self._kick_transmit()
 
     def _kick_transmit(self) -> None:
@@ -68,16 +78,23 @@ class NetworkDevice:
     def _record_tx(self, packet: Packet) -> None:
         self.tx_packets += 1
         self.tx_bytes += packet.size
+        if self.tracer is not None:
+            self.tracer.event("dev", "tx", packet, device=self.name)
 
     # ------------------------------------------------------------------
     # Upward path (medium -> stack)
     # ------------------------------------------------------------------
     def handle_receive(self, packet: Packet) -> None:
         """Called by the medium when a frame arrives at this device."""
+        tracer = self.tracer
         if not self.up:
+            if tracer is not None:
+                tracer.drop("dev", packet, "device_down", device=self.name)
             return
         self.rx_packets += 1
         self.rx_bytes += packet.size
+        if tracer is not None:
+            tracer.event("dev", "rx", packet, device=self.name)
         for hook in self.input_hooks:
             hook(self, packet, DIR_IN, self.sim.now)
         if self.upstream is not None:

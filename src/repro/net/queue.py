@@ -58,6 +58,17 @@ class DropTailQueue:
         self.dropped += 1
         self.dropped_bytes += packet.size
 
+    def stats(self) -> dict:
+        """Accounting snapshot (Host.stats / metrics collectors)."""
+        return {
+            "enqueued": self.enqueued,
+            "dequeued": self.dequeued,
+            "dropped": self.dropped,
+            "dropped_bytes": self.dropped_bytes,
+            "depth": len(self._items),
+            "depth_bytes": self._bytes,
+        }
+
     def __len__(self) -> int:
         return len(self._items)
 

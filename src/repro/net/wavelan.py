@@ -240,6 +240,7 @@ class WirelessMedium:
         self.bursty_loss = bursty_loss
         self.devices: List[WaveLANDevice] = []
         self._by_address: Dict[str, WaveLANDevice] = {}
+        self.tracer = None  # repro.obs scope; None = uninstrumented
         self._busy = False
         self._waiters: List[WaveLANDevice] = []
         self.frames_carried = 0
@@ -309,6 +310,9 @@ class WirelessMedium:
         lost = self.rng.random() < self._effective_loss(cond.loss_prob(direction))
         if lost:
             self.frames_lost += 1
+            if self.tracer is not None:
+                self.tracer.drop("radio", packet, "channel_loss",
+                                 sender=sender.name, direction=direction)
         self._busy = False
         # The sender's driver gap must be on the books before the next
         # grant is attempted, or a queued frame would sneak past it;

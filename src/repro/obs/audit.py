@@ -1,0 +1,151 @@
+"""Modulation-fidelity audit: what the replay *intended* vs. *applied*.
+
+The paper's accuracy discussion (§5.4) attributes most replay error to
+three mechanisms inside the modulation machinery:
+
+* **tick rounding** — releases land on the kernel's 10 ms callout grid,
+  and anything under half a tick is sent immediately, so short sparse
+  messages are under-delayed;
+* **feed starvation** — when the :class:`ReplayFeedDevice` runs dry the
+  layer holds the last tuple (or passes packets through unmodulated
+  before the first tuple arrives);
+* **loss realization** — each tuple's loss probability ``L`` is sampled
+  per packet, so the observed drop rate only converges to ``L`` over
+  many packets.
+
+The audit turns that discussion into queryable data: for every quality
+tuple the modulation layer enforced, it accumulates the delay the model
+computed (``intended``) and the delay the tick-quantized kernel will
+actually apply (``applied``), plus packet/byte/drop counts.  The
+modulation layer feeds it only when attached, under the same
+``is not None`` guard as the tracer, so unaudited runs pay one
+attribute check per packet.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .registry import Histogram
+
+TupleKey = Tuple[float, float, float, float, float]
+
+
+class _TupleAudit:
+    """Accumulators for one quality tuple."""
+
+    __slots__ = ("packets", "bytes", "dropped", "delivered",
+                 "intended_delay_sum", "applied_delay_sum",
+                 "under_delayed", "over_delayed", "sent_immediately")
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+        self.dropped = 0
+        self.delivered = 0
+        self.intended_delay_sum = 0.0
+        self.applied_delay_sum = 0.0
+        self.under_delayed = 0
+        self.over_delayed = 0
+        self.sent_immediately = 0
+
+
+class ModulationFidelityAudit:
+    """Per-tuple intended-vs-applied accounting for one modulation layer."""
+
+    def __init__(self, tick_resolution: float,
+                 delay_histogram: Optional[Histogram] = None):
+        self.tick_resolution = tick_resolution
+        self.delay_histogram = delay_histogram
+        self._by_tuple: Dict[TupleKey, _TupleAudit] = {}
+        self._order: List[TupleKey] = []
+        self.passthrough = 0  # packets forwarded with no tuple at all
+
+    # ------------------------------------------------------------------
+    def observe(self, tup, size: int, intended: float, applied: float,
+                dropped: bool) -> None:
+        """One modulated packet.
+
+        ``intended`` is the exact model delay (bottleneck queueing
+        included — that part is intended); ``applied`` is the delay
+        after the kernel's round-to-tick / send-immediately policy.
+        Dropped packets count toward the loss audit but contribute no
+        delay samples (they are never delivered).
+        """
+        key = (tup.d, tup.F, tup.Vb, tup.Vr, tup.L)
+        audit = self._by_tuple.get(key)
+        if audit is None:
+            audit = self._by_tuple[key] = _TupleAudit()
+            self._order.append(key)
+        audit.packets += 1
+        audit.bytes += size
+        if dropped:
+            audit.dropped += 1
+            return
+        audit.delivered += 1
+        audit.intended_delay_sum += intended
+        audit.applied_delay_sum += applied
+        if applied < intended - 1e-12:
+            audit.under_delayed += 1
+        elif applied > intended + 1e-12:
+            audit.over_delayed += 1
+        if applied == 0.0:
+            audit.sent_immediately += 1
+        if self.delay_histogram is not None:
+            self.delay_histogram.observe(applied)
+
+    def observe_passthrough(self) -> None:
+        """A packet forwarded unmodulated because the feed was empty."""
+        self.passthrough += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def tuples_seen(self) -> int:
+        return len(self._by_tuple)
+
+    def as_records(self) -> List[Dict[str, Any]]:
+        """One JSON-friendly record per tuple, in first-enforced order."""
+        records = []
+        for key in self._order:
+            d, F, Vb, Vr, L = key
+            a = self._by_tuple[key]
+            n = a.delivered
+            records.append({
+                "d": d, "F": F, "Vb": Vb, "Vr": Vr, "L": L,
+                "intended_bandwidth_bps": (8.0 / Vb) if Vb > 0
+                                          else float("inf"),
+                "packets": a.packets,
+                "bytes": a.bytes,
+                "dropped": a.dropped,
+                "observed_loss": a.dropped / a.packets if a.packets else 0.0,
+                "mean_intended_delay": a.intended_delay_sum / n if n else 0.0,
+                "mean_applied_delay": a.applied_delay_sum / n if n else 0.0,
+                "mean_rounding_error": ((a.applied_delay_sum
+                                         - a.intended_delay_sum) / n
+                                        if n else 0.0),
+                "under_delayed": a.under_delayed,
+                "over_delayed": a.over_delayed,
+                "sent_immediately": a.sent_immediately,
+            })
+        return records
+
+    def totals(self) -> Dict[str, Any]:
+        """Whole-run rollup across every tuple."""
+        packets = sum(a.packets for a in self._by_tuple.values())
+        dropped = sum(a.dropped for a in self._by_tuple.values())
+        delivered = sum(a.delivered for a in self._by_tuple.values())
+        intended = sum(a.intended_delay_sum for a in self._by_tuple.values())
+        applied = sum(a.applied_delay_sum for a in self._by_tuple.values())
+        return {
+            "tuples_enforced": len(self._by_tuple),
+            "packets": packets,
+            "dropped": dropped,
+            "passthrough": self.passthrough,
+            "observed_loss": dropped / packets if packets else 0.0,
+            "mean_intended_delay": intended / delivered if delivered else 0.0,
+            "mean_applied_delay": applied / delivered if delivered else 0.0,
+            "under_delayed": sum(a.under_delayed
+                                 for a in self._by_tuple.values()),
+            "sent_immediately": sum(a.sent_immediately
+                                    for a in self._by_tuple.values()),
+        }

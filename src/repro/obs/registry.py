@@ -1,0 +1,161 @@
+"""Metrics registry: counters, gauges, histograms, and collectors.
+
+The registry is the aggregation point of the observability layer.  Two
+kinds of metric feed it:
+
+* **Owned instruments** — :class:`Counter`, :class:`Gauge` and
+  :class:`Histogram` objects created through the registry and updated
+  directly by instrumented code.  Instruments are plain-attribute
+  objects (``__slots__``, no locks, no label indirection) so an
+  ``inc()`` on a hot path costs one attribute add — the same budget
+  :mod:`repro.sim.perf` allows the engine's counters.
+* **Collectors** — zero-cost adapters over counters that already exist
+  as plain integer attributes elsewhere (``DropTailQueue.dropped``,
+  ``NetworkDevice.tx_drops``, the engine's perf counters, ...).  A
+  collector is a callable returning a flat ``{name: value}`` dict; it
+  runs only at :meth:`MetricsRegistry.snapshot` time, so registering a
+  subsystem adds *nothing* to its hot path.
+
+Histogram buckets are fixed at construction (cumulative-free, one count
+per bucket plus overflow), which keeps ``observe`` a single bisect.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time float metric (set, not accumulated)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A fixed-bucket histogram of float observations.
+
+    ``edges`` are the upper bounds of each bucket, strictly increasing;
+    one extra overflow bucket catches everything above the last edge.
+    """
+
+    __slots__ = ("name", "help", "edges", "counts", "total", "sum")
+
+    def __init__(self, name: str, edges: Sequence[float], help: str = ""):
+        edges = list(edges)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.edges: Tuple[float, ...] = tuple(edges)
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+
+
+Collector = Callable[[], Dict[str, float]]
+
+
+class MetricsRegistry:
+    """Namespace of instruments plus snapshot-time collectors.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same instrument, so independent
+    subsystems can share a metric without coordinating.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: List[Collector] = []
+
+    # -- instruments ----------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name, help)
+        return inst
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name, help)
+        return inst
+
+    def histogram(self, name: str, edges: Sequence[float],
+                  help: str = "") -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, edges, help)
+        elif tuple(edges) != inst.edges:
+            raise ValueError(f"histogram {name!r} already registered "
+                             f"with different edges")
+        return inst
+
+    # -- collectors -----------------------------------------------------
+    def add_collector(self, collector: Collector) -> None:
+        """Register a snapshot-time source of ``{name: value}`` pairs."""
+        self._collectors.append(collector)
+
+    # -- output ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-friendly snapshot of every metric the registry knows.
+
+        Collector output lands under ``"collected"``; a collector that
+        reuses a name overwrites the earlier value (last registration
+        wins), which collectors avoid by namespacing
+        (``host.device.counter``).
+        """
+        collected: Dict[str, float] = {}
+        for collector in self._collectors:
+            collected.update(collector())
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.as_dict()
+                           for n, h in sorted(self._histograms.items())},
+            "collected": dict(sorted(collected.items())),
+        }

@@ -1,0 +1,220 @@
+"""Observability sinks: JSONL, Chrome trace-event JSON, text tables.
+
+Three interchangeable ways out of the process:
+
+* :func:`write_jsonl` — one JSON object per line, the machine-readable
+  stream ``repro validate --metrics-out`` emits (one record per trial);
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (the JSON Array/Object format accepted by
+  Perfetto and chrome://tracing): hosts map to processes, layers to
+  threads, span events to instants, and modulation delays to complete
+  (``"ph": "X"``) events whose duration is the applied delay;
+* :func:`render_obs_summary` — a human-readable rollup built on
+  :mod:`repro.analysis.tables`, printed by ``repro trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.tables import render_table
+
+# A span event whose name is in this set becomes a Chrome "X" (complete)
+# event with the given field as its duration (seconds).
+_DURATION_FIELDS = {("mod", "delay"): "applied"}
+
+
+def _json_safe(value: Any) -> Any:
+    """Replace non-finite floats (JSON has no Infinity/NaN literals)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def write_jsonl(path: str, records: Iterable[Dict[str, Any]]) -> int:
+    """Write records as JSON Lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as f:
+        for record in records:
+            f.write(json.dumps(_json_safe(record)) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL file back into a list of dicts (tests, tooling)."""
+    out = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+# ======================================================================
+# Chrome trace-event format
+# ======================================================================
+def chrome_trace(span_groups: Sequence[Tuple[str, Sequence[Dict[str, Any]]]]
+                 ) -> Dict[str, Any]:
+    """Convert span-event groups into a Chrome trace-event document.
+
+    ``span_groups`` is ``[(group_label, spans), ...]``; each group gets
+    its own process-id namespace so several trials can share one trace
+    file.  Within a group, each ``host`` becomes a process and each
+    ``layer`` a thread, both named via metadata events.  Timestamps are
+    simulated microseconds.
+    """
+    events: List[Dict[str, Any]] = []
+    pid_of: Dict[Tuple[str, str], int] = {}
+    tid_of: Dict[Tuple[int, str], int] = {}
+
+    def pid_for(group: str, host: str) -> int:
+        key = (group, host)
+        pid = pid_of.get(key)
+        if pid is None:
+            pid = pid_of[key] = len(pid_of) + 1
+            name = f"{group}:{host}" if group else host
+            events.append({"name": "process_name", "ph": "M", "ts": 0,
+                           "pid": pid, "tid": 0,
+                           "args": {"name": name}})
+        return pid
+
+    def tid_for(pid: int, layer: str) -> int:
+        key = (pid, layer)
+        tid = tid_of.get(key)
+        if tid is None:
+            tid = tid_of[key] = sum(1 for (p, _) in tid_of if p == pid) + 1
+            events.append({"name": "thread_name", "ph": "M", "ts": 0,
+                           "pid": pid, "tid": tid,
+                           "args": {"name": layer}})
+        return tid
+
+    for label, spans in span_groups:
+        for span in spans:
+            pid = pid_for(label, span["host"])
+            tid = tid_for(pid, span["layer"])
+            name = f"{span['layer']}.{span['event']}"
+            args = {k: _json_safe(v) for k, v in span.items()
+                    if k not in ("t", "host", "layer", "event")}
+            event: Dict[str, Any] = {
+                "name": name,
+                "ph": "i",
+                "ts": span["t"] * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "s": "t",
+                "args": args,
+            }
+            duration_field = _DURATION_FIELDS.get(
+                (span["layer"], span["event"]))
+            if duration_field is not None and span.get(duration_field):
+                event["ph"] = "X"
+                event["dur"] = span[duration_field] * 1e6
+                del event["s"]
+            events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str,
+                       span_groups: Sequence[Tuple[str, Sequence[dict]]]
+                       ) -> int:
+    """Write a Chrome trace file; returns the number of trace events."""
+    document = chrome_trace(span_groups)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(document, f)
+    return len(document["traceEvents"])
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> None:
+    """Raise ValueError unless ``document`` is schema-valid and non-empty.
+
+    Checks the fields chrome://tracing's JSON Object format requires:
+    a non-empty ``traceEvents`` array whose entries carry ``name``,
+    ``ph``, ``ts``, ``pid`` and ``tid``, with ``dur`` present on every
+    complete ("X") event.
+    """
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents missing or empty")
+    for i, event in enumerate(events):
+        missing = {"name", "ph", "ts", "pid", "tid"} - set(event)
+        if missing:
+            raise ValueError(f"event {i} missing fields {sorted(missing)}")
+        if event["ph"] == "X" and "dur" not in event:
+            raise ValueError(f"complete event {i} has no dur")
+
+
+# ======================================================================
+# Text summary
+# ======================================================================
+def render_obs_summary(record: Dict[str, Any]) -> str:
+    """A human-readable rollup of one trial's observability record."""
+    parts: List[str] = []
+
+    drops = record.get("drops") or {}
+    rows = [[name, str(count)] for name, count in sorted(drops.items())]
+    if not rows:
+        rows = [["(no drops)", "0"]]
+    parts.append(render_table(["Drop counter", "Packets"], rows,
+                              title="Per-layer drop counters"))
+
+    trace = record.get("trace") or {}
+    by_layer = trace.get("by_layer_event") or {}
+    if by_layer:
+        rows = [[name, str(count)]
+                for name, count in sorted(by_layer.items())]
+        caption = ""
+        if trace.get("spans_dropped"):
+            caption = (f"{trace['spans_dropped']} span events beyond the "
+                       f"buffer limit were counted but not stored.")
+        parts.append(render_table(["Span event", "Count"], rows,
+                                  title="Packet-lifecycle span events",
+                                  caption=caption))
+
+    modulation = record.get("modulation")
+    if modulation:
+        rows = []
+        for rec in modulation.get("audit", []):
+            bw = rec["intended_bandwidth_bps"]
+            bw_text = ("inf" if not isinstance(bw, float)
+                       or not math.isfinite(bw) else f"{bw / 1e3:.0f}")
+            rows.append([
+                f"{rec['F'] * 1e3:.1f}ms/{bw_text}Kbps",
+                f"{rec['L'] * 100:.1f}",
+                str(rec["packets"]),
+                f"{rec['observed_loss'] * 100:.1f}",
+                f"{rec['mean_intended_delay'] * 1e3:.2f}",
+                f"{rec['mean_applied_delay'] * 1e3:.2f}",
+                str(rec["under_delayed"]),
+                str(rec["sent_immediately"]),
+            ])
+        if rows:
+            parts.append(render_table(
+                ["Tuple (F/BW)", "L %", "Pkts", "Loss %",
+                 "Intended ms", "Applied ms", "Under", "Immediate"],
+                rows,
+                title="Modulation fidelity (intended vs. applied)",
+                caption="Applied delays are rounded to the kernel tick; "
+                        "sub-half-tick delays are applied immediately "
+                        "(the paper's under-delay artifact, §5.4)."))
+        feed = modulation.get("feed")
+        if feed:
+            rows = [[name, str(value)] for name, value in sorted(feed.items())]
+            parts.append(render_table(["Feed counter", "Value"], rows,
+                                      title="Replay feed device"))
+
+    engine = record.get("engine")
+    if engine:
+        rows = [[name, (f"{value:.3f}" if isinstance(value, float)
+                        else str(value))]
+                for name, value in sorted(engine.items())]
+        parts.append(render_table(["Engine counter", "Value"], rows,
+                                  title="Simulation engine"))
+    return "\n\n".join(parts)

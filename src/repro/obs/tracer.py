@@ -1,0 +1,130 @@
+"""Packet-lifecycle tracing: span events at every layer boundary.
+
+The paper's collection phase hooks the traced *device*; the lifecycle
+tracer generalizes that to the whole stack.  Every instrumented layer
+(IP, TCP/UDP, the modulation layer, devices, the shared media) carries
+a ``tracer`` attribute that defaults to ``None``; the only cost an
+untraced run pays is one attribute load and a ``None`` test per
+boundary crossing.  When a :class:`LifecycleTracer` is attached, each
+crossing appends one **span event** — a flat dict with the simulated
+timestamp, host, layer, event name, trace id, packet id and size, plus
+event-specific fields (drop cause, modulation delays, ...).
+
+Trace ids
+---------
+A packet is assigned a trace id the first time any layer records it,
+stored in ``Packet.meta["trace_id"]``:
+
+* clones (broadcast fan-out) copy ``meta`` and therefore *share* the
+  trace id of the original frame — one logical transmission, one trace;
+* IP fragments carry the parent datagram in ``meta["original"]`` and
+  inherit its trace id, so an 8 KB NFS datagram and its six fragments
+  read as a single lifecycle.
+
+Span events are bounded by ``limit``; once full, events are counted in
+``dropped_spans`` but not stored (aggregated ``span_counts`` and
+``drop_counts`` keep counting), mirroring the kernel trace buffer's
+overrun accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+DEFAULT_SPAN_LIMIT = 250_000
+
+
+class TracerScope:
+    """A tracer bound to one host name (what layer objects hold)."""
+
+    __slots__ = ("tracer", "host")
+
+    def __init__(self, tracer: "LifecycleTracer", host: str):
+        self.tracer = tracer
+        self.host = host
+
+    def event(self, layer: str, name: str, packet, **fields: Any) -> None:
+        self.tracer.event(self.host, layer, name, packet, **fields)
+
+    def drop(self, layer: str, packet, cause: str, **fields: Any) -> None:
+        self.tracer.drop(self.host, layer, packet, cause, **fields)
+
+
+class LifecycleTracer:
+    """Collects span events for every packet crossing a layer boundary."""
+
+    def __init__(self, sim, limit: int = DEFAULT_SPAN_LIMIT):
+        self.sim = sim
+        self.limit = limit
+        self.enabled = True
+        self.spans: List[Dict[str, Any]] = []
+        self.dropped_spans = 0
+        self.span_counts: Dict[Tuple[str, str], int] = {}
+        self.drop_counts: Dict[str, int] = {}
+        self._trace_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def scope(self, host: str) -> TracerScope:
+        return TracerScope(self, host)
+
+    def trace_id_for(self, packet) -> int:
+        """The packet's trace id, assigning (or inheriting) one if new."""
+        meta = packet.meta
+        tid = meta.get("trace_id")
+        if tid is None:
+            original = meta.get("original")
+            if original is not None:
+                tid = self.trace_id_for(original)
+            else:
+                tid = next(self._trace_ids)
+            meta["trace_id"] = tid
+        return tid
+
+    # ------------------------------------------------------------------
+    def event(self, host: str, layer: str, name: str, packet,
+              **fields: Any) -> None:
+        if not self.enabled:
+            return
+        key = (layer, name)
+        counts = self.span_counts
+        counts[key] = counts.get(key, 0) + 1
+        if len(self.spans) >= self.limit:
+            self.dropped_spans += 1
+            return
+        span: Dict[str, Any] = {
+            "t": self.sim.now,
+            "host": host,
+            "layer": layer,
+            "event": name,
+            "trace": self.trace_id_for(packet),
+            "pkt": packet.packet_id,
+            "size": packet.size,
+        }
+        if fields:
+            span.update(fields)
+        self.spans.append(span)
+
+    def drop(self, host: str, layer: str, packet, cause: str,
+             **fields: Any) -> None:
+        """Record a packet loss with its cause (always counted)."""
+        if not self.enabled:
+            return
+        drops = self.drop_counts
+        drops[cause] = drops.get(cause, 0) + 1
+        self.event(host, layer, "drop", packet, cause=cause, **fields)
+
+    # ------------------------------------------------------------------
+    def spans_for_trace(self, trace_id: int) -> List[Dict[str, Any]]:
+        """All stored span events of one trace, in time order."""
+        return [s for s in self.spans if s["trace"] == trace_id]
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregated view (survives the span limit): counts only."""
+        return {
+            "spans_recorded": len(self.spans),
+            "spans_dropped": self.dropped_spans,
+            "by_layer_event": {f"{l}.{e}": n for (l, e), n
+                               in sorted(self.span_counts.items())},
+            "drop_causes": dict(sorted(self.drop_counts.items())),
+        }

@@ -1,0 +1,267 @@
+"""Attaching the observability layer to a world.
+
+:class:`WorldObservability` owns one trial's instruments: a
+:class:`~repro.obs.registry.MetricsRegistry`, optionally a
+:class:`~repro.obs.tracer.LifecycleTracer`, and — once a modulation
+layer is installed — a
+:class:`~repro.obs.audit.ModulationFidelityAudit`.  ``attach`` walks a
+world (:class:`~repro.hosts.worlds.LiveWorld` or
+:class:`~repro.hosts.worlds.ModulationWorld`) and hands every
+instrumented object its tracer scope; the registry sees those objects
+only through snapshot-time collectors, so metrics collection adds
+nothing to any hot path.
+
+Everything here must respect the harness's determinism contract:
+attaching observability draws no RNG, schedules no events, and touches
+no packet — so validation tables from an instrumented run are
+byte-identical to an uninstrumented one.
+
+The module-level ``enabled()`` flag is the single global kill switch:
+:func:`attach_observability` returns ``None`` when disabled, and every
+call site threads that ``None`` through, leaving all ``tracer`` /
+``audit`` attributes at their ``None`` defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .audit import ModulationFidelityAudit
+from .registry import MetricsRegistry
+from .tracer import DEFAULT_SPAN_LIMIT, LifecycleTracer
+
+# Applied-delay histogram edges (seconds).  The first bucket isolates
+# sub-half-tick "sent immediately" releases; the rest follow the spread
+# of real quality tuples (a few ms on a clean LAN to seconds in the
+# Wean elevator outage).
+DELAY_BUCKETS = (0.005, 0.010, 0.020, 0.050, 0.100,
+                 0.250, 0.500, 1.000, 2.500)
+
+_ENABLED = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable observability attachment."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to instrument.  Frozen and primitive-only, so it pickles
+    into :class:`~repro.validation.parallel.TrialSpec` unchanged.
+
+    ``metrics``
+        Attach a registry with per-world collectors; snapshots land in
+        the trial record under ``"metrics"``.
+    ``trace``
+        Attach a :class:`LifecycleTracer` to every layer; the record
+        gains a ``"trace"`` summary.
+    ``spans``
+        Also ship the raw span-event list (``"spans"``) — the input to
+        the Chrome trace sink.  Off by default because a long trial's
+        spans dominate the record's size.
+    """
+
+    metrics: bool = True
+    trace: bool = False
+    spans: bool = False
+    span_limit: int = DEFAULT_SPAN_LIMIT
+
+
+def world_hosts(world) -> List:
+    """Every Host a world assembles, in a fixed, documented order."""
+    hosts = []
+    for attr in ("laptop", "server"):
+        host = getattr(world, attr, None)
+        if host is not None:
+            hosts.append(host)
+    hosts.extend(getattr(world, "cross_hosts", ()))
+    return hosts
+
+
+def _flatten(prefix: str, value: Any, out: Dict[str, float]) -> None:
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten(f"{prefix}.{key}" if prefix else str(key), sub, out)
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        out[prefix] = value
+
+
+class WorldObservability:
+    """One trial's attached instruments, and its metrics record."""
+
+    def __init__(self, world, config: Optional[ObsConfig] = None):
+        self.world = world
+        self.config = config or ObsConfig()
+        self.registry = MetricsRegistry()
+        self.tracer: Optional[LifecycleTracer] = None
+        if self.config.trace:
+            self.tracer = LifecycleTracer(world.sim,
+                                          limit=self.config.span_limit)
+        self.audit: Optional[ModulationFidelityAudit] = None
+        self.layer = None  # the ModulationLayer, once attached
+        self._attach()
+
+    # ------------------------------------------------------------------
+    def _attach(self) -> None:
+        tracer = self.tracer
+        for host in world_hosts(self.world):
+            if tracer is not None:
+                scope = tracer.scope(host.name)
+                host.ip.tracer = scope
+                host.ip.reassembler.tracer = scope
+                host.tcp.tracer = scope
+                host.udp.tracer = scope
+                for device in host.devices:
+                    device.tracer = scope
+            if self.config.metrics:
+                self.registry.add_collector(self._host_collector(host))
+        medium = getattr(self.world, "medium", None)
+        if medium is not None:
+            if tracer is not None:
+                medium.tracer = tracer.scope(medium.name)
+            if self.config.metrics:
+                self.registry.add_collector(self._medium_collector(medium))
+        if self.config.metrics:
+            self.registry.add_collector(self._engine_collector())
+
+    @staticmethod
+    def _host_collector(host):
+        def collect() -> Dict[str, float]:
+            out: Dict[str, float] = {}
+            _flatten(host.name, host.stats(), out)
+            return out
+        return collect
+
+    @staticmethod
+    def _medium_collector(medium):
+        def collect() -> Dict[str, float]:
+            return {
+                f"{medium.name}.frames_carried": medium.frames_carried,
+                f"{medium.name}.frames_lost": medium.frames_lost,
+            }
+        return collect
+
+    def _engine_collector(self):
+        sim = self.world.sim
+
+        def collect() -> Dict[str, float]:
+            return {f"engine.{name}": value
+                    for name, value in sim.stats().as_dict().items()}
+        return collect
+
+    # ------------------------------------------------------------------
+    def attach_modulation(self, layer) -> ModulationFidelityAudit:
+        """Instrument an installed ModulationLayer (audit + spans)."""
+        histogram = None
+        if self.config.metrics:
+            histogram = self.registry.histogram(
+                "modulation.applied_delay", DELAY_BUCKETS,
+                help="Applied (tick-rounded) modulation delay, seconds")
+        audit = ModulationFidelityAudit(layer.host.kernel.tick_resolution,
+                                        delay_histogram=histogram)
+        layer.audit = audit
+        if self.tracer is not None:
+            layer.tracer = self.tracer.scope(layer.host.name)
+        self.audit = audit
+        self.layer = layer
+        if self.config.metrics:
+            self.registry.add_collector(self._modulation_collector(layer))
+        return audit
+
+    @staticmethod
+    def _modulation_collector(layer):
+        def collect() -> Dict[str, float]:
+            feed = layer.feed
+            return {
+                "modulation.out_packets": layer.out_packets,
+                "modulation.in_packets": layer.in_packets,
+                "modulation.out_dropped": layer.out_dropped,
+                "modulation.in_dropped": layer.in_dropped,
+                "modulation.sent_immediately": layer.sent_immediately,
+                "modulation.feed.tuples_written": feed.tuples_written,
+                "modulation.feed.tuples_consumed": feed.tuples_consumed,
+                "modulation.feed.underruns": feed.underruns,
+            }
+        return collect
+
+    # ------------------------------------------------------------------
+    def drop_rollup(self) -> Dict[str, int]:
+        """Every drop counter in the world, flattened to one namespace."""
+        out: Dict[str, int] = {}
+        for host in world_hosts(self.world):
+            for device in host.devices:
+                out[f"{host.name}.{device.name}.queue_full"] = \
+                    device.queue.dropped
+                out[f"{host.name}.{device.name}.tx_drops"] = device.tx_drops
+            ip = host.ip
+            out[f"{host.name}.ip.no_route"] = ip.dropped_no_route
+            out[f"{host.name}.ip.ttl"] = ip.dropped_ttl
+            out[f"{host.name}.ip.not_mine"] = ip.dropped_not_mine
+            out[f"{host.name}.ip.reassembly_timeout"] = \
+                ip.reassembler.timed_out
+            out[f"{host.name}.tcp.no_conn"] = host.tcp.dropped_no_conn
+            out[f"{host.name}.udp.no_port"] = host.udp.dropped_no_port
+        medium = getattr(self.world, "medium", None)
+        if medium is not None:
+            out[f"{medium.name}.channel_loss"] = medium.frames_lost
+        if self.layer is not None:
+            out["modulation.out_dropped"] = self.layer.out_dropped
+            out["modulation.in_dropped"] = self.layer.in_dropped
+        return out
+
+    # ------------------------------------------------------------------
+    def record(self, **context: Any) -> Dict[str, Any]:
+        """The trial's metrics record: one JSON-friendly dict.
+
+        ``context`` keys (scenario, benchmark, trial, ...) lead the
+        record; everything else is read out of the world *now*, so call
+        this after the trial completes.
+        """
+        rec: Dict[str, Any] = dict(context)
+        rec["engine"] = self.world.sim.stats().as_dict()
+        rec["hosts"] = {host.name: host.stats()
+                        for host in world_hosts(self.world)}
+        rec["drops"] = self.drop_rollup()
+        if self.config.metrics:
+            rec["metrics"] = self.registry.snapshot()
+        if self.tracer is not None:
+            rec["trace"] = self.tracer.summary()
+            if self.config.spans:
+                rec["spans"] = list(self.tracer.spans)
+        if self.audit is not None:
+            modulation: Dict[str, Any] = {
+                "audit": self.audit.as_records(),
+                "totals": self.audit.totals(),
+            }
+            if self.layer is not None:
+                feed = self.layer.feed
+                modulation["feed"] = {
+                    "tuples_written": feed.tuples_written,
+                    "tuples_consumed": feed.tuples_consumed,
+                    "underruns": feed.underruns,
+                }
+            rec["modulation"] = modulation
+        return rec
+
+
+def attach_observability(world, config: Optional[ObsConfig] = None
+                         ) -> Optional[WorldObservability]:
+    """Attach instruments to ``world`` — or do nothing when disabled.
+
+    Returning ``None`` is the disabled fast path: call sites keep their
+    ``obs`` handle ``None`` and every layer keeps its ``tracer`` /
+    ``audit`` attributes at the ``None`` default, so a disabled run's
+    only cost is the per-boundary ``is not None`` test.
+    """
+    if not _ENABLED or config is None:
+        return None
+    if not (config.metrics or config.trace):
+        return None
+    return WorldObservability(world, config)

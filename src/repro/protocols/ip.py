@@ -36,6 +36,7 @@ class Reassembler:
         self._partial: Dict[Tuple[str, int], Dict] = {}
         self.reassembled = 0
         self.timed_out = 0
+        self.tracer = None  # repro.obs scope; None = uninstrumented
 
     def accept(self, packet: Packet) -> Optional[Packet]:
         """Feed one fragment; returns the full datagram when complete."""
@@ -59,9 +60,12 @@ class Reassembler:
         return None
 
     def _expire(self, key: Tuple[str, int]) -> None:
-        if key in self._partial:
-            del self._partial[key]
+        entry = self._partial.pop(key, None)
+        if entry is not None:
             self.timed_out += 1
+            if self.tracer is not None:
+                self.tracer.drop("ip", entry["original"],
+                                 "reassembly_timeout")
 
     @property
     def pending(self) -> int:
@@ -116,6 +120,7 @@ class IPLayer:
                                                  Callable[[Packet], None]], None]] = None
         self.inbound_filter: Optional[Callable[[Packet, Callable[[Packet], None]],
                                                None]] = None
+        self.tracer = None  # repro.obs scope; None = uninstrumented
         self.sent = 0
         self.received = 0
         self.forwarded = 0
@@ -140,10 +145,16 @@ class IPLayer:
         if packet.ip.ident == 0:
             packet.ip.ident = next(self._ident)
         device = self.routing.lookup(packet.ip.dst)
+        tracer = self.tracer
         if device is None:
             self.dropped_no_route += 1
+            if tracer is not None:
+                tracer.drop("ip", packet, "no_route", dst=packet.ip.dst)
             return
         self.sent += 1
+        if tracer is not None:
+            tracer.event("ip", "send", packet, dst=packet.ip.dst,
+                         proto=packet.ip.proto)
         if packet.ip_size > self.mtu:
             self._fragment(packet, device)
         else:
@@ -174,6 +185,9 @@ class IPLayer:
             )
             offset += chunk
             self.fragments_sent += 1
+            if self.tracer is not None:
+                self.tracer.event("ip", "fragment", frag,
+                                  index=index, count=count)
             self._to_device(frag, device)
 
     def _to_device(self, packet: Packet, device: NetworkDevice) -> None:
@@ -203,6 +217,8 @@ class IPLayer:
             self._forward(packet)
         else:
             self.dropped_not_mine += 1
+            if self.tracer is not None:
+                self.tracer.drop("ip", packet, "not_mine", dst=packet.ip.dst)
 
     def _local_deliver(self, packet: Packet) -> None:
         if "fragment" in packet.meta:
@@ -210,19 +226,31 @@ class IPLayer:
             if whole is None:
                 return
             packet = whole
+            if self.tracer is not None:
+                self.tracer.event("ip", "reassembled", packet)
         self.received += 1
+        if self.tracer is not None:
+            self.tracer.event("ip", "recv", packet, src=packet.ip.src,
+                              proto=packet.ip.proto)
         handler = self._proto_handlers.get(packet.ip.proto)
         if handler is not None:
             handler(packet)
 
     def _forward(self, packet: Packet) -> None:
+        tracer = self.tracer
         if packet.ip.ttl <= 1:
             self.dropped_ttl += 1
+            if tracer is not None:
+                tracer.drop("ip", packet, "ttl", dst=packet.ip.dst)
             return
         device = self.routing.lookup(packet.ip.dst)
         if device is None:
             self.dropped_no_route += 1
+            if tracer is not None:
+                tracer.drop("ip", packet, "no_route", dst=packet.ip.dst)
             return
         packet.ip.ttl -= 1
         self.forwarded += 1
+        if tracer is not None:
+            tracer.event("ip", "forward", packet, dst=packet.ip.dst)
         self._to_device(packet, device)

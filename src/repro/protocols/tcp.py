@@ -303,6 +303,10 @@ class TCPConnection:
             self._rtt_sample = (seq + length, self.sim.now)
         self._cancel_delack()
         self._segments_unacked = 0
+        tracer = self.proto.tracer
+        if tracer is not None:
+            tracer.event("tcp", "tx", packet, seq=seq, length=length,
+                         flags=flags, rtx=is_rtx)
         self.proto.ip.send(self.laddr, self.raddr, PROTO_TCP, packet)
 
     # --- retransmission timer -----------------------------------------
@@ -705,6 +709,7 @@ class TCPProtocol:
         self._conns: Dict[Tuple[int, str, int], TCPConnection] = {}
         self._next_ephemeral = self.EPHEMERAL_BASE
         self.dropped_no_conn = 0
+        self.tracer = None  # repro.obs scope; None = uninstrumented
         ip_layer.register_protocol(PROTO_TCP, self.input)
 
     # ------------------------------------------------------------------
@@ -755,6 +760,9 @@ class TCPProtocol:
         key = (packet.tcp.dst_port, packet.ip.src, packet.tcp.src_port)
         conn = self._conns.get(key)
         if conn is not None:
+            if self.tracer is not None:
+                self.tracer.event("tcp", "rx", packet, seq=packet.tcp.seq,
+                                  flags=packet.tcp.flags)
             conn.segment_arrives(packet)
             return
         if packet.tcp.has(TCPHeader.SYN) and not packet.tcp.has(TCPHeader.ACK):
@@ -765,9 +773,16 @@ class TCPProtocol:
                                      passive=True)
                 conn._listener = listener
                 self._conns[key] = conn
+                if self.tracer is not None:
+                    self.tracer.event("tcp", "rx", packet,
+                                      seq=packet.tcp.seq,
+                                      flags=packet.tcp.flags)
                 conn._start_passive_open(packet)
                 return
         self.dropped_no_conn += 1
+        if self.tracer is not None:
+            self.tracer.drop("tcp", packet, "no_conn",
+                             port=packet.tcp.dst_port)
         # No one owns this segment: answer with RST (unless it IS one)
         # so half-open peers tear down instead of waiting forever.
         if not packet.tcp.has(TCPHeader.RST):

@@ -37,6 +37,9 @@ class UdpSocket:
             payload_bytes=payload_bytes,
         )
         self.tx_datagrams += 1
+        if self.proto.tracer is not None:
+            self.proto.tracer.event("udp", "tx", packet,
+                                    dst_port=dst_port, port=self.port)
         self.proto.ip.send(self.address, dst_addr, PROTO_UDP, packet)
 
     def recv(self) -> Generator[Any, Any, Datagram]:
@@ -75,6 +78,7 @@ class UDPProtocol:
         self._sockets: Dict[int, UdpSocket] = {}
         self._next_ephemeral = self.EPHEMERAL_BASE
         self.dropped_no_port = 0
+        self.tracer = None  # repro.obs scope; None = uninstrumented
         ip_layer.register_protocol(PROTO_UDP, self.input)
 
     def bind(self, address: str, port: int = 0) -> UdpSocket:
@@ -102,5 +106,11 @@ class UDPProtocol:
         sock = self._sockets.get(packet.udp.dst_port)
         if sock is None:
             self.dropped_no_port += 1
+            if self.tracer is not None:
+                self.tracer.drop("udp", packet, "no_port",
+                                 port=packet.udp.dst_port)
             return
+        if self.tracer is not None:
+            self.tracer.event("udp", "rx", packet,
+                              port=packet.udp.dst_port)
         sock._deliver(packet)

@@ -34,6 +34,7 @@ from ..core.distill import DistillationResult, Distiller
 from ..core.modulator import install_modulation
 from ..core.replay import ReplayTrace
 from ..hosts.worlds import LiveWorld, ModulationWorld, SERVER_ADDR
+from ..obs import ObsConfig, attach_observability
 from ..scenarios.base import Scenario
 from ..sim.rng import derive_seed
 from ..workloads.webtraces import all_user_traces, object_catalog
@@ -210,24 +211,44 @@ def _delayed(world, gen) -> Generator[Any, Any, None]:
 
 
 def run_live_trial(scenario: Scenario, runner: BenchmarkRunner, seed: int,
-                   trial: int) -> Dict[str, float]:
-    """One live benchmark trial over the scenario's WaveLAN world."""
+                   trial: int,
+                   obs: Optional[ObsConfig] = None) -> Dict[str, Any]:
+    """One live benchmark trial over the scenario's WaveLAN world.
+
+    With ``obs`` set, the returned sink carries the trial's metrics
+    record under ``"__obs__"`` alongside the benchmark metrics.
+    Attaching observability draws no RNG and schedules nothing, so the
+    metric values are identical with or without it.
+    """
     world = scenario.make_live_world(seed, trial)
+    wobs = attach_observability(world, obs)
     setup_cross_traffic(world, derive_seed(seed, f"cross:{trial}"),
                         duration=MAX_SIM_TIME)
     runner.install_servers(world, seed)
-    sink: Dict[str, float] = {}
+    sink: Dict[str, Any] = {}
     proc = world.laptop.spawn(
         _delayed(world, runner.client_body(world, seed, sink)),
         name=f"{runner.name}-live")
     _run_until_done(world, proc)
+    if wobs is not None:
+        sink["__obs__"] = wobs.record(kind="live", scenario=scenario.name,
+                                      benchmark=runner.name, seed=seed,
+                                      trial=trial)
     return sink
 
 
 def collect_trace(scenario: Scenario, seed: int, trial: int,
-                  duration: Optional[float] = None) -> List:
-    """One trace-collection traversal; returns the trace records."""
+                  duration: Optional[float] = None,
+                  obs: Optional[ObsConfig] = None,
+                  obs_out: Optional[Dict[str, Any]] = None) -> List:
+    """One trace-collection traversal; returns the trace records.
+
+    With ``obs`` set and ``obs_out`` given, the traversal's metrics
+    record is placed in ``obs_out["record"]`` (the records list itself
+    stays the collection daemon's, unchanged).
+    """
     world = scenario.make_live_world(seed, TRACE_TRIAL_OFFSET + trial)
+    wobs = attach_observability(world, obs)
     setup_cross_traffic(world,
                         derive_seed(seed, f"cross-trace:{trial}"),
                         duration=MAX_SIM_TIME)
@@ -237,6 +258,10 @@ def collect_trace(scenario: Scenario, seed: int, trial: int,
     proc = world.laptop.spawn(ping.run(span), name="ping")
     _run_until_done(world, proc, cap=span + 30.0)
     world.run(until=world.sim.now + 2.0)  # final daemon drain
+    if wobs is not None and obs_out is not None:
+        obs_out["record"] = wobs.record(kind="collect",
+                                        scenario=scenario.name,
+                                        seed=seed, trial=trial)
     return daemon.records
 
 
@@ -275,31 +300,50 @@ def collect_trace_two_ended(scenario: Scenario, seed: int, trial: int,
 
 def run_modulated_trial(replay: ReplayTrace, runner: BenchmarkRunner,
                         seed: int, trial: int,
-                        compensation_vb: float) -> Dict[str, float]:
-    """One modulated benchmark trial on the isolated Ethernet."""
+                        compensation_vb: float,
+                        obs: Optional[ObsConfig] = None) -> Dict[str, Any]:
+    """One modulated benchmark trial on the isolated Ethernet.
+
+    With ``obs`` set, the modulation layer additionally carries a
+    fidelity audit, and the sink gains an ``"__obs__"`` metrics record
+    including the per-tuple intended-vs-applied delay accounting.
+    """
     world = ModulationWorld(seed=derive_seed(seed, f"mod:{trial}"))
-    install_modulation(world.laptop, world.laptop_device, replay,
-                       world.rngs.stream("modulation"),
-                       compensation_vb=compensation_vb, loop=True)
+    wobs = attach_observability(world, obs)
+    layer = install_modulation(world.laptop, world.laptop_device, replay,
+                               world.rngs.stream("modulation"),
+                               compensation_vb=compensation_vb, loop=True)
+    if wobs is not None:
+        wobs.attach_modulation(layer)
     runner.install_servers(world, seed)
-    sink: Dict[str, float] = {}
+    sink: Dict[str, Any] = {}
     proc = world.laptop.spawn(
         _delayed(world, runner.client_body(world, seed, sink)),
         name=f"{runner.name}-mod")
     _run_until_done(world, proc)
+    if wobs is not None:
+        sink["__obs__"] = wobs.record(kind="modulated", replay=replay.name,
+                                      benchmark=runner.name, seed=seed,
+                                      trial=trial)
     return sink
 
 
 def run_ethernet_trial(runner: BenchmarkRunner, seed: int,
-                       trial: int) -> Dict[str, float]:
+                       trial: int,
+                       obs: Optional[ObsConfig] = None) -> Dict[str, Any]:
     """The unmodulated Ethernet baseline (final row of Figures 6-8)."""
     world = ModulationWorld(seed=derive_seed(seed, f"ether:{trial}"))
+    wobs = attach_observability(world, obs)
     runner.install_servers(world, seed)
-    sink: Dict[str, float] = {}
+    sink: Dict[str, Any] = {}
     proc = world.laptop.spawn(
         _delayed(world, runner.client_body(world, seed, sink)),
         name=f"{runner.name}-ether")
     _run_until_done(world, proc)
+    if wobs is not None:
+        sink["__obs__"] = wobs.record(kind="ethernet",
+                                      benchmark=runner.name, seed=seed,
+                                      trial=trial)
     return sink
 
 

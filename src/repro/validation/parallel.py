@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from ..analysis.stats import Summary
 from ..core.distill import DistillationResult, Distiller
 from ..core.replay import ReplayTrace
+from ..obs import ObsConfig
 from ..scenarios.base import Scenario
 from .harness import (
     BenchmarkRunner,
@@ -96,6 +97,13 @@ class TrialSpec:
     ``"ethernet"``
         One unmodulated Ethernet baseline trial; returns the metric
         dict.
+
+    ``obs`` (an :class:`~repro.obs.ObsConfig`, itself a frozen
+    primitive-only dataclass, so the spec stays picklable) requests a
+    per-trial metrics record.  Benchmark trials return it inside the
+    sink under ``"__obs__"``; distill trials, whose natural result is a
+    :class:`DistillationResult`, return a
+    ``{"__distill__": ..., "__obs__": ...}`` wrapper instead.
     """
 
     kind: str
@@ -107,6 +115,7 @@ class TrialSpec:
     compensation: float = 0.0
     distiller: Optional[Distiller] = None
     name: str = ""
+    obs: Optional[ObsConfig] = None
 
     def cost_hint(self) -> float:
         """Rough relative wall-clock cost, for longest-first submission.
@@ -133,17 +142,27 @@ def execute_trial(spec: TrialSpec):
     execution agree bit-for-bit.
     """
     if spec.kind == "distill":
+        if spec.obs is not None:
+            obs_out: Dict[str, Dict] = {}
+            records = collect_trace(spec.scenario, spec.seed, spec.trial,
+                                    obs=spec.obs, obs_out=obs_out)
+            result = distill_scenario_trace(records, name=spec.name,
+                                            distiller=spec.distiller)
+            return {"__distill__": result,
+                    "__obs__": obs_out.get("record")}
         records = collect_trace(spec.scenario, spec.seed, spec.trial)
         return distill_scenario_trace(records, name=spec.name,
                                       distiller=spec.distiller)
     if spec.kind == "live":
         return run_live_trial(spec.scenario, spec.runner, spec.seed,
-                              spec.trial)
+                              spec.trial, obs=spec.obs)
     if spec.kind == "modulated":
         return run_modulated_trial(spec.replay, spec.runner, spec.seed,
-                                   spec.trial, spec.compensation)
+                                   spec.trial, spec.compensation,
+                                   obs=spec.obs)
     if spec.kind == "ethernet":
-        return run_ethernet_trial(spec.runner, spec.seed, spec.trial)
+        return run_ethernet_trial(spec.runner, spec.seed, spec.trial,
+                                  obs=spec.obs)
     raise ValueError(f"unknown trial kind {spec.kind!r}")
 
 
@@ -285,10 +304,19 @@ def _executor_for(workers: Optional[int],
 # Parallel twins of the harness entry points
 # ======================================================================
 def _distill_specs(scenario: Scenario, seed: int, trials: int,
-                   distiller: Optional[Distiller]) -> List[TrialSpec]:
+                   distiller: Optional[Distiller],
+                   obs: Optional[ObsConfig] = None) -> List[TrialSpec]:
     return [TrialSpec(kind="distill", seed=seed, trial=t, scenario=scenario,
-                      distiller=distiller, name=f"{scenario.name}-{t}")
+                      distiller=distiller, name=f"{scenario.name}-{t}",
+                      obs=obs)
             for t in range(trials)]
+
+
+def _unwrap_distill(result) -> tuple:
+    """(DistillationResult, metrics record | None) from a worker result."""
+    if isinstance(result, dict) and "__distill__" in result:
+        return result["__distill__"], result.get("__obs__")
+    return result, None
 
 
 def _assemble_validation(scenario: Scenario, runner: BenchmarkRunner,
@@ -361,13 +389,25 @@ def ethernet_baseline_parallel(runner: BenchmarkRunner, seed: int = 0,
 def characterize_scenario_parallel(scenario: Scenario, seed: int = 0,
                                    trials: int = 4,
                                    workers: Optional[int] = None,
-                                   executor: Optional[TrialExecutor] = None):
-    """Parallel version of :func:`repro.validation.figures.characterize_scenario`."""
+                                   executor: Optional[TrialExecutor] = None,
+                                   obs: Optional[ObsConfig] = None,
+                                   trial_metrics: Optional[List[Dict]] = None):
+    """Parallel version of :func:`repro.validation.figures.characterize_scenario`.
+
+    With ``obs`` set, each traversal's metrics record is appended to
+    the caller-supplied ``trial_metrics`` list in trial order.
+    """
     from .figures import ScenarioCharacterization
 
     exe, owned = _executor_for(workers, executor)
     try:
-        distillations = exe.map(_distill_specs(scenario, seed, trials, None))
+        results = exe.map(_distill_specs(scenario, seed, trials, None, obs))
+        distillations = []
+        for result in results:
+            dist, record = _unwrap_distill(result)
+            distillations.append(dist)
+            if record is not None and trial_metrics is not None:
+                trial_metrics.append(record)
         return ScenarioCharacterization(scenario=scenario,
                                         distillations=distillations)
     finally:
@@ -386,6 +426,11 @@ class ValidationSweep:
     validations: List[ScenarioValidation] = field(default_factory=list)
     baseline: Optional[Dict[str, Summary]] = None
     workers_used: int = 1
+    # One metrics record per trial (collect, live, modulated, ethernet)
+    # when the sweep ran with an ObsConfig; empty otherwise.  Ordered
+    # deterministically: per scenario, collections then live then
+    # modulated (variant-major), then the baseline trials.
+    trial_metrics: List[Dict] = field(default_factory=list)
 
     def render(self, title: Optional[str] = None, caption: str = "") -> str:
         """The Figures 6–8 style table for this sweep.
@@ -413,7 +458,8 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
                    compensation: Optional[float] = None,
                    baseline: bool = False,
                    workers: Optional[int] = None,
-                   executor: Optional[TrialExecutor] = None
+                   executor: Optional[TrialExecutor] = None,
+                   obs: Optional[ObsConfig] = None
                    ) -> ValidationSweep:
     """Run the paper's validation protocol over one or more scenarios.
 
@@ -443,19 +489,19 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
         nodep_specs: List[TrialSpec] = []
         for scenario in scenarios:
             nodep_specs.extend(
-                _distill_specs(scenario, seed, trials, distiller))
+                _distill_specs(scenario, seed, trials, distiller, obs))
         for scenario in scenarios:
             for variant in variants:
                 for t in range(trials):
                     nodep_specs.append(TrialSpec(
                         kind="live", seed=seed, trial=t,
-                        scenario=scenario, runner=variant))
+                        scenario=scenario, runner=variant, obs=obs))
         if baseline:
             for variant in variants:
                 for t in range(trials):
                     nodep_specs.append(TrialSpec(
                         kind="ethernet", seed=seed, trial=t,
-                        runner=variant))
+                        runner=variant, obs=obs))
         nodep_futs = exe.submit_all(nodep_specs)
         dist_futs = [nodep_futs[s * trials:(s + 1) * trials]
                      for s in range(n)]
@@ -467,30 +513,51 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
         resolve_order = sorted(
             range(n), key=lambda s: dist_futs[s][0]._spec.cost_hint())
         dist_by_scenario: List[List[DistillationResult]] = [[] for _ in range(n)]
+        collect_records: List[List[Dict]] = [[] for _ in range(n)]
         mod_futs: List[List[_TrialFuture]] = [[] for _ in range(n)]
         for s in resolve_order:
-            dist_by_scenario[s] = [f.result() for f in dist_futs[s]]
+            for f in dist_futs[s]:
+                dist, record = _unwrap_distill(f.result())
+                dist_by_scenario[s].append(dist)
+                if record is not None:
+                    collect_records[s].append(record)
             mod_specs = [TrialSpec(kind="modulated", seed=seed, trial=t,
                                    runner=variant,
                                    replay=dist_by_scenario[s][t].replay,
-                                   compensation=comp)
+                                   compensation=comp, obs=obs)
                          for variant in variants for t in range(trials)]
             mod_futs[s] = exe.submit_all(mod_specs)
 
         # ---- reassembly ---------------------------------------------
+        # Metrics records are pulled out of the sinks here, in a fixed
+        # order (per scenario: collections, then live and modulated
+        # variant-major; baseline last) — never in completion order.
         sweep = ValidationSweep(benchmark=runner.name,
                                 workers_used=exe.effective_workers)
+
+        def _take_records(runs: List[Dict]) -> List[Dict]:
+            out = []
+            for run in runs:
+                record = run.pop("__obs__", None)
+                if record is not None:
+                    out.append(record)
+            return out
+
         cursor = 0
         for s, scenario in enumerate(scenarios):
+            sweep.trial_metrics.extend(collect_records[s])
             real_by_variant: List[List[Dict[str, float]]] = []
             mod_by_variant: List[List[Dict[str, float]]] = []
             for v, _variant in enumerate(variants):
-                real_by_variant.append(
-                    [f.result() for f in bench_futs[cursor:cursor + trials]])
+                real_runs = [f.result()
+                             for f in bench_futs[cursor:cursor + trials]]
                 cursor += trials
-                mod_by_variant.append(
-                    [f.result()
-                     for f in mod_futs[s][v * trials:(v + 1) * trials]])
+                mod_runs = [f.result()
+                            for f in mod_futs[s][v * trials:(v + 1) * trials]]
+                sweep.trial_metrics.extend(_take_records(real_runs))
+                sweep.trial_metrics.extend(_take_records(mod_runs))
+                real_by_variant.append(real_runs)
+                mod_by_variant.append(mod_runs)
             sweep.validations.append(_assemble_validation(
                 scenario, runner, dist_by_scenario[s],
                 real_by_variant, mod_by_variant))
@@ -500,6 +567,7 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
                 runs = [f.result()
                         for f in bench_futs[cursor:cursor + trials]]
                 cursor += trials
+                sweep.trial_metrics.extend(_take_records(runs))
                 for metric in variant.metrics:
                     out[metric] = Summary.of([r[metric] for r in runs])
             sweep.baseline = out

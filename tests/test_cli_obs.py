@@ -1,0 +1,197 @@
+"""CLI observability tests: --json modes, `repro trace`, --metrics-out.
+
+The expensive end-to-end cases (one traced trial, one instrumented
+validation sweep) double as the acceptance checks: the Chrome trace
+must validate against the schema, the metrics JSONL must carry one
+record per trial, and the validation tables must be byte-identical to
+an uninstrumented run.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_trace
+from repro.cli import main
+from repro.core import ReplayTrace, save_trace
+from repro.core.replay import QualityTuple
+from repro.core.traceformat import (
+    DIR_IN,
+    DIR_OUT,
+    DeviceStatusRecord,
+    LostRecordsRecord,
+    PacketRecord,
+)
+from repro.net.packet import PROTO_ICMP, PROTO_TCP
+from repro.obs import read_jsonl, validate_chrome_trace
+
+
+# ----------------------------------------------------------------------
+# repro info --json
+# ----------------------------------------------------------------------
+def test_info_json_round_trips(tmp_path, capsys):
+    replay = ReplayTrace([
+        QualityTuple(d=2.0, F=5e-3, Vb=5e-6, Vr=1e-6, L=0.0),
+        QualityTuple(d=3.0, F=50e-3, Vb=40e-6, Vr=2e-6, L=0.1),
+    ], name="two-phase")
+    path = str(tmp_path / "replay.json")
+    replay.save(path)
+    assert main(["info", path, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["name"] == "two-phase"
+    assert doc["duration"] == pytest.approx(5.0)
+    assert doc["summary"]["count"] == 2
+    assert doc["summary"]["mean_loss"] == pytest.approx(replay.mean_loss())
+    # The document itself must parse back into an identical trace.
+    rebuilt = ReplayTrace.from_json(json.dumps(doc))
+    assert rebuilt.tuples == replay.tuples
+    assert rebuilt.name == replay.name
+
+
+def test_info_plain_output_unchanged_by_json_flag(tmp_path, capsys):
+    replay = ReplayTrace([QualityTuple(d=1.0, F=0.01, Vb=1e-5,
+                                       Vr=1e-6, L=0.0)], name="x")
+    path = str(tmp_path / "replay.json")
+    replay.save(path)
+    assert main(["info", path]) == 0
+    out = capsys.readouterr().out
+    assert "replay trace 'x'" in out
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(out)
+
+
+# ----------------------------------------------------------------------
+# repro analyze --json
+# ----------------------------------------------------------------------
+def _synthetic_records():
+    return [
+        PacketRecord(timestamp=0.0, direction=DIR_OUT, proto=PROTO_ICMP,
+                     size=84, icmp_type=8, ident=1, seq=0),
+        PacketRecord(timestamp=0.05, direction=DIR_IN, proto=PROTO_ICMP,
+                     size=84, icmp_type=0, ident=1, seq=0, rtt=0.05),
+        PacketRecord(timestamp=0.2, direction=DIR_OUT, proto=PROTO_TCP,
+                     size=1500, src_port=1024, dst_port=21),
+        DeviceStatusRecord(timestamp=0.5, signal_level=20.0,
+                           signal_quality=10.0, silence_level=3.0),
+        LostRecordsRecord(timestamp=0.9, record_type="packet", count=2),
+    ]
+
+
+def test_analyze_json_matches_as_dict(tmp_path, capsys):
+    records = _synthetic_records()
+    path = str(tmp_path / "run.trace")
+    save_trace(path, records)
+    assert main(["analyze", path, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc == analyze_trace(records).as_dict()
+    assert doc["total_packets"] == 3
+    assert doc["by_protocol"]["icmp"]["packets_out"] == 1
+    assert doc["rtt"]["mean"] == pytest.approx(0.05)
+    assert doc["records_lost"] == 2
+
+
+def test_analyze_json_with_filter(tmp_path, capsys):
+    path = str(tmp_path / "run.trace")
+    save_trace(path, _synthetic_records())
+    assert main(["analyze", path, "--filter", "icmp", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["filter"] == "icmp"
+    assert doc["matched"] == 2
+    assert doc["statistics"]["total_packets"] == 2
+    assert "tcp" not in doc["statistics"]["by_protocol"]
+
+
+# ----------------------------------------------------------------------
+# repro trace (one fully instrumented trial)
+# ----------------------------------------------------------------------
+def test_trace_subcommand_end_to_end(tmp_path, capsys):
+    trace_out = str(tmp_path / "trace.json")
+    metrics_out = str(tmp_path / "metrics.jsonl")
+    assert main(["trace", "wean", "--benchmark", "ftp",
+                 "--ftp-bytes", "60000",
+                 "-o", trace_out, "--metrics-out", metrics_out]) == 0
+    out = capsys.readouterr().out
+    assert "Modulation fidelity (intended vs. applied)" in out
+    assert "Packet-lifecycle span events" in out
+
+    with open(trace_out) as f:
+        doc = json.load(f)
+    validate_chrome_trace(doc)
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    (record,) = read_jsonl(metrics_out)
+    assert record["kind"] == "modulated"
+    assert "spans" not in record  # raw spans only go to the Chrome trace
+    assert record["trace"]["spans_recorded"] > 0
+    assert record["modulation"]["totals"]["packets"] > 0
+    assert record["engine"]["events_fired"] > 0
+    assert any(name.endswith("tx_packets")
+               for host in record["hosts"].values()
+               for name in [f"{d['device']}.tx_packets"
+                            for d in host["devices"]])
+
+
+# ----------------------------------------------------------------------
+# repro validate --metrics-out / --trace-out
+# ----------------------------------------------------------------------
+VALIDATE_ARGS = ["validate", "--scenario", "wean", "--benchmark", "ftp",
+                 "--trials", "1", "--ftp-bytes", "120000", "--workers", "2",
+                 "--seed", "0"]
+
+
+@pytest.fixture(scope="module")
+def validate_outputs(tmp_path_factory):
+    """One instrumented + one plain sweep, run once for the module."""
+    import contextlib
+    import io
+
+    tmp = tmp_path_factory.mktemp("validate")
+    metrics_out = str(tmp / "metrics.jsonl")
+    trace_out = str(tmp / "trace.json")
+
+    def run(argv):
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            assert main(argv) == 0
+        return buf.getvalue()
+
+    instrumented = run(VALIDATE_ARGS + ["--metrics-out", metrics_out,
+                                        "--trace-out", trace_out])
+    plain = run(list(VALIDATE_ARGS))
+    return plain, instrumented, metrics_out, trace_out
+
+
+def test_validate_tables_byte_identical_with_observability(validate_outputs):
+    plain, instrumented, _, _ = validate_outputs
+    stripped = "\n".join(line for line in instrumented.splitlines()
+                         if not line.startswith("wrote "))
+    assert stripped.rstrip("\n") == plain.rstrip("\n")
+
+
+def test_validate_emits_one_metrics_record_per_trial(validate_outputs):
+    _, _, metrics_out, _ = validate_outputs
+    records = read_jsonl(metrics_out)
+    # 1 trial, 2 ftp variants: 1 collection + 2 live + 2 modulated.
+    assert len(records) == 5
+    kinds = [r["kind"] for r in records]
+    assert kinds.count("collect") == 1
+    assert kinds.count("live") == 2
+    assert kinds.count("modulated") == 2
+    for record in records:
+        assert record["engine"]["events_fired"] > 0
+        assert record["hosts"]
+        assert isinstance(record["drops"], dict)
+        if record["kind"] == "modulated":
+            assert record["modulation"]["totals"]["packets"] > 0
+
+
+def test_validate_chrome_trace_output_validates(validate_outputs):
+    _, _, _, trace_out = validate_outputs
+    with open(trace_out) as f:
+        doc = json.load(f)
+    validate_chrome_trace(doc)
+    # Per-trial group labels namespace the process names.
+    labels = {e["args"]["name"] for e in doc["traceEvents"]
+              if e.get("name") == "process_name"}
+    assert any(name.startswith("live:wean") for name in labels)
+    assert any(name.startswith("modulated:") for name in labels)

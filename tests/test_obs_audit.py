@@ -1,0 +1,245 @@
+"""Tests for the modulation-fidelity audit and the observability sinks."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.replay import QualityTuple, ReplayTrace
+from repro.obs import (
+    Histogram,
+    ModulationFidelityAudit,
+    ObsConfig,
+    chrome_trace,
+    read_jsonl,
+    render_obs_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.validation import FtpRunner, run_modulated_trial
+
+TICK = 0.01
+
+
+def _tuple(d=5.0, F=0.02, Vb=1e-5, Vr=1e-6, L=0.0):
+    return QualityTuple(d=d, F=F, Vb=Vb, Vr=Vr, L=L)
+
+
+# ----------------------------------------------------------------------
+# ModulationFidelityAudit
+# ----------------------------------------------------------------------
+def test_audit_accumulates_per_tuple():
+    audit = ModulationFidelityAudit(TICK)
+    tup = _tuple()
+    audit.observe(tup, 1000, intended=0.023, applied=0.02, dropped=False)
+    audit.observe(tup, 500, intended=0.021, applied=0.03, dropped=False)
+    audit.observe(tup, 200, intended=0.02, applied=0.0, dropped=True)
+    assert audit.tuples_seen == 1
+    (rec,) = audit.as_records()
+    assert rec["packets"] == 3
+    assert rec["bytes"] == 1700
+    assert rec["dropped"] == 1
+    assert rec["observed_loss"] == pytest.approx(1 / 3)
+    # Dropped packets contribute no delay samples.
+    assert rec["mean_intended_delay"] == pytest.approx((0.023 + 0.021) / 2)
+    assert rec["mean_applied_delay"] == pytest.approx((0.02 + 0.03) / 2)
+    assert rec["mean_rounding_error"] == pytest.approx(
+        ((0.02 - 0.023) + (0.03 - 0.021)) / 2)
+    assert rec["under_delayed"] == 1
+    assert rec["over_delayed"] == 1
+    assert rec["sent_immediately"] == 0
+    assert rec["intended_bandwidth_bps"] == pytest.approx(8.0 / 1e-5)
+
+
+def test_audit_sent_immediately_is_under_delay():
+    audit = ModulationFidelityAudit(TICK)
+    tup = _tuple(F=0.003)
+    audit.observe(tup, 100, intended=0.004, applied=0.0, dropped=False)
+    (rec,) = audit.as_records()
+    assert rec["sent_immediately"] == 1
+    assert rec["under_delayed"] == 1
+
+
+def test_audit_zero_vb_reports_infinite_bandwidth():
+    audit = ModulationFidelityAudit(TICK)
+    audit.observe(_tuple(Vb=0.0), 100, 0.01, 0.01, False)
+    (rec,) = audit.as_records()
+    assert math.isinf(rec["intended_bandwidth_bps"])
+
+
+def test_audit_records_keep_first_enforced_order():
+    audit = ModulationFidelityAudit(TICK)
+    slow, fast = _tuple(F=0.5), _tuple(F=0.001)
+    audit.observe(slow, 10, 0.5, 0.5, False)
+    audit.observe(fast, 10, 0.001, 0.0, False)
+    audit.observe(slow, 10, 0.5, 0.5, False)
+    assert [r["F"] for r in audit.as_records()] == [0.5, 0.001]
+
+
+def test_audit_totals_and_passthrough():
+    audit = ModulationFidelityAudit(TICK)
+    audit.observe(_tuple(), 100, 0.02, 0.02, False)
+    audit.observe(_tuple(F=0.1), 100, 0.1, 0.0, True)
+    audit.observe_passthrough()
+    totals = audit.totals()
+    assert totals["tuples_enforced"] == 2
+    assert totals["packets"] == 2
+    assert totals["dropped"] == 1
+    assert totals["passthrough"] == 1
+    assert totals["observed_loss"] == pytest.approx(0.5)
+    assert totals["mean_applied_delay"] == pytest.approx(0.02)
+
+
+def test_audit_feeds_delay_histogram():
+    hist = Histogram("modulation.applied_delay", edges=(0.005, 0.05))
+    audit = ModulationFidelityAudit(TICK, delay_histogram=hist)
+    audit.observe(_tuple(), 100, 0.02, 0.02, False)
+    audit.observe(_tuple(), 100, 0.001, 0.0, False)
+    audit.observe(_tuple(L=1.0), 100, 0.02, 0.0, True)  # dropped: no sample
+    assert hist.total == 2
+    assert hist.counts == [1, 1, 0]
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+def test_jsonl_round_trip(tmp_path):
+    path = str(tmp_path / "m.jsonl")
+    records = [{"trial": 0, "x": 1.5}, {"trial": 1, "nested": {"a": [1, 2]}}]
+    assert write_jsonl(path, records) == 2
+    assert read_jsonl(path) == records
+
+
+def test_jsonl_replaces_non_finite_floats(tmp_path):
+    path = str(tmp_path / "m.jsonl")
+    write_jsonl(path, [{"bw": float("inf"), "nan": float("nan")}])
+    (rec,) = read_jsonl(path)  # must parse as strict JSON
+    assert rec["bw"] == "inf"
+    assert rec["nan"] == "nan"
+
+
+def _spans():
+    return [
+        {"t": 0.1, "host": "laptop", "layer": "ip", "event": "send",
+         "trace": 1, "pkt": 10, "size": 1500, "dst": "10.0.0.1"},
+        {"t": 0.2, "host": "laptop", "layer": "mod", "event": "delay",
+         "trace": 1, "pkt": 10, "size": 1500,
+         "intended": 0.023, "applied": 0.02},
+        {"t": 0.3, "host": "server", "layer": "dev", "event": "rx",
+         "trace": 1, "pkt": 10, "size": 1500},
+    ]
+
+
+def test_chrome_trace_structure():
+    doc = chrome_trace([("t0", _spans())])
+    validate_chrome_trace(doc)
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert {"t0:laptop", "t0:server", "ip", "mod", "dev"} <= names
+    # Hosts map to distinct pids; the group label namespaces them.
+    pids = {e["pid"] for e in meta if e["name"] == "process_name"}
+    assert len(pids) == 2
+    # The modulation delay span becomes a complete event with duration.
+    (complete,) = [e for e in events if e["ph"] == "X"]
+    assert complete["name"] == "mod.delay"
+    assert complete["dur"] == pytest.approx(0.02 * 1e6)
+    assert complete["ts"] == pytest.approx(0.2 * 1e6)
+    # Instant events carry the sample type chrome requires.
+    instants = [e for e in events if e["ph"] == "i"]
+    assert instants and all(e["s"] == "t" for e in instants)
+
+
+def test_write_chrome_trace_and_validate(tmp_path):
+    path = str(tmp_path / "trace.json")
+    count = write_chrome_trace(path, [("t0", _spans())])
+    with open(path) as f:
+        doc = json.load(f)
+    validate_chrome_trace(doc)
+    assert len(doc["traceEvents"]) == count
+
+
+def test_validate_chrome_trace_rejects_bad_documents():
+    with pytest.raises(ValueError):
+        validate_chrome_trace({})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": []})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [{"name": "x", "ph": "i"}]})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1}]})
+
+
+# ----------------------------------------------------------------------
+# End-to-end: an audited modulated trial
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def modulated_record():
+    replay = ReplayTrace([
+        QualityTuple(d=10.0, F=0.02, Vb=2e-5, Vr=1e-6, L=0.0),
+        QualityTuple(d=10.0, F=0.002, Vb=5e-6, Vr=1e-6, L=0.05),
+    ], name="synthetic")
+    runner = FtpRunner(nbytes=64 * 1024, direction="send")
+    sink = run_modulated_trial(replay, runner, seed=3, trial=0,
+                               compensation_vb=0.0,
+                               obs=ObsConfig(metrics=True, trace=True,
+                                             spans=True))
+    return sink.pop("__obs__")
+
+
+def test_modulated_record_audits_intended_vs_applied(modulated_record):
+    modulation = modulated_record["modulation"]
+    totals = modulation["totals"]
+    assert totals["packets"] > 0
+    assert totals["tuples_enforced"] >= 1
+    tick = 0.01
+    for rec in modulation["audit"]:
+        assert rec["dropped"] + rec["sent_immediately"] <= rec["packets"]
+        # Applied delays live on the kernel's tick grid, so the mean of
+        # per-packet tick multiples can't exceed intended by a full tick.
+        assert rec["mean_applied_delay"] < rec["mean_intended_delay"] + tick
+    assert "feed" in modulation
+    assert modulation["feed"]["tuples_consumed"] > 0
+
+
+def test_modulated_record_histogram_matches_deliveries(modulated_record):
+    hist = modulated_record["metrics"]["histograms"][
+        "modulation.applied_delay"]
+    totals = modulated_record["modulation"]["totals"]
+    delivered = totals["packets"] - totals["dropped"]
+    assert hist["total"] == delivered
+    assert sum(hist["counts"]) == delivered
+
+
+def test_modulated_record_chrome_trace_validates(modulated_record):
+    spans = modulated_record["spans"]
+    assert spans
+    doc = chrome_trace([("mod:t0", spans)])
+    validate_chrome_trace(doc)
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+    json.dumps(doc)  # strictly serializable
+
+
+def test_modulated_record_summary_renders(modulated_record):
+    text = render_obs_summary(modulated_record)
+    assert "Per-layer drop counters" in text
+    assert "Packet-lifecycle span events" in text
+    assert "Modulation fidelity (intended vs. applied)" in text
+    assert "Replay feed device" in text
+    assert "Simulation engine" in text
+
+
+def test_observability_does_not_change_benchmark_results():
+    replay = ReplayTrace([QualityTuple(d=10.0, F=0.01, Vb=1e-5,
+                                       Vr=1e-6, L=0.02)], name="det")
+    runner = FtpRunner(nbytes=48 * 1024, direction="send")
+    plain = run_modulated_trial(replay, runner, seed=11, trial=2,
+                                compensation_vb=0.0)
+    traced = run_modulated_trial(replay, runner, seed=11, trial=2,
+                                 compensation_vb=0.0,
+                                 obs=ObsConfig(metrics=True, trace=True,
+                                               spans=True))
+    traced.pop("__obs__")
+    assert traced == plain

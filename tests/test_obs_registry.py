@@ -1,0 +1,117 @@
+"""Tests for the metrics registry (repro.obs.registry)."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+def test_counter_increments():
+    c = Counter("packets", help="frames seen")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert c.name == "packets"
+    assert c.help == "frames seen"
+
+
+def test_gauge_sets_point_in_time_value():
+    g = Gauge("depth")
+    g.set(3.5)
+    g.set(1.0)
+    assert g.value == 1.0
+
+
+def test_histogram_bucket_placement():
+    h = Histogram("delay", edges=(0.01, 0.1, 1.0))
+    # bisect_right: bucket i holds edges[i-1] <= value < edges[i], so a
+    # value exactly on an edge lands in the bucket above it
+    h.observe(0.005)    # first bucket
+    h.observe(0.01)     # second bucket (on the edge)
+    h.observe(0.05)     # second
+    h.observe(0.5)      # third
+    h.observe(2.0)      # overflow
+    assert h.counts == [1, 2, 1, 1]
+    assert h.total == 5
+    assert h.sum == pytest.approx(0.005 + 0.01 + 0.05 + 0.5 + 2.0)
+    assert h.mean == pytest.approx(h.sum / 5)
+
+
+def test_histogram_empty_mean_is_zero():
+    h = Histogram("x", edges=[1.0])
+    assert h.mean == 0.0
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ValueError):
+        Histogram("x", edges=[])
+    with pytest.raises(ValueError):
+        Histogram("x", edges=[1.0, 1.0])
+    with pytest.raises(ValueError):
+        Histogram("x", edges=[2.0, 1.0])
+
+
+def test_histogram_as_dict_round_trips_counts():
+    h = Histogram("delay", edges=(0.1, 0.2))
+    h.observe(0.15)
+    d = h.as_dict()
+    assert d == {"edges": [0.1, 0.2], "counts": [0, 1, 0],
+                 "total": 1, "sum": 0.15, "mean": 0.15}
+    # as_dict returns copies, not live views
+    d["counts"][0] = 99
+    assert h.counts[0] == 0
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("tx")
+    b = reg.counter("tx")
+    assert a is b
+    a.inc()
+    assert reg.snapshot()["counters"]["tx"] == 1
+    assert reg.gauge("depth") is reg.gauge("depth")
+    assert reg.histogram("h", [1.0]) is reg.histogram("h", [1.0])
+
+
+def test_registry_histogram_edge_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.histogram("delay", edges=(0.1, 0.2))
+    with pytest.raises(ValueError):
+        reg.histogram("delay", edges=(0.1, 0.3))
+
+
+def test_collectors_run_only_at_snapshot_time():
+    reg = MetricsRegistry()
+    calls = []
+
+    def collector():
+        calls.append(1)
+        return {"host.dev.drops": 7}
+
+    reg.add_collector(collector)
+    assert calls == []
+    snap = reg.snapshot()
+    assert calls == [1]
+    assert snap["collected"]["host.dev.drops"] == 7
+
+
+def test_snapshot_is_sorted_and_json_friendly():
+    reg = MetricsRegistry()
+    reg.counter("zeta").inc(2)
+    reg.counter("alpha").inc(1)
+    reg.gauge("g").set(0.5)
+    reg.histogram("h", [1.0]).observe(0.5)
+    reg.add_collector(lambda: {"b": 2, "a": 1})
+    snap = reg.snapshot()
+    assert list(snap["counters"]) == ["alpha", "zeta"]
+    assert list(snap["collected"]) == ["a", "b"]
+    assert snap["gauges"] == {"g": 0.5}
+    assert snap["histograms"]["h"]["total"] == 1
+    import json
+    json.dumps(snap)  # must serialize without custom encoders

@@ -1,0 +1,241 @@
+"""Tests for the packet-lifecycle tracer and the per-layer drop paths.
+
+The satellite requirement: every previously orphaned drop counter
+(queue overflow, device down, TCP no-conn, UDP no-port, the IP drops)
+must be forced here and show up in the tracer's cause accounting, in
+``Host.stats()``, and in the observability rollups.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.hosts import Host
+from repro.net.device import LoopbackDevice
+from repro.net.packet import (
+    IPHeader,
+    Packet,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCPHeader,
+    UDPHeader,
+)
+from repro.net.queue import DropTailQueue
+from repro.obs import LifecycleTracer, ObsConfig, WorldObservability
+
+
+# ----------------------------------------------------------------------
+# Tracer mechanics
+# ----------------------------------------------------------------------
+def test_event_records_span_with_sim_time(sim):
+    tracer = LifecycleTracer(sim)
+    pkt = Packet(payload_bytes=100)
+    sim.schedule(2.0, lambda: tracer.event("laptop", "dev", "tx", pkt,
+                                           device="lo0"))
+    sim.run()
+    assert len(tracer.spans) == 1
+    span = tracer.spans[0]
+    assert span["t"] == pytest.approx(2.0)
+    assert span["host"] == "laptop"
+    assert span["layer"] == "dev"
+    assert span["event"] == "tx"
+    assert span["trace"] == 1
+    assert span["pkt"] == pkt.packet_id
+    assert span["device"] == "lo0"
+
+
+def test_trace_id_shared_by_clones(sim):
+    tracer = LifecycleTracer(sim)
+    original = Packet(payload_bytes=10)
+    tid = tracer.trace_id_for(original)
+    clone = original.clone()
+    assert clone.packet_id != original.packet_id
+    assert tracer.trace_id_for(clone) == tid
+
+
+def test_trace_id_inherited_by_fragments(sim):
+    tracer = LifecycleTracer(sim)
+    datagram = Packet(payload_bytes=4000)
+    frag = Packet(payload_bytes=1480,
+                  meta={"fragment": (1, 0, 3), "original": datagram})
+    # The fragment is seen first: it must pull the id through the parent.
+    tid = tracer.trace_id_for(frag)
+    assert tracer.trace_id_for(datagram) == tid
+    other = Packet(payload_bytes=10)
+    assert tracer.trace_id_for(other) != tid
+
+
+def test_span_limit_counts_overruns(sim):
+    tracer = LifecycleTracer(sim, limit=2)
+    pkt = Packet()
+    for _ in range(5):
+        tracer.event("h", "dev", "tx", pkt)
+    assert len(tracer.spans) == 2
+    assert tracer.dropped_spans == 3
+    summary = tracer.summary()
+    assert summary["spans_recorded"] == 2
+    assert summary["spans_dropped"] == 3
+    # Aggregated counts keep counting past the limit.
+    assert summary["by_layer_event"]["dev.tx"] == 5
+
+
+def test_drop_counts_causes_and_disabled_tracer_is_silent(sim):
+    tracer = LifecycleTracer(sim)
+    pkt = Packet()
+    tracer.drop("h", "ip", pkt, "no_route", dst="10.9.9.9")
+    tracer.drop("h", "ip", pkt, "no_route", dst="10.9.9.9")
+    tracer.drop("h", "dev", pkt, "queue_full")
+    assert tracer.drop_counts == {"no_route": 2, "queue_full": 1}
+    assert tracer.spans[-1]["cause"] == "queue_full"
+    tracer.enabled = False
+    tracer.drop("h", "ip", pkt, "no_route")
+    tracer.event("h", "ip", "send", pkt)
+    assert tracer.drop_counts["no_route"] == 2
+    assert len(tracer.spans) == 3
+
+
+def test_spans_for_trace_filters_by_id(sim):
+    tracer = LifecycleTracer(sim)
+    a, b = Packet(), Packet()
+    tracer.event("h", "ip", "send", a)
+    tracer.event("h", "ip", "send", b)
+    tracer.event("h", "dev", "tx", a)
+    tid = a.meta["trace_id"]
+    assert [s["layer"] for s in tracer.spans_for_trace(tid)] == ["ip", "dev"]
+
+
+# ----------------------------------------------------------------------
+# Forced drop paths, surfaced through Host.stats() and the rollups
+# ----------------------------------------------------------------------
+def _observed_host(sim, forwarding=False, default_route=True):
+    """A single-host 'world' with full observability attached."""
+    host = Host(sim, "laptop", "10.0.0.2", forwarding=forwarding)
+    dev = LoopbackDevice(sim, "lo0")
+    host.add_device(dev, default=default_route)
+    world = SimpleNamespace(sim=sim, laptop=host, cross_hosts=())
+    wobs = WorldObservability(world, ObsConfig(metrics=True, trace=True,
+                                               spans=True))
+    return host, dev, wobs
+
+
+def test_queue_full_drop_path(sim):
+    host, dev, wobs = _observed_host(sim)
+    dev.queue = DropTailQueue(max_packets=0, name="lo0.txq")
+    dev.send(Packet(payload_bytes=64))
+    assert dev.tx_drops == 1
+    assert dev.queue.dropped == 1
+    assert wobs.tracer.drop_counts == {"queue_full": 1}
+    stats = host.stats()
+    assert stats["devices"][0]["tx_drops"] == 1
+    assert stats["devices"][0]["queue"]["dropped"] == 1
+    assert wobs.drop_rollup()["laptop.lo0.queue_full"] == 1
+
+
+def test_device_down_drop_path(sim):
+    host, dev, wobs = _observed_host(sim)
+    dev.up = False
+    dev.send(Packet(payload_bytes=64))
+    dev.handle_receive(Packet(payload_bytes=64))
+    assert dev.tx_drops == 1
+    assert dev.rx_packets == 0
+    assert wobs.tracer.drop_counts == {"device_down": 2}
+    assert host.stats()["devices"][0]["tx_drops"] == 1
+
+
+def test_tcp_no_conn_drop_path(sim):
+    host, dev, wobs = _observed_host(sim)
+    stray = Packet(ip=IPHeader(src="10.0.0.9", dst=host.address,
+                               proto=PROTO_TCP),
+                   tcp=TCPHeader(src_port=5555, dst_port=4444,
+                                 flags=TCPHeader.ACK))
+    host.tcp.input(stray)
+    assert host.tcp.dropped_no_conn == 1
+    assert wobs.tracer.drop_counts["no_conn"] == 1
+    assert host.stats()["tcp"]["dropped_no_conn"] == 1
+    assert wobs.drop_rollup()["laptop.tcp.no_conn"] == 1
+
+
+def test_udp_no_port_drop_path(sim):
+    host, dev, wobs = _observed_host(sim)
+    stray = Packet(ip=IPHeader(src="10.0.0.9", dst=host.address,
+                               proto=PROTO_UDP),
+                   udp=UDPHeader(src_port=5555, dst_port=7))
+    host.udp.input(stray)
+    assert host.udp.dropped_no_port == 1
+    assert wobs.tracer.drop_counts["no_port"] == 1
+    assert host.stats()["udp"]["dropped_no_port"] == 1
+    assert wobs.drop_rollup()["laptop.udp.no_port"] == 1
+
+
+def test_ip_no_route_drop_path(sim):
+    host, dev, wobs = _observed_host(sim, default_route=False)
+    pkt = Packet(ip=IPHeader(src=host.address, dst="10.9.9.9",
+                             proto=PROTO_UDP))
+    host.ip.output(pkt)
+    assert host.ip.dropped_no_route == 1
+    assert wobs.tracer.drop_counts == {"no_route": 1}
+    assert host.stats()["ip"]["dropped_no_route"] == 1
+    assert wobs.drop_rollup()["laptop.ip.no_route"] == 1
+
+
+def test_ip_not_mine_drop_path(sim):
+    host, dev, wobs = _observed_host(sim)
+    pkt = Packet(ip=IPHeader(src="10.0.0.9", dst="10.0.0.77",
+                             proto=PROTO_UDP))
+    host.ip.input(pkt)
+    assert host.ip.dropped_not_mine == 1
+    assert wobs.tracer.drop_counts == {"not_mine": 1}
+    assert host.stats()["ip"]["dropped_not_mine"] == 1
+
+
+def test_ip_ttl_drop_path_on_forwarder(sim):
+    host, dev, wobs = _observed_host(sim, forwarding=True)
+    pkt = Packet(ip=IPHeader(src="10.0.0.9", dst="10.0.0.77",
+                             proto=PROTO_UDP, ttl=1))
+    host.ip.input(pkt)
+    assert host.ip.dropped_ttl == 1
+    assert wobs.tracer.drop_counts == {"ttl": 1}
+    assert host.stats()["ip"]["dropped_ttl"] == 1
+    assert wobs.drop_rollup()["laptop.ip.ttl"] == 1
+
+
+def test_reassembly_timeout_drop_path(sim):
+    host, dev, wobs = _observed_host(sim)
+    original = Packet(ip=IPHeader(src="10.0.0.9", dst=host.address,
+                                  proto=PROTO_UDP),
+                      payload_bytes=4000)
+    frag = Packet(ip=IPHeader(src="10.0.0.9", dst=host.address,
+                              proto=PROTO_UDP, ident=7),
+                  payload_bytes=1480,
+                  meta={"fragment": (7, 0, 3), "original": original})
+    host.ip.input(frag)  # only 1 of 3 fragments ever arrives
+    assert host.ip.reassembler.pending == 1
+    sim.run(until=31.0)
+    assert host.ip.reassembler.timed_out == 1
+    assert host.ip.reassembler.pending == 0
+    assert wobs.tracer.drop_counts == {"reassembly_timeout": 1}
+    assert host.stats()["ip"]["reassembly_timeouts"] == 1
+    assert wobs.drop_rollup()["laptop.ip.reassembly_timeout"] == 1
+
+
+def test_registry_collectors_surface_host_counters(sim):
+    host, dev, wobs = _observed_host(sim, default_route=False)
+    host.ip.output(Packet(ip=IPHeader(src=host.address, dst="10.9.9.9",
+                                      proto=PROTO_UDP)))
+    collected = wobs.registry.snapshot()["collected"]
+    assert collected["laptop.ip.dropped_no_route"] == 1
+    assert "laptop.kernel.callouts_fired" in collected
+    assert "engine.events_scheduled" in collected
+
+
+def test_record_has_hosts_drops_trace_sections(sim):
+    host, dev, wobs = _observed_host(sim)
+    dev.send(Packet(payload_bytes=64))
+    sim.run()
+    record = wobs.record(kind="unit", trial=0)
+    assert record["kind"] == "unit"
+    assert record["hosts"]["laptop"]["devices"][0]["tx_packets"] == 1
+    assert "laptop.lo0.queue_full" in record["drops"]
+    assert record["trace"]["by_layer_event"]["dev.tx"] == 1
+    assert record["spans"], "spans requested but missing"
+    assert record["engine"]["events_fired"] >= 1

@@ -330,3 +330,59 @@ def test_pending_count_is_constant_time_bookkeeping(sim):
     assert sim.pending_count() == 50
     sim.run()
     assert sim.pending_count() == 0
+
+
+# ----------------------------------------------------------------------
+# PerfCounters snapshot edge cases
+# ----------------------------------------------------------------------
+def test_stats_accumulate_across_multiple_runs(sim):
+    """runs / wall_time / events_fired keep accumulating over run() calls."""
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    first = sim.stats()
+    assert first.runs == 1
+    sim.schedule(2.0, lambda: None)
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    second = sim.stats()
+    assert second.runs == 2
+    assert second.events_fired == first.events_fired + 2
+    assert second.events_scheduled == first.events_scheduled + 2
+    assert second.wall_time >= first.wall_time
+
+
+def test_stats_snapshot_is_immutable_and_detached(sim):
+    """A snapshot neither tracks later engine activity nor allows writes."""
+    import dataclasses
+
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    snap = sim.stats()
+    fired_then = snap.events_fired
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert snap.events_fired == fired_then  # detached from the engine
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        snap.events_fired = 999
+
+
+def test_stats_as_dict_round_trips_into_perfcounters(sim):
+    from repro.sim.perf import PerfCounters
+
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.schedule(9.0, lambda: None).cancel()
+    sim.run()
+    snap = sim.stats()
+    d = snap.as_dict()
+    assert d["events_per_sec"] == snap.events_per_sec
+    rebuilt = PerfCounters(**{k: v for k, v in d.items()
+                              if k != "events_per_sec"})
+    assert rebuilt == snap
+
+
+def test_stats_events_per_sec_zero_without_wall_time():
+    from repro.sim.perf import PerfCounters
+
+    assert PerfCounters().events_per_sec == 0.0
+    assert PerfCounters(events_fired=10, wall_time=2.0).events_per_sec == 5.0
