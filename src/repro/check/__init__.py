@@ -1,0 +1,56 @@
+"""repro.check: invariant monitors, golden masters, pipeline fuzzing.
+
+Three pillars of correctness tooling over the emulator (all riding on
+the ``repro.obs`` observability layer — no new hot-path hooks):
+
+* :mod:`repro.check.invariants` — post-trial monitors asserting packet
+  conservation, clock sanity, tick alignment, bounded under-delay,
+  FIFO ordering, TCP sequence sanity and replay well-formedness;
+* :mod:`repro.check.runner` — ``check_scenario``/``check_all`` drive
+  the monitors over full traced pipeline runs (CLI: ``repro check``),
+  plus the mutation hook CI uses to prove the monitors can fail;
+* :mod:`repro.check.golden` — the checked-in golden-master corpus and
+  its tolerance-aware differ.
+
+The Hypothesis property suite lives in ``tests/test_check_properties.py``
+(`pytest -m check` selects the whole tier).
+"""
+
+from .golden import (DEFAULT_GOLDEN_DIR, compare, diff_replay, diff_text,
+                     golden_replay, golden_table, regenerate)
+from .invariants import (ALL_MONITORS, CheckContext, ClockSanityMonitor,
+                         DelayBoundMonitor, FifoOrderMonitor,
+                         InvariantMonitor, InvariantViolation,
+                         PacketConservationMonitor, TcpSanityMonitor,
+                         TickAlignmentMonitor, WellFormednessMonitor,
+                         run_monitors)
+from .runner import (CheckReport, StageResult, check_all, check_scenario,
+                     inject_tick_undershoot, smoke_check)
+
+__all__ = [
+    "ALL_MONITORS",
+    "CheckContext",
+    "CheckReport",
+    "ClockSanityMonitor",
+    "DEFAULT_GOLDEN_DIR",
+    "DelayBoundMonitor",
+    "FifoOrderMonitor",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "PacketConservationMonitor",
+    "StageResult",
+    "TcpSanityMonitor",
+    "TickAlignmentMonitor",
+    "WellFormednessMonitor",
+    "check_all",
+    "check_scenario",
+    "compare",
+    "diff_replay",
+    "diff_text",
+    "golden_replay",
+    "golden_table",
+    "inject_tick_undershoot",
+    "regenerate",
+    "run_monitors",
+    "smoke_check",
+]

@@ -1,0 +1,778 @@
+"""Runtime invariant monitors over one instrumented trial.
+
+Every monitor reads state the PR-2 observability layer already exposes
+— tracer span/drop counts, :meth:`Host.stats` counters, the modulation
+fidelity audit — and asserts the conservation laws and sanity
+conditions the emulator is supposed to keep by construction.  No new
+hot-path hooks: a monitor runs *after* a trial, over a finished world.
+
+The invariants deliberately mirror the paper's §5.4 error analysis:
+
+* **packet conservation** — at every layer, packets sent must equal
+  packets delivered plus drops with an accounted cause;
+* **clock sanity** — simulated time is monotone and the engine's
+  event accounting balances;
+* **tick alignment** — every modulated release lands on the host
+  kernel's 10 ms callout grid (or was legitimately sent immediately);
+* **bounded under-delay** — the tick-rounding policy may under-account
+  a packet's delay by strictly less than one tick, never more;
+* **FIFO ordering** — the replay feed consumes tuples in trace order
+  and every transmit queue drains in arrival order;
+* **TCP sequence-space sanity** — ``snd_una ≤ snd_nxt ≤ snd_max`` on
+  every connection;
+* **replay well-formedness** — every distilled quality tuple
+  ``⟨d, F, Vb, Vr, L⟩`` is finite and in range, and collected trace
+  records are well-formed with monotone timestamps.
+
+A failed check is a structured :class:`InvariantViolation` carrying the
+monitor, the invariant name, and — where one exists — the offending
+packet's trace id.  Monitors *return* violations rather than raising,
+so one broken invariant cannot mask another.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..core.distill import DistillationResult
+from ..core.replay import ReplayTrace
+from ..core.traceformat import (DeviceStatusRecord, LostRecordsRecord,
+                                PacketRecord)
+
+# Absolute slack for float comparisons on simulated timestamps.  Sim
+# times stay under ~1e4 s, where double rounding error is < 1e-9.
+TIME_EPS = 1e-9
+
+
+class InvariantViolation(Exception):
+    """One broken invariant, with enough structure to act on.
+
+    ``monitor``
+        The monitor that found it (e.g. ``"conservation"``).
+    ``invariant``
+        The specific law broken (e.g. ``"queue_balance"``).
+    ``message``
+        Human-readable statement with the numbers that disagree.
+    ``trace``
+        The offending packet's lifecycle trace id, when the violation
+        is attributable to a single packet; ``None`` for aggregate
+        violations.
+    ``details``
+        The raw values behind the message, JSON-friendly.
+    """
+
+    def __init__(self, monitor: str, invariant: str, message: str,
+                 trace: Optional[int] = None, **details: Any):
+        super().__init__(f"[{monitor}.{invariant}] {message}")
+        self.monitor = monitor
+        self.invariant = invariant
+        self.message = message
+        self.trace = trace
+        self.details = details
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "monitor": self.monitor,
+            "invariant": self.invariant,
+            "message": self.message,
+        }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        if self.details:
+            out["details"] = self.details
+        return out
+
+
+@dataclass
+class CheckContext:
+    """Everything a monitor may inspect after one trial.
+
+    Any field may be ``None``; each monitor checks what is present and
+    silently skips what is not, so the same monitor list runs over a
+    collection traversal (no modulation layer), a live trial (no
+    replay) and a modulated trial (no wireless medium).
+    """
+
+    kind: str                      # "collect" | "live" | "modulated" | ...
+    label: str = ""
+    world: Any = None              # LiveWorld / ModulationWorld
+    obs: Any = None                # WorldObservability
+    layer: Any = None              # ModulationLayer
+    replay: Optional[ReplayTrace] = None
+    distillation: Optional[DistillationResult] = None
+    records: Optional[Sequence] = None   # collected trace records
+
+    @property
+    def tracer(self):
+        return self.obs.tracer if self.obs is not None else None
+
+    def hosts(self) -> List:
+        if self.world is None:
+            return []
+        from ..obs.wiring import world_hosts
+        return world_hosts(self.world)
+
+
+class InvariantMonitor:
+    """Base class: one family of invariants over a CheckContext."""
+
+    name = "monitor"
+
+    def check(self, ctx: CheckContext) -> List[InvariantViolation]:
+        raise NotImplementedError
+
+    def violation(self, invariant: str, message: str,
+                  trace: Optional[int] = None,
+                  **details: Any) -> InvariantViolation:
+        return InvariantViolation(self.name, invariant, message,
+                                  trace=trace, **details)
+
+
+# ======================================================================
+# Packet conservation
+# ======================================================================
+class PacketConservationMonitor(InvariantMonitor):
+    """sent == delivered + accounted drops, at every layer.
+
+    Cross-checks three independent ledgers of the same traffic: the
+    per-object counters in :meth:`Host.stats`, the tracer's aggregated
+    span counts (exact even past the span buffer limit), and the
+    tracer's drop-cause counts.
+    """
+
+    name = "conservation"
+
+    def check(self, ctx: CheckContext) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        hosts = ctx.hosts()
+        for host in hosts:
+            for device in host.devices:
+                q = device.queue
+                depth = len(q)
+                if q.enqueued != q.dequeued + depth:
+                    out.append(self.violation(
+                        "queue_balance",
+                        f"{host.name}.{device.name}: enqueued "
+                        f"{q.enqueued} != dequeued {q.dequeued} "
+                        f"+ depth {depth}",
+                        host=host.name, device=device.name,
+                        enqueued=q.enqueued, dequeued=q.dequeued,
+                        depth=depth))
+                if device.tx_packets != q.dequeued:
+                    out.append(self.violation(
+                        "tx_equals_dequeued",
+                        f"{host.name}.{device.name}: tx_packets "
+                        f"{device.tx_packets} != queue dequeued "
+                        f"{q.dequeued}",
+                        host=host.name, device=device.name,
+                        tx_packets=device.tx_packets,
+                        dequeued=q.dequeued))
+        tracer = ctx.tracer
+        if tracer is not None and hosts:
+            out.extend(self._tracer_checks(ctx, tracer, hosts))
+        if ctx.layer is not None:
+            out.extend(self._modulation_checks(ctx))
+        return out
+
+    # ------------------------------------------------------------------
+    def _tracer_checks(self, ctx, tracer, hosts) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        sc = tracer.span_counts
+        dc = tracer.drop_counts
+
+        # Device layer: every enqueued frame was transmitted or is
+        # still sitting in a queue at end of run.  (Only host devices
+        # carry tracer scopes; bridge ports are outside this ledger.)
+        enq = sc.get(("dev", "enqueue"), 0)
+        tx = sc.get(("dev", "tx"), 0)
+        depth = sum(len(d.queue) for h in hosts for d in h.devices)
+        if enq != tx + depth:
+            out.append(self.violation(
+                "device_balance",
+                f"dev.enqueue {enq} != dev.tx {tx} + residual queue "
+                f"depth {depth}", enqueue=enq, tx=tx, depth=depth))
+
+        # Queue-full drops: tracer cause count vs. queue counters.
+        queue_full = sum(d.queue.dropped for h in hosts for d in h.devices)
+        if dc.get("queue_full", 0) != queue_full:
+            out.append(self.violation(
+                "queue_full_drops",
+                f"traced queue_full drops {dc.get('queue_full', 0)} != "
+                f"sum of queue dropped counters {queue_full}",
+                traced=dc.get("queue_full", 0), counted=queue_full))
+
+        # Device-down drops: the tx-side ones are double-counted in
+        # tx_drops; rx-side ones appear only in the tracer, so the
+        # tracer count must dominate the counter-derived lower bound.
+        down_lower = sum(d.tx_drops - d.queue.dropped
+                         for h in hosts for d in h.devices)
+        if dc.get("device_down", 0) < down_lower:
+            out.append(self.violation(
+                "device_down_drops",
+                f"traced device_down drops {dc.get('device_down', 0)} "
+                f"< tx-side down drops {down_lower}",
+                traced=dc.get("device_down", 0), lower_bound=down_lower))
+
+        # Wireless medium: every frame the channel carried was either
+        # lost to fading or delivered to at least one radio (broadcast
+        # fan-out can deliver clones to several).
+        medium = getattr(ctx.world, "medium", None)
+        if medium is not None:
+            if dc.get("channel_loss", 0) != medium.frames_lost:
+                out.append(self.violation(
+                    "channel_loss_drops",
+                    f"traced channel_loss drops "
+                    f"{dc.get('channel_loss', 0)} != medium frames_lost "
+                    f"{medium.frames_lost}",
+                    traced=dc.get("channel_loss", 0),
+                    counted=medium.frames_lost))
+            delivered = sc.get(("dev", "rx"), 0) + dc.get("device_down", 0)
+            surviving = medium.frames_carried - medium.frames_lost
+            # The medium serializes grants behind its busy flag, so at
+            # most one granted frame can still be in flight (counted
+            # as carried, not yet delivered) when the run stops.
+            if getattr(medium, "_busy", False):
+                surviving -= 1
+            if delivered < surviving:
+                out.append(self.violation(
+                    "medium_delivery",
+                    f"radios received {delivered} frames (incl. down "
+                    f"drops) < frames surviving the channel {surviving}",
+                    received=delivered, surviving=surviving,
+                    carried=medium.frames_carried,
+                    lost=medium.frames_lost))
+
+        # Transport demux drops.
+        no_conn = sum(h.tcp.dropped_no_conn for h in hosts)
+        if dc.get("no_conn", 0) != no_conn:
+            out.append(self.violation(
+                "tcp_demux_drops",
+                f"traced no_conn drops {dc.get('no_conn', 0)} != "
+                f"tcp counters {no_conn}",
+                traced=dc.get("no_conn", 0), counted=no_conn))
+        no_port = sum(h.udp.dropped_no_port for h in hosts)
+        if dc.get("no_port", 0) != no_port:
+            out.append(self.violation(
+                "udp_demux_drops",
+                f"traced no_port drops {dc.get('no_port', 0)} != "
+                f"udp counters {no_port}",
+                traced=dc.get("no_port", 0), counted=no_port))
+
+        # IP drops, cause by cause.
+        ip_causes = {
+            "no_route": sum(h.ip.dropped_no_route for h in hosts),
+            "ttl": sum(h.ip.dropped_ttl for h in hosts),
+            "not_mine": sum(h.ip.dropped_not_mine for h in hosts),
+            "reassembly_timeout": sum(h.ip.reassembler.timed_out
+                                      for h in hosts),
+        }
+        for cause, counted in ip_causes.items():
+            if dc.get(cause, 0) != counted:
+                out.append(self.violation(
+                    "ip_drops",
+                    f"traced {cause} drops {dc.get(cause, 0)} != "
+                    f"ip counters {counted}",
+                    cause=cause, traced=dc.get(cause, 0), counted=counted))
+        return out
+
+    # ------------------------------------------------------------------
+    def _modulation_checks(self, ctx) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        layer = ctx.layer
+        seen = layer.out_packets + layer.in_packets
+        dropped = layer.out_dropped + layer.in_dropped
+        tracer = ctx.tracer
+        if tracer is not None and getattr(layer, "tracer", None) is not None:
+            sc = tracer.span_counts
+            dc = tracer.drop_counts
+            accounted = (sc.get(("mod", "delay"), 0)
+                         + sc.get(("mod", "passthrough"), 0)
+                         + dc.get("modulation_loss", 0))
+            if accounted != seen:
+                out.append(self.violation(
+                    "modulation_balance",
+                    f"mod spans delay+passthrough+loss {accounted} != "
+                    f"packets through the layer {seen}",
+                    accounted=accounted, seen=seen))
+            if dc.get("modulation_loss", 0) != dropped:
+                out.append(self.violation(
+                    "modulation_drops",
+                    f"traced modulation_loss {dc.get('modulation_loss', 0)}"
+                    f" != layer drop counters {dropped}",
+                    traced=dc.get("modulation_loss", 0), counted=dropped))
+        audit = getattr(layer, "audit", None)
+        if audit is not None:
+            totals = audit.totals()
+            if totals["packets"] + totals["passthrough"] != seen:
+                out.append(self.violation(
+                    "audit_balance",
+                    f"audited packets {totals['packets']} + passthrough "
+                    f"{totals['passthrough']} != packets through the "
+                    f"layer {seen}",
+                    audited=totals["packets"],
+                    passthrough=totals["passthrough"], seen=seen))
+            if totals["dropped"] != dropped:
+                out.append(self.violation(
+                    "audit_drops",
+                    f"audited drops {totals['dropped']} != layer drop "
+                    f"counters {dropped}",
+                    audited=totals["dropped"], counted=dropped))
+        return out
+
+
+# ======================================================================
+# Clock sanity
+# ======================================================================
+class ClockSanityMonitor(InvariantMonitor):
+    """Simulated time is monotone; engine event accounting balances."""
+
+    name = "clock"
+
+    def check(self, ctx: CheckContext) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        if ctx.world is None:
+            return out
+        stats = ctx.world.sim.stats()
+        if stats.events_fired > stats.events_scheduled:
+            out.append(self.violation(
+                "fired_bound",
+                f"events fired {stats.events_fired} > scheduled "
+                f"{stats.events_scheduled}",
+                fired=stats.events_fired, scheduled=stats.events_scheduled))
+        balance = (stats.events_scheduled - stats.events_fired
+                   - stats.events_cancelled)
+        if stats.pending != balance:
+            out.append(self.violation(
+                "event_balance",
+                f"pending {stats.pending} != scheduled "
+                f"{stats.events_scheduled} - fired {stats.events_fired} "
+                f"- cancelled {stats.events_cancelled}",
+                pending=stats.pending, balance=balance))
+        tracer = ctx.tracer
+        if tracer is not None:
+            now = ctx.world.sim.now
+            last = -math.inf
+            for span in tracer.spans:
+                t = span["t"]
+                if t < last - TIME_EPS:
+                    out.append(self.violation(
+                        "span_monotonicity",
+                        f"span at t={t:.9f} precedes previous span at "
+                        f"t={last:.9f}", trace=span["trace"],
+                        t=t, previous=last))
+                    break
+                last = t
+            if last > now + TIME_EPS:
+                out.append(self.violation(
+                    "span_in_past",
+                    f"last span at t={last:.9f} is beyond sim.now="
+                    f"{now:.9f}", t=last, now=now))
+        return out
+
+
+# ======================================================================
+# Tick alignment
+# ======================================================================
+class TickAlignmentMonitor(InvariantMonitor):
+    """Modulated releases land on the kernel's 10 ms callout grid.
+
+    The modulator's policy (§3.3): a computed delay under half a tick
+    is applied as zero ("sent immediately"); anything else must resolve
+    to a release time on the tick grid.  The kernel's immediate/rounded
+    callout counters must agree with the audit's view packet-for-packet
+    (the modulation layer is the only ``schedule_rounded`` user in a
+    modulated trial).
+    """
+
+    name = "tick"
+
+    def check(self, ctx: CheckContext) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        layer = ctx.layer
+        if layer is None:
+            return out
+        kernel = layer.host.kernel
+        tick = kernel.tick_resolution
+        tracer = ctx.tracer
+        if tracer is not None:
+            for span in tracer.spans:
+                if span["layer"] != "mod" or span["event"] != "delay":
+                    continue
+                applied = span["applied"]
+                if applied == 0.0:
+                    continue
+                release = span["t"] + applied
+                off_grid = abs(release - round(release / tick) * tick)
+                if off_grid > TIME_EPS:
+                    out.append(self.violation(
+                        "off_grid_release",
+                        f"release at t={release:.9f} is {off_grid:.2e}s "
+                        f"off the {tick * 1e3:.0f} ms tick grid",
+                        trace=span["trace"], release=release,
+                        off_grid=off_grid))
+                if applied < tick / 2.0 - TIME_EPS:
+                    out.append(self.violation(
+                        "sub_half_tick_rounded",
+                        f"applied delay {applied:.9f}s was rounded "
+                        f"instead of sent immediately (< tick/2)",
+                        trace=span["trace"], applied=applied))
+            delays = tracer.span_counts.get(("mod", "delay"), 0)
+            scheduled = (kernel.immediate_callouts
+                         + kernel.rounded_callouts)
+            if scheduled != delays:
+                out.append(self.violation(
+                    "callout_accounting",
+                    f"kernel immediate+rounded callouts {scheduled} != "
+                    f"traced mod.delay events {delays}",
+                    scheduled=scheduled, delays=delays))
+        audit = getattr(layer, "audit", None)
+        if audit is not None:
+            totals = audit.totals()
+            if totals["sent_immediately"] != layer.sent_immediately:
+                out.append(self.violation(
+                    "immediate_accounting",
+                    f"audit sent_immediately {totals['sent_immediately']}"
+                    f" != layer counter {layer.sent_immediately}",
+                    audited=totals["sent_immediately"],
+                    counted=layer.sent_immediately))
+        return out
+
+
+# ======================================================================
+# Bounded under-delay
+# ======================================================================
+class DelayBoundMonitor(InvariantMonitor):
+    """Tick rounding never under-accounts delay by a full tick.
+
+    ``nearest_tick_at`` moves a release by at most half a tick, and the
+    send-immediately path only fires for delays under half a tick, so
+    ``intended - applied < tick`` for every delivered packet — the
+    quantitative version of the paper's §5.4 under-delay artifact.
+    """
+
+    name = "delay_bound"
+
+    def check(self, ctx: CheckContext) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        layer = ctx.layer
+        if layer is None:
+            return out
+        tick = layer.host.kernel.tick_resolution
+        tracer = ctx.tracer
+        if tracer is not None:
+            for span in tracer.spans:
+                if span["layer"] != "mod" or span["event"] != "delay":
+                    continue
+                intended = span["intended"]
+                applied = span["applied"]
+                if applied < -TIME_EPS or intended < -TIME_EPS:
+                    out.append(self.violation(
+                        "negative_delay",
+                        f"negative delay: intended {intended:.9f}s "
+                        f"applied {applied:.9f}s", trace=span["trace"],
+                        intended=intended, applied=applied))
+                    continue
+                under = intended - applied
+                if under > tick + TIME_EPS:
+                    out.append(self.violation(
+                        "under_delay",
+                        f"packet under-delayed by {under * 1e3:.3f} ms "
+                        f"(> one {tick * 1e3:.0f} ms tick): intended "
+                        f"{intended:.6f}s applied {applied:.6f}s",
+                        trace=span["trace"], intended=intended,
+                        applied=applied, under=under))
+        audit = getattr(layer, "audit", None)
+        if audit is not None:
+            for rec in audit.as_records():
+                if rec["packets"] == 0:
+                    continue
+                gap = (rec["mean_intended_delay"]
+                       - rec["mean_applied_delay"])
+                if gap > tick + TIME_EPS:
+                    out.append(self.violation(
+                        "mean_under_delay",
+                        f"tuple F={rec['F']:.4f} Vb={rec['Vb']:.2e}: "
+                        f"mean under-delay {gap * 1e3:.3f} ms exceeds "
+                        f"one tick", F=rec["F"], Vb=rec["Vb"],
+                        mean_gap=gap))
+                if not 0.0 <= rec["observed_loss"] <= 1.0:
+                    out.append(self.violation(
+                        "loss_fraction",
+                        f"observed loss {rec['observed_loss']} outside "
+                        f"[0, 1]", observed=rec["observed_loss"]))
+        return out
+
+
+# ======================================================================
+# FIFO ordering
+# ======================================================================
+def _is_subsequence(needle: Sequence, haystack: Sequence) -> bool:
+    it = iter(haystack)
+    return all(any(x == y for y in it) for x in needle)
+
+
+class FifoOrderMonitor(InvariantMonitor):
+    """Delay-line and queue ordering.
+
+    * The replay feed is a strict FIFO: tuples are enforced in the
+      order the trace lists them (the audit's first-enforced order must
+      be a subsequence of the trace's first-occurrence order).
+    * Every device transmit queue drains in arrival order: the tx span
+      sequence of a device must be a prefix of its enqueue sequence.
+    """
+
+    name = "fifo"
+
+    def check(self, ctx: CheckContext) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        layer = ctx.layer
+        if layer is not None:
+            feed = layer.feed
+            if feed.tuples_consumed > feed.tuples_written:
+                out.append(self.violation(
+                    "feed_balance",
+                    f"feed consumed {feed.tuples_consumed} tuples but "
+                    f"only {feed.tuples_written} were written",
+                    consumed=feed.tuples_consumed,
+                    written=feed.tuples_written))
+            buffered = feed.tuples_written - feed.tuples_consumed
+            if not 0 <= feed.capacity - feed.free_slots == buffered:
+                out.append(self.violation(
+                    "feed_occupancy",
+                    f"feed occupancy {feed.capacity - feed.free_slots} "
+                    f"!= written-consumed {buffered}",
+                    occupancy=feed.capacity - feed.free_slots,
+                    buffered=buffered))
+            audit = getattr(layer, "audit", None)
+            if audit is not None and ctx.replay is not None:
+                enforced = audit.enforced_order()
+                trace_order, seen = [], set()
+                for tup in ctx.replay.tuples:
+                    key = (tup.d, tup.F, tup.Vb, tup.Vr, tup.L)
+                    if key not in seen:
+                        seen.add(key)
+                        trace_order.append(key)
+                if not _is_subsequence(enforced, trace_order):
+                    out.append(self.violation(
+                        "feed_order",
+                        "tuples were enforced out of replay-trace "
+                        "order",
+                        enforced=len(enforced),
+                        trace_tuples=len(trace_order)))
+        tracer = ctx.tracer
+        if tracer is not None and tracer.dropped_spans == 0:
+            by_device: Dict[Any, Dict[str, List[int]]] = {}
+            for span in tracer.spans:
+                if span["layer"] != "dev":
+                    continue
+                event = span["event"]
+                if event not in ("enqueue", "tx"):
+                    continue
+                key = (span["host"], span.get("device"))
+                lists = by_device.setdefault(key,
+                                             {"enqueue": [], "tx": []})
+                lists[event].append(span["pkt"])
+            for (host, device), lists in sorted(by_device.items()):
+                enq, tx = lists["enqueue"], lists["tx"]
+                if tx != enq[:len(tx)]:
+                    out.append(self.violation(
+                        "queue_order",
+                        f"{host}.{device}: transmit order deviates from "
+                        f"enqueue order (queue is not FIFO)",
+                        host=host, device=device,
+                        transmitted=len(tx), enqueued=len(enq)))
+        return out
+
+
+# ======================================================================
+# TCP sequence-space sanity
+# ======================================================================
+class TcpSanityMonitor(InvariantMonitor):
+    """``snd_una ≤ snd_nxt ≤ snd_max`` on every connection, always."""
+
+    name = "tcp"
+
+    def check(self, ctx: CheckContext) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        for host in ctx.hosts():
+            for key, conn in sorted(host.tcp._conns.items()):
+                if not (conn.snd_una <= conn.snd_nxt <= conn.snd_max):
+                    out.append(self.violation(
+                        "send_sequence",
+                        f"{host.name} conn {key}: snd_una "
+                        f"{conn.snd_una} <= snd_nxt {conn.snd_nxt} <= "
+                        f"snd_max {conn.snd_max} violated",
+                        host=host.name, snd_una=conn.snd_una,
+                        snd_nxt=conn.snd_nxt, snd_max=conn.snd_max))
+                if conn.rcv_nxt < 0:
+                    out.append(self.violation(
+                        "recv_sequence",
+                        f"{host.name} conn {key}: negative rcv_nxt "
+                        f"{conn.rcv_nxt}",
+                        host=host.name, rcv_nxt=conn.rcv_nxt))
+        tracer = ctx.tracer
+        if tracer is not None:
+            for span in tracer.spans:
+                if span["layer"] != "tcp" or span["event"] != "tx":
+                    continue
+                if span["seq"] < 0 or span.get("length", 0) < 0:
+                    out.append(self.violation(
+                        "segment_fields",
+                        f"tcp segment with negative seq/length: seq="
+                        f"{span['seq']} length={span.get('length')}",
+                        trace=span["trace"], seq=span["seq"]))
+        return out
+
+
+# ======================================================================
+# Replay-trace and collected-record well-formedness
+# ======================================================================
+class WellFormednessMonitor(InvariantMonitor):
+    """Distilled tuples and collected records are valid by construction.
+
+    ``QualityTuple`` itself enforces ``d > 0`` and ``0 ≤ L ≤ 1``; the
+    distiller must additionally never emit negative costs (its §3.2.2
+    correction step exists precisely to prevent that) or non-finite
+    values, and collected trace records must be well-formed with
+    monotone timestamps (the collection daemon appends in order).
+    """
+
+    name = "wellformed"
+
+    def check(self, ctx: CheckContext) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        if ctx.replay is not None:
+            out.extend(self.check_replay(ctx.replay))
+        dist = ctx.distillation
+        if dist is not None:
+            last = -math.inf
+            for est in dist.estimates:
+                if not all(math.isfinite(v)
+                           for v in (est.time, est.F, est.Vb, est.Vr)):
+                    out.append(self.violation(
+                        "estimate_finite",
+                        f"non-finite parameter estimate at t={est.time}",
+                        time=est.time))
+                if est.F < 0 or est.Vb < 0 or est.Vr < 0:
+                    out.append(self.violation(
+                        "estimate_negative",
+                        f"negative estimate at t={est.time}: "
+                        f"F={est.F} Vb={est.Vb} Vr={est.Vr}",
+                        time=est.time, F=est.F, Vb=est.Vb, Vr=est.Vr))
+                if est.time < last - TIME_EPS:
+                    out.append(self.violation(
+                        "estimate_order",
+                        f"estimate at t={est.time} precedes previous "
+                        f"at t={last}", time=est.time, previous=last))
+                last = max(last, est.time)
+            if dist.groups_used > dist.groups_total:
+                out.append(self.violation(
+                    "group_accounting",
+                    f"groups used {dist.groups_used} > total "
+                    f"{dist.groups_total}", used=dist.groups_used,
+                    total=dist.groups_total))
+            if dist.replies_received > dist.echoes_sent:
+                out.append(self.violation(
+                    "echo_accounting",
+                    f"replies {dist.replies_received} > echoes sent "
+                    f"{dist.echoes_sent}",
+                    replies=dist.replies_received,
+                    echoes=dist.echoes_sent))
+        if ctx.records is not None:
+            out.extend(self.check_records(ctx.records))
+        return out
+
+    # ------------------------------------------------------------------
+    def check_replay(self, replay: ReplayTrace) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        for i, tup in enumerate(replay.tuples):
+            values = (tup.d, tup.F, tup.Vb, tup.Vr, tup.L)
+            if not all(math.isfinite(v) for v in values):
+                out.append(self.violation(
+                    "tuple_finite",
+                    f"tuple {i} has non-finite fields: {values}",
+                    index=i))
+                continue
+            if tup.d <= 0:
+                out.append(self.violation(
+                    "tuple_duration",
+                    f"tuple {i} duration {tup.d} <= 0", index=i,
+                    d=tup.d))
+            if tup.F < 0 or tup.Vb < 0 or tup.Vr < 0:
+                out.append(self.violation(
+                    "tuple_negative_cost",
+                    f"tuple {i} has negative cost: F={tup.F} "
+                    f"Vb={tup.Vb} Vr={tup.Vr}", index=i, F=tup.F,
+                    Vb=tup.Vb, Vr=tup.Vr))
+            if not 0.0 <= tup.L <= 1.0:
+                out.append(self.violation(
+                    "tuple_loss",
+                    f"tuple {i} loss {tup.L} outside [0, 1]",
+                    index=i, L=tup.L))
+        return out
+
+    def check_records(self, records: Iterable) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        last = -math.inf
+        for i, rec in enumerate(records):
+            if isinstance(rec, PacketRecord):
+                if rec.size <= 0:
+                    out.append(self.violation(
+                        "record_size",
+                        f"record {i}: non-positive packet size "
+                        f"{rec.size}", index=i, size=rec.size))
+                if rec.direction not in (0, 1):
+                    out.append(self.violation(
+                        "record_direction",
+                        f"record {i}: direction {rec.direction} not "
+                        f"in/out", index=i, direction=rec.direction))
+            elif isinstance(rec, DeviceStatusRecord):
+                pass  # signal fields are device-scaled, no fixed range
+            elif isinstance(rec, LostRecordsRecord):
+                if rec.count <= 0:
+                    out.append(self.violation(
+                        "lost_records_count",
+                        f"record {i}: lost-records count {rec.count} "
+                        f"<= 0", index=i, count=rec.count))
+            else:
+                out.append(self.violation(
+                    "record_type",
+                    f"record {i}: unknown record type "
+                    f"{type(rec).__name__}", index=i))
+                continue
+            if not math.isfinite(rec.timestamp):
+                out.append(self.violation(
+                    "record_timestamp",
+                    f"record {i}: non-finite timestamp", index=i))
+            elif rec.timestamp < last - TIME_EPS:
+                out.append(self.violation(
+                    "record_order",
+                    f"record {i}: timestamp {rec.timestamp} precedes "
+                    f"previous {last}", index=i,
+                    timestamp=rec.timestamp, previous=last))
+            else:
+                last = max(last, rec.timestamp)
+        return out
+
+
+ALL_MONITORS = (
+    PacketConservationMonitor,
+    ClockSanityMonitor,
+    TickAlignmentMonitor,
+    DelayBoundMonitor,
+    FifoOrderMonitor,
+    TcpSanityMonitor,
+    WellFormednessMonitor,
+)
+
+
+def run_monitors(ctx: CheckContext,
+                 monitors: Optional[Iterable] = None
+                 ) -> List[InvariantViolation]:
+    """Run every monitor over one finished trial; never raises."""
+    out: List[InvariantViolation] = []
+    for monitor in (monitors or [cls() for cls in ALL_MONITORS]):
+        out.extend(monitor.check(ctx))
+    return out

@@ -1,0 +1,233 @@
+"""Driving the invariant monitors over full traced pipeline runs.
+
+``check_scenario`` replays the paper's whole protocol for one scenario
+— a traced collection traversal, distillation, a traced live benchmark
+trial, and a traced modulated trial — and runs every invariant monitor
+over each stage's finished world.  ``check_all`` covers all four
+scenarios; ``smoke_check`` is the single fast configuration CI runs on
+every push.
+
+``inject_tick_undershoot`` is the mutation hook for the CI smoke test:
+it makes the kernel's nearest-tick rounding land one full tick early,
+an off-by-one-tick modulator bug that the delay-bound monitor must
+catch (and a clean run must not).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..hosts.kernel import Kernel
+from ..obs import ObsConfig
+from ..scenarios import ALL_SCENARIOS, scenario_by_name
+from ..scenarios.base import Scenario
+from ..validation.harness import (FtpRunner, collect_trace, compensation_vb,
+                                  distill_scenario_trace, run_live_trial,
+                                  run_modulated_trial)
+from .invariants import (ALL_MONITORS, CheckContext, InvariantViolation,
+                         run_monitors)
+
+# The smoke configuration: the smallest scenario, a transfer short
+# enough for seconds-scale wall clock, still exercising every stage.
+SMOKE_SCENARIO = "wean"
+SMOKE_FTP_BYTES = 100_000
+DEFAULT_FTP_BYTES = 200_000
+
+
+@dataclass
+class StageResult:
+    """One pipeline stage's monitors, plus enough context to read it."""
+
+    stage: str                    # "collect" | "distill" | "live" | "modulated"
+    violations: List[InvariantViolation]
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "ok": self.ok,
+            "violations": [v.as_dict() for v in self.violations],
+            "info": self.info,
+        }
+
+
+@dataclass
+class CheckReport:
+    """Every stage of one scenario's pipeline check."""
+
+    scenario: str
+    seed: int
+    trial: int
+    stages: List[StageResult] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[InvariantViolation]:
+        return [v for stage in self.stages for v in stage.violations]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "trial": self.trial,
+            "ok": self.ok,
+            "stages": [stage.as_dict() for stage in self.stages],
+        }
+
+    def render(self) -> str:
+        lines = [f"check {self.scenario} (seed={self.seed}, "
+                 f"trial={self.trial})"]
+        for stage in self.stages:
+            status = "ok" if stage.ok else \
+                f"{len(stage.violations)} violation(s)"
+            info = ", ".join(f"{k}={v}" for k, v in stage.info.items())
+            lines.append(f"  {stage.stage:<10} {status}"
+                         + (f"  [{info}]" if info else ""))
+            for violation in stage.violations:
+                lines.append(f"    !! {violation}")
+        return "\n".join(lines)
+
+    def raise_if_violations(self) -> None:
+        if self.violations:
+            raise self.violations[0]
+
+
+# ======================================================================
+# Pipeline checking
+# ======================================================================
+def _monitor_instances(monitors: Optional[Iterable]) -> List:
+    if monitors is None:
+        return [cls() for cls in ALL_MONITORS]
+    return list(monitors)
+
+
+def _stage_info(out: Dict[str, Any]) -> Dict[str, Any]:
+    info: Dict[str, Any] = {}
+    wobs = out.get("obs")
+    if wobs is not None and wobs.tracer is not None:
+        info["spans"] = len(wobs.tracer.spans)
+        info["drops"] = sum(wobs.tracer.drop_counts.values())
+    return info
+
+
+def check_scenario(scenario, seed: int = 0, trial: int = 0,
+                   ftp_bytes: int = DEFAULT_FTP_BYTES,
+                   span_limit: int = 250_000,
+                   monitors: Optional[Iterable] = None) -> CheckReport:
+    """Run every invariant monitor over one scenario's full pipeline.
+
+    ``scenario`` may be a :class:`Scenario` or a scenario name.  Each
+    stage (collect, distill, live trial, modulated trial) is checked
+    independently, so a violation upstream still lets the later stages
+    report theirs.
+    """
+    if not isinstance(scenario, Scenario):
+        scenario = scenario_by_name(str(scenario))
+    checks = _monitor_instances(monitors)
+    obs = ObsConfig(metrics=True, trace=True, spans=True,
+                    span_limit=span_limit)
+    report = CheckReport(scenario=scenario.name, seed=seed, trial=trial)
+
+    # 1. Traced collection traversal.
+    out: Dict[str, Any] = {}
+    records = collect_trace(scenario, seed, trial, obs=obs, world_out=out)
+    ctx = CheckContext(kind="collect", label=f"{scenario.name}:collect",
+                       world=out.get("world"), obs=out.get("obs"),
+                       records=records)
+    info = _stage_info(out)
+    info["records"] = len(records)
+    report.stages.append(StageResult("collect", run_monitors(ctx, checks),
+                                     info))
+
+    # 2. Distillation (pure computation: well-formedness only).
+    distillation = distill_scenario_trace(records,
+                                          name=f"{scenario.name}-{trial}")
+    ctx = CheckContext(kind="distill", label=f"{scenario.name}:distill",
+                       replay=distillation.replay,
+                       distillation=distillation)
+    report.stages.append(StageResult(
+        "distill", run_monitors(ctx, checks),
+        {"tuples": len(distillation.replay),
+         "estimates": len(distillation.estimates)}))
+
+    # 3. Traced live benchmark trial.
+    runner = FtpRunner(nbytes=ftp_bytes, direction="send")
+    out = {}
+    run_live_trial(scenario, runner, seed, trial, obs=obs, world_out=out)
+    ctx = CheckContext(kind="live", label=f"{scenario.name}:live",
+                       world=out.get("world"), obs=out.get("obs"))
+    report.stages.append(StageResult("live", run_monitors(ctx, checks),
+                                     _stage_info(out)))
+
+    # 4. Traced modulated trial over the freshly distilled replay.
+    out = {}
+    run_modulated_trial(distillation.replay, runner, seed, trial,
+                        compensation_vb(), obs=obs, world_out=out)
+    ctx = CheckContext(kind="modulated",
+                       label=f"{scenario.name}:modulated",
+                       world=out.get("world"), obs=out.get("obs"),
+                       layer=out.get("layer"),
+                       replay=distillation.replay,
+                       distillation=distillation)
+    info = _stage_info(out)
+    layer = out.get("layer")
+    if layer is not None:
+        info["modulated"] = layer.out_packets + layer.in_packets
+    report.stages.append(StageResult("modulated",
+                                     run_monitors(ctx, checks), info))
+    return report
+
+
+def check_all(scenarios: Optional[Iterable[str]] = None, seed: int = 0,
+              trial: int = 0, ftp_bytes: int = DEFAULT_FTP_BYTES,
+              monitors: Optional[Iterable] = None) -> List[CheckReport]:
+    """`check_scenario` over every scenario (default: all four)."""
+    if scenarios is None:
+        names = [cls.name for cls in ALL_SCENARIOS]
+    else:
+        names = list(scenarios)
+    return [check_scenario(name, seed=seed, trial=trial,
+                           ftp_bytes=ftp_bytes, monitors=monitors)
+            for name in names]
+
+
+def smoke_check(seed: int = 0) -> CheckReport:
+    """The fast configuration CI runs on every push."""
+    return check_scenario(SMOKE_SCENARIO, seed=seed,
+                          ftp_bytes=SMOKE_FTP_BYTES)
+
+
+# ======================================================================
+# Mutation hook (CI's "does the net actually catch fish" test)
+# ======================================================================
+@contextmanager
+def inject_tick_undershoot(ticks: int = 1):
+    """Make nearest-tick rounding land ``ticks`` full ticks early.
+
+    An off-by-one-tick modulator bug: ``schedule_rounded`` still lands
+    releases on the tick grid (so tick *alignment* stays green), but
+    packets are released up to one-and-a-half ticks before their
+    intended delay — which the delay-bound monitor must flag.  The
+    audit's analytic ``applied`` uses the same kernel method, so the
+    books and the actual schedule shift together, exactly like a real
+    rounding regression would.
+    """
+    original = Kernel.nearest_tick_at
+
+    def undershooting(self, when: float) -> float:
+        return original(self, when) - ticks * self.tick_resolution
+
+    Kernel.nearest_tick_at = undershooting
+    try:
+        yield
+    finally:
+        Kernel.nearest_tick_at = original

@@ -12,6 +12,8 @@ it, or export it for modern emulators.
     repro trace      wean --benchmark ftp -o wean.trace.json
     repro export     porter.json --format netem -o porter.sh
     repro compensation
+    repro check      --scenario all          # invariant monitors
+    repro check      --smoke --mutate-tick   # CI mutation smoke
 
 Observability: ``repro trace`` runs one fully-instrumented trial;
 ``validate``/``characterize`` grow ``--metrics-out`` (per-trial JSONL)
@@ -162,6 +164,38 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("compensation",
                    help="measure the testbed's delay-compensation constant")
+
+    p = sub.add_parser(
+        "check",
+        help="run the invariant monitors over traced pipeline runs "
+             "(packet conservation, tick alignment, FIFO ordering, ...)")
+    p.add_argument("--scenario", choices=SCENARIO_NAMES + ["all"],
+                   default="all",
+                   help="scenario to check (default: all four)")
+    p.add_argument("--smoke", action="store_true",
+                   help="the fast CI configuration: wean only, small "
+                        "transfer")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trial", type=int, default=0)
+    p.add_argument("--ftp-bytes", type=int, default=None,
+                   help="live/modulated stage transfer size "
+                        "(default 200 KB)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the reports as machine-readable JSON")
+    p.add_argument("--golden", action="store_true",
+                   help="also diff the golden-master corpus "
+                        "(tests/golden) against freshly generated "
+                        "artifacts")
+    p.add_argument("--golden-rtol", type=float, default=0.0,
+                   help="relative tolerance for --golden number "
+                        "comparison (default 0: byte-identical)")
+    p.add_argument("--regen-golden", action="store_true",
+                   help="regenerate the golden-master corpus and exit "
+                        "(only for intentional behaviour changes)")
+    p.add_argument("--mutate-tick", action="store_true",
+                   help="inject an off-by-one-tick modulator bug and "
+                        "VERIFY the monitors catch it (exit 0 when "
+                        "caught, 2 when missed)")
     return parser
 
 
@@ -399,6 +433,66 @@ def _cmd_compensation(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from .check import (check_all, check_scenario, compare,
+                        inject_tick_undershoot, regenerate, smoke_check)
+    from .check.runner import DEFAULT_FTP_BYTES
+
+    if args.regen_golden:
+        written = regenerate()
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+
+    def run_reports():
+        if args.smoke:
+            return [smoke_check(seed=args.seed)]
+        ftp_bytes = (args.ftp_bytes if args.ftp_bytes is not None
+                     else DEFAULT_FTP_BYTES)
+        if args.scenario == "all":
+            return check_all(seed=args.seed, trial=args.trial,
+                             ftp_bytes=ftp_bytes)
+        return [check_scenario(args.scenario, seed=args.seed,
+                               trial=args.trial, ftp_bytes=ftp_bytes)]
+
+    if args.mutate_tick:
+        # The mutation smoke test: the monitors must FAIL under an
+        # injected off-by-one-tick rounding bug, or they are not
+        # actually guarding anything.
+        with inject_tick_undershoot():
+            report = smoke_check(seed=args.seed)
+        if report.ok:
+            print("MUTATION MISSED: off-by-one-tick bug raised no "
+                  "violation")
+            return 2
+        caught = sorted({f"{v.monitor}.{v.invariant}"
+                         for v in report.violations})
+        print(f"mutation caught: {len(report.violations)} violation(s) "
+              f"by {', '.join(caught)}")
+        return 0
+
+    reports = run_reports()
+    failed = False
+    if args.as_json:
+        print(json.dumps([r.as_dict() for r in reports], indent=1))
+        failed = any(not r.ok for r in reports)
+    else:
+        for report in reports:
+            print(report.render())
+            failed = failed or not report.ok
+    if args.golden:
+        scenarios = None if args.scenario == "all" else [args.scenario]
+        diffs = compare(scenarios=scenarios, rtol=args.golden_rtol)
+        if diffs:
+            failed = True
+            for artifact, lines in sorted(diffs.items()):
+                for line in lines:
+                    print(f"golden {artifact}: {line}")
+        else:
+            print("golden corpus: all artifacts match")
+    return 1 if failed else 0
+
+
 COMMANDS = {
     "collect": _cmd_collect,
     "distill": _cmd_distill,
@@ -409,6 +503,7 @@ COMMANDS = {
     "export": _cmd_export,
     "analyze": _cmd_analyze,
     "compensation": _cmd_compensation,
+    "check": _cmd_check,
 }
 
 

@@ -103,6 +103,15 @@ class ModulationFidelityAudit:
     def tuples_seen(self) -> int:
         return len(self._by_tuple)
 
+    def enforced_order(self) -> List[TupleKey]:
+        """Tuple keys in the order the layer first enforced them.
+
+        The replay feed is a strict FIFO, so this must always be a
+        subsequence of the replay trace's own first-occurrence order —
+        the invariant ``repro.check``'s FIFO monitor asserts.
+        """
+        return list(self._order)
+
     def as_records(self) -> List[Dict[str, Any]]:
         """One JSON-friendly record per tuple, in first-enforced order."""
         records = []

@@ -212,16 +212,26 @@ def _delayed(world, gen) -> Generator[Any, Any, None]:
 
 def run_live_trial(scenario: Scenario, runner: BenchmarkRunner, seed: int,
                    trial: int,
-                   obs: Optional[ObsConfig] = None) -> Dict[str, Any]:
+                   obs: Optional[ObsConfig] = None,
+                   world_out: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
     """One live benchmark trial over the scenario's WaveLAN world.
 
     With ``obs`` set, the returned sink carries the trial's metrics
     record under ``"__obs__"`` alongside the benchmark metrics.
     Attaching observability draws no RNG and schedules nothing, so the
     metric values are identical with or without it.
+
+    ``world_out``, when given, receives the finished ``world`` and its
+    ``obs`` handle — the post-trial state ``repro.check``'s invariant
+    monitors inspect.  (Only for in-process callers: worlds are not
+    picklable, so the parallel harness never uses it.)
     """
     world = scenario.make_live_world(seed, trial)
     wobs = attach_observability(world, obs)
+    if world_out is not None:
+        world_out["world"] = world
+        world_out["obs"] = wobs
     setup_cross_traffic(world, derive_seed(seed, f"cross:{trial}"),
                         duration=MAX_SIM_TIME)
     runner.install_servers(world, seed)
@@ -240,15 +250,20 @@ def run_live_trial(scenario: Scenario, runner: BenchmarkRunner, seed: int,
 def collect_trace(scenario: Scenario, seed: int, trial: int,
                   duration: Optional[float] = None,
                   obs: Optional[ObsConfig] = None,
-                  obs_out: Optional[Dict[str, Any]] = None) -> List:
+                  obs_out: Optional[Dict[str, Any]] = None,
+                  world_out: Optional[Dict[str, Any]] = None) -> List:
     """One trace-collection traversal; returns the trace records.
 
     With ``obs`` set and ``obs_out`` given, the traversal's metrics
     record is placed in ``obs_out["record"]`` (the records list itself
-    stays the collection daemon's, unchanged).
+    stays the collection daemon's, unchanged).  ``world_out`` exposes
+    the finished world/obs pair for in-process invariant checking.
     """
     world = scenario.make_live_world(seed, TRACE_TRIAL_OFFSET + trial)
     wobs = attach_observability(world, obs)
+    if world_out is not None:
+        world_out["world"] = world
+        world_out["obs"] = wobs
     setup_cross_traffic(world,
                         derive_seed(seed, f"cross-trace:{trial}"),
                         duration=MAX_SIM_TIME)
@@ -301,12 +316,17 @@ def collect_trace_two_ended(scenario: Scenario, seed: int, trial: int,
 def run_modulated_trial(replay: ReplayTrace, runner: BenchmarkRunner,
                         seed: int, trial: int,
                         compensation_vb: float,
-                        obs: Optional[ObsConfig] = None) -> Dict[str, Any]:
+                        obs: Optional[ObsConfig] = None,
+                        world_out: Optional[Dict[str, Any]] = None
+                        ) -> Dict[str, Any]:
     """One modulated benchmark trial on the isolated Ethernet.
 
     With ``obs`` set, the modulation layer additionally carries a
     fidelity audit, and the sink gains an ``"__obs__"`` metrics record
     including the per-tuple intended-vs-applied delay accounting.
+    ``world_out`` additionally exposes the finished world, its ``obs``
+    handle and the installed modulation ``layer`` for in-process
+    invariant checking.
     """
     world = ModulationWorld(seed=derive_seed(seed, f"mod:{trial}"))
     wobs = attach_observability(world, obs)
@@ -315,6 +335,10 @@ def run_modulated_trial(replay: ReplayTrace, runner: BenchmarkRunner,
                                compensation_vb=compensation_vb, loop=True)
     if wobs is not None:
         wobs.attach_modulation(layer)
+    if world_out is not None:
+        world_out["world"] = world
+        world_out["obs"] = wobs
+        world_out["layer"] = layer
     runner.install_servers(world, seed)
     sink: Dict[str, Any] = {}
     proc = world.laptop.spawn(

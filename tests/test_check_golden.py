@@ -1,0 +1,117 @@
+"""Golden-master regression tests and differ unit tests.
+
+The per-scenario comparison regenerates each artifact in memory at the
+pinned seed and demands a byte-identical match against the checked-in
+corpus — the determinism contract made enforceable.  When a behaviour
+change is intentional, regenerate with ``repro check --regen-golden``
+and review the diff like any other code change (docs/TESTING.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import (DEFAULT_GOLDEN_DIR, compare, diff_replay,
+                         diff_text, golden_replay)
+from repro.check.golden import scenario_names
+from repro.core.replay import QualityTuple, ReplayTrace
+
+pytestmark = pytest.mark.check
+
+
+# ----------------------------------------------------------------------
+# Corpus regression (one scenario per test so failures localize)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", scenario_names())
+def test_golden_corpus_matches(name):
+    diffs = compare(scenarios=[name])
+    assert diffs == {}, "\n".join(
+        f"{artifact}: {d}" for artifact, ds in diffs.items() for d in ds)
+
+
+def test_corpus_is_checked_in():
+    for name in scenario_names():
+        assert (DEFAULT_GOLDEN_DIR / f"{name}.replay.json").exists()
+        assert (DEFAULT_GOLDEN_DIR / f"{name}.table.txt").exists()
+
+
+def test_missing_golden_reported(tmp_path):
+    diffs = compare(directory=tmp_path, scenarios=["wean"])
+    assert diffs == {
+        "wean.replay.json": ["golden file missing"],
+        "wean.table.txt": ["golden file missing"],
+    }
+
+
+def test_golden_replay_is_deterministic():
+    a = golden_replay("wean")
+    b = golden_replay("wean")
+    assert a.to_json() == b.to_json()
+
+
+# ----------------------------------------------------------------------
+# diff_text
+# ----------------------------------------------------------------------
+def test_diff_text_identical():
+    assert diff_text("a 1.5 b\n", "a 1.5 b\n") == []
+
+
+def test_diff_text_exact_mode_reports_lines():
+    diffs = diff_text("one\ntwo\nthree", "one\nTWO\nthree", rtol=0.0)
+    assert len(diffs) == 1 and "line 2" in diffs[0]
+
+
+def test_diff_text_exact_mode_missing_line():
+    diffs = diff_text("one\ntwo", "one")
+    assert diffs == ["line 2: expected 'two', got '<missing>'"]
+
+
+def test_diff_text_rtol_accepts_close_numbers():
+    assert diff_text("rtt 10.00 ms", "rtt 10.05 ms", rtol=0.01) == []
+
+
+def test_diff_text_rtol_rejects_far_numbers():
+    diffs = diff_text("rtt 10.00 ms", "rtt 12.00 ms", rtol=0.01)
+    assert len(diffs) == 1 and "rtol" in diffs[0]
+
+
+def test_diff_text_rtol_rejects_structure_change():
+    diffs = diff_text("rtt 10.00 ms", "delay 10.00 ms", rtol=0.5)
+    assert len(diffs) == 1 and "structure" in diffs[0]
+
+
+def test_diff_text_label_prefixes():
+    diffs = diff_text("a", "b", label="wean")
+    assert all(d.startswith("wean: ") for d in diffs)
+
+
+# ----------------------------------------------------------------------
+# diff_replay
+# ----------------------------------------------------------------------
+def _trace(*tuples):
+    return ReplayTrace(list(tuples))
+
+
+def test_diff_replay_identical():
+    t = QualityTuple(d=2.0, F=0.02, Vb=1e-5, Vr=1e-6, L=0.1)
+    assert diff_replay(_trace(t, t), _trace(t, t)) == []
+
+
+def test_diff_replay_length_mismatch():
+    t = QualityTuple(d=2.0, F=0.02, Vb=1e-5, Vr=1e-6, L=0.1)
+    diffs = diff_replay(_trace(t, t), _trace(t))
+    assert diffs == ["1 tuples != expected 2"]
+
+
+def test_diff_replay_field_mismatch():
+    a = QualityTuple(d=2.0, F=0.02, Vb=1e-5, Vr=1e-6, L=0.1)
+    b = QualityTuple(d=2.0, F=0.03, Vb=1e-5, Vr=1e-6, L=0.1)
+    diffs = diff_replay(_trace(a), _trace(b))
+    assert len(diffs) == 1 and "tuple 0.F" in diffs[0]
+
+
+def test_diff_replay_rtol_tolerates_drift():
+    a = QualityTuple(d=2.0, F=0.0200, Vb=1e-5, Vr=1e-6, L=0.1)
+    b = QualityTuple(d=2.0, F=0.0201, Vb=1e-5, Vr=1e-6, L=0.1)
+    assert diff_replay(_trace(a), _trace(b), rtol=0.01) == []
+    assert diff_replay(_trace(a), _trace(b), rtol=1e-5) != []

@@ -1,0 +1,331 @@
+"""Unit tests for the repro.check invariant monitors.
+
+Each monitor is exercised both ways: a freshly built (or cleanly run)
+world must produce zero violations, and a deliberately corrupted ledger
+must produce exactly the violation the corruption implies — a monitor
+that cannot fail guards nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check import (
+    CheckContext,
+    ClockSanityMonitor,
+    DelayBoundMonitor,
+    FifoOrderMonitor,
+    InvariantViolation,
+    PacketConservationMonitor,
+    TcpSanityMonitor,
+    TickAlignmentMonitor,
+    WellFormednessMonitor,
+    run_monitors,
+)
+from repro.core.replay import QualityTuple, ReplayTrace
+from repro.core.traceformat import (DeviceStatusRecord, LostRecordsRecord,
+                                    PacketRecord)
+from repro.obs import ObsConfig, attach_observability
+
+pytestmark = pytest.mark.check
+
+
+# ----------------------------------------------------------------------
+# InvariantViolation structure
+# ----------------------------------------------------------------------
+def test_violation_is_structured():
+    v = InvariantViolation("conservation", "queue_balance",
+                           "numbers disagree", trace=17, got=3, want=4)
+    assert isinstance(v, Exception)
+    assert "conservation.queue_balance" in str(v)
+    d = v.as_dict()
+    assert d["monitor"] == "conservation"
+    assert d["invariant"] == "queue_balance"
+    assert d["trace"] == 17
+    assert d["details"] == {"got": 3, "want": 4}
+
+
+def test_violation_without_trace_id_omits_it():
+    d = InvariantViolation("m", "i", "msg").as_dict()
+    assert "trace" not in d and "details" not in d
+
+
+# ----------------------------------------------------------------------
+# Conservation
+# ----------------------------------------------------------------------
+def _observed(world):
+    return attach_observability(world, ObsConfig(metrics=False, trace=True))
+
+
+def test_fresh_world_has_no_violations(mod_world):
+    obs = _observed(mod_world)
+    ctx = CheckContext(kind="test", world=mod_world, obs=obs)
+    assert run_monitors(ctx) == []
+
+
+def test_queue_imbalance_detected(mod_world):
+    mod_world.laptop.devices[0].queue.enqueued += 1
+    ctx = CheckContext(kind="test", world=mod_world)
+    violations = PacketConservationMonitor().check(ctx)
+    assert [v.invariant for v in violations] == ["queue_balance"]
+    assert violations[0].details["host"] == mod_world.laptop.name
+
+
+def test_tx_dequeue_mismatch_detected(mod_world):
+    mod_world.server.devices[0].tx_packets += 2
+    violations = PacketConservationMonitor().check(
+        CheckContext(kind="test", world=mod_world))
+    assert [v.invariant for v in violations] == ["tx_equals_dequeued"]
+
+
+def test_unaccounted_traced_drop_detected(mod_world):
+    obs = _observed(mod_world)
+    # A tracer that counted a demux drop no protocol counter backs up.
+    obs.tracer.drop_counts["no_conn"] = 1
+    violations = PacketConservationMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs))
+    assert [v.invariant for v in violations] == ["tcp_demux_drops"]
+
+
+def test_device_span_imbalance_detected(mod_world):
+    obs = _observed(mod_world)
+    obs.tracer.span_counts[("dev", "enqueue")] = 5
+    obs.tracer.span_counts[("dev", "tx")] = 4
+    violations = PacketConservationMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs))
+    assert [v.invariant for v in violations] == ["device_balance"]
+
+
+def test_live_world_medium_accounting(live_world):
+    obs = _observed(live_world)
+    ctx = CheckContext(kind="test", world=live_world, obs=obs)
+    assert PacketConservationMonitor().check(ctx) == []
+    live_world.medium.frames_lost += 1  # lost frame the tracer never saw
+    violations = PacketConservationMonitor().check(ctx)
+    assert "channel_loss_drops" in [v.invariant for v in violations]
+
+
+# ----------------------------------------------------------------------
+# Clock sanity
+# ----------------------------------------------------------------------
+def test_engine_accounting_balances(mod_world):
+    mod_world.run(until=1.0)
+    ctx = CheckContext(kind="test", world=mod_world)
+    assert ClockSanityMonitor().check(ctx) == []
+
+
+def test_nonmonotone_spans_detected(mod_world):
+    obs = _observed(mod_world)
+    mod_world.run(until=3.0)  # keep the crafted spans in the past
+    obs.tracer.spans.extend([
+        {"t": 2.0, "host": "h", "layer": "dev", "event": "tx", "trace": 1,
+         "pkt": 1, "size": 100},
+        {"t": 1.0, "host": "h", "layer": "dev", "event": "rx", "trace": 2,
+         "pkt": 2, "size": 100},
+    ])
+    violations = ClockSanityMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs))
+    assert [v.invariant for v in violations] == ["span_monotonicity"]
+    assert violations[0].trace == 2
+
+
+def test_span_beyond_now_detected(mod_world):
+    obs = _observed(mod_world)
+    obs.tracer.spans.append(
+        {"t": 99.0, "host": "h", "layer": "dev", "event": "tx", "trace": 1,
+         "pkt": 1, "size": 100})
+    violations = ClockSanityMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs))
+    assert [v.invariant for v in violations] == ["span_in_past"]
+
+
+# ----------------------------------------------------------------------
+# Tick alignment and delay bound (crafted mod.delay spans)
+# ----------------------------------------------------------------------
+def _mod_span(t, intended, applied, trace=1):
+    return {"t": t, "host": "laptop", "layer": "mod", "event": "delay",
+            "trace": trace, "pkt": trace, "size": 100,
+            "inbound": False, "intended": intended, "applied": applied}
+
+
+def _fake_layer(host):
+    return SimpleNamespace(host=host, audit=None,
+                           feed=SimpleNamespace(tuples_written=0,
+                                                tuples_consumed=0,
+                                                capacity=64, free_slots=64),
+                           out_packets=0, in_packets=0,
+                           sent_immediately=0)
+
+
+def test_on_grid_release_passes(mod_world):
+    obs = _observed(mod_world)
+    layer = _fake_layer(mod_world.laptop)
+    # Release at t=0.013 + 0.017 = 0.030: on the 10 ms grid.
+    obs.tracer.spans.append(_mod_span(0.013, 0.0172, 0.017))
+    obs.tracer.span_counts[("mod", "delay")] = 1
+    mod_world.laptop.kernel.rounded_callouts = 1
+    ctx = CheckContext(kind="test", world=mod_world, obs=obs, layer=layer)
+    assert TickAlignmentMonitor().check(ctx) == []
+    assert DelayBoundMonitor().check(ctx) == []
+
+
+def test_off_grid_release_detected(mod_world):
+    obs = _observed(mod_world)
+    layer = _fake_layer(mod_world.laptop)
+    obs.tracer.spans.append(_mod_span(0.013, 0.021, 0.021))
+    obs.tracer.span_counts[("mod", "delay")] = 1
+    mod_world.laptop.kernel.rounded_callouts = 1
+    violations = TickAlignmentMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs, layer=layer))
+    assert [v.invariant for v in violations] == ["off_grid_release"]
+    assert violations[0].trace == 1
+
+
+def test_callout_count_mismatch_detected(mod_world):
+    obs = _observed(mod_world)
+    layer = _fake_layer(mod_world.laptop)
+    obs.tracer.span_counts[("mod", "delay")] = 3
+    violations = TickAlignmentMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs, layer=layer))
+    assert [v.invariant for v in violations] == ["callout_accounting"]
+
+
+def test_under_delay_beyond_one_tick_detected(mod_world):
+    obs = _observed(mod_world)
+    layer = _fake_layer(mod_world.laptop)
+    # 25 ms intended, released after 10 ms: 15 ms under — over a tick.
+    obs.tracer.spans.append(_mod_span(0.010, 0.025, 0.010))
+    violations = DelayBoundMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs, layer=layer))
+    assert [v.invariant for v in violations] == ["under_delay"]
+
+
+def test_half_tick_under_delay_allowed(mod_world):
+    obs = _observed(mod_world)
+    layer = _fake_layer(mod_world.laptop)
+    # The legitimate §5.4 artifact: just under half a tick unaccounted.
+    obs.tracer.spans.append(_mod_span(0.010, 0.0049, 0.0))
+    obs.tracer.spans.append(_mod_span(0.020, 0.0251, 0.020))
+    assert DelayBoundMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs,
+                     layer=layer)) == []
+
+
+# ----------------------------------------------------------------------
+# FIFO ordering
+# ----------------------------------------------------------------------
+def _dev_span(t, event, pkt):
+    return {"t": t, "host": "laptop", "layer": "dev", "event": event,
+            "trace": pkt, "pkt": pkt, "size": 100, "device": "eth0"}
+
+
+def test_fifo_queue_order_passes(mod_world):
+    obs = _observed(mod_world)
+    obs.tracer.spans.extend([
+        _dev_span(0.0, "enqueue", 1), _dev_span(0.1, "enqueue", 2),
+        _dev_span(0.2, "tx", 1), _dev_span(0.3, "tx", 2),
+    ])
+    assert FifoOrderMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs)) == []
+
+
+def test_fifo_queue_reorder_detected(mod_world):
+    obs = _observed(mod_world)
+    obs.tracer.spans.extend([
+        _dev_span(0.0, "enqueue", 1), _dev_span(0.1, "enqueue", 2),
+        _dev_span(0.2, "tx", 2), _dev_span(0.3, "tx", 1),
+    ])
+    violations = FifoOrderMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs))
+    assert [v.invariant for v in violations] == ["queue_order"]
+
+
+def test_feed_overconsumption_detected(mod_world):
+    layer = _fake_layer(mod_world.laptop)
+    layer.feed = SimpleNamespace(tuples_written=3, tuples_consumed=5,
+                                 capacity=64, free_slots=64)
+    violations = FifoOrderMonitor().check(
+        CheckContext(kind="test", world=mod_world, layer=layer))
+    assert "feed_balance" in [v.invariant for v in violations]
+
+
+# ----------------------------------------------------------------------
+# TCP sanity
+# ----------------------------------------------------------------------
+def test_tcp_sequence_inversion_detected(mod_world):
+    conn = SimpleNamespace(snd_una=100, snd_nxt=50, snd_max=100,
+                           rcv_nxt=0)
+    mod_world.laptop.tcp._conns[(1234, "10.1.0.1", 21)] = conn
+    violations = TcpSanityMonitor().check(
+        CheckContext(kind="test", world=mod_world))
+    assert [v.invariant for v in violations] == ["send_sequence"]
+
+
+def test_tcp_healthy_connection_passes(mod_world):
+    conn = SimpleNamespace(snd_una=50, snd_nxt=75, snd_max=100,
+                           rcv_nxt=10)
+    mod_world.laptop.tcp._conns[(1234, "10.1.0.1", 21)] = conn
+    assert TcpSanityMonitor().check(
+        CheckContext(kind="test", world=mod_world)) == []
+
+
+# ----------------------------------------------------------------------
+# Well-formedness
+# ----------------------------------------------------------------------
+def test_valid_replay_passes():
+    replay = ReplayTrace([QualityTuple(d=1.0, F=0.01, Vb=1e-5, Vr=1e-6,
+                                       L=0.05)] * 3, name="ok")
+    assert WellFormednessMonitor().check(
+        CheckContext(kind="test", replay=replay)) == []
+
+
+def test_nonfinite_tuple_detected():
+    replay = ReplayTrace([QualityTuple(d=1.0, F=math.nan, Vb=1e-5,
+                                       Vr=0.0, L=0.0)])
+    violations = WellFormednessMonitor().check(
+        CheckContext(kind="test", replay=replay))
+    assert [v.invariant for v in violations] == ["tuple_finite"]
+
+
+def test_negative_cost_tuple_detected():
+    replay = ReplayTrace([QualityTuple(d=1.0, F=-0.01, Vb=1e-5, Vr=0.0,
+                                       L=0.0)])
+    violations = WellFormednessMonitor().check(
+        CheckContext(kind="test", replay=replay))
+    assert [v.invariant for v in violations] == ["tuple_negative_cost"]
+
+
+def test_record_stream_well_formed():
+    records = [
+        PacketRecord(timestamp=0.0, direction=1, proto=1, size=120),
+        DeviceStatusRecord(timestamp=0.5, signal_level=20.0,
+                           signal_quality=10.0, silence_level=2.0),
+        PacketRecord(timestamp=1.0, direction=0, proto=1, size=120,
+                     rtt=0.04),
+        LostRecordsRecord(timestamp=1.5, record_type="packet", count=3),
+    ]
+    assert WellFormednessMonitor().check(
+        CheckContext(kind="test", records=records)) == []
+
+
+def test_record_timestamp_regression_detected():
+    records = [
+        PacketRecord(timestamp=2.0, direction=1, proto=1, size=120),
+        PacketRecord(timestamp=1.0, direction=1, proto=1, size=120),
+    ]
+    violations = WellFormednessMonitor().check(
+        CheckContext(kind="test", records=records))
+    assert [v.invariant for v in violations] == ["record_order"]
+
+
+def test_bad_record_fields_detected():
+    records = [
+        PacketRecord(timestamp=0.0, direction=7, proto=1, size=0),
+        object(),
+    ]
+    invariants = {v.invariant for v in WellFormednessMonitor().check(
+        CheckContext(kind="test", records=records))}
+    assert invariants == {"record_size", "record_direction", "record_type"}

@@ -1,0 +1,70 @@
+"""Mutation smoke test: the monitors must catch an injected bug.
+
+A monitor suite that never fires is indistinguishable from one that
+checks nothing.  This test injects the canonical §5.4 regression — the
+kernel's nearest-tick rounding landing one full tick early — into a
+modulated trial and requires at least one monitor to flag it, while the
+identical un-mutated trial stays clean.  CI runs the same experiment
+via ``repro check --smoke --mutate-tick``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import (CheckContext, inject_tick_undershoot,
+                         run_monitors)
+from repro.check.golden import DEFAULT_GOLDEN_DIR
+from repro.core.replay import ReplayTrace
+from repro.obs import ObsConfig
+from repro.validation.harness import (FtpRunner, compensation_vb,
+                                      run_modulated_trial)
+
+pytestmark = pytest.mark.check
+
+
+@pytest.fixture(scope="module")
+def wean_replay():
+    return ReplayTrace.load(str(DEFAULT_GOLDEN_DIR / "wean.replay.json"))
+
+
+def _modulated_ctx(replay):
+    out = {}
+    runner = FtpRunner(nbytes=50_000, direction="send")
+    run_modulated_trial(replay, runner, seed=0, trial=0,
+                        compensation_vb=compensation_vb(),
+                        obs=ObsConfig(metrics=True, trace=True, spans=True),
+                        world_out=out)
+    return CheckContext(kind="modulated", world=out["world"],
+                        obs=out["obs"], layer=out["layer"], replay=replay)
+
+
+def test_clean_trial_has_no_violations(wean_replay):
+    assert run_monitors(_modulated_ctx(wean_replay)) == []
+
+
+def test_tick_undershoot_is_caught(wean_replay):
+    with inject_tick_undershoot():
+        violations = run_monitors(_modulated_ctx(wean_replay))
+    assert violations, "injected one-tick undershoot went undetected"
+    flagged = {(v.monitor, v.invariant) for v in violations}
+    # The quantitative §5.4 bound is the monitor that must catch it.
+    assert ("delay_bound", "under_delay") in flagged
+    # Releases still land on the grid: alignment itself must stay green.
+    assert ("tick", "off_grid_release") not in flagged
+
+
+def test_undershoot_violations_carry_trace_ids(wean_replay):
+    with inject_tick_undershoot():
+        violations = run_monitors(_modulated_ctx(wean_replay))
+    under = [v for v in violations
+             if v.invariant == "under_delay"]
+    assert under and all(v.trace is not None for v in under)
+    assert all(v.details["intended"] - v.details["applied"] ==
+               pytest.approx(v.details["under"]) for v in under)
+
+
+def test_two_tick_undershoot_also_caught(wean_replay):
+    with inject_tick_undershoot(ticks=2):
+        violations = run_monitors(_modulated_ctx(wean_replay))
+    assert any(v.invariant == "under_delay" for v in violations)

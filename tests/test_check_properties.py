@@ -1,0 +1,229 @@
+"""Property-based fuzzing of the collect→distill→replay→modulate pipeline.
+
+Hypothesis generates random *valid* inputs at three levels:
+
+* serialization — replay-trace JSON and the RFC-2041-style binary
+  trace format must round-trip losslessly for any valid content;
+* modulation — for any valid replay trace, the modulator never
+  under-accounts a delivered packet's delay by more than one 10 ms
+  kernel tick, and every rounded release lands on the tick grid
+  (the §5.4 error-analysis bound as an executable property);
+* pipeline fidelity — distilling a traversal over a random synthetic
+  channel yields a replay model whose predicted small-probe RTT is
+  within a small factor of what the traversal actually observed.
+
+World-spinning properties keep ``max_examples`` deliberately small:
+each example is a full simulated trial, and the goal is breadth of
+*parameters*, not statistical volume.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check import CheckContext, WellFormednessMonitor
+from repro.core.replay import QualityTuple, ReplayTrace
+from repro.core.traceformat import (DIR_IN, DeviceStatusRecord,
+                                    LostRecordsRecord, PacketRecord,
+                                    dumps_trace, loads_trace)
+from repro.net.wavelan import ChannelConditions
+from repro.obs import ObsConfig
+from repro.scenarios.base import Scenario
+from repro.validation.harness import (FtpRunner, collect_trace,
+                                      compensation_vb,
+                                      distill_scenario_trace,
+                                      run_modulated_trial)
+
+pytestmark = pytest.mark.check
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+finite = dict(allow_nan=False, allow_infinity=False)
+
+quality_tuples = st.builds(
+    QualityTuple,
+    d=st.floats(min_value=0.5, max_value=10.0, **finite),
+    F=st.floats(min_value=0.0, max_value=0.2, **finite),
+    Vb=st.floats(min_value=0.0, max_value=2e-4, **finite),
+    Vr=st.floats(min_value=0.0, max_value=2e-5, **finite),
+    L=st.floats(min_value=0.0, max_value=1.0, **finite),
+)
+
+replay_traces = st.builds(
+    ReplayTrace,
+    st.lists(quality_tuples, min_size=1, max_size=20),
+    name=st.text(
+        alphabet=st.characters(codec="ascii",
+                               categories=("L", "N", "P")),
+        max_size=12),
+)
+
+packet_records = st.builds(
+    PacketRecord,
+    timestamp=st.floats(min_value=0.0, max_value=1e4, **finite),
+    direction=st.sampled_from([0, 1]),
+    proto=st.integers(min_value=0, max_value=255),
+    size=st.integers(min_value=1, max_value=65535),
+    src=st.sampled_from(["", "10.0.0.2", "10.1.0.1"]),
+    dst=st.sampled_from(["", "10.0.0.2", "10.1.0.1"]),
+    icmp_type=st.integers(min_value=-1, max_value=18),
+    seq=st.integers(min_value=-1, max_value=2**31),
+    rtt=st.one_of(st.just(-1.0),
+                  st.floats(min_value=0.0, max_value=10.0, **finite)),
+)
+
+status_records = st.builds(
+    DeviceStatusRecord,
+    timestamp=st.floats(min_value=0.0, max_value=1e4, **finite),
+    signal_level=st.floats(min_value=-10.0, max_value=40.0, **finite),
+    signal_quality=st.floats(min_value=0.0, max_value=30.0, **finite),
+    silence_level=st.floats(min_value=0.0, max_value=10.0, **finite),
+)
+
+lost_records = st.builds(
+    LostRecordsRecord,
+    timestamp=st.floats(min_value=0.0, max_value=1e4, **finite),
+    record_type=st.sampled_from(["packet", "device_status"]),
+    count=st.integers(min_value=1, max_value=10_000),
+)
+
+trace_records = st.one_of(packet_records, status_records, lost_records)
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips
+# ----------------------------------------------------------------------
+@given(replay_traces)
+def test_replay_json_roundtrip(trace):
+    back = ReplayTrace.from_json(trace.to_json())
+    assert back.name == trace.name
+    assert back.tuples == trace.tuples
+    # And the JSON text itself is a fixed point (golden determinism).
+    assert back.to_json() == trace.to_json()
+
+
+@given(st.lists(trace_records, max_size=30),
+       st.text(max_size=40))
+def test_binary_trace_roundtrip(records, description):
+    back = loads_trace(dumps_trace(records, description))
+    assert back == records
+
+
+@given(st.lists(quality_tuples, min_size=1, max_size=20))
+def test_generated_tuples_are_well_formed(tuples):
+    """The generator and the wellformed monitor agree on validity."""
+    monitor = WellFormednessMonitor()
+    assert monitor.check_replay(ReplayTrace(tuples)) == []
+
+
+# ----------------------------------------------------------------------
+# Modulator delay bound
+# ----------------------------------------------------------------------
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(
+    st.builds(
+        QualityTuple,
+        d=st.floats(min_value=1.0, max_value=4.0, **finite),
+        F=st.floats(min_value=0.0, max_value=0.08, **finite),
+        Vb=st.floats(min_value=0.0, max_value=1e-4, **finite),
+        Vr=st.floats(min_value=0.0, max_value=1e-5, **finite),
+        L=st.just(0.0),   # lossless keeps the short FTP deterministic-fast
+    ),
+    min_size=1, max_size=4))
+def test_modulator_never_underdelays_past_one_tick(tuples):
+    replay = ReplayTrace(tuples, name="fuzz")
+    out = {}
+    run_modulated_trial(replay, FtpRunner(nbytes=20_000, direction="send"),
+                        seed=0, trial=0,
+                        compensation_vb=compensation_vb(),
+                        obs=ObsConfig(metrics=False, trace=True,
+                                      spans=True),
+                        world_out=out)
+    layer = out["layer"]
+    tick = layer.host.kernel.tick_resolution
+    delays = [s for s in out["obs"].tracer.spans
+              if s["layer"] == "mod" and s["event"] == "delay"]
+    assert delays, "modulated trial produced no delayed packets"
+    for span in delays:
+        under = span["intended"] - span["applied"]
+        assert under <= tick + 1e-9, \
+            f"under-delayed by {under * 1e3:.3f} ms (> one tick)"
+        assert span["applied"] >= 0.0
+        if span["applied"] > 0.0:
+            release = span["t"] + span["applied"]
+            off = abs(release - round(release / tick) * tick)
+            assert off <= 1e-9, f"release {off:.2e}s off the tick grid"
+
+
+# ----------------------------------------------------------------------
+# Pipeline fidelity on synthetic channels
+# ----------------------------------------------------------------------
+class SyntheticScenario(Scenario):
+    """A constant random-parameter channel the test knows ground truth for."""
+
+    name = "synthetic"
+    duration = 40.0
+    has_motion = False
+
+    def __init__(self, signal, bandwidth_factor, access_latency):
+        self._cond = ChannelConditions(
+            signal_level=signal,
+            loss_prob_up=0.0,
+            loss_prob_down=0.0,
+            bandwidth_factor=bandwidth_factor,
+            access_latency_mean=access_latency,
+        )
+
+    def base_conditions(self, u, rng):
+        return self._cond
+
+
+def _weighted_mean(tuples, key):
+    total = sum(t.d for t in tuples)
+    return sum(key(t) * t.d for t in tuples) / total
+
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(signal=st.floats(min_value=15.0, max_value=25.0, **finite),
+       bandwidth_factor=st.floats(min_value=0.5, max_value=1.0, **finite),
+       access_latency=st.floats(min_value=2e-4, max_value=2e-3, **finite))
+def test_distilled_replay_models_observed_rtt(signal, bandwidth_factor,
+                                              access_latency):
+    scenario = SyntheticScenario(signal, bandwidth_factor, access_latency)
+    records = collect_trace(scenario, seed=0, trial=0)
+    result = distill_scenario_trace(records, name="synthetic")
+    replay = result.replay
+
+    # The distillate must always be well-formed…
+    assert WellFormednessMonitor().check(
+        CheckContext(kind="fuzz", replay=replay,
+                     distillation=result, records=records)) == []
+
+    # …and its model must predict the small-probe RTT the traversal
+    # actually measured.  Small ECHOREPLYs are the sub-500 B inbound
+    # records carrying an RTT sample.
+    observed = [r.rtt for r in records
+                if isinstance(r, PacketRecord) and r.direction == DIR_IN
+                and r.rtt >= 0.0 and r.size < 500]
+    assert len(observed) >= 10, "traversal lost most small probes"
+    observed_rtt = sum(observed) / len(observed)
+    size = next(r.size for r in records
+                if isinstance(r, PacketRecord) and r.direction == DIR_IN
+                and r.rtt >= 0.0 and r.size < 500)
+    model_rtt = 2.0 * (_weighted_mean(replay.tuples, lambda t: t.F)
+                       + size * _weighted_mean(replay.tuples,
+                                               lambda t: t.V))
+    assert math.isfinite(model_rtt) and model_rtt > 0.0
+    # Factor-2 band plus absolute slack: distillation error on a
+    # constant channel stays well inside it; a broken pipeline
+    # (dropped stage, unit slip, swapped F/V) lands far outside.
+    slack = 0.02
+    assert model_rtt <= 2.0 * observed_rtt + slack
+    assert model_rtt >= 0.5 * observed_rtt - slack

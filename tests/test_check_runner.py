@@ -1,0 +1,96 @@
+"""End-to-end tests for the repro.check pipeline runner.
+
+The smoke configuration (wean, 100 KB ftp-send, seed 0) is the exact
+check CI runs on every push, so it must stay green here too — and the
+mutation hook must both restore the kernel and actually be caught (see
+test_check_mutation.py for the catch itself).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check import (CheckReport, InvariantViolation, StageResult,
+                         inject_tick_undershoot, smoke_check)
+from repro.hosts.kernel import Kernel
+
+pytestmark = pytest.mark.check
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return smoke_check(seed=0)
+
+
+def test_smoke_check_is_clean(smoke_report):
+    assert smoke_report.ok, smoke_report.render()
+    assert smoke_report.violations == []
+
+
+def test_smoke_report_covers_all_stages(smoke_report):
+    assert [s.stage for s in smoke_report.stages] == [
+        "collect", "distill", "live", "modulated"]
+    assert all(isinstance(s, StageResult) for s in smoke_report.stages)
+
+
+def test_smoke_report_stage_info(smoke_report):
+    by_stage = {s.stage: s.info for s in smoke_report.stages}
+    assert by_stage["collect"]["records"] > 0
+    assert by_stage["collect"]["spans"] > 0
+    assert by_stage["distill"]["tuples"] > 0
+    assert by_stage["modulated"]["modulated"] > 0
+
+
+def test_report_serializes_to_json(smoke_report):
+    blob = json.dumps(smoke_report.as_dict())
+    data = json.loads(blob)
+    assert data["scenario"] == "wean"
+    assert data["ok"] is True
+    assert len(data["stages"]) == 4
+    assert all(s["violations"] == [] for s in data["stages"])
+
+
+def test_report_renders_all_stages(smoke_report):
+    text = smoke_report.render()
+    for stage in ("collect", "distill", "live", "modulated"):
+        assert stage in text
+    assert "!!" not in text  # no violation lines on a clean run
+
+
+def test_raise_if_violations():
+    report = CheckReport(scenario="x", seed=0, trial=0)
+    report.stages.append(StageResult("collect", []))
+    report.raise_if_violations()  # clean: no raise
+    boom = InvariantViolation("m", "i", "broken")
+    report.stages.append(StageResult("live", [boom]))
+    assert not report.ok
+    with pytest.raises(InvariantViolation):
+        report.raise_if_violations()
+
+
+def test_inject_tick_undershoot_restores_kernel():
+    original = Kernel.nearest_tick_at
+    with inject_tick_undershoot():
+        assert Kernel.nearest_tick_at is not original
+    assert Kernel.nearest_tick_at is original
+
+
+def test_inject_tick_undershoot_restores_on_error():
+    original = Kernel.nearest_tick_at
+    with pytest.raises(RuntimeError):
+        with inject_tick_undershoot():
+            raise RuntimeError("boom")
+    assert Kernel.nearest_tick_at is original
+
+
+def test_undershoot_shifts_rounding_one_tick_early(sim):
+    from repro.hosts.kernel import Kernel as K
+    kernel = K(sim)
+    tick = kernel.tick_resolution
+    clean = kernel.nearest_tick_at(3.7 * tick)
+    with inject_tick_undershoot():
+        assert kernel.nearest_tick_at(3.7 * tick) == \
+            pytest.approx(clean - tick)
+    assert kernel.nearest_tick_at(3.7 * tick) == pytest.approx(clean)

@@ -1,0 +1,116 @@
+"""Direct unit tests for the two-port learning bridge (WavePoint, §3.1.1).
+
+The existing link tests only exercise the bridge against mocked ports;
+these drive it through the real device pipeline — two Ethernet
+segments, real transmit queues, frames serialized onto the wire — so
+learning, flooding, same-side suppression and device-down drops are
+all observed end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import (Bridge, EthernetDevice, EthernetSegment, IPHeader,
+                       Packet, PROTO_ICMP)
+from repro.sim import Simulator
+
+A1, A2, B1 = "10.0.0.1", "10.0.0.3", "10.0.0.2"
+
+
+def _ip_packet(src, dst, nbytes=1000):
+    return Packet(ip=IPHeader(src, dst, PROTO_ICMP), payload_bytes=nbytes)
+
+
+@pytest.fixture
+def net():
+    """Two segments joined by a bridge, one endpoint NIC per side."""
+    sim = Simulator()
+    seg_a = EthernetSegment(sim, name="seg-a")
+    seg_b = EthernetSegment(sim, name="seg-b")
+    port_a = EthernetDevice(sim, "wp-a", "wavepoint")
+    port_b = EthernetDevice(sim, "wp-b", "wavepoint")
+    seg_a.attach(port_a)
+    seg_b.attach(port_b)
+    bridge = Bridge(port_a, port_b, name="wp1")
+    a1 = EthernetDevice(sim, "a1", A1)
+    b1 = EthernetDevice(sim, "b1", B1)
+    seg_a.attach(a1)
+    seg_b.attach(b1)
+    return sim, bridge, seg_a, seg_b, a1, b1
+
+
+def test_unknown_destination_is_flooded_across(net):
+    sim, bridge, seg_a, seg_b, a1, b1 = net
+    a1.send(_ip_packet(A1, B1))
+    sim.run()
+    assert b1.rx_packets == 1
+    assert bridge.forwarded == 1
+    assert bridge.flooded == 1  # destination not in the table yet
+
+
+def test_bridge_learns_source_port(net):
+    sim, bridge, _, _, a1, b1 = net
+    a1.send(_ip_packet(A1, B1))
+    sim.run()
+    assert bridge.learned_addresses() == {A1: "wp-a"}
+    b1.send(_ip_packet(B1, A1))
+    sim.run()
+    assert bridge.learned_addresses() == {A1: "wp-a", B1: "wp-b"}
+
+
+def test_known_destination_forwards_without_flooding(net):
+    sim, bridge, _, _, a1, b1 = net
+    a1.send(_ip_packet(A1, B1))
+    b1.send(_ip_packet(B1, A1))
+    sim.run()
+    flooded_before = bridge.flooded
+    a1.send(_ip_packet(A1, B1))
+    sim.run()
+    assert b1.rx_packets == 2
+    assert bridge.flooded == flooded_before  # B1 now known on wp-b
+    assert bridge.forwarded == 3
+
+
+def test_same_side_traffic_is_suppressed(net):
+    sim, bridge, seg_a, _, a1, b1 = net
+    a2 = EthernetDevice(sim, "a2", A2)
+    seg_a.attach(a2)
+    a2.send(_ip_packet(A2, B1))  # teach the bridge A2 lives on wp-a
+    sim.run()
+    forwarded_before = bridge.forwarded
+    a1.send(_ip_packet(A1, A2))  # same-side: must not cross the bridge
+    sim.run()
+    assert a2.rx_packets >= 1            # delivered on its own segment
+    assert bridge.forwarded == forwarded_before
+    assert b1.rx_packets == 1            # only A2's earlier flood
+
+
+def test_non_ip_frames_forward_without_learning(net):
+    sim, bridge, _, _, a1, b1 = net
+    a1.send(Packet(payload_bytes=200))
+    sim.run()
+    assert bridge.forwarded == 1
+    assert bridge.flooded == 0
+    assert bridge.learned_addresses() == {}
+    assert b1.rx_packets == 1  # segment floods the addressless frame
+
+
+def test_downed_egress_port_drops_frames(net):
+    sim, bridge, _, _, a1, b1 = net
+    bridge.port_b.up = False
+    a1.send(_ip_packet(A1, B1))
+    sim.run()
+    assert bridge.forwarded == 1          # the bridge did forward it
+    assert bridge.port_b.tx_drops == 1    # the dead NIC swallowed it
+    assert b1.rx_packets == 0
+
+
+def test_downed_ingress_port_never_sees_frames(net):
+    sim, bridge, _, _, a1, b1 = net
+    bridge.port_a.up = False
+    a1.send(_ip_packet(A1, B1))
+    sim.run()
+    assert bridge.forwarded == 0
+    assert b1.rx_packets == 0
+    assert bridge.learned_addresses() == {}
