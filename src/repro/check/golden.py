@@ -22,9 +22,9 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.replay import ReplayTrace
+from ..pipeline import CollectStage, DistillStage, Pipeline, as_pipeline
 from ..scenarios import ALL_SCENARIOS, scenario_by_name
-from ..validation.harness import (FtpRunner, collect_trace, compensation_vb,
-                                  distill_scenario_trace)
+from ..validation.harness import FtpRunner, compensation_vb
 from ..validation.parallel import run_validation
 
 # Corpus location: <repo>/tests/golden (this file is src/repro/check/).
@@ -47,16 +47,23 @@ def scenario_names(scenarios: Optional[Iterable[str]] = None) -> List[str]:
 # Corpus generation
 # ======================================================================
 def golden_replay(name: str, seed: int = GOLDEN_SEED,
-                  trial: int = GOLDEN_TRIAL) -> ReplayTrace:
-    """The scenario's distilled replay trace at the pinned seed."""
+                  trial: int = GOLDEN_TRIAL,
+                  cache=None) -> ReplayTrace:
+    """The scenario's distilled replay trace at the pinned seed.
+
+    Runs collect → distill through the pipeline API; with ``cache``
+    set, the stages resolve from the artifact store when warm.
+    """
     scenario = scenario_by_name(name)
-    records = collect_trace(scenario, seed, trial)
-    return distill_scenario_trace(records,
-                                  name=f"{name}-{trial}").replay
+    pipeline = as_pipeline(cache) or Pipeline()
+    stage = DistillStage(CollectStage(scenario, seed, trial),
+                         label=f"{name}-{trial}")
+    return pipeline.run(stage).replay
 
 
 def golden_table(name: str, seed: int = GOLDEN_SEED,
-                 ftp_bytes: int = GOLDEN_FTP_BYTES) -> str:
+                 ftp_bytes: int = GOLDEN_FTP_BYTES,
+                 cache=None) -> str:
     """The scenario's one-trial validation table at the pinned seed.
 
     A single trial of a short FTP send keeps regeneration fast while
@@ -67,7 +74,8 @@ def golden_table(name: str, seed: int = GOLDEN_SEED,
     scenario = scenario_by_name(name)
     runner = FtpRunner(nbytes=ftp_bytes, direction="send")
     sweep = run_validation(scenario, runner, seed=seed, trials=1,
-                           compensation=compensation_vb(), workers=1)
+                           compensation=compensation_vb(), workers=1,
+                           cache=cache)
     return sweep.render(title=f"Golden: {name} ftp-send "
                               f"{ftp_bytes} B, seed {seed}")
 
@@ -81,21 +89,23 @@ def table_path(directory: Path, name: str) -> Path:
 
 
 def regenerate(directory: Optional[Path] = None,
-               scenarios: Optional[Iterable[str]] = None) -> List[Path]:
+               scenarios: Optional[Iterable[str]] = None,
+               cache=None) -> List[Path]:
     """(Re)write the corpus; returns the paths written.
 
     Only for *intentional* behaviour changes — see docs/TESTING.md.
     """
     directory = Path(directory or DEFAULT_GOLDEN_DIR)
     directory.mkdir(parents=True, exist_ok=True)
+    cache = as_pipeline(cache)
     written: List[Path] = []
     for name in scenario_names(scenarios):
-        replay = golden_replay(name)
+        replay = golden_replay(name, cache=cache)
         path = replay_path(directory, name)
         replay.save(str(path))
         written.append(path)
         path = table_path(directory, name)
-        path.write_text(golden_table(name), encoding="utf-8")
+        path.write_text(golden_table(name, cache=cache), encoding="utf-8")
         written.append(path)
     return written
 
@@ -171,7 +181,7 @@ def diff_replay(expected: ReplayTrace, actual: ReplayTrace,
 
 def compare(directory: Optional[Path] = None,
             scenarios: Optional[Iterable[str]] = None,
-            rtol: float = 0.0) -> Dict[str, List[str]]:
+            rtol: float = 0.0, cache=None) -> Dict[str, List[str]]:
     """Regenerate in memory and diff against the checked-in corpus.
 
     Returns ``{artifact: [differences]}`` — empty when everything
@@ -179,6 +189,7 @@ def compare(directory: Optional[Path] = None,
     ``repro check --regen-golden`` once to seed the corpus).
     """
     directory = Path(directory or DEFAULT_GOLDEN_DIR)
+    cache = as_pipeline(cache)
     out: Dict[str, List[str]] = {}
     for name in scenario_names(scenarios):
         rpath = replay_path(directory, name)
@@ -186,7 +197,7 @@ def compare(directory: Optional[Path] = None,
             out[rpath.name] = ["golden file missing"]
         else:
             expected = ReplayTrace.load(str(rpath))
-            actual = golden_replay(name)
+            actual = golden_replay(name, cache=cache)
             diffs = diff_replay(expected, actual, rtol=rtol)
             # The JSON text itself must round-trip byte-identically
             # when the tuples match exactly.
@@ -200,7 +211,7 @@ def compare(directory: Optional[Path] = None,
             out[tpath.name] = ["golden file missing"]
         else:
             diffs = diff_text(tpath.read_text(encoding="utf-8"),
-                              golden_table(name), rtol=rtol)
+                              golden_table(name, cache=cache), rtol=rtol)
             if diffs:
                 out[tpath.name] = diffs
     return out

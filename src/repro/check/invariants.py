@@ -72,6 +72,15 @@ class InvariantViolation(Exception):
         self.trace = trace
         self.details = details
 
+    def __reduce__(self):
+        # Exception's default reduce replays ``args`` (the formatted
+        # message) into ``__init__``, which needs the structured fields
+        # — rebuild from those instead so violations pickle cleanly
+        # (process pools, the check runner's report cache).
+        return (_rebuild_violation, (self.monitor, self.invariant,
+                                     self.message, self.trace,
+                                     self.details))
+
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "monitor": self.monitor,
@@ -83,6 +92,14 @@ class InvariantViolation(Exception):
         if self.details:
             out["details"] = self.details
         return out
+
+
+def _rebuild_violation(monitor: str, invariant: str, message: str,
+                       trace: Optional[int],
+                       details: Dict[str, Any]) -> "InvariantViolation":
+    """Unpickle helper for :class:`InvariantViolation`."""
+    return InvariantViolation(monitor, invariant, message, trace=trace,
+                              **details)
 
 
 @dataclass

@@ -21,11 +21,12 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from ..hosts.kernel import Kernel
 from ..obs import ObsConfig
-from ..scenarios import ALL_SCENARIOS, scenario_by_name
+from ..pipeline import (CollectStage, CompensationStage, DistillStage,
+                        LiveTrialStage, ModulatedTrialStage, Pipeline,
+                        as_pipeline, cache_token, digest)
+from ..scenarios import ALL_SCENARIOS, resolve_scenario
 from ..scenarios.base import Scenario
-from ..validation.harness import (FtpRunner, collect_trace, compensation_vb,
-                                  distill_scenario_trace, run_live_trial,
-                                  run_modulated_trial)
+from ..validation.harness import FtpRunner, compensation_vb
 from .invariants import (ALL_MONITORS, CheckContext, InvariantViolation,
                          run_monitors)
 
@@ -34,6 +35,10 @@ from .invariants import (ALL_MONITORS, CheckContext, InvariantViolation,
 SMOKE_SCENARIO = "wean"
 SMOKE_FTP_BYTES = 100_000
 DEFAULT_FTP_BYTES = 200_000
+
+# Bump when check_scenario's own logic changes behaviour (stage
+# versions and monitor names are part of the report cache key already).
+CHECK_VERSION = 1
 
 
 @dataclass
@@ -119,27 +124,69 @@ def _stage_info(out: Dict[str, Any]) -> Dict[str, Any]:
     return info
 
 
+def _report_key(scenario: Scenario, seed: int, trial: int,
+                ftp_bytes: int, span_limit: int) -> Optional[str]:
+    """Cache key for a default-monitors check report (None: uncacheable)."""
+    try:
+        return digest({
+            "check": "report",
+            "version": CHECK_VERSION,
+            "scenario": cache_token(scenario),
+            "seed": seed,
+            "trial": trial,
+            "ftp_bytes": ftp_bytes,
+            "span_limit": span_limit,
+            "monitors": [cls.__qualname__ for cls in ALL_MONITORS],
+            "stages": [[cls.stage_name, cls.version]
+                       for cls in (CollectStage, DistillStage,
+                                   LiveTrialStage, ModulatedTrialStage)],
+        })
+    except TypeError:
+        return None
+
+
 def check_scenario(scenario, seed: int = 0, trial: int = 0,
                    ftp_bytes: int = DEFAULT_FTP_BYTES,
                    span_limit: int = 250_000,
-                   monitors: Optional[Iterable] = None) -> CheckReport:
+                   monitors: Optional[Iterable] = None,
+                   cache=None) -> CheckReport:
     """Run every invariant monitor over one scenario's full pipeline.
 
-    ``scenario`` may be a :class:`Scenario` or a scenario name.  Each
-    stage (collect, distill, live trial, modulated trial) is checked
-    independently, so a violation upstream still lets the later stages
-    report theirs.
+    ``scenario`` may be a :class:`Scenario`, a registered scenario name
+    or a path to a TOML/JSON spec file.  Each stage (collect, distill,
+    live trial, modulated trial) is checked independently, so a
+    violation upstream still lets the later stages report theirs.
+
+    The stages run through the unified pipeline API; ``cache`` (a
+    directory path, store or :class:`~repro.pipeline.Pipeline`) enables
+    report-level caching — a warm rerun with unchanged inputs returns
+    the stored report without simulating anything.  (The monitors need
+    live worlds, so individual stage runs can't be served from cache;
+    the finished report can.)
     """
-    if not isinstance(scenario, Scenario):
-        scenario = scenario_by_name(str(scenario))
+    scenario = resolve_scenario(scenario)
+    cache_pipeline = as_pipeline(cache)
+    report_key = None
+    if cache_pipeline is not None and monitors is None:
+        report_key = _report_key(scenario, seed, trial, ftp_bytes,
+                                 span_limit)
+        if report_key is not None:
+            found, cached = cache_pipeline.lookup(report_key,
+                                                  stage="check-report")
+            if found:
+                return cached
+    # Stage artifacts flow through a pipeline either way, so distill
+    # reuses the collect artifact without re-simulating the traversal.
+    work = cache_pipeline if cache_pipeline is not None else Pipeline()
     checks = _monitor_instances(monitors)
     obs = ObsConfig(metrics=True, trace=True, spans=True,
                     span_limit=span_limit)
     report = CheckReport(scenario=scenario.name, seed=seed, trial=trial)
 
     # 1. Traced collection traversal.
+    collect_stage = CollectStage(scenario, seed, trial, obs=obs)
     out: Dict[str, Any] = {}
-    records = collect_trace(scenario, seed, trial, obs=obs, world_out=out)
+    records = work.run(collect_stage, world_out=out)["records"]
     ctx = CheckContext(kind="collect", label=f"{scenario.name}:collect",
                        world=out.get("world"), obs=out.get("obs"),
                        records=records)
@@ -149,8 +196,9 @@ def check_scenario(scenario, seed: int = 0, trial: int = 0,
                                      info))
 
     # 2. Distillation (pure computation: well-formedness only).
-    distillation = distill_scenario_trace(records,
-                                          name=f"{scenario.name}-{trial}")
+    distill_stage = DistillStage(collect_stage,
+                                 label=f"{scenario.name}-{trial}")
+    distillation = work.run(distill_stage)
     ctx = CheckContext(kind="distill", label=f"{scenario.name}:distill",
                        replay=distillation.replay,
                        distillation=distillation)
@@ -162,16 +210,20 @@ def check_scenario(scenario, seed: int = 0, trial: int = 0,
     # 3. Traced live benchmark trial.
     runner = FtpRunner(nbytes=ftp_bytes, direction="send")
     out = {}
-    run_live_trial(scenario, runner, seed, trial, obs=obs, world_out=out)
+    work.run(LiveTrialStage(scenario, runner, seed, trial, obs=obs),
+             world_out=out)
     ctx = CheckContext(kind="live", label=f"{scenario.name}:live",
                        world=out.get("world"), obs=out.get("obs"))
     report.stages.append(StageResult("live", run_monitors(ctx, checks),
                                      _stage_info(out)))
 
     # 4. Traced modulated trial over the freshly distilled replay.
+    comp = (compensation_vb() if cache_pipeline is None
+            else work.run(CompensationStage()))
     out = {}
-    run_modulated_trial(distillation.replay, runner, seed, trial,
-                        compensation_vb(), obs=obs, world_out=out)
+    work.run(ModulatedTrialStage(distill_stage, runner, seed, trial,
+                                 compensation=comp, obs=obs),
+             world_out=out)
     ctx = CheckContext(kind="modulated",
                        label=f"{scenario.name}:modulated",
                        world=out.get("world"), obs=out.get("obs"),
@@ -184,26 +236,32 @@ def check_scenario(scenario, seed: int = 0, trial: int = 0,
         info["modulated"] = layer.out_packets + layer.in_packets
     report.stages.append(StageResult("modulated",
                                      run_monitors(ctx, checks), info))
+    if report_key is not None:
+        cache_pipeline.store_result(report_key, report,
+                                    stage="check-report")
     return report
 
 
 def check_all(scenarios: Optional[Iterable[str]] = None, seed: int = 0,
               trial: int = 0, ftp_bytes: int = DEFAULT_FTP_BYTES,
-              monitors: Optional[Iterable] = None) -> List[CheckReport]:
+              monitors: Optional[Iterable] = None,
+              cache=None) -> List[CheckReport]:
     """`check_scenario` over every scenario (default: all four)."""
     if scenarios is None:
         names = [cls.name for cls in ALL_SCENARIOS]
     else:
         names = list(scenarios)
+    cache_pipeline = as_pipeline(cache)
     return [check_scenario(name, seed=seed, trial=trial,
-                           ftp_bytes=ftp_bytes, monitors=monitors)
+                           ftp_bytes=ftp_bytes, monitors=monitors,
+                           cache=cache_pipeline)
             for name in names]
 
 
-def smoke_check(seed: int = 0) -> CheckReport:
+def smoke_check(seed: int = 0, cache=None) -> CheckReport:
     """The fast configuration CI runs on every push."""
     return check_scenario(SMOKE_SCENARIO, seed=seed,
-                          ftp_bytes=SMOKE_FTP_BYTES)
+                          ftp_bytes=SMOKE_FTP_BYTES, cache=cache)
 
 
 # ======================================================================

@@ -7,6 +7,7 @@ it, or export it for modern emulators.
     repro collect    --scenario porter -o porter.trace
     repro distill    porter.trace -o porter.json
     repro info       porter.json
+    repro scenarios                          # registered scenarios
     repro validate   --scenario wean --benchmark ftp --trials 2
     repro characterize --scenario flagstaff --trials 4
     repro trace      wean --benchmark ftp -o wean.trace.json
@@ -14,6 +15,13 @@ it, or export it for modern emulators.
     repro compensation
     repro check      --scenario all          # invariant monitors
     repro check      --smoke --mutate-tick   # CI mutation smoke
+
+Every ``--scenario`` accepts a registered name (``repro scenarios``
+lists them) *or* a path to a TOML/JSON scenario spec file, so a
+scenario defined purely as data runs the whole collect → distill →
+modulate pipeline.  ``validate`` and ``check`` accept ``--cache-dir``:
+a content-addressed artifact store that makes warm reruns skip every
+stage whose inputs did not change.
 
 Observability: ``repro trace`` runs one fully-instrumented trial;
 ``validate``/``characterize`` grow ``--metrics-out`` (per-trial JSONL)
@@ -43,7 +51,13 @@ from .obs import (
     write_chrome_trace,
     write_jsonl,
 )
-from .scenarios import ALL_SCENARIOS, scenario_by_name
+from .pipeline import Pipeline
+from .scenarios import (
+    register_spec_file,
+    registered_scenarios,
+    resolve_scenario,
+    scenario_names,
+)
 from .validation import (
     AndrewRunner,
     FtpRunner,
@@ -58,8 +72,28 @@ from .validation import (
     run_validation,
 )
 
-SCENARIO_NAMES = sorted(cls.name for cls in ALL_SCENARIOS)
 RUNNERS = {"ftp": FtpRunner, "web": WebRunner, "andrew": AndrewRunner}
+
+SCENARIO_HELP = ("registered scenario name (see `repro scenarios`) "
+                 "or path to a TOML/JSON scenario spec file")
+
+
+def _resolve_scenario_arg(name: str):
+    """Resolve a scenario CLI argument, exiting 2 with a clear message.
+
+    Accepts registered names and spec-file paths; an unknown name or a
+    missing file is a usage error, not a traceback.
+    """
+    try:
+        return resolve_scenario(name)
+    except (KeyError, FileNotFoundError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro: error: {message}", file=sys.stderr)
+        raise SystemExit(2)
+    except ValueError as exc:
+        print(f"repro: error: invalid scenario spec {name!r}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -69,7 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("collect", help="trace one scenario traversal")
-    p.add_argument("--scenario", choices=SCENARIO_NAMES, required=True)
+    p.add_argument("--scenario", required=True, help=SCENARIO_HELP)
     p.add_argument("--trial", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", required=True,
@@ -89,9 +123,18 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="emit machine-readable JSON (round-trips through "
                         "ReplayTrace.from_json)")
 
+    p = sub.add_parser(
+        "scenarios",
+        help="list registered scenarios (builtin and spec files)")
+    p.add_argument("specs", nargs="*", metavar="SPEC",
+                   help="extra TOML/JSON spec files to register and "
+                        "include in the listing")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the listing as machine-readable JSON")
+
     p = sub.add_parser("validate",
                        help="live-vs-modulated benchmark comparison")
-    p.add_argument("--scenario", choices=SCENARIO_NAMES, required=True)
+    p.add_argument("--scenario", required=True, help=SCENARIO_HELP)
     p.add_argument("--benchmark", choices=sorted(RUNNERS), required=True)
     p.add_argument("--trials", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
@@ -108,10 +151,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write a Chrome trace-event JSON of every trial "
                         "(open in Perfetto or chrome://tracing)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed artifact cache: warm reruns "
+                        "load unchanged stages instead of recomputing "
+                        "them (results are identical either way)")
 
     p = sub.add_parser("characterize",
                        help="Figures 2-5 style scenario characterization")
-    p.add_argument("--scenario", choices=SCENARIO_NAMES, required=True)
+    p.add_argument("--scenario", required=True, help=SCENARIO_HELP)
     p.add_argument("--trials", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=None,
@@ -123,7 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace",
         help="run one fully-instrumented trial (packet-lifecycle spans, "
              "metrics, modulation-fidelity audit)")
-    p.add_argument("scenario", choices=SCENARIO_NAMES)
+    p.add_argument("scenario", help=SCENARIO_HELP)
     p.add_argument("--benchmark", choices=sorted(RUNNERS), default="ftp")
     p.add_argument("--mode", choices=("modulated", "live"),
                    default="modulated",
@@ -169,9 +216,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "check",
         help="run the invariant monitors over traced pipeline runs "
              "(packet conservation, tick alignment, FIFO ordering, ...)")
-    p.add_argument("--scenario", choices=SCENARIO_NAMES + ["all"],
-                   default="all",
-                   help="scenario to check (default: all four)")
+    p.add_argument("--scenario", default="all",
+                   help="scenario to check: a name, a spec file path, "
+                        "or 'all' for the paper's four (default)")
     p.add_argument("--smoke", action="store_true",
                    help="the fast CI configuration: wean only, small "
                         "transfer")
@@ -196,12 +243,49 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="inject an off-by-one-tick modulator bug and "
                         "VERIFY the monitors catch it (exit 0 when "
                         "caught, 2 when missed)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="artifact cache for check reports and golden "
+                        "regeneration; warm reruns return stored "
+                        "reports instead of re-simulating")
     return parser
 
 
 # ----------------------------------------------------------------------
+def _cmd_scenarios(args) -> int:
+    for path in args.specs:
+        try:
+            register_spec_file(path)
+        except (OSError, ValueError) as exc:
+            print(f"repro: error: cannot load spec {path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    rows = []
+    for entry in registered_scenarios():
+        scenario = entry.make()
+        rows.append({
+            "name": entry.name,
+            "duration": scenario.duration,
+            "checkpoints": len(scenario.checkpoints),
+            "cross_laptops": scenario.cross_laptops,
+            "has_motion": scenario.has_motion,
+            "source": entry.source,
+        })
+    if args.as_json:
+        print(json.dumps(rows, indent=1))
+        return 0
+    header = (f"{'name':<12} {'duration':>8} {'checkpoints':>11} "
+              f"{'cross':>5} {'motion':>6}  source")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['name']:<12} {row['duration']:>7.0f}s "
+              f"{row['checkpoints']:>11} {row['cross_laptops']:>5} "
+              f"{'yes' if row['has_motion'] else 'no':>6}  {row['source']}")
+    return 0
+
+
 def _cmd_collect(args) -> int:
-    scenario = scenario_by_name(args.scenario)
+    scenario = _resolve_scenario_arg(args.scenario)
     records = collect_trace(scenario, args.seed, args.trial)
     count = save_trace(args.output, records,
                        description=f"{args.scenario} trial {args.trial} "
@@ -310,7 +394,7 @@ def _write_obs_outputs(records: List[Dict[str, Any]],
 
 
 def _cmd_validate(args) -> int:
-    scenario = scenario_by_name(args.scenario)
+    scenario = _resolve_scenario_arg(args.scenario)
     if args.benchmark == "ftp" and args.ftp_bytes is not None:
         runner = RUNNERS[args.benchmark](nbytes=args.ftp_bytes)
     else:
@@ -319,19 +403,22 @@ def _cmd_validate(args) -> int:
     if args.metrics_out or args.trace_out:
         obs = ObsConfig(metrics=True, trace=bool(args.trace_out),
                         spans=bool(args.trace_out))
+    cache = Pipeline(args.cache_dir) if args.cache_dir else None
     sweep = run_validation(scenario, runner, seed=args.seed,
                            trials=args.trials, baseline=args.baseline,
-                           workers=args.workers, obs=obs)
+                           workers=args.workers, obs=obs, cache=cache)
     print(sweep.render(
-        title=f"{args.benchmark} on {args.scenario} "
+        title=f"{args.benchmark} on {scenario.name} "
               f"({args.trials} trials)"))
+    if cache is not None:
+        print(cache.render_summary())
     _write_obs_outputs(sweep.trial_metrics, args.metrics_out,
                        args.trace_out)
     return 0
 
 
 def _cmd_characterize(args) -> int:
-    scenario = scenario_by_name(args.scenario)
+    scenario = _resolve_scenario_arg(args.scenario)
     workers = args.workers if args.workers is not None else default_workers()
     obs = ObsConfig(metrics=True) if args.metrics_out else None
     trial_metrics: List[Dict[str, Any]] = []
@@ -344,7 +431,7 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    scenario = scenario_by_name(args.scenario)
+    scenario = _resolve_scenario_arg(args.scenario)
     if args.benchmark == "ftp":
         runner = RUNNERS["ftp"](nbytes=args.ftp_bytes, direction="send")
     else:
@@ -438,22 +525,26 @@ def _cmd_check(args) -> int:
                         inject_tick_undershoot, regenerate, smoke_check)
     from .check.runner import DEFAULT_FTP_BYTES
 
+    cache = Pipeline(args.cache_dir) if args.cache_dir else None
+
     if args.regen_golden:
-        written = regenerate()
+        written = regenerate(cache=cache)
         for path in written:
             print(f"wrote {path}")
         return 0
 
     def run_reports():
         if args.smoke:
-            return [smoke_check(seed=args.seed)]
+            return [smoke_check(seed=args.seed, cache=cache)]
         ftp_bytes = (args.ftp_bytes if args.ftp_bytes is not None
                      else DEFAULT_FTP_BYTES)
         if args.scenario == "all":
             return check_all(seed=args.seed, trial=args.trial,
-                             ftp_bytes=ftp_bytes)
-        return [check_scenario(args.scenario, seed=args.seed,
-                               trial=args.trial, ftp_bytes=ftp_bytes)]
+                             ftp_bytes=ftp_bytes, cache=cache)
+        scenario = _resolve_scenario_arg(args.scenario)
+        return [check_scenario(scenario, seed=args.seed,
+                               trial=args.trial, ftp_bytes=ftp_bytes,
+                               cache=cache)]
 
     if args.mutate_tick:
         # The mutation smoke test: the monitors must FAIL under an
@@ -482,7 +573,8 @@ def _cmd_check(args) -> int:
             failed = failed or not report.ok
     if args.golden:
         scenarios = None if args.scenario == "all" else [args.scenario]
-        diffs = compare(scenarios=scenarios, rtol=args.golden_rtol)
+        diffs = compare(scenarios=scenarios, rtol=args.golden_rtol,
+                        cache=cache)
         if diffs:
             failed = True
             for artifact, lines in sorted(diffs.items()):
@@ -490,10 +582,13 @@ def _cmd_check(args) -> int:
                     print(f"golden {artifact}: {line}")
         else:
             print("golden corpus: all artifacts match")
+    if cache is not None:
+        print(cache.render_summary())
     return 1 if failed else 0
 
 
 COMMANDS = {
+    "scenarios": _cmd_scenarios,
     "collect": _cmd_collect,
     "distill": _cmd_distill,
     "info": _cmd_info,

@@ -105,6 +105,12 @@ class Distiller:
         self.step = step
         self.ident = ident
 
+    def cache_token(self) -> Dict[str, Union[str, float, int, None]]:
+        """Deterministic identity for pipeline fingerprints."""
+        return {"distiller": type(self).__qualname__,
+                "window_width": self.window_width, "step": self.step,
+                "ident": self.ident}
+
     # ------------------------------------------------------------------
     def distill(self, records: Sequence[Union[TraceRecord, dict]],
                 name: str = "") -> DistillationResult:

@@ -1,0 +1,57 @@
+"""Deterministic fingerprints for pipeline stages.
+
+A fingerprint is the SHA-256 of a canonical-JSON rendering of a stage's
+identity: its name, its version, and a token for every declared input.
+Tokens come from :func:`cache_token` — objects participate either by
+being plain data, by being (frozen) dataclasses, or by exposing a
+``cache_token()`` method (scenarios, benchmark runners, distillers).
+
+Fingerprints are stable across processes and Python versions (SHA-256
+over sorted-key JSON, never ``hash()``), which is what makes the
+on-disk artifact store valid across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["cache_token", "canonical_json", "digest"]
+
+
+def cache_token(obj: Any) -> Any:
+    """A JSON-able, deterministic token for ``obj``.
+
+    Raises ``TypeError`` for objects with no stable identity — better a
+    loud failure than a fingerprint that silently ignores an input.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    token_method = getattr(obj, "cache_token", None)
+    if callable(token_method):
+        return cache_token(token_method())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__qualname__,
+                **{f.name: cache_token(getattr(obj, f.name))
+                   for f in dataclasses.fields(obj)}}
+    if isinstance(obj, (list, tuple)):
+        return [cache_token(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): cache_token(value) for key, value in obj.items()}
+    raise TypeError(
+        f"{type(obj).__qualname__} has no stable cache token; give it a "
+        f"cache_token() method or pass plain data")
+
+
+def canonical_json(token: Any) -> str:
+    """Sorted-key, minimal-separator JSON — the hashed byte form."""
+    return json.dumps(token, sort_keys=True, separators=(",", ":"),
+                      allow_nan=True)
+
+
+def digest(token: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``token``."""
+    blob = canonical_json(cache_token(token)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,131 @@
+"""Content-addressed artifact store.
+
+Artifacts are keyed by their producing stage's fingerprint and stored
+as pickles — on disk under ``<root>/objects/<fp[:2]>/<fp>.pkl`` with a
+JSON sidecar describing what produced them, or purely in memory when
+no root directory is given.  Both modes round-trip values through
+pickle, so a cached artifact is always a *fresh copy*: callers may
+mutate what they get back without corrupting the cache.
+
+Writes are atomic (temp file + rename) so a crashed run never leaves a
+truncated artifact behind; unreadable artifacts are treated as misses
+and dropped.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+__all__ = ["ArtifactStore"]
+
+_MISS = (False, None)
+
+
+class ArtifactStore:
+    """Pickle-valued, fingerprint-keyed store (disk or memory)."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else None
+        self._memory: Dict[str, bytes] = {}
+        if self.root is not None:
+            (self.root / "objects").mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _object_path(self, fingerprint: str) -> Path:
+        return (self.root / "objects" / fingerprint[:2]
+                / f"{fingerprint}.pkl")
+
+    def _meta_path(self, fingerprint: str) -> Path:
+        return self._object_path(fingerprint).with_suffix(".json")
+
+    # ------------------------------------------------------------------
+    def contains(self, fingerprint: str) -> bool:
+        if self.root is None:
+            return fingerprint in self._memory
+        return self._object_path(fingerprint).exists()
+
+    def get(self, fingerprint: str) -> Tuple[bool, Any]:
+        """(found, value).  Unreadable artifacts count as misses."""
+        if self.root is None:
+            blob = self._memory.get(fingerprint)
+            if blob is None:
+                return _MISS
+            return True, pickle.loads(blob)
+        path = self._object_path(fingerprint)
+        try:
+            blob = path.read_bytes()
+            return True, pickle.loads(blob)
+        except FileNotFoundError:
+            return _MISS
+        except (pickle.UnpicklingError, EOFError, OSError, AttributeError,
+                ImportError):
+            # Corrupt or stale artifact: drop it and recompute.
+            self.delete(fingerprint)
+            return _MISS
+
+    def put(self, fingerprint: str, value: Any,
+            meta: Optional[Dict[str, Any]] = None) -> None:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.root is None:
+            self._memory[fingerprint] = blob
+            return
+        path = self._object_path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, blob)
+        if meta is not None:
+            doc = dict(meta)
+            doc["fingerprint"] = fingerprint
+            doc["bytes"] = len(blob)
+            self._atomic_write(self._meta_path(fingerprint),
+                               json.dumps(doc, indent=1).encode("utf-8"))
+
+    def delete(self, fingerprint: str) -> None:
+        if self.root is None:
+            self._memory.pop(fingerprint, None)
+            return
+        for path in (self._object_path(fingerprint),
+                     self._meta_path(fingerprint)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> Iterator[str]:
+        if self.root is None:
+            yield from sorted(self._memory)
+            return
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.glob("*/*.pkl")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.fingerprints())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        where = str(self.root) if self.root is not None else "memory"
+        return f"<ArtifactStore {where}: {len(self)} artifact(s)>"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _atomic_write(path: Path, blob: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                   prefix=path.name + ".")
+        try:
+            with io.FileIO(fd, "wb") as f:
+                f.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,44 +1,92 @@
-"""The four evaluation scenarios (§4.1)."""
+"""Scenarios: the four paper traversals (§4.1) plus the open registry.
+
+Scenarios are declarative (:mod:`repro.scenarios.spec`) and discovered
+through the registry (:mod:`repro.scenarios.registry`) — import this
+package and every builtin is registered; drop a TOML/JSON spec file
+next to your experiment and :func:`resolve_scenario` runs it with no
+Python class at all.
+
+``ALL_SCENARIOS`` remains the four *paper* scenarios (what the golden
+corpus and ``check_all`` cover); the registry additionally knows about
+``roaming`` and any spec files registered at runtime.
+"""
 
 from .base import CONTROL_POINT_SPACING, Checkpoint, Scenario, jittered, spike
-from .chatterbox import ChatterboxScenario
-from .flagstaff import FlagstaffScenario
-from .porter import PorterScenario
+from .registry import (
+    ScenarioEntry,
+    register,
+    register_spec_file,
+    registered_scenarios,
+    resolve_scenario,
+    scenario_by_name,
+    scenario_names,
+    unregister,
+)
+from .spec import (
+    FieldPiece,
+    LossModel,
+    ScenarioSpec,
+    SpecError,
+    SpecScenario,
+    evaluate_field,
+    load_scenario,
+    load_spec,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+from .chatterbox import CHATTERBOX_SPEC, ChatterboxScenario
+from .flagstaff import FLAGSTAFF_SPEC, FlagstaffScenario
+from .porter import PORTER_SPEC, PorterScenario
 from .roaming import (
     RoamingProfile,
     RoamingScenario,
     WavePointSite,
     evenly_spaced_sites,
 )
-from .wean import WeanScenario
+from .wean import WEAN_SPEC, WeanScenario
 
+# The paper's four evaluation scenarios, in presentation order.  The
+# registry (scenario_names / registered_scenarios) is the open set.
 ALL_SCENARIOS = (WeanScenario, PorterScenario, FlagstaffScenario,
                  ChatterboxScenario)
 
-
-def scenario_by_name(name: str) -> Scenario:
-    """Instantiate a scenario by its lowercase name."""
-    for cls in ALL_SCENARIOS:
-        if cls.name == name.lower():
-            return cls()
-    raise KeyError(f"unknown scenario {name!r}; "
-                   f"choose from {[c.name for c in ALL_SCENARIOS]}")
-
-
 __all__ = [
     "ALL_SCENARIOS",
+    "CHATTERBOX_SPEC",
     "CONTROL_POINT_SPACING",
     "ChatterboxScenario",
     "Checkpoint",
+    "FLAGSTAFF_SPEC",
+    "FieldPiece",
     "FlagstaffScenario",
+    "LossModel",
+    "PORTER_SPEC",
     "PorterScenario",
     "RoamingProfile",
     "RoamingScenario",
-    "WavePointSite",
-    "evenly_spaced_sites",
     "Scenario",
+    "ScenarioEntry",
+    "ScenarioSpec",
+    "SpecError",
+    "SpecScenario",
+    "WEAN_SPEC",
+    "WavePointSite",
     "WeanScenario",
+    "evaluate_field",
+    "evenly_spaced_sites",
     "jittered",
+    "load_scenario",
+    "load_spec",
+    "register",
+    "register_spec_file",
+    "registered_scenarios",
+    "resolve_scenario",
+    "save_spec",
     "scenario_by_name",
+    "scenario_names",
+    "spec_from_dict",
+    "spec_to_dict",
     "spike",
+    "unregister",
 ]

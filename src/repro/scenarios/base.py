@@ -84,6 +84,23 @@ class Scenario:
                 break
         return label
 
+    def cache_token(self) -> dict:
+        """Stable identity used in pipeline fingerprints.
+
+        Spec-based scenarios hash their full spec; class-based scenarios
+        (like roaming) must override this to include every constructor
+        parameter that affects behaviour.
+        """
+        return {
+            "type": type(self).__qualname__,
+            "name": self.name,
+            "duration": self.duration,
+            "checkpoints": [[cp.label, cp.fraction]
+                            for cp in self.checkpoints],
+            "cross_laptops": self.cross_laptops,
+            "has_motion": self.has_motion,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Scenario {self.name} {self.duration:.0f}s>"
 

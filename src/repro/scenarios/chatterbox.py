@@ -7,7 +7,8 @@ against a remote NFS server.  Signal level is consistently high
 scenarios because the interfering stations contend for the shared
 medium — the degradation comes from *cross traffic*, which the
 validation harness generates with real SynRGen users on real simulated
-laptops rather than from this profile.
+laptops (``cross_laptops = 5`` in the spec) rather than from this
+profile.
 
 Loss stays reasonable; variance, however, is large (the paper notes
 the bursty SynRGen behaviour shows up as high variance in nearly every
@@ -16,37 +17,36 @@ Chatterbox measurement).
 
 from __future__ import annotations
 
-import random
+from .registry import register
+from .spec import FieldPiece, LossModel, ScenarioSpec, SpecScenario
 
-from ..net.wavelan import ChannelConditions
-from .base import Scenario, jittered, spike
-
-
-class ChatterboxScenario(Scenario):
-    """Busy conference room: no motion, five SynRGen interferers."""
-
-    name = "chatterbox"
-    duration = 240.0
-    checkpoints = ()          # no motion: Figure 5 uses histograms
-    cross_laptops = 5
-    has_motion = False
-
-    def base_conditions(self, u: float,
-                        rng: random.Random) -> ChannelConditions:
+CHATTERBOX_SPEC = ScenarioSpec(
+    name="chatterbox",
+    duration=240.0,
+    checkpoints=(),           # no motion: Figure 5 uses histograms
+    cross_laptops=5,
+    has_motion=False,
+    description="Busy conference room: no motion, five SynRGen "
+                "interferers.",
+    fields={
         # Static placement: good, steady signal...
-        signal = jittered(rng, 18.0, rel=0.06)
+        "signal": (FieldPiece(end=1.0, base=18.0, rel=0.06),),
         # ...low radio loss (the room is quiet RF-wise)...
-        loss = jittered(rng, 0.008, rel=0.6, hi=0.04)
+        "loss": (FieldPiece(end=1.0, base=0.008, rel=0.6, hi=0.04),),
         # ...full radio rate; the slowdown comes from contention with
         # the SynRGen stations, not the channel itself.  A small
         # residual penalty models capture effects under load.
-        bw = jittered(rng, 0.74, rel=0.04, lo=0.55, hi=0.82)
-        access = jittered(rng, 0.3e-3, rel=0.4, lo=0.05e-3)
-        access += spike(rng, 0.02, 8e-3)
-        return ChannelConditions(
-            signal_level=signal,
-            loss_prob_up=loss,
-            loss_prob_down=loss * 0.9,
-            bandwidth_factor=bw,
-            access_latency_mean=access,
-        )
+        "bandwidth": (FieldPiece(end=1.0, base=0.74, rel=0.04, lo=0.55,
+                                 hi=0.82),),
+        "access": (FieldPiece(end=1.0, base=0.3e-3, rel=0.4, lo=0.05e-3,
+                              spike_prob=0.02, spike_magnitude=8e-3),),
+    },
+    loss_model=LossModel(up_scale=1.0, down_scale=0.9),
+)
+
+
+@register
+class ChatterboxScenario(SpecScenario):
+    """Busy conference room: no motion, five SynRGen interferers."""
+
+    spec = CHATTERBOX_SPEC

@@ -11,61 +11,59 @@ somewhat better*; but *loss is markedly worse*, especially late in the
 traversal.  Live send/receive are strongly asymmetric here — the
 paper's FTP results show send slower than receive by more than 20
 seconds, the clearest violation of the distillation symmetry
-assumption (§5.3).
+assumption (§5.3).  The asymmetry lives in the spec's ``loss_model``:
+uplink loss is scaled 2.2× (capped at 20 %) while downlink sees only
+0.3× of the drawn loss.
 """
 
 from __future__ import annotations
 
-import random
+from .base import Checkpoint
+from .registry import register
+from .spec import FieldPiece, LossModel, ScenarioSpec, SpecScenario
 
-from ..net.wavelan import ChannelConditions
-from .base import Checkpoint, Scenario, jittered, spike
-
-
-class FlagstaffScenario(Scenario):
-    """Outdoor walk through Schenley Park and around Flagstaff Hill."""
-
-    name = "flagstaff"
-    duration = 240.0
-    checkpoints = tuple(
+FLAGSTAFF_SPEC = ScenarioSpec(
+    name="flagstaff",
+    duration=240.0,
+    checkpoints=tuple(
         Checkpoint(f"y{i}", frac)
         for i, frac in enumerate((0.0, 0.10, 0.20, 0.31, 0.42, 0.52,
                                   0.64, 0.76, 0.87, 0.96))
-    )
+    ),
+    description="Outdoor walk through Schenley Park and around "
+                "Flagstaff Hill.",
+    fields={
+        # Signal: variable start, sharp fall entering the park, then low.
+        "signal": (
+            FieldPiece(end=0.10, base=15.0, rel=0.40),
+            FieldPiece(end=0.20, base=15.0, slope=-7.0, span=0.10,
+                       rel=0.20),
+            FieldPiece(end=1.0, base=7.5, rel=0.18),
+        ),
+        # Loss: the weak point; worsens along the traversal.
+        "loss": (
+            FieldPiece(end=0.20, base=0.005, rel=0.45, hi=0.05),
+            FieldPiece(end=0.55, base=0.008, rel=0.45, hi=0.05),
+            FieldPiece(end=1.0, base=0.018, rel=0.45, hi=0.05),
+        ),
+        # Bandwidth somewhat better than Porter.
+        "bandwidth": (
+            FieldPiece(end=1.0, base=0.76, rel=0.03, lo=0.5, hi=0.84),
+        ),
+        # Latency much better than Porter (outdoors, no roaming).
+        "access": (
+            FieldPiece(end=1.0, base=0.2e-3, rel=0.5, lo=0.05e-3,
+                       spike_prob=0.015, spike_magnitude=12e-3),
+        ),
+    },
+    # Strong asymmetry: uplink (laptop -> distant WavePoint) loses far
+    # more than downlink — live FTP send >> recv here.
+    loss_model=LossModel(up_scale=2.2, up_cap=0.20, down_scale=0.30),
+)
 
-    def base_conditions(self, u: float,
-                        rng: random.Random) -> ChannelConditions:
-        # --- signal: variable start, sharp fall entering the park ---------
-        if u < 0.10:
-            signal = jittered(rng, 15.0, rel=0.40)
-        elif u < 0.20:
-            ramp = (u - 0.10) / 0.10
-            signal = jittered(rng, 15.0 - 7.0 * ramp, rel=0.20)
-        else:
-            signal = jittered(rng, 7.5, rel=0.18)
 
-        # --- loss: the weak point; worsens along the traversal ------------
-        if u < 0.20:
-            base_loss = 0.005
-        elif u < 0.55:
-            base_loss = 0.008
-        else:
-            base_loss = 0.018              # late traversal: worst
-        loss = jittered(rng, base_loss, rel=0.45, hi=0.05)
+@register
+class FlagstaffScenario(SpecScenario):
+    """Outdoor walk through Schenley Park and around Flagstaff Hill."""
 
-        # --- bandwidth somewhat better than Porter ------------------------
-        bw = jittered(rng, 0.76, rel=0.03, lo=0.5, hi=0.84)
-
-        # --- latency much better than Porter (outdoors, no roaming) -------
-        access = jittered(rng, 0.2e-3, rel=0.5, lo=0.05e-3)
-        access += spike(rng, 0.015, 12e-3)
-
-        return ChannelConditions(
-            signal_level=signal,
-            # Strong asymmetry: uplink (laptop -> distant WavePoint) loses
-            # far more than downlink — live FTP send >> recv here.
-            loss_prob_up=min(0.20, loss * 2.2),
-            loss_prob_down=loss * 0.30,
-            bandwidth_factor=bw,
-            access_latency_mean=access,
-        )
+    spec = FLAGSTAFF_SPEC

@@ -7,62 +7,63 @@ highly variable near x5.  Latency sits between 1.5 and 10 ms with
 occasional spikes toward 100 ms; bandwidth is typically 1.4–1.6 Mb/s
 with dips toward 900 Kb/s; loss stays below ~10 %, worst on the early
 patio and at the end of Porter Hall.
+
+The traversal is pure data: ``PORTER_SPEC`` below.  Ramp ``span``
+values are pinned to the paper-era literals (e.g. the patio ramp's
+0.28) so the spec replays bit-identically to the original hand-written
+profile — the golden-master corpus checks exactly that.
 """
 
 from __future__ import annotations
 
-import random
+from .base import Checkpoint
+from .registry import register
+from .spec import FieldPiece, LossModel, ScenarioSpec, SpecScenario
 
-from ..net.wavelan import ChannelConditions
-from .base import Checkpoint, Scenario, jittered, spike
-
-
-class PorterScenario(Scenario):
-    """Inter-building walk from Wean Hall to and through Porter Hall."""
-
-    name = "porter"
-    duration = 240.0
-    checkpoints = tuple(
+PORTER_SPEC = ScenarioSpec(
+    name="porter",
+    duration=240.0,
+    checkpoints=tuple(
         Checkpoint(f"x{i}", frac)
         for i, frac in enumerate((0.0, 0.12, 0.26, 0.40, 0.55, 0.75, 0.92))
-    )
+    ),
+    description="Inter-building walk from Wean Hall to and through "
+                "Porter Hall.",
+    fields={
+        # Signal: variable lobby, steady patio improvement, falling off
+        # through Porter Hall, variable again near x5-x6.
+        "signal": (
+            FieldPiece(end=0.12, base=14.0, rel=0.40),
+            FieldPiece(end=0.40, base=14.0, slope=9.0, span=0.28, rel=0.12),
+            FieldPiece(end=0.75, base=23.0, slope=-10.0, span=0.35,
+                       rel=0.15),
+            FieldPiece(end=1.0, base=11.0, rel=0.45),
+        ),
+        # Loss: worst on the early patio and at the end of the hall.
+        "loss": (
+            FieldPiece(end=0.25, base=0.010, rel=0.5, hi=0.04),
+            FieldPiece(end=0.80, base=0.004, rel=0.5, hi=0.04,
+                       inclusive=True),
+            FieldPiece(end=1.0, base=0.012, rel=0.5, hi=0.04),
+        ),
+        # Bandwidth 1.4-1.6 Mb/s with occasional deep dips toward 900 Kb/s.
+        "bandwidth": (
+            FieldPiece(end=1.0, base=0.70, rel=0.04, lo=0.35, hi=0.80,
+                       dip_prob=0.05, dip_lo=0.42, dip_hi=0.55),
+        ),
+        # Latency 1.5-10 ms typical, spikes toward 100 ms.
+        "access": (
+            FieldPiece(end=1.0, base=0.35e-3, rel=0.5, lo=0.05e-3,
+                       spike_prob=0.025, spike_magnitude=8e-3),
+        ),
+    },
+    # Mild live asymmetry (§5.3).
+    loss_model=LossModel(up_scale=1.25, down_scale=0.8),
+)
 
-    def base_conditions(self, u: float,
-                        rng: random.Random) -> ChannelConditions:
-        # --- signal level -------------------------------------------------
-        if u < 0.12:                      # lobby: highly variable
-            signal = jittered(rng, 14.0, rel=0.40)
-        elif u < 0.40:                    # patio: steady improvement
-            ramp = (u - 0.12) / 0.28
-            signal = jittered(rng, 14.0 + 9.0 * ramp, rel=0.12)
-        elif u < 0.75:                    # Porter Hall: falling off
-            ramp = (u - 0.40) / 0.35
-            signal = jittered(rng, 23.0 - 10.0 * ramp, rel=0.15)
-        else:                             # near x5-x6: variable again
-            signal = jittered(rng, 11.0, rel=0.45)
 
-        # --- loss: worst early patio and end of hall ----------------------
-        if u < 0.25:
-            base_loss = 0.010
-        elif u > 0.80:
-            base_loss = 0.012
-        else:
-            base_loss = 0.004
-        loss = jittered(rng, base_loss, rel=0.5, hi=0.04)
+@register
+class PorterScenario(SpecScenario):
+    """Inter-building walk from Wean Hall to and through Porter Hall."""
 
-        # --- bandwidth 1.4-1.6 Mb/s, dips to ~0.9 -------------------------
-        bw = jittered(rng, 0.70, rel=0.04, lo=0.35, hi=0.80)
-        if rng.random() < 0.05:           # occasional deep dip
-            bw = rng.uniform(0.42, 0.55)
-
-        # --- latency: 1.5-10 ms typical, spikes toward 100 ms -------------
-        access = jittered(rng, 0.35e-3, rel=0.5, lo=0.05e-3)
-        access += spike(rng, 0.025, 8e-3)
-
-        return ChannelConditions(
-            signal_level=signal,
-            loss_prob_up=loss * 1.25,     # mild live asymmetry (§5.3)
-            loss_prob_down=loss * 0.8,
-            bandwidth_factor=bw,
-            access_latency_mean=access,
-        )
+    spec = PORTER_SPEC

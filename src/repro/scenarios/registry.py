@@ -1,0 +1,124 @@
+"""The scenario registry.
+
+Scenarios register themselves by name — builtin classes through the
+:func:`register` decorator, spec files through
+:func:`register_spec_file` — and every consumer (CLI, validation
+harness, check runner, golden corpus) resolves them through one dict
+lookup instead of scanning a hard-coded tuple.
+
+``resolve_scenario`` additionally accepts a *path* to a TOML/JSON spec
+file, which is what lets a scenario defined purely as data run through
+the whole collect → distill → modulate pipeline from the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .base import Scenario
+
+SOURCE_BUILTIN = "builtin"
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One registered scenario: how to build it and where it came from."""
+
+    name: str
+    factory: Callable[[], Scenario]
+    source: str = SOURCE_BUILTIN
+
+    def make(self) -> Scenario:
+        return self.factory()
+
+
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register(cls=None, *, name: Optional[str] = None,
+             source: str = SOURCE_BUILTIN):
+    """Class decorator adding a scenario to the registry.
+
+    The registered name defaults to the class's ``name`` attribute.
+    Registration is idempotent for the same factory; a *different*
+    factory under an existing name is an error (catches copy-paste
+    name collisions at import time).
+    """
+
+    def _register(factory):
+        reg_name = (name or getattr(factory, "name", "")).lower()
+        if not reg_name:
+            raise ValueError(f"{factory!r} has no scenario name")
+        existing = _REGISTRY.get(reg_name)
+        if existing is not None and existing.factory is not factory:
+            raise ValueError(
+                f"scenario name {reg_name!r} already registered by "
+                f"{existing.factory!r}")
+        _REGISTRY[reg_name] = ScenarioEntry(name=reg_name, factory=factory,
+                                            source=source)
+        return factory
+
+    if cls is None:
+        return _register
+    return _register(cls)
+
+
+def unregister(name: str) -> None:
+    """Remove a registration (test helper; unknown names are ignored)."""
+    _REGISTRY.pop(name.lower(), None)
+
+
+def register_spec_file(path: Union[str, Path]) -> ScenarioEntry:
+    """Load a TOML/JSON spec file and register it under its own name."""
+    from .spec import load_spec, SpecScenario
+
+    path = Path(path)
+    spec = load_spec(path)
+
+    def factory(spec=spec):
+        return SpecScenario(spec)
+
+    factory.name = spec.name
+    register(factory, name=spec.name, source=str(path))
+    return _REGISTRY[spec.name]
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def registered_scenarios() -> List[ScenarioEntry]:
+    """All registry entries, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Instantiate a registered scenario by its (lowercase) name."""
+    entry = _REGISTRY.get(name.lower())
+    if entry is None:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"choose from {scenario_names()}")
+    return entry.make()
+
+
+def resolve_scenario(name_or_path: Union[str, Scenario]) -> Scenario:
+    """A scenario from a registered name or a TOML/JSON spec file path.
+
+    Already-built :class:`Scenario` instances pass through unchanged, so
+    APIs can accept either form.
+    """
+    if isinstance(name_or_path, Scenario):
+        return name_or_path
+    text = str(name_or_path)
+    if text.lower().endswith((".toml", ".json")) or "/" in text \
+            or "\\" in text:
+        from .spec import load_scenario
+
+        path = Path(text)
+        if not path.exists():
+            raise FileNotFoundError(f"scenario spec file not found: {text}")
+        return load_scenario(path)
+    return scenario_by_name(text)

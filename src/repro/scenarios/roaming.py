@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 from ..net.wavelan import ChannelConditions, ChannelProfile
 from ..sim.rng import derive_seed
 from .base import Checkpoint, Scenario, jittered
+from .registry import register
 
 DEFAULT_HANDOFF_OUTAGE = 0.35   # seconds of deauth/reauth blackout
 DEFAULT_HYSTERESIS = 2.0        # signal units required to switch
@@ -119,6 +120,7 @@ class RoamingProfile(ChannelProfile):
         ).clamped()
 
 
+@register
 class RoamingScenario(Scenario):
     """A straight walk under a row of WavePoints with live handoffs."""
 
@@ -146,3 +148,13 @@ class RoamingScenario(Scenario):
     def expected_handoffs(self) -> int:
         """A straight walk crosses every coverage boundary once."""
         return len(self.sites) - 1
+
+    def cache_token(self) -> dict:
+        token = super().cache_token()
+        token.update(
+            sites=[[s.position, s.peak_signal, s.falloff]
+                   for s in self.sites],
+            handoff_outage=self.handoff_outage,
+            hysteresis=self.hysteresis,
+        )
+        return token

@@ -10,14 +10,18 @@ Four motion regions inside Wean Hall:
 4. **z5–z7** — walking to the classroom: good signal again.
 
 Bandwidth runs somewhat lower than Porter throughout.
+
+The traversal is pure data: ``WEAN_SPEC`` below.  Wean draws its
+media-access latency *before* bandwidth (``draw_order``), matching the
+original hand-written profile so the per-trial RNG stream is consumed
+identically — the golden-master corpus pins this byte-for-byte.
 """
 
 from __future__ import annotations
 
-import random
-
-from ..net.wavelan import ChannelConditions
-from .base import Checkpoint, Scenario, jittered, spike
+from .base import Checkpoint
+from .registry import register
+from .spec import FieldPiece, LossModel, ScenarioSpec, SpecScenario
 
 # Region boundaries as fractions of the traversal.
 WALK_END = 0.38       # z0-z3
@@ -25,54 +29,59 @@ WAIT_END = 0.55       # z3-z4
 ELEVATOR_END = 0.68   # z4-z5
 # z5-z7 afterwards
 
-
-class WeanScenario(Scenario):
-    """Office-to-classroom walk inside Wean Hall, elevator included."""
-
-    name = "wean"
-    duration = 240.0
-    checkpoints = tuple(
+WEAN_SPEC = ScenarioSpec(
+    name="wean",
+    duration=240.0,
+    checkpoints=tuple(
         Checkpoint(f"z{i}", frac)
         for i, frac in enumerate((0.0, 0.13, 0.26, 0.38, 0.55, 0.68,
                                   0.84, 0.96))
-    )
-
-    def base_conditions(self, u: float,
-                        rng: random.Random) -> ChannelConditions:
-        if u < WALK_END:
-            # Office with poor connectivity, improving along the hallway.
-            ramp = u / WALK_END
-            signal = jittered(rng, 10.0 + 8.0 * ramp, rel=0.30)
-            loss = jittered(rng, 0.005 - 0.003 * ramp, rel=0.5, hi=0.025)
-            access = jittered(rng, 0.4e-3, rel=0.5, lo=0.1e-3)
-            access += spike(rng, 0.02, 12e-3)
-        elif u < WAIT_END:
-            # Waiting by the elevator: quite good.
-            signal = jittered(rng, 22.0, rel=0.08)
-            loss = jittered(rng, 0.004, rel=0.5, hi=0.02)
-            access = jittered(rng, 0.3e-3, rel=0.4, lo=0.1e-3)
-        elif u < ELEVATOR_END:
-            # The elevator: signal collapses, latency ~350 ms, loss atrocious.
-            signal = jittered(rng, 2.0, rel=0.6)
-            loss = jittered(rng, 0.40, rel=0.25, hi=0.70)
-            access = jittered(rng, 120e-3, rel=0.5, lo=20e-3)
-        else:
-            # Walk to the classroom: good again.
-            signal = jittered(rng, 19.0, rel=0.12)
-            loss = jittered(rng, 0.006, rel=0.5, hi=0.03)
-            access = jittered(rng, 0.4e-3, rel=0.5, lo=0.1e-3)
-
+    ),
+    description="Office-to-classroom walk inside Wean Hall, elevator "
+                "included.",
+    draw_order=("signal", "loss", "access", "bandwidth"),
+    fields={
+        # Office with poor connectivity improving along the hallway,
+        # good by the elevator, collapsing inside it, good again after.
+        "signal": (
+            FieldPiece(end=WALK_END, base=10.0, slope=8.0, span=WALK_END,
+                       rel=0.30),
+            FieldPiece(end=WAIT_END, base=22.0, rel=0.08),
+            FieldPiece(end=ELEVATOR_END, base=2.0, rel=0.6),
+            FieldPiece(end=1.0, base=19.0, rel=0.12),
+        ),
+        "loss": (
+            FieldPiece(end=WALK_END, base=0.005, slope=-0.003,
+                       span=WALK_END, rel=0.5, hi=0.025),
+            FieldPiece(end=WAIT_END, base=0.004, rel=0.5, hi=0.02),
+            # The elevator: loss atrocious.
+            FieldPiece(end=ELEVATOR_END, base=0.40, rel=0.25, hi=0.70),
+            FieldPiece(end=1.0, base=0.006, rel=0.5, hi=0.03),
+        ),
+        # Latency ~350 ms inside the elevator, sub-millisecond elsewhere.
+        "access": (
+            FieldPiece(end=WALK_END, base=0.4e-3, rel=0.5, lo=0.1e-3,
+                       spike_prob=0.02, spike_magnitude=12e-3),
+            FieldPiece(end=WAIT_END, base=0.3e-3, rel=0.4, lo=0.1e-3),
+            FieldPiece(end=ELEVATOR_END, base=120e-3, rel=0.5, lo=20e-3),
+            FieldPiece(end=1.0, base=0.4e-3, rel=0.5, lo=0.1e-3),
+        ),
         # Bandwidth somewhat lower than Porter's throughout; terrible
         # inside the elevator.
-        if u < WAIT_END or u >= ELEVATOR_END:
-            bw = jittered(rng, 0.66, rel=0.04, lo=0.40, hi=0.74)
-        else:
-            bw = jittered(rng, 0.30, rel=0.3, lo=0.10, hi=0.55)
+        "bandwidth": (
+            FieldPiece(end=WAIT_END, base=0.66, rel=0.04, lo=0.40,
+                       hi=0.74),
+            FieldPiece(end=ELEVATOR_END, base=0.30, rel=0.3, lo=0.10,
+                       hi=0.55),
+            FieldPiece(end=1.0, base=0.66, rel=0.04, lo=0.40, hi=0.74),
+        ),
+    },
+    loss_model=LossModel(up_scale=1.2, up_cap=0.95, down_scale=0.85),
+)
 
-        return ChannelConditions(
-            signal_level=signal,
-            loss_prob_up=min(0.95, loss * 1.2),
-            loss_prob_down=loss * 0.85,
-            bandwidth_factor=bw,
-            access_latency_mean=access,
-        )
+
+@register
+class WeanScenario(SpecScenario):
+    """Office-to-classroom walk inside Wean Hall, elevator included."""
+
+    spec = WEAN_SPEC

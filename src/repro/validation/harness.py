@@ -54,6 +54,14 @@ class BenchmarkRunner:
     name: str = "benchmark"
     metrics: tuple = ()
 
+    def cache_token(self) -> Dict[str, Any]:
+        """Deterministic identity for pipeline fingerprints.
+
+        Subclasses with constructor parameters that change behaviour
+        must extend this with those parameters.
+        """
+        return {"runner": type(self).__qualname__, "name": self.name}
+
     def variants(self) -> list:
         """Independent sub-experiments, each run in its own world.
 
@@ -80,8 +88,17 @@ class WebRunner(BenchmarkRunner):
 
     def __init__(self, workload_seed: int = 42, users: int = 5,
                  requests_per_user: int = 55):
+        self.workload_seed = workload_seed
+        self.users = users
+        self.requests_per_user = requests_per_user
         self.traces = all_user_traces(workload_seed, users=users,
                                       requests=requests_per_user)
+
+    def cache_token(self) -> Dict[str, Any]:
+        token = super().cache_token()
+        token.update(workload_seed=self.workload_seed, users=self.users,
+                     requests_per_user=self.requests_per_user)
+        return token
 
     def install_servers(self, world, seed: int) -> None:
         WebServer(world.server, object_catalog(self.traces)).start()
@@ -108,6 +125,11 @@ class FtpRunner(BenchmarkRunner):
         self.direction = direction
         self.metrics = (("send", "recv") if direction == "both"
                         else (direction,))
+
+    def cache_token(self) -> Dict[str, Any]:
+        token = super().cache_token()
+        token.update(nbytes=self.nbytes, direction=self.direction)
+        return token
 
     def variants(self) -> list:
         if self.direction == "both":
@@ -417,34 +439,20 @@ def compensation_vb(seed: int = 1729) -> float:
 def validate_scenario(scenario: Scenario, runner: BenchmarkRunner,
                       seed: int = 0, trials: int = 4,
                       distiller: Optional[Distiller] = None,
-                      compensation: Optional[float] = None
-                      ) -> ScenarioValidation:
-    """The paper's full protocol for one scenario/benchmark pair."""
-    comp = compensation if compensation is not None else compensation_vb()
-    distillations = []
-    for t in range(trials):
-        records = collect_trace(scenario, seed, t)
-        distillations.append(distill_scenario_trace(
-            records, name=f"{scenario.name}-{t}", distiller=distiller))
+                      compensation: Optional[float] = None,
+                      cache=None) -> ScenarioValidation:
+    """The paper's full protocol for one scenario/benchmark pair.
 
-    validation = ScenarioValidation(scenario=scenario.name,
-                                    benchmark=runner.name,
-                                    distillations=distillations)
-    for variant in runner.variants():
-        real_runs = [run_live_trial(scenario, variant, seed, t)
-                     for t in range(trials)]
-        modulated_runs = [
-            run_modulated_trial(distillations[t].replay, variant, seed, t,
-                                comp)
-            for t in range(trials)
-        ]
-        for metric in variant.metrics:
-            validation.comparisons[metric] = MetricComparison(
-                metric=metric,
-                real=Summary.of([r[metric] for r in real_runs]),
-                modulated=Summary.of([m[metric] for m in modulated_runs]),
-            )
-    return validation
+    A thin serial front to :func:`repro.validation.parallel.run_validation`
+    (``workers=1``), so the serial, parallel and cached paths are one
+    code path; ``cache`` enables the content-addressed artifact store.
+    """
+    from .parallel import run_validation
+
+    sweep = run_validation(scenario, runner, seed=seed, trials=trials,
+                           distiller=distiller, compensation=compensation,
+                           workers=1, cache=cache)
+    return sweep.validations[0]
 
 
 def ethernet_baseline(runner: BenchmarkRunner, seed: int = 0,

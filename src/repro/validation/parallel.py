@@ -36,7 +36,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pickle import PicklingError
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -44,6 +44,17 @@ from ..analysis.stats import Summary
 from ..core.distill import DistillationResult, Distiller
 from ..core.replay import ReplayTrace
 from ..obs import ObsConfig
+from ..pipeline import (
+    CollectStage,
+    CompensationStage,
+    DistillStage,
+    EthernetTrialStage,
+    LiveTrialStage,
+    ModulatedTrialStage,
+    Pipeline,
+    as_pipeline,
+    digest,
+)
 from ..scenarios.base import Scenario
 from .harness import (
     BenchmarkRunner,
@@ -63,6 +74,7 @@ __all__ = [
     "ValidationSweep",
     "execute_trial",
     "run_validation",
+    "spec_fingerprint",
     "validate_scenario_parallel",
     "ethernet_baseline_parallel",
     "characterize_scenario_parallel",
@@ -116,6 +128,10 @@ class TrialSpec:
     distiller: Optional[Distiller] = None
     name: str = ""
     obs: Optional[ObsConfig] = None
+    # Pipeline-stage fingerprint of this trial's result.  Set by the
+    # sweep when it runs with an artifact cache; ``None`` means the
+    # trial is uncacheable and always executes.
+    fingerprint: Optional[str] = None
 
     def cost_hint(self) -> float:
         """Rough relative wall-clock cost, for longest-first submission.
@@ -166,6 +182,50 @@ def execute_trial(spec: TrialSpec):
     raise ValueError(f"unknown trial kind {spec.kind!r}")
 
 
+def spec_fingerprint(spec: TrialSpec,
+                     distill_stage: Optional[DistillStage] = None
+                     ) -> Optional[str]:
+    """The pipeline-stage fingerprint of a trial spec's result.
+
+    Live, modulated and Ethernet specs return exactly what the matching
+    pipeline stage computes, so they share the stage's own fingerprint
+    (and thus its cached artifacts).  A ``"distill"`` spec folds collect
+    and distill into one worker task; without observability its result
+    is the :class:`DistillStage` artifact, with observability it is the
+    ``{"__distill__", "__obs__"}`` wrapper, which gets its own keyspace.
+
+    ``distill_stage`` supplies the upstream ancestry for ``"modulated"``
+    specs (the spec itself only carries the materialized replay).
+    Returns ``None`` — never cache — when an input has no stable token.
+    """
+    try:
+        if spec.kind == "distill":
+            stage = DistillStage(
+                CollectStage(spec.scenario, spec.seed, spec.trial,
+                             obs=spec.obs),
+                distiller=spec.distiller, label=spec.name)
+            if spec.obs is None:
+                return stage.fingerprint()
+            return digest({"trial": "distill+obs",
+                           "stage": stage.fingerprint()})
+        if spec.kind == "live":
+            return LiveTrialStage(spec.scenario, spec.runner, spec.seed,
+                                  spec.trial, obs=spec.obs).fingerprint()
+        if spec.kind == "modulated":
+            if distill_stage is None:
+                return None
+            return ModulatedTrialStage(distill_stage, spec.runner,
+                                       spec.seed, spec.trial,
+                                       compensation=spec.compensation,
+                                       obs=spec.obs).fingerprint()
+        if spec.kind == "ethernet":
+            return EthernetTrialStage(spec.runner, spec.seed, spec.trial,
+                                      obs=spec.obs).fingerprint()
+    except TypeError:
+        return None
+    return None
+
+
 # ======================================================================
 # The executor
 # ======================================================================
@@ -177,16 +237,23 @@ class _TrialFuture:
     spec will not pickle, recomputes the trial in-process.  Either way
     ``result()`` returns exactly what ``execute_trial(spec)`` returns,
     so the executor's fallback paths cannot change any result.
+
+    A future may instead be born *resolved* with a cached artifact
+    (``value=``), or carry a ``pipeline`` that stores the computed
+    result under the spec's fingerprint the moment it lands — before
+    the caller can mutate it.
     """
 
     _UNSET = object()
 
     def __init__(self, spec: TrialSpec, future=None,
-                 executor: Optional["TrialExecutor"] = None):
+                 executor: Optional["TrialExecutor"] = None,
+                 value=_UNSET, pipeline: Optional[Pipeline] = None):
         self._spec = spec
         self._future = future
         self._executor = executor
-        self._result = self._UNSET
+        self._result = value
+        self._pipeline = pipeline
 
     def result(self):
         if self._result is not self._UNSET:
@@ -200,6 +267,10 @@ class _TrialFuture:
                 self._result = execute_trial(self._spec)
         else:
             self._result = execute_trial(self._spec)
+        if self._pipeline is not None and self._spec.fingerprint is not None:
+            self._pipeline.store_result(self._spec.fingerprint,
+                                        self._result,
+                                        stage=self._spec.kind)
         return self._result
 
 
@@ -217,10 +288,20 @@ class TrialExecutor:
     Usable as a context manager; the pool is created lazily on the
     first parallel submission and reused across phases so worker
     startup is paid once per sweep, not once per phase.
+
+    With a ``pipeline`` attached, fingerprinted specs are looked up in
+    its artifact store at submission time — a hit returns an
+    already-resolved future without touching the pool — and computed
+    results are stored as they land.  Caching cannot change results:
+    artifacts are keyed by the same inputs that determine the trial's
+    output, and cached values round-trip through pickle so callers get
+    fresh copies.
     """
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(self, workers: Optional[int] = None,
+                 pipeline: Optional[Pipeline] = None):
         self.workers = default_workers() if workers is None else max(1, int(workers))
+        self.pipeline = pipeline
         self._pool: Optional[ProcessPoolExecutor] = None
         self._serial_fallback = self.workers <= 1
 
@@ -249,15 +330,21 @@ class TrialExecutor:
     # -- execution ------------------------------------------------------
     def submit(self, spec: TrialSpec) -> _TrialFuture:
         """Queue one trial; its result is read with ``.result()``."""
+        if self.pipeline is not None and spec.fingerprint is not None:
+            found, value = self.pipeline.lookup(spec.fingerprint,
+                                                stage=spec.kind)
+            if found:
+                return _TrialFuture(spec, value=value)
         pool = self._ensure_pool()
         if pool is None:
-            return _TrialFuture(spec)
+            return _TrialFuture(spec, pipeline=self.pipeline)
         try:
             future = pool.submit(execute_trial, spec)
         except (BrokenProcessPool, PicklingError, OSError, RuntimeError):
             self._mark_broken()
-            return _TrialFuture(spec)
-        return _TrialFuture(spec, future=future, executor=self)
+            return _TrialFuture(spec, pipeline=self.pipeline)
+        return _TrialFuture(spec, future=future, executor=self,
+                            pipeline=self.pipeline)
 
     def submit_all(self, specs: Sequence[TrialSpec]) -> List[_TrialFuture]:
         """Submit a batch, longest trials first.
@@ -275,11 +362,13 @@ class TrialExecutor:
         return futures
 
     def map(self, specs: Sequence[TrialSpec]) -> List:
-        """Execute all specs; results align index-for-index with specs."""
-        specs = list(specs)
-        if self._serial_fallback or len(specs) <= 1:
-            return [execute_trial(s) for s in specs]
-        return [f.result() for f in self.submit_all(specs)]
+        """Execute all specs; results align index-for-index with specs.
+
+        Always routed through :meth:`submit_all` (even for one spec or
+        in serial mode, where futures resolve lazily in order) so cache
+        lookups and stores apply uniformly.
+        """
+        return [f.result() for f in self.submit_all(list(specs))]
 
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
         if self._serial_fallback:
@@ -293,11 +382,19 @@ class TrialExecutor:
 
 
 def _executor_for(workers: Optional[int],
-                  executor: Optional[TrialExecutor]) -> tuple:
-    """(executor, owns_it): reuse the caller's executor when given."""
+                  executor: Optional[TrialExecutor],
+                  pipeline: Optional[Pipeline] = None) -> tuple:
+    """(executor, owns_it): reuse the caller's executor when given.
+
+    A given ``pipeline`` is attached to the executor either way (a
+    caller-supplied executor keeps its own pipeline if it already has
+    one).
+    """
     if executor is not None:
+        if pipeline is not None and executor.pipeline is None:
+            executor.pipeline = pipeline
         return executor, False
-    return TrialExecutor(workers=workers), True
+    return TrialExecutor(workers=workers, pipeline=pipeline), True
 
 
 # ======================================================================
@@ -350,15 +447,15 @@ def validate_scenario_parallel(scenario: Scenario, runner: BenchmarkRunner,
                                distiller: Optional[Distiller] = None,
                                compensation: Optional[float] = None,
                                workers: Optional[int] = None,
-                               executor: Optional[TrialExecutor] = None
-                               ) -> ScenarioValidation:
+                               executor: Optional[TrialExecutor] = None,
+                               cache=None) -> ScenarioValidation:
     """Parallel version of :func:`repro.validation.harness.validate_scenario`.
 
     Bit-identical to the serial implementation for the same arguments.
     """
     sweep = run_validation([scenario], runner, seed=seed, trials=trials,
                            distiller=distiller, compensation=compensation,
-                           workers=workers, executor=executor)
+                           workers=workers, executor=executor, cache=cache)
     return sweep.validations[0]
 
 
@@ -431,6 +528,11 @@ class ValidationSweep:
     # deterministically: per scenario, collections then live then
     # modulated (variant-major), then the baseline trials.
     trial_metrics: List[Dict] = field(default_factory=list)
+    # Artifact-cache accounting when the sweep ran with ``cache=``:
+    # how many trials were loaded versus recomputed (both zero means
+    # the sweep ran uncached).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def render(self, title: Optional[str] = None, caption: str = "") -> str:
         """The Figures 6–8 style table for this sweep.
@@ -459,8 +561,8 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
                    baseline: bool = False,
                    workers: Optional[int] = None,
                    executor: Optional[TrialExecutor] = None,
-                   obs: Optional[ObsConfig] = None
-                   ) -> ValidationSweep:
+                   obs: Optional[ObsConfig] = None,
+                   cache=None) -> ValidationSweep:
     """Run the paper's validation protocol over one or more scenarios.
 
     The sweep is fully pipelined: every trial with no input dependency
@@ -474,34 +576,68 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
     The delay-compensation constant is measured once, in the parent,
     and shipped to every worker — exactly like the serial harness,
     which measures it once per process.
+
+    ``cache`` (a directory path, :class:`~repro.pipeline.ArtifactStore`
+    or :class:`~repro.pipeline.Pipeline`) turns on content-addressed
+    artifact caching: every trial is fingerprinted through the pipeline
+    stages and looked up before it is executed, so a warm rerun of the
+    same sweep recomputes nothing.  Results are identical with or
+    without a cache.
     """
     if isinstance(scenarios, Scenario):
         scenarios = [scenarios]
     # Accept scenario classes (ALL_SCENARIOS is a tuple of classes).
     scenarios = [s() if isinstance(s, type) else s for s in scenarios]
-    comp = compensation if compensation is not None else compensation_vb()
-    exe, owned = _executor_for(workers, executor)
+    pipeline = as_pipeline(cache)
+    cache_mark = len(pipeline.executions) if pipeline is not None else 0
+    if compensation is not None:
+        comp = compensation
+    elif pipeline is not None:
+        comp = pipeline.run(CompensationStage())
+    else:
+        comp = compensation_vb()
+    exe, owned = _executor_for(workers, executor, pipeline)
     try:
         variants = runner.variants()
         n = len(scenarios)
+
+        def _fp(spec: TrialSpec,
+                dist_stage: Optional[DistillStage] = None) -> TrialSpec:
+            if pipeline is None:
+                return spec
+            return replace(spec,
+                           fingerprint=spec_fingerprint(spec, dist_stage))
+
+        # Distill-stage ancestry per (scenario, trial): the modulated
+        # specs chain these fingerprints so a changed scenario spec or
+        # distiller invalidates exactly its downstream trials.
+        dist_stages: List[List[DistillStage]] = []
+        if pipeline is not None:
+            for scenario in scenarios:
+                dist_stages.append([
+                    DistillStage(CollectStage(scenario, seed, t, obs=obs),
+                                 distiller=distiller,
+                                 label=f"{scenario.name}-{t}")
+                    for t in range(trials)])
 
         # ---- queue every dependency-free trial -----------------------
         nodep_specs: List[TrialSpec] = []
         for scenario in scenarios:
             nodep_specs.extend(
+                _fp(spec) for spec in
                 _distill_specs(scenario, seed, trials, distiller, obs))
         for scenario in scenarios:
             for variant in variants:
                 for t in range(trials):
-                    nodep_specs.append(TrialSpec(
+                    nodep_specs.append(_fp(TrialSpec(
                         kind="live", seed=seed, trial=t,
-                        scenario=scenario, runner=variant, obs=obs))
+                        scenario=scenario, runner=variant, obs=obs)))
         if baseline:
             for variant in variants:
                 for t in range(trials):
-                    nodep_specs.append(TrialSpec(
+                    nodep_specs.append(_fp(TrialSpec(
                         kind="ethernet", seed=seed, trial=t,
-                        runner=variant, obs=obs))
+                        runner=variant, obs=obs)))
         nodep_futs = exe.submit_all(nodep_specs)
         dist_futs = [nodep_futs[s * trials:(s + 1) * trials]
                      for s in range(n)]
@@ -521,10 +657,12 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
                 dist_by_scenario[s].append(dist)
                 if record is not None:
                     collect_records[s].append(record)
-            mod_specs = [TrialSpec(kind="modulated", seed=seed, trial=t,
-                                   runner=variant,
-                                   replay=dist_by_scenario[s][t].replay,
-                                   compensation=comp, obs=obs)
+            mod_specs = [_fp(TrialSpec(kind="modulated", seed=seed, trial=t,
+                                       runner=variant,
+                                       replay=dist_by_scenario[s][t].replay,
+                                       compensation=comp, obs=obs),
+                             dist_stages[s][t] if pipeline is not None
+                             else None)
                          for variant in variants for t in range(trials)]
             mod_futs[s] = exe.submit_all(mod_specs)
 
@@ -571,6 +709,10 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
                 for metric in variant.metrics:
                     out[metric] = Summary.of([r[metric] for r in runs])
             sweep.baseline = out
+        if pipeline is not None:
+            stats = pipeline.summary(since=cache_mark)
+            sweep.cache_hits = stats["hits"]
+            sweep.cache_misses = stats["misses"]
         return sweep
     finally:
         if owned:

@@ -1,0 +1,165 @@
+"""CLI coverage for the scenario registry and the artifact cache.
+
+* ``repro scenarios`` — the registry listing (table and ``--json``),
+  including extra spec files registered from the command line;
+* the unknown-scenario contract — every ``--scenario`` consumer exits
+  with code 2 and a one-line error, never a traceback;
+* a TOML spec file as ``--scenario`` runs the full collect → distill →
+  modulated pipeline from the command line;
+* ``validate --cache-dir`` twice: the second run reports a warm cache.
+
+All tests drive ``repro.cli.main`` in-process (the test_cli_obs idiom).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import scenario_names, unregister
+
+MINI_TOML = """\
+format = 1
+name = "clispec"
+duration = 60.0
+
+[[checkpoints]]
+label = "start"
+fraction = 0.0
+
+[[fields.signal]]
+end = 1.0
+base = 15.0
+
+[[fields.loss]]
+end = 1.0
+base = 0.005
+hi = 0.02
+
+[[fields.bandwidth]]
+end = 1.0
+base = 0.7
+lo = 0.4
+hi = 0.85
+
+[[fields.access]]
+end = 1.0
+base = 0.0004
+lo = 0.00005
+"""
+
+
+@pytest.fixture
+def mini_toml(tmp_path):
+    path = tmp_path / "clispec.toml"
+    path.write_text(MINI_TOML, encoding="utf-8")
+    yield path
+    unregister("clispec")   # in case a test registered it
+
+
+# ======================================================================
+# repro scenarios
+# ======================================================================
+class TestScenariosCommand:
+    def test_table_lists_registered_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("wean", "porter", "flagstaff", "chatterbox",
+                     "roaming"):
+            assert name in out
+        assert "source" in out and "builtin" in out
+
+    def test_json_listing(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {row["name"]: row for row in rows}
+        assert set(by_name) == set(scenario_names())
+        wean = by_name["wean"]
+        assert wean["source"] == "builtin"
+        assert wean["duration"] > 0
+        assert {"checkpoints", "cross_laptops", "has_motion"} <= set(wean)
+
+    def test_extra_spec_file_is_registered_and_listed(self, mini_toml,
+                                                      capsys):
+        assert main(["scenarios", str(mini_toml), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        row = [r for r in rows if r["name"] == "clispec"][0]
+        assert row["source"] == str(mini_toml)
+        assert row["duration"] == 60.0
+
+    def test_bad_spec_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.toml"
+        path.write_text("name = [unclosed", encoding="utf-8")
+        assert main(["scenarios", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "broken.toml" in err
+
+
+# ======================================================================
+# Unknown scenarios exit 2 everywhere
+# ======================================================================
+class TestUnknownScenario:
+    @pytest.mark.parametrize("argv", [
+        ["validate", "--scenario", "nosuch", "--benchmark", "ftp"],
+        ["collect", "--scenario", "nosuch", "-o", "out.trace"],
+        ["characterize", "--scenario", "nosuch"],
+        ["check", "--scenario", "nosuch"],
+        ["trace", "nosuch"],
+    ])
+    def test_unknown_name_exits_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "unknown scenario" in err
+        assert "wean" in err            # the choices are listed
+
+    def test_missing_spec_file_exits_2(self, capsys):
+        argv = ["validate", "--scenario", "no/such/file.toml",
+                "--benchmark", "ftp"]
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_spec_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "bad"}), encoding="utf-8")
+        with pytest.raises(SystemExit) as exc:
+            main(["validate", "--scenario", str(path),
+                  "--benchmark", "ftp"])
+        assert exc.value.code == 2
+        assert "invalid scenario spec" in capsys.readouterr().err
+
+
+# ======================================================================
+# A TOML scenario through the full pipeline, with the artifact cache
+# ======================================================================
+class TestTomlScenarioEndToEnd:
+    def test_validate_runs_a_pure_toml_scenario(self, mini_toml, capsys):
+        assert main(["validate", "--scenario", str(mini_toml),
+                     "--benchmark", "ftp", "--ftp-bytes", "60000",
+                     "--trials", "1", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ftp on clispec" in out
+        assert "Real (s)" in out and "Modulated (s)" in out
+
+    def test_validate_cache_dir_warm_rerun(self, mini_toml, tmp_path,
+                                           capsys):
+        argv = ["validate", "--scenario", str(mini_toml),
+                "--benchmark", "ftp", "--ftp-bytes", "60000",
+                "--trials", "1", "--workers", "1",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "pipeline cache:" in cold
+        assert "0 hit(s)" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 recomputed" in warm
+        assert "(warm)" in warm
+        # The rendered tables agree byte for byte.
+        table = lambda text: text.split("pipeline cache:")[0]
+        assert table(warm) == table(cold)

@@ -1,0 +1,355 @@
+"""The unified pipeline API: fingerprints, the artifact store, caching.
+
+Three layers under test:
+
+* :mod:`repro.pipeline.fingerprint` — deterministic cache tokens and
+  SHA-256 fingerprints (stable across processes, loud on unstable
+  inputs);
+* :mod:`repro.pipeline.store` / :mod:`repro.pipeline.api` — the
+  content-addressed artifact store and the hit/miss/bypass accounting
+  of :class:`Pipeline.run`;
+* the harness integrations — a warm ``run_validation`` rerun loads
+  every trial from the cache, recomputes nothing, and renders the very
+  same bytes as the cold (and the uncached) run.
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.pipeline import (
+    ALL_STAGES,
+    ArtifactStore,
+    CollectStage,
+    CompensationStage,
+    DistillStage,
+    LiveTrialStage,
+    ModulatedTrialStage,
+    Pipeline,
+    as_pipeline,
+    cache_token,
+    canonical_json,
+    digest,
+)
+from repro.scenarios import scenario_by_name
+from repro.validation import FtpRunner, run_validation
+from repro.validation.parallel import (
+    TrialExecutor,
+    TrialSpec,
+    spec_fingerprint,
+)
+
+
+def wean():
+    return scenario_by_name("wean")
+
+
+# ======================================================================
+# cache_token / digest
+# ======================================================================
+class TestCacheToken:
+    def test_plain_data_passes_through(self):
+        assert cache_token(None) is None
+        assert cache_token(True) is True
+        assert cache_token(3) == 3
+        assert cache_token(2.5) == 2.5
+        assert cache_token("hi") == "hi"
+
+    def test_containers_recurse(self):
+        assert cache_token([1, (2, 3)]) == [1, [2, 3]]
+        assert cache_token({"a": {"b": 1}}) == {"a": {"b": 1}}
+
+    def test_cache_token_method_wins(self):
+        class Thing:
+            def cache_token(self):
+                return {"thing": 7}
+
+        assert cache_token(Thing()) == {"thing": 7}
+
+    def test_scenario_and_runner_have_tokens(self):
+        token = cache_token(wean())
+        assert token["spec"]["name"] == "wean"
+        token = cache_token(FtpRunner(nbytes=1000, direction="send"))
+        assert token["nbytes"] == 1000
+
+    def test_unstable_object_is_loud(self):
+        with pytest.raises(TypeError, match="no stable cache token"):
+            cache_token(object())
+        with pytest.raises(TypeError):
+            cache_token({"inner": object()})
+
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_digest_is_sha256_hex(self):
+        fp = digest({"x": 1})
+        assert len(fp) == 64
+        assert fp == digest({"x": 1})
+        assert fp != digest({"x": 2})
+
+
+class TestStageFingerprints:
+    def test_deterministic_across_instances(self):
+        a = CollectStage(wean(), seed=0, trial=0)
+        b = CollectStage(wean(), seed=0, trial=0)
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"seed": 1}, {"trial": 1}, {"duration": 60.0},
+    ])
+    def test_input_changes_change_fingerprint(self, kwargs):
+        base = CollectStage(wean(), seed=0, trial=0)
+        changed = CollectStage(wean(), **{"seed": 0, "trial": 0, **kwargs})
+        assert base.fingerprint() != changed.fingerprint()
+
+    def test_scenario_change_changes_fingerprint(self):
+        assert (CollectStage(wean(), 0, 0).fingerprint()
+                != CollectStage(scenario_by_name("porter"), 0,
+                                0).fingerprint())
+
+    def test_downstream_chains_upstream(self):
+        collect0 = CollectStage(wean(), seed=0, trial=0)
+        collect1 = CollectStage(wean(), seed=1, trial=0)
+        assert (DistillStage(collect0).fingerprint()
+                != DistillStage(collect1).fingerprint())
+        runner = FtpRunner(nbytes=1000)
+        assert (ModulatedTrialStage(DistillStage(collect0), runner,
+                                    0, 0).fingerprint()
+                != ModulatedTrialStage(DistillStage(collect1), runner,
+                                       0, 0).fingerprint())
+
+    def test_version_is_part_of_the_key(self):
+        stage = CollectStage(wean(), seed=0, trial=0)
+        fp = stage.fingerprint()
+
+        class Collect2(CollectStage):
+            version = 2
+
+        assert Collect2(wean(), seed=0, trial=0).fingerprint() != fp
+
+    def test_all_stage_names_distinct(self):
+        names = [cls.stage_name for cls in ALL_STAGES]
+        assert len(set(names)) == len(names)
+
+
+# ======================================================================
+# ArtifactStore
+# ======================================================================
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return ArtifactStore()
+    return ArtifactStore(tmp_path / "cache")
+
+
+class TestArtifactStore:
+    def test_round_trip(self, store):
+        fp = digest("x")
+        assert not store.contains(fp)
+        assert store.get(fp) == (False, None)
+        store.put(fp, {"value": [1, 2, 3]})
+        assert store.contains(fp)
+        found, value = store.get(fp)
+        assert found and value == {"value": [1, 2, 3]}
+        assert list(store.fingerprints()) == [fp]
+        assert len(store) == 1
+
+    def test_values_are_fresh_copies(self, store):
+        fp = digest("y")
+        original = {"items": [1, 2]}
+        store.put(fp, original)
+        original["items"].append(3)          # caller mutates its copy
+        _, first = store.get(fp)
+        first["items"].append(99)            # ... and what it got back
+        _, second = store.get(fp)
+        assert second == {"items": [1, 2]}
+
+    def test_delete(self, store):
+        fp = digest("z")
+        store.put(fp, 1)
+        store.delete(fp)
+        assert not store.contains(fp)
+        store.delete(fp)                     # idempotent
+
+    def test_unpicklable_value_is_loud(self, store):
+        with pytest.raises(Exception):
+            store.put(digest("bad"), lambda: None)
+
+
+class TestDiskStore:
+    def test_corrupt_artifact_is_a_miss_and_dropped(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fp = digest("c")
+        store.put(fp, 42, meta={"stage": "test"})
+        path = store._object_path(fp)
+        path.write_bytes(b"not a pickle")
+        assert store.get(fp) == (False, None)
+        assert not path.exists()             # dropped, not left to rot
+
+    def test_meta_sidecar(self, tmp_path):
+        import json
+
+        store = ArtifactStore(tmp_path)
+        fp = digest("m")
+        store.put(fp, "artifact", meta={"stage": "collect", "version": 1})
+        doc = json.loads(store._meta_path(fp).read_text())
+        assert doc["stage"] == "collect"
+        assert doc["fingerprint"] == fp
+        assert doc["bytes"] > 0
+
+    def test_persists_across_instances(self, tmp_path):
+        fp = digest("p")
+        ArtifactStore(tmp_path).put(fp, [1, 2])
+        assert ArtifactStore(tmp_path).get(fp) == (True, [1, 2])
+
+
+# ======================================================================
+# Pipeline accounting
+# ======================================================================
+class CountingStage(CompensationStage):
+    """A cheap stage that counts its compute() calls."""
+
+    calls = 0
+
+    def compute(self, pipeline, world_out=None):
+        type(self).calls += 1
+        return {"value": self.seed}
+
+
+class TestPipeline:
+    def test_miss_then_hit(self):
+        CountingStage.calls = 0
+        pipeline = Pipeline()
+        stage = CountingStage(seed=5)
+        assert pipeline.run(stage) == {"value": 5}
+        assert pipeline.run(stage) == {"value": 5}
+        assert CountingStage.calls == 1
+        assert pipeline.misses == 1 and pipeline.hits == 1
+
+    def test_world_out_bypasses_lookup_but_still_stores(self):
+        CountingStage.calls = 0
+        pipeline = Pipeline()
+        stage = CountingStage(seed=6)
+        pipeline.run(stage, world_out={})
+        pipeline.run(stage, world_out={})    # live state: computes again
+        assert CountingStage.calls == 2
+        assert pipeline.summary()["bypassed"] == 2
+        # ... but the artifact was stored, so a plain run now hits.
+        assert pipeline.run(stage) == {"value": 6}
+        assert CountingStage.calls == 2
+        assert pipeline.hits == 1
+
+    def test_summary_window_and_render(self):
+        pipeline = Pipeline()
+        pipeline.run(CountingStage(seed=7))
+        assert "cold" in pipeline.render_summary()
+        mark = len(pipeline.executions)
+        pipeline.run(CountingStage(seed=7))
+        warm = pipeline.summary(since=mark)
+        assert warm == {"hits": 1, "misses": 0, "bypassed": 0,
+                        "stages": warm["stages"]}
+        assert "(warm)" in pipeline.render_summary(since=mark)
+
+    def test_as_pipeline_coercions(self, tmp_path):
+        assert as_pipeline(None) is None
+        pipeline = Pipeline()
+        assert as_pipeline(pipeline) is pipeline
+        assert as_pipeline(tmp_path / "c").store.root == tmp_path / "c"
+        store = ArtifactStore()
+        assert as_pipeline(store).store is store
+
+
+# ======================================================================
+# Harness integration: warm reruns recompute nothing
+# ======================================================================
+RUNNER = FtpRunner(nbytes=100_000, direction="send")
+
+
+class TestValidationCaching:
+    def test_warm_rerun_is_hits_only_faster_and_byte_identical(
+            self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        started = time.perf_counter()
+        cold = run_validation(wean(), RUNNER, seed=0, trials=1,
+                              workers=1, cache=cache_dir)
+        cold_s = time.perf_counter() - started
+        assert cold.cache_hits == 0 and cold.cache_misses > 0
+
+        started = time.perf_counter()
+        warm = run_validation(wean(), RUNNER, seed=0, trials=1,
+                              workers=1, cache=cache_dir)
+        warm_s = time.perf_counter() - started
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == cold.cache_misses
+        assert warm_s * 5 < cold_s, \
+            f"warm rerun {warm_s:.2f}s not 5x faster than {cold_s:.2f}s"
+
+        uncached = run_validation(wean(), RUNNER, seed=0, trials=1,
+                                  workers=1)
+        assert uncached.cache_hits == 0 and uncached.cache_misses == 0
+        assert warm.render() == cold.render() == uncached.render()
+
+    def test_changed_seed_invalidates(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_validation(wean(), RUNNER, seed=0, trials=1, workers=1,
+                       cache=cache_dir)
+        other = run_validation(wean(), RUNNER, seed=1, trials=1,
+                               workers=1, cache=cache_dir)
+        assert other.cache_misses > 0
+
+    def test_spec_fingerprint_matches_stage_keyspace(self):
+        """Sweep trials and pipeline stages share cached artifacts."""
+        spec = TrialSpec(kind="live", seed=0, trial=0, scenario=wean(),
+                         runner=RUNNER)
+        stage = LiveTrialStage(wean(), RUNNER, 0, 0)
+        assert spec_fingerprint(spec) == stage.fingerprint()
+
+    def test_spec_fingerprint_none_on_unstable_input(self):
+        class Opaque:
+            name = "opaque"
+
+        spec = TrialSpec(kind="live", seed=0, trial=0, scenario=Opaque(),
+                         runner=RUNNER)
+        assert spec_fingerprint(spec) is None
+
+    def test_serial_executor_map_uses_the_cache(self):
+        pipeline = Pipeline()
+        from dataclasses import replace
+
+        spec = TrialSpec(kind="ethernet", seed=0, trial=0, runner=RUNNER)
+        spec = replace(spec, fingerprint=spec_fingerprint(spec))
+        with TrialExecutor(workers=1, pipeline=pipeline) as exe:
+            first = exe.map([spec])
+            second = exe.map([spec])
+        assert first == second
+        assert pipeline.misses == 1 and pipeline.hits == 1
+
+
+class TestCheckReportCaching:
+    def test_warm_check_serves_the_stored_report(self, tmp_path):
+        from repro.check import check_scenario
+
+        cache = Pipeline(tmp_path / "cache")
+        cold = check_scenario("wean", ftp_bytes=60_000, cache=cache)
+        assert cold.ok
+        mark = len(cache.executions)
+        warm = check_scenario("wean", ftp_bytes=60_000, cache=cache)
+        stats = cache.summary(since=mark)
+        assert stats == {"hits": 1, "misses": 0, "bypassed": 0,
+                         "stages": stats["stages"]}
+        assert warm.render() == cold.render()
+        # A different transfer size is a different report.
+        other = check_scenario("wean", ftp_bytes=61_000, cache=cache)
+        assert other.render() != ""  # recomputed, no exception
+
+    def test_violations_pickle_round_trip(self):
+        from repro.check.invariants import InvariantViolation
+
+        violation = InvariantViolation(
+            "monitor", "invariant", "message", trace=7, k=1)
+        clone = pickle.loads(pickle.dumps(violation))
+        assert clone.monitor == "monitor"
+        assert clone.trace == 7
+        assert clone.details == {"k": 1}
+        assert str(clone) == str(violation)

@@ -1,0 +1,448 @@
+"""Declarative scenario specs: parsing, round-trips, registry, e2e.
+
+A scenario spec is pure data; these tests pin the three promises the
+spec layer makes:
+
+* lossless round-trips — ``spec_from_dict(spec_to_dict(s)) == s`` for
+  *any* valid spec (Hypothesis), and TOML/JSON files load into specs
+  that save and reload identically;
+* loud validation — every malformed document raises :class:`SpecError`
+  with a message naming the offending piece;
+* a TOML file is a *runnable* scenario — it registers, resolves, and
+  passes the invariant monitors through the full collect → distill →
+  live → modulated pipeline.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    register,
+    register_spec_file,
+    registered_scenarios,
+    resolve_scenario,
+    scenario_by_name,
+    scenario_names,
+    unregister,
+)
+from repro.scenarios.base import Checkpoint, Scenario
+from repro.scenarios.spec import (
+    DEFAULT_DRAW_ORDER,
+    FIELD_NAMES,
+    SPEC_FORMAT_VERSION,
+    FieldPiece,
+    LossModel,
+    ScenarioSpec,
+    SpecError,
+    SpecScenario,
+    evaluate_field,
+    load_scenario,
+    load_spec,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+MINI_TOML = """\
+format = 1
+name = "minispec"
+duration = 60.0
+
+[[checkpoints]]
+label = "start"
+fraction = 0.0
+
+[[checkpoints]]
+label = "end"
+fraction = 1.0
+
+[loss_model]
+up_scale = 1.1
+
+[[fields.signal]]
+end = 0.5
+base = 15.0
+rel = 0.1
+
+[[fields.signal]]
+end = 1.0
+base = 15.0
+to = 8.0
+
+[[fields.loss]]
+end = 1.0
+base = 0.005
+hi = 0.02
+
+[[fields.bandwidth]]
+end = 1.0
+base = 0.7
+lo = 0.4
+hi = 0.85
+
+[[fields.access]]
+end = 1.0
+base = 0.0004
+lo = 0.00005
+"""
+
+
+def mini_dict(**overrides):
+    """A minimal valid spec document, as plain data."""
+    doc = {
+        "name": "minidict",
+        "duration": 60.0,
+        "fields": {name: [{"end": 1.0, "base": 0.5}]
+                   for name in FIELD_NAMES},
+    }
+    doc.update(overrides)
+    return doc
+
+
+@pytest.fixture
+def mini_toml(tmp_path):
+    path = tmp_path / "mini.toml"
+    path.write_text(MINI_TOML, encoding="utf-8")
+    return path
+
+
+# ======================================================================
+# Parsing and validation
+# ======================================================================
+class TestSpecFromDict:
+    def test_minimal_document(self):
+        spec = spec_from_dict(mini_dict())
+        assert spec.name == "minidict"
+        assert spec.draw_order == tuple(DEFAULT_DRAW_ORDER)
+        assert spec.loss_model == LossModel()
+
+    def test_to_sugar_sets_slope(self):
+        doc = mini_dict()
+        doc["fields"]["signal"] = [{"end": 1.0, "base": 15.0, "to": 8.0}]
+        spec = spec_from_dict(doc)
+        assert spec.fields["signal"][0].slope == 8.0 - 15.0
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda d: d.pop("name"), "needs a 'name'"),
+        (lambda d: d.update(name="Wean"), "lowercase"),
+        (lambda d: d.update(duration=-1.0), "positive"),
+        (lambda d: d.update(cross_laptops=-1), "negative"),
+        (lambda d: d.update(format=99), "unsupported spec format"),
+        (lambda d: d.update(bogus=1), "unknown spec keys"),
+        (lambda d: d.pop("fields"), "needs a 'fields'"),
+        (lambda d: d["fields"].pop("loss"), "at least one piece"),
+        (lambda d: d["fields"].update(humidity=[]), "unknown channel"),
+        (lambda d: d.update(draw_order=["signal", "loss"]), "permutation"),
+        (lambda d: d["fields"]["signal"][0].update(wat=1),
+         "unknown piece keys"),
+        (lambda d: d["fields"]["signal"][0].update(slope=1.0, to=2.0),
+         "either 'slope' or 'to'"),
+        (lambda d: d["fields"]["signal"][0].update(span=0.0),
+         "span must be positive"),
+        (lambda d: d["fields"]["signal"][0].update(spike_prob=1.5),
+         r"probabilities\s+must lie"),
+        (lambda d: d.update(checkpoints=[{"label": "x", "fraction": 1.5}]),
+         r"outside \[0, 1\]"),
+        (lambda d: d.update(checkpoints=[{"label": "x", "fraction": 0.5},
+                                         {"label": "y", "fraction": 0.2}]),
+         "nondecreasing"),
+        (lambda d: d.update(checkpoints=[{"label": "x"}]), "missing"),
+        (lambda d: d.update(checkpoints=[{"label": "x", "fraction": 0.1,
+                                          "color": "red"}]),
+         "unknown keys"),
+        (lambda d: d.update(loss_model={"sideways_scale": 2.0}),
+         "loss_model: unknown keys"),
+    ])
+    def test_malformed_documents_are_loud(self, mutate, match):
+        doc = mini_dict()
+        mutate(doc)
+        with pytest.raises(SpecError, match=match):
+            spec_from_dict(doc)
+
+    def test_piece_ends_must_increase(self):
+        doc = mini_dict()
+        doc["fields"]["signal"] = [{"end": 0.5, "base": 1.0},
+                                   {"end": 0.4, "base": 2.0},
+                                   {"end": 1.0, "base": 3.0}]
+        with pytest.raises(SpecError, match="must exceed"):
+            spec_from_dict(doc)
+
+    def test_spec_error_is_a_value_error(self):
+        assert issubclass(SpecError, ValueError)
+
+
+class TestFiles:
+    def test_load_toml(self, mini_toml):
+        spec = load_spec(mini_toml)
+        assert spec.name == "minispec"
+        assert len(spec.fields["signal"]) == 2
+        assert spec.loss_model.up_scale == 1.1
+
+    def test_save_load_round_trip(self, mini_toml, tmp_path):
+        spec = load_spec(mini_toml)
+        out = tmp_path / "copy.json"
+        save_spec(spec, out)
+        assert load_spec(out) == spec
+
+    def test_invalid_toml_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("name = [unclosed", encoding="utf-8")
+        with pytest.raises(SpecError, match="invalid TOML"):
+            load_spec(path)
+
+    def test_invalid_json_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{", encoding="utf-8")
+        with pytest.raises(SpecError, match="invalid JSON"):
+            load_spec(path)
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(SpecError, match=r"\.toml or \.json"):
+            load_spec(path)
+
+    def test_spec_errors_carry_the_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x"}), encoding="utf-8")
+        with pytest.raises(SpecError, match="bad.json"):
+            load_spec(path)
+
+
+# ======================================================================
+# Evaluation semantics
+# ======================================================================
+def flat_piece(**kwargs):
+    defaults = {"end": 1.0, "base": 10.0, "rel": 0.0}
+    defaults.update(kwargs)
+    return FieldPiece(**defaults)
+
+
+class TestEvaluation:
+    def test_piece_selection_boundaries(self):
+        pieces = (flat_piece(end=0.5, base=1.0),
+                  flat_piece(end=1.0, base=2.0))
+        rng = random.Random(0)
+        assert evaluate_field(pieces, 0.0, rng) == 1.0
+        assert evaluate_field(pieces, 0.49, rng) == 1.0
+        # end is exclusive by default: u == 0.5 falls in the next piece
+        assert evaluate_field(pieces, 0.5, rng) == 2.0
+
+    def test_inclusive_boundary(self):
+        pieces = (flat_piece(end=0.5, base=1.0, inclusive=True),
+                  flat_piece(end=1.0, base=2.0))
+        assert evaluate_field(pieces, 0.5, random.Random(0)) == 1.0
+
+    def test_past_last_end_extends_final_piece(self):
+        pieces = (flat_piece(end=0.5, base=1.0),
+                  flat_piece(end=1.0, base=2.0))
+        assert evaluate_field(pieces, 1.25, random.Random(0)) == 2.0
+
+    def test_ramp_uses_local_fraction(self):
+        pieces = (flat_piece(end=0.5, base=0.0),
+                  flat_piece(end=1.0, base=10.0, slope=4.0))
+        rng = random.Random(0)
+        # halfway through the second piece: frac = 0.5
+        assert evaluate_field(pieces, 0.75, rng) == pytest.approx(12.0)
+
+    def test_span_overrides_ramp_denominator(self):
+        pieces = (flat_piece(end=1.0, base=0.0, slope=1.0, span=2.0),)
+        assert evaluate_field(pieces, 0.5, random.Random(0)) \
+            == pytest.approx(0.25)
+
+    def test_clamps_apply(self):
+        pieces = (flat_piece(base=10.0, rel=5.0, lo=9.0, hi=11.0),)
+        rng = random.Random(3)
+        values = [evaluate_field(pieces, 0.1, rng) for _ in range(50)]
+        assert all(9.0 <= v <= 11.0 for v in values)
+
+    def test_same_rng_stream_same_values(self):
+        spec = spec_from_dict(mini_dict())
+        scenario = SpecScenario(spec)
+        a = scenario.base_conditions(0.3, random.Random(11))
+        b = scenario.base_conditions(0.3, random.Random(11))
+        assert a == b
+
+    def test_loss_model_scales_and_caps(self):
+        doc = mini_dict(loss_model={"up_scale": 2.0, "up_cap": 0.6,
+                                    "down_scale": 0.5})
+        scenario = SpecScenario(spec_from_dict(doc))
+        cond = scenario.base_conditions(0.5, random.Random(1))
+        # up = min(cap, loss * 2), down = loss * 0.5, so up = min(cap,
+        # 4 * down).
+        assert cond.loss_prob_up == pytest.approx(
+            min(0.6, 4.0 * cond.loss_prob_down))
+
+    def test_unbound_spec_scenario_is_loud(self):
+        with pytest.raises(SpecError, match="no spec bound"):
+            SpecScenario()
+
+
+# ======================================================================
+# Hypothesis: lossless dict round-trip
+# ======================================================================
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e6, max_value=1e6)
+positive = st.floats(allow_nan=False, min_value=1e-3, max_value=1e6)
+prob = st.floats(allow_nan=False, min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def field_pieces(draw):
+    count = draw(st.integers(min_value=1, max_value=3))
+    ends = sorted(draw(st.lists(
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        min_size=count, max_size=count, unique=True)))
+    return tuple(
+        FieldPiece(end=end, base=draw(finite), slope=draw(finite),
+                   span=draw(st.none() | positive), rel=draw(prob),
+                   lo=draw(finite), hi=draw(st.none() | finite),
+                   inclusive=draw(st.booleans()),
+                   spike_prob=draw(prob),
+                   spike_magnitude=draw(finite),
+                   dip_prob=draw(prob), dip_lo=draw(finite),
+                   dip_hi=draw(finite))
+        for end in ends)
+
+
+@st.composite
+def scenario_specs(draw):
+    fractions = sorted(draw(st.lists(prob, max_size=3)))
+    checkpoints = tuple(
+        Checkpoint(label=draw(st.text(max_size=8)), fraction=fraction)
+        for fraction in fractions)
+    return ScenarioSpec(
+        name=draw(st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1, max_size=10)),
+        duration=draw(positive),
+        checkpoints=checkpoints,
+        cross_laptops=draw(st.integers(min_value=0, max_value=4)),
+        has_motion=draw(st.booleans()),
+        draw_order=tuple(draw(st.permutations(FIELD_NAMES))),
+        fields={name: draw(field_pieces()) for name in FIELD_NAMES},
+        loss_model=LossModel(up_scale=draw(finite),
+                             up_cap=draw(st.none() | finite),
+                             down_scale=draw(finite)),
+        description=draw(st.text(max_size=20)),
+    ).validate()
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(scenario_specs())
+    def test_dict_round_trip_is_lossless(self, spec):
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(scenario_specs())
+    def test_json_file_round_trip_is_lossless(self, tmp_path_factory,
+                                              spec):
+        path = tmp_path_factory.mktemp("specs") / "spec.json"
+        save_spec(spec, path)
+        assert load_spec(path) == spec
+
+    def test_to_dict_emits_the_format_version(self):
+        doc = spec_to_dict(spec_from_dict(mini_dict()))
+        assert doc["format"] == SPEC_FORMAT_VERSION
+
+    def test_builtin_scenarios_round_trip(self):
+        for name in ("wean", "porter", "flagstaff", "chatterbox"):
+            spec = scenario_by_name(name).spec
+            assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+# ======================================================================
+# Registry
+# ======================================================================
+class TestRegistry:
+    def test_builtins_present(self):
+        names = scenario_names()
+        for name in ("wean", "porter", "flagstaff", "chatterbox",
+                     "roaming"):
+            assert name in names
+
+    def test_entries_are_sorted_and_instantiable(self):
+        entries = registered_scenarios()
+        assert [e.name for e in entries] == sorted(e.name for e in entries)
+        for entry in entries:
+            assert isinstance(entry.make(), Scenario)
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="choose from"):
+            scenario_by_name("nosuch")
+
+    def test_reregistering_same_factory_is_idempotent(self):
+        cls = type(scenario_by_name("wean"))
+        register(cls)                      # no error, same factory
+
+    def test_name_collision_is_loud(self):
+        def impostor():
+            return scenario_by_name("porter")
+
+        impostor.name = "wean"
+        with pytest.raises(ValueError, match="already registered"):
+            register(impostor)
+
+    def test_register_and_unregister(self):
+        def factory():
+            return scenario_by_name("wean")
+
+        factory.name = "spectestonly"
+        try:
+            register(factory, source="test")
+            entry = [e for e in registered_scenarios()
+                     if e.name == "spectestonly"][0]
+            assert entry.source == "test"
+        finally:
+            unregister("spectestonly")
+        assert "spectestonly" not in scenario_names()
+        unregister("spectestonly")          # unknown names are ignored
+
+    def test_register_spec_file(self, mini_toml):
+        try:
+            entry = register_spec_file(mini_toml)
+            assert entry.name == "minispec"
+            assert entry.source == str(mini_toml)
+            assert scenario_by_name("minispec").duration == 60.0
+        finally:
+            unregister("minispec")
+
+    def test_resolve_scenario_forms(self, mini_toml):
+        instance = scenario_by_name("wean")
+        assert resolve_scenario(instance) is instance
+        assert resolve_scenario("wean").name == "wean"
+        assert resolve_scenario(str(mini_toml)).name == "minispec"
+        with pytest.raises(FileNotFoundError, match="not found"):
+            resolve_scenario("missing/file.toml")
+        with pytest.raises(KeyError):
+            resolve_scenario("nosuch")
+
+
+# ======================================================================
+# End to end: a TOML file through the whole checked pipeline
+# ======================================================================
+class TestSpecEndToEnd:
+    def test_toml_scenario_passes_the_invariant_monitors(self, mini_toml):
+        from repro.check import check_scenario
+
+        report = check_scenario(str(mini_toml), ftp_bytes=60_000)
+        assert report.scenario == "minispec"
+        assert [s.stage for s in report.stages] == \
+            ["collect", "distill", "live", "modulated"]
+        assert report.ok, report.render()
+
+    def test_spec_scenario_replays_deterministically(self, mini_toml):
+        from repro.validation import collect_trace
+
+        scenario = load_scenario(mini_toml)
+        a = collect_trace(scenario, seed=3, trial=1)
+        b = collect_trace(load_scenario(mini_toml), seed=3, trial=1)
+        assert len(a) == len(b)
+        assert all(type(x) is type(y) for x, y in zip(a, b))
