@@ -212,6 +212,9 @@ def main(argv=None) -> int:
                     help="best-of-N repeats (default 3, or 1 with --quick)")
     ap.add_argument("--out", default=DEFAULT_OUT,
                     help=f"output JSON path (default {DEFAULT_OUT})")
+    ap.add_argument("--fail-on-regression", action="store_true",
+                    help="exit non-zero if the parallel sweep is slower "
+                         "than serial")
     args = ap.parse_args(argv)
 
     repeats = args.repeats if args.repeats is not None else (
@@ -230,15 +233,22 @@ def main(argv=None) -> int:
           f"trials, best of {repeats}):")
     sweep = bench_sweep(ftp_bytes, trials, args.workers, repeats)
 
+    regression = sweep["speedup_parallel_vs_serial"] < 1.0
     result = {
         "benchmark": "parallel_harness",
         "mode": "quick" if args.quick else "full",
         "engine": engine,
         "sweep": sweep,
+        "parallel_regression": regression,
     }
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(result, f, indent=2)
         f.write("\n")
+
+    if regression:
+        print(f"WARNING: parallel sweep slower than serial "
+              f"({sweep['speedup_parallel_vs_serial']:.2f}x) — "
+              f"parallel_regression", file=sys.stderr)
 
     print(f"\nsingle-thread engine speedup : "
           f"{engine['single_thread_speedup']:.2f}x (target >= 1.2x)")
@@ -248,7 +258,11 @@ def main(argv=None) -> int:
           f"{sweep['speedup_parallel_vs_serial']:.2f}x")
     print(f"tables identical             : {sweep['tables_identical']}")
     print(f"[written to {args.out}]")
-    return 0 if sweep["tables_identical"] else 1
+    if not sweep["tables_identical"]:
+        return 1
+    if regression and args.fail_on_regression:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -41,6 +41,10 @@ class Summary:
         """The paper's table style: ``161.47 (7.82)``."""
         return f"{self.mean:.{digits}f} ({self.std:.{digits}f})"
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (the CLI's ``--json`` surface)."""
+        return {"mean": self.mean, "std": self.std, "n": self.n}
+
 
 def sigma_distance(real: Summary, modulated: Summary) -> float:
     """|mean difference| in units of the sum of standard deviations.

@@ -155,6 +155,15 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="content-addressed artifact cache: warm reruns "
                         "load unchanged stages instead of recomputing "
                         "them (results are identical either way)")
+    p.add_argument("--transport", choices=("auto", "envelope", "pickle"),
+                   default="auto",
+                   help="worker->parent data plane: envelope hands bulk "
+                        "results off through a shared binary store, "
+                        "pickle ships them over the pool pipe; auto "
+                        "picks envelope (results identical either way)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the sweep as machine-readable JSON "
+                        "(tables, cache and transport accounting)")
 
     p = sub.add_parser("characterize",
                        help="Figures 2-5 style scenario characterization")
@@ -406,12 +415,22 @@ def _cmd_validate(args) -> int:
     cache = Pipeline(args.cache_dir) if args.cache_dir else None
     sweep = run_validation(scenario, runner, seed=args.seed,
                            trials=args.trials, baseline=args.baseline,
-                           workers=args.workers, obs=obs, cache=cache)
-    print(sweep.render(
-        title=f"{args.benchmark} on {scenario.name} "
-              f"({args.trials} trials)"))
-    if cache is not None:
-        print(cache.render_summary())
+                           workers=args.workers, obs=obs, cache=cache,
+                           transport=args.transport)
+    if sweep.fallback_reason:
+        print(f"warning: worker pool fell back to in-process "
+              f"execution: {sweep.fallback_reason}", file=sys.stderr)
+    if args.as_json:
+        doc = sweep.as_dict()
+        doc["trials"] = args.trials
+        doc["seed"] = args.seed
+        print(json.dumps(doc, indent=2))
+    else:
+        print(sweep.render(
+            title=f"{args.benchmark} on {scenario.name} "
+                  f"({args.trials} trials)"))
+        if cache is not None:
+            print(cache.render_summary())
     _write_obs_outputs(sweep.trial_metrics, args.metrics_out,
                        args.trace_out)
     return 0

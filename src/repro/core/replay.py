@@ -163,6 +163,13 @@ class ReplayTrace:
         with open(path, "r", encoding="utf-8") as f:
             return cls.from_json(f.read())
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReplayTrace):
+            return NotImplemented
+        return self.name == other.name and self.tuples == other.tuples
+
+    __hash__ = None  # mutable value type
+
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<ReplayTrace {self.name!r} {len(self.tuples)} tuples, "
                 f"{self._duration:.1f}s>")

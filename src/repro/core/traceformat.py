@@ -111,6 +111,95 @@ def _unpack_value(code: str, buf: memoryview, offset: int) -> Tuple[Any, int]:
     return value, offset + size
 
 
+_STR_LEN = struct.Struct("<H")
+
+
+class _RecordPlan:
+    """A schema compiled to batch struct operations.
+
+    Consecutive fixed-width fields collapse into one precompiled
+    :class:`struct.Struct`; strings (variable length) break the run.
+    When the schema's field names match the record class exactly — the
+    overwhelmingly common case of reading a file this writer produced —
+    records are constructed positionally, skipping per-record dict
+    assembly and :func:`dataclasses.fields` introspection.
+    """
+
+    __slots__ = ("name", "cls", "ops", "positional", "known", "names")
+
+    def __init__(self, name: str, schema: List[Tuple[str, str]]):
+        self.name = name
+        self.cls = RECORD_CLASSES.get(name)
+        self.names = [fname for fname, _ in schema]
+        ops: List[Tuple[str, Any, Any]] = []
+        run_codes = ""
+        run_names: List[str] = []
+        for fname, code in schema:
+            if code == "S":
+                if run_codes:
+                    ops.append(("f", struct.Struct("<" + run_codes),
+                                tuple(run_names)))
+                    run_codes, run_names = "", []
+                ops.append(("s", None, fname))
+            else:
+                run_codes += code
+                run_names.append(fname)
+        if run_codes:
+            ops.append(("f", struct.Struct("<" + run_codes),
+                        tuple(run_names)))
+        self.ops = ops
+        if self.cls is not None:
+            cls_names = [f.name for f in fields(self.cls)]
+            self.positional = cls_names == self.names
+            self.known = set(cls_names)
+        else:
+            self.positional = False
+            self.known = None
+
+    def decode(self, body: memoryview) -> Union[TraceRecord, Dict[str, Any]]:
+        values: List[Any] = []
+        offset = 0
+        for kind, st, _names in self.ops:
+            if kind == "f":
+                values.extend(st.unpack_from(body, offset))
+                offset += st.size
+            else:
+                (length,) = _STR_LEN.unpack_from(body, offset)
+                start = offset + 2
+                values.append(bytes(body[start:start + length])
+                              .decode("utf-8"))
+                offset = start + length
+        if self.positional:
+            return self.cls(*values)
+        rec = dict(zip(self.names, values))
+        if self.cls is None:
+            rec["record_type"] = self.name
+            return rec
+        return self.cls(**{k: v for k, v in rec.items() if k in self.known})
+
+    def encode(self, record: Any) -> bytes:
+        parts: List[bytes] = []
+        for kind, st, names in self.ops:
+            if kind == "f":
+                parts.append(st.pack(*[getattr(record, n) for n in names]))
+            else:
+                raw = str(getattr(record, names)).encode("utf-8")
+                parts.append(_STR_LEN.pack(len(raw)))
+                parts.append(raw)
+        return b"".join(parts)
+
+
+_PLAN_CACHE: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], _RecordPlan] = {}
+
+
+def _plan_for(name: str, schema: List[Tuple[str, str]]) -> _RecordPlan:
+    key = (name, tuple((f, c) for f, c in schema))
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = _PLAN_CACHE[key] = _RecordPlan(name, schema)
+    return plan
+
+
 class TraceWriter:
     """Streams records into a self-descriptive binary trace."""
 
@@ -123,6 +212,8 @@ class TraceWriter:
         if extra_schemas:
             self._schemas.update(extra_schemas)
         self._type_ids = {name: i for i, name in enumerate(sorted(self._schemas))}
+        self._plans = {name: _plan_for(name, schema)
+                       for name, schema in self._schemas.items()}
         self.records_written = 0
         self._write_header(description)
 
@@ -140,10 +231,7 @@ class TraceWriter:
 
     def write(self, record: TraceRecord) -> None:
         name = record.RECORD_TYPE
-        schema = self._schemas[name]
-        body = b"".join(
-            _pack_value(code, getattr(record, fname)) for fname, code in schema
-        )
+        body = self._plans[name].encode(record)
         self._stream.write(struct.pack("<HI", self._type_ids[name], len(body)))
         self._stream.write(body)
         self.records_written += 1
@@ -170,11 +258,12 @@ class TraceReader:
         if header["version"] != VERSION:
             raise ValueError(f"unsupported trace version {header['version']}")
         self.description = header.get("description", "")
-        self._by_id: Dict[int, Tuple[str, List[Tuple[str, str]]]] = {}
+        self._by_id: Dict[int, _RecordPlan] = {}
         for name, info in header["types"].items():
             schema = [tuple(pair) for pair in info["fields"]]
-            self._by_id[info["id"]] = (name, schema)
+            self._by_id[info["id"]] = _plan_for(name, schema)
         self._stream = stream
+        self._head = struct.Struct("<HI")
 
     def __iter__(self):
         return self
@@ -183,21 +272,12 @@ class TraceReader:
         head = self._stream.read(6)
         if len(head) < 6:
             raise StopIteration
-        type_id, body_len = struct.unpack("<HI", head)
+        type_id, body_len = self._head.unpack(head)
         body = memoryview(self._stream.read(body_len))
-        if type_id not in self._by_id:
+        plan = self._by_id.get(type_id)
+        if plan is None:
             return {"record_type": f"unknown:{type_id}"}
-        name, schema = self._by_id[type_id]
-        values: Dict[str, Any] = {}
-        offset = 0
-        for fname, code in schema:
-            values[fname], offset = _unpack_value(code, body, offset)
-        cls = RECORD_CLASSES.get(name)
-        if cls is None:
-            values["record_type"] = name
-            return values
-        known = {f.name for f in fields(cls)}
-        return cls(**{k: v for k, v in values.items() if k in known})
+        return plan.decode(body)
 
     def read_all(self) -> List[Union[TraceRecord, Dict[str, Any]]]:
         return list(self)

@@ -9,9 +9,11 @@ reruns recompute only the stages whose inputs actually changed.
 """
 
 from .api import Pipeline, StageExecution, as_pipeline
+from .codec import CodecError, content_digest, decode, decode_gz, encode, encode_gz
 from .fingerprint import cache_token, canonical_json, digest
 from .stages import (
     ALL_STAGES,
+    CACHE_FORMAT_VERSION,
     CollectStage,
     CompensationStage,
     DistillStage,
@@ -25,6 +27,8 @@ from .store import ArtifactStore
 __all__ = [
     "ALL_STAGES",
     "ArtifactStore",
+    "CACHE_FORMAT_VERSION",
+    "CodecError",
     "CollectStage",
     "CompensationStage",
     "DistillStage",
@@ -37,5 +41,10 @@ __all__ = [
     "as_pipeline",
     "cache_token",
     "canonical_json",
+    "content_digest",
+    "decode",
+    "decode_gz",
     "digest",
+    "encode",
+    "encode_gz",
 ]

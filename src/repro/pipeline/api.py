@@ -90,6 +90,13 @@ class Pipeline:
         self.store.put(fingerprint, value, meta={"stage": stage})
         self._record(stage, fingerprint, MISS, seconds)
 
+    def record_remote(self, fingerprint: str, stage: str = "",
+                      seconds: float = 0.0) -> None:
+        """Account for an artifact a worker already wrote to the shared
+        store (envelope handoff): a miss happened, but the bytes are on
+        disk — nothing to rewrite."""
+        self._record(stage, fingerprint, MISS, seconds)
+
     # ------------------------------------------------------------------
     def _record(self, stage: str, fingerprint: str, status: str,
                 seconds: float = 0.0) -> None:

@@ -25,6 +25,7 @@ from ..scenarios.base import Scenario
 from .fingerprint import digest
 
 __all__ = [
+    "CACHE_FORMAT_VERSION",
     "Stage",
     "CollectStage",
     "DistillStage",
@@ -34,6 +35,13 @@ __all__ = [
     "CompensationStage",
     "ALL_STAGES",
 ]
+
+# Version of the *stored artifact encoding*, folded into every stage
+# fingerprint.  Bumped when the on-disk representation changes shape
+# (v1: pickle objects; v2: gzip-framed binary codec), so caches written
+# by an older layout miss cleanly instead of being misread.  A stage's
+# own ``version`` still covers algorithm changes.
+CACHE_FORMAT_VERSION = 2
 
 
 class Stage:
@@ -48,6 +56,7 @@ class Stage:
 
     def fingerprint(self) -> str:
         return digest({"stage": self.stage_name, "version": self.version,
+                       "format": CACHE_FORMAT_VERSION,
                        "inputs": self.inputs()})
 
     def compute(self, pipeline, world_out: Optional[Dict] = None) -> Any:

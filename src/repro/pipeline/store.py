@@ -1,15 +1,22 @@
 """Content-addressed artifact store.
 
 Artifacts are keyed by their producing stage's fingerprint and stored
-as pickles — on disk under ``<root>/objects/<fp[:2]>/<fp>.pkl`` with a
-JSON sidecar describing what produced them, or purely in memory when
-no root directory is given.  Both modes round-trip values through
-pickle, so a cached artifact is always a *fresh copy*: callers may
-mutate what they get back without corrupting the cache.
+as gzip-framed binary codec blobs (:mod:`repro.pipeline.codec`) — on
+disk under ``<root>/objects/<fp[:2]>/<fp>.rba`` with a JSON sidecar
+describing what produced them, or purely in memory when no root
+directory is given.  Both modes round-trip values through the codec,
+so a cached artifact is always a *fresh copy*: callers may mutate what
+they get back without corrupting the cache.
 
 Writes are atomic (temp file + rename) so a crashed run never leaves a
-truncated artifact behind; unreadable artifacts are treated as misses
-and dropped.
+truncated artifact behind; unreadable artifacts — including objects
+from the pickle-era store layout, which used a different extension and
+an incompatible stage keyspace — are treated as misses and dropped.
+
+The raw-bytes surface (:meth:`ArtifactStore.put_encoded` /
+:meth:`ArtifactStore.raw_get`) lets the parallel sweep's envelope
+transport move already-encoded frames between worker and parent
+without a decode/re-encode cycle in the middle.
 """
 
 from __future__ import annotations
@@ -17,18 +24,20 @@ from __future__ import annotations
 import io
 import json
 import os
-import pickle
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
+from . import codec
+
 __all__ = ["ArtifactStore"]
 
 _MISS = (False, None)
+_RAW_MISS = (False, b"")
 
 
 class ArtifactStore:
-    """Pickle-valued, fingerprint-keyed store (disk or memory)."""
+    """Codec-valued, fingerprint-keyed store (disk or memory)."""
 
     def __init__(self, root: Optional[Union[str, Path]] = None):
         self.root = Path(root) if root is not None else None
@@ -39,7 +48,7 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     def _object_path(self, fingerprint: str) -> Path:
         return (self.root / "objects" / fingerprint[:2]
-                / f"{fingerprint}.pkl")
+                / f"{fingerprint}.rba")
 
     def _meta_path(self, fingerprint: str) -> Path:
         return self._object_path(fingerprint).with_suffix(".json")
@@ -52,29 +61,43 @@ class ArtifactStore:
 
     def get(self, fingerprint: str) -> Tuple[bool, Any]:
         """(found, value).  Unreadable artifacts count as misses."""
-        if self.root is None:
-            blob = self._memory.get(fingerprint)
-            if blob is None:
-                return _MISS
-            return True, pickle.loads(blob)
-        path = self._object_path(fingerprint)
-        try:
-            blob = path.read_bytes()
-            return True, pickle.loads(blob)
-        except FileNotFoundError:
+        found, blob = self.raw_get(fingerprint)
+        if not found:
             return _MISS
-        except (pickle.UnpicklingError, EOFError, OSError, AttributeError,
-                ImportError):
+        try:
+            return True, codec.decode_gz(blob)
+        except codec.CodecError:
             # Corrupt or stale artifact: drop it and recompute.
             self.delete(fingerprint)
             return _MISS
 
+    def raw_get(self, fingerprint: str) -> Tuple[bool, bytes]:
+        """(found, encoded frame) without decoding — the envelope
+        rehydration path decodes (and times) on its own clock."""
+        if self.root is None:
+            blob = self._memory.get(fingerprint)
+            if blob is None:
+                return _RAW_MISS
+            return True, blob
+        try:
+            return True, self._object_path(fingerprint).read_bytes()
+        except FileNotFoundError:
+            return _RAW_MISS
+        except OSError:
+            self.delete(fingerprint)
+            return _RAW_MISS
+
     def put(self, fingerprint: str, value: Any,
-            meta: Optional[Dict[str, Any]] = None) -> None:
-        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            meta: Optional[Dict[str, Any]] = None) -> int:
+        """Encode and store ``value``; returns the stored byte count."""
+        return self.put_encoded(fingerprint, codec.encode_gz(value), meta)
+
+    def put_encoded(self, fingerprint: str, blob: bytes,
+                    meta: Optional[Dict[str, Any]] = None) -> int:
+        """Store an already-encoded (gzip-framed) codec blob."""
         if self.root is None:
             self._memory[fingerprint] = blob
-            return
+            return len(blob)
         path = self._object_path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         self._atomic_write(path, blob)
@@ -82,8 +105,10 @@ class ArtifactStore:
             doc = dict(meta)
             doc["fingerprint"] = fingerprint
             doc["bytes"] = len(blob)
+            doc["codec"] = codec.VERSION
             self._atomic_write(self._meta_path(fingerprint),
                                json.dumps(doc, indent=1).encode("utf-8"))
+        return len(blob)
 
     def delete(self, fingerprint: str) -> None:
         if self.root is None:
@@ -104,7 +129,7 @@ class ArtifactStore:
         objects = self.root / "objects"
         if not objects.is_dir():
             return
-        for path in sorted(objects.glob("*/*.pkl")):
+        for path in sorted(objects.glob("*/*.rba")):
             yield path.stem
 
     def __len__(self) -> int:

@@ -15,7 +15,8 @@ This module fans those trials out over a ``ProcessPoolExecutor``:
 * :func:`execute_trial` — the worker entry point (module-level, so it
   pickles by reference);
 * :class:`TrialExecutor` — an order-preserving map over specs with a
-  configurable worker count and an automatic serial fallback;
+  configurable worker count, a warm worker pool, and an automatic —
+  but *accounted* — serial fallback;
 * :func:`run_validation` — the full multi-scenario sweep (the paper's
   Figures 6–8 protocol), collection and benchmark phases each fanned
   out across *all* scenarios at once;
@@ -24,27 +25,69 @@ This module fans those trials out over a ``ProcessPoolExecutor``:
   entry points in :mod:`repro.validation.harness` and
   :mod:`repro.validation.figures`.
 
-Determinism contract: for any ``workers`` value (including the serial
-fallback), results are byte-identical to ``workers=1`` because every
-spec is executed by the same pure function with the same arguments and
-results are reassembled in submission order.  The only ordering freedom
-the pool has is *wall-clock* completion order, which is never observed.
+The data plane between workers and the parent has two transports:
+
+``"envelope"`` (the default on a pool)
+    Bulk trial results never cross the pipe as Python pickles.  A
+    worker encodes its result with the binary artifact codec
+    (:mod:`repro.pipeline.codec`), writes it to a shared
+    content-addressed :class:`~repro.pipeline.ArtifactStore` — the
+    sweep's ``--cache-dir`` store when one is configured, else a
+    tempdir-backed store owned by the executor — and returns only a
+    tiny :class:`ResultEnvelope` ``(key, digest, nbytes, encode_ns)``.
+    The parent rehydrates lazily from the store, verifying the
+    digest.  Modulated trials receive their replay by store reference
+    (``replay_ref``) instead of a materialized copy, and each worker
+    memoizes decoded replays, so a distilled trace is shipped to each
+    worker process at most once per sweep.
+``"pickle"``
+    The pre-envelope behaviour: results come back through the pool's
+    result pipe.  Still available (``transport="pickle"``) for
+    comparison benchmarks and as the measurement baseline.
+
+Cheap trials (live, modulated, Ethernet — one benchmark transfer
+each) are submitted in *chunks* so a 4-scenario sweep costs dozens,
+not hundreds, of pool round-trips; expensive collection+distill
+trials travel alone.  Workers are warmed once per process by a pool
+initializer (scenario registry resolved, store handle opened).
+
+Per-executor transport counters (``envelope_count``,
+``ipc_bytes_sent``/``ipc_bytes_recv``, ``artifact_bytes``,
+``encode_ns``, ``rehydrate_ns``, ``serial_fallbacks``) accumulate in a
+:class:`~repro.obs.registry.MetricsRegistry` on the executor and are
+surfaced through :attr:`ValidationSweep.transport`.  Every fallback to
+in-process execution records *why* (:attr:`TrialExecutor.fallback_reason`)
+instead of silently degrading.
+
+Determinism contract: for any ``workers`` value and either transport
+(including every fallback path), results are byte-identical to
+``workers=1`` because every spec is executed by the same pure function
+with the same arguments, the codec round-trip is exact, and results
+are reassembled in submission order.  The only ordering freedom the
+pool has is *wall-clock* completion order, which is never observed.
 """
 
 from __future__ import annotations
 
+import gc
+import math
 import os
+import pickle
+import shutil
+import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from pickle import PicklingError
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.stats import Summary
 from ..core.distill import DistillationResult, Distiller
 from ..core.replay import ReplayTrace
 from ..obs import ObsConfig
+from ..obs.registry import MetricsRegistry
 from ..pipeline import (
+    ArtifactStore,
     CollectStage,
     CompensationStage,
     DistillStage,
@@ -53,6 +96,7 @@ from ..pipeline import (
     ModulatedTrialStage,
     Pipeline,
     as_pipeline,
+    codec,
     digest,
 )
 from ..scenarios.base import Scenario
@@ -71,6 +115,7 @@ from .harness import (
 __all__ = [
     "TrialSpec",
     "TrialExecutor",
+    "ResultEnvelope",
     "ValidationSweep",
     "execute_trial",
     "run_validation",
@@ -80,6 +125,11 @@ __all__ = [
     "characterize_scenario_parallel",
     "default_workers",
 ]
+
+# Specs whose cost hint is below this travel together in one chunked
+# pool submission; everything above it (collection+distill traversals)
+# gets a worker to itself.  Affects scheduling only, never results.
+_CHUNK_THRESHOLD = 100.0
 
 
 def default_workers() -> int:
@@ -116,6 +166,14 @@ class TrialSpec:
     sink under ``"__obs__"``; distill trials, whose natural result is a
     :class:`DistillationResult`, return a
     ``{"__distill__": ..., "__obs__": ...}`` wrapper instead.
+
+    ``replay_ref`` names the distill artifact holding this modulated
+    trial's replay in the executor's shared store.  On the envelope
+    transport the materialized ``replay`` is stripped from the wire
+    copy and workers resolve the reference (memoized per process);
+    every other path uses ``replay`` directly.  The two are always
+    byte-equivalent — the codec round-trip is exact — so the transport
+    cannot change results.
     """
 
     kind: str
@@ -132,23 +190,119 @@ class TrialSpec:
     # sweep when it runs with an artifact cache; ``None`` means the
     # trial is uncacheable and always executes.
     fingerprint: Optional[str] = None
+    # Shared-store key of the upstream distill artifact (see above).
+    replay_ref: Optional[str] = None
 
     def cost_hint(self) -> float:
-        """Rough relative wall-clock cost, for longest-first submission.
+        """Rough relative wall-clock cost, for longest-first submission
+        and chunking.
 
-        Live and collection trials simulate the full scenario traversal
-        with its cross traffic; modulated and Ethernet trials run on the
-        small isolated-Ethernet world.  The exact values only affect
-        load balancing, never results.
+        Collection+distill trials simulate the scenario's full
+        traversal with its cross traffic — seconds of wall clock.
+        Live, modulated and Ethernet trials run one benchmark transfer
+        (a far smaller event count; live worlds carry the scenario's
+        cross traffic, modulated/Ethernet worlds are the small isolated
+        pair).  The exact values only affect load balancing, never
+        results.
         """
-        if self.kind in ("distill", "live"):
+        if self.kind == "distill":
             scenario = self.scenario
             duration = getattr(scenario, "duration", 240.0)
             cross = getattr(scenario, "cross_laptops", 0)
             return duration * (1.0 + 2.0 * cross)
+        if self.kind == "live":
+            cross = getattr(self.scenario, "cross_laptops", 0)
+            return 15.0 + 5.0 * cross
         if self.kind == "modulated":
-            return 60.0
-        return 30.0
+            return 10.0
+        return 5.0
+
+
+@dataclass(frozen=True)
+class ResultEnvelope:
+    """What a worker returns instead of a bulk result: the shared-store
+    key holding the encoded artifact, its content digest (verified by
+    the parent before use), and the worker-side cost counters."""
+
+    key: str
+    digest: str
+    nbytes: int
+    encode_ns: int
+
+
+@dataclass(frozen=True)
+class _TransportFailure:
+    """Worker-side transport problem (unresolvable ``replay_ref``).
+    The parent recomputes the trial in-process and records the reason —
+    a transport hiccup must never surface as a wrong result."""
+
+    reason: str
+
+
+class _ReplayResolveError(RuntimeError):
+    """A ``replay_ref`` that the worker's shared store cannot supply."""
+
+
+# -- worker-process state (set by the pool initializer) ----------------
+_WORKER_STORE: Optional[ArtifactStore] = None
+_WORKER_REPLAY_CACHE: Dict[str, ReplayTrace] = {}
+
+
+# A worker runs gc.collect() between chunks instead of letting the
+# cyclic collector interrupt trials; past this many chunk executions
+# without a sweep it collects unconditionally.
+_GC_CHUNKS_PER_SWEEP = 4
+_worker_chunks_since_gc = 0
+
+
+def _pool_init(store_root: Optional[str]) -> None:
+    """Warm one worker process: open the shared artifact store and
+    resolve the scenario registry once, so individual trials pay
+    neither.
+
+    Also moves garbage collection to chunk boundaries: the parent's
+    heap (modules, scenario registry, codec tables) is frozen out of
+    the collector's reach — it is effectively immortal in a forked
+    worker, and scanning it on every generation-2 pass is the single
+    largest fixed tax on trial execution — and the automatic collector
+    is disabled.  Trials allocate in bursts; :func:`_execute_chunk`
+    sweeps cycles explicitly between chunks, where a pause costs
+    nothing.
+    """
+    global _WORKER_STORE, _worker_chunks_since_gc
+    _WORKER_REPLAY_CACHE.clear()
+    _worker_chunks_since_gc = 0
+    _WORKER_STORE = ArtifactStore(store_root) if store_root else None
+    from ..scenarios import registry
+
+    registry.registered_scenarios()
+    gc.freeze()
+    gc.disable()
+
+
+def _resolve_replay(ref: Optional[str]) -> ReplayTrace:
+    """The replay trace behind a ``replay_ref``, memoized per worker."""
+    if ref is None:
+        raise _ReplayResolveError(
+            "modulated spec carries neither replay nor replay_ref")
+    replay = _WORKER_REPLAY_CACHE.get(ref)
+    if replay is not None:
+        return replay
+    if _WORKER_STORE is None:
+        raise _ReplayResolveError("worker has no shared store")
+    found, blob = _WORKER_STORE.raw_get(ref)
+    if not found:
+        raise _ReplayResolveError(
+            f"distill artifact {ref[:12]}... missing from shared store")
+    try:
+        value = codec.decode_gz(blob)
+    except codec.CodecError as exc:
+        raise _ReplayResolveError(f"distill artifact {ref[:12]}...: {exc}")
+    if isinstance(value, dict) and "__distill__" in value:
+        value = value["__distill__"]
+    replay = value.replay if isinstance(value, DistillationResult) else value
+    _WORKER_REPLAY_CACHE[ref] = replay
+    return replay
 
 
 def execute_trial(spec: TrialSpec):
@@ -173,13 +327,71 @@ def execute_trial(spec: TrialSpec):
         return run_live_trial(spec.scenario, spec.runner, spec.seed,
                               spec.trial, obs=spec.obs)
     if spec.kind == "modulated":
-        return run_modulated_trial(spec.replay, spec.runner, spec.seed,
+        replay = spec.replay
+        if replay is None:
+            replay = _resolve_replay(spec.replay_ref)
+        return run_modulated_trial(replay, spec.runner, spec.seed,
                                    spec.trial, spec.compensation,
                                    obs=spec.obs)
     if spec.kind == "ethernet":
         return run_ethernet_trial(spec.runner, spec.seed, spec.trial,
                                   obs=spec.obs)
     raise ValueError(f"unknown trial kind {spec.kind!r}")
+
+
+# Results whose encoded artifact is smaller than this ride the pool
+# pipe inline: below it, a store write + parent read + digest check
+# costs more than just shipping the bytes.  Bulk artifacts (trace
+# record lists, distillation results) sit far above it.
+_ENVELOPE_MIN_BYTES = 4096
+
+
+def _seal(result, key: str, kind: str):
+    """Encode a result, park it in the worker's shared store, and
+    return the envelope.  Small results, and results the store cannot
+    take, are returned raw instead (the pipe path for this item)."""
+    t0 = time.perf_counter_ns()
+    blob = codec.encode_gz(result)
+    encode_ns = time.perf_counter_ns() - t0
+    if len(blob) < _ENVELOPE_MIN_BYTES:
+        return result
+    try:
+        _WORKER_STORE.put_encoded(key, blob, meta={"stage": kind})
+    except OSError:
+        return result
+    return ResultEnvelope(key=key, digest=codec.content_digest(blob),
+                          nbytes=len(blob), encode_ns=encode_ns)
+
+
+def _execute_chunk(wire: bytes, envelope: bool) -> bytes:
+    """Run a chunk of trials in one pool round-trip.
+
+    ``wire`` is a pickled list of ``(spec, key)`` pairs; the return is
+    a pickled list of per-item payloads (envelope / raw result /
+    :class:`_TransportFailure`), aligned with the input.  Pickling is
+    done here, not by the pool, so the parent can count the exact bytes
+    that crossed the pipe.
+    """
+    items: List[Tuple[TrialSpec, str]] = pickle.loads(wire)
+    out: List[Any] = []
+    for spec, key in items:
+        try:
+            result = execute_trial(spec)
+        except _ReplayResolveError as exc:
+            out.append(_TransportFailure(reason=str(exc)))
+            continue
+        if envelope and _WORKER_STORE is not None:
+            out.append(_seal(result, key, spec.kind))
+        else:
+            out.append(result)
+    wire_out = pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
+    global _worker_chunks_since_gc
+    if not gc.isenabled():
+        _worker_chunks_since_gc += 1
+        if _worker_chunks_since_gc >= _GC_CHUNKS_PER_SWEEP:
+            _worker_chunks_since_gc = 0
+            gc.collect()
+    return wire_out
 
 
 def spec_fingerprint(spec: TrialSpec,
@@ -229,61 +441,144 @@ def spec_fingerprint(spec: TrialSpec,
 # ======================================================================
 # The executor
 # ======================================================================
+class _ChunkHandle:
+    """One in-flight chunk: the pool future plus a decode-once cache,
+    shared by every :class:`_TrialFuture` whose spec rode in it."""
+
+    __slots__ = ("future", "_payload")
+
+    def __init__(self, future):
+        self.future = future
+        self._payload = None
+
+    def payload(self, executor: Optional["TrialExecutor"]) -> List[Any]:
+        if self._payload is None:
+            raw = self.future.result()
+            if executor is not None:
+                executor.metrics.counter(
+                    "executor.ipc_bytes_recv").inc(len(raw))
+            self._payload = pickle.loads(raw)
+        return self._payload
+
+
 class _TrialFuture:
     """Result handle for one submitted spec.
 
     In serial mode the trial runs lazily on the first ``result()`` call;
-    on a pool it wraps the real future and, if the pool breaks or the
-    spec will not pickle, recomputes the trial in-process.  Either way
-    ``result()`` returns exactly what ``execute_trial(spec)`` returns,
-    so the executor's fallback paths cannot change any result.
+    on a pool it indexes into its chunk's payload and, if the pool
+    broke, the chunk would not pickle, or an envelope cannot be
+    rehydrated, recomputes the trial in-process (recording why on the
+    executor).  Either way ``result()`` returns exactly what
+    ``execute_trial(spec)`` returns, so the fallback paths cannot
+    change any result.
 
     A future may instead be born *resolved* with a cached artifact
-    (``value=``), or carry a ``pipeline`` that stores the computed
+    (``value=``), or carry a ``pipeline`` that accounts the computed
     result under the spec's fingerprint the moment it lands — before
-    the caller can mutate it.
+    the caller can mutate it.  ``store_key``, when set, names the
+    shared-store artifact holding this result (the parent uses it to
+    pass replays to downstream modulated trials by reference).
     """
 
     _UNSET = object()
 
-    def __init__(self, spec: TrialSpec, future=None,
+    def __init__(self, spec: TrialSpec, future: Optional[_ChunkHandle] = None,
                  executor: Optional["TrialExecutor"] = None,
-                 value=_UNSET, pipeline: Optional[Pipeline] = None):
+                 value=_UNSET, pipeline: Optional[Pipeline] = None,
+                 chunk_index: int = 0, store_key: Optional[str] = None):
         self._spec = spec
         self._future = future
         self._executor = executor
         self._result = value
         self._pipeline = pipeline
+        self._chunk_index = chunk_index
+        self.store_key = store_key
 
     def result(self):
         if self._result is not self._UNSET:
             return self._result
+        value = self._UNSET
+        stored_remotely = False
         if self._future is not None:
+            payload = None
             try:
-                self._result = self._future.result()
-            except (BrokenProcessPool, PicklingError, OSError):
+                payload = self._future.payload(self._executor)
+            except (BrokenProcessPool, pickle.PickleError, OSError) as exc:
                 if self._executor is not None:
-                    self._executor._mark_broken()
-                self._result = execute_trial(self._spec)
-        else:
-            self._result = execute_trial(self._spec)
+                    self._executor._mark_broken(exc)
+            if payload is not None:
+                item = payload[self._chunk_index]
+                if isinstance(item, _TransportFailure):
+                    if self._executor is not None:
+                        self._executor._note_fallback(
+                            f"worker transport: {item.reason}")
+                elif isinstance(item, ResultEnvelope):
+                    value = self._rehydrate(item)
+                    if value is not self._UNSET:
+                        self.store_key = item.key
+                        stored_remotely = (
+                            self._executor is not None
+                            and self._executor._ipc_shared
+                            and item.key == self._spec.fingerprint)
+                else:
+                    value = item
+        if value is self._UNSET:
+            value = execute_trial(self._spec)
+        self._result = value
         if self._pipeline is not None and self._spec.fingerprint is not None:
-            self._pipeline.store_result(self._spec.fingerprint,
-                                        self._result,
-                                        stage=self._spec.kind)
+            if stored_remotely:
+                # The worker already wrote the artifact into the
+                # pipeline's own store; just account for the miss.
+                self._pipeline.record_remote(self._spec.fingerprint,
+                                             stage=self._spec.kind)
+            else:
+                self._pipeline.store_result(self._spec.fingerprint, value,
+                                            stage=self._spec.kind)
         return self._result
+
+    def _rehydrate(self, env: ResultEnvelope):
+        """Decode an envelope's artifact from the shared store; on any
+        integrity problem return ``_UNSET`` so the caller recomputes."""
+        exe = self._executor
+        store = exe._ipc_store if exe is not None else None
+        if store is None:
+            return self._UNSET
+        t0 = time.perf_counter_ns()
+        found, blob = store.raw_get(env.key)
+        if not found or codec.content_digest(blob) != env.digest:
+            exe._note_fallback(f"envelope {env.key[:12]}...: artifact "
+                               f"missing or digest mismatch")
+            return self._UNSET
+        try:
+            value = codec.decode_gz(blob)
+        except codec.CodecError as exc:
+            exe._note_fallback(f"envelope {env.key[:12]}...: {exc}")
+            return self._UNSET
+        metrics = exe.metrics
+        metrics.counter("executor.rehydrate_ns").inc(
+            time.perf_counter_ns() - t0)
+        metrics.counter("executor.envelope_count").inc()
+        metrics.counter("executor.artifact_bytes").inc(env.nbytes)
+        metrics.counter("executor.encode_ns").inc(env.encode_ns)
+        return value
 
 
 class TrialExecutor:
-    """Order-preserving trial execution with a process pool under it.
+    """Order-preserving trial execution with a warm process pool under it.
 
     ``workers=None`` sizes the pool to the machine; ``workers=1`` (or a
     pool that cannot be created — restricted sandboxes, missing
     semaphores) degrades to in-process serial execution of the very
-    same ``execute_trial`` calls.  ``submit`` returns a
-    :class:`_TrialFuture`; ``map`` preserves submission order
-    regardless of completion order — which is what makes parallel
-    sweeps bit-identical to serial ones.
+    same ``execute_trial`` calls.  ``submit`` returns a trial future;
+    ``map`` preserves submission order regardless of completion order —
+    which is what makes parallel sweeps bit-identical to serial ones.
+
+    ``transport`` selects the worker→parent data plane: ``"envelope"``
+    (store-mediated handoff, see the module docstring), ``"pickle"``
+    (results through the pool pipe), or ``"auto"`` (envelope whenever a
+    pool is used).  Workers are initialized once per process
+    (:func:`_pool_init`); cheap specs are submitted in chunks sized to
+    the batch.
 
     Usable as a context manager; the pool is created lazily on the
     first parallel submission and reused across phases so worker
@@ -294,16 +589,33 @@ class TrialExecutor:
     already-resolved future without touching the pool — and computed
     results are stored as they land.  Caching cannot change results:
     artifacts are keyed by the same inputs that determine the trial's
-    output, and cached values round-trip through pickle so callers get
-    fresh copies.
+    output, and cached values round-trip through the binary codec so
+    callers get fresh copies.
+
+    Every degradation (broken pool, unpicklable spec, unreadable
+    envelope) is counted in :attr:`metrics` and the first reason kept
+    in :attr:`fallback_reason` — the executor never falls back
+    silently.
     """
 
     def __init__(self, workers: Optional[int] = None,
-                 pipeline: Optional[Pipeline] = None):
+                 pipeline: Optional[Pipeline] = None,
+                 transport: str = "auto"):
+        if transport not in ("auto", "envelope", "pickle"):
+            raise ValueError(f"unknown transport {transport!r}")
         self.workers = default_workers() if workers is None else max(1, int(workers))
         self.pipeline = pipeline
+        self.transport = transport
+        self.metrics = MetricsRegistry()
+        self.fallback_reason: Optional[str] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._serial_fallback = self.workers <= 1
+        self._transport_used = "serial"
+        self._ipc_store: Optional[ArtifactStore] = None
+        self._ipc_root: Optional[str] = None
+        self._ipc_tmp: Optional[str] = None
+        self._ipc_shared = False
+        self._seq = 0
 
     # -- lifecycle ------------------------------------------------------
     def __enter__(self) -> "TrialExecutor":
@@ -313,52 +625,119 @@ class TrialExecutor:
         self.shutdown()
 
     def shutdown(self) -> None:
+        self._close_pool()
+        if self._ipc_tmp is not None:
+            shutil.rmtree(self._ipc_tmp, ignore_errors=True)
+            self._ipc_tmp = None
+            self._ipc_store = None
+            self._ipc_root = None
+
+    def _close_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
 
-    def _mark_broken(self) -> None:
+    def _mark_broken(self, exc: Optional[BaseException] = None) -> None:
         """Drop to serial for every later submission (pool died)."""
+        reason = "process pool broke"
+        if exc is not None:
+            reason = f"process pool broke: {type(exc).__name__}: {exc}"
+        self._note_fallback(reason)
         self._serial_fallback = True
-        self.shutdown()
+        self._close_pool()
+
+    def _note_fallback(self, reason: str) -> None:
+        """Count one in-process fallback and keep the first reason."""
+        self.metrics.counter("executor.serial_fallbacks").inc()
+        if self.fallback_reason is None:
+            self.fallback_reason = reason
 
     @property
     def effective_workers(self) -> int:
         """1 when running serially, else the configured worker count."""
         return 1 if self._serial_fallback else self.workers
 
+    @property
+    def transport_used(self) -> str:
+        """``"serial"`` until the pool carries work, then the resolved
+        transport (``"envelope"`` or ``"pickle"``)."""
+        return self._transport_used
+
+    def transport_stats(self) -> Dict[str, Any]:
+        """Snapshot of the executor's data-plane counters."""
+        metrics = self.metrics
+        return {
+            "transport": self._transport_used,
+            "workers": self.effective_workers,
+            "envelope_count":
+                metrics.counter("executor.envelope_count").value,
+            "ipc_bytes_sent":
+                metrics.counter("executor.ipc_bytes_sent").value,
+            "ipc_bytes_recv":
+                metrics.counter("executor.ipc_bytes_recv").value,
+            "artifact_bytes":
+                metrics.counter("executor.artifact_bytes").value,
+            "encode_ns": metrics.counter("executor.encode_ns").value,
+            "rehydrate_ns": metrics.counter("executor.rehydrate_ns").value,
+            "serial_fallbacks":
+                metrics.counter("executor.serial_fallbacks").value,
+            "fallback_reason": self.fallback_reason,
+        }
+
     # -- execution ------------------------------------------------------
     def submit(self, spec: TrialSpec) -> _TrialFuture:
         """Queue one trial; its result is read with ``.result()``."""
-        if self.pipeline is not None and spec.fingerprint is not None:
-            found, value = self.pipeline.lookup(spec.fingerprint,
-                                                stage=spec.kind)
-            if found:
-                return _TrialFuture(spec, value=value)
-        pool = self._ensure_pool()
-        if pool is None:
-            return _TrialFuture(spec, pipeline=self.pipeline)
-        try:
-            future = pool.submit(execute_trial, spec)
-        except (BrokenProcessPool, PicklingError, OSError, RuntimeError):
-            self._mark_broken()
-            return _TrialFuture(spec, pipeline=self.pipeline)
-        return _TrialFuture(spec, future=future, executor=self,
-                            pipeline=self.pipeline)
+        return self.submit_all([spec])[0]
 
     def submit_all(self, specs: Sequence[TrialSpec]) -> List[_TrialFuture]:
-        """Submit a batch, longest trials first.
+        """Submit a batch: cache lookups first, then longest trials
+        first, with cheap trials chunked.
 
-        Submission order affects only wall time (short tasks fill the
-        tail of the schedule); the returned futures align
-        index-for-index with ``specs``.
+        Submission order and chunking affect only wall time (short
+        tasks fill the tail of the schedule); the returned futures
+        align index-for-index with ``specs``.
         """
         specs = list(specs)
-        order = sorted(range(len(specs)),
-                       key=lambda i: specs[i].cost_hint(), reverse=True)
         futures: List[Optional[_TrialFuture]] = [None] * len(specs)
-        for i in order:
-            futures[i] = self.submit(specs[i])
+        pending: List[Tuple[int, TrialSpec]] = []
+        for i, spec in enumerate(specs):
+            if self.pipeline is not None and spec.fingerprint is not None:
+                found, value = self.pipeline.lookup(spec.fingerprint,
+                                                    stage=spec.kind)
+                if found:
+                    skey = (spec.fingerprint
+                            if self.pipeline.store.root is not None else None)
+                    futures[i] = _TrialFuture(spec, value=value,
+                                              store_key=skey)
+                    continue
+            pending.append((i, spec))
+        if not pending:
+            return futures
+        pool = self._ensure_pool()
+        if pool is None:
+            for i, spec in pending:
+                futures[i] = _TrialFuture(spec, pipeline=self.pipeline)
+            return futures
+        envelope = self._resolve_transport() == "envelope"
+        pending.sort(key=lambda item: item[1].cost_hint(), reverse=True)
+        solo = [item for item in pending
+                if item[1].cost_hint() >= _CHUNK_THRESHOLD]
+        cheap = [item for item in pending
+                 if item[1].cost_hint() < _CHUNK_THRESHOLD]
+        chunks: List[List[Tuple[int, TrialSpec]]] = [[it] for it in solo]
+        size = self._chunksize(len(cheap))
+        chunks.extend(cheap[k:k + size] for k in range(0, len(cheap), size))
+        for chunk in chunks:
+            handle = self._submit_chunk(chunk, envelope)
+            if handle is None:
+                for i, spec in chunk:
+                    futures[i] = _TrialFuture(spec, pipeline=self.pipeline)
+                continue
+            for ci, (i, spec) in enumerate(chunk):
+                futures[i] = _TrialFuture(spec, future=handle,
+                                          executor=self,
+                                          pipeline=self.pipeline,
+                                          chunk_index=ci)
         return futures
 
     def map(self, specs: Sequence[TrialSpec]) -> List:
@@ -370,31 +749,117 @@ class TrialExecutor:
         """
         return [f.result() for f in self.submit_all(list(specs))]
 
+    # -- plumbing -------------------------------------------------------
+    def _chunksize(self, n_cheap: int) -> int:
+        """Chunk size tuned to the batch: enough chunks to keep every
+        worker busy twice over, capped so one chunk never serializes a
+        long tail."""
+        if n_cheap <= 0:
+            return 1
+        return max(1, min(8, math.ceil(n_cheap / (self._pool_size() * 2))))
+
+    def _pool_size(self) -> int:
+        """Actual pool width: ``workers``, capped at core count + 1.
+
+        Heavy oversubscription cannot finish CPU-bound trials sooner —
+        it only time-slices them, which *stretches the longest trial*
+        (the sweep's critical path: the big collection+distill
+        traversals) while cheap work drains around it.  One extra
+        worker beyond the core count is kept (the ``make -j N+1`` rule):
+        it soaks up the slack whenever a sibling blocks on store I/O or
+        the machine's background load steals a core's timeslice.
+        """
+        cores = os.cpu_count() or self.workers
+        return max(1, min(self.workers, cores + 1))
+
+    def _submit_chunk(self, chunk: List[Tuple[int, TrialSpec]],
+                      envelope: bool) -> Optional[_ChunkHandle]:
+        if self._serial_fallback or self._pool is None:
+            return None
+        items: List[Tuple[TrialSpec, str]] = []
+        for _, spec in chunk:
+            wire = spec
+            key = ""
+            if envelope:
+                key = spec.fingerprint
+                if key is None or not self._ipc_shared:
+                    key = f"ipc:{self._seq:08d}"
+                    self._seq += 1
+                if spec.replay is not None and spec.replay_ref is not None:
+                    wire = replace(spec, replay=None)
+            items.append((wire, key))
+        try:
+            blob = pickle.dumps(items, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, TypeError, AttributeError) as exc:
+            self._note_fallback(
+                f"spec not picklable: {type(exc).__name__}: {exc}")
+            return None
+        try:
+            future = self._pool.submit(_execute_chunk, blob, envelope)
+        except (BrokenProcessPool, OSError, RuntimeError) as exc:
+            self._mark_broken(exc)
+            return None
+        self.metrics.counter("executor.ipc_bytes_sent").inc(len(blob))
+        self._transport_used = "envelope" if envelope else "pickle"
+        return _ChunkHandle(future)
+
+    def _resolve_transport(self) -> str:
+        return "pickle" if self.transport == "pickle" else "envelope"
+
+    def _ensure_ipc_store(self) -> ArtifactStore:
+        """The shared store envelopes travel through: the pipeline's
+        own disk store when there is one (workers then write artifacts
+        straight into the cache), else an executor-owned tempdir."""
+        if self._ipc_store is not None:
+            return self._ipc_store
+        pipe_store = self.pipeline.store if self.pipeline is not None else None
+        if pipe_store is not None and pipe_store.root is not None:
+            self._ipc_store = pipe_store
+            self._ipc_root = str(pipe_store.root)
+            self._ipc_shared = True
+        else:
+            self._ipc_tmp = tempfile.mkdtemp(prefix="repro-ipc-")
+            self._ipc_store = ArtifactStore(self._ipc_tmp)
+            self._ipc_root = self._ipc_tmp
+            self._ipc_shared = False
+        return self._ipc_store
+
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
         if self._serial_fallback:
             return None
         if self._pool is None:
+            store_root = None
+            if self._resolve_transport() == "envelope":
+                self._ensure_ipc_store()
+                store_root = self._ipc_root
             try:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            except (OSError, ValueError, NotImplementedError, ImportError):
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._pool_size(),
+                    initializer=_pool_init, initargs=(store_root,))
+            except (OSError, ValueError, NotImplementedError,
+                    ImportError) as exc:
+                self._note_fallback(
+                    f"pool unavailable: {type(exc).__name__}: {exc}")
                 self._serial_fallback = True
         return self._pool
 
 
 def _executor_for(workers: Optional[int],
                   executor: Optional[TrialExecutor],
-                  pipeline: Optional[Pipeline] = None) -> tuple:
+                  pipeline: Optional[Pipeline] = None,
+                  transport: str = "auto") -> tuple:
     """(executor, owns_it): reuse the caller's executor when given.
 
     A given ``pipeline`` is attached to the executor either way (a
     caller-supplied executor keeps its own pipeline if it already has
-    one).
+    one, and always keeps its own transport).
     """
     if executor is not None:
         if pipeline is not None and executor.pipeline is None:
             executor.pipeline = pipeline
         return executor, False
-    return TrialExecutor(workers=workers, pipeline=pipeline), True
+    return TrialExecutor(workers=workers, pipeline=pipeline,
+                         transport=transport), True
 
 
 # ======================================================================
@@ -533,12 +998,18 @@ class ValidationSweep:
     # the sweep ran uncached).
     cache_hits: int = 0
     cache_misses: int = 0
+    # Data-plane accounting (see TrialExecutor.transport_stats):
+    # which transport carried results, envelope/byte counters, and how
+    # often — and why — execution fell back in-process.
+    transport: Dict[str, Any] = field(default_factory=dict)
+    fallback_reason: Optional[str] = None
 
     def render(self, title: Optional[str] = None, caption: str = "") -> str:
         """The Figures 6–8 style table for this sweep.
 
-        Byte-identical for any worker count — the determinism tests
-        compare exactly this string across ``workers`` values.
+        Byte-identical for any worker count and either transport — the
+        determinism tests compare exactly this string across
+        ``workers`` values.
         """
         from .figures import render_benchmark_table
 
@@ -552,6 +1023,39 @@ class ValidationSweep:
             title=title or f"Validation sweep: {self.benchmark}",
             caption=caption)
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Machine-readable sweep: per-scenario tables, cache and
+        data-plane accounting (the CLI's ``--json`` surface)."""
+        return {
+            "benchmark": self.benchmark,
+            "workers_used": self.workers_used,
+            "scenarios": [
+                {
+                    "scenario": v.scenario,
+                    "metrics": {
+                        name: {
+                            "real": c.real.as_dict(),
+                            "modulated": c.modulated.as_dict(),
+                            "sigma_distance": (
+                                c.sigma_distance
+                                if math.isfinite(c.sigma_distance)
+                                else None),  # strict-JSON safe
+                            "accurate": c.accurate,
+                        }
+                        for name, c in v.comparisons.items()
+                    },
+                }
+                for v in self.validations
+            ],
+            "baseline": (
+                {m: s.as_dict() for m, s in self.baseline.items()}
+                if self.baseline is not None else None),
+            "cache": {"hits": self.cache_hits,
+                      "misses": self.cache_misses},
+            "transport": self.transport,
+            "fallback_reason": self.fallback_reason,
+        }
+
 
 def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
                    runner: BenchmarkRunner,
@@ -562,16 +1066,19 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
                    workers: Optional[int] = None,
                    executor: Optional[TrialExecutor] = None,
                    obs: Optional[ObsConfig] = None,
-                   cache=None) -> ValidationSweep:
+                   cache=None,
+                   transport: str = "auto") -> ValidationSweep:
     """Run the paper's validation protocol over one or more scenarios.
 
     The sweep is fully pipelined: every trial with no input dependency
     — all trace-collection traversals, all live trials, the Ethernet
-    baseline — is queued up front (longest first), and each scenario's
-    modulated trials are queued the moment its distillations resolve.
-    The pool therefore never idles at a phase barrier; cheap
-    scenarios' modulated trials run while expensive collections are
-    still in flight.
+    baseline — is queued up front (longest first, cheap trials
+    chunked), and each scenario's modulated trials are queued the
+    moment its distillations resolve, carrying the distilled replay by
+    store reference when the envelope transport is active.  The pool
+    therefore never idles at a phase barrier; cheap scenarios'
+    modulated trials run while expensive collections are still in
+    flight.
 
     The delay-compensation constant is measured once, in the parent,
     and shipped to every worker — exactly like the serial harness,
@@ -581,8 +1088,10 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
     or :class:`~repro.pipeline.Pipeline`) turns on content-addressed
     artifact caching: every trial is fingerprinted through the pipeline
     stages and looked up before it is executed, so a warm rerun of the
-    same sweep recomputes nothing.  Results are identical with or
-    without a cache.
+    same sweep recomputes nothing.  With a disk cache the envelope
+    transport writes worker artifacts straight into it.  ``transport``
+    selects the worker→parent data plane (see :class:`TrialExecutor`).
+    Results are identical with or without a cache, on either transport.
     """
     if isinstance(scenarios, Scenario):
         scenarios = [scenarios]
@@ -596,7 +1105,7 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
         comp = pipeline.run(CompensationStage())
     else:
         comp = compensation_vb()
-    exe, owned = _executor_for(workers, executor, pipeline)
+    exe, owned = _executor_for(workers, executor, pipeline, transport)
     try:
         variants = runner.variants()
         n = len(scenarios)
@@ -660,6 +1169,7 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
             mod_specs = [_fp(TrialSpec(kind="modulated", seed=seed, trial=t,
                                        runner=variant,
                                        replay=dist_by_scenario[s][t].replay,
+                                       replay_ref=dist_futs[s][t].store_key,
                                        compensation=comp, obs=obs),
                              dist_stages[s][t] if pipeline is not None
                              else None)
@@ -713,6 +1223,9 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
             stats = pipeline.summary(since=cache_mark)
             sweep.cache_hits = stats["hits"]
             sweep.cache_misses = stats["misses"]
+        sweep.workers_used = exe.effective_workers
+        sweep.transport = exe.transport_stats()
+        sweep.fallback_reason = exe.fallback_reason
         return sweep
     finally:
         if owned:
