@@ -81,6 +81,20 @@ class SeedSimulator:
         heapq.heappush(self._queue, (when, event.seq, event))
         return event
 
+    # The seed engine has no fire-and-forget or bulk fast paths; shared
+    # substrate code that uses the current engine's call_later/call_at/
+    # call_batch API maps onto plain schedule/schedule_at here
+    # (identical behaviour, the seed's ordinary per-event cost).
+    call_later = schedule
+    call_at = schedule_at
+
+    def call_batch(self, entries) -> int:
+        count = 0
+        for when, fn, args in entries:
+            self.schedule_at(when, fn, *args)
+            count += 1
+        return count
+
     def step(self) -> bool:
         while self._queue:
             when, _, event = heapq.heappop(self._queue)
@@ -287,8 +301,9 @@ def seed_mode():
     these patches, so parallel legs must not run inside ``seed_mode``.
     """
     import repro.hosts.worlds as worlds
+    from repro.core.distill import Distiller
     from repro.net.ethernet import EthernetSegment
-    from repro.net.packet import Packet
+    from repro.net.packet import POOL, Packet
     from repro.net.wavelan import PiecewiseProfile, WirelessMedium
     from repro.protocols.ip import Reassembler
 
@@ -304,8 +319,16 @@ def seed_mode():
         "e_done": EthernetSegment._transmit_done,
         "e_del": EthernetSegment._deliver,
         "r_acc": Reassembler.accept,
+        "pool": POOL.enabled,
+        "window": Distiller._window,
     }
     worlds.Simulator = SeedSimulator
+    # The seed had no packet pool and a scalar distillation loop; both
+    # optimized paths are byte-compatible, so disabling them here only
+    # changes speed, never output.
+    POOL.enabled = False
+    POOL.clear()
+    Distiller._window = Distiller._window_scalar
     PiecewiseProfile.conditions = _seed_piecewise_conditions
     Packet.size = property(_seed_size)
     Packet.clone = _seed_clone
@@ -330,3 +353,6 @@ def seed_mode():
         EthernetSegment._transmit_done = saved["e_done"]
         EthernetSegment._deliver = saved["e_del"]
         Reassembler.accept = saved["r_acc"]
+        POOL.enabled = saved["pool"]
+        POOL.clear()
+        Distiller._window = saved["window"]

@@ -43,7 +43,7 @@ class DelaylineSocket:
         self._t0: Optional[float] = None
         self._inbox = []
         self._inbox_signal = Signal(self._sim, "delayline.inbox")
-        self._sim.schedule(0.0, self._pump_start)
+        self._sim.call_later(0.0, self._pump_start)
         self.delayed_out = 0
         self.delayed_in = 0
         self.dropped_out = 0
@@ -77,9 +77,9 @@ class DelaylineSocket:
             self.dropped_out += 1
             return
         self.delayed_out += 1
-        self._sim.schedule(self._delay_for(payload_bytes),
-                           self._sock.send_to, dst_addr, dst_port,
-                           payload, payload_bytes)
+        self._sim.call_later(self._delay_for(payload_bytes),
+                             self._sock.send_to, dst_addr, dst_port,
+                             payload, payload_bytes)
 
     def recv(self) -> Generator[Any, Any, Tuple[str, int, Any, int]]:
         while not self._inbox:
@@ -103,8 +103,8 @@ class DelaylineSocket:
                 self.dropped_in += 1
                 continue
             self.delayed_in += 1
-            self._sim.schedule(self._delay_for(datagram[3]),
-                               self._deliver, datagram)
+            self._sim.call_later(self._delay_for(datagram[3]),
+                                 self._deliver, datagram)
 
     def _deliver(self, datagram) -> None:
         self._inbox.append(datagram)

@@ -98,21 +98,23 @@ class Kernel:
         return self.sim.schedule_at(max(target, self.sim.now), self._fire, fn, args)
 
     def schedule_rounded(self, delay: float, fn: Callable[..., Any],
-                         *args: Any) -> Event:
+                         *args: Any) -> None:
         """The modulator's policy (§3.3, *Scheduling Granularity*).
 
         Round to the closest tick; anything under half a tick from now
         runs immediately, so sparse traffic over fast links is
         under-delayed — the artifact the paper's Andrew/Wean results
-        exhibit.
+        exhibit.  Fire-and-forget: the modulation layer never cancels a
+        release, so no :class:`Event` handle is created.
         """
         if delay < self.tick_resolution / 2.0:
             self.immediate_callouts += 1
-            return self.sim.schedule(0.0, self._fire, fn, args)
+            self.sim.call_later(0.0, self._fire, fn, args)
+            return
         self.rounded_callouts += 1
         target = self.nearest_tick_at(self.sim.now + delay)
         target = max(target, self.sim.now)
-        return self.sim.schedule_at(target, self._fire, fn, args)
+        self.sim.call_at(target, self._fire, fn, args)
 
     def _fire(self, fn: Callable[..., Any], args: tuple) -> None:
         self.callouts_fired += 1

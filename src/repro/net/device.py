@@ -130,5 +130,5 @@ class LoopbackDevice(NetworkDevice):
         packet = self.queue.poll()
         while packet is not None:
             self._record_tx(packet)
-            self.sim.schedule(self.delay, self.handle_receive, packet)
+            self.sim.call_later(self.delay, self.handle_receive, packet)
             packet = self.queue.poll()

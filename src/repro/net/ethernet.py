@@ -108,15 +108,15 @@ class EthernetSegment:
         # propagation, release — rides a single event; otherwise the
         # classic sequence keeps delivery at exactly ``prop_delay``.
         if self.prop_delay >= self.INTERFRAME_GAP:
-            self.sim.schedule(tx_time + self.prop_delay,
+            self.sim.call_later(tx_time + self.prop_delay,
                               self._deliver_release, device, packet)
         else:
-            self.sim.schedule(tx_time, self._transmit_done, device, packet)
+            self.sim.call_later(tx_time, self._transmit_done, device, packet)
 
     def _transmit_done(self, sender: EthernetDevice, packet: Packet) -> None:
         sender._after_transmit()
-        self.sim.schedule(self.prop_delay, self._deliver, sender, packet)
-        self.sim.schedule(self.INTERFRAME_GAP, self._release)
+        self.sim.call_later(self.prop_delay, self._deliver, sender, packet)
+        self.sim.call_later(self.INTERFRAME_GAP, self._release)
 
     def _deliver_release(self, sender: EthernetDevice, packet: Packet) -> None:
         # The sender re-queues before the medium is released so its
@@ -135,5 +135,14 @@ class EthernetSegment:
         targets = [d for d in self.devices if d is not sender and d.address == dst]
         if not targets:
             targets = [d for d in self.devices if d is not sender]
+        # Clone before delivering (not after): the receiving stack may
+        # recycle the frame it was handed, so later copies must be taken
+        # from a pristine packet.
+        last = len(targets) - 1
         for i, device in enumerate(targets):
-            device.handle_receive(packet if i == 0 else packet.clone())
+            if i < last:
+                spare = packet.clone()
+                device.handle_receive(packet)
+                packet = spare
+            else:
+                device.handle_receive(packet)

@@ -28,12 +28,12 @@ class LinkDevice(NetworkDevice):
         self._transmitting = True
         tx_time = self.link.serialization_time(packet)
         self._record_tx(packet)
-        self.sim.schedule(tx_time, self._transmit_done, packet)
+        self.sim.call_later(tx_time, self._transmit_done, packet)
 
     def _transmit_done(self, packet: Packet) -> None:
         assert self.link is not None
         peer = self.link.peer_of(self)
-        self.sim.schedule(self.link.prop_delay, peer.handle_receive, packet)
+        self.sim.call_later(self.link.prop_delay, peer.handle_receive, packet)
         self._transmitting = False
         self._kick_transmit()
 

@@ -137,6 +137,15 @@ class Packet:
     would encode inside the payload bytes.
     """
 
+    # Pool bookkeeping.  Deliberately *not* dataclass fields: they are
+    # plain class attributes that an instance only shadows once a pool
+    # acquires or releases it, so ordinary construction — and
+    # ``clone()``, which goes through ``__new__`` — pays nothing and
+    # yields unpooled packets.
+    _from_pool = None   # free-list key ("tcp"/"udp"/"frag"); None = never recycled
+    _pooled = False     # True while the slot sits in a free list
+    _gen = 0            # bumped on every slot reuse (stale-reference guard)
+
     ip: Optional[IPHeader] = None
     icmp: Optional[ICMPHeader] = None
     udp: Optional[UDPHeader] = None
@@ -151,6 +160,16 @@ class Packet:
     # IPLayer.send, resets this), so the size is stable for the whole
     # journey through queues, media, and tracing hooks.
     _size: Optional[int] = field(default=None, repr=False, compare=False)
+
+    @property
+    def generation(self) -> int:
+        """Slot generation: bumped each time a pooled packet is reused.
+
+        Code that stashes a packet reference across a release can
+        compare generations to detect that the slot now carries a
+        different frame.  Packets that never met the pool stay at 0.
+        """
+        return self._gen
 
     @property
     def size(self) -> int:
@@ -193,6 +212,10 @@ class Packet:
         dup._size = self._size
         return dup
 
+    def release(self) -> None:
+        """Return this packet to the global pool (no-op if not pool-owned)."""
+        POOL.release(self)
+
     def describe(self) -> str:
         """One-line human-readable summary (used in trace dumps)."""
         if self.ip is None:
@@ -210,3 +233,175 @@ class Packet:
             )
         parts.append(f"{self.size}B")
         return " ".join(parts)
+
+
+class PacketPool:
+    """Slot-recycling allocator for hot-path packets.
+
+    TCP segments, UDP datagrams, and IP fragments are created and
+    destroyed hundreds of thousands of times per trial; the constant
+    churn of ``Packet`` + header dataclass construction (two object
+    allocations plus a fresh ``meta`` dict per frame) dominates the
+    allocator profile.  The pool keeps freed packets on per-shape free
+    lists — a slot that died as a TCP segment still carries its
+    ``TCPHeader`` object, so reacquiring it overwrites header fields in
+    place instead of allocating.
+
+    Safety rules:
+
+    * Only packets minted by an ``acquire_*`` call are pool-owned;
+      :meth:`release` on anything else (test fixtures, ICMP echoes,
+      ``clone()`` copies) is a no-op.
+    * Release is idempotent — the ``_pooled`` flag guarantees a slot
+      enters a free list at most once per lifetime.
+    * Every reuse bumps the slot's generation counter and assigns a
+      fresh ``packet_id``, so a stale reference held across a release
+      is detectable and never aliases a later frame's identity.
+    * Headers are never shared between packets (``clone()`` copies
+      them), so overwriting a recycled slot's header can only touch the
+      slot itself.
+
+    Release sites are the points where a frame's journey ends: the TCP
+    and UDP input routines, the IP not-for-me drop, fragment
+    absorption into the reassembler, and channel loss on the radio.
+    """
+
+    MAX_FREE = 4096  # per shape; beyond this, released slots go to the GC
+
+    __slots__ = ("enabled", "_free", "fresh", "reused", "released")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._free: Dict[str, list] = {"tcp": [], "udp": [], "frag": []}
+        self.fresh = 0      # acquires served by real allocation
+        self.reused = 0     # acquires served from a free list
+        self.released = 0   # slots returned to a free list
+
+    # ------------------------------------------------------------------
+    def acquire_tcp(self, src_port: int, dst_port: int, seq: int, ack: int,
+                    flags: int, window: int, payload_bytes: int) -> Packet:
+        """A TCP segment packet (header attached, no IP header yet)."""
+        free = self._free["tcp"]
+        if free and self.enabled:
+            p = free.pop()
+            p._pooled = False
+            p._gen += 1
+            p.packet_id = next(_packet_ids)
+            h = p.tcp
+            h.src_port = src_port
+            h.dst_port = dst_port
+            h.seq = seq
+            h.ack = ack
+            h.flags = flags
+            h.window = window
+            p.payload = None
+            p.payload_bytes = payload_bytes
+            p.link_bytes = ETHERNET_HEADER_BYTES
+            p._size = None
+            self.reused += 1
+            return p
+        self.fresh += 1
+        p = Packet(tcp=TCPHeader(src_port=src_port, dst_port=dst_port,
+                                 seq=seq, ack=ack, flags=flags,
+                                 window=window),
+                   payload_bytes=payload_bytes)
+        if self.enabled:
+            p._from_pool = "tcp"
+        return p
+
+    def acquire_udp(self, src_port: int, dst_port: int, payload: Any,
+                    payload_bytes: int) -> Packet:
+        """A UDP datagram packet (header attached, no IP header yet)."""
+        free = self._free["udp"]
+        if free and self.enabled:
+            p = free.pop()
+            p._pooled = False
+            p._gen += 1
+            p.packet_id = next(_packet_ids)
+            h = p.udp
+            h.src_port = src_port
+            h.dst_port = dst_port
+            p.payload = payload
+            p.payload_bytes = payload_bytes
+            p.link_bytes = ETHERNET_HEADER_BYTES
+            p._size = None
+            self.reused += 1
+            return p
+        self.fresh += 1
+        p = Packet(udp=UDPHeader(src_port=src_port, dst_port=dst_port),
+                   payload=payload, payload_bytes=payload_bytes)
+        if self.enabled:
+            p._from_pool = "udp"
+        return p
+
+    def acquire_fragment(self, src: str, dst: str, proto: int, ttl: int,
+                         ident: int, chunk: int, fragment: tuple,
+                         original: Packet) -> Packet:
+        """An IP fragment carrying its reassembly metadata."""
+        free = self._free["frag"]
+        if free and self.enabled:
+            p = free.pop()
+            p._pooled = False
+            p._gen += 1
+            p.packet_id = next(_packet_ids)
+            h = p.ip
+            h.src = src
+            h.dst = dst
+            h.proto = proto
+            h.ttl = ttl
+            h.ident = ident
+            p.payload_bytes = chunk
+            p.link_bytes = ETHERNET_HEADER_BYTES
+            p._size = None
+            m = p.meta
+            m["fragment"] = fragment
+            m["original"] = original
+            self.reused += 1
+            return p
+        self.fresh += 1
+        p = Packet(ip=IPHeader(src=src, dst=dst, proto=proto, ttl=ttl,
+                               ident=ident),
+                   payload_bytes=chunk,
+                   meta={"fragment": fragment, "original": original})
+        if self.enabled:
+            p._from_pool = "frag"
+        return p
+
+    # ------------------------------------------------------------------
+    def release(self, packet: Packet) -> None:
+        """Recycle a pool-owned packet whose journey has ended.
+
+        Safe to call on any packet: foreign packets and already-released
+        slots are ignored.  Payload and metadata references are dropped
+        immediately so the free list never pins application data.
+        """
+        key = packet._from_pool
+        if key is None or packet._pooled or not self.enabled:
+            return
+        packet._pooled = True
+        packet.payload = None
+        packet.meta.clear()
+        self.released += 1
+        free = self._free[key]
+        if len(free) < self.MAX_FREE:
+            free.append(packet)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all free slots (tests and memory-profiling legs)."""
+        for free in self._free.values():
+            free.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Allocation-avoidance counters plus current free-list depths."""
+        out = {"fresh": self.fresh, "reused": self.reused,
+               "released": self.released}
+        for key, free in self._free.items():
+            out[f"free_{key}"] = len(free)
+        return out
+
+
+#: Process-wide packet pool.  Hosts on every simulated network share it;
+#: determinism is unaffected because packet ids are assigned at acquire
+#: time in the same order regardless of whether the slot is recycled.
+POOL = PacketPool()

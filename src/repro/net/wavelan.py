@@ -28,7 +28,7 @@ from typing import Dict, List, Optional
 
 from ..sim import RngStreams, Simulator
 from .device import NetworkDevice
-from .packet import Packet
+from .packet import POOL, Packet
 from .queue import DropTailQueue
 
 WAVELAN_RATE_BPS = 2e6
@@ -167,7 +167,7 @@ class WaveLANDevice(NetworkDevice):
         if self.sim.now < self._gap_until:
             # The host driver is still busy post-processing the last
             # frame; come back for the medium once the gap elapses.
-            self.sim.schedule(self._gap_until - self.sim.now,
+            self.sim.call_later(self._gap_until - self.sim.now,
                               self._kick_transmit)
             return None
         packet = self.queue.poll()
@@ -301,7 +301,7 @@ class WirelessMedium:
         # Propagation rides the same event as serialization: the frame
         # arrives (or is lost) one event after the grant, and the
         # medium frees at arrival time.
-        self.sim.schedule(backoff + access + tx_time + self.prop_delay,
+        self.sim.call_later(backoff + access + tx_time + self.prop_delay,
                           self._transmit_done, device, packet, cond)
 
     def _transmit_done(self, sender: WaveLANDevice, packet: Packet,
@@ -313,6 +313,7 @@ class WirelessMedium:
             if self.tracer is not None:
                 self.tracer.drop("radio", packet, "channel_loss",
                                  sender=sender.name, direction=direction)
+            POOL.release(packet)
         self._busy = False
         # The sender's driver gap must be on the books before the next
         # grant is attempted, or a queued frame would sneak past it;
@@ -362,9 +363,18 @@ class WirelessMedium:
         # collection daemon's hook makes the traced laptop
         # promiscuous).  Loss was already decided per transmission, so
         # skipping deaf stations draws no RNG and changes no result.
-        first = True
-        for device in self.devices:
-            if device is sender or not (device.is_base or device.input_hooks):
-                continue
-            device.handle_receive(packet if first else packet.clone())
+        # Clone *ahead of* each delivery: a receiver's stack may consume
+        # the frame it was handed (terminal inputs recycle pool slots),
+        # so the copy for the next receiver has to be taken while this
+        # one is still pristine.
+        receivers = [d for d in self.devices
+                     if d is not sender and (d.is_base or d.input_hooks)]
+        last = len(receivers) - 1
+        for i, device in enumerate(receivers):
+            if i < last:
+                spare = packet.clone()
+                device.handle_receive(packet)
+                packet = spare
+            else:
+                device.handle_receive(packet)
             first = False

@@ -13,7 +13,7 @@ import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..net.device import NetworkDevice
-from ..net.packet import ETHERNET_MTU, IP_HEADER_BYTES, IPHeader, Packet
+from ..net.packet import ETHERNET_MTU, IP_HEADER_BYTES, IPHeader, POOL, Packet
 from ..sim import Simulator
 
 PacketHandler = Callable[[Packet], None]
@@ -176,13 +176,9 @@ class IPLayer:
         offset = 0
         for index in range(count):
             chunk = min(chunk_capacity, body - offset)
-            frag = Packet(
-                ip=IPHeader(src=packet.ip.src, dst=packet.ip.dst,
-                            proto=packet.ip.proto, ttl=packet.ip.ttl,
-                            ident=ident),
-                payload_bytes=chunk,
-                meta={"fragment": (ident, index, count), "original": packet},
-            )
+            frag = POOL.acquire_fragment(
+                packet.ip.src, packet.ip.dst, packet.ip.proto,
+                packet.ip.ttl, ident, chunk, (ident, index, count), packet)
             offset += chunk
             self.fragments_sent += 1
             if self.tracer is not None:
@@ -198,7 +194,19 @@ class IPLayer:
 
     def send(self, src: str, dst: str, proto: int, packet: Packet) -> None:
         """Convenience: stamp an IP header onto ``packet`` and output it."""
-        packet.ip = IPHeader(src=src, dst=dst, proto=proto, ident=next(self._ident))
+        hdr = packet.ip
+        if hdr is None:
+            packet.ip = IPHeader(src=src, dst=dst, proto=proto,
+                                 ident=next(self._ident))
+        else:
+            # A recycled pool slot arrives with its previous journey's
+            # header still attached (headers are never shared between
+            # packets); restamp every field in place.
+            hdr.src = src
+            hdr.dst = dst
+            hdr.proto = proto
+            hdr.ttl = 64
+            hdr.ident = next(self._ident)
         packet._size = None  # header added after construction: drop the size memo
         self.output(packet)
 
@@ -219,10 +227,14 @@ class IPLayer:
             self.dropped_not_mine += 1
             if self.tracer is not None:
                 self.tracer.drop("ip", packet, "not_mine", dst=packet.ip.dst)
+            POOL.release(packet)
 
     def _local_deliver(self, packet: Packet) -> None:
         if "fragment" in packet.meta:
             whole = self.reassembler.accept(packet)
+            # The reassembler recorded the fragment's arrival; the
+            # fragment itself is finished either way.
+            POOL.release(packet)
             if whole is None:
                 return
             packet = whole

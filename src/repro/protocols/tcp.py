@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..net.packet import Packet, PROTO_TCP, TCPHeader
+from ..net.packet import POOL, Packet, PROTO_TCP, TCPHeader
 from ..sim import Signal, Simulator, Timeout
 
 MSS = 1460
@@ -280,10 +280,9 @@ class TCPConnection:
             flags |= TCPHeader.ACK
         if psh:
             flags |= TCPHeader.PSH
-        header = TCPHeader(src_port=self.lport, dst_port=self.rport,
-                           seq=seq, ack=self.rcv_nxt if ack else 0,
-                           flags=flags, window=self._adv_window())
-        packet = Packet(tcp=header, payload_bytes=length)
+        packet = POOL.acquire_tcp(self.lport, self.rport, seq,
+                                  self.rcv_nxt if ack else 0, flags,
+                                  self._adv_window(), length)
         if length > 0 and self.send_markers:
             # Attach the markers of every message this segment overlaps;
             # app byte i (0-based) lives at stream offset 1+i.  Carrying
@@ -755,6 +754,13 @@ class TCPProtocol:
 
     # ------------------------------------------------------------------
     def input(self, packet: Packet) -> None:
+        # The segment's journey ends in this host: whatever _demux
+        # extracts (data ranges, markers, ACK state) is copied out, so
+        # the packet slot can be recycled as soon as it returns.
+        self._demux(packet)
+        POOL.release(packet)
+
+    def _demux(self, packet: Packet) -> None:
         if packet.tcp is None or packet.ip is None:
             return
         key = (packet.tcp.dst_port, packet.ip.src, packet.tcp.src_port)

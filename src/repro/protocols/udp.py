@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional, Tuple
 
-from ..net.packet import Packet, PROTO_UDP, UDPHeader
+from ..net.packet import POOL, Packet, PROTO_UDP, UDPHeader
 from ..sim import Queue, Simulator
 
 Datagram = Tuple[str, int, Any, int]  # (src_addr, src_port, payload, payload_bytes)
@@ -31,11 +31,8 @@ class UdpSocket:
                 payload_bytes: int = 0) -> None:
         if self.closed:
             raise RuntimeError("socket is closed")
-        packet = Packet(
-            udp=UDPHeader(src_port=self.port, dst_port=dst_port),
-            payload=payload,
-            payload_bytes=payload_bytes,
-        )
+        packet = POOL.acquire_udp(self.port, dst_port, payload,
+                                  payload_bytes)
         self.tx_datagrams += 1
         if self.proto.tracer is not None:
             self.proto.tracer.event("udp", "tx", packet,
@@ -101,6 +98,13 @@ class UDPProtocol:
         self._sockets.pop(port, None)
 
     def input(self, packet: Packet) -> None:
+        # Delivery copies the datagram out of the packet (the socket
+        # queue holds an address/payload tuple), so the slot recycles
+        # the moment demux returns.
+        self._demux(packet)
+        POOL.release(packet)
+
+    def _demux(self, packet: Packet) -> None:
         if packet.udp is None:
             return
         sock = self._sockets.get(packet.udp.dst_port)

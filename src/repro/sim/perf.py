@@ -25,7 +25,17 @@ Counter semantics
     wall-clock seconds spent inside them (callbacks included).
 ``pending`` / ``dead``
     Live queue state at snapshot time: events still waiting to fire and
-    cancelled entries not yet removed from the heap.
+    cancelled entries not yet removed from the wheel or overflow heap.
+``pending_hwm``
+    Queue-occupancy high-water mark: the largest number of live events
+    that were ever pending simultaneously.
+``wheel_pending`` / ``heap_pending``
+    Where the live entries sit right now: in the near-future tick
+    wheel vs. the far-future overflow heap.  Their sum equals
+    ``pending``.
+``bucket_sweeps``
+    Number of tick buckets the batch dispatcher has drained; the mean
+    batch size is ``events_fired / bucket_sweeps``.
 """
 
 from __future__ import annotations
@@ -47,6 +57,10 @@ class PerfCounters:
     dead: int = 0
     runs: int = 0
     wall_time: float = 0.0
+    pending_hwm: int = 0
+    wheel_pending: int = 0
+    heap_pending: int = 0
+    bucket_sweeps: int = 0
 
     @property
     def events_per_sec(self) -> float:

@@ -69,7 +69,7 @@ class Signal:
         """Wake all waiters with ``value``; returns the number woken."""
         waiters, self._waiters = self._waiters, []
         for proc in waiters:
-            self._sim.schedule(0.0, proc._resume, value)
+            self._sim.call_later(0.0, proc._resume, value)
         return len(waiters)
 
     def _add_waiter(self, proc: "Process") -> None:
@@ -102,7 +102,7 @@ class Process:
         self._done_signal = Signal(sim, name=f"{self.name}.done")
         self._pending_event: Optional[Event] = None
         self._waiting_on: Optional[Signal] = None
-        sim.schedule(0.0, self._resume, None)
+        sim.call_later(0.0, self._resume, None)
 
     # ------------------------------------------------------------------
     def _resume(self, value: Any) -> None:
@@ -151,9 +151,9 @@ class Process:
             if not request.alive:
                 # Child already finished: resume with its outcome immediately.
                 if request.error is not None:
-                    self._sim.schedule(0.0, self._throw, request.error)
+                    self._sim.call_later(0.0, self._throw, request.error)
                 else:
-                    self._sim.schedule(0.0, self._resume, request.value)
+                    self._sim.call_later(0.0, self._resume, request.value)
             else:
                 request._done_signal._add_waiter(self)
                 self._waiting_on = request._done_signal
@@ -176,7 +176,7 @@ class Process:
             if waiters:
                 self._done_signal._waiters = []
                 for proc in waiters:
-                    self._sim.schedule(0.0, proc._throw, error)
+                    self._sim.call_later(0.0, proc._throw, error)
             else:
                 raise error
         else:
@@ -193,7 +193,7 @@ class Process:
         if self._waiting_on is not None:
             self._waiting_on._remove_waiter(self)
             self._waiting_on = None
-        self._sim.schedule(0.0, self._throw, Interrupt(cause))
+        self._sim.call_later(0.0, self._throw, Interrupt(cause))
 
     @property
     def done_signal(self) -> Signal:

@@ -247,8 +247,12 @@ def test_duplicate_fragments_are_idempotent():
     fragments = []
     device.send = fragments.append
     send_layer.output(_udp_datagram(8192))
+    # A duplicate on the wire is a separate frame carrying the same
+    # (ident, index) — not the same object twice, which the pool may
+    # have recycled by the second delivery.
+    duplicate = fragments[0].clone()
     recv_layer.input(fragments[0])
-    recv_layer.input(fragments[0])  # duplicate
+    recv_layer.input(duplicate)
     for frag in fragments[1:]:
         recv_layer.input(frag)
     assert len(got) == 1

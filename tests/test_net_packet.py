@@ -93,3 +93,105 @@ def test_describe_tcp():
 
 def test_describe_raw():
     assert "raw" in Packet().describe()
+
+
+# ----------------------------------------------------------------------
+# Packet pool
+# ----------------------------------------------------------------------
+def _fresh_pool():
+    from repro.net.packet import PacketPool
+
+    return PacketPool()
+
+
+def test_pool_reuses_released_slot():
+    pool = _fresh_pool()
+    p1 = pool.acquire_tcp(1, 2, seq=10, ack=0, flags=0, window=100,
+                          payload_bytes=536)
+    pid1 = p1.packet_id
+    pool.release(p1)
+    p2 = pool.acquire_tcp(3, 4, seq=20, ack=5, flags=2, window=200,
+                          payload_bytes=100)
+    assert p2 is p1                       # same slot object
+    assert p2.packet_id != pid1           # fresh identity
+    assert p2.tcp.src_port == 3 and p2.tcp.seq == 20
+    assert p2.payload_bytes == 100
+    assert pool.fresh == 1 and pool.reused == 1 and pool.released == 1
+
+
+def test_pool_reuse_bumps_generation():
+    pool = _fresh_pool()
+    p = pool.acquire_udp(1, 2, payload=b"x", payload_bytes=1)
+    gen = p.generation
+    pool.release(p)
+    q = pool.acquire_udp(3, 4, payload=b"y", payload_bytes=1)
+    assert q is p
+    assert q.generation == gen + 1
+
+
+def test_pool_release_is_idempotent():
+    pool = _fresh_pool()
+    p = pool.acquire_udp(1, 2, payload=None, payload_bytes=8)
+    pool.release(p)
+    pool.release(p)                       # second release must be a no-op
+    assert pool.released == 1
+    a = pool.acquire_udp(1, 2, payload=None, payload_bytes=8)
+    b = pool.acquire_udp(1, 2, payload=None, payload_bytes=8)
+    assert a is not b                     # slot handed out only once
+
+
+def test_pool_release_foreign_packet_is_noop():
+    pool = _fresh_pool()
+    p = Packet(payload_bytes=10)          # not pool-owned
+    pool.release(p)
+    assert pool.released == 0
+    assert pool.stats()["free_tcp"] == 0
+
+
+def test_pool_clone_is_not_pool_owned():
+    pool = _fresh_pool()
+    p = pool.acquire_tcp(1, 2, seq=0, ack=0, flags=0, window=1,
+                         payload_bytes=0)
+    c = p.clone()
+    pool.release(c)                       # clones never re-enter the pool
+    assert pool.released == 0
+    pool.release(p)
+    assert pool.released == 1
+
+
+def test_pool_recycled_slot_recomputes_size():
+    pool = _fresh_pool()
+    p = pool.acquire_tcp(1, 2, seq=0, ack=0, flags=0, window=1,
+                         payload_bytes=1000)
+    size_large = p.size
+    pool.release(p)
+    q = pool.acquire_tcp(1, 2, seq=0, ack=0, flags=0, window=1,
+                         payload_bytes=0)
+    assert q.size == size_large - 1000
+
+
+def test_pool_disabled_always_allocates():
+    pool = _fresh_pool()
+    pool.enabled = False
+    p = pool.acquire_udp(1, 2, payload=None, payload_bytes=4)
+    pool.release(p)                       # no-op while disabled
+    q = pool.acquire_udp(1, 2, payload=None, payload_bytes=4)
+    assert q is not p
+    assert pool.fresh == 2 and pool.reused == 0 and pool.released == 0
+
+
+def test_pool_fragment_slot_carries_reassembly_meta():
+    pool = _fresh_pool()
+    original = Packet(payload_bytes=100)
+    f = pool.acquire_fragment("a", "b", proto=17, ttl=64, ident=7,
+                              chunk=50, fragment=(7, 0, 2),
+                              original=original)
+    assert f.ip.src == "a" and f.ip.ident == 7
+    assert f.meta["fragment"] == (7, 0, 2)
+    assert f.meta["original"] is original
+    pool.release(f)
+    g = pool.acquire_fragment("c", "d", proto=6, ttl=64, ident=9,
+                              chunk=10, fragment=(9, 1, 3),
+                              original=original)
+    assert g is f
+    assert g.meta["fragment"] == (9, 1, 3) and g.ip.src == "c"
