@@ -326,6 +326,85 @@ def bench_sweep(ftp_bytes: int, trials: int, workers: int,
 
 
 # ======================================================================
+# Telemetry overhead leg
+# ======================================================================
+def bench_telemetry(ftp_bytes: int, trials: int, workers: int,
+                    repeats: int) -> Dict[str, object]:
+    """Measure what sweep telemetry costs — and prove the disabled path
+    costs (almost) nothing.
+
+    Two measurements:
+
+    * ``overhead_fraction`` — the *disabled*-path tax.  A/B wall-clock
+      cannot resolve it (run-to-run noise on a multi-second sweep dwarfs
+      a few hundred no-op calls), so it is measured directly: the
+      per-call cost of a disabled :func:`span_begin` (one global load +
+      ``None`` test, micro-timed over millions of calls) times the
+      number of instrumentation points the same sweep hits when enabled
+      (two calls per recorded span), over the sweep's wall clock.  The
+      gate asserts this is ≤ 1%; in practice it is orders of magnitude
+      below.
+    * ``enabled_ratio`` — informational: enabled-telemetry wall clock
+      over disabled, interleaved best-of-N.  Tables must be identical.
+    """
+    from repro.obs import telemetry as tmod
+    from repro.obs.telemetry import SweepTelemetry
+
+    runner = FtpRunner(nbytes=ftp_bytes)
+    scenario = ALL_SCENARIOS[0]
+    best = {"off": math.inf, "on": math.inf}
+    tables_identical = True
+    span_count = 0
+    for rep in range(repeats):
+        t0 = time.perf_counter()
+        sweep_off = run_validation([scenario], runner, seed=0,
+                                   trials=trials, workers=workers)
+        best["off"] = min(best["off"], time.perf_counter() - t0)
+
+        tel = SweepTelemetry()
+        t0 = time.perf_counter()
+        sweep_on = run_validation([scenario], runner, seed=0,
+                                  trials=trials, workers=workers,
+                                  telemetry=tel)
+        best["on"] = min(best["on"], time.perf_counter() - t0)
+        span_count = max(span_count, len(tel.spans))
+        if sweep_off.render() != sweep_on.render():
+            tables_identical = False
+            print("  WARNING: telemetry-on and -off tables differ!")
+        print(f"  telemetry[{rep}] off {best['off']:6.2f}s   "
+              f"on {best['on']:6.2f}s   ({len(tel.spans)} spans)")
+
+    # Disabled-path per-call cost, micro-timed.  Capture must be off
+    # (it is: only _execute_chunk turns it on, in workers).
+    assert not tmod.capture_active()
+    calls = 2_000_000
+    begin = tmod.span_begin
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        begin()
+    per_call_ns = (time.perf_counter() - t0) / calls * 1e9
+    # Two disabled calls (begin + end) per span the enabled sweep took.
+    disabled_calls = 2 * span_count
+    overhead_fraction = (per_call_ns * disabled_calls) / (best["off"] * 1e9)
+    print(f"  telemetry disabled-path: {per_call_ns:.0f} ns/call x "
+          f"{disabled_calls} calls / {best['off']:.2f}s sweep "
+          f"= {overhead_fraction:.2e} overhead")
+    return {
+        "ftp_bytes": ftp_bytes,
+        "trials": trials,
+        "workers": workers,
+        "off_seconds": round(best["off"], 3),
+        "on_seconds": round(best["on"], 3),
+        "enabled_ratio": round(best["on"] / best["off"], 4),
+        "spans": span_count,
+        "disabled_call_ns": round(per_call_ns, 1),
+        "overhead_fraction": overhead_fraction,
+        "overhead_within_1pct": overhead_fraction <= 0.01,
+        "tables_identical": tables_identical,
+    }
+
+
+# ======================================================================
 # Regression gate against the committed BENCH_engine.json
 # ======================================================================
 def check_engine_regression(engine: Dict[str, object],
@@ -408,20 +487,30 @@ def main(argv=None) -> int:
             engine, args.baseline, args.regression_tolerance)
 
     sweep: Optional[Dict[str, object]] = None
+    telemetry: Optional[Dict[str, object]] = None
     if not args.engine_only:
         print(f"validation sweep (4 scenarios, ftp {ftp_bytes:,}B x{trials} "
               f"trials, best of {repeats}):")
         sweep = bench_sweep(ftp_bytes, trials, args.workers, repeats)
 
+        print(f"telemetry overhead (ftp {ftp_bytes:,}B x{trials} trials, "
+              f"best of {repeats}):")
+        telemetry = bench_telemetry(ftp_bytes, trials, args.workers, repeats)
+
     regression = (sweep is not None
                   and sweep["speedup_parallel_vs_serial"] < 1.0)
+    telemetry_failure = (telemetry is not None
+                         and not (telemetry["overhead_within_1pct"]
+                                  and telemetry["tables_identical"]))
     result = {
         "benchmark": "parallel_harness",
         "mode": "quick" if args.quick else "full",
         "engine": engine,
         "alloc": alloc,
         "sweep": sweep,
+        "telemetry": telemetry,
         "parallel_regression": regression,
+        "telemetry_regression": telemetry_failure,
         "engine_regressions": engine_failures,
     }
     with open(args.out, "w", encoding="utf-8") as f:
@@ -447,10 +536,19 @@ def main(argv=None) -> int:
         print(f"parallel vs current serial   : "
               f"{sweep['speedup_parallel_vs_serial']:.2f}x")
         print(f"tables identical             : {sweep['tables_identical']}")
+    if telemetry is not None:
+        print(f"telemetry disabled overhead  : "
+              f"{telemetry['overhead_fraction']:.2e} (gate <= 1e-2)  "
+              f"enabled ratio {telemetry['enabled_ratio']:.3f}x  "
+              f"tables identical: {telemetry['tables_identical']}")
     print(f"[written to {args.out}]")
     if sweep is not None and not sweep["tables_identical"]:
         return 1
     if not alloc["metrics_identical"]:
+        return 1
+    if telemetry_failure:
+        print("WARNING: telemetry overhead gate failed — "
+              "telemetry_regression", file=sys.stderr)
         return 1
     if args.fail_on_regression and (regression or engine_failures):
         return 1

@@ -15,6 +15,7 @@ it, or export it for modern emulators.
     repro compensation
     repro check      --scenario all          # invariant monitors
     repro check      --smoke --mutate-tick   # CI mutation smoke
+    repro metrics    metrics.jsonl           # Prometheus exposition
 
 Every ``--scenario`` accepts a registered name (``repro scenarios``
 lists them) *or* a path to a TOML/JSON scenario spec file, so a
@@ -26,7 +27,14 @@ stage whose inputs did not change.
 Observability: ``repro trace`` runs one fully-instrumented trial;
 ``validate``/``characterize`` grow ``--metrics-out`` (per-trial JSONL)
 and ``--trace-out`` (Chrome trace-event JSON, loadable in Perfetto or
-chrome://tracing); ``info`` and ``analyze`` grow ``--json``.
+chrome://tracing); ``info`` and ``analyze`` grow ``--json``.  A
+``validate`` sweep is itself observable: ``--trace-out`` merges the
+cross-process sweep timeline (one track per worker pid) into the
+trace, ``--run-dir`` appends a structured run manifest to
+``ledger.jsonl``, ``--progress`` reports live completion and ETA,
+``--profile`` aggregates per-trial cProfile tables, and
+``--metrics-format prom`` — or the standalone ``repro metrics``
+subcommand — emits Prometheus text exposition.
 """
 
 from __future__ import annotations
@@ -46,8 +54,19 @@ from .core.export import (
 )
 from .obs import (
     DEFAULT_SPAN_LIMIT,
+    MetricsRegistry,
     ObsConfig,
+    RunLedger,
+    SweepProgress,
+    SweepTelemetry,
+    aggregate_profiles,
+    fold_records,
+    merged_chrome_trace,
+    read_jsonl,
     render_obs_summary,
+    render_profile_table,
+    sweep_ledger_record,
+    sweep_registry,
     write_chrome_trace,
     write_jsonl,
 )
@@ -164,6 +183,32 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit the sweep as machine-readable JSON "
                         "(tables, cache and transport accounting)")
+    p.add_argument("--metrics-format", choices=("jsonl", "prom"),
+                   default="jsonl",
+                   help="--metrics-out format: jsonl writes one record "
+                        "per trial; prom writes one unified Prometheus "
+                        "text-exposition snapshot of the whole sweep")
+    p.add_argument("--progress", action="store_true",
+                   help="live sweep progress on stderr (trials done, "
+                        "cache hits, workers, ETA); plain lines when "
+                        "stderr is not a TTY")
+    p.add_argument("--run-dir", default=None, metavar="DIR",
+                   help="append this sweep's manifest (workers, "
+                        "transport, cache, wall/CPU, engine events/s, "
+                        "table hash) to DIR/ledger.jsonl")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile each trial and print an aggregated "
+                        "top-N table (simulated results are unchanged)")
+
+    p = sub.add_parser(
+        "metrics",
+        help="render per-trial metrics records (from `validate "
+             "--metrics-out`) as one Prometheus text-exposition "
+             "snapshot")
+    p.add_argument("metrics_jsonl",
+                   help="JSONL file written by --metrics-out")
+    p.add_argument("--prefix", default="repro",
+                   help="metric name prefix (default: repro)")
 
     p = sub.add_parser("characterize",
                        help="Figures 2-5 style scenario characterization")
@@ -385,8 +430,14 @@ def _record_label(record: Dict[str, Any]) -> str:
 
 def _write_obs_outputs(records: List[Dict[str, Any]],
                        metrics_out: Optional[str],
-                       trace_out: Optional[str]) -> None:
-    """Write the metrics JSONL and/or the Chrome trace from records."""
+                       trace_out: Optional[str],
+                       timeline: Optional[SweepTelemetry] = None) -> None:
+    """Write the metrics JSONL and/or the Chrome trace from records.
+
+    With a ``timeline`` the trace file is the *merged* document: the
+    sweep's cross-process stage spans (one track per worker pid) plus
+    the per-trial packet-lifecycle groups above them.
+    """
     if metrics_out:
         # Raw span events go to the Chrome trace, not the JSONL stream;
         # everything else in the record is kept verbatim.
@@ -397,42 +448,126 @@ def _write_obs_outputs(records: List[Dict[str, Any]],
     if trace_out:
         groups = [(_record_label(record), record["spans"])
                   for record in records if record.get("spans")]
-        count = write_chrome_trace(trace_out, groups)
+        if timeline is not None:
+            document = merged_chrome_trace(timeline, groups)
+            with open(trace_out, "w", encoding="utf-8") as f:
+                json.dump(document, f)
+            count = len(document["traceEvents"])
+        else:
+            count = write_chrome_trace(trace_out, groups)
         print(f"wrote {count} trace events to {trace_out} "
               f"(open in Perfetto or chrome://tracing)")
 
 
+def _render_fallback_summary(transport: Dict[str, Any]) -> List[str]:
+    """Human-readable lines describing every in-process fallback the
+    sweep took (empty when it took none)."""
+    fallbacks = transport.get("serial_fallbacks") or 0
+    if not fallbacks and not transport.get("pool_broken"):
+        return []
+    lines = [f"transport fallbacks: {fallbacks} trial(s) recomputed "
+             f"in-process"
+             + (" [worker pool BROKE mid-sweep]"
+                if transport.get("pool_broken") else "")]
+    for reason in transport.get("fallback_reasons") or []:
+        lines.append(f"  - {reason}")
+    return lines
+
+
 def _cmd_validate(args) -> int:
+    import os as _os
+    import time as _time
+
     scenario = _resolve_scenario_arg(args.scenario)
     if args.benchmark == "ftp" and args.ftp_bytes is not None:
         runner = RUNNERS[args.benchmark](nbytes=args.ftp_bytes)
     else:
         runner = RUNNERS[args.benchmark]()
     obs = None
-    if args.metrics_out or args.trace_out:
+    if args.metrics_out or args.trace_out or args.profile:
         obs = ObsConfig(metrics=True, trace=bool(args.trace_out),
-                        spans=bool(args.trace_out))
+                        spans=bool(args.trace_out),
+                        profile=bool(args.profile))
     cache = Pipeline(args.cache_dir) if args.cache_dir else None
+    telemetry = None
+    if args.trace_out or args.run_dir:
+        telemetry = SweepTelemetry()
+    progress = None
+    if args.progress:
+        progress = SweepProgress(
+            stream=sys.stderr, label=f"{args.benchmark}/{scenario.name}")
+    t0 = _time.perf_counter()
+    cpu0 = sum(_os.times()[:4])
     sweep = run_validation(scenario, runner, seed=args.seed,
                            trials=args.trials, baseline=args.baseline,
                            workers=args.workers, obs=obs, cache=cache,
-                           transport=args.transport)
+                           transport=args.transport,
+                           telemetry=telemetry, progress=progress)
+    wall_s = _time.perf_counter() - t0
+    cpu_s = sum(_os.times()[:4]) - cpu0
+    if progress is not None:
+        progress.finish()
     if sweep.fallback_reason:
         print(f"warning: worker pool fell back to in-process "
               f"execution: {sweep.fallback_reason}", file=sys.stderr)
+    table = sweep.render(
+        title=f"{args.benchmark} on {scenario.name} "
+              f"({args.trials} trials)")
     if args.as_json:
         doc = sweep.as_dict()
         doc["trials"] = args.trials
         doc["seed"] = args.seed
         print(json.dumps(doc, indent=2))
     else:
-        print(sweep.render(
-            title=f"{args.benchmark} on {scenario.name} "
-                  f"({args.trials} trials)"))
+        print(table)
         if cache is not None:
             print(cache.render_summary())
-    _write_obs_outputs(sweep.trial_metrics, args.metrics_out,
-                       args.trace_out)
+        for line in _render_fallback_summary(sweep.transport):
+            print(line)
+        if telemetry is not None:
+            util = telemetry.utilization().get("utilization")
+            if util is not None:
+                # Diagnostic, so stderr: stdout stays byte-identical
+                # with and without telemetry.
+                print(f"sweep timeline: {len(telemetry.spans)} spans, "
+                      f"{len(telemetry.worker_pids())} worker(s), "
+                      f"pool utilization {util:.0%}", file=sys.stderr)
+    if args.profile:
+        rows = aggregate_profiles(sweep.trial_metrics)
+        print()
+        print(render_profile_table(rows))
+    if args.run_dir:
+        ledger = RunLedger(args.run_dir)
+        record = ledger.append(sweep_ledger_record(
+            sweep, command="validate", scenario=scenario.name,
+            seed=args.seed, trials=args.trials, wall_s=wall_s,
+            cpu_s=cpu_s, table=table, telemetry=telemetry))
+        print(f"appended run manifest to {ledger.path} "
+              f"(schema {record['schema']})")
+    if args.metrics_out and args.metrics_format == "prom":
+        registry = sweep_registry(sweep, pipeline=cache,
+                                  telemetry=telemetry)
+        with open(args.metrics_out, "w", encoding="utf-8") as f:
+            f.write(registry.render_prometheus())
+        print(f"wrote Prometheus exposition to {args.metrics_out}")
+        _write_obs_outputs(sweep.trial_metrics, None, args.trace_out,
+                           timeline=telemetry)
+    else:
+        _write_obs_outputs(sweep.trial_metrics, args.metrics_out,
+                           args.trace_out, timeline=telemetry)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    try:
+        records = read_jsonl(args.metrics_jsonl)
+    except OSError as exc:
+        print(f"repro: error: cannot read {args.metrics_jsonl!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
+    fold_records(registry, records)
+    sys.stdout.write(registry.render_prometheus(prefix=args.prefix))
     return 0
 
 
@@ -612,6 +747,7 @@ COMMANDS = {
     "distill": _cmd_distill,
     "info": _cmd_info,
     "validate": _cmd_validate,
+    "metrics": _cmd_metrics,
     "characterize": _cmd_characterize,
     "trace": _cmd_trace,
     "export": _cmd_export,

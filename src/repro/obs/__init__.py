@@ -27,6 +27,18 @@ from .sinks import (
     write_chrome_trace,
     write_jsonl,
 )
+from .telemetry import (
+    LEDGER_SCHEMA,
+    RunLedger,
+    SweepProgress,
+    SweepTelemetry,
+    aggregate_profiles,
+    fold_records,
+    merged_chrome_trace,
+    render_profile_table,
+    sweep_ledger_record,
+    sweep_registry,
+)
 from .tracer import DEFAULT_SPAN_LIMIT, LifecycleTracer, TracerScope
 from .wiring import (
     DELAY_BUCKETS,
@@ -60,4 +72,14 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "render_obs_summary",
+    "LEDGER_SCHEMA",
+    "RunLedger",
+    "SweepProgress",
+    "SweepTelemetry",
+    "aggregate_profiles",
+    "fold_records",
+    "merged_chrome_trace",
+    "render_profile_table",
+    "sweep_ledger_record",
+    "sweep_registry",
 ]

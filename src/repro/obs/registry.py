@@ -111,6 +111,7 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._collectors: List[Collector] = []
+        self._collector_keys: Dict[str, int] = {}
 
     # -- instruments ----------------------------------------------------
     def counter(self, name: str, help: str = "") -> Counter:
@@ -136,8 +137,22 @@ class MetricsRegistry:
         return inst
 
     # -- collectors -----------------------------------------------------
-    def add_collector(self, collector: Collector) -> None:
-        """Register a snapshot-time source of ``{name: value}`` pairs."""
+    def add_collector(self, collector: Collector,
+                      key: Optional[str] = None) -> None:
+        """Register a snapshot-time source of ``{name: value}`` pairs.
+
+        ``key`` makes registration idempotent: registering the same key
+        again *replaces* the earlier collector instead of adding a
+        duplicate, so re-running ``attach_observability`` or reusing a
+        :class:`~repro.validation.parallel.TrialExecutor` against the
+        same registry never double-counts.
+        """
+        if key is not None:
+            slot = self._collector_keys.get(key)
+            if slot is not None:
+                self._collectors[slot] = collector
+                return
+            self._collector_keys[key] = len(self._collectors)
         self._collectors.append(collector)
 
     # -- output ---------------------------------------------------------
@@ -159,3 +174,101 @@ class MetricsRegistry:
                            for n, h in sorted(self._histograms.items())},
             "collected": dict(sorted(collected.items())),
         }
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """The registry as Prometheus text exposition (version 0.0.4).
+
+        * counters → ``<prefix>_<name>_total`` with ``# TYPE ... counter``
+        * gauges and collector output → ``# TYPE ... gauge``
+        * histograms → cumulative ``_bucket{le=...}`` series ending in
+          ``le="+Inf"`` plus ``_sum``/``_count``
+
+        Metric names are sanitized to the Prometheus grammar
+        (``[a-zA-Z_:][a-zA-Z0-9_:]*``); dots become underscores.  When
+        two registry names sanitize to the same exposition name, the
+        first wins and later ones are dropped rather than emitting an
+        invalid duplicate family.
+        """
+        lines: List[str] = []
+        emitted: set = set()
+
+        def _name(raw: str, suffix: str = "") -> Optional[str]:
+            base = _sanitize_metric_name(f"{prefix}_{raw}") + suffix
+            if base in emitted:
+                return None
+            emitted.add(base)
+            return base
+
+        def _fmt(value: float) -> str:
+            if isinstance(value, float):
+                if value != value:
+                    return "NaN"
+                if value == float("inf"):
+                    return "+Inf"
+                if value == float("-inf"):
+                    return "-Inf"
+                if value == int(value) and abs(value) < 1e15:
+                    return str(int(value))
+            return repr(value) if isinstance(value, float) else str(value)
+
+        for raw, counter in sorted(self._counters.items()):
+            name = _name(raw, "_total")
+            if name is None:
+                continue
+            if counter.help:
+                lines.append(f"# HELP {name} {_escape_help(counter.help)}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(counter.value)}")
+        for raw, gauge in sorted(self._gauges.items()):
+            name = _name(raw)
+            if name is None:
+                continue
+            if gauge.help:
+                lines.append(f"# HELP {name} {_escape_help(gauge.help)}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(gauge.value)}")
+        for raw, hist in sorted(self._histograms.items()):
+            name = _name(raw)
+            if name is None:
+                continue
+            if hist.help:
+                lines.append(f"# HELP {name} {_escape_help(hist.help)}")
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for edge, count in zip(hist.edges, hist.counts):
+                cumulative += count
+                lines.append(f'{name}_bucket{{le="{_fmt(float(edge))}"}} '
+                             f"{cumulative}")
+            lines.append(f'{name}_bucket{{le="+Inf"}} {hist.total}')
+            lines.append(f"{name}_sum {_fmt(hist.sum)}")
+            lines.append(f"{name}_count {hist.total}")
+        collected: Dict[str, float] = {}
+        for collector in self._collectors:
+            collected.update(collector())
+        for raw, value in sorted(collected.items()):
+            name = _name(raw)
+            if name is None:
+                continue
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(float(value))}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _sanitize_metric_name(raw: str) -> str:
+    """Map an arbitrary registry name onto the Prometheus name grammar
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots and dashes become underscores)."""
+    out = []
+    for i, ch in enumerate(raw):
+        if ch.isascii() and (ch.isalpha() or ch == "_" or ch == ":"
+                             or (ch.isdigit() and i > 0)):
+            out.append(ch)
+        else:
+            out.append("_")
+    text = "".join(out)
+    if not text or text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")

@@ -61,15 +61,17 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
 # ======================================================================
 # Chrome trace-event format
 # ======================================================================
-def chrome_trace(span_groups: Sequence[Tuple[str, Sequence[Dict[str, Any]]]]
-                 ) -> Dict[str, Any]:
+def chrome_trace(span_groups: Sequence[Tuple[str, Sequence[Dict[str, Any]]]],
+                 pid_base: int = 0) -> Dict[str, Any]:
     """Convert span-event groups into a Chrome trace-event document.
 
     ``span_groups`` is ``[(group_label, spans), ...]``; each group gets
     its own process-id namespace so several trials can share one trace
     file.  Within a group, each ``host`` becomes a process and each
     ``layer`` a thread, both named via metadata events.  Timestamps are
-    simulated microseconds.
+    simulated microseconds.  ``pid_base`` offsets every assigned
+    process id — the sweep-timeline merger uses it to keep these
+    synthetic pids clear of real worker pids in one document.
     """
     events: List[Dict[str, Any]] = []
     pid_of: Dict[Tuple[str, str], int] = {}
@@ -79,7 +81,7 @@ def chrome_trace(span_groups: Sequence[Tuple[str, Sequence[Dict[str, Any]]]]
         key = (group, host)
         pid = pid_of.get(key)
         if pid is None:
-            pid = pid_of[key] = len(pid_of) + 1
+            pid = pid_of[key] = pid_base + len(pid_of) + 1
             name = f"{group}:{host}" if group else host
             events.append({"name": "process_name", "ph": "M", "ts": 0,
                            "pid": pid, "tid": 0,

@@ -66,12 +66,36 @@ class ObsConfig:
         Also ship the raw span-event list (``"spans"``) — the input to
         the Chrome trace sink.  Off by default because a long trial's
         spans dominate the record's size.
+    ``profile``
+        Wrap each trial's simulator run in a :mod:`cProfile` session and
+        attach the top-``profile_top`` functions (by internal time) to
+        the record under ``"profile"`` — the input to
+        :func:`repro.obs.telemetry.aggregate_profiles`.
     """
 
     metrics: bool = True
     trace: bool = False
     spans: bool = False
     span_limit: int = DEFAULT_SPAN_LIMIT
+    profile: bool = False
+    profile_top: int = 20
+
+    def cache_token(self):
+        # Pipeline fingerprints must not move for pre-existing configs:
+        # reproduce the dataclass token exactly as it was before the
+        # profile fields existed, adding them only when profiling is on
+        # (profiled results are fresh entries either way).
+        token = {
+            "__dataclass__": "ObsConfig",
+            "metrics": self.metrics,
+            "trace": self.trace,
+            "spans": self.spans,
+            "span_limit": self.span_limit,
+        }
+        if self.profile:
+            token["profile"] = True
+            token["profile_top"] = self.profile_top
+        return token
 
 
 def world_hosts(world) -> List:
@@ -121,15 +145,18 @@ class WorldObservability:
                 for device in host.devices:
                     device.tracer = scope
             if self.config.metrics:
-                self.registry.add_collector(self._host_collector(host))
+                self.registry.add_collector(self._host_collector(host),
+                                            key=f"host:{host.name}")
         medium = getattr(self.world, "medium", None)
         if medium is not None:
             if tracer is not None:
                 medium.tracer = tracer.scope(medium.name)
             if self.config.metrics:
-                self.registry.add_collector(self._medium_collector(medium))
+                self.registry.add_collector(self._medium_collector(medium),
+                                            key=f"medium:{medium.name}")
         if self.config.metrics:
-            self.registry.add_collector(self._engine_collector())
+            self.registry.add_collector(self._engine_collector(),
+                                        key="engine")
 
     @staticmethod
     def _host_collector(host):
@@ -172,7 +199,8 @@ class WorldObservability:
         self.audit = audit
         self.layer = layer
         if self.config.metrics:
-            self.registry.add_collector(self._modulation_collector(layer))
+            self.registry.add_collector(self._modulation_collector(layer),
+                                        key="modulation")
         return audit
 
     @staticmethod
@@ -262,6 +290,6 @@ def attach_observability(world, config: Optional[ObsConfig] = None
     """
     if not _ENABLED or config is None:
         return None
-    if not (config.metrics or config.trace):
+    if not (config.metrics or config.trace or config.profile):
         return None
     return WorldObservability(world, config)

@@ -123,6 +123,20 @@ class Pipeline:
             "stages": [e.as_dict() for e in window],
         }
 
+    def collector(self):
+        """A :class:`~repro.obs.registry.MetricsRegistry` collector over
+        this pipeline's hit/miss accounting.  Snapshot-time only, so
+        registering it adds nothing to stage execution; register it
+        under a fixed key (``"pipeline"``) so executor reuse never
+        double-counts."""
+        def collect() -> Dict[str, float]:
+            return {
+                "pipeline.hits": float(self.hits),
+                "pipeline.misses": float(self.misses),
+                "pipeline.executions": float(len(self.executions)),
+            }
+        return collect
+
     def render_summary(self, since: int = 0) -> str:
         s = self.summary(since=since)
         parts = [f"{s['hits']} hit(s)", f"{s['misses']} recomputed"]

@@ -225,6 +225,30 @@ def _run_until_done(world, proc, cap: float = MAX_SIM_TIME) -> None:
             f"trial did not complete within {cap:.0f} simulated seconds")
 
 
+def _profiled_run(wobs, world, proc, cap: float = MAX_SIM_TIME):
+    """Run the trial body — under :mod:`cProfile` when the trial's
+    :class:`~repro.obs.ObsConfig` asks for it.  Returns the profile's
+    top rows (see :func:`repro.obs.telemetry.profile_rows`) or ``None``.
+
+    Profiling observes wall clocks only; the simulated event sequence
+    is untouched, so profiled metric values match unprofiled ones.
+    """
+    if wobs is None or not wobs.config.profile:
+        _run_until_done(world, proc, cap=cap)
+        return None
+    import cProfile
+
+    from ..obs.telemetry import profile_rows
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        _run_until_done(world, proc, cap=cap)
+    finally:
+        profiler.disable()
+    return profile_rows(profiler, top=wobs.config.profile_top)
+
+
 def _delayed(world, gen) -> Generator[Any, Any, None]:
     from ..sim import Timeout
 
@@ -261,11 +285,12 @@ def run_live_trial(scenario: Scenario, runner: BenchmarkRunner, seed: int,
     proc = world.laptop.spawn(
         _delayed(world, runner.client_body(world, seed, sink)),
         name=f"{runner.name}-live")
-    _run_until_done(world, proc)
+    prof = _profiled_run(wobs, world, proc)
     if wobs is not None:
+        extra = {"profile": prof} if prof is not None else {}
         sink["__obs__"] = wobs.record(kind="live", scenario=scenario.name,
                                       benchmark=runner.name, seed=seed,
-                                      trial=trial)
+                                      trial=trial, **extra)
     return sink
 
 
@@ -293,12 +318,13 @@ def collect_trace(scenario: Scenario, seed: int, trial: int,
     ping = ModifiedPing(world.laptop, SERVER_ADDR)
     span = duration if duration is not None else scenario.duration
     proc = world.laptop.spawn(ping.run(span), name="ping")
-    _run_until_done(world, proc, cap=span + 30.0)
+    prof = _profiled_run(wobs, world, proc, cap=span + 30.0)
     world.run(until=world.sim.now + 2.0)  # final daemon drain
     if wobs is not None and obs_out is not None:
+        extra = {"profile": prof} if prof is not None else {}
         obs_out["record"] = wobs.record(kind="collect",
                                         scenario=scenario.name,
-                                        seed=seed, trial=trial)
+                                        seed=seed, trial=trial, **extra)
     return daemon.records
 
 
@@ -366,11 +392,12 @@ def run_modulated_trial(replay: ReplayTrace, runner: BenchmarkRunner,
     proc = world.laptop.spawn(
         _delayed(world, runner.client_body(world, seed, sink)),
         name=f"{runner.name}-mod")
-    _run_until_done(world, proc)
+    prof = _profiled_run(wobs, world, proc)
     if wobs is not None:
+        extra = {"profile": prof} if prof is not None else {}
         sink["__obs__"] = wobs.record(kind="modulated", replay=replay.name,
                                       benchmark=runner.name, seed=seed,
-                                      trial=trial)
+                                      trial=trial, **extra)
     return sink
 
 
@@ -385,11 +412,12 @@ def run_ethernet_trial(runner: BenchmarkRunner, seed: int,
     proc = world.laptop.spawn(
         _delayed(world, runner.client_body(world, seed, sink)),
         name=f"{runner.name}-ether")
-    _run_until_done(world, proc)
+    prof = _profiled_run(wobs, world, proc)
     if wobs is not None:
+        extra = {"profile": prof} if prof is not None else {}
         sink["__obs__"] = wobs.record(kind="ethernet",
                                       benchmark=runner.name, seed=seed,
-                                      trial=trial)
+                                      trial=trial, **extra)
     return sink
 
 

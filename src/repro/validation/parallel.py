@@ -86,6 +86,17 @@ from ..core.distill import DistillationResult, Distiller
 from ..core.replay import ReplayTrace
 from ..obs import ObsConfig
 from ..obs.registry import MetricsRegistry
+from ..obs.telemetry import (
+    SweepProgress,
+    SweepTelemetry,
+    capture_begin,
+    capture_end,
+    pack_spans,
+    record_point,
+    span_begin,
+    span_end,
+    unpack_spans,
+)
 from ..pipeline import (
     ArtifactStore,
     CollectStage,
@@ -192,6 +203,19 @@ class TrialSpec:
     fingerprint: Optional[str] = None
     # Shared-store key of the upstream distill artifact (see above).
     replay_ref: Optional[str] = None
+    # Sweep-scoped trace context: set on the wire copy when the sweep
+    # runs with telemetry, so worker-side stage spans carry the sweep
+    # they belong to.  Never part of any fingerprint (fingerprints are
+    # computed from the pipeline stages, not this dataclass).
+    sweep_id: Optional[str] = None
+
+    def span_label(self) -> str:
+        """How this trial appears in the sweep timeline."""
+        if self.name:
+            return self.name
+        scenario = getattr(self.scenario, "name", None)
+        parts = [p for p in (scenario, str(self.trial)) if p is not None]
+        return ":".join(parts) if parts else str(self.trial)
 
     def cost_hint(self) -> float:
         """Rough relative wall-clock cost, for longest-first submission
@@ -290,6 +314,7 @@ def _resolve_replay(ref: Optional[str]) -> ReplayTrace:
         return replay
     if _WORKER_STORE is None:
         raise _ReplayResolveError("worker has no shared store")
+    tok = span_begin()
     found, blob = _WORKER_STORE.raw_get(ref)
     if not found:
         raise _ReplayResolveError(
@@ -302,6 +327,7 @@ def _resolve_replay(ref: Optional[str]) -> ReplayTrace:
         value = value["__distill__"]
     replay = value.replay if isinstance(value, DistillationResult) else value
     _WORKER_REPLAY_CACHE[ref] = replay
+    span_end(tok, "replay_resolve", ref[:12], nbytes=len(blob))
     return replay
 
 
@@ -350,41 +376,69 @@ def _seal(result, key: str, kind: str):
     """Encode a result, park it in the worker's shared store, and
     return the envelope.  Small results, and results the store cannot
     take, are returned raw instead (the pipe path for this item)."""
+    tok = span_begin()
     t0 = time.perf_counter_ns()
     blob = codec.encode_gz(result)
     encode_ns = time.perf_counter_ns() - t0
+    span_end(tok, "encode", kind, nbytes=len(blob))
     if len(blob) < _ENVELOPE_MIN_BYTES:
         return result
+    tok = span_begin()
     try:
         _WORKER_STORE.put_encoded(key, blob, meta={"stage": kind})
     except OSError:
         return result
+    span_end(tok, "store_write", kind, nbytes=len(blob))
     return ResultEnvelope(key=key, digest=codec.content_digest(blob),
                           nbytes=len(blob), encode_ns=encode_ns)
 
 
-def _execute_chunk(wire: bytes, envelope: bool) -> bytes:
+def _execute_chunk(wire: bytes, envelope: bool,
+                   telemetry_ctx: Optional[Tuple[str, int]] = None) -> bytes:
     """Run a chunk of trials in one pool round-trip.
 
     ``wire`` is a pickled list of ``(spec, key)`` pairs; the return is
-    a pickled list of per-item payloads (envelope / raw result /
-    :class:`_TransportFailure`), aligned with the input.  Pickling is
-    done here, not by the pool, so the parent can count the exact bytes
-    that crossed the pipe.
+    a pickled ``(payloads, spans_blob)`` pair — per-item payloads
+    (envelope / raw result / :class:`_TransportFailure`) aligned with
+    the input, plus the chunk's stage spans as one codec frame (or
+    ``None`` when telemetry is off).  Pickling is done here, not by the
+    pool, so the parent can count the exact bytes that crossed the
+    pipe.
+
+    ``telemetry_ctx`` is ``(sweep_id, submit_ns)``: its presence turns
+    span capture on for this chunk, and ``submit_ns`` (the parent's
+    wall clock at submission) yields the queue-wait span — clamped at
+    zero, since wall clocks across processes may disagree by more than
+    a short queue wait.
     """
+    chunk_tok = None
+    if telemetry_ctx is not None:
+        sweep_id, submit_ns = telemetry_ctx
+        capture_begin(sweep_id)
+        now = time.time_ns()
+        record_point("queue", ts=submit_ns, dur=now - submit_ns)
+        chunk_tok = span_begin()
     items: List[Tuple[TrialSpec, str]] = pickle.loads(wire)
     out: List[Any] = []
     for spec, key in items:
+        trial_tok = span_begin()
         try:
             result = execute_trial(spec)
         except _ReplayResolveError as exc:
+            span_end(trial_tok, spec.kind, spec.span_label(), failed=True)
             out.append(_TransportFailure(reason=str(exc)))
             continue
+        span_end(trial_tok, spec.kind, spec.span_label())
         if envelope and _WORKER_STORE is not None:
             out.append(_seal(result, key, spec.kind))
         else:
             out.append(result)
-    wire_out = pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
+    spans_blob = None
+    if telemetry_ctx is not None:
+        span_end(chunk_tok, "chunk", f"{len(items)} trial(s)")
+        spans_blob = codec.encode(pack_spans(capture_end()))
+    wire_out = pickle.dumps((out, spans_blob),
+                            protocol=pickle.HIGHEST_PROTOCOL)
     global _worker_chunks_since_gc
     if not gc.isenabled():
         _worker_chunks_since_gc += 1
@@ -457,7 +511,15 @@ class _ChunkHandle:
             if executor is not None:
                 executor.metrics.counter(
                     "executor.ipc_bytes_recv").inc(len(raw))
-            self._payload = pickle.loads(raw)
+            payloads, spans_blob = pickle.loads(raw)
+            if spans_blob is not None and executor is not None \
+                    and executor.telemetry is not None:
+                try:
+                    executor.telemetry.extend(
+                        unpack_spans(codec.decode(spans_blob)))
+                except codec.CodecError:
+                    pass  # telemetry loss must never fail a trial
+            self._payload = payloads
         return self._payload
 
 
@@ -523,7 +585,18 @@ class _TrialFuture:
                 else:
                     value = item
         if value is self._UNSET:
-            value = execute_trial(self._spec)
+            exe = self._executor
+            telemetry = exe.telemetry if exe is not None else None
+            if telemetry is not None:
+                tok = telemetry.begin()
+                value = execute_trial(self._spec)
+                telemetry.end(tok, self._spec.kind, self._spec.span_label(),
+                              fallback=self._future is not None)
+            else:
+                value = execute_trial(self._spec)
+            if self._future is None and exe is not None \
+                    and exe.progress is not None:
+                exe.progress.completed()
         self._result = value
         if self._pipeline is not None and self._spec.fingerprint is not None:
             if stored_remotely:
@@ -554,12 +627,15 @@ class _TrialFuture:
         except codec.CodecError as exc:
             exe._note_fallback(f"envelope {env.key[:12]}...: {exc}")
             return self._UNSET
+        elapsed = time.perf_counter_ns() - t0
         metrics = exe.metrics
-        metrics.counter("executor.rehydrate_ns").inc(
-            time.perf_counter_ns() - t0)
+        metrics.counter("executor.rehydrate_ns").inc(elapsed)
         metrics.counter("executor.envelope_count").inc()
         metrics.counter("executor.artifact_bytes").inc(env.nbytes)
         metrics.counter("executor.encode_ns").inc(env.encode_ns)
+        if exe.telemetry is not None:
+            exe.telemetry.point("rehydrate", self._spec.span_label(),
+                                dur=elapsed, nbytes=env.nbytes)
         return value
 
 
@@ -608,6 +684,17 @@ class TrialExecutor:
         self.transport = transport
         self.metrics = MetricsRegistry()
         self.fallback_reason: Optional[str] = None
+        # Every distinct fallback reason, in first-seen order (capped);
+        # `fallback_reason` keeps only the first for compatibility.
+        self.fallback_reasons: List[str] = []
+        self.pool_broken = False
+        # Sweep-scope hooks: a SweepTelemetry makes workers ship stage
+        # spans back with each chunk; a SweepProgress gets completion
+        # events.  Both None by default — the zero-cost path.
+        self.telemetry: Optional[SweepTelemetry] = None
+        self.progress: Optional[SweepProgress] = None
+        if pipeline is not None:
+            self.metrics.add_collector(pipeline.collector(), key="pipeline")
         self._pool: Optional[ProcessPoolExecutor] = None
         self._serial_fallback = self.workers <= 1
         self._transport_used = "serial"
@@ -642,15 +729,21 @@ class TrialExecutor:
         reason = "process pool broke"
         if exc is not None:
             reason = f"process pool broke: {type(exc).__name__}: {exc}"
+        self.pool_broken = True
         self._note_fallback(reason)
         self._serial_fallback = True
         self._close_pool()
 
     def _note_fallback(self, reason: str) -> None:
-        """Count one in-process fallback and keep the first reason."""
+        """Count one in-process fallback; keep every distinct reason."""
         self.metrics.counter("executor.serial_fallbacks").inc()
         if self.fallback_reason is None:
             self.fallback_reason = reason
+        if reason not in self.fallback_reasons \
+                and len(self.fallback_reasons) < 16:
+            self.fallback_reasons.append(reason)
+        if self.telemetry is not None:
+            self.telemetry.point("fallback", reason)
 
     @property
     def effective_workers(self) -> int:
@@ -682,6 +775,8 @@ class TrialExecutor:
             "serial_fallbacks":
                 metrics.counter("executor.serial_fallbacks").value,
             "fallback_reason": self.fallback_reason,
+            "fallback_reasons": list(self.fallback_reasons),
+            "pool_broken": self.pool_broken,
         }
 
     # -- execution ------------------------------------------------------
@@ -698,6 +793,8 @@ class TrialExecutor:
         align index-for-index with ``specs``.
         """
         specs = list(specs)
+        if self.progress is not None:
+            self.progress.add_total(len(specs))
         futures: List[Optional[_TrialFuture]] = [None] * len(specs)
         pending: List[Tuple[int, TrialSpec]] = []
         for i, spec in enumerate(specs):
@@ -709,14 +806,21 @@ class TrialExecutor:
                             if self.pipeline.store.root is not None else None)
                     futures[i] = _TrialFuture(spec, value=value,
                                               store_key=skey)
+                    if self.telemetry is not None:
+                        self.telemetry.point("cache_hit", spec.span_label())
+                    if self.progress is not None:
+                        self.progress.cache_hit()
                     continue
             pending.append((i, spec))
         if not pending:
             return futures
         pool = self._ensure_pool()
+        if self.progress is not None:
+            self.progress.set_workers(self.effective_workers)
         if pool is None:
             for i, spec in pending:
-                futures[i] = _TrialFuture(spec, pipeline=self.pipeline)
+                futures[i] = _TrialFuture(spec, executor=self,
+                                          pipeline=self.pipeline)
             return futures
         envelope = self._resolve_transport() == "envelope"
         pending.sort(key=lambda item: item[1].cost_hint(), reverse=True)
@@ -731,7 +835,8 @@ class TrialExecutor:
             handle = self._submit_chunk(chunk, envelope)
             if handle is None:
                 for i, spec in chunk:
-                    futures[i] = _TrialFuture(spec, pipeline=self.pipeline)
+                    futures[i] = _TrialFuture(spec, executor=self,
+                                              pipeline=self.pipeline)
                 continue
             for ci, (i, spec) in enumerate(chunk):
                 futures[i] = _TrialFuture(spec, future=handle,
@@ -776,6 +881,7 @@ class TrialExecutor:
                       envelope: bool) -> Optional[_ChunkHandle]:
         if self._serial_fallback or self._pool is None:
             return None
+        telemetry = self.telemetry
         items: List[Tuple[TrialSpec, str]] = []
         for _, spec in chunk:
             wire = spec
@@ -787,6 +893,8 @@ class TrialExecutor:
                     self._seq += 1
                 if spec.replay is not None and spec.replay_ref is not None:
                     wire = replace(spec, replay=None)
+            if telemetry is not None and wire.sweep_id is None:
+                wire = replace(wire, sweep_id=telemetry.sweep_id)
             items.append((wire, key))
         try:
             blob = pickle.dumps(items, protocol=pickle.HIGHEST_PROTOCOL)
@@ -794,13 +902,21 @@ class TrialExecutor:
             self._note_fallback(
                 f"spec not picklable: {type(exc).__name__}: {exc}")
             return None
+        telemetry_ctx = None
+        if telemetry is not None:
+            telemetry_ctx = (telemetry.sweep_id, time.time_ns())
         try:
-            future = self._pool.submit(_execute_chunk, blob, envelope)
+            future = self._pool.submit(_execute_chunk, blob, envelope,
+                                       telemetry_ctx)
         except (BrokenProcessPool, OSError, RuntimeError) as exc:
             self._mark_broken(exc)
             return None
         self.metrics.counter("executor.ipc_bytes_sent").inc(len(blob))
         self._transport_used = "envelope" if envelope else "pickle"
+        if self.progress is not None:
+            progress, count = self.progress, len(chunk)
+            future.add_done_callback(
+                lambda _f: progress.completed(count))
         return _ChunkHandle(future)
 
     def _resolve_transport(self) -> str:
@@ -857,6 +973,9 @@ def _executor_for(workers: Optional[int],
     if executor is not None:
         if pipeline is not None and executor.pipeline is None:
             executor.pipeline = pipeline
+            # The "pipeline" key makes this idempotent across reuse.
+            executor.metrics.add_collector(pipeline.collector(),
+                                           key="pipeline")
         return executor, False
     return TrialExecutor(workers=workers, pipeline=pipeline,
                          transport=transport), True
@@ -1003,6 +1122,9 @@ class ValidationSweep:
     # often — and why — execution fell back in-process.
     transport: Dict[str, Any] = field(default_factory=dict)
     fallback_reason: Optional[str] = None
+    # Sweep-timeline rollup (SweepTelemetry.summary()) when the sweep
+    # ran with telemetry; None otherwise.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def render(self, title: Optional[str] = None, caption: str = "") -> str:
         """The Figures 6–8 style table for this sweep.
@@ -1054,6 +1176,7 @@ class ValidationSweep:
                       "misses": self.cache_misses},
             "transport": self.transport,
             "fallback_reason": self.fallback_reason,
+            "telemetry": self.telemetry,
         }
 
 
@@ -1067,7 +1190,10 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
                    executor: Optional[TrialExecutor] = None,
                    obs: Optional[ObsConfig] = None,
                    cache=None,
-                   transport: str = "auto") -> ValidationSweep:
+                   transport: str = "auto",
+                   telemetry: Optional[SweepTelemetry] = None,
+                   progress: Optional[SweepProgress] = None
+                   ) -> ValidationSweep:
     """Run the paper's validation protocol over one or more scenarios.
 
     The sweep is fully pipelined: every trial with no input dependency
@@ -1099,13 +1225,20 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
     scenarios = [s() if isinstance(s, type) else s for s in scenarios]
     pipeline = as_pipeline(cache)
     cache_mark = len(pipeline.executions) if pipeline is not None else 0
+    comp_tok = telemetry.begin() if telemetry is not None else None
     if compensation is not None:
         comp = compensation
     elif pipeline is not None:
         comp = pipeline.run(CompensationStage())
     else:
         comp = compensation_vb()
+    if telemetry is not None:
+        telemetry.end(comp_tok, "compensation")
     exe, owned = _executor_for(workers, executor, pipeline, transport)
+    if telemetry is not None:
+        exe.telemetry = telemetry
+    if progress is not None:
+        exe.progress = progress
     try:
         variants = runner.variants()
         n = len(scenarios)
@@ -1226,7 +1359,16 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
         sweep.workers_used = exe.effective_workers
         sweep.transport = exe.transport_stats()
         sweep.fallback_reason = exe.fallback_reason
+        if telemetry is not None:
+            sweep.telemetry = telemetry.summary()
         return sweep
     finally:
         if owned:
             exe.shutdown()
+        else:
+            # A caller-supplied executor outlives this sweep; detach
+            # the sweep-scope hooks so a later sweep starts clean.
+            if telemetry is not None and exe.telemetry is telemetry:
+                exe.telemetry = None
+            if progress is not None and exe.progress is progress:
+                exe.progress = None
