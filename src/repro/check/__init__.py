@@ -16,6 +16,8 @@ The Hypothesis property suite lives in ``tests/test_check_properties.py``
 (`pytest -m check` selects the whole tier).
 """
 
+from .fuzz import (FUZZ_FTP_BYTES, FuzzFinding, FuzzRun, corpus_digest,
+                   run_fuzz, shrink_spec)
 from .golden import (DEFAULT_GOLDEN_DIR, compare, diff_replay, diff_text,
                      golden_replay, golden_table, regenerate)
 from .invariants import (ALL_MONITORS, CheckContext, ClockSanityMonitor,
@@ -34,7 +36,10 @@ __all__ = [
     "ClockSanityMonitor",
     "DEFAULT_GOLDEN_DIR",
     "DelayBoundMonitor",
+    "FUZZ_FTP_BYTES",
     "FifoOrderMonitor",
+    "FuzzFinding",
+    "FuzzRun",
     "InvariantMonitor",
     "InvariantViolation",
     "PacketConservationMonitor",
@@ -45,12 +50,15 @@ __all__ = [
     "check_all",
     "check_scenario",
     "compare",
+    "corpus_digest",
     "diff_replay",
     "diff_text",
     "golden_replay",
     "golden_table",
     "inject_tick_undershoot",
     "regenerate",
+    "run_fuzz",
     "run_monitors",
+    "shrink_spec",
     "smoke_check",
 ]

@@ -34,12 +34,17 @@ GOLDEN_SEED = 0
 GOLDEN_TRIAL = 0
 GOLDEN_FTP_BYTES = 200_000
 
+# One representative scenario per profile family (mobility, RAN, LEO)
+# rides in the corpus alongside the paper's four traversals.
+FAMILY_GOLDEN_SCENARIOS = ("shuttle", "ran4g", "leo")
+
 _NUMBER = re.compile(r"[-+]?\d+\.?\d*(?:[eE][-+]?\d+)?")
 
 
 def scenario_names(scenarios: Optional[Iterable[str]] = None) -> List[str]:
     if scenarios is None:
-        return [cls.name for cls in ALL_SCENARIOS]
+        return [cls.name for cls in ALL_SCENARIOS] \
+            + list(FAMILY_GOLDEN_SCENARIOS)
     return list(scenarios)
 
 

@@ -33,6 +33,7 @@ so one broken invariant cannot mask another.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
@@ -245,7 +246,15 @@ class PacketConservationMonitor(InvariantMonitor):
                     f"{medium.frames_lost}",
                     traced=dc.get("channel_loss", 0),
                     counted=medium.frames_lost))
-            delivered = sc.get(("dev", "rx"), 0) + dc.get("device_down", 0)
+            # Count deliveries from the attached radios' own rx
+            # counters, not tracer spans: the WavePoint bridge's radio
+            # is not a Host and carries no tracer scope, so a span
+            # count would miss every uplink frame until it re-emerges
+            # at the server's (traced, wired) device — and a frame
+            # still inside the bridge pipeline when the run stops
+            # would read as lost.
+            delivered = sum(d.rx_packets for d in medium.devices) \
+                + dc.get("device_down", 0)
             surviving = medium.frames_carried - medium.frames_lost
             # The medium serializes grants behind its busy flag, so at
             # most one granted frame can still be in flight (counted
@@ -429,12 +438,18 @@ class TickAlignmentMonitor(InvariantMonitor):
                         f"off the {tick * 1e3:.0f} ms tick grid",
                         trace=span["trace"], release=release,
                         off_grid=off_grid))
-                if applied < tick / 2.0 - TIME_EPS:
+                # The immediate-vs-rounded decision is made on the
+                # *intended* delay; nearest-tick rounding may then
+                # legally land the release up to half a tick early, so
+                # a sub-half-tick *applied* delay alone cannot convict.
+                intended = span["intended"]
+                if intended < tick / 2.0 - TIME_EPS:
                     out.append(self.violation(
                         "sub_half_tick_rounded",
-                        f"applied delay {applied:.9f}s was rounded "
+                        f"intended delay {intended:.9f}s was rounded "
                         f"instead of sent immediately (< tick/2)",
-                        trace=span["trace"], applied=applied))
+                        trace=span["trace"], intended=intended,
+                        applied=applied))
             delays = tracer.span_counts.get(("mod", "delay"), 0)
             scheduled = (kernel.immediate_callouts
                          + kernel.rounded_callouts)
@@ -525,17 +540,15 @@ class DelayBoundMonitor(InvariantMonitor):
 # ======================================================================
 # FIFO ordering
 # ======================================================================
-def _is_subsequence(needle: Sequence, haystack: Sequence) -> bool:
-    it = iter(haystack)
-    return all(any(x == y for y in it) for x in needle)
-
-
 class FifoOrderMonitor(InvariantMonitor):
     """Delay-line and queue ordering.
 
-    * The replay feed is a strict FIFO: tuples are enforced in the
-      order the trace lists them (the audit's first-enforced order must
-      be a subsequence of the trace's first-occurrence order).
+    * The replay feed is a strict FIFO consumed cyclically: modulated
+      trials loop the trace when they outlast it, so the audit's
+      first-enforced order must follow the trace's first-occurrence
+      order *per pass* — split into ascending runs of trace indices, it
+      may restart (descend) at most once per completed replay pass
+      (``tuples_consumed / len(trace)`` rounded up).
     * Every device transmit queue drains in arrival order: the tx span
       sequence of a device must be a prefix of its enqueue sequence.
     """
@@ -563,21 +576,50 @@ class FifoOrderMonitor(InvariantMonitor):
                     occupancy=feed.capacity - feed.free_slots,
                     buffered=buffered))
             audit = getattr(layer, "audit", None)
-            if audit is not None and ctx.replay is not None:
+            if audit is not None and ctx.replay is not None \
+                    and ctx.replay.tuples:
                 enforced = audit.enforced_order()
-                trace_order, seen = [], set()
-                for tup in ctx.replay.tuples:
+                occurrences: Dict[Any, List[int]] = {}
+                for i, tup in enumerate(ctx.replay.tuples):
                     key = (tup.d, tup.F, tup.Vb, tup.Vr, tup.L)
-                    if key not in seen:
-                        seen.add(key)
-                        trace_order.append(key)
-                if not _is_subsequence(enforced, trace_order):
+                    occurrences.setdefault(key, []).append(i)
+                unknown = [key for key in enforced
+                           if key not in occurrences]
+                if unknown:
                     out.append(self.violation(
                         "feed_order",
-                        "tuples were enforced out of replay-trace "
-                        "order",
+                        f"{len(unknown)} enforced tuple(s) never appear "
+                        f"in the replay trace",
                         enforced=len(enforced),
-                        trace_tuples=len(trace_order)))
+                        trace_tuples=len(occurrences)))
+                else:
+                    # Greedy cyclic walk: match each enforced key to its
+                    # next trace occurrence at-or-after the cursor; a
+                    # wrap means another replay pass was needed.  The
+                    # greedy (earliest feasible occurrence) walk yields
+                    # the minimum number of passes that could explain
+                    # the enforcement order.
+                    runs, cursor = 1, 0
+                    for key in enforced:
+                        idx_list = occurrences[key]
+                        nxt = bisect_left(idx_list, cursor)
+                        if nxt < len(idx_list):
+                            cursor = idx_list[nxt] + 1
+                        else:
+                            runs += 1
+                            cursor = idx_list[0] + 1
+                    trace_len = len(ctx.replay.tuples)
+                    passes = max(1, -(-layer.feed.tuples_consumed
+                                      // trace_len))
+                    if runs > passes:
+                        out.append(self.violation(
+                            "feed_order",
+                            f"tuples were enforced out of replay-trace "
+                            f"order: the order needs {runs} replay "
+                            f"pass(es) but only {passes} were consumed",
+                            runs=runs, passes=passes,
+                            enforced=len(enforced),
+                            trace_tuples=len(occurrences)))
         tracer = ctx.tracer
         if tracer is not None and tracer.dropped_spans == 0:
             by_device: Dict[Any, Dict[str, List[int]]] = {}

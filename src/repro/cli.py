@@ -15,12 +15,17 @@ it, or export it for modern emulators.
     repro compensation
     repro check      --scenario all          # invariant monitors
     repro check      --smoke --mutate-tick   # CI mutation smoke
+    repro fuzz       --count 25 --seed 0     # generative invariant tier
     repro metrics    metrics.jsonl           # Prometheus exposition
 
 Every ``--scenario`` accepts a registered name (``repro scenarios``
 lists them) *or* a path to a TOML/JSON scenario spec file, so a
 scenario defined purely as data runs the whole collect → distill →
-modulate pipeline.  ``validate`` and ``check`` accept ``--cache-dir``:
+modulate pipeline.  ``repro fuzz`` draws seeded random-but-valid
+scenario specs (piecewise curves plus the mobility/RAN/LEO profile
+families), runs the invariant monitors over each, and shrinks +
+archives any violating spec as a TOML repro artifact — rerun it with
+``repro check --scenario <artifact>``.  ``validate`` and ``check`` accept ``--cache-dir``:
 a content-addressed artifact store that makes warm reruns skip every
 stage whose inputs did not change.
 
@@ -76,6 +81,7 @@ from .scenarios import (
     registered_scenarios,
     resolve_scenario,
     scenario_names,
+    spec_origin,
 )
 from .validation import (
     AndrewRunner,
@@ -301,6 +307,50 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="artifact cache for check reports and golden "
                         "regeneration; warm reruns return stored "
                         "reports instead of re-simulating")
+
+    from .check.fuzz import DEFAULT_SHRINK_BUDGET, FUZZ_FTP_BYTES
+    from .scenarios.generate import GENERATOR_KINDS
+
+    p = sub.add_parser(
+        "fuzz",
+        help="generate seeded random-but-valid scenarios, run the "
+             "invariant monitors over each, shrink + archive violators")
+    p.add_argument("--count", type=int, default=25,
+                   help="number of generated scenarios (default 25)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="generator stream seed: the same (seed, count) "
+                        "always yields the same corpus and output")
+    p.add_argument("--kinds", nargs="+", choices=GENERATOR_KINDS,
+                   default=None,
+                   help="restrict generation to these scenario kinds "
+                        "(default: all, weighted)")
+    p.add_argument("--ftp-bytes", type=int, default=FUZZ_FTP_BYTES,
+                   help=f"per-spec live/modulated transfer size "
+                        f"(default {FUZZ_FTP_BYTES})")
+    p.add_argument("--corpus-dir", default=None, metavar="DIR",
+                   help="also write every generated spec as TOML here")
+    p.add_argument("--artifact-dir", default=None, metavar="DIR",
+                   help="archive violating specs here (shrunk "
+                        "reproducer, original, violation report); "
+                        "rerun one with `repro check --scenario "
+                        "DIR/<name>.spec.toml`")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="archive violating specs as-is instead of "
+                        "shrinking them first")
+    p.add_argument("--shrink-budget", type=int,
+                   default=DEFAULT_SHRINK_BUDGET,
+                   help="max pipeline re-checks spent shrinking one "
+                        "violating spec")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="artifact cache: a warm rerun of an unchanged "
+                        "corpus loads stored check reports instead of "
+                        "re-simulating")
+    p.add_argument("--progress", action="store_true",
+                   help="per-spec progress on stderr (stdout stays "
+                        "byte-identical across reruns)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the campaign result as machine-readable "
+                        "JSON")
     return parser
 
 
@@ -316,6 +366,9 @@ def _cmd_scenarios(args) -> int:
     rows = []
     for entry in registered_scenarios():
         scenario = entry.make()
+        spec = getattr(scenario, "spec", None)
+        family = spec.family.kind if spec is not None \
+            and spec.family is not None else None
         rows.append({
             "name": entry.name,
             "duration": scenario.duration,
@@ -323,18 +376,23 @@ def _cmd_scenarios(args) -> int:
             "cross_laptops": scenario.cross_laptops,
             "has_motion": scenario.has_motion,
             "source": entry.source,
+            "family": family,
+            "origin": spec_origin(spec, entry.source),
         })
     if args.as_json:
         print(json.dumps(rows, indent=1))
         return 0
     header = (f"{'name':<12} {'duration':>8} {'checkpoints':>11} "
-              f"{'cross':>5} {'motion':>6}  source")
+              f"{'cross':>5} {'motion':>6} {'family':>9} "
+              f"{'origin':>9}  source")
     print(header)
     print("-" * len(header))
     for row in rows:
         print(f"{row['name']:<12} {row['duration']:>7.0f}s "
               f"{row['checkpoints']:>11} {row['cross_laptops']:>5} "
-              f"{'yes' if row['has_motion'] else 'no':>6}  {row['source']}")
+              f"{'yes' if row['has_motion'] else 'no':>6} "
+              f"{row['family'] or '-':>9} {row['origin']:>9}  "
+              f"{row['source']}")
     return 0
 
 
@@ -741,6 +799,34 @@ def _cmd_check(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .check.fuzz import run_fuzz
+
+    cache = Pipeline(args.cache_dir) if args.cache_dir else None
+    progress = None
+    if args.progress:
+        def progress(done, total, name):
+            if name:
+                print(f"fuzz {done + 1}/{total}: {name}",
+                      file=sys.stderr)
+
+    run = run_fuzz(args.count, seed=args.seed, kinds=args.kinds,
+                   ftp_bytes=args.ftp_bytes,
+                   corpus_dir=args.corpus_dir,
+                   artifact_dir=args.artifact_dir, cache=cache,
+                   shrink=not args.no_shrink,
+                   shrink_budget=args.shrink_budget, progress=progress)
+    if args.as_json:
+        print(json.dumps(run.as_dict(), indent=1))
+    else:
+        print(run.render())
+    if cache is not None:
+        # Cache accounting differs between cold and warm runs, so it
+        # goes to stderr: stdout stays byte-identical across reruns.
+        print(cache.render_summary(), file=sys.stderr)
+    return 0 if run.ok else 1
+
+
 COMMANDS = {
     "scenarios": _cmd_scenarios,
     "collect": _cmd_collect,
@@ -754,6 +840,7 @@ COMMANDS = {
     "analyze": _cmd_analyze,
     "compensation": _cmd_compensation,
     "check": _cmd_check,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -34,6 +34,7 @@ from .spec import (
     save_spec,
     spec_from_dict,
     spec_to_dict,
+    spec_to_toml,
 )
 from .chatterbox import CHATTERBOX_SPEC, ChatterboxScenario
 from .flagstaff import FLAGSTAFF_SPEC, FlagstaffScenario
@@ -45,6 +46,18 @@ from .roaming import (
     evenly_spaced_sites,
 )
 from .wean import WEAN_SPEC, WeanScenario
+from .mobility import MobilityFamily, SHUTTLE_SPEC, ShuttleScenario
+from .ran import FieldDist, RAN_PRESETS, RAN3G_SPEC, RAN4G_SPEC, \
+    Ran3gScenario, Ran4gScenario, RanFamily
+from .leo import LEO_SPEC, LeoFamily, LeoScenario
+from .families import FAMILY_KINDS, family_from_dict, spec_origin
+from .generate import (
+    GENERATOR_KINDS,
+    GENERATOR_VERSION,
+    generate_spec,
+    generate_specs,
+    generated_scenario,
+)
 
 # The paper's four evaluation scenarios, in presentation order.  The
 # registry (scenario_names / registered_scenarios) is the open set.
@@ -57,17 +70,33 @@ __all__ = [
     "CONTROL_POINT_SPACING",
     "ChatterboxScenario",
     "Checkpoint",
+    "FAMILY_KINDS",
     "FLAGSTAFF_SPEC",
+    "FieldDist",
     "FieldPiece",
     "FlagstaffScenario",
+    "GENERATOR_KINDS",
+    "GENERATOR_VERSION",
+    "LEO_SPEC",
+    "LeoFamily",
+    "LeoScenario",
     "LossModel",
+    "MobilityFamily",
     "PORTER_SPEC",
     "PorterScenario",
+    "RAN3G_SPEC",
+    "RAN4G_SPEC",
+    "RAN_PRESETS",
+    "Ran3gScenario",
+    "Ran4gScenario",
+    "RanFamily",
     "RoamingProfile",
     "RoamingScenario",
+    "SHUTTLE_SPEC",
     "Scenario",
     "ScenarioEntry",
     "ScenarioSpec",
+    "ShuttleScenario",
     "SpecError",
     "SpecScenario",
     "WEAN_SPEC",
@@ -75,6 +104,10 @@ __all__ = [
     "WeanScenario",
     "evaluate_field",
     "evenly_spaced_sites",
+    "family_from_dict",
+    "generate_spec",
+    "generate_specs",
+    "generated_scenario",
     "jittered",
     "load_scenario",
     "load_spec",
@@ -86,7 +119,9 @@ __all__ = [
     "scenario_by_name",
     "scenario_names",
     "spec_from_dict",
+    "spec_origin",
     "spec_to_dict",
+    "spec_to_toml",
     "spike",
     "unregister",
 ]

@@ -1,0 +1,70 @@
+"""Profile-family dispatch: kind strings to family classes.
+
+A *family* is a pure compiler from a small parameter table to the four
+piecewise channel fields a :class:`~repro.scenarios.spec.ScenarioSpec`
+carries.  Three kinds exist:
+
+========  =============================================  ==============
+kind      module                                         description
+========  =============================================  ==============
+mobility  :mod:`repro.scenarios.mobility`                waypoints
+                                                         through a
+                                                         path-loss
+                                                         model
+ran       :mod:`repro.scenarios.ran`                     ERRANT-style
+                                                         statistical
+                                                         cell
+leo       :mod:`repro.scenarios.leo`                     bent-pipe
+                                                         satellite
+                                                         pass
+========  =============================================  ==============
+
+Family tables serialize in place of the derived ``fields`` (see
+``spec_to_dict``); loading recompiles the identical pieces because the
+compilers take no RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from .leo import LeoFamily
+from .mobility import MobilityFamily
+from .ran import RanFamily
+from .registry import SOURCE_BUILTIN
+from .spec import ScenarioSpec, SpecError
+
+FAMILY_TYPES = (MobilityFamily, RanFamily, LeoFamily)
+FAMILY_KINDS = {cls.kind: cls for cls in FAMILY_TYPES}
+
+
+def family_from_dict(data: Any, where: str):
+    """Build and validate a family object from its serialized table."""
+    if not isinstance(data, Mapping):
+        raise SpecError(f"{where}: family must be a table/object, "
+                        f"got {type(data).__name__}")
+    kind = data.get("kind")
+    if kind not in FAMILY_KINDS:
+        raise SpecError(f"{where}: unknown family kind {kind!r}; "
+                        f"choose from {tuple(FAMILY_KINDS)}")
+    return FAMILY_KINDS[kind].from_dict(data, where)
+
+
+def spec_family_kind(spec: ScenarioSpec) -> Optional[str]:
+    """The family kind string for a spec, or None for hand-written."""
+    return spec.family.kind if spec.family is not None else None
+
+
+def spec_origin(spec: Optional[ScenarioSpec], source: str) -> str:
+    """Classify where a scenario came from: builtin / spec-file /
+    generated.
+
+    ``source`` is the registry entry's source (``builtin`` or a file
+    path); a non-empty ``generator`` stamp on the spec marks a fuzz- or
+    script-generated scenario regardless of how it was registered.
+    """
+    if spec is not None and spec.generator:
+        return "generated"
+    if source == SOURCE_BUILTIN:
+        return "builtin"
+    return "spec-file"

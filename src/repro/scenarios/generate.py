@@ -1,0 +1,241 @@
+"""Seeded scenario generator: random-but-valid specs for fuzzing.
+
+:func:`generate_spec` deterministically derives one
+:class:`~repro.scenarios.spec.ScenarioSpec` from ``(seed, index)``
+through the same :func:`~repro.sim.rng.derive_seed` stream-splitting
+the trial RNG uses, so a fuzz corpus is byte-reproducible: the same
+seed always yields the same specs in the same order, on any worker
+layout.
+
+Four generation kinds, weighted toward the piecewise shape the paper
+scenarios use:
+
+* ``piecewise`` — hand-written-style random piecewise curves,
+* ``mobility`` — random waypoint paths through a path-loss model,
+* ``ran`` — a statistical RAN cell (random technology + overrides),
+* ``leo`` — a random satellite pass.
+
+Every generated spec passes ``validate()`` *and* stays inside
+parameter envelopes chosen so a 25 KB FTP trial finishes well inside
+the harness's simulated-time cap — sustained loss stays below ~0.35,
+bandwidth keeps a floor, durations are tens of seconds.  A generated
+spec carries a ``generator`` provenance stamp
+(``repro.fuzz/v<version> seed=<s> index=<i>``), which is what makes
+fuzz artifacts distinguishable in ``repro scenarios --json``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
+
+from ..sim.rng import derive_seed
+from .base import Checkpoint
+from .leo import LeoFamily
+from .mobility import MOBILITY_MODELS, MobilityFamily
+from .ran import RAN_TECHNOLOGIES, FieldDist, RanFamily
+from .spec import (
+    DEFAULT_DRAW_ORDER,
+    FieldPiece,
+    LossModel,
+    ScenarioSpec,
+    SpecScenario,
+)
+
+GENERATOR_VERSION = 1
+
+GENERATOR_KINDS = ("piecewise", "mobility", "ran", "leo")
+_KIND_WEIGHTS = (4, 2, 2, 1)
+
+# Trial-feasibility envelopes: sustained loss and bandwidth floors that
+# keep a 25 KB transfer far from the harness's simulated-time cap.
+_MAX_BASE_LOSS = 0.30
+_MIN_BANDWIDTH = 0.15
+_DURATION_RANGE = (24.0, 90.0)
+
+
+def _stamp(seed: int, index: int) -> str:
+    return f"repro.fuzz/v{GENERATOR_VERSION} seed={seed} index={index}"
+
+
+def _gen_checkpoints(rng: random.Random) -> Tuple[Checkpoint, ...]:
+    count = rng.randint(0, 4)
+    fractions = sorted(round(rng.uniform(0.0, 1.0), 3)
+                       for _ in range(count))
+    return tuple(Checkpoint(f"p{i}", frac)
+                 for i, frac in enumerate(fractions))
+
+
+def _gen_piece(rng: random.Random, fname: str, end: float) -> FieldPiece:
+    dist = rng.choices(("gauss", "lognormal", "uniform"),
+                       weights=(6, 2, 2))[0]
+    if fname == "signal":
+        base = rng.uniform(2.0, 25.0)
+        kwargs: Dict[str, Any] = dict(base=base,
+                                      rel=rng.uniform(0.05, 0.4),
+                                      lo=0.5, hi=30.0)
+    elif fname == "loss":
+        base = rng.uniform(0.0, _MAX_BASE_LOSS)
+        kwargs = dict(base=base, rel=rng.uniform(0.2, 0.7),
+                      lo=0.0, hi=min(0.5, base + 0.15))
+        if rng.random() < 0.25:
+            kwargs.update(dip_prob=rng.uniform(0.0, 0.1),
+                          dip_lo=0.0, dip_hi=min(0.4, base + 0.1))
+    elif fname == "bandwidth":
+        base = rng.uniform(_MIN_BANDWIDTH + 0.05, 0.9)
+        kwargs = dict(base=base, rel=rng.uniform(0.02, 0.15),
+                      lo=_MIN_BANDWIDTH, hi=0.95)
+    else:  # access
+        base = rng.uniform(0.2e-3, 40e-3)
+        kwargs = dict(base=base, rel=rng.uniform(0.1, 0.5),
+                      lo=0.1e-3, hi=0.2)
+        if rng.random() < 0.2:
+            kwargs.update(spike_prob=rng.uniform(0.0, 0.05),
+                          spike_magnitude=rng.uniform(1e-3, 20e-3))
+    if dist == "uniform" and rng.random() < 0.5:
+        kwargs["slope"] = rng.uniform(-0.3, 0.3) * abs(kwargs["base"])
+    elif dist == "gauss" and rng.random() < 0.4:
+        kwargs["slope"] = rng.uniform(-0.4, 0.4) * abs(kwargs["base"])
+    return FieldPiece(end=end, dist=dist, **kwargs)
+
+
+def _gen_piecewise_fields(rng: random.Random) -> Dict[str, Tuple[FieldPiece, ...]]:
+    fields = {}
+    for fname in DEFAULT_DRAW_ORDER:
+        count = rng.randint(1, 4)
+        ends = sorted(round(rng.uniform(0.08, 0.95), 3)
+                      for _ in range(count - 1))
+        # Strictly increasing ends, final piece at 1.0.
+        uniq = []
+        for e in ends:
+            if not uniq or e > uniq[-1]:
+                uniq.append(e)
+        uniq.append(1.0)
+        fields[fname] = tuple(_gen_piece(rng, fname, end) for end in uniq)
+    return fields
+
+
+def _gen_mobility(rng: random.Random) -> MobilityFamily:
+    model = rng.choice(MOBILITY_MODELS)
+    count = rng.randint(3, 6)
+    fracs = [0.0] + sorted(round(rng.uniform(0.05, 0.95), 3)
+                           for _ in range(count - 2)) + [1.0]
+    # Keep at least one waypoint near the base station so the link is
+    # usable for part of the traversal (feasibility envelope).
+    near = rng.randrange(len(fracs))
+    waypoints = []
+    for i, u in enumerate(fracs):
+        if i == near:
+            radius = rng.uniform(5.0, 60.0)
+        else:
+            radius = rng.uniform(20.0, 420.0)
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        waypoints.append((u, round(radius * math.cos(angle), 2),
+                          round(radius * math.sin(angle), 2)))
+    return MobilityFamily(
+        waypoints=tuple(waypoints),
+        model=model,
+        tx_power_dbm=rng.uniform(15.0, 26.0),
+        ref_loss_db=rng.uniform(30.0, 45.0),
+        path_loss_exponent=rng.uniform(2.0, 3.5),
+        base_antenna_m=rng.uniform(3.0, 15.0),
+        mobile_antenna_m=rng.uniform(1.0, 2.5),
+        sensitivity_dbm=rng.uniform(-95.0, -82.0),
+        shadowing_db=rng.uniform(1.0, 6.0),
+        good_margin_db=rng.uniform(15.0, 30.0),
+        samples=rng.choice((24, 32, 48, 60)),
+    )
+
+
+def _gen_ran(rng: random.Random) -> RanFamily:
+    kwargs: Dict[str, Any] = {"technology": rng.choice(RAN_TECHNOLOGIES)}
+    if rng.random() < 0.5:
+        kwargs["loss"] = FieldDist(
+            "lognormal", center=rng.uniform(0.001, 0.05),
+            spread=rng.uniform(0.3, 0.9), hi=0.30)
+    if rng.random() < 0.4:
+        kwargs["bandwidth"] = FieldDist(
+            "uniform", center=rng.uniform(0.3, 0.8),
+            spread=rng.uniform(0.05, 0.3), lo=_MIN_BANDWIDTH, hi=0.95)
+    if rng.random() < 0.3:
+        kwargs["access"] = FieldDist(
+            "lognormal", center=rng.uniform(0.5e-3, 20e-3),
+            spread=rng.uniform(0.2, 0.7), lo=0.1e-3, hi=0.1)
+    return RanFamily(**kwargs)
+
+
+def _gen_leo(rng: random.Random) -> LeoFamily:
+    min_elev = rng.uniform(5.0, 35.0)
+    horizon_sig = rng.uniform(4.0, 12.0)
+    loss_peak = rng.uniform(0.0, 0.01)
+    bw_horizon = rng.uniform(0.2, 0.5)
+    return LeoFamily(
+        altitude_km=rng.uniform(300.0, 1400.0),
+        min_elevation_deg=min_elev,
+        peak_elevation_deg=rng.uniform(min_elev + 15.0, 90.0),
+        processing_delay_s=rng.uniform(0.001, 0.01),
+        peak_signal_db=horizon_sig + rng.uniform(5.0, 18.0),
+        horizon_signal_db=horizon_sig,
+        loss_peak=loss_peak,
+        loss_horizon=loss_peak + rng.uniform(0.005, 0.08),
+        bandwidth_peak=bw_horizon + rng.uniform(0.1, 0.45),
+        bandwidth_horizon=bw_horizon,
+        samples=rng.choice((24, 32, 48)),
+    )
+
+
+def generate_spec(seed: int, index: int,
+                  kinds: Optional[Sequence[str]] = None) -> ScenarioSpec:
+    """The ``index``-th random-but-valid spec of stream ``seed``."""
+    kinds = tuple(kinds) if kinds else GENERATOR_KINDS
+    for kind in kinds:
+        if kind not in GENERATOR_KINDS:
+            raise ValueError(f"unknown generator kind {kind!r}; "
+                             f"choose from {GENERATOR_KINDS}")
+    rng = random.Random(derive_seed(
+        seed, f"scenario-gen:{GENERATOR_VERSION}:{index}"))
+    weights = [_KIND_WEIGHTS[GENERATOR_KINDS.index(k)] for k in kinds]
+    kind = rng.choices(kinds, weights=weights)[0]
+    name = f"fuzz-s{seed}-i{index:04d}"
+    duration = round(rng.uniform(*_DURATION_RANGE), 1)
+    checkpoints = _gen_checkpoints(rng)
+    loss_model = LossModel(
+        up_scale=round(rng.uniform(0.8, 1.3), 3),
+        up_cap=round(rng.uniform(0.5, 0.95), 3)
+        if rng.random() < 0.5 else None,
+        down_scale=round(rng.uniform(0.7, 1.1), 3),
+    )
+    family = None
+    if kind == "piecewise":
+        fields = _gen_piecewise_fields(rng)
+    else:
+        family = {"mobility": _gen_mobility, "ran": _gen_ran,
+                  "leo": _gen_leo}[kind](rng)
+        fields = family.compile_fields()
+    spec = ScenarioSpec(
+        name=name,
+        duration=duration,
+        checkpoints=checkpoints,
+        cross_laptops=rng.choices((0, 1, 2), weights=(8, 1, 1))[0],
+        has_motion=kind not in ("ran", "leo"),
+        fields=fields,
+        loss_model=loss_model,
+        description=f"generated {kind} scenario",
+        family=family,
+        generator=_stamp(seed, index),
+    )
+    return spec.validate()
+
+
+def generate_specs(seed: int, count: int,
+                   kinds: Optional[Sequence[str]] = None,
+                   start: int = 0) -> Iterator[ScenarioSpec]:
+    """``count`` specs of stream ``seed`` starting at ``start``."""
+    for index in range(start, start + count):
+        yield generate_spec(seed, index, kinds=kinds)
+
+
+def generated_scenario(seed: int, index: int) -> SpecScenario:
+    """A runnable scenario straight from the generator stream."""
+    return SpecScenario(generate_spec(seed, index))

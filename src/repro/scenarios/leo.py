@@ -1,0 +1,200 @@
+"""LEO bent-pipe scenario: elevation-dependent delay over a pass.
+
+A low-Earth-orbit satellite pass is compiled into channel fields from
+orbital geometry: the satellite rises from ``min_elevation_deg``, peaks
+at ``peak_elevation_deg`` mid-pass, and sets again —
+``E(u) = min + (peak - min) * sin(pi * u)``.  At each traversal sample
+the slant range follows from the spherical-Earth geometry
+
+    slant = sqrt((Re + h)^2 - (Re cos E)^2) - Re sin E
+
+and the bent-pipe media-access latency is the two-leg light-time plus a
+fixed processing delay: ``2 * slant / c + processing``.  Low elevation
+means a longer slant, more atmosphere and a weaker link, so signal,
+loss and bandwidth interpolate between their horizon and peak values
+by normalized elevation.
+
+Like the other families the compiler is pure — trial-to-trial
+variation comes from the jitter sigmas on the compiled pieces, drawn
+through the per-trial RNG stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from .base import Checkpoint
+from .registry import register
+from .spec import FieldPiece, LossModel, ScenarioSpec, SpecError, SpecScenario
+
+EARTH_RADIUS_KM = 6371.0
+LIGHT_SPEED_KM_S = 299_792.458
+
+
+def slant_range_km(altitude_km: float, elevation_deg: float) -> float:
+    """Ground-to-satellite slant range for a spherical Earth."""
+    e = math.radians(elevation_deg)
+    re = EARTH_RADIUS_KM
+    orbit = re + altitude_km
+    return math.sqrt(orbit * orbit - (re * math.cos(e)) ** 2) \
+        - re * math.sin(e)
+
+
+def bent_pipe_delay_s(altitude_km: float, elevation_deg: float,
+                      processing_delay_s: float) -> float:
+    """Two-leg (up + down through the satellite) light-time plus
+    processing."""
+    slant = slant_range_km(altitude_km, elevation_deg)
+    return 2.0 * slant / LIGHT_SPEED_KM_S + processing_delay_s
+
+
+def elevation_at(u: float, min_elevation_deg: float,
+                 peak_elevation_deg: float) -> float:
+    """Elevation over the pass: rises to the peak at ``u=0.5``, sets."""
+    return min_elevation_deg + (peak_elevation_deg - min_elevation_deg) \
+        * math.sin(math.pi * min(1.0, max(0.0, u)))
+
+
+@dataclass(frozen=True)
+class LeoFamily:
+    """A LEO bent-pipe pass compiled from orbital geometry."""
+
+    kind = "leo"
+
+    altitude_km: float = 550.0
+    min_elevation_deg: float = 25.0
+    peak_elevation_deg: float = 75.0
+    processing_delay_s: float = 0.004
+    peak_signal_db: float = 22.0
+    horizon_signal_db: float = 8.0
+    loss_peak: float = 0.002
+    loss_horizon: float = 0.03
+    bandwidth_peak: float = 0.85
+    bandwidth_horizon: float = 0.30
+    samples: int = 48
+
+    def validate(self) -> "LeoFamily":
+        if not 160.0 <= self.altitude_km <= 2000.0:
+            raise SpecError(f"altitude_km must lie in [160, 2000] (LEO), "
+                            f"got {self.altitude_km}")
+        if not 0.0 <= self.min_elevation_deg < self.peak_elevation_deg \
+                <= 90.0:
+            raise SpecError(
+                f"need 0 <= min_elevation < peak_elevation <= 90, got "
+                f"{self.min_elevation_deg} / {self.peak_elevation_deg}")
+        if self.processing_delay_s < 0:
+            raise SpecError("processing_delay_s cannot be negative")
+        if self.peak_signal_db <= self.horizon_signal_db:
+            raise SpecError("peak_signal_db must exceed horizon_signal_db")
+        if not 0.0 <= self.loss_peak <= self.loss_horizon <= 1.0:
+            raise SpecError("need 0 <= loss_peak <= loss_horizon <= 1")
+        if not 0.0 < self.bandwidth_horizon <= self.bandwidth_peak <= 1.0:
+            raise SpecError(
+                "need 0 < bandwidth_horizon <= bandwidth_peak <= 1")
+        if not 4 <= self.samples <= 512:
+            raise SpecError(f"samples must lie in [4, 512], "
+                            f"got {self.samples}")
+        return self
+
+    def compile_fields(self) -> Dict[str, Tuple[FieldPiece, ...]]:
+        """Derive the four channel fields over the pass — pure, no RNG."""
+        self.validate()
+        signal, loss, bandwidth, access = [], [], [], []
+        span_deg = self.peak_elevation_deg - self.min_elevation_deg
+        for i in range(self.samples):
+            end = 1.0 if i == self.samples - 1 else (i + 1) / self.samples
+            elev = elevation_at((i + 0.5) / self.samples,
+                                self.min_elevation_deg,
+                                self.peak_elevation_deg)
+            q = (elev - self.min_elevation_deg) / span_deg
+            delay = bent_pipe_delay_s(self.altitude_km, elev,
+                                      self.processing_delay_s)
+            sig = self.horizon_signal_db \
+                + (self.peak_signal_db - self.horizon_signal_db) * q
+            lo_val = self.loss_horizon \
+                + (self.loss_peak - self.loss_horizon) * q
+            bw = self.bandwidth_horizon \
+                + (self.bandwidth_peak - self.bandwidth_horizon) * q
+            signal.append(FieldPiece(end=end, base=sig, rel=0.10, lo=1.0,
+                                     hi=self.peak_signal_db + 6.0))
+            loss.append(FieldPiece(end=end, base=lo_val, rel=0.4,
+                                   hi=min(0.5, 2.0 * self.loss_horizon
+                                          + 0.05)))
+            bandwidth.append(FieldPiece(end=end, base=bw, rel=0.05,
+                                        lo=0.10, hi=0.95))
+            # The delay itself is deterministic geometry; keep only a
+            # small queueing jitter on top.
+            access.append(FieldPiece(end=end, base=delay, rel=0.05,
+                                     lo=self.processing_delay_s,
+                                     hi=4.0 * delay))
+        return {"signal": tuple(signal), "loss": tuple(loss),
+                "bandwidth": tuple(bandwidth), "access": tuple(access)}
+
+    # -- serialization -------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "altitude_km": self.altitude_km,
+            "min_elevation_deg": self.min_elevation_deg,
+            "peak_elevation_deg": self.peak_elevation_deg,
+            "processing_delay_s": self.processing_delay_s,
+            "peak_signal_db": self.peak_signal_db,
+            "horizon_signal_db": self.horizon_signal_db,
+            "loss_peak": self.loss_peak,
+            "loss_horizon": self.loss_horizon,
+            "bandwidth_peak": self.bandwidth_peak,
+            "bandwidth_horizon": self.bandwidth_horizon,
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], where: str) -> "LeoFamily":
+        known = {"kind", "altitude_km", "min_elevation_deg",
+                 "peak_elevation_deg", "processing_delay_s",
+                 "peak_signal_db", "horizon_signal_db", "loss_peak",
+                 "loss_horizon", "bandwidth_peak", "bandwidth_horizon",
+                 "samples"}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"{where}: unknown LEO keys "
+                            f"{sorted(unknown)}")
+        kwargs: Dict[str, Any] = {}
+        for key in known - {"kind", "samples"}:
+            if key in data:
+                kwargs[key] = float(data[key])
+        if "samples" in data:
+            kwargs["samples"] = int(data["samples"])
+        return cls(**kwargs).validate()
+
+
+# ======================================================================
+# Builtin: one overhead Starlink-class pass
+# ======================================================================
+LEO_FAMILY = LeoFamily()
+
+LEO_SPEC = ScenarioSpec(
+    name="leo",
+    duration=180.0,
+    checkpoints=(
+        Checkpoint("rise", 0.0),
+        Checkpoint("climb", 0.25),
+        Checkpoint("zenith", 0.5),
+        Checkpoint("descend", 0.75),
+        Checkpoint("set", 0.96),
+    ),
+    has_motion=False,  # the ground terminal is stationary
+    description="LEO bent-pipe satellite pass with elevation-dependent "
+                "delay.",
+    fields=LEO_FAMILY.compile_fields(),
+    loss_model=LossModel(up_scale=1.0, down_scale=1.0),
+    family=LEO_FAMILY,
+)
+
+
+@register
+class LeoScenario(SpecScenario):
+    """One LEO satellite pass compiled from orbital geometry."""
+
+    spec = LEO_SPEC

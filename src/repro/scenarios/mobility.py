@@ -1,0 +1,330 @@
+"""Mobility-derived profiles: waypoints through a path-loss model.
+
+Instead of hand-drawing signal curves, a :class:`MobilityFamily`
+describes *movement*: a list of ``(u, x, y)`` waypoints (traversal
+fraction, metres east/north of the base station) that the mobile host
+walks through.  At compile time each traversal sample is mapped
+through a radio path-loss model — log-distance or two-ray ground
+reflection — to a link margin, and the margin to the four channel
+fields (signal, loss, bandwidth, access latency) the emulator drives.
+
+Shadowing stays *stochastic*: the compiled pieces carry a relative
+jitter sigma derived from ``shadowing_db``, so every trial draws its
+own shadow fades from the per-trial RNG stream exactly like the
+hand-written scenarios do.  Compilation itself is a pure function of
+the family parameters — no RNG — which is what lets a family-backed
+spec round-trip losslessly through TOML/JSON (the loader recompiles
+the identical pieces).
+
+Path-loss models
+----------------
+
+``log_distance``
+    ``PL(d) = ref_loss_db + 10 * n * log10(d / d0)`` — the classic
+    indoor model; ``n`` (``path_loss_exponent``) around 3 for
+    obstructed office buildings.
+
+``two_ray``
+    ``PL(d) = max(free-space, 40 log10 d - 20 log10(ht * hr))`` —
+    free-space up close, fourth-power distance decay beyond the
+    crossover, as for outdoor shuttle routes.  Taking the max of the
+    two regimes keeps the loss monotone in distance (the property
+    suite pins this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from .base import Checkpoint
+from .registry import register
+from .spec import FieldPiece, LossModel, ScenarioSpec, SpecError, SpecScenario
+
+MOBILITY_MODELS = ("log_distance", "two_ray")
+
+# Link-quality envelope: what a saturated (margin >= good_margin_db)
+# link looks like, and the floor a dead link degrades to.  Chosen to
+# span the same ranges the hand-written paper scenarios use.
+_SIGNAL_FLOOR_DB = 2.0
+_SIGNAL_CEIL_DB = 25.0
+_LOSS_CEILING = 0.35
+_BANDWIDTH_FLOOR = 0.15
+_BANDWIDTH_CEIL = 0.78
+_ACCESS_FLOOR_S = 0.3e-3
+_ACCESS_CEIL_S = 80e-3
+
+
+def path_loss_log_distance(distance_m: float, ref_loss_db: float,
+                           ref_distance_m: float,
+                           exponent: float) -> float:
+    """Log-distance path loss in dB; clamped to the reference distance."""
+    d = max(distance_m, ref_distance_m)
+    return ref_loss_db + 10.0 * exponent * math.log10(d / ref_distance_m)
+
+
+def path_loss_two_ray(distance_m: float, ref_loss_db: float,
+                      ref_distance_m: float, base_antenna_m: float,
+                      mobile_antenna_m: float) -> float:
+    """Two-ray ground-reflection path loss in dB.
+
+    Free-space (20 dB/decade) near the transmitter, ground-bounce
+    (40 dB/decade) far away; the max of the two is monotone
+    nondecreasing in distance.
+    """
+    d = max(distance_m, ref_distance_m)
+    free_space = ref_loss_db + 20.0 * math.log10(d / ref_distance_m)
+    ground = (40.0 * math.log10(d)
+              - 20.0 * math.log10(base_antenna_m * mobile_antenna_m))
+    return max(free_space, ground)
+
+
+def position_at(waypoints: Tuple[Tuple[float, float, float], ...],
+                u: float) -> Tuple[float, float]:
+    """Piecewise-linear ``(x, y)`` along the waypoint path at ``u``."""
+    if u <= waypoints[0][0]:
+        return waypoints[0][1], waypoints[0][2]
+    for (u0, x0, y0), (u1, x1, y1) in zip(waypoints, waypoints[1:]):
+        if u <= u1:
+            span = u1 - u0
+            frac = (u - u0) / span if span > 0 else 1.0
+            return x0 + (x1 - x0) * frac, y0 + (y1 - y0) * frac
+    return waypoints[-1][1], waypoints[-1][2]
+
+
+def link_quality(margin_db: float,
+                 good_margin_db: float) -> Tuple[float, float, float, float]:
+    """Map a link margin to ``(signal_db, loss, bandwidth, access_s)``.
+
+    ``q = clamp(margin / good_margin, 0, 1)`` interpolates between a
+    dead link and a saturated one; loss and access latency degrade
+    quadratically/cubically so a healthy link is nearly clean.  Every
+    output is bounded regardless of the margin's sign or magnitude
+    (the property suite asserts the bounds).
+    """
+    q = min(1.0, max(0.0, margin_db / good_margin_db))
+    signal = _SIGNAL_FLOOR_DB + (_SIGNAL_CEIL_DB - _SIGNAL_FLOOR_DB) * q
+    loss = _LOSS_CEILING * (1.0 - q) ** 2
+    bandwidth = _BANDWIDTH_FLOOR + (_BANDWIDTH_CEIL - _BANDWIDTH_FLOOR) * q
+    access = _ACCESS_FLOOR_S + (_ACCESS_CEIL_S - _ACCESS_FLOOR_S) \
+        * (1.0 - q) ** 3
+    return signal, loss, bandwidth, access
+
+
+@dataclass(frozen=True)
+class MobilityFamily:
+    """Channel fields derived from waypoint movement through path loss.
+
+    ``waypoints`` are ``(u, x, y)`` tuples — traversal fraction and
+    metres from the base station (at the origin); fractions must be
+    nondecreasing, starting at 0 and ending at 1.
+    """
+
+    kind = "mobility"
+
+    waypoints: Tuple[Tuple[float, float, float], ...]
+    model: str = "log_distance"
+    tx_power_dbm: float = 18.0
+    ref_loss_db: float = 40.0
+    ref_distance_m: float = 1.0
+    path_loss_exponent: float = 3.0
+    base_antenna_m: float = 10.0
+    mobile_antenna_m: float = 1.5
+    sensitivity_dbm: float = -90.0
+    shadowing_db: float = 3.0
+    good_margin_db: float = 22.0
+    samples: int = 48
+
+    # -- validation ----------------------------------------------------
+    def validate(self) -> "MobilityFamily":
+        if self.model not in MOBILITY_MODELS:
+            raise SpecError(f"mobility model {self.model!r} unknown; "
+                            f"choose from {MOBILITY_MODELS}")
+        if len(self.waypoints) < 2:
+            raise SpecError("mobility family needs at least 2 waypoints")
+        prev = None
+        for i, wp in enumerate(self.waypoints):
+            if len(wp) != 3:
+                raise SpecError(f"waypoint {i} must be (u, x, y), "
+                                f"got {wp!r}")
+            u = wp[0]
+            if not 0.0 <= u <= 1.0:
+                raise SpecError(f"waypoint {i}: fraction {u} outside "
+                                f"[0, 1]")
+            if prev is not None and u < prev:
+                raise SpecError("waypoint fractions must be nondecreasing")
+            prev = u
+        if self.waypoints[0][0] != 0.0 or self.waypoints[-1][0] != 1.0:
+            raise SpecError("waypoints must start at u=0 and end at u=1")
+        if self.ref_distance_m <= 0:
+            raise SpecError("ref_distance_m must be positive")
+        if self.path_loss_exponent <= 0:
+            raise SpecError("path_loss_exponent must be positive")
+        if self.base_antenna_m <= 0 or self.mobile_antenna_m <= 0:
+            raise SpecError("antenna heights must be positive")
+        if not 0.0 <= self.shadowing_db <= 12.0:
+            raise SpecError(f"shadowing_db must lie in [0, 12], "
+                            f"got {self.shadowing_db}")
+        if self.good_margin_db <= 0:
+            raise SpecError("good_margin_db must be positive")
+        if not 4 <= self.samples <= 512:
+            raise SpecError(f"samples must lie in [4, 512], "
+                            f"got {self.samples}")
+        return self
+
+    # -- the compiler --------------------------------------------------
+    def path_loss(self, distance_m: float) -> float:
+        """Path loss in dB at ``distance_m`` under the chosen model."""
+        if self.model == "two_ray":
+            return path_loss_two_ray(distance_m, self.ref_loss_db,
+                                     self.ref_distance_m,
+                                     self.base_antenna_m,
+                                     self.mobile_antenna_m)
+        return path_loss_log_distance(distance_m, self.ref_loss_db,
+                                      self.ref_distance_m,
+                                      self.path_loss_exponent)
+
+    def margin_at(self, u: float) -> float:
+        """Link margin (dB above sensitivity) at traversal fraction."""
+        x, y = position_at(self.waypoints, u)
+        distance = math.hypot(x, y)
+        return self.tx_power_dbm - self.path_loss(distance) \
+            - self.sensitivity_dbm
+
+    def compile_fields(self) -> Dict[str, Tuple[FieldPiece, ...]]:
+        """Derive the four piecewise channel fields — pure, no RNG."""
+        self.validate()
+        rows = []
+        for i in range(self.samples):
+            end = 1.0 if i == self.samples - 1 else (i + 1) / self.samples
+            margin = self.margin_at((i + 0.5) / self.samples)
+            rows.append((end, link_quality(margin, self.good_margin_db)))
+        fields: Dict[str, List[FieldPiece]] = {
+            "signal": [], "loss": [], "bandwidth": [], "access": []}
+        for end, (signal, loss, bandwidth, access) in rows:
+            # Shadow fading: sigma of shadowing_db in signal units;
+            # jittered() takes a relative sigma, so divide it out.
+            sig_rel = min(0.6, self.shadowing_db / max(signal, 1.0))
+            shade = self.shadowing_db / 8.0  # 0..1-ish fade coupling
+            fields["signal"].append(FieldPiece(
+                end=end, base=signal, rel=sig_rel, lo=0.5,
+                hi=_SIGNAL_CEIL_DB + 3.0 * self.shadowing_db))
+            fields["loss"].append(FieldPiece(
+                end=end, base=loss, rel=min(0.8, 0.25 + shade * 0.25),
+                hi=min(0.6, _LOSS_CEILING + 0.1)))
+            fields["bandwidth"].append(FieldPiece(
+                end=end, base=bandwidth, rel=0.06 + 0.02 * shade,
+                lo=0.10, hi=0.92))
+            fields["access"].append(FieldPiece(
+                end=end, base=access, rel=0.3, lo=0.1e-3,
+                hi=_ACCESS_CEIL_S * 2.0))
+        return {name: tuple(pieces) for name, pieces in fields.items()}
+
+    # -- serialization -------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "waypoints": [[u, x, y] for u, x, y in self.waypoints],
+            "model": self.model,
+            "tx_power_dbm": self.tx_power_dbm,
+            "ref_loss_db": self.ref_loss_db,
+            "ref_distance_m": self.ref_distance_m,
+            "path_loss_exponent": self.path_loss_exponent,
+            "base_antenna_m": self.base_antenna_m,
+            "mobile_antenna_m": self.mobile_antenna_m,
+            "sensitivity_dbm": self.sensitivity_dbm,
+            "shadowing_db": self.shadowing_db,
+            "good_margin_db": self.good_margin_db,
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any],
+                  where: str) -> "MobilityFamily":
+        known = {"kind", "waypoints", "model", "tx_power_dbm",
+                 "ref_loss_db", "ref_distance_m", "path_loss_exponent",
+                 "base_antenna_m", "mobile_antenna_m", "sensitivity_dbm",
+                 "shadowing_db", "good_margin_db", "samples"}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"{where}: unknown mobility keys "
+                            f"{sorted(unknown)}")
+        if "waypoints" not in data:
+            raise SpecError(f"{where}: mobility family needs 'waypoints'")
+        raw_wps = data["waypoints"]
+        if not isinstance(raw_wps, (list, tuple)):
+            raise SpecError(f"{where}: waypoints must be a list of "
+                            f"[u, x, y] triples")
+        waypoints = []
+        for i, wp in enumerate(raw_wps):
+            if not isinstance(wp, (list, tuple)) or len(wp) != 3:
+                raise SpecError(f"{where}: waypoint {i} must be a "
+                                f"[u, x, y] triple, got {wp!r}")
+            waypoints.append(tuple(float(v) for v in wp))
+        kwargs: Dict[str, Any] = {"waypoints": tuple(waypoints)}
+        if "model" in data:
+            kwargs["model"] = str(data["model"])
+        for key in ("tx_power_dbm", "ref_loss_db", "ref_distance_m",
+                    "path_loss_exponent", "base_antenna_m",
+                    "mobile_antenna_m", "sensitivity_dbm", "shadowing_db",
+                    "good_margin_db"):
+            if key in data:
+                kwargs[key] = float(data[key])
+        if "samples" in data:
+            kwargs["samples"] = int(data["samples"])
+        return cls(**kwargs).validate()
+
+
+# ======================================================================
+# Builtin: the campus shuttle loop (two-ray outdoor drive)
+# ======================================================================
+SHUTTLE_FAMILY = MobilityFamily(
+    # A loop past the base station: approach from 600 m out, swing by
+    # at 40 m, idle at a stop, then pull away to 700 m.
+    waypoints=(
+        (0.0, -600.0, 80.0),
+        (0.25, -180.0, 50.0),
+        (0.45, -40.0, 20.0),
+        (0.55, 30.0, 15.0),    # the shuttle stop next to the AP
+        (0.70, 220.0, 60.0),
+        (1.0, 700.0, 120.0),
+    ),
+    model="two_ray",
+    tx_power_dbm=18.0,
+    ref_loss_db=32.0,
+    path_loss_exponent=2.8,
+    base_antenna_m=12.0,
+    mobile_antenna_m=2.0,
+    # -80 dBm sensitivity keeps the link margin unsaturated at the
+    # loop's far ends (~600-700 m), so the compiled curve shows the
+    # approach / drive-by / departure structure instead of pegging at
+    # the signal ceiling for the whole traversal.
+    sensitivity_dbm=-80.0,
+    shadowing_db=4.0,
+    samples=60,
+)
+
+SHUTTLE_SPEC = ScenarioSpec(
+    name="shuttle",
+    duration=180.0,
+    checkpoints=(
+        Checkpoint("depot", 0.0),
+        Checkpoint("approach", 0.25),
+        Checkpoint("stop", 0.50),
+        Checkpoint("depart", 0.70),
+        Checkpoint("loop-end", 0.96),
+    ),
+    description="Campus shuttle loop past the access point, two-ray "
+                "outdoor path loss.",
+    fields=SHUTTLE_FAMILY.compile_fields(),
+    loss_model=LossModel(up_scale=1.15, up_cap=0.9, down_scale=0.9),
+    family=SHUTTLE_FAMILY,
+)
+
+
+@register
+class ShuttleScenario(SpecScenario):
+    """Campus shuttle loop derived from waypoint mobility."""
+
+    spec = SHUTTLE_SPEC

@@ -1,0 +1,237 @@
+"""ERRANT-style statistical RAN profiles.
+
+ERRANT showed that realistic cellular channels can be *sampled* from
+measured per-technology distributions instead of replayed from one
+trace.  A :class:`RanFamily` does the spec-level equivalent: each
+channel field is a single full-span :class:`FieldPiece` whose value is
+redrawn i.i.d. from a parameterized distribution at every 2-second
+control point — a stationary statistical channel rather than a
+scripted traversal.
+
+``RAN_PRESETS`` carries three technology envelopes ("3g", "4g", "5g")
+tuned to the emulator's field units (signal in dB-ish units matching
+the paper scenarios, loss as a probability, bandwidth as a fraction of
+the 2 Mb/s WaveLAN nominal, media-access latency in seconds).  A
+family picks a technology and may override any field's distribution
+with an explicit :class:`FieldDist`.
+
+Draw distributions come from the spec layer's ``FieldPiece.dist``:
+``gauss`` (symmetric), ``lognormal`` (heavy right tail — the natural
+shape for latency and loss), ``uniform``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from .base import Checkpoint
+from .registry import register
+from .spec import (
+    FIELD_NAMES,
+    PIECE_DISTS,
+    FieldPiece,
+    LossModel,
+    ScenarioSpec,
+    SpecError,
+    SpecScenario,
+)
+
+RAN_TECHNOLOGIES = ("3g", "4g", "5g")
+
+
+@dataclass(frozen=True)
+class FieldDist:
+    """One field's stationary draw distribution.
+
+    ``spread`` is the relative sigma handed to the piece (``rel``):
+    Gaussian sigma for ``gauss``, log-sigma for ``lognormal``,
+    half-width fraction for ``uniform``.  Draws clamp to ``[lo, hi]``.
+    """
+
+    dist: str = "gauss"
+    center: float = 0.0
+    spread: float = 0.15
+    lo: float = 0.0
+    hi: Optional[float] = None
+
+    def validate(self, where: str) -> "FieldDist":
+        if self.dist not in PIECE_DISTS:
+            raise SpecError(f"{where}: unknown dist {self.dist!r}; "
+                            f"choose from {PIECE_DISTS}")
+        if self.dist == "lognormal" and self.center < 0:
+            raise SpecError(f"{where}: lognormal center must be "
+                            f"non-negative, got {self.center}")
+        if self.spread < 0:
+            raise SpecError(f"{where}: spread cannot be negative")
+        if self.hi is not None and self.hi < self.lo:
+            raise SpecError(f"{where}: hi {self.hi} below lo {self.lo}")
+        return self
+
+    def piece(self) -> FieldPiece:
+        """The single full-span piece realizing this distribution."""
+        return FieldPiece(end=1.0, base=self.center, rel=self.spread,
+                          lo=self.lo, hi=self.hi, dist=self.dist)
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"dist": self.dist, "center": self.center,
+                               "spread": self.spread, "lo": self.lo}
+        if self.hi is not None:
+            doc["hi"] = self.hi
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], where: str) -> "FieldDist":
+        if not isinstance(data, Mapping):
+            raise SpecError(f"{where}: field distribution must be a "
+                            f"table, got {type(data).__name__}")
+        unknown = set(data) - {"dist", "center", "spread", "lo", "hi"}
+        if unknown:
+            raise SpecError(f"{where}: unknown keys {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {}
+        if "dist" in data:
+            kwargs["dist"] = str(data["dist"])
+        for key in ("center", "spread", "lo", "hi"):
+            if key in data and data[key] is not None:
+                kwargs[key] = float(data[key])
+        return cls(**kwargs).validate(where)
+
+
+# Technology envelopes: median-ish centers with per-technology tails.
+RAN_PRESETS: Dict[str, Dict[str, FieldDist]] = {
+    "3g": {
+        "signal": FieldDist("gauss", center=12.0, spread=0.25, lo=1.0,
+                            hi=22.0),
+        "loss": FieldDist("lognormal", center=0.02, spread=0.8,
+                          hi=0.30),
+        "bandwidth": FieldDist("uniform", center=0.35, spread=0.30,
+                               lo=0.12, hi=0.60),
+        "access": FieldDist("lognormal", center=8e-3, spread=0.5,
+                            lo=1e-3, hi=60e-3),
+    },
+    "4g": {
+        "signal": FieldDist("gauss", center=18.0, spread=0.15, lo=3.0,
+                            hi=25.0),
+        "loss": FieldDist("lognormal", center=0.008, spread=0.7,
+                          hi=0.20),
+        "bandwidth": FieldDist("uniform", center=0.60, spread=0.20,
+                               lo=0.30, hi=0.85),
+        "access": FieldDist("lognormal", center=2.5e-3, spread=0.5,
+                            lo=0.5e-3, hi=30e-3),
+    },
+    "5g": {
+        "signal": FieldDist("gauss", center=23.0, spread=0.10, lo=6.0,
+                            hi=28.0),
+        "loss": FieldDist("lognormal", center=0.003, spread=0.6,
+                          hi=0.10),
+        "bandwidth": FieldDist("uniform", center=0.80, spread=0.12,
+                               lo=0.50, hi=0.95),
+        "access": FieldDist("lognormal", center=0.8e-3, spread=0.4,
+                            lo=0.2e-3, hi=10e-3),
+    },
+}
+
+
+@dataclass(frozen=True)
+class RanFamily:
+    """A stationary statistical RAN channel: preset plus overrides."""
+
+    kind = "ran"
+
+    technology: str = "4g"
+    signal: Optional[FieldDist] = None
+    loss: Optional[FieldDist] = None
+    bandwidth: Optional[FieldDist] = None
+    access: Optional[FieldDist] = None
+
+    def validate(self) -> "RanFamily":
+        if self.technology not in RAN_TECHNOLOGIES:
+            raise SpecError(f"RAN technology {self.technology!r} unknown; "
+                            f"choose from {RAN_TECHNOLOGIES}")
+        for fname in FIELD_NAMES:
+            override = getattr(self, fname)
+            if override is None:
+                continue
+            if not isinstance(override, FieldDist):
+                raise SpecError(f"RAN field {fname!r} override must be a "
+                                f"FieldDist, got "
+                                f"{type(override).__name__}")
+            override.validate(f"ran field {fname!r}")
+        return self
+
+    def field_dist(self, fname: str) -> FieldDist:
+        override = getattr(self, fname)
+        return override if override is not None \
+            else RAN_PRESETS[self.technology][fname]
+
+    def compile_fields(self) -> Dict[str, Tuple[FieldPiece, ...]]:
+        """One full-span statistical piece per field — pure, no RNG."""
+        self.validate()
+        return {fname: (self.field_dist(fname).piece(),)
+                for fname in FIELD_NAMES}
+
+    # -- serialization -------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"kind": self.kind,
+                               "technology": self.technology}
+        for fname in FIELD_NAMES:
+            override = getattr(self, fname)
+            if override is not None:
+                doc[fname] = override.as_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], where: str) -> "RanFamily":
+        unknown = set(data) - {"kind", "technology"} - set(FIELD_NAMES)
+        if unknown:
+            raise SpecError(f"{where}: unknown RAN keys "
+                            f"{sorted(unknown)}")
+        kwargs: Dict[str, Any] = {}
+        if "technology" in data:
+            kwargs["technology"] = str(data["technology"])
+        for fname in FIELD_NAMES:
+            if fname in data:
+                kwargs[fname] = FieldDist.from_dict(
+                    data[fname], f"{where}.{fname}")
+        return cls(**kwargs).validate()
+
+
+# ======================================================================
+# Builtins: a congested 3G cell and a healthy 4G cell
+# ======================================================================
+def _ran_spec(name: str, family: RanFamily, description: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        duration=120.0,
+        checkpoints=(Checkpoint("attach", 0.0), Checkpoint("steady", 0.5)),
+        has_motion=False,
+        description=description,
+        fields=family.compile_fields(),
+        loss_model=LossModel(up_scale=1.1, up_cap=0.9, down_scale=0.95),
+        family=family,
+    )
+
+
+RAN3G_FAMILY = RanFamily(technology="3g")
+RAN3G_SPEC = _ran_spec("ran3g", RAN3G_FAMILY,
+                       "Stationary 3G cell sampled from statistical "
+                       "distributions (ERRANT-style).")
+
+RAN4G_FAMILY = RanFamily(technology="4g")
+RAN4G_SPEC = _ran_spec("ran4g", RAN4G_FAMILY,
+                       "Stationary 4G cell sampled from statistical "
+                       "distributions (ERRANT-style).")
+
+
+@register
+class Ran3gScenario(SpecScenario):
+    """Congested 3G cell drawn from statistical distributions."""
+
+    spec = RAN3G_SPEC
+
+
+@register
+class Ran4gScenario(SpecScenario):
+    """Healthy 4G cell drawn from statistical distributions."""
+
+    spec = RAN4G_SPEC

@@ -44,7 +44,16 @@ from .base import Checkpoint, Scenario, jittered, spike
 FIELD_NAMES = ("signal", "loss", "bandwidth", "access")
 DEFAULT_DRAW_ORDER = FIELD_NAMES
 
-SPEC_FORMAT_VERSION = 1
+# Per-piece draw distributions.  "gauss" is the original jittered()
+# path and stays byte-identical; "lognormal" and "uniform" let the
+# ERRANT-style statistical families express heavier-tailed draws.
+PIECE_DISTS = ("gauss", "lognormal", "uniform")
+
+# Format 2 added piece distributions and the family/generator keys.
+# Format-1 documents (no new keys) still load; format-2 documents are
+# rejected by format-1 readers — loudly, by version number.
+SPEC_FORMAT_VERSION = 2
+SUPPORTED_SPEC_FORMATS = (1, 2)
 
 
 class SpecError(ValueError):
@@ -78,6 +87,7 @@ class FieldPiece:
     dip_prob: float = 0.0        # replace-with-uniform probability
     dip_lo: float = 0.0
     dip_hi: float = 0.0
+    dist: str = "gauss"          # draw distribution (PIECE_DISTS)
 
 
 @dataclass(frozen=True)
@@ -102,6 +112,14 @@ class ScenarioSpec:
     fields: Mapping[str, Tuple[FieldPiece, ...]] = field(default_factory=dict)
     loss_model: LossModel = LossModel()
     description: str = ""
+    # Profile family the fields were compiled from (MobilityFamily,
+    # RanFamily or LeoFamily — see repro.scenarios.families); None for
+    # hand-written piecewise specs.  Families serialize in place of the
+    # derived fields and recompile deterministically on load.
+    family: Optional[Any] = None
+    # Provenance stamp set by repro.scenarios.generate; lets fuzz
+    # artifacts be distinguished from hand-authored spec files.
+    generator: str = ""
 
     def __post_init__(self):
         object.__setattr__(self, "fields", dict(self.fields))
@@ -138,6 +156,14 @@ class ScenarioSpec:
                         and 0.0 <= piece.dip_prob <= 1.0):
                     raise SpecError(f"{fname} piece {i}: probabilities "
                                     f"must lie in [0, 1]")
+                if piece.dist not in PIECE_DISTS:
+                    raise SpecError(
+                        f"{fname} piece {i}: unknown dist "
+                        f"{piece.dist!r}; choose from {PIECE_DISTS}")
+                if piece.dist == "lognormal" and piece.base < 0:
+                    raise SpecError(
+                        f"{fname} piece {i}: lognormal pieces need a "
+                        f"non-negative base, got {piece.base}")
                 prev_end = piece.end
         last = 0.0
         for cp in self.checkpoints:
@@ -148,6 +174,15 @@ class ScenarioSpec:
                 raise SpecError("checkpoint fractions must be "
                                 "nondecreasing")
             last = cp.fraction
+        if self.family is not None:
+            validate = getattr(self.family, "validate", None)
+            if not callable(validate):
+                raise SpecError(
+                    f"family must be a profile family object, got "
+                    f"{type(self.family).__name__}")
+            validate()
+        if not isinstance(self.generator, str):
+            raise SpecError("generator must be a string")
         return self
 
 
@@ -167,13 +202,24 @@ def _select_piece(pieces: Tuple[FieldPiece, ...],
     return pieces[-1], last_start
 
 
+def _clamped(value: float, lo: float, hi: Optional[float]) -> float:
+    if hi is not None:
+        value = min(hi, value)
+    return max(lo, value)
+
+
 def evaluate_field(pieces: Tuple[FieldPiece, ...], u: float,
                    rng: random.Random) -> float:
-    """One jittered draw of a piecewise field at position ``u``.
+    """One stochastic draw of a piecewise field at position ``u``.
 
-    Draw order within a piece is fixed — jitter, then the optional dip
-    check, then the optional spike — so a spec consumes the trial RNG
-    stream identically on every evaluation.
+    Draw order within a piece is fixed — the distribution draw, then
+    the optional dip check, then the optional spike — so a spec
+    consumes the trial RNG stream identically on every evaluation.
+    ``dist="gauss"`` (the default) is byte-identical to the original
+    hand-written scenarios' ``jittered`` path; ``lognormal`` draws
+    ``base * exp(N(0, rel))`` (median ``base``, heavy right tail) and
+    ``uniform`` draws from ``base ± |base| * rel``, both clamped to
+    ``[lo, hi]``.
     """
     piece, start = _select_piece(pieces, u)
     base = piece.base
@@ -181,7 +227,19 @@ def evaluate_field(pieces: Tuple[FieldPiece, ...], u: float,
         span = piece.span if piece.span is not None else piece.end - start
         frac = (u - start) / span
         base = base + piece.slope * frac
-    value = jittered(rng, base, rel=piece.rel, lo=piece.lo, hi=piece.hi)
+    if piece.dist == "lognormal":
+        # A ramp may drive the effective base to zero; the draw still
+        # consumes RNG so the stream stays aligned across pieces.
+        draw = rng.lognormvariate(0.0, piece.rel)
+        value = _clamped(base * draw if base > 0.0 else 0.0,
+                         piece.lo, piece.hi)
+    elif piece.dist == "uniform":
+        half = abs(base) * piece.rel
+        value = _clamped(rng.uniform(base - half, base + half),
+                         piece.lo, piece.hi)
+    else:
+        value = jittered(rng, base, rel=piece.rel, lo=piece.lo,
+                         hi=piece.hi)
     if piece.dip_prob > 0.0 and rng.random() < piece.dip_prob:
         value = rng.uniform(piece.dip_lo, piece.dip_hi)
     if piece.spike_magnitude != 0.0:
@@ -253,7 +311,7 @@ _PIECE_KEYS = tuple(f.name for f in dataclass_fields(FieldPiece))
 _LOSS_KEYS = tuple(f.name for f in dataclass_fields(LossModel))
 _TOP_KEYS = ("name", "duration", "checkpoints", "cross_laptops",
              "has_motion", "draw_order", "fields", "loss_model",
-             "description", "format")
+             "description", "format", "family", "generator")
 
 
 def _piece_to_dict(piece: FieldPiece) -> Dict[str, Any]:
@@ -281,23 +339,31 @@ def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
     """A plain-data (JSON/TOML-ready) rendering of the spec.
 
     Lossless: ``spec_from_dict(spec_to_dict(s)) == s`` for any valid
-    spec, which the Hypothesis suite asserts.
+    spec, which the Hypothesis suite asserts.  A family-backed spec
+    serializes its family table in place of the derived ``fields`` —
+    the compiler is a pure function, so loading recompiles the exact
+    same pieces.
     """
-    return {
+    doc = {
         "format": SPEC_FORMAT_VERSION,
         "name": spec.name,
         "duration": spec.duration,
         "cross_laptops": spec.cross_laptops,
         "has_motion": spec.has_motion,
         "description": spec.description,
+        "generator": spec.generator,
         "draw_order": list(spec.draw_order),
         "checkpoints": [{"label": cp.label, "fraction": cp.fraction}
                         for cp in spec.checkpoints],
         "loss_model": {key: getattr(spec.loss_model, key)
                        for key in _LOSS_KEYS},
-        "fields": {fname: [_piece_to_dict(p) for p in pieces]
-                   for fname, pieces in spec.fields.items()},
     }
+    if spec.family is not None:
+        doc["family"] = spec.family.as_dict()
+    else:
+        doc["fields"] = {fname: [_piece_to_dict(p) for p in pieces]
+                         for fname, pieces in spec.fields.items()}
+    return doc
 
 
 def spec_from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
@@ -309,25 +375,38 @@ def spec_from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
     if unknown:
         raise SpecError(f"unknown spec keys {sorted(unknown)}")
     fmt = data.get("format", SPEC_FORMAT_VERSION)
-    if fmt != SPEC_FORMAT_VERSION:
+    if fmt not in SUPPORTED_SPEC_FORMATS:
         raise SpecError(f"unsupported spec format {fmt!r} "
-                        f"(this build reads format {SPEC_FORMAT_VERSION})")
+                        f"(this build reads formats "
+                        f"{SUPPORTED_SPEC_FORMATS})")
     if "name" not in data:
         raise SpecError("spec needs a 'name'")
-    if "fields" not in data or not isinstance(data["fields"], Mapping):
-        raise SpecError("spec needs a 'fields' table with "
-                        f"{', '.join(FIELD_NAMES)}")
-    unknown_fields = set(data["fields"]) - set(FIELD_NAMES)
-    if unknown_fields:
-        raise SpecError(f"unknown channel fields {sorted(unknown_fields)}; "
-                        f"expected {FIELD_NAMES}")
-    pieces = {}
-    for fname, raw_pieces in data["fields"].items():
-        if not isinstance(raw_pieces, (list, tuple)):
-            raise SpecError(f"field {fname!r} must be a list of pieces")
-        pieces[fname] = tuple(
-            _piece_from_dict(raw, f"field {fname!r} piece {i}")
-            for i, raw in enumerate(raw_pieces))
+    family = None
+    if "family" in data:
+        if "fields" in data:
+            raise SpecError("give either 'family' or 'fields', not both "
+                            "(family specs derive their fields)")
+        from .families import family_from_dict
+
+        family = family_from_dict(data["family"], "family")
+        pieces = family.compile_fields()
+    else:
+        if "fields" not in data or not isinstance(data["fields"], Mapping):
+            raise SpecError("spec needs a 'fields' table with "
+                            f"{', '.join(FIELD_NAMES)} (or a 'family')")
+        unknown_fields = set(data["fields"]) - set(FIELD_NAMES)
+        if unknown_fields:
+            raise SpecError(
+                f"unknown channel fields {sorted(unknown_fields)}; "
+                f"expected {FIELD_NAMES}")
+        pieces = {}
+        for fname, raw_pieces in data["fields"].items():
+            if not isinstance(raw_pieces, (list, tuple)):
+                raise SpecError(f"field {fname!r} must be a list of "
+                                f"pieces")
+            pieces[fname] = tuple(
+                _piece_from_dict(raw, f"field {fname!r} piece {i}")
+                for i, raw in enumerate(raw_pieces))
     checkpoints = []
     for i, raw in enumerate(data.get("checkpoints", ())):
         extra = set(raw) - {"label", "fraction"}
@@ -352,6 +431,9 @@ def spec_from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
         fields=pieces,
         loss_model=LossModel(**loss_raw),
         description=str(data.get("description", "")),
+        family=family,
+        # No str() coercion: validate() rejects non-string stamps loudly.
+        generator=data.get("generator", ""),
     )
     return spec.validate()
 
@@ -380,10 +462,96 @@ def load_spec(path: Union[str, Path]) -> ScenarioSpec:
         raise SpecError(f"{path}: {exc}") from exc
 
 
+_TOML_SHORT_ESCAPES = {
+    "\b": "\\b", "\t": "\\t", "\n": "\\n", "\f": "\\f", "\r": "\\r",
+    '"': '\\"', "\\": "\\\\",
+}
+
+
+def _toml_string(value: str) -> str:
+    """A TOML basic string.  Unlike ``json.dumps``, astral characters
+    stay literal: TOML forbids the surrogate-pair ``\\uXXXX`` escapes
+    JSON would emit for them."""
+    out = ['"']
+    for ch in value:
+        esc = _TOML_SHORT_ESCAPES.get(ch)
+        if esc is not None:
+            out.append(esc)
+        elif ord(ch) < 0x20 or ord(ch) == 0x7F:
+            out.append(f"\\u{ord(ch):04X}")
+        else:
+            out.append(ch)
+    out.append('"')
+    return "".join(out)
+
+
+def _toml_value(value: Any) -> str:
+    """Render one spec value as TOML (the restricted types specs use)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        text = repr(value)
+        # TOML floats need a dot or exponent; repr(1.0) == '1.0' but
+        # repr of integral numpy-free floats can be bare on some paths.
+        return text if ("." in text or "e" in text or "E" in text) \
+            else text + ".0"
+    if isinstance(value, str):
+        return _toml_string(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    if isinstance(value, Mapping):
+        # TOML has no null: omit None-valued keys (loaders treat a
+        # missing key as the same default).
+        inner = ", ".join(f"{k} = {_toml_value(v)}"
+                          for k, v in value.items() if v is not None)
+        return "{" + inner + "}"
+    raise SpecError(f"cannot render {type(value).__name__} as TOML")
+
+
+def spec_to_toml(spec: ScenarioSpec) -> str:
+    """The spec as a TOML document ``load_spec`` parses back losslessly.
+
+    Scalars become top-level keys; checkpoints/pieces become arrays of
+    inline tables; the family table (when present) becomes a
+    ``[family]`` section.
+    """
+    doc = spec_to_dict(spec)
+    lines = []
+    for key in ("format", "name", "duration", "cross_laptops",
+                "has_motion", "description", "generator", "draw_order"):
+        lines.append(f"{key} = {_toml_value(doc[key])}")
+    if doc["checkpoints"]:
+        lines.append(f"checkpoints = {_toml_value(doc['checkpoints'])}")
+    lines.append("")
+    lines.append("[loss_model]")
+    for key, value in doc["loss_model"].items():
+        if value is not None:
+            lines.append(f"{key} = {_toml_value(value)}")
+    if "family" in doc:
+        lines.append("")
+        lines.append("[family]")
+        for key, value in doc["family"].items():
+            lines.append(f"{key} = {_toml_value(value)}")
+    else:
+        lines.append("")
+        lines.append("[fields]")
+        for fname, pieces in doc["fields"].items():
+            rendered = ",\n    ".join(_toml_value(p) for p in pieces)
+            lines.append(f"{fname} = [\n    {rendered},\n]")
+    lines.append("")
+    return "\n".join(lines)
+
+
 def save_spec(spec: ScenarioSpec, path: Union[str, Path]) -> None:
-    """Write the spec as JSON (the lossless on-disk form)."""
-    Path(path).write_text(json.dumps(spec_to_dict(spec), indent=1),
-                          encoding="utf-8")
+    """Write the spec to disk — TOML for ``.toml`` paths, else JSON."""
+    path = Path(path)
+    if path.suffix.lower() == ".toml":
+        path.write_text(spec_to_toml(spec), encoding="utf-8")
+    else:
+        path.write_text(json.dumps(spec_to_dict(spec), indent=1),
+                        encoding="utf-8")
 
 
 def load_scenario(path: Union[str, Path]) -> SpecScenario:

@@ -253,6 +253,133 @@ def test_feed_overconsumption_detected(mod_world):
 
 
 # ----------------------------------------------------------------------
+# Tick alignment judges the *intended* delay (nearest-tick rounding may
+# legally land the release up to half a tick before the intended one)
+# ----------------------------------------------------------------------
+def test_sub_half_tick_intended_but_rounded_detected(mod_world):
+    obs = _observed(mod_world)
+    layer = _fake_layer(mod_world.laptop)
+    # 4 ms intended should have been sent immediately; scheduling it a
+    # full (on-grid) tick out is the bug this invariant exists for.
+    obs.tracer.spans.append(_mod_span(0.010, 0.004, 0.010))
+    obs.tracer.span_counts[("mod", "delay")] = 1
+    mod_world.laptop.kernel.rounded_callouts = 1
+    violations = TickAlignmentMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs, layer=layer))
+    assert [v.invariant for v in violations] == ["sub_half_tick_rounded"]
+    assert violations[0].details["intended"] == 0.004
+
+
+def test_applied_below_half_tick_alone_is_legal(mod_world):
+    obs = _observed(mod_world)
+    layer = _fake_layer(mod_world.laptop)
+    # 5.2 ms intended from t=4.8 ms rounds to the 10 ms tick: the
+    # applied delay (4.8 ms) dips under half a tick, which is fine —
+    # the immediate-vs-rounded policy is judged on the intended delay.
+    obs.tracer.spans.append(_mod_span(0.0052, 0.0052, 0.0048))
+    obs.tracer.span_counts[("mod", "delay")] = 1
+    mod_world.laptop.kernel.rounded_callouts = 1
+    assert TickAlignmentMonitor().check(
+        CheckContext(kind="test", world=mod_world, obs=obs,
+                     layer=layer)) == []
+
+
+# ----------------------------------------------------------------------
+# Medium delivery counts the radios' own rx counters (the WavePoint
+# bridge's radio has no tracer scope, so spans would miss its uplinks)
+# ----------------------------------------------------------------------
+def test_untraced_radio_delivery_balances(live_world):
+    obs = _observed(live_world)
+    medium = live_world.medium
+    medium.frames_carried += 1
+    medium.devices[0].rx_packets += 1   # delivered, but never traced
+    assert PacketConservationMonitor().check(
+        CheckContext(kind="test", world=live_world, obs=obs)) == []
+
+
+def test_vanished_medium_frame_detected(live_world):
+    obs = _observed(live_world)
+    live_world.medium.frames_carried += 1   # carried, never delivered
+    violations = PacketConservationMonitor().check(
+        CheckContext(kind="test", world=live_world, obs=obs))
+    assert "medium_delivery" in [v.invariant for v in violations]
+
+
+# ----------------------------------------------------------------------
+# Loop-aware replay-feed ordering
+# ----------------------------------------------------------------------
+def _tuple_key(tup):
+    return (tup.d, tup.F, tup.Vb, tup.Vr, tup.L)
+
+
+def _feed_ctx(host, replay, enforced, consumed):
+    layer = _fake_layer(host)
+    layer.feed = SimpleNamespace(tuples_written=consumed,
+                                 tuples_consumed=consumed,
+                                 capacity=64, free_slots=64)
+    layer.audit = SimpleNamespace(enforced_order=lambda: list(enforced))
+    return CheckContext(kind="test", layer=layer, replay=replay)
+
+
+@pytest.fixture
+def quality_trace():
+    return ReplayTrace([
+        QualityTuple(d=0.010, F=0.01, Vb=1e-5, Vr=1e-6, L=0.01),
+        QualityTuple(d=0.020, F=0.02, Vb=2e-5, Vr=2e-6, L=0.02),
+        QualityTuple(d=0.030, F=0.03, Vb=3e-5, Vr=3e-6, L=0.03),
+    ], name="loop")
+
+
+def test_feed_order_in_trace_order_passes(mod_world, quality_trace):
+    keys = [_tuple_key(t) for t in quality_trace.tuples]
+    ctx = _feed_ctx(mod_world.laptop, quality_trace, keys, consumed=3)
+    assert FifoOrderMonitor().check(ctx) == []
+
+
+def test_feed_order_wraps_with_each_replay_pass(mod_world, quality_trace):
+    # 5 tuples consumed of a 3-tuple trace: two passes, one legal wrap.
+    keys = [_tuple_key(t) for t in quality_trace.tuples]
+    ctx = _feed_ctx(mod_world.laptop, quality_trace,
+                    keys + keys[:2], consumed=5)
+    assert FifoOrderMonitor().check(ctx) == []
+
+
+def test_feed_order_wrap_beyond_passes_detected(mod_world, quality_trace):
+    # Out-of-order enforcement within a single pass needs two greedy
+    # passes to explain — but only one pass worth of tuples was read.
+    k0, k1, k2 = (_tuple_key(t) for t in quality_trace.tuples)
+    ctx = _feed_ctx(mod_world.laptop, quality_trace,
+                    [k1, k0, k2], consumed=3)
+    violations = FifoOrderMonitor().check(ctx)
+    assert [v.invariant for v in violations] == ["feed_order"]
+    assert violations[0].details["runs"] == 2
+    assert violations[0].details["passes"] == 1
+
+
+def test_feed_order_unknown_tuple_detected(mod_world, quality_trace):
+    stranger = (0.9, 0.9, 9e-5, 9e-6, 0.09)   # a key the trace lacks
+    ctx = _feed_ctx(mod_world.laptop, quality_trace, [stranger],
+                    consumed=1)
+    violations = FifoOrderMonitor().check(ctx)
+    assert [v.invariant for v in violations] == ["feed_order"]
+    assert "never appear" in violations[0].message
+
+
+def test_feed_order_duplicate_keys_no_false_positive(mod_world):
+    # Trace [a, b, a, c]: enforcing [b, a, c] is a single in-order walk
+    # when the matcher is occurrence-aware (b@1, a@2, c@3) — naive
+    # first-occurrence matching would misread a@0 as a wrap.
+    a = QualityTuple(d=0.010, F=0.01, Vb=1e-5, Vr=1e-6, L=0.01)
+    b = QualityTuple(d=0.020, F=0.02, Vb=2e-5, Vr=2e-6, L=0.02)
+    c = QualityTuple(d=0.030, F=0.03, Vb=3e-5, Vr=3e-6, L=0.03)
+    replay = ReplayTrace([a, b, a, c], name="dups")
+    ctx = _feed_ctx(mod_world.laptop, replay,
+                    [_tuple_key(b), _tuple_key(a), _tuple_key(c)],
+                    consumed=3)
+    assert FifoOrderMonitor().check(ctx) == []
+
+
+# ----------------------------------------------------------------------
 # TCP sanity
 # ----------------------------------------------------------------------
 def test_tcp_sequence_inversion_detected(mod_world):

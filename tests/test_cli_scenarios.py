@@ -87,6 +87,49 @@ class TestScenariosCommand:
         assert row["source"] == str(mini_toml)
         assert row["duration"] == 60.0
 
+    def test_json_rows_carry_family_and_origin(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        by_name = {row["name"]: row
+                   for row in json.loads(capsys.readouterr().out)}
+        assert by_name["shuttle"]["family"] == "mobility"
+        assert by_name["ran4g"]["family"] == "ran"
+        assert by_name["leo"]["family"] == "leo"
+        assert by_name["wean"]["family"] is None
+        for name in ("wean", "shuttle", "ran4g", "leo"):
+            assert by_name[name]["origin"] == "builtin"
+
+    def test_registered_spec_file_origin(self, mini_toml, capsys):
+        assert main(["scenarios", str(mini_toml), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        row = [r for r in rows if r["name"] == "clispec"][0]
+        assert row["origin"] == "spec-file"
+        assert row["family"] is None
+
+    def test_generated_spec_file_origin(self, tmp_path, capsys):
+        from repro.scenarios import unregister
+        from repro.scenarios.generate import generate_spec
+        from repro.scenarios.spec import save_spec
+
+        path = tmp_path / "fuzzed.toml"
+        save_spec(generate_spec(0, 0), path)
+        try:
+            assert main(["scenarios", str(path), "--json"]) == 0
+            rows = json.loads(capsys.readouterr().out)
+            row = [r for r in rows if r["name"] == "fuzz-s0-i0000"][0]
+            # the generator stamp marks it generated even though it
+            # was registered from a file on disk
+            assert row["origin"] == "generated"
+        finally:
+            unregister("fuzz-s0-i0000")
+
+    def test_table_shows_family_column(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "family" in out and "origin" in out
+        shuttle = [l for l in out.splitlines()
+                   if l.startswith("shuttle")][0]
+        assert "mobility" in shuttle and "builtin" in shuttle
+
     def test_bad_spec_file_exits_2(self, tmp_path, capsys):
         path = tmp_path / "broken.toml"
         path.write_text("name = [unclosed", encoding="utf-8")

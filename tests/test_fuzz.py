@@ -1,0 +1,181 @@
+"""The seeded scenario fuzzer: generator, shrinker, campaign, CLI.
+
+Pins the properties CI leans on: the generator is a pure function of
+``(seed, index, kinds)`` and only emits valid specs inside the
+trial-feasibility envelopes; ``run_fuzz`` renders byte-identically
+across reruns; a violating spec is shrunk and archived as a
+reproducible TOML artifact (exercised by injecting a real kernel
+mutation rather than hoping for a natural failure).
+"""
+
+import json
+
+import pytest
+
+from repro.check.fuzz import corpus_digest, run_fuzz, shrink_spec
+from repro.check.runner import inject_tick_undershoot
+from repro.cli import main
+from repro.scenarios.generate import (
+    GENERATOR_KINDS,
+    generate_spec,
+    generate_specs,
+)
+from repro.scenarios.spec import load_spec
+
+pytestmark = pytest.mark.check
+
+
+def _kind(spec) -> str:
+    return spec.family.kind if spec.family is not None else "piecewise"
+
+
+# ======================================================================
+# The generator
+# ======================================================================
+class TestGenerateSpec:
+    def test_same_seed_and_index_identical(self):
+        assert generate_spec(0, 5) == generate_spec(0, 5)
+
+    def test_different_index_or_seed_differs(self):
+        base = generate_spec(0, 5)
+        assert generate_spec(0, 6) != base
+        assert generate_spec(1, 5).fields != base.fields
+
+    def test_specs_valid_stamped_and_enveloped(self):
+        for i, spec in enumerate(generate_specs(0, 30)):
+            spec.validate()   # loud if the generator drifts
+            assert spec.name == f"fuzz-s0-i{i:04d}"
+            assert spec.generator == f"repro.fuzz/v1 seed=0 index={i}"
+            assert 24.0 <= spec.duration <= 90.0
+
+    def test_all_kinds_appear_in_a_mixed_stream(self):
+        kinds = {_kind(spec) for spec in generate_specs(0, 60)}
+        assert kinds == set(GENERATOR_KINDS)
+
+    def test_kinds_filter_restricts_generation(self):
+        for spec in generate_specs(0, 8, kinds=["leo"]):
+            assert _kind(spec) == "leo"
+
+    def test_unknown_kind_is_loud(self):
+        with pytest.raises(ValueError, match="choose from"):
+            generate_spec(0, 0, kinds=["wifi"])
+
+    def test_piecewise_specs_stay_inside_feasibility_envelope(self):
+        checked = 0
+        for spec in generate_specs(0, 40):
+            if spec.family is not None:
+                continue
+            checked += 1
+            for piece in spec.fields["loss"]:
+                assert piece.base <= 0.30
+            for piece in spec.fields["bandwidth"]:
+                assert piece.lo >= 0.15
+        assert checked > 0
+
+    def test_corpus_digest_stable_and_seed_sensitive(self):
+        corpus = list(generate_specs(0, 5))
+        assert corpus_digest(corpus) == corpus_digest(
+            list(generate_specs(0, 5)))
+        assert corpus_digest(corpus) != corpus_digest(
+            list(generate_specs(1, 5)))
+
+
+# ======================================================================
+# The shrinker
+# ======================================================================
+class TestShrinkSpec:
+    def _family_spec(self):
+        for spec in generate_specs(0, 40):
+            if spec.family is not None and spec.duration > 40.0:
+                return spec
+        raise AssertionError("stream 0 produced no family spec")
+
+    def test_always_reproducing_spec_shrinks_within_budget(self):
+        spec = self._family_spec()
+        shrunk, steps, checks = shrink_spec(spec, lambda s: True,
+                                            budget=10)
+        assert steps > 0 and checks <= 10
+        assert shrunk.family is None          # detached first
+        assert shrunk.duration < spec.duration
+
+    def test_never_reproducing_spec_returns_original(self):
+        spec = self._family_spec()
+        shrunk, steps, checks = shrink_spec(spec, lambda s: False,
+                                            budget=10)
+        assert shrunk == spec
+        assert steps == 0 and 0 < checks <= 10
+
+    def test_shrunk_specs_stay_valid(self):
+        spec = self._family_spec()
+        seen = []
+
+        def reproduces(cand):
+            cand.validate()   # every candidate handed over is valid
+            seen.append(cand)
+            return True
+
+        shrink_spec(spec, reproduces, budget=6)
+        assert seen
+
+
+# ======================================================================
+# The campaign
+# ======================================================================
+class TestRunFuzz:
+    def test_clean_campaign_with_corpus_archive(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        run = run_fuzz(2, seed=0, corpus_dir=str(corpus))
+        assert run.checked == 2 and run.ok
+        assert run.corpus_digest
+        # every generated spec landed as a reloadable TOML twin
+        for i in range(2):
+            loaded = load_spec(corpus / f"fuzz-s0-i{i:04d}.toml")
+            assert loaded == generate_spec(0, i)
+
+    def test_render_is_byte_identical_across_reruns(self):
+        first = run_fuzz(2, seed=0).render()
+        second = run_fuzz(2, seed=0).render()
+        assert first == second
+        assert "2 spec(s) checked, 0 violating" in first
+
+    def test_injected_mutation_is_caught_shrunk_and_archived(
+            self, tmp_path):
+        artifacts = tmp_path / "artifacts"
+        with inject_tick_undershoot():
+            run = run_fuzz(1, seed=0, ftp_bytes=8_000,
+                           artifact_dir=str(artifacts), shrink_budget=3)
+        assert not run.ok and len(run.findings) == 1
+        finding = run.findings[0]
+        assert any(v.monitor == "delay_bound"
+                   for v in finding.violations)
+        # the reproducer archive round-trips through load_spec
+        reproducer = load_spec(finding.artifacts["reproducer"])
+        reproducer.validate()
+        report = json.loads(
+            (artifacts / "fuzz-s0-i0000.report.json").read_text())
+        assert report["violations"]
+        assert report["generator"] == "repro.fuzz/v1 seed=0 index=0"
+        assert "!! fuzz-s0-i0000" in run.render()
+
+
+# ======================================================================
+# The CLI tier
+# ======================================================================
+class TestFuzzCli:
+    def test_stdout_byte_identical_across_runs(self, capsys):
+        argv = ["fuzz", "--count", "1", "--seed", "0"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "1 spec(s) checked, 0 violating" in first
+
+    def test_json_campaign_report(self, capsys):
+        assert main(["fuzz", "--count", "1", "--seed", "0",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["checked"] == 1
+        assert doc["corpus_digest"]
+        assert doc["findings"] == []

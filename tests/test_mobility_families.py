@@ -1,0 +1,258 @@
+"""Property tests for the scenario-family math layers.
+
+The mobility, RAN and LEO families compile movement/geometry into the
+emulator's channel fields.  This suite pins the physics-shaped
+properties the compilers rely on — path loss monotone in distance,
+link quality bounded and monotone in margin, slant range decreasing in
+elevation — plus the contract that compilation is a *pure* function:
+recompiling a builtin family reproduces the builtin spec's fields
+exactly, and a family-backed sweep renders byte-identically for any
+worker count.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios.leo import (
+    LEO_FAMILY,
+    LEO_SPEC,
+    LeoFamily,
+    bent_pipe_delay_s,
+    elevation_at,
+    slant_range_km,
+)
+from repro.scenarios.mobility import (
+    SHUTTLE_FAMILY,
+    SHUTTLE_SPEC,
+    MobilityFamily,
+    link_quality,
+    path_loss_log_distance,
+    path_loss_two_ray,
+    position_at,
+)
+from repro.scenarios.ran import RAN_PRESETS, RAN_TECHNOLOGIES, RanFamily
+from repro.scenarios.ran import RAN3G_SPEC, RAN4G_SPEC
+from repro.scenarios.spec import FIELD_NAMES, ScenarioSpec, SpecScenario
+from repro.validation.harness import FtpRunner
+from repro.validation.parallel import run_validation
+
+distances = st.floats(min_value=0.0, max_value=1e7,
+                      allow_nan=False, allow_infinity=False)
+margins = st.floats(min_value=-200.0, max_value=200.0, allow_nan=False)
+elevations = st.floats(min_value=0.0, max_value=90.0, allow_nan=False)
+altitudes = st.floats(min_value=160.0, max_value=2000.0, allow_nan=False)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+# ======================================================================
+# Path loss
+# ======================================================================
+class TestPathLoss:
+    @given(d1=distances, d2=distances,
+           ref_loss=st.floats(min_value=10.0, max_value=60.0),
+           exponent=st.floats(min_value=1.5, max_value=5.0))
+    @settings(max_examples=80, deadline=None)
+    def test_log_distance_monotone_in_distance(self, d1, d2, ref_loss,
+                                               exponent):
+        lo, hi = sorted((d1, d2))
+        pl_lo = path_loss_log_distance(lo, ref_loss, 1.0, exponent)
+        pl_hi = path_loss_log_distance(hi, ref_loss, 1.0, exponent)
+        assert pl_lo <= pl_hi + 1e-9
+
+    @given(d1=distances, d2=distances,
+           ref_loss=st.floats(min_value=10.0, max_value=60.0),
+           base_h=st.floats(min_value=2.0, max_value=50.0),
+           mobile_h=st.floats(min_value=0.5, max_value=5.0))
+    @settings(max_examples=80, deadline=None)
+    def test_two_ray_monotone_in_distance(self, d1, d2, ref_loss,
+                                          base_h, mobile_h):
+        lo, hi = sorted((d1, d2))
+        pl_lo = path_loss_two_ray(lo, ref_loss, 1.0, base_h, mobile_h)
+        pl_hi = path_loss_two_ray(hi, ref_loss, 1.0, base_h, mobile_h)
+        assert pl_lo <= pl_hi + 1e-9
+
+    def test_two_ray_far_field_decays_at_fourth_power(self):
+        # Far beyond the crossover the ground-bounce term dominates:
+        # +40 dB per decade of distance.
+        far = path_loss_two_ray(100_000.0, 40.0, 1.0, 10.0, 1.5)
+        farther = path_loss_two_ray(1_000_000.0, 40.0, 1.0, 10.0, 1.5)
+        assert farther - far == pytest.approx(40.0, abs=1e-6)
+
+    def test_path_loss_clamps_below_reference_distance(self):
+        at_ref = path_loss_log_distance(1.0, 40.0, 1.0, 3.0)
+        inside = path_loss_log_distance(0.01, 40.0, 1.0, 3.0)
+        assert inside == at_ref == 40.0
+
+
+# ======================================================================
+# Link quality
+# ======================================================================
+class TestLinkQuality:
+    @given(margin=margins,
+           good=st.floats(min_value=1.0, max_value=60.0))
+    @settings(max_examples=100, deadline=None)
+    def test_outputs_bounded_for_any_margin(self, margin, good):
+        signal, loss, bandwidth, access = link_quality(margin, good)
+        assert 2.0 <= signal <= 25.0
+        assert 0.0 <= loss <= 0.35
+        assert 0.15 <= bandwidth <= 0.78
+        assert 0.3e-3 <= access <= 80e-3
+
+    @given(m1=margins, m2=margins,
+           good=st.floats(min_value=1.0, max_value=60.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_margin(self, m1, m2, good):
+        lo, hi = sorted((m1, m2))
+        s_lo, l_lo, b_lo, a_lo = link_quality(lo, good)
+        s_hi, l_hi, b_hi, a_hi = link_quality(hi, good)
+        assert s_lo <= s_hi + 1e-12       # more margin, more signal
+        assert l_lo >= l_hi - 1e-12       # ... less loss
+        assert b_lo <= b_hi + 1e-12       # ... more bandwidth
+        assert a_lo >= a_hi - 1e-12       # ... lower access latency
+
+    def test_saturated_and_dead_endpoints(self):
+        assert link_quality(100.0, 22.0) == (25.0, 0.0, 0.78, 0.3e-3)
+        assert link_quality(-50.0, 22.0) == (2.0, 0.35, 0.15, 80e-3)
+
+
+# ======================================================================
+# Waypoint interpolation
+# ======================================================================
+class TestPositionAt:
+    WPS = ((0.0, 0.0, 0.0), (0.5, 100.0, 50.0), (1.0, 200.0, 0.0))
+
+    def test_hits_waypoints_exactly(self):
+        assert position_at(self.WPS, 0.0) == (0.0, 0.0)
+        assert position_at(self.WPS, 0.5) == (100.0, 50.0)
+        assert position_at(self.WPS, 1.0) == (200.0, 0.0)
+
+    def test_interpolates_linearly_between(self):
+        assert position_at(self.WPS, 0.25) == (50.0, 25.0)
+        assert position_at(self.WPS, 0.75) == (150.0, 25.0)
+
+    @given(u=st.floats(min_value=-1.0, max_value=2.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_clamps_outside_the_path(self, u):
+        x, y = position_at(self.WPS, u)
+        assert 0.0 <= x <= 200.0
+        assert 0.0 <= y <= 50.0
+
+
+# ======================================================================
+# LEO geometry
+# ======================================================================
+class TestLeoGeometry:
+    @given(alt=altitudes, e1=elevations, e2=elevations)
+    @settings(max_examples=100, deadline=None)
+    def test_slant_range_decreasing_in_elevation(self, alt, e1, e2):
+        lo, hi = sorted((e1, e2))
+        assert slant_range_km(alt, lo) >= slant_range_km(alt, hi) - 1e-6
+
+    @given(alt=altitudes, elev=elevations)
+    @settings(max_examples=100, deadline=None)
+    def test_slant_range_at_least_altitude(self, alt, elev):
+        # The satellite can never be closer than straight overhead.
+        slant = slant_range_km(alt, elev)
+        assert slant >= alt - 1e-6
+        assert slant == pytest.approx(alt, abs=1e-6) or elev < 90.0
+
+    @given(alt=altitudes, e1=elevations, e2=elevations,
+           proc=st.floats(min_value=0.0, max_value=0.05))
+    @settings(max_examples=100, deadline=None)
+    def test_bent_pipe_delay_decreasing_in_elevation(self, alt, e1, e2,
+                                                     proc):
+        lo, hi = sorted((e1, e2))
+        d_lo = bent_pipe_delay_s(alt, lo, proc)
+        d_hi = bent_pipe_delay_s(alt, hi, proc)
+        assert d_lo >= d_hi - 1e-12
+        assert d_hi >= proc  # light-time never goes negative
+
+    @given(u=fractions,
+           min_e=st.floats(min_value=0.0, max_value=40.0),
+           span=st.floats(min_value=1.0, max_value=50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_elevation_bounded_and_peaks_mid_pass(self, u, min_e, span):
+        peak = min_e + span
+        elev = elevation_at(u, min_e, peak)
+        assert min_e - 1e-9 <= elev <= peak + 1e-9
+        assert elevation_at(0.5, min_e, peak) == pytest.approx(peak)
+        # rise and set are symmetric about the zenith
+        assert elev == pytest.approx(elevation_at(1.0 - u, min_e, peak),
+                                     abs=1e-9)
+
+
+# ======================================================================
+# Compilation is pure and deterministic
+# ======================================================================
+class TestCompilePurity:
+    @pytest.mark.parametrize("family,spec", [
+        (SHUTTLE_FAMILY, SHUTTLE_SPEC),
+        (RAN3G_SPEC.family, RAN3G_SPEC),
+        (RAN4G_SPEC.family, RAN4G_SPEC),
+        (LEO_FAMILY, LEO_SPEC),
+    ], ids=["shuttle", "ran3g", "ran4g", "leo"])
+    def test_recompiling_builtin_family_reproduces_spec_fields(
+            self, family, spec):
+        assert family.compile_fields() == spec.fields
+        # and again — no hidden state between compilations
+        assert family.compile_fields() == family.compile_fields()
+
+    @pytest.mark.parametrize("technology", RAN_TECHNOLOGIES)
+    def test_ran_compiles_one_fullspan_piece_per_field(self, technology):
+        fields = RanFamily(technology=technology).compile_fields()
+        assert set(fields) == set(FIELD_NAMES)
+        for fname in FIELD_NAMES:
+            pieces = fields[fname]
+            assert len(pieces) == 1
+            assert pieces[0] == RAN_PRESETS[technology][fname].piece()
+            assert pieces[0].end == 1.0
+
+    def test_leo_access_delay_higher_at_pass_edges(self):
+        access = LeoFamily().compile_fields()["access"]
+        mid = access[len(access) // 2]
+        assert access[0].base > mid.base
+        assert access[-1].base > mid.base
+
+    def test_shuttle_signal_peaks_near_the_stop(self):
+        signal = SHUTTLE_FAMILY.compile_fields()["signal"]
+        bases = [p.base for p in signal]
+        best = max(bases)
+        # the best signal may plateau at the ceiling around the stop;
+        # its center of mass must sit near u ~ 0.5, and both ends of
+        # the loop (600-700 m out) must be strictly worse
+        at_best = [i for i, b in enumerate(bases) if b >= best - 1e-9]
+        center = sum((i + 0.5) / len(bases) for i in at_best) / len(at_best)
+        assert 0.3 < center < 0.7
+        assert bases[0] < best
+        assert bases[-1] < best
+
+
+# ======================================================================
+# Family sweeps are worker-count independent
+# ======================================================================
+WALK_FAMILY = MobilityFamily(
+    waypoints=((0.0, -250.0, 40.0), (0.5, 20.0, 10.0),
+               (1.0, 300.0, 60.0)),
+    samples=8,
+)
+
+WALK_SPEC = ScenarioSpec(
+    name="famwalk",
+    duration=30.0,
+    description="Small mobility walk for worker-determinism pinning.",
+    fields=WALK_FAMILY.compile_fields(),
+    family=WALK_FAMILY,
+)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_family_sweep_render_identical_across_workers(workers):
+    runner = FtpRunner(nbytes=25_000, direction="send")
+    serial = run_validation(SpecScenario(WALK_SPEC), runner, seed=0,
+                            trials=2, workers=1)
+    parallel = run_validation(SpecScenario(WALK_SPEC), runner, seed=0,
+                              trials=2, workers=workers)
+    assert parallel.render() == serial.render()

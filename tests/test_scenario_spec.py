@@ -15,6 +15,7 @@ spec layer makes:
 
 import json
 import random
+import tomllib
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -30,10 +31,15 @@ from repro.scenarios import (
     unregister,
 )
 from repro.scenarios.base import Checkpoint, Scenario
+from repro.scenarios.leo import LeoFamily
+from repro.scenarios.mobility import MOBILITY_MODELS, MobilityFamily
+from repro.scenarios.ran import RAN_TECHNOLOGIES, FieldDist, RanFamily
 from repro.scenarios.spec import (
     DEFAULT_DRAW_ORDER,
     FIELD_NAMES,
+    PIECE_DISTS,
     SPEC_FORMAT_VERSION,
+    SUPPORTED_SPEC_FORMATS,
     FieldPiece,
     LossModel,
     ScenarioSpec,
@@ -45,6 +51,7 @@ from repro.scenarios.spec import (
     save_spec,
     spec_from_dict,
     spec_to_dict,
+    spec_to_toml,
 )
 
 MINI_TOML = """\
@@ -291,22 +298,30 @@ positive = st.floats(allow_nan=False, min_value=1e-3, max_value=1e6)
 prob = st.floats(allow_nan=False, min_value=0.0, max_value=1.0)
 
 
+nonneg = st.floats(allow_nan=False, min_value=0.0, max_value=1e6)
+
+
 @st.composite
 def field_pieces(draw):
     count = draw(st.integers(min_value=1, max_value=3))
     ends = sorted(draw(st.lists(
         st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
         min_size=count, max_size=count, unique=True)))
-    return tuple(
-        FieldPiece(end=end, base=draw(finite), slope=draw(finite),
-                   span=draw(st.none() | positive), rel=draw(prob),
-                   lo=draw(finite), hi=draw(st.none() | finite),
-                   inclusive=draw(st.booleans()),
-                   spike_prob=draw(prob),
-                   spike_magnitude=draw(finite),
-                   dip_prob=draw(prob), dip_lo=draw(finite),
-                   dip_hi=draw(finite))
-        for end in ends)
+    pieces = []
+    for end in ends:
+        # lognormal pieces demand a non-negative base (validate() is
+        # loud otherwise); the other dists take any finite base.
+        dist = draw(st.sampled_from(PIECE_DISTS))
+        base = draw(nonneg if dist == "lognormal" else finite)
+        pieces.append(FieldPiece(
+            end=end, base=base, slope=draw(finite),
+            span=draw(st.none() | positive), rel=draw(prob),
+            lo=draw(finite), hi=draw(st.none() | finite),
+            inclusive=draw(st.booleans()), dist=dist,
+            spike_prob=draw(prob), spike_magnitude=draw(finite),
+            dip_prob=draw(prob), dip_lo=draw(finite),
+            dip_hi=draw(finite)))
+    return tuple(pieces)
 
 
 @st.composite
@@ -329,6 +344,115 @@ def scenario_specs(draw):
                              up_cap=draw(st.none() | finite),
                              down_scale=draw(finite)),
         description=draw(st.text(max_size=20)),
+        generator=draw(st.sampled_from(
+            ("", "repro.fuzz/v1 seed=0 index=3"))),
+    ).validate()
+
+
+# -- profile families: parameter tables that compile to fields ---------
+@st.composite
+def mobility_families(draw):
+    count = draw(st.integers(min_value=2, max_value=5))
+    inner = sorted(draw(st.lists(
+        st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+        min_size=count - 2, max_size=count - 2)))
+    fracs = [0.0] + inner + [1.0]
+    coord = st.floats(allow_nan=False, allow_infinity=False,
+                      min_value=-1000.0, max_value=1000.0)
+    waypoints = tuple((u, draw(coord), draw(coord)) for u in fracs)
+    return MobilityFamily(
+        waypoints=waypoints,
+        model=draw(st.sampled_from(MOBILITY_MODELS)),
+        tx_power_dbm=draw(st.floats(min_value=-10, max_value=30,
+                                    allow_nan=False)),
+        ref_loss_db=draw(st.floats(min_value=10, max_value=60,
+                                   allow_nan=False)),
+        ref_distance_m=draw(st.sampled_from((0.5, 1.0, 2.0))),
+        path_loss_exponent=draw(st.floats(min_value=1.5, max_value=5.0,
+                                          allow_nan=False)),
+        base_antenna_m=draw(st.floats(min_value=0.5, max_value=20.0,
+                                      allow_nan=False)),
+        mobile_antenna_m=draw(st.floats(min_value=0.5, max_value=3.0,
+                                        allow_nan=False)),
+        sensitivity_dbm=draw(st.floats(min_value=-100, max_value=-70,
+                                       allow_nan=False)),
+        # Boundary values ride along: 0 and 12 are the legal extremes.
+        shadowing_db=draw(st.sampled_from((0.0, 3.0, 12.0))),
+        good_margin_db=draw(st.floats(min_value=5.0, max_value=40.0,
+                                      allow_nan=False)),
+        samples=draw(st.sampled_from((4, 7, 48, 512))),
+    ).validate()
+
+
+@st.composite
+def field_dists(draw, lo=0.0, hi=1.0):
+    dist = draw(st.sampled_from(PIECE_DISTS))
+    return FieldDist(
+        dist=dist,
+        center=draw(st.floats(min_value=0.0 if dist == "lognormal"
+                              else lo, max_value=hi, allow_nan=False)),
+        spread=draw(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False)),
+        lo=lo, hi=draw(st.none() | st.just(hi)),
+    ).validate("strategy")
+
+
+@st.composite
+def ran_families(draw):
+    return RanFamily(
+        technology=draw(st.sampled_from(RAN_TECHNOLOGIES)),
+        signal=draw(st.none() | field_dists(lo=1.0, hi=28.0)),
+        loss=draw(st.none() | field_dists(lo=0.0, hi=0.3)),
+        bandwidth=draw(st.none() | field_dists(lo=0.1, hi=0.95)),
+        access=draw(st.none() | field_dists(lo=1e-4, hi=0.1)),
+    ).validate()
+
+
+@st.composite
+def leo_families(draw):
+    min_elev = draw(st.floats(min_value=0.0, max_value=60.0,
+                              allow_nan=False))
+    horizon_sig = draw(st.floats(min_value=1.0, max_value=15.0,
+                                 allow_nan=False))
+    loss_peak = draw(st.floats(min_value=0.0, max_value=0.1,
+                               allow_nan=False))
+    bw_horizon = draw(st.floats(min_value=0.05, max_value=0.9,
+                                allow_nan=False))
+    return LeoFamily(
+        # 160 and 2000 are the legal LEO-altitude extremes.
+        altitude_km=draw(st.sampled_from((160.0, 550.0, 2000.0))
+                         | st.floats(min_value=160, max_value=2000,
+                                     allow_nan=False)),
+        min_elevation_deg=min_elev,
+        peak_elevation_deg=min_elev + draw(st.floats(
+            min_value=0.5, max_value=90.0 - min_elev, allow_nan=False)),
+        processing_delay_s=draw(st.floats(min_value=0.0, max_value=0.05,
+                                          allow_nan=False)),
+        peak_signal_db=horizon_sig + draw(st.floats(
+            min_value=0.5, max_value=20.0, allow_nan=False)),
+        horizon_signal_db=horizon_sig,
+        loss_peak=loss_peak,
+        loss_horizon=loss_peak + draw(st.floats(min_value=0.0,
+                                                max_value=0.5,
+                                                allow_nan=False)),
+        bandwidth_peak=draw(st.floats(min_value=bw_horizon,
+                                      max_value=1.0, allow_nan=False)),
+        bandwidth_horizon=bw_horizon,
+        samples=draw(st.sampled_from((4, 24, 48, 512))),
+    ).validate()
+
+
+@st.composite
+def family_specs(draw):
+    family = draw(st.one_of(mobility_families(), ran_families(),
+                            leo_families()))
+    return ScenarioSpec(
+        name=draw(st.sampled_from(("famspec", "famcase"))),
+        duration=draw(positive),
+        fields=family.compile_fields(),
+        family=family,
+        generator=draw(st.sampled_from(("", "repro.fuzz/v1 seed=1 "
+                                        "index=7"))),
     ).validate()
 
 
@@ -348,14 +472,144 @@ class TestRoundTrip:
         save_spec(spec, path)
         assert load_spec(path) == spec
 
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(scenario_specs())
+    def test_toml_round_trip_is_lossless(self, spec):
+        assert spec_from_dict(tomllib.loads(spec_to_toml(spec))) == spec
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(family_specs())
+    def test_family_dict_round_trip_is_lossless(self, spec):
+        loaded = spec_from_dict(spec_to_dict(spec))
+        assert loaded == spec
+        # The family table travels instead of the derived fields; the
+        # loader recompiles the identical pieces.
+        assert "fields" not in spec_to_dict(spec)
+        assert loaded.fields == spec.family.compile_fields()
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(family_specs())
+    def test_family_toml_round_trip_is_lossless(self, spec):
+        assert spec_from_dict(tomllib.loads(spec_to_toml(spec))) == spec
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(family_specs())
+    def test_family_toml_file_round_trip(self, tmp_path_factory, spec):
+        path = tmp_path_factory.mktemp("specs") / "family.toml"
+        save_spec(spec, path)
+        assert load_spec(path) == spec
+
     def test_to_dict_emits_the_format_version(self):
         doc = spec_to_dict(spec_from_dict(mini_dict()))
         assert doc["format"] == SPEC_FORMAT_VERSION
 
+    def test_supported_formats_accepted(self):
+        for fmt in SUPPORTED_SPEC_FORMATS:
+            assert spec_from_dict(mini_dict(format=fmt)).name == "minidict"
+
     def test_builtin_scenarios_round_trip(self):
-        for name in ("wean", "porter", "flagstaff", "chatterbox"):
+        for name in ("wean", "porter", "flagstaff", "chatterbox",
+                     "shuttle", "ran3g", "ran4g", "leo"):
             spec = scenario_by_name(name).spec
             assert spec_from_dict(spec_to_dict(spec)) == spec
+            assert spec_from_dict(tomllib.loads(spec_to_toml(spec))) \
+                == spec
+
+    def test_generator_stamp_survives_round_trips(self):
+        doc = mini_dict(generator="repro.fuzz/v1 seed=9 index=12")
+        spec = spec_from_dict(doc)
+        assert spec.generator == "repro.fuzz/v1 seed=9 index=12"
+        assert spec_from_dict(spec_to_dict(spec)).generator \
+            == spec.generator
+        assert spec_from_dict(
+            tomllib.loads(spec_to_toml(spec))).generator == spec.generator
+
+
+# ======================================================================
+# Family documents: compile-on-load, loud rejections
+# ======================================================================
+class TestFamilyDocuments:
+    def family_dict(self, family, **overrides):
+        doc = {"name": "famdoc", "duration": 60.0, "family": family}
+        doc.update(overrides)
+        return doc
+
+    def test_family_document_compiles_fields(self):
+        spec = spec_from_dict(self.family_dict({"kind": "ran",
+                                                "technology": "3g"}))
+        assert spec.family == RanFamily(technology="3g")
+        assert spec.fields == RanFamily(technology="3g").compile_fields()
+
+    def test_family_and_fields_together_rejected(self):
+        doc = mini_dict(family={"kind": "ran"})
+        with pytest.raises(SpecError, match="not both"):
+            spec_from_dict(doc)
+
+    @pytest.mark.parametrize("family, match", [
+        ({"kind": "blimp"}, "unknown family kind"),
+        ({}, "unknown family kind"),
+        ({"kind": "mobility"}, "needs 'waypoints'"),
+        ({"kind": "mobility", "waypoints": [[0.0, 1.0, 1.0]]},
+         "at least 2 waypoints"),
+        ({"kind": "mobility",
+          "waypoints": [[0.2, 0.0, 0.0], [1.0, 5.0, 5.0]]},
+         "start at u=0"),
+        ({"kind": "mobility",
+          "waypoints": [[0.0, 0.0, 0.0], [1.0, 5.0]]}, "triple"),
+        ({"kind": "mobility",
+          "waypoints": [[0.0, 0.0, 0.0], [1.0, 5.0, 5.0]],
+          "shadowing_db": 13.0}, r"shadowing_db must lie in \[0, 12\]"),
+        ({"kind": "mobility",
+          "waypoints": [[0.0, 0.0, 0.0], [1.0, 5.0, 5.0]],
+          "samples": 3}, r"samples must lie in \[4, 512\]"),
+        ({"kind": "mobility",
+          "waypoints": [[0.0, 0.0, 0.0], [1.0, 5.0, 5.0]],
+          "model": "ray_tracing"}, "mobility model"),
+        ({"kind": "mobility",
+          "waypoints": [[0.0, 0.0, 0.0], [1.0, 5.0, 5.0]],
+          "rocket": 1}, "unknown mobility keys"),
+        ({"kind": "ran", "technology": "6g"}, "choose from"),
+        ({"kind": "ran", "humidity": {}}, "unknown RAN keys"),
+        ({"kind": "ran",
+          "loss": {"dist": "cauchy", "center": 0.01}}, "unknown dist"),
+        ({"kind": "ran",
+          "loss": {"dist": "lognormal", "center": -0.1}}, "non-negative"),
+        ({"kind": "ran",
+          "loss": {"center": 0.2, "lo": 0.3, "hi": 0.1}}, "below lo"),
+        ({"kind": "leo", "altitude_km": 40_000.0},
+         r"altitude_km must lie in \[160, 2000\]"),
+        ({"kind": "leo", "min_elevation_deg": 80.0,
+          "peak_elevation_deg": 30.0}, "min_elevation"),
+        ({"kind": "leo", "peak_signal_db": 5.0,
+          "horizon_signal_db": 9.0}, "peak_signal_db must exceed"),
+        ({"kind": "leo", "loss_peak": 0.3, "loss_horizon": 0.1},
+         "loss_peak"),
+        ({"kind": "leo", "bandwidth_peak": 0.2,
+          "bandwidth_horizon": 0.8}, "bandwidth_horizon"),
+        ({"kind": "leo", "samples": 1000},
+         r"samples must lie in \[4, 512\]"),
+    ])
+    def test_malformed_family_documents_are_loud(self, family, match):
+        with pytest.raises(SpecError, match=match):
+            spec_from_dict(self.family_dict(family))
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda d: d["fields"]["signal"][0].update(dist="cauchy"),
+         "unknown dist"),
+        (lambda d: d["fields"]["loss"][0].update(dist="lognormal",
+                                                 base=-0.5),
+         "non-negative base"),
+        (lambda d: d.update(generator=5), "generator must be a string"),
+    ])
+    def test_malformed_piece_dists_are_loud(self, mutate, match):
+        doc = mini_dict()
+        mutate(doc)
+        with pytest.raises(SpecError, match=match):
+            spec_from_dict(doc)
 
 
 # ======================================================================
