@@ -28,7 +28,9 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..pipeline import digest
+from ..pipeline import Pipeline, as_pipeline, digest
+from ..runtime.job import Job, register_job_kind, runner_ref
+from ..runtime.session import shared_pipeline
 from ..scenarios.generate import GENERATOR_VERSION, generate_specs
 from ..scenarios.spec import (LossModel, ScenarioSpec, SpecError,
                               SpecScenario, save_spec, spec_to_dict)
@@ -221,6 +223,54 @@ def _signature(violations: Sequence[InvariantViolation]):
     return {(v.monitor, v.invariant) for v in violations}
 
 
+# ----------------------------------------------------------------------
+# The runtime job kind ("fuzz"): one generated spec through the full
+# invariant pipeline.  The short FUZZ_FTP_BYTES transfer keeps a spec
+# check cheaper than a full `check` job but still well above the
+# chunking threshold, so specs travel solo and expensive ones do not
+# serialize behind cheap ones.
+# ----------------------------------------------------------------------
+FUZZ_COST_HINT = 150.0
+
+
+@dataclass(frozen=True)
+class FuzzCheckJob:
+    """Picklable description of one spec check.  The live ``cache``
+    handle is in-process only; the wire variant nulls it and workers
+    reopen ``cache_root`` per process."""
+
+    spec: ScenarioSpec
+    seed: int = 0
+    ftp_bytes: int = FUZZ_FTP_BYTES
+    cache_root: Optional[str] = None
+    cache: Optional[Pipeline] = None
+
+
+def run_fuzz_check_job(job: FuzzCheckJob) -> List[InvariantViolation]:
+    cache = job.cache
+    if cache is None:
+        cache = shared_pipeline(job.cache_root)
+    return _check_spec(job.spec, job.seed, job.ftp_bytes, cache)
+
+
+_RUN_FUZZ_CHECK = runner_ref(run_fuzz_check_job)
+register_job_kind("fuzz", _RUN_FUZZ_CHECK, cost_hint=FUZZ_COST_HINT)
+
+
+def fuzz_check_job(spec: ScenarioSpec, seed: int = 0,
+                   ftp_bytes: int = FUZZ_FTP_BYTES, cache=None) -> Job:
+    """Build the runtime job checking one generated spec."""
+    pipeline = as_pipeline(cache)
+    root = None
+    if pipeline is not None and pipeline.store.root is not None:
+        root = str(pipeline.store.root)
+    payload = FuzzCheckJob(spec=spec, seed=seed, ftp_bytes=ftp_bytes,
+                           cache_root=root, cache=pipeline)
+    return Job(kind="fuzz", runner=_RUN_FUZZ_CHECK, payload=payload,
+               label=f"fuzz:{spec.name}", cost_hint=FUZZ_COST_HINT,
+               wire_payload=replace(payload, cache=None))
+
+
 def run_fuzz(count: int, seed: int = 0,
              kinds: Optional[Sequence[str]] = None,
              ftp_bytes: int = FUZZ_FTP_BYTES,
@@ -228,8 +278,8 @@ def run_fuzz(count: int, seed: int = 0,
              artifact_dir: Optional[str] = None,
              cache=None, shrink: bool = True,
              shrink_budget: int = DEFAULT_SHRINK_BUDGET,
-             progress: Optional[Callable[[int, int, str], None]] = None
-             ) -> FuzzRun:
+             progress: Optional[Callable[[int, int, str], None]] = None,
+             executor=None) -> FuzzRun:
     """Fuzz ``count`` generated scenarios through the invariant suite.
 
     * ``corpus_dir`` — write every generated spec as a TOML file;
@@ -239,9 +289,16 @@ def run_fuzz(count: int, seed: int = 0,
     * ``cache`` — a pipeline cache dir/store: warm reruns of an
       unchanged corpus skip the simulations entirely;
     * ``progress`` — optional ``fn(done, total, name)`` callback (the
-      CLI points it at stderr so stdout stays byte-identical).
+      CLI points it at stderr so stdout stays byte-identical);
+    * ``executor`` — a runtime :class:`~repro.runtime.Scheduler`: the
+      initial sweep over the corpus fans out across its workers while
+      results are consumed in spec order, so ``FuzzRun`` (and hence the
+      rendered summary) is byte-identical to the serial run.  Shrinking
+      stays serial in the parent — each shrink candidate depends on the
+      previous verdict, so there is no parallelism to harvest there.
     """
     specs = list(generate_specs(seed, count, kinds=kinds))
+    cache = as_pipeline(cache)
     run = FuzzRun(seed=seed, count=count,
                   kinds=list(kinds) if kinds else None,
                   corpus_digest=corpus_digest(specs))
@@ -256,10 +313,18 @@ def run_fuzz(count: int, seed: int = 0,
         archive = Path(artifact_dir)
         archive.mkdir(parents=True, exist_ok=True)
         run.artifact_dir = str(archive)
+    futures = None
+    if executor is not None:
+        jobs = [fuzz_check_job(spec, seed=seed, ftp_bytes=ftp_bytes,
+                               cache=cache) for spec in specs]
+        futures = executor.submit_jobs(jobs)
     for i, spec in enumerate(specs):
         if progress is not None:
             progress(i, count, spec.name)
-        violations = _check_spec(spec, seed, ftp_bytes, cache)
+        if futures is not None:
+            violations = futures[i].result()
+        else:
+            violations = _check_spec(spec, seed, ftp_bytes, cache)
         run.checked += 1
         if not violations:
             continue

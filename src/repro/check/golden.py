@@ -18,11 +18,14 @@ to use when an *intentional* behaviour change is being reviewed.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.replay import ReplayTrace
 from ..pipeline import CollectStage, DistillStage, Pipeline, as_pipeline
+from ..runtime.job import Job, register_job_kind, runner_ref
+from ..runtime.session import shared_pipeline
 from ..scenarios import ALL_SCENARIOS, scenario_by_name
 from ..validation.harness import FtpRunner, compensation_vb
 from ..validation.parallel import run_validation
@@ -85,6 +88,72 @@ def golden_table(name: str, seed: int = GOLDEN_SEED,
                               f"{ftp_bytes} B, seed {seed}")
 
 
+# ======================================================================
+# The runtime job kind ("golden")
+# ======================================================================
+# One golden artifact pair runs collect, distill, live and modulated
+# stages end to end — always above the chunking threshold, so each
+# scenario's regeneration travels solo.
+GOLDEN_COST_HINT = 400.0
+
+
+@dataclass(frozen=True)
+class GoldenJob:
+    """Picklable description of one scenario's corpus artifacts.  The
+    live ``cache`` handle is in-process only; the wire variant nulls
+    it and workers reopen ``cache_root`` per process."""
+
+    name: str
+    seed: int = GOLDEN_SEED
+    trial: int = GOLDEN_TRIAL
+    ftp_bytes: int = GOLDEN_FTP_BYTES
+    cache_root: Optional[str] = None
+    cache: Optional[Pipeline] = None
+
+
+def run_golden_job(job: GoldenJob) -> Dict[str, str]:
+    """Produce one scenario's corpus artifacts as *text*: the replay
+    JSON and the rendered table.  Returning the serialized forms keeps
+    the job's output identical to what lands on disk, so byte-identity
+    across backends is pinned at the job boundary."""
+    cache = job.cache
+    if cache is None:
+        cache = shared_pipeline(job.cache_root)
+    replay = golden_replay(job.name, seed=job.seed, trial=job.trial,
+                           cache=cache)
+    table = golden_table(job.name, seed=job.seed,
+                         ftp_bytes=job.ftp_bytes, cache=cache)
+    return {"replay_json": replay.to_json(), "table": table}
+
+
+_RUN_GOLDEN = runner_ref(run_golden_job)
+register_job_kind("golden", _RUN_GOLDEN, cost_hint=GOLDEN_COST_HINT)
+
+
+def golden_job(name: str, cache=None) -> Job:
+    """Build the runtime job for one scenario's corpus artifacts."""
+    pipeline = as_pipeline(cache)
+    root = None
+    if pipeline is not None and pipeline.store.root is not None:
+        root = str(pipeline.store.root)
+    payload = GoldenJob(name=name, cache_root=root, cache=pipeline)
+    return Job(kind="golden", runner=_RUN_GOLDEN, payload=payload,
+               label=f"golden:{name}", cost_hint=GOLDEN_COST_HINT,
+               wire_payload=replace(payload, cache=None))
+
+
+def _golden_outputs(names: Sequence[str], cache,
+                    executor=None) -> List[Dict[str, str]]:
+    """Each scenario's ``{replay_json, table}`` pair, in name order —
+    serial, or fanned out through a caller-supplied runtime executor
+    (results are byte-identical either way)."""
+    pipeline = as_pipeline(cache)
+    jobs = [golden_job(name, cache=pipeline) for name in names]
+    if executor is None:
+        return [run_golden_job(job.payload) for job in jobs]
+    return executor.map_jobs(jobs)
+
+
 def replay_path(directory: Path, name: str) -> Path:
     return directory / f"{name}.replay.json"
 
@@ -95,22 +164,24 @@ def table_path(directory: Path, name: str) -> Path:
 
 def regenerate(directory: Optional[Path] = None,
                scenarios: Optional[Iterable[str]] = None,
-               cache=None) -> List[Path]:
+               cache=None, executor=None) -> List[Path]:
     """(Re)write the corpus; returns the paths written.
 
     Only for *intentional* behaviour changes — see docs/TESTING.md.
+    The written bytes are the runner's serialized output verbatim
+    (``ReplayTrace.save`` writes exactly ``to_json()``), so serial and
+    parallel regeneration produce identical files.
     """
     directory = Path(directory or DEFAULT_GOLDEN_DIR)
     directory.mkdir(parents=True, exist_ok=True)
-    cache = as_pipeline(cache)
+    names = scenario_names(scenarios)
     written: List[Path] = []
-    for name in scenario_names(scenarios):
-        replay = golden_replay(name, cache=cache)
+    for name, out in zip(names, _golden_outputs(names, cache, executor)):
         path = replay_path(directory, name)
-        replay.save(str(path))
+        path.write_text(out["replay_json"], encoding="utf-8")
         written.append(path)
         path = table_path(directory, name)
-        path.write_text(golden_table(name, cache=cache), encoding="utf-8")
+        path.write_text(out["table"], encoding="utf-8")
         written.append(path)
     return written
 
@@ -186,7 +257,8 @@ def diff_replay(expected: ReplayTrace, actual: ReplayTrace,
 
 def compare(directory: Optional[Path] = None,
             scenarios: Optional[Iterable[str]] = None,
-            rtol: float = 0.0, cache=None) -> Dict[str, List[str]]:
+            rtol: float = 0.0, cache=None,
+            executor=None) -> Dict[str, List[str]]:
     """Regenerate in memory and diff against the checked-in corpus.
 
     Returns ``{artifact: [differences]}`` — empty when everything
@@ -194,21 +266,22 @@ def compare(directory: Optional[Path] = None,
     ``repro check --regen-golden`` once to seed the corpus).
     """
     directory = Path(directory or DEFAULT_GOLDEN_DIR)
-    cache = as_pipeline(cache)
+    names = scenario_names(scenarios)
     out: Dict[str, List[str]] = {}
-    for name in scenario_names(scenarios):
+    for name, actual in zip(names, _golden_outputs(names, cache, executor)):
         rpath = replay_path(directory, name)
         if not rpath.exists():
             out[rpath.name] = ["golden file missing"]
         else:
             expected = ReplayTrace.load(str(rpath))
-            actual = golden_replay(name, cache=cache)
-            diffs = diff_replay(expected, actual, rtol=rtol)
+            diffs = diff_replay(expected,
+                                ReplayTrace.from_json(actual["replay_json"]),
+                                rtol=rtol)
             # The JSON text itself must round-trip byte-identically
             # when the tuples match exactly.
             if not diffs and rtol == 0.0:
                 diffs = diff_text(rpath.read_text(encoding="utf-8"),
-                                  actual.to_json(), rtol=0.0)
+                                  actual["replay_json"], rtol=0.0)
             if diffs:
                 out[rpath.name] = diffs
         tpath = table_path(directory, name)
@@ -216,7 +289,7 @@ def compare(directory: Optional[Path] = None,
             out[tpath.name] = ["golden file missing"]
         else:
             diffs = diff_text(tpath.read_text(encoding="utf-8"),
-                              golden_table(name, cache=cache), rtol=rtol)
+                              actual["table"], rtol=rtol)
             if diffs:
                 out[tpath.name] = diffs
     return out

@@ -16,7 +16,7 @@ catch (and a clean run must not).
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional
 
 from ..hosts.kernel import Kernel
@@ -24,6 +24,8 @@ from ..obs import ObsConfig
 from ..pipeline import (CollectStage, CompensationStage, DistillStage,
                         LiveTrialStage, ModulatedTrialStage, Pipeline,
                         as_pipeline, cache_token, digest)
+from ..runtime.job import Job, register_job_kind, runner_ref
+from ..runtime.session import shared_pipeline
 from ..scenarios import ALL_SCENARIOS, resolve_scenario
 from ..scenarios.base import Scenario
 from ..validation.harness import FtpRunner, compensation_vb
@@ -242,20 +244,111 @@ def check_scenario(scenario, seed: int = 0, trial: int = 0,
     return report
 
 
+# ======================================================================
+# The runtime job kind ("check")
+# ======================================================================
+# A check runs a full traversal, a distillation and two benchmark
+# trials — comfortably above the scheduler's chunking threshold, so
+# every check travels solo and scenarios balance across workers.
+CHECK_COST_HINT = 600.0
+
+
+@dataclass(frozen=True)
+class CheckJob:
+    """Picklable description of one ``check_scenario`` run.
+
+    ``scenario`` is whatever ``check_scenario`` accepts (a registered
+    name, a spec path, or a :class:`Scenario` — all picklable).  The
+    live ``cache`` pipeline handle is for in-process execution only;
+    the wire variant nulls it and workers reopen ``cache_root`` through
+    the per-process memo (:func:`~repro.runtime.session.shared_pipeline`),
+    so report- and stage-level caching work identically on every
+    backend.
+    """
+
+    scenario: Any
+    seed: int = 0
+    trial: int = 0
+    ftp_bytes: int = DEFAULT_FTP_BYTES
+    span_limit: int = 250_000
+    cache_root: Optional[str] = None
+    cache: Optional[Pipeline] = None
+
+
+def run_check_job(job: CheckJob) -> CheckReport:
+    """The runtime runner behind one check job (pure in the payload:
+    byte-identical reports on every backend)."""
+    cache = job.cache
+    if cache is None:
+        cache = shared_pipeline(job.cache_root)
+    return check_scenario(job.scenario, seed=job.seed, trial=job.trial,
+                          ftp_bytes=job.ftp_bytes,
+                          span_limit=job.span_limit, cache=cache)
+
+
+_RUN_CHECK = runner_ref(run_check_job)
+register_job_kind("check", _RUN_CHECK, cost_hint=CHECK_COST_HINT)
+
+
+def check_job(scenario, seed: int = 0, trial: int = 0,
+              ftp_bytes: int = DEFAULT_FTP_BYTES,
+              span_limit: int = 250_000, cache=None) -> Job:
+    """Build the runtime job for one scenario check."""
+    pipeline = as_pipeline(cache)
+    root = None
+    if pipeline is not None and pipeline.store.root is not None:
+        root = str(pipeline.store.root)
+    payload = CheckJob(scenario=scenario, seed=seed, trial=trial,
+                       ftp_bytes=ftp_bytes, span_limit=span_limit,
+                       cache_root=root, cache=pipeline)
+    label = getattr(scenario, "name", None) or str(scenario)
+    return Job(kind="check", runner=_RUN_CHECK, payload=payload,
+               label=f"check:{label}", cost_hint=CHECK_COST_HINT,
+               wire_payload=replace(payload, cache=None))
+
+
 def check_all(scenarios: Optional[Iterable[str]] = None, seed: int = 0,
               trial: int = 0, ftp_bytes: int = DEFAULT_FTP_BYTES,
               monitors: Optional[Iterable] = None,
-              cache=None) -> List[CheckReport]:
-    """`check_scenario` over every scenario (default: all four)."""
+              cache=None, workers: Optional[int] = None,
+              transport: str = "auto",
+              executor=None) -> List[CheckReport]:
+    """`check_scenario` over every scenario (default: all four).
+
+    With ``workers`` > 1, ``transport="socket"`` or a caller-supplied
+    runtime ``executor``
+    (:class:`~repro.runtime.scheduler.Scheduler`), scenarios fan out
+    through the unified runtime — reports come back in scenario order
+    and are byte-identical to the serial loop on every backend.
+    Custom ``monitors`` (live objects, not necessarily picklable)
+    force the serial path.
+    """
     if scenarios is None:
         names = [cls.name for cls in ALL_SCENARIOS]
     else:
         names = list(scenarios)
     cache_pipeline = as_pipeline(cache)
-    return [check_scenario(name, seed=seed, trial=trial,
-                           ftp_bytes=ftp_bytes, monitors=monitors,
-                           cache=cache_pipeline)
+    parallel = (executor is not None or (workers or 1) > 1
+                or transport == "socket")
+    if monitors is not None or not parallel:
+        return [check_scenario(name, seed=seed, trial=trial,
+                               ftp_bytes=ftp_bytes, monitors=monitors,
+                               cache=cache_pipeline)
+                for name in names]
+    jobs = [check_job(name, seed=seed, trial=trial, ftp_bytes=ftp_bytes,
+                      cache=cache_pipeline)
             for name in names]
+    owned = False
+    if executor is None:
+        from ..runtime.scheduler import Scheduler
+
+        executor = Scheduler(workers=workers, transport=transport)
+        owned = True
+    try:
+        return executor.map_jobs(jobs)
+    finally:
+        if owned:
+            executor.shutdown()
 
 
 def smoke_check(seed: int = 0, cache=None) -> CheckReport:

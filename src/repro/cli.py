@@ -75,7 +75,12 @@ from .obs import (
     write_chrome_trace,
     write_jsonl,
 )
-from .pipeline import Pipeline
+from .runtime import TRANSPORTS
+from .runtime.session import (
+    ExecutionConfig,
+    RuntimeSession,
+    command_ledger_record,
+)
 from .scenarios import (
     register_spec_file,
     registered_scenarios,
@@ -90,7 +95,6 @@ from .validation import (
     characterize_scenario_parallel,
     collect_trace,
     compensation_vb,
-    default_workers,
     distill_scenario_trace,
     run_live_trial,
     run_modulated_trial,
@@ -121,10 +125,61 @@ def _resolve_scenario_arg(name: str):
         raise SystemExit(2)
 
 
+def _execution_parent() -> argparse.ArgumentParser:
+    """The shared execution flags of every bulk subcommand.
+
+    ``validate``, ``characterize``, ``check`` and ``fuzz`` all fan
+    work through :mod:`repro.runtime`; this parent parser gives them
+    one spelling of the knobs (and one help text), and
+    :class:`~repro.runtime.session.ExecutionConfig` reads them back
+    off the parsed namespace.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument("--workers", type=int, default=None,
+                       help="worker process count (default: one per CPU; "
+                            "1 forces serial; results are byte-identical "
+                            "for every worker count)")
+    group.add_argument("--transport", choices=TRANSPORTS, default="auto",
+                       help="execution backend and data plane: envelope "
+                            "hands bulk results off through a shared "
+                            "binary store, pickle ships them over the "
+                            "pool pipe, socket runs workers as TCP "
+                            "subprocesses on the loopback; auto picks "
+                            "envelope (results identical on every "
+                            "transport)")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="content-addressed artifact cache: warm "
+                            "reruns load unchanged stages instead of "
+                            "recomputing them (results are identical "
+                            "either way)")
+    group.add_argument("--progress", action="store_true",
+                       help="live progress on stderr (stdout stays "
+                            "byte-identical); plain lines when stderr "
+                            "is not a TTY")
+    group.add_argument("--run-dir", default=None, metavar="DIR",
+                       help="append this command's run manifest "
+                            "(workers, transport, cache, wall clock, "
+                            "output hash) to DIR/ledger.jsonl")
+    return parent
+
+
+def _session_executor(session: RuntimeSession):
+    """The session's scheduler when the flags ask for parallelism,
+    else ``None`` (the command's plain serial path).  The socket
+    transport always goes through the scheduler — that is the whole
+    point of asking for it."""
+    config = session.config
+    if (config.workers or 1) > 1 or config.transport == "socket":
+        return session.scheduler()
+    return None
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Trace-based mobile network emulation (SIGCOMM 1997)")
+    execution = _execution_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("collect", help="trace one scenario traversal")
@@ -157,7 +212,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit the listing as machine-readable JSON")
 
-    p = sub.add_parser("validate",
+    p = sub.add_parser("validate", parents=[execution],
                        help="live-vs-modulated benchmark comparison")
     p.add_argument("--scenario", required=True, help=SCENARIO_HELP)
     p.add_argument("--benchmark", choices=sorted(RUNNERS), required=True)
@@ -165,9 +220,6 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--baseline", action="store_true",
                    help="also run the raw-Ethernet reference row")
-    p.add_argument("--workers", type=int, default=None,
-                   help="trial process-pool size (default: one per CPU; "
-                        "1 forces serial; results are identical either way)")
     p.add_argument("--ftp-bytes", type=int, default=None,
                    help="ftp benchmark only: transfer size in bytes "
                         "(default 10 MB, the paper's)")
@@ -176,16 +228,6 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write a Chrome trace-event JSON of every trial "
                         "(open in Perfetto or chrome://tracing)")
-    p.add_argument("--cache-dir", default=None, metavar="DIR",
-                   help="content-addressed artifact cache: warm reruns "
-                        "load unchanged stages instead of recomputing "
-                        "them (results are identical either way)")
-    p.add_argument("--transport", choices=("auto", "envelope", "pickle"),
-                   default="auto",
-                   help="worker->parent data plane: envelope hands bulk "
-                        "results off through a shared binary store, "
-                        "pickle ships them over the pool pipe; auto "
-                        "picks envelope (results identical either way)")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit the sweep as machine-readable JSON "
                         "(tables, cache and transport accounting)")
@@ -194,14 +236,6 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="--metrics-out format: jsonl writes one record "
                         "per trial; prom writes one unified Prometheus "
                         "text-exposition snapshot of the whole sweep")
-    p.add_argument("--progress", action="store_true",
-                   help="live sweep progress on stderr (trials done, "
-                        "cache hits, workers, ETA); plain lines when "
-                        "stderr is not a TTY")
-    p.add_argument("--run-dir", default=None, metavar="DIR",
-                   help="append this sweep's manifest (workers, "
-                        "transport, cache, wall/CPU, engine events/s, "
-                        "table hash) to DIR/ledger.jsonl")
     p.add_argument("--profile", action="store_true",
                    help="cProfile each trial and print an aggregated "
                         "top-N table (simulated results are unchanged)")
@@ -216,13 +250,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prefix", default="repro",
                    help="metric name prefix (default: repro)")
 
-    p = sub.add_parser("characterize",
+    p = sub.add_parser("characterize", parents=[execution],
                        help="Figures 2-5 style scenario characterization")
     p.add_argument("--scenario", required=True, help=SCENARIO_HELP)
     p.add_argument("--trials", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--workers", type=int, default=None,
-                   help="trial process-pool size (default: one per CPU)")
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write one metrics record per traversal as JSONL")
 
@@ -273,7 +305,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="measure the testbed's delay-compensation constant")
 
     p = sub.add_parser(
-        "check",
+        "check", parents=[execution],
         help="run the invariant monitors over traced pipeline runs "
              "(packet conservation, tick alignment, FIFO ordering, ...)")
     p.add_argument("--scenario", default="all",
@@ -303,16 +335,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="inject an off-by-one-tick modulator bug and "
                         "VERIFY the monitors catch it (exit 0 when "
                         "caught, 2 when missed)")
-    p.add_argument("--cache-dir", default=None, metavar="DIR",
-                   help="artifact cache for check reports and golden "
-                        "regeneration; warm reruns return stored "
-                        "reports instead of re-simulating")
 
     from .check.fuzz import DEFAULT_SHRINK_BUDGET, FUZZ_FTP_BYTES
     from .scenarios.generate import GENERATOR_KINDS
 
     p = sub.add_parser(
-        "fuzz",
+        "fuzz", parents=[execution],
         help="generate seeded random-but-valid scenarios, run the "
              "invariant monitors over each, shrink + archive violators")
     p.add_argument("--count", type=int, default=25,
@@ -341,13 +369,6 @@ def _build_parser() -> argparse.ArgumentParser:
                    default=DEFAULT_SHRINK_BUDGET,
                    help="max pipeline re-checks spent shrinking one "
                         "violating spec")
-    p.add_argument("--cache-dir", default=None, metavar="DIR",
-                   help="artifact cache: a warm rerun of an unchanged "
-                        "corpus loads stored check reports instead of "
-                        "re-simulating")
-    p.add_argument("--progress", action="store_true",
-                   help="per-spec progress on stderr (stdout stays "
-                        "byte-identical across reruns)")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit the campaign result as machine-readable "
                         "JSON")
@@ -546,7 +567,8 @@ def _cmd_validate(args) -> int:
         obs = ObsConfig(metrics=True, trace=bool(args.trace_out),
                         spans=bool(args.trace_out),
                         profile=bool(args.profile))
-    cache = Pipeline(args.cache_dir) if args.cache_dir else None
+    session = RuntimeSession(ExecutionConfig.from_args(args))
+    cache = session.pipeline
     telemetry = None
     if args.trace_out or args.run_dir:
         telemetry = SweepTelemetry()
@@ -556,11 +578,12 @@ def _cmd_validate(args) -> int:
             stream=sys.stderr, label=f"{args.benchmark}/{scenario.name}")
     t0 = _time.perf_counter()
     cpu0 = sum(_os.times()[:4])
-    sweep = run_validation(scenario, runner, seed=args.seed,
-                           trials=args.trials, baseline=args.baseline,
-                           workers=args.workers, obs=obs, cache=cache,
-                           transport=args.transport,
-                           telemetry=telemetry, progress=progress)
+    with session:
+        sweep = run_validation(scenario, runner, seed=args.seed,
+                               trials=args.trials, baseline=args.baseline,
+                               executor=session.scheduler(), obs=obs,
+                               cache=cache,
+                               telemetry=telemetry, progress=progress)
     wall_s = _time.perf_counter() - t0
     cpu_s = sum(_os.times()[:4]) - cpu0
     if progress is not None:
@@ -631,13 +654,23 @@ def _cmd_metrics(args) -> int:
 
 def _cmd_characterize(args) -> int:
     scenario = _resolve_scenario_arg(args.scenario)
-    workers = args.workers if args.workers is not None else default_workers()
     obs = ObsConfig(metrics=True) if args.metrics_out else None
     trial_metrics: List[Dict[str, Any]] = []
-    character = characterize_scenario_parallel(
-        scenario, seed=args.seed, trials=args.trials, workers=workers,
-        obs=obs, trial_metrics=trial_metrics)
-    print(character.render())
+    with RuntimeSession(ExecutionConfig.from_args(args)) as session:
+        character = characterize_scenario_parallel(
+            scenario, seed=args.seed, trials=args.trials,
+            executor=session.scheduler(), obs=obs,
+            trial_metrics=trial_metrics)
+        table = character.render()
+        print(table)
+        if args.run_dir:
+            record = session.record(command_ledger_record(
+                command="characterize", scenarios=[scenario.name],
+                seed=args.seed, wall_s=session.wall_s(),
+                scheduler=session.scheduler(), output=table,
+                status="ok"))
+            print(f"appended run manifest to {session.ledger().path} "
+                  f"(schema {record['schema']})")
     _write_obs_outputs(trial_metrics, args.metrics_out, None)
     return 0
 
@@ -733,30 +766,10 @@ def _cmd_compensation(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    from .check import (check_all, check_scenario, compare,
-                        inject_tick_undershoot, regenerate, smoke_check)
-    from .check.runner import DEFAULT_FTP_BYTES
-
-    cache = Pipeline(args.cache_dir) if args.cache_dir else None
-
-    if args.regen_golden:
-        written = regenerate(cache=cache)
-        for path in written:
-            print(f"wrote {path}")
-        return 0
-
-    def run_reports():
-        if args.smoke:
-            return [smoke_check(seed=args.seed, cache=cache)]
-        ftp_bytes = (args.ftp_bytes if args.ftp_bytes is not None
-                     else DEFAULT_FTP_BYTES)
-        if args.scenario == "all":
-            return check_all(seed=args.seed, trial=args.trial,
-                             ftp_bytes=ftp_bytes, cache=cache)
-        scenario = _resolve_scenario_arg(args.scenario)
-        return [check_scenario(scenario, seed=args.seed,
-                               trial=args.trial, ftp_bytes=ftp_bytes,
-                               cache=cache)]
+    from .check import (check_all, compare, inject_tick_undershoot,
+                        regenerate, smoke_check)
+    from .check.runner import (DEFAULT_FTP_BYTES, SMOKE_FTP_BYTES,
+                               SMOKE_SCENARIO)
 
     if args.mutate_tick:
         # The mutation smoke test: the monitors must FAIL under an
@@ -774,57 +787,127 @@ def _cmd_check(args) -> int:
               f"by {', '.join(caught)}")
         return 0
 
-    reports = run_reports()
-    failed = False
-    if args.as_json:
-        print(json.dumps([r.as_dict() for r in reports], indent=1))
-        failed = any(not r.ok for r in reports)
-    else:
-        for report in reports:
-            print(report.render())
-            failed = failed or not report.ok
-    if args.golden:
-        scenarios = None if args.scenario == "all" else [args.scenario]
-        diffs = compare(scenarios=scenarios, rtol=args.golden_rtol,
-                        cache=cache)
-        if diffs:
-            failed = True
-            for artifact, lines in sorted(diffs.items()):
-                for line in lines:
-                    print(f"golden {artifact}: {line}")
+    with RuntimeSession(ExecutionConfig.from_args(args)) as session:
+        cache = session.pipeline
+        executor = _session_executor(session)
+
+        if args.regen_golden:
+            written = regenerate(cache=cache, executor=executor)
+            for path in written:
+                print(f"wrote {path}")
+            if args.run_dir:
+                session.record(command_ledger_record(
+                    command="check", scenarios=[], seed=args.seed,
+                    wall_s=session.wall_s(), scheduler=executor,
+                    status="ok", extra={"regen_golden": True}))
+            return 0
+
+        # The smoke configuration is `check_all` over one scenario
+        # with a smaller transfer, so both tiers share one code path
+        # (and one executor, when parallel execution is requested).
+        if args.smoke:
+            names = [SMOKE_SCENARIO]
+            ftp_bytes = SMOKE_FTP_BYTES
         else:
-            print("golden corpus: all artifacts match")
-    if cache is not None:
-        print(cache.render_summary())
-    return 1 if failed else 0
+            ftp_bytes = (args.ftp_bytes if args.ftp_bytes is not None
+                         else DEFAULT_FTP_BYTES)
+            if args.scenario == "all":
+                names = None
+            else:
+                names = [_resolve_scenario_arg(args.scenario)]
+        reports = check_all(scenarios=names, seed=args.seed,
+                            trial=args.trial, ftp_bytes=ftp_bytes,
+                            cache=cache, executor=executor)
+        failed = False
+        if args.as_json:
+            output = json.dumps([r.as_dict() for r in reports], indent=1)
+            print(output)
+            failed = any(not r.ok for r in reports)
+        else:
+            rendered = []
+            for report in reports:
+                rendered.append(report.render())
+                print(rendered[-1])
+                failed = failed or not report.ok
+            output = "\n".join(rendered)
+        if args.golden:
+            scenarios = None if args.scenario == "all" else [args.scenario]
+            diffs = compare(scenarios=scenarios, rtol=args.golden_rtol,
+                            cache=cache, executor=executor)
+            if diffs:
+                failed = True
+                for artifact, lines in sorted(diffs.items()):
+                    for line in lines:
+                        print(f"golden {artifact}: {line}")
+            else:
+                print("golden corpus: all artifacts match")
+        if cache is not None:
+            # Cache accounting depends on how warm the store is (and,
+            # when parallel, on which process computed what), so it
+            # goes to stderr: stdout stays byte-identical across
+            # backends and reruns.
+            print(cache.render_summary(), file=sys.stderr)
+        if args.run_dir:
+            record = session.record(command_ledger_record(
+                command="check",
+                scenarios=[r.scenario for r in reports],
+                seed=args.seed, wall_s=session.wall_s(),
+                scheduler=executor,
+                cache={"hits": cache.hits, "misses": cache.misses}
+                if cache is not None else None,
+                output=output,
+                status="failed" if failed else "ok"))
+            print(f"appended run manifest to {session.ledger().path} "
+                  f"(schema {record['schema']})")
+        return 1 if failed else 0
 
 
 def _cmd_fuzz(args) -> int:
     from .check.fuzz import run_fuzz
 
-    cache = Pipeline(args.cache_dir) if args.cache_dir else None
-    progress = None
-    if args.progress:
-        def progress(done, total, name):
-            if name:
-                print(f"fuzz {done + 1}/{total}: {name}",
-                      file=sys.stderr)
+    with RuntimeSession(ExecutionConfig.from_args(args)) as session:
+        cache = session.pipeline
+        executor = _session_executor(session)
+        progress = None
+        if args.progress:
+            def progress(done, total, name):
+                if name:
+                    print(f"fuzz {done + 1}/{total}: {name}",
+                          file=sys.stderr)
 
-    run = run_fuzz(args.count, seed=args.seed, kinds=args.kinds,
-                   ftp_bytes=args.ftp_bytes,
-                   corpus_dir=args.corpus_dir,
-                   artifact_dir=args.artifact_dir, cache=cache,
-                   shrink=not args.no_shrink,
-                   shrink_budget=args.shrink_budget, progress=progress)
-    if args.as_json:
-        print(json.dumps(run.as_dict(), indent=1))
-    else:
-        print(run.render())
-    if cache is not None:
-        # Cache accounting differs between cold and warm runs, so it
-        # goes to stderr: stdout stays byte-identical across reruns.
-        print(cache.render_summary(), file=sys.stderr)
-    return 0 if run.ok else 1
+        run = run_fuzz(args.count, seed=args.seed, kinds=args.kinds,
+                       ftp_bytes=args.ftp_bytes,
+                       corpus_dir=args.corpus_dir,
+                       artifact_dir=args.artifact_dir, cache=cache,
+                       shrink=not args.no_shrink,
+                       shrink_budget=args.shrink_budget,
+                       progress=progress, executor=executor)
+        if args.as_json:
+            output = json.dumps(run.as_dict(), indent=1)
+        else:
+            output = run.render()
+        print(output)
+        if cache is not None:
+            # Cache accounting differs between cold and warm runs, so
+            # it goes to stderr: stdout stays byte-identical across
+            # reruns.
+            print(cache.render_summary(), file=sys.stderr)
+        if args.run_dir:
+            record = session.record(command_ledger_record(
+                command="fuzz",
+                scenarios=[f.original.name for f in run.findings],
+                seed=args.seed, wall_s=session.wall_s(),
+                scheduler=executor,
+                cache={"hits": cache.hits, "misses": cache.misses}
+                if cache is not None else None,
+                output=output,
+                status="ok" if run.ok else "failed",
+                extra={"count": run.count, "checked": run.checked,
+                       "corpus_digest": run.corpus_digest,
+                       "findings": len(run.findings)}))
+            print(f"appended run manifest to {session.ledger().path} "
+                  f"(schema {record['schema']})")
+        return 0 if run.ok else 1
 
 
 COMMANDS = {
@@ -846,7 +929,14 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # The scheduler has already cancelled outstanding chunks and
+        # torn the backend down (JobFuture.result intercepts the
+        # interrupt); 130 is the conventional SIGINT exit status.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

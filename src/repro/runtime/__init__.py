@@ -1,0 +1,89 @@
+"""``repro.runtime`` — the unified execution runtime.
+
+One scheduler, pluggable backends, generic jobs: every bulk workload
+in the repo (validation sweeps, invariant checks, golden regeneration,
+scenario fuzzing) drives through this package, and all of them produce
+byte-identical output on every backend.  See ``docs/RUNTIME.md`` for
+the job lifecycle, the Backend protocol, and how to add a backend.
+
+Layering (lowest first):
+
+``job``
+    :class:`Job` / :class:`JobResult` — the unit of work and its wire
+    result; runner references; the job-kind registry.
+``backends``
+    The :class:`Backend` protocol and its implementations
+    (:class:`SerialBackend`, :class:`PoolBackend`,
+    :class:`LoopbackSocketBackend`), plus the worker-side chunk
+    executor they share.
+``scheduler``
+    :class:`Scheduler` — chunking, ordering, caching, retry,
+    rehydration, interrupt teardown.
+``session``
+    :class:`RuntimeSession` — per-invocation wiring of pipeline,
+    scheduler, progress and run ledger for the CLI.
+"""
+
+from .backends import (
+    Backend,
+    BackendBroken,
+    BackendUnavailable,
+    LoopbackSocketBackend,
+    PoolBackend,
+    SerialBackend,
+    execute_wire_chunk,
+    worker_store,
+)
+from .job import (
+    Job,
+    JobResult,
+    JobTransportError,
+    ResultEnvelope,
+    TransportFailure,
+    register_job_kind,
+    registered_job_kinds,
+    resolve_runner,
+    runner_ref,
+)
+from .scheduler import (
+    CHUNK_THRESHOLD,
+    TRANSPORTS,
+    JobFuture,
+    Scheduler,
+    default_workers,
+)
+from .session import (
+    ExecutionConfig,
+    RuntimeSession,
+    command_ledger_record,
+    shared_pipeline,
+)
+
+__all__ = [
+    "Backend",
+    "BackendBroken",
+    "BackendUnavailable",
+    "CHUNK_THRESHOLD",
+    "ExecutionConfig",
+    "Job",
+    "JobFuture",
+    "JobResult",
+    "JobTransportError",
+    "LoopbackSocketBackend",
+    "PoolBackend",
+    "ResultEnvelope",
+    "RuntimeSession",
+    "Scheduler",
+    "SerialBackend",
+    "TRANSPORTS",
+    "TransportFailure",
+    "command_ledger_record",
+    "default_workers",
+    "execute_wire_chunk",
+    "register_job_kind",
+    "registered_job_kinds",
+    "resolve_runner",
+    "runner_ref",
+    "shared_pipeline",
+    "worker_store",
+]

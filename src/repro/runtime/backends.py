@@ -1,0 +1,543 @@
+"""Execution backends: where chunks of jobs actually run.
+
+A backend is the *mechanism* under the scheduler: it owns worker
+lifecycle (spawn, warm-up, teardown) and moves opaque chunk frames to
+workers and back.  Everything above it — chunking, ordering, caching,
+retry, result rehydration — lives in :mod:`repro.runtime.scheduler`
+and is backend-agnostic, which is what makes every backend produce
+byte-identical results.
+
+Three implementations:
+
+:class:`SerialBackend`
+    No workers at all.  The scheduler executes jobs lazily in the
+    parent process; this class exists so "serial" is a first-class
+    member of the backend matrix rather than a missing pool.
+:class:`PoolBackend`
+    A warm ``ProcessPoolExecutor``: workers are initialized once per
+    process (scenario registry resolved, shared artifact store opened,
+    garbage collection frozen and moved to chunk boundaries) and
+    reused across phases and subcommands.
+:class:`LoopbackSocketBackend`
+    Worker subprocesses reached over a length-prefixed TCP protocol on
+    localhost — the seed of a multi-node scheduler.  The wire protocol
+    carries only opaque chunk frames (the same bytes the pool pipes
+    carry), workers bootstrap themselves from a ``repro.runtime.worker``
+    entry point, and bulk results still travel through the shared
+    artifact store; only the machine boundary is simulated.  Exercised
+    on localhost so it is CI-testable.
+
+The worker-side entry point :func:`execute_wire_chunk` is shared by
+every remote backend: it decodes a chunk frame, resolves each job's
+runner by reference, executes, seals bulk results into the shared
+store (envelope data plane), and ships back per-job
+:class:`~repro.runtime.job.JobResult` frames plus the chunk's
+telemetry spans.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import pickle
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from queue import Empty, SimpleQueue
+from typing import Any, List, Optional, Tuple
+
+from ..obs.telemetry import (
+    capture_begin,
+    capture_end,
+    pack_spans,
+    record_point,
+    span_begin,
+    span_end,
+)
+from ..pipeline import ArtifactStore, codec
+from .job import JobResult, JobTransportError, resolve_runner
+
+__all__ = [
+    "Backend",
+    "BackendBroken",
+    "BackendUnavailable",
+    "LoopbackSocketBackend",
+    "PoolBackend",
+    "SerialBackend",
+    "execute_wire_chunk",
+    "worker_store",
+]
+
+
+class BackendUnavailable(RuntimeError):
+    """The backend cannot start in this environment (restricted
+    sandbox, missing semaphores, no sockets).  The scheduler degrades
+    to serial execution and records why."""
+
+
+class BackendBroken(RuntimeError):
+    """The backend died mid-flight (worker crash, closed socket).  The
+    scheduler re-executes affected jobs in the parent process."""
+
+
+# ======================================================================
+# Worker-process state
+# ======================================================================
+# The shared artifact store envelopes travel through, opened once per
+# worker process by the backend's initializer.
+_WORKER_STORE: Optional[ArtifactStore] = None
+
+# A worker runs gc.collect() between chunks instead of letting the
+# cyclic collector interrupt jobs; past this many chunk executions
+# without a sweep it collects unconditionally.
+_GC_CHUNKS_PER_SWEEP = 4
+_worker_chunks_since_gc = 0
+
+
+def worker_store() -> Optional[ArtifactStore]:
+    """This worker process's shared artifact store (``None`` in the
+    parent, or when the backend runs without a store)."""
+    return _WORKER_STORE
+
+
+def _worker_init(store_root: Optional[str]) -> None:
+    """Warm one worker process: open the shared artifact store and
+    resolve the scenario registry once, so individual jobs pay
+    neither.
+
+    Also moves garbage collection to chunk boundaries: the parent's
+    heap (modules, scenario registry, codec tables) is frozen out of
+    the collector's reach — it is effectively immortal in a forked
+    worker, and scanning it on every generation-2 pass is the single
+    largest fixed tax on job execution — and the automatic collector
+    is disabled.  Jobs allocate in bursts; :func:`execute_wire_chunk`
+    sweeps cycles explicitly between chunks, where a pause costs
+    nothing.
+
+    SIGINT is ignored: a Ctrl-C at the terminal belongs to the parent,
+    which cancels outstanding chunks and shuts the backend down
+    cleanly — workers must not die mid-chunk with tracebacks.
+    """
+    global _WORKER_STORE, _worker_chunks_since_gc
+    _worker_chunks_since_gc = 0
+    _WORKER_STORE = ArtifactStore(store_root) if store_root else None
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    from ..scenarios import registry
+
+    registry.registered_scenarios()
+    gc.freeze()
+    gc.disable()
+
+
+# Results whose encoded artifact is smaller than this ride the backend
+# pipe/socket inline: below it, a store write + parent read + digest
+# check costs more than just shipping the bytes.  Bulk artifacts
+# (trace record lists, distillation results) sit far above it.
+_ENVELOPE_MIN_BYTES = 4096
+
+
+def _seal(result: Any, key: str, kind: str) -> JobResult:
+    """Encode a result, park it in the worker's shared store, and
+    return the envelope.  Small results, results the codec cannot
+    frame, and results the store cannot take are returned raw instead
+    (the pipe path for this item)."""
+    tok = span_begin()
+    t0 = time.perf_counter_ns()
+    try:
+        blob = codec.encode_gz(result)
+    except codec.CodecError:
+        return JobResult.of(result)
+    encode_ns = time.perf_counter_ns() - t0
+    span_end(tok, "encode", kind, nbytes=len(blob))
+    if len(blob) < _ENVELOPE_MIN_BYTES:
+        return JobResult.of(result)
+    tok = span_begin()
+    try:
+        _WORKER_STORE.put_encoded(key, blob, meta={"stage": kind})
+    except OSError:
+        return JobResult.of(result)
+    span_end(tok, "store_write", kind, nbytes=len(blob))
+    from .job import ResultEnvelope
+
+    return JobResult.enveloped(ResultEnvelope(
+        key=key, digest=codec.content_digest(blob),
+        nbytes=len(blob), encode_ns=encode_ns))
+
+
+def execute_wire_chunk(wire: bytes, envelope: bool,
+                       telemetry_ctx: Optional[Tuple[str, int]] = None
+                       ) -> bytes:
+    """Run a chunk of jobs in one backend round-trip.
+
+    ``wire`` is a pickled list of ``(runner_ref, kind, label, payload,
+    key)`` tuples; the return is a pickled ``(results, spans_blob)``
+    pair — per-item :class:`~repro.runtime.job.JobResult` frames
+    aligned with the input, plus the chunk's stage spans as one codec
+    frame (or ``None`` when telemetry is off).  Pickling is done here,
+    not by the backend, so the parent can count the exact bytes that
+    crossed the process boundary.
+
+    ``telemetry_ctx`` is ``(sweep_id, submit_ns)``: its presence turns
+    span capture on for this chunk, and ``submit_ns`` (the parent's
+    wall clock at submission) yields the queue-wait span — clamped at
+    zero, since wall clocks across processes may disagree by more than
+    a short queue wait.
+    """
+    chunk_tok = None
+    if telemetry_ctx is not None:
+        sweep_id, submit_ns = telemetry_ctx
+        capture_begin(sweep_id)
+        now = time.time_ns()
+        record_point("queue", ts=submit_ns, dur=now - submit_ns)
+        chunk_tok = span_begin()
+    items: List[Tuple[str, str, str, Any, str]] = pickle.loads(wire)
+    out: List[JobResult] = []
+    for runner_ref, kind, label, payload, key in items:
+        tok = span_begin()
+        try:
+            runner = resolve_runner(runner_ref)
+            result = runner(payload)
+        except JobTransportError as exc:
+            span_end(tok, kind, label, failed=True)
+            out.append(JobResult.failed(str(exc)))
+            continue
+        span_end(tok, kind, label)
+        if envelope and _WORKER_STORE is not None:
+            out.append(_seal(result, key, kind))
+        else:
+            out.append(JobResult.of(result))
+    spans_blob = None
+    if telemetry_ctx is not None:
+        span_end(chunk_tok, "chunk", f"{len(items)} job(s)")
+        spans_blob = codec.encode(pack_spans(capture_end()))
+    wire_out = pickle.dumps((out, spans_blob),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+    global _worker_chunks_since_gc
+    if not gc.isenabled():
+        _worker_chunks_since_gc += 1
+        if _worker_chunks_since_gc >= _GC_CHUNKS_PER_SWEEP:
+            _worker_chunks_since_gc = 0
+            gc.collect()
+    return wire_out
+
+
+# ======================================================================
+# Wire framing (shared with repro.runtime.worker)
+# ======================================================================
+_FRAME_HEADER = struct.Struct("<Q")
+
+
+def send_frame(sock: socket.socket, obj: Any) -> int:
+    """Pickle ``obj`` and send it length-prefixed; returns frame size."""
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_FRAME_HEADER.pack(len(blob)) + blob)
+    return len(blob)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Receive one length-prefixed pickled frame (raises
+    :class:`BackendBroken` on a short read — the peer went away)."""
+    header = _recv_exact(sock, _FRAME_HEADER.size)
+    (length,) = _FRAME_HEADER.unpack(header)
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise BackendBroken("socket closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ======================================================================
+# Backends
+# ======================================================================
+class Backend:
+    """The protocol a scheduler backend implements.
+
+    ``remote`` says whether chunks cross a process boundary (``False``
+    only for :class:`SerialBackend`, which the scheduler special-cases
+    into lazy in-parent execution).  ``start`` receives the shared
+    store root (or ``None`` on the pickle data plane) and must raise
+    :class:`BackendUnavailable` if this environment cannot host the
+    backend.  ``submit`` takes the opaque chunk frame produced by the
+    scheduler and returns a future resolving to the worker's reply
+    frame; a dead backend surfaces as :class:`BackendBroken` (or
+    ``BrokenProcessPool``) either from ``submit`` or from the future.
+    ``shutdown(cancel=True)`` additionally drops chunks that have not
+    started (the Ctrl-C path).
+    """
+
+    name = "backend"
+    remote = True
+
+    def start(self, store_root: Optional[str]) -> None:
+        raise NotImplementedError
+
+    def pool_size(self) -> int:
+        raise NotImplementedError
+
+    def submit(self, wire: bytes, envelope: bool,
+               telemetry_ctx: Optional[Tuple[str, int]]) -> Future:
+        raise NotImplementedError
+
+    def shutdown(self, cancel: bool = False) -> None:
+        raise NotImplementedError
+
+
+class SerialBackend(Backend):
+    """In-parent execution: no workers, no transport, no pickling.
+
+    The scheduler never calls ``submit`` on it — jobs run lazily on
+    first result access via the very same runner functions a worker
+    would call, which is what makes serial the reference point of the
+    equivalence matrix."""
+
+    name = "serial"
+    remote = False
+
+    def start(self, store_root: Optional[str]) -> None:
+        pass
+
+    def pool_size(self) -> int:
+        return 1
+
+    def submit(self, wire: bytes, envelope: bool,
+               telemetry_ctx: Optional[Tuple[str, int]]) -> Future:
+        raise BackendUnavailable("serial backend takes no submissions")
+
+    def shutdown(self, cancel: bool = False) -> None:
+        pass
+
+
+class PoolBackend(Backend):
+    """The warm GC-frozen ``ProcessPoolExecutor`` (PR-5 lineage).
+
+    ``workers`` is capped at core count + 1: heavy oversubscription
+    cannot finish CPU-bound jobs sooner — it only time-slices them,
+    which *stretches the longest job* (the sweep's critical path)
+    while cheap work drains around it.  One extra worker beyond the
+    core count soaks up the slack whenever a sibling blocks on store
+    I/O (the ``make -j N+1`` rule).
+    """
+
+    name = "pool"
+    remote = True
+
+    def __init__(self, workers: int):
+        self.workers = max(1, int(workers))
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def pool_size(self) -> int:
+        cores = os.cpu_count() or self.workers
+        return max(1, min(self.workers, cores + 1))
+
+    def start(self, store_root: Optional[str]) -> None:
+        if self._pool is not None:
+            return
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.pool_size(),
+                initializer=_worker_init, initargs=(store_root,))
+        except (OSError, ValueError, NotImplementedError,
+                ImportError) as exc:
+            raise BackendUnavailable(
+                f"pool unavailable: {type(exc).__name__}: {exc}")
+
+    def submit(self, wire: bytes, envelope: bool,
+               telemetry_ctx: Optional[Tuple[str, int]]) -> Future:
+        if self._pool is None:
+            raise BackendBroken("pool backend not started")
+        try:
+            return self._pool.submit(execute_wire_chunk, wire, envelope,
+                                     telemetry_ctx)
+        except (BrokenProcessPool, OSError, RuntimeError) as exc:
+            raise BackendBroken(
+                f"process pool broke: {type(exc).__name__}: {exc}")
+
+    def shutdown(self, cancel: bool = False) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=cancel)
+            self._pool = None
+
+
+class LoopbackSocketBackend(Backend):
+    """Worker subprocesses reached over length-prefixed TCP frames.
+
+    The parent binds an ephemeral localhost listener, spawns
+    ``workers`` interpreter subprocesses running
+    ``python -m repro.runtime.worker --port <p>``, and hands each
+    accepted connection to a dispatcher thread that feeds it chunks
+    from a shared queue — work-conserving scheduling with zero
+    protocol beyond "one request frame, one reply frame".  Workers
+    initialize exactly like pool workers (:func:`_worker_init` via the
+    entry point), so results are byte-identical to every other
+    backend.
+
+    Unlike the pool, worker count is *not* capped at core count: the
+    backend exists to exercise the multi-node wire protocol, and a
+    4-worker matrix row must mean 4 real worker processes even on a
+    small CI box.
+    """
+
+    name = "socket"
+    remote = True
+
+    # How long to wait for a spawned worker to connect back before
+    # declaring the backend unavailable (imports on a cold FS can be
+    # slow; a worker that crashes on startup fails much faster).
+    ACCEPT_TIMEOUT_S = 60.0
+
+    def __init__(self, workers: int):
+        self.workers = max(1, int(workers))
+        self._listener: Optional[socket.socket] = None
+        self._procs: List[subprocess.Popen] = []
+        self._threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._queue: "SimpleQueue" = SimpleQueue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self.worker_pids: List[int] = []
+
+    def pool_size(self) -> int:
+        return self.workers
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, store_root: Optional[str]) -> None:
+        if self._conns:
+            return
+        try:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(self.workers)
+        except OSError as exc:
+            raise BackendUnavailable(f"cannot bind loopback socket: {exc}")
+        self._listener = listener
+        port = listener.getsockname()[1]
+        env = dict(os.environ)
+        # Make the repro package importable in the fresh interpreter
+        # regardless of how the parent found it (installed, src tree,
+        # pytest pythonpath).
+        pkg_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        parts = [pkg_root] + [p for p in sys.path if p]
+        if env.get("PYTHONPATH"):
+            parts.append(env["PYTHONPATH"])
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        cmd = [sys.executable, "-m", "repro.runtime.worker",
+               "--port", str(port)]
+        if store_root:
+            cmd.extend(["--store-root", store_root])
+        try:
+            for _ in range(self.workers):
+                self._procs.append(subprocess.Popen(
+                    cmd, env=env, stdin=subprocess.DEVNULL))
+        except OSError as exc:
+            self.shutdown()
+            raise BackendUnavailable(f"cannot spawn socket worker: {exc}")
+        listener.settimeout(self.ACCEPT_TIMEOUT_S)
+        try:
+            for _ in range(self.workers):
+                conn, _addr = listener.accept()
+                conn.settimeout(None)
+                hello = recv_frame(conn)
+                self.worker_pids.append(int(hello.get("pid", 0)))
+                self._conns.append(conn)
+        except (socket.timeout, OSError, BackendBroken) as exc:
+            self.shutdown()
+            raise BackendUnavailable(
+                f"socket worker failed to connect: {exc}")
+        for i, conn in enumerate(self._conns):
+            thread = threading.Thread(target=self._dispatch, args=(conn,),
+                                      name=f"repro-socket-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, wire: bytes, envelope: bool,
+               telemetry_ctx: Optional[Tuple[str, int]]) -> Future:
+        if self._closed or not self._conns:
+            raise BackendBroken("socket backend is closed")
+        future: Future = Future()
+        self._queue.put((wire, envelope, telemetry_ctx, future))
+        return future
+
+    def _dispatch(self, conn: socket.socket) -> None:
+        """One dispatcher thread per worker connection: pull a chunk,
+        round-trip it, resolve its future.  A dead connection fails the
+        in-flight future; queued chunks stay available to the
+        surviving workers."""
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            wire, envelope, telemetry_ctx, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                send_frame(conn, (wire, envelope, telemetry_ctx))
+                ok, reply = recv_frame(conn)
+            except (OSError, BackendBroken, pickle.PickleError) as exc:
+                future.set_exception(BackendBroken(
+                    f"socket worker died: {exc}"))
+                return
+            if ok:
+                future.set_result(reply)
+            else:
+                future.set_exception(BackendBroken(
+                    f"socket worker error: {reply}"))
+
+    def shutdown(self, cancel: bool = False) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if cancel:
+            # Drop chunks that have not started; their futures cancel
+            # and the scheduler never reads them again.
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except Empty:
+                    break
+                if item is not None:
+                    item[3].cancel()
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        for conn in self._conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+                    proc.wait()
+        self._conns = []
+        self._threads = []
+        self._procs = []

@@ -1,0 +1,76 @@
+"""Socket-backend worker: ``python -m repro.runtime.worker``.
+
+Spawned by :class:`~repro.runtime.backends.LoopbackSocketBackend`, one
+process per worker.  The bootstrap mirrors a pool worker exactly —
+:func:`~repro.runtime.backends._worker_init` opens the shared store,
+warms the scenario registry, freezes the GC, ignores SIGINT — then the
+process connects back to the parent's listener, announces itself, and
+serves a strict one-request-one-reply loop: each request frame is
+``(wire, envelope, telemetry_ctx)``, each reply frame is ``(ok,
+payload)`` where ``payload`` is the chunk's result bytes from
+:func:`~repro.runtime.backends.execute_wire_chunk` (or the error text
+when ``ok`` is false).  EOF on the socket is the shutdown signal.
+
+Runner code is resolved by reference inside ``execute_wire_chunk``, so
+this module stays ignorant of what the jobs *are* — the property that
+makes the wire protocol reusable for ROADMAP item 2's multi-node
+scheduler, where this same entry point runs on a different machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import traceback
+
+from .backends import (
+    BackendBroken,
+    _worker_init,
+    execute_wire_chunk,
+    recv_frame,
+    send_frame,
+)
+
+
+def serve(host: str, port: int, store_root: str | None) -> int:
+    _worker_init(store_root or None)
+    conn = socket.create_connection((host, port))
+    try:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - platform quirk, latency only
+        pass
+    send_frame(conn, {"pid": os.getpid()})
+    try:
+        while True:
+            try:
+                request = recv_frame(conn)
+            except (BackendBroken, OSError):
+                return 0  # parent closed the connection: clean shutdown
+            wire, envelope, telemetry_ctx = request
+            try:
+                reply = execute_wire_chunk(wire, envelope, telemetry_ctx)
+                send_frame(conn, (True, reply))
+            except (OSError, BackendBroken):
+                return 0
+            except Exception:  # noqa: BLE001 - report, don't die silently
+                try:
+                    send_frame(conn, (False, traceback.format_exc()))
+                except (OSError, BackendBroken):
+                    return 0
+    finally:
+        conn.close()
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.runtime.worker")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--store-root", default=None)
+    args = parser.parse_args(argv)
+    return serve(args.host, args.port, args.store_root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

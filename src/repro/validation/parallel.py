@@ -1,4 +1,4 @@
-"""Parallel trial fan-out for the validation harness.
+"""Validation trials on the unified execution runtime.
 
 Every figure in the paper's evaluation is built from batches of
 *independent, seeded* trials: four live runs, four trace-collection
@@ -9,14 +9,17 @@ depend only on ``(scenario, runner, seed, trial)`` — which makes them
 embarrassingly parallel *and* guarantees that a parallel run is
 bit-identical to a serial one.
 
-This module fans those trials out over a ``ProcessPoolExecutor``:
+This module is the *trial-specific glue* over :mod:`repro.runtime` —
+all scheduling, worker-pool lifecycle, transport, chunking, retry and
+rehydration machinery lives there.  What stays here:
 
-* :class:`TrialSpec` — a picklable description of one trial;
-* :func:`execute_trial` — the worker entry point (module-level, so it
-  pickles by reference);
-* :class:`TrialExecutor` — an order-preserving map over specs with a
-  configurable worker count, a warm worker pool, and an automatic —
-  but *accounted* — serial fallback;
+* :class:`TrialSpec` — a picklable description of one trial (one
+  registered job kind of the runtime);
+* :func:`execute_trial` — the trial runner (module-level, resolved by
+  reference in workers);
+* :class:`TrialExecutor` — the
+  :class:`~repro.runtime.scheduler.Scheduler` subclass that accepts
+  trial specs (converting them to runtime jobs);
 * :func:`run_validation` — the full multi-scenario sweep (the paper's
   Figures 6–8 protocol), collection and benchmark phases each fanned
   out across *all* scenarios at once;
@@ -25,59 +28,25 @@ This module fans those trials out over a ``ProcessPoolExecutor``:
   entry points in :mod:`repro.validation.harness` and
   :mod:`repro.validation.figures`.
 
-The data plane between workers and the parent has two transports:
+The worker→parent data plane (``"envelope"`` store-mediated handoff
+vs ``"pickle"`` through the pipe) and the backend choice (warm process
+pool vs loopback-socket workers) are the scheduler's business; see
+:mod:`repro.runtime.backends`.  Modulated trials receive their replay
+by store reference (``replay_ref``) when the envelope plane is active
+— the spec's ``slim_payload`` wire variant strips the materialized
+replay, and each worker memoizes decoded replays, so a distilled
+trace is shipped to each worker process at most once per sweep.
 
-``"envelope"`` (the default on a pool)
-    Bulk trial results never cross the pipe as Python pickles.  A
-    worker encodes its result with the binary artifact codec
-    (:mod:`repro.pipeline.codec`), writes it to a shared
-    content-addressed :class:`~repro.pipeline.ArtifactStore` — the
-    sweep's ``--cache-dir`` store when one is configured, else a
-    tempdir-backed store owned by the executor — and returns only a
-    tiny :class:`ResultEnvelope` ``(key, digest, nbytes, encode_ns)``.
-    The parent rehydrates lazily from the store, verifying the
-    digest.  Modulated trials receive their replay by store reference
-    (``replay_ref``) instead of a materialized copy, and each worker
-    memoizes decoded replays, so a distilled trace is shipped to each
-    worker process at most once per sweep.
-``"pickle"``
-    The pre-envelope behaviour: results come back through the pool's
-    result pipe.  Still available (``transport="pickle"``) for
-    comparison benchmarks and as the measurement baseline.
-
-Cheap trials (live, modulated, Ethernet — one benchmark transfer
-each) are submitted in *chunks* so a 4-scenario sweep costs dozens,
-not hundreds, of pool round-trips; expensive collection+distill
-trials travel alone.  Workers are warmed once per process by a pool
-initializer (scenario registry resolved, store handle opened).
-
-Per-executor transport counters (``envelope_count``,
-``ipc_bytes_sent``/``ipc_bytes_recv``, ``artifact_bytes``,
-``encode_ns``, ``rehydrate_ns``, ``serial_fallbacks``) accumulate in a
-:class:`~repro.obs.registry.MetricsRegistry` on the executor and are
-surfaced through :attr:`ValidationSweep.transport`.  Every fallback to
-in-process execution records *why* (:attr:`TrialExecutor.fallback_reason`)
-instead of silently degrading.
-
-Determinism contract: for any ``workers`` value and either transport
-(including every fallback path), results are byte-identical to
-``workers=1`` because every spec is executed by the same pure function
-with the same arguments, the codec round-trip is exact, and results
-are reassembled in submission order.  The only ordering freedom the
-pool has is *wall-clock* completion order, which is never observed.
+Determinism contract: for any ``workers`` value, any transport and
+any backend (including every fallback path), results are
+byte-identical to ``workers=1`` because every spec is executed by the
+same pure function with the same arguments, the codec round-trip is
+exact, and results are reassembled in submission order.
 """
 
 from __future__ import annotations
 
-import gc
 import math
-import os
-import pickle
-import shutil
-import tempfile
-import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -85,20 +54,8 @@ from ..analysis.stats import Summary
 from ..core.distill import DistillationResult, Distiller
 from ..core.replay import ReplayTrace
 from ..obs import ObsConfig
-from ..obs.registry import MetricsRegistry
-from ..obs.telemetry import (
-    SweepProgress,
-    SweepTelemetry,
-    capture_begin,
-    capture_end,
-    pack_spans,
-    record_point,
-    span_begin,
-    span_end,
-    unpack_spans,
-)
+from ..obs.telemetry import SweepProgress, SweepTelemetry, span_begin, span_end
 from ..pipeline import (
-    ArtifactStore,
     CollectStage,
     CompensationStage,
     DistillStage,
@@ -110,6 +67,15 @@ from ..pipeline import (
     codec,
     digest,
 )
+from ..runtime.backends import worker_store
+from ..runtime.job import (
+    Job,
+    JobTransportError,
+    ResultEnvelope,
+    register_job_kind,
+    runner_ref,
+)
+from ..runtime.scheduler import JobFuture, Scheduler, default_workers
 from ..scenarios.base import Scenario
 from .harness import (
     BenchmarkRunner,
@@ -129,6 +95,7 @@ __all__ = [
     "ResultEnvelope",
     "ValidationSweep",
     "execute_trial",
+    "job_for_spec",
     "run_validation",
     "spec_fingerprint",
     "validate_scenario_parallel",
@@ -136,16 +103,6 @@ __all__ = [
     "characterize_scenario_parallel",
     "default_workers",
 ]
-
-# Specs whose cost hint is below this travel together in one chunked
-# pool submission; everything above it (collection+distill traversals)
-# gets a worker to itself.  Affects scheduling only, never results.
-_CHUNK_THRESHOLD = 100.0
-
-
-def default_workers() -> int:
-    """Worker count used when the caller does not pin one."""
-    return os.cpu_count() or 1
 
 
 # ======================================================================
@@ -179,8 +136,8 @@ class TrialSpec:
     ``{"__distill__": ..., "__obs__": ...}`` wrapper instead.
 
     ``replay_ref`` names the distill artifact holding this modulated
-    trial's replay in the executor's shared store.  On the envelope
-    transport the materialized ``replay`` is stripped from the wire
+    trial's replay in the scheduler's shared store.  On the envelope
+    data plane the materialized ``replay`` is stripped from the wire
     copy and workers resolve the reference (memoized per process);
     every other path uses ``replay`` directly.  The two are always
     byte-equivalent — the codec round-trip is exact — so the transport
@@ -242,66 +199,16 @@ class TrialSpec:
         return 5.0
 
 
-@dataclass(frozen=True)
-class ResultEnvelope:
-    """What a worker returns instead of a bulk result: the shared-store
-    key holding the encoded artifact, its content digest (verified by
-    the parent before use), and the worker-side cost counters."""
-
-    key: str
-    digest: str
-    nbytes: int
-    encode_ns: int
+class _ReplayResolveError(JobTransportError):
+    """A ``replay_ref`` that the worker's shared store cannot supply.
+    A :class:`JobTransportError`, so the chunk executor converts it to
+    a transport failure and the parent re-executes with the
+    materialized replay — a transport hiccup must never surface as a
+    wrong result."""
 
 
-@dataclass(frozen=True)
-class _TransportFailure:
-    """Worker-side transport problem (unresolvable ``replay_ref``).
-    The parent recomputes the trial in-process and records the reason —
-    a transport hiccup must never surface as a wrong result."""
-
-    reason: str
-
-
-class _ReplayResolveError(RuntimeError):
-    """A ``replay_ref`` that the worker's shared store cannot supply."""
-
-
-# -- worker-process state (set by the pool initializer) ----------------
-_WORKER_STORE: Optional[ArtifactStore] = None
+# Decoded replays memoized per worker process (see TrialSpec.replay_ref).
 _WORKER_REPLAY_CACHE: Dict[str, ReplayTrace] = {}
-
-
-# A worker runs gc.collect() between chunks instead of letting the
-# cyclic collector interrupt trials; past this many chunk executions
-# without a sweep it collects unconditionally.
-_GC_CHUNKS_PER_SWEEP = 4
-_worker_chunks_since_gc = 0
-
-
-def _pool_init(store_root: Optional[str]) -> None:
-    """Warm one worker process: open the shared artifact store and
-    resolve the scenario registry once, so individual trials pay
-    neither.
-
-    Also moves garbage collection to chunk boundaries: the parent's
-    heap (modules, scenario registry, codec tables) is frozen out of
-    the collector's reach — it is effectively immortal in a forked
-    worker, and scanning it on every generation-2 pass is the single
-    largest fixed tax on trial execution — and the automatic collector
-    is disabled.  Trials allocate in bursts; :func:`_execute_chunk`
-    sweeps cycles explicitly between chunks, where a pause costs
-    nothing.
-    """
-    global _WORKER_STORE, _worker_chunks_since_gc
-    _WORKER_REPLAY_CACHE.clear()
-    _worker_chunks_since_gc = 0
-    _WORKER_STORE = ArtifactStore(store_root) if store_root else None
-    from ..scenarios import registry
-
-    registry.registered_scenarios()
-    gc.freeze()
-    gc.disable()
 
 
 def _resolve_replay(ref: Optional[str]) -> ReplayTrace:
@@ -312,10 +219,11 @@ def _resolve_replay(ref: Optional[str]) -> ReplayTrace:
     replay = _WORKER_REPLAY_CACHE.get(ref)
     if replay is not None:
         return replay
-    if _WORKER_STORE is None:
+    store = worker_store()
+    if store is None:
         raise _ReplayResolveError("worker has no shared store")
     tok = span_begin()
-    found, blob = _WORKER_STORE.raw_get(ref)
+    found, blob = store.raw_get(ref)
     if not found:
         raise _ReplayResolveError(
             f"distill artifact {ref[:12]}... missing from shared store")
@@ -332,7 +240,7 @@ def _resolve_replay(ref: Optional[str]) -> ReplayTrace:
 
 
 def execute_trial(spec: TrialSpec):
-    """Run one trial described by ``spec`` (the pool's worker function).
+    """Run one trial described by ``spec`` (the runtime's trial runner).
 
     Pure: the result depends only on the spec, so serial and parallel
     execution agree bit-for-bit.
@@ -365,87 +273,24 @@ def execute_trial(spec: TrialSpec):
     raise ValueError(f"unknown trial kind {spec.kind!r}")
 
 
-# Results whose encoded artifact is smaller than this ride the pool
-# pipe inline: below it, a store write + parent read + digest check
-# costs more than just shipping the bytes.  Bulk artifacts (trace
-# record lists, distillation results) sit far above it.
-_ENVELOPE_MIN_BYTES = 4096
+_EXECUTE_TRIAL = runner_ref(execute_trial)
+register_job_kind("trial", _EXECUTE_TRIAL)
 
 
-def _seal(result, key: str, kind: str):
-    """Encode a result, park it in the worker's shared store, and
-    return the envelope.  Small results, and results the store cannot
-    take, are returned raw instead (the pipe path for this item)."""
-    tok = span_begin()
-    t0 = time.perf_counter_ns()
-    blob = codec.encode_gz(result)
-    encode_ns = time.perf_counter_ns() - t0
-    span_end(tok, "encode", kind, nbytes=len(blob))
-    if len(blob) < _ENVELOPE_MIN_BYTES:
-        return result
-    tok = span_begin()
-    try:
-        _WORKER_STORE.put_encoded(key, blob, meta={"stage": kind})
-    except OSError:
-        return result
-    span_end(tok, "store_write", kind, nbytes=len(blob))
-    return ResultEnvelope(key=key, digest=codec.content_digest(blob),
-                          nbytes=len(blob), encode_ns=encode_ns)
+def job_for_spec(spec: TrialSpec) -> Job:
+    """The runtime job for one trial spec.
 
-
-def _execute_chunk(wire: bytes, envelope: bool,
-                   telemetry_ctx: Optional[Tuple[str, int]] = None) -> bytes:
-    """Run a chunk of trials in one pool round-trip.
-
-    ``wire`` is a pickled list of ``(spec, key)`` pairs; the return is
-    a pickled ``(payloads, spans_blob)`` pair — per-item payloads
-    (envelope / raw result / :class:`_TransportFailure`) aligned with
-    the input, plus the chunk's stage spans as one codec frame (or
-    ``None`` when telemetry is off).  Pickling is done here, not by the
-    pool, so the parent can count the exact bytes that crossed the
-    pipe.
-
-    ``telemetry_ctx`` is ``(sweep_id, submit_ns)``: its presence turns
-    span capture on for this chunk, and ``submit_ns`` (the parent's
-    wall clock at submission) yields the queue-wait span — clamped at
-    zero, since wall clocks across processes may disagree by more than
-    a short queue wait.
+    ``slim_payload`` (the envelope-plane wire variant) strips a
+    materialized replay whenever the spec also carries its store
+    reference, so a distilled trace crosses the process boundary at
+    most once per worker.
     """
-    chunk_tok = None
-    if telemetry_ctx is not None:
-        sweep_id, submit_ns = telemetry_ctx
-        capture_begin(sweep_id)
-        now = time.time_ns()
-        record_point("queue", ts=submit_ns, dur=now - submit_ns)
-        chunk_tok = span_begin()
-    items: List[Tuple[TrialSpec, str]] = pickle.loads(wire)
-    out: List[Any] = []
-    for spec, key in items:
-        trial_tok = span_begin()
-        try:
-            result = execute_trial(spec)
-        except _ReplayResolveError as exc:
-            span_end(trial_tok, spec.kind, spec.span_label(), failed=True)
-            out.append(_TransportFailure(reason=str(exc)))
-            continue
-        span_end(trial_tok, spec.kind, spec.span_label())
-        if envelope and _WORKER_STORE is not None:
-            out.append(_seal(result, key, spec.kind))
-        else:
-            out.append(result)
-    spans_blob = None
-    if telemetry_ctx is not None:
-        span_end(chunk_tok, "chunk", f"{len(items)} trial(s)")
-        spans_blob = codec.encode(pack_spans(capture_end()))
-    wire_out = pickle.dumps((out, spans_blob),
-                            protocol=pickle.HIGHEST_PROTOCOL)
-    global _worker_chunks_since_gc
-    if not gc.isenabled():
-        _worker_chunks_since_gc += 1
-        if _worker_chunks_since_gc >= _GC_CHUNKS_PER_SWEEP:
-            _worker_chunks_since_gc = 0
-            gc.collect()
-    return wire_out
+    slim = None
+    if spec.replay is not None and spec.replay_ref is not None:
+        slim = replace(spec, replay=None)
+    return Job(kind=spec.kind, runner=_EXECUTE_TRIAL, payload=spec,
+               label=spec.span_label(), fingerprint=spec.fingerprint,
+               cost_hint=spec.cost_hint(), slim_payload=slim)
 
 
 def spec_fingerprint(spec: TrialSpec,
@@ -495,469 +340,33 @@ def spec_fingerprint(spec: TrialSpec,
 # ======================================================================
 # The executor
 # ======================================================================
-class _ChunkHandle:
-    """One in-flight chunk: the pool future plus a decode-once cache,
-    shared by every :class:`_TrialFuture` whose spec rode in it."""
+class TrialExecutor(Scheduler):
+    """Order-preserving trial execution — the runtime
+    :class:`~repro.runtime.scheduler.Scheduler` specialized to accept
+    :class:`TrialSpec` batches.
 
-    __slots__ = ("future", "_payload")
-
-    def __init__(self, future):
-        self.future = future
-        self._payload = None
-
-    def payload(self, executor: Optional["TrialExecutor"]) -> List[Any]:
-        if self._payload is None:
-            raw = self.future.result()
-            if executor is not None:
-                executor.metrics.counter(
-                    "executor.ipc_bytes_recv").inc(len(raw))
-            payloads, spans_blob = pickle.loads(raw)
-            if spans_blob is not None and executor is not None \
-                    and executor.telemetry is not None:
-                try:
-                    executor.telemetry.extend(
-                        unpack_spans(codec.decode(spans_blob)))
-                except codec.CodecError:
-                    pass  # telemetry loss must never fail a trial
-            self._payload = payloads
-        return self._payload
-
-
-class _TrialFuture:
-    """Result handle for one submitted spec.
-
-    In serial mode the trial runs lazily on the first ``result()`` call;
-    on a pool it indexes into its chunk's payload and, if the pool
-    broke, the chunk would not pickle, or an envelope cannot be
-    rehydrated, recomputes the trial in-process (recording why on the
-    executor).  Either way ``result()`` returns exactly what
-    ``execute_trial(spec)`` returns, so the fallback paths cannot
-    change any result.
-
-    A future may instead be born *resolved* with a cached artifact
-    (``value=``), or carry a ``pipeline`` that accounts the computed
-    result under the spec's fingerprint the moment it lands — before
-    the caller can mutate it.  ``store_key``, when set, names the
-    shared-store artifact holding this result (the parent uses it to
-    pass replays to downstream modulated trials by reference).
+    ``submit`` / ``submit_all`` / ``map`` take trial specs and convert
+    them to runtime jobs (:func:`job_for_spec`); the inherited
+    ``submit_jobs`` / ``map_jobs`` remain available for generic jobs,
+    so one warm backend can serve a validation sweep and, say, a
+    golden regeneration in the same invocation.  Everything else —
+    worker counts, transports, caching, fallback accounting — is the
+    scheduler's contract; see its docstring.
     """
 
-    _UNSET = object()
-
-    def __init__(self, spec: TrialSpec, future: Optional[_ChunkHandle] = None,
-                 executor: Optional["TrialExecutor"] = None,
-                 value=_UNSET, pipeline: Optional[Pipeline] = None,
-                 chunk_index: int = 0, store_key: Optional[str] = None):
-        self._spec = spec
-        self._future = future
-        self._executor = executor
-        self._result = value
-        self._pipeline = pipeline
-        self._chunk_index = chunk_index
-        self.store_key = store_key
-
-    def result(self):
-        if self._result is not self._UNSET:
-            return self._result
-        value = self._UNSET
-        stored_remotely = False
-        if self._future is not None:
-            payload = None
-            try:
-                payload = self._future.payload(self._executor)
-            except (BrokenProcessPool, pickle.PickleError, OSError) as exc:
-                if self._executor is not None:
-                    self._executor._mark_broken(exc)
-            if payload is not None:
-                item = payload[self._chunk_index]
-                if isinstance(item, _TransportFailure):
-                    if self._executor is not None:
-                        self._executor._note_fallback(
-                            f"worker transport: {item.reason}")
-                elif isinstance(item, ResultEnvelope):
-                    value = self._rehydrate(item)
-                    if value is not self._UNSET:
-                        self.store_key = item.key
-                        stored_remotely = (
-                            self._executor is not None
-                            and self._executor._ipc_shared
-                            and item.key == self._spec.fingerprint)
-                else:
-                    value = item
-        if value is self._UNSET:
-            exe = self._executor
-            telemetry = exe.telemetry if exe is not None else None
-            if telemetry is not None:
-                tok = telemetry.begin()
-                value = execute_trial(self._spec)
-                telemetry.end(tok, self._spec.kind, self._spec.span_label(),
-                              fallback=self._future is not None)
-            else:
-                value = execute_trial(self._spec)
-            if self._future is None and exe is not None \
-                    and exe.progress is not None:
-                exe.progress.completed()
-        self._result = value
-        if self._pipeline is not None and self._spec.fingerprint is not None:
-            if stored_remotely:
-                # The worker already wrote the artifact into the
-                # pipeline's own store; just account for the miss.
-                self._pipeline.record_remote(self._spec.fingerprint,
-                                             stage=self._spec.kind)
-            else:
-                self._pipeline.store_result(self._spec.fingerprint, value,
-                                            stage=self._spec.kind)
-        return self._result
-
-    def _rehydrate(self, env: ResultEnvelope):
-        """Decode an envelope's artifact from the shared store; on any
-        integrity problem return ``_UNSET`` so the caller recomputes."""
-        exe = self._executor
-        store = exe._ipc_store if exe is not None else None
-        if store is None:
-            return self._UNSET
-        t0 = time.perf_counter_ns()
-        found, blob = store.raw_get(env.key)
-        if not found or codec.content_digest(blob) != env.digest:
-            exe._note_fallback(f"envelope {env.key[:12]}...: artifact "
-                               f"missing or digest mismatch")
-            return self._UNSET
-        try:
-            value = codec.decode_gz(blob)
-        except codec.CodecError as exc:
-            exe._note_fallback(f"envelope {env.key[:12]}...: {exc}")
-            return self._UNSET
-        elapsed = time.perf_counter_ns() - t0
-        metrics = exe.metrics
-        metrics.counter("executor.rehydrate_ns").inc(elapsed)
-        metrics.counter("executor.envelope_count").inc()
-        metrics.counter("executor.artifact_bytes").inc(env.nbytes)
-        metrics.counter("executor.encode_ns").inc(env.encode_ns)
-        if exe.telemetry is not None:
-            exe.telemetry.point("rehydrate", self._spec.span_label(),
-                                dur=elapsed, nbytes=env.nbytes)
-        return value
-
-
-class TrialExecutor:
-    """Order-preserving trial execution with a warm process pool under it.
-
-    ``workers=None`` sizes the pool to the machine; ``workers=1`` (or a
-    pool that cannot be created — restricted sandboxes, missing
-    semaphores) degrades to in-process serial execution of the very
-    same ``execute_trial`` calls.  ``submit`` returns a trial future;
-    ``map`` preserves submission order regardless of completion order —
-    which is what makes parallel sweeps bit-identical to serial ones.
-
-    ``transport`` selects the worker→parent data plane: ``"envelope"``
-    (store-mediated handoff, see the module docstring), ``"pickle"``
-    (results through the pool pipe), or ``"auto"`` (envelope whenever a
-    pool is used).  Workers are initialized once per process
-    (:func:`_pool_init`); cheap specs are submitted in chunks sized to
-    the batch.
-
-    Usable as a context manager; the pool is created lazily on the
-    first parallel submission and reused across phases so worker
-    startup is paid once per sweep, not once per phase.
-
-    With a ``pipeline`` attached, fingerprinted specs are looked up in
-    its artifact store at submission time — a hit returns an
-    already-resolved future without touching the pool — and computed
-    results are stored as they land.  Caching cannot change results:
-    artifacts are keyed by the same inputs that determine the trial's
-    output, and cached values round-trip through the binary codec so
-    callers get fresh copies.
-
-    Every degradation (broken pool, unpicklable spec, unreadable
-    envelope) is counted in :attr:`metrics` and the first reason kept
-    in :attr:`fallback_reason` — the executor never falls back
-    silently.
-    """
-
-    def __init__(self, workers: Optional[int] = None,
-                 pipeline: Optional[Pipeline] = None,
-                 transport: str = "auto"):
-        if transport not in ("auto", "envelope", "pickle"):
-            raise ValueError(f"unknown transport {transport!r}")
-        self.workers = default_workers() if workers is None else max(1, int(workers))
-        self.pipeline = pipeline
-        self.transport = transport
-        self.metrics = MetricsRegistry()
-        self.fallback_reason: Optional[str] = None
-        # Every distinct fallback reason, in first-seen order (capped);
-        # `fallback_reason` keeps only the first for compatibility.
-        self.fallback_reasons: List[str] = []
-        self.pool_broken = False
-        # Sweep-scope hooks: a SweepTelemetry makes workers ship stage
-        # spans back with each chunk; a SweepProgress gets completion
-        # events.  Both None by default — the zero-cost path.
-        self.telemetry: Optional[SweepTelemetry] = None
-        self.progress: Optional[SweepProgress] = None
-        if pipeline is not None:
-            self.metrics.add_collector(pipeline.collector(), key="pipeline")
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._serial_fallback = self.workers <= 1
-        self._transport_used = "serial"
-        self._ipc_store: Optional[ArtifactStore] = None
-        self._ipc_root: Optional[str] = None
-        self._ipc_tmp: Optional[str] = None
-        self._ipc_shared = False
-        self._seq = 0
-
-    # -- lifecycle ------------------------------------------------------
-    def __enter__(self) -> "TrialExecutor":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.shutdown()
-
-    def shutdown(self) -> None:
-        self._close_pool()
-        if self._ipc_tmp is not None:
-            shutil.rmtree(self._ipc_tmp, ignore_errors=True)
-            self._ipc_tmp = None
-            self._ipc_store = None
-            self._ipc_root = None
-
-    def _close_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-
-    def _mark_broken(self, exc: Optional[BaseException] = None) -> None:
-        """Drop to serial for every later submission (pool died)."""
-        reason = "process pool broke"
-        if exc is not None:
-            reason = f"process pool broke: {type(exc).__name__}: {exc}"
-        self.pool_broken = True
-        self._note_fallback(reason)
-        self._serial_fallback = True
-        self._close_pool()
-
-    def _note_fallback(self, reason: str) -> None:
-        """Count one in-process fallback; keep every distinct reason."""
-        self.metrics.counter("executor.serial_fallbacks").inc()
-        if self.fallback_reason is None:
-            self.fallback_reason = reason
-        if reason not in self.fallback_reasons \
-                and len(self.fallback_reasons) < 16:
-            self.fallback_reasons.append(reason)
-        if self.telemetry is not None:
-            self.telemetry.point("fallback", reason)
-
-    @property
-    def effective_workers(self) -> int:
-        """1 when running serially, else the configured worker count."""
-        return 1 if self._serial_fallback else self.workers
-
-    @property
-    def transport_used(self) -> str:
-        """``"serial"`` until the pool carries work, then the resolved
-        transport (``"envelope"`` or ``"pickle"``)."""
-        return self._transport_used
-
-    def transport_stats(self) -> Dict[str, Any]:
-        """Snapshot of the executor's data-plane counters."""
-        metrics = self.metrics
-        return {
-            "transport": self._transport_used,
-            "workers": self.effective_workers,
-            "envelope_count":
-                metrics.counter("executor.envelope_count").value,
-            "ipc_bytes_sent":
-                metrics.counter("executor.ipc_bytes_sent").value,
-            "ipc_bytes_recv":
-                metrics.counter("executor.ipc_bytes_recv").value,
-            "artifact_bytes":
-                metrics.counter("executor.artifact_bytes").value,
-            "encode_ns": metrics.counter("executor.encode_ns").value,
-            "rehydrate_ns": metrics.counter("executor.rehydrate_ns").value,
-            "serial_fallbacks":
-                metrics.counter("executor.serial_fallbacks").value,
-            "fallback_reason": self.fallback_reason,
-            "fallback_reasons": list(self.fallback_reasons),
-            "pool_broken": self.pool_broken,
-        }
-
-    # -- execution ------------------------------------------------------
-    def submit(self, spec: TrialSpec) -> _TrialFuture:
+    def submit(self, spec: TrialSpec) -> JobFuture:
         """Queue one trial; its result is read with ``.result()``."""
         return self.submit_all([spec])[0]
 
-    def submit_all(self, specs: Sequence[TrialSpec]) -> List[_TrialFuture]:
-        """Submit a batch: cache lookups first, then longest trials
-        first, with cheap trials chunked.
-
-        Submission order and chunking affect only wall time (short
-        tasks fill the tail of the schedule); the returned futures
-        align index-for-index with ``specs``.
-        """
-        specs = list(specs)
-        if self.progress is not None:
-            self.progress.add_total(len(specs))
-        futures: List[Optional[_TrialFuture]] = [None] * len(specs)
-        pending: List[Tuple[int, TrialSpec]] = []
-        for i, spec in enumerate(specs):
-            if self.pipeline is not None and spec.fingerprint is not None:
-                found, value = self.pipeline.lookup(spec.fingerprint,
-                                                    stage=spec.kind)
-                if found:
-                    skey = (spec.fingerprint
-                            if self.pipeline.store.root is not None else None)
-                    futures[i] = _TrialFuture(spec, value=value,
-                                              store_key=skey)
-                    if self.telemetry is not None:
-                        self.telemetry.point("cache_hit", spec.span_label())
-                    if self.progress is not None:
-                        self.progress.cache_hit()
-                    continue
-            pending.append((i, spec))
-        if not pending:
-            return futures
-        pool = self._ensure_pool()
-        if self.progress is not None:
-            self.progress.set_workers(self.effective_workers)
-        if pool is None:
-            for i, spec in pending:
-                futures[i] = _TrialFuture(spec, executor=self,
-                                          pipeline=self.pipeline)
-            return futures
-        envelope = self._resolve_transport() == "envelope"
-        pending.sort(key=lambda item: item[1].cost_hint(), reverse=True)
-        solo = [item for item in pending
-                if item[1].cost_hint() >= _CHUNK_THRESHOLD]
-        cheap = [item for item in pending
-                 if item[1].cost_hint() < _CHUNK_THRESHOLD]
-        chunks: List[List[Tuple[int, TrialSpec]]] = [[it] for it in solo]
-        size = self._chunksize(len(cheap))
-        chunks.extend(cheap[k:k + size] for k in range(0, len(cheap), size))
-        for chunk in chunks:
-            handle = self._submit_chunk(chunk, envelope)
-            if handle is None:
-                for i, spec in chunk:
-                    futures[i] = _TrialFuture(spec, executor=self,
-                                              pipeline=self.pipeline)
-                continue
-            for ci, (i, spec) in enumerate(chunk):
-                futures[i] = _TrialFuture(spec, future=handle,
-                                          executor=self,
-                                          pipeline=self.pipeline,
-                                          chunk_index=ci)
-        return futures
+    def submit_all(self, specs: Sequence[TrialSpec]) -> List[JobFuture]:
+        """Submit a batch of trial specs: cache lookups first, then
+        longest trials first, with cheap trials chunked.  The returned
+        futures align index-for-index with ``specs``."""
+        return self.submit_jobs([job_for_spec(spec) for spec in specs])
 
     def map(self, specs: Sequence[TrialSpec]) -> List:
-        """Execute all specs; results align index-for-index with specs.
-
-        Always routed through :meth:`submit_all` (even for one spec or
-        in serial mode, where futures resolve lazily in order) so cache
-        lookups and stores apply uniformly.
-        """
+        """Execute all specs; results align index-for-index with specs."""
         return [f.result() for f in self.submit_all(list(specs))]
-
-    # -- plumbing -------------------------------------------------------
-    def _chunksize(self, n_cheap: int) -> int:
-        """Chunk size tuned to the batch: enough chunks to keep every
-        worker busy twice over, capped so one chunk never serializes a
-        long tail."""
-        if n_cheap <= 0:
-            return 1
-        return max(1, min(8, math.ceil(n_cheap / (self._pool_size() * 2))))
-
-    def _pool_size(self) -> int:
-        """Actual pool width: ``workers``, capped at core count + 1.
-
-        Heavy oversubscription cannot finish CPU-bound trials sooner —
-        it only time-slices them, which *stretches the longest trial*
-        (the sweep's critical path: the big collection+distill
-        traversals) while cheap work drains around it.  One extra
-        worker beyond the core count is kept (the ``make -j N+1`` rule):
-        it soaks up the slack whenever a sibling blocks on store I/O or
-        the machine's background load steals a core's timeslice.
-        """
-        cores = os.cpu_count() or self.workers
-        return max(1, min(self.workers, cores + 1))
-
-    def _submit_chunk(self, chunk: List[Tuple[int, TrialSpec]],
-                      envelope: bool) -> Optional[_ChunkHandle]:
-        if self._serial_fallback or self._pool is None:
-            return None
-        telemetry = self.telemetry
-        items: List[Tuple[TrialSpec, str]] = []
-        for _, spec in chunk:
-            wire = spec
-            key = ""
-            if envelope:
-                key = spec.fingerprint
-                if key is None or not self._ipc_shared:
-                    key = f"ipc:{self._seq:08d}"
-                    self._seq += 1
-                if spec.replay is not None and spec.replay_ref is not None:
-                    wire = replace(spec, replay=None)
-            if telemetry is not None and wire.sweep_id is None:
-                wire = replace(wire, sweep_id=telemetry.sweep_id)
-            items.append((wire, key))
-        try:
-            blob = pickle.dumps(items, protocol=pickle.HIGHEST_PROTOCOL)
-        except (pickle.PickleError, TypeError, AttributeError) as exc:
-            self._note_fallback(
-                f"spec not picklable: {type(exc).__name__}: {exc}")
-            return None
-        telemetry_ctx = None
-        if telemetry is not None:
-            telemetry_ctx = (telemetry.sweep_id, time.time_ns())
-        try:
-            future = self._pool.submit(_execute_chunk, blob, envelope,
-                                       telemetry_ctx)
-        except (BrokenProcessPool, OSError, RuntimeError) as exc:
-            self._mark_broken(exc)
-            return None
-        self.metrics.counter("executor.ipc_bytes_sent").inc(len(blob))
-        self._transport_used = "envelope" if envelope else "pickle"
-        if self.progress is not None:
-            progress, count = self.progress, len(chunk)
-            future.add_done_callback(
-                lambda _f: progress.completed(count))
-        return _ChunkHandle(future)
-
-    def _resolve_transport(self) -> str:
-        return "pickle" if self.transport == "pickle" else "envelope"
-
-    def _ensure_ipc_store(self) -> ArtifactStore:
-        """The shared store envelopes travel through: the pipeline's
-        own disk store when there is one (workers then write artifacts
-        straight into the cache), else an executor-owned tempdir."""
-        if self._ipc_store is not None:
-            return self._ipc_store
-        pipe_store = self.pipeline.store if self.pipeline is not None else None
-        if pipe_store is not None and pipe_store.root is not None:
-            self._ipc_store = pipe_store
-            self._ipc_root = str(pipe_store.root)
-            self._ipc_shared = True
-        else:
-            self._ipc_tmp = tempfile.mkdtemp(prefix="repro-ipc-")
-            self._ipc_store = ArtifactStore(self._ipc_tmp)
-            self._ipc_root = self._ipc_tmp
-            self._ipc_shared = False
-        return self._ipc_store
-
-    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
-        if self._serial_fallback:
-            return None
-        if self._pool is None:
-            store_root = None
-            if self._resolve_transport() == "envelope":
-                self._ensure_ipc_store()
-                store_root = self._ipc_root
-            try:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self._pool_size(),
-                    initializer=_pool_init, initargs=(store_root,))
-            except (OSError, ValueError, NotImplementedError,
-                    ImportError) as exc:
-                self._note_fallback(
-                    f"pool unavailable: {type(exc).__name__}: {exc}")
-                self._serial_fallback = True
-        return self._pool
 
 
 def _executor_for(workers: Optional[int],
@@ -1117,9 +526,9 @@ class ValidationSweep:
     # the sweep ran uncached).
     cache_hits: int = 0
     cache_misses: int = 0
-    # Data-plane accounting (see TrialExecutor.transport_stats):
-    # which transport carried results, envelope/byte counters, and how
-    # often — and why — execution fell back in-process.
+    # Data-plane accounting (see Scheduler.transport_stats): which
+    # transport carried results, envelope/byte counters, and how often
+    # — and why — execution fell back in-process.
     transport: Dict[str, Any] = field(default_factory=dict)
     fallback_reason: Optional[str] = None
     # Sweep-timeline rollup (SweepTelemetry.summary()) when the sweep
@@ -1129,7 +538,7 @@ class ValidationSweep:
     def render(self, title: Optional[str] = None, caption: str = "") -> str:
         """The Figures 6–8 style table for this sweep.
 
-        Byte-identical for any worker count and either transport — the
+        Byte-identical for any worker count and any transport — the
         determinism tests compare exactly this string across
         ``workers`` values.
         """
@@ -1201,8 +610,8 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
     baseline — is queued up front (longest first, cheap trials
     chunked), and each scenario's modulated trials are queued the
     moment its distillations resolve, carrying the distilled replay by
-    store reference when the envelope transport is active.  The pool
-    therefore never idles at a phase barrier; cheap scenarios'
+    store reference when the envelope transport is active.  The
+    backend therefore never idles at a phase barrier; cheap scenarios'
     modulated trials run while expensive collections are still in
     flight.
 
@@ -1216,8 +625,9 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
     stages and looked up before it is executed, so a warm rerun of the
     same sweep recomputes nothing.  With a disk cache the envelope
     transport writes worker artifacts straight into it.  ``transport``
-    selects the worker→parent data plane (see :class:`TrialExecutor`).
-    Results are identical with or without a cache, on either transport.
+    selects the backend and data plane (see
+    :class:`~repro.runtime.scheduler.Scheduler`).  Results are
+    identical with or without a cache, on every transport.
     """
     if isinstance(scenarios, Scenario):
         scenarios = [scenarios]
@@ -1289,10 +699,10 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
         # Cheapest scenarios first: their modulated trials slot in
         # behind the expensive collections still running.
         resolve_order = sorted(
-            range(n), key=lambda s: dist_futs[s][0]._spec.cost_hint())
+            range(n), key=lambda s: dist_futs[s][0].job.cost_hint)
         dist_by_scenario: List[List[DistillationResult]] = [[] for _ in range(n)]
         collect_records: List[List[Dict]] = [[] for _ in range(n)]
-        mod_futs: List[List[_TrialFuture]] = [[] for _ in range(n)]
+        mod_futs: List[List[JobFuture]] = [[] for _ in range(n)]
         for s in resolve_order:
             for f in dist_futs[s]:
                 dist, record = _unwrap_distill(f.result())
