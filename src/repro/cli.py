@@ -161,6 +161,13 @@ def _execution_parent() -> argparse.ArgumentParser:
                        help="append this command's run manifest "
                             "(workers, transport, cache, wall clock, "
                             "output hash) to DIR/ledger.jsonl")
+    group.add_argument("--hosts", default=None, metavar="SPEC",
+                       help="distribute over a worker fleet: "
+                            "'a:4,b:8' (host:workers, 'local' for "
+                            "pseudo-hosts on this machine) or a path "
+                            "to a TOML hosts file; implies "
+                            "--transport remote (results stay "
+                            "byte-identical to serial)")
     return parent
 
 
@@ -170,7 +177,9 @@ def _session_executor(session: RuntimeSession):
     transport always goes through the scheduler — that is the whole
     point of asking for it."""
     config = session.config
-    if (config.workers or 1) > 1 or config.transport == "socket":
+    if ((config.workers or 1) > 1
+            or config.transport in ("socket", "remote")
+            or config.hosts):
         return session.scheduler()
     return None
 
@@ -218,6 +227,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", choices=sorted(RUNNERS), required=True)
     p.add_argument("--trials", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seeds", type=int, default=1,
+                   help="Monte Carlo width: sweep this many consecutive "
+                        "seeds (each with --trials trials) and pool "
+                        "them into one summary; --seeds 1 (default) is "
+                        "byte-identical to the original single-seed "
+                        "sweep")
     p.add_argument("--baseline", action="store_true",
                    help="also run the raw-Ethernet reference row")
     p.add_argument("--ftp-bytes", type=int, default=None,
@@ -580,7 +595,8 @@ def _cmd_validate(args) -> int:
     cpu0 = sum(_os.times()[:4])
     with session:
         sweep = run_validation(scenario, runner, seed=args.seed,
-                               trials=args.trials, baseline=args.baseline,
+                               trials=args.trials, seeds=args.seeds,
+                               baseline=args.baseline,
                                executor=session.scheduler(), obs=obs,
                                cache=cache,
                                telemetry=telemetry, progress=progress)
@@ -591,13 +607,17 @@ def _cmd_validate(args) -> int:
     if sweep.fallback_reason:
         print(f"warning: worker pool fell back to in-process "
               f"execution: {sweep.fallback_reason}", file=sys.stderr)
+    seeds_n = max(1, args.seeds)
+    seeds_tag = f" x {seeds_n} seeds" if seeds_n > 1 else ""
     table = sweep.render(
         title=f"{args.benchmark} on {scenario.name} "
-              f"({args.trials} trials)")
+              f"({args.trials} trials{seeds_tag})")
     if args.as_json:
         doc = sweep.as_dict()
         doc["trials"] = args.trials
         doc["seed"] = args.seed
+        if seeds_n > 1:
+            doc["seeds"] = seeds_n
         print(json.dumps(doc, indent=2))
     else:
         print(table)

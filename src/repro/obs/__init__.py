@@ -33,6 +33,7 @@ from .telemetry import (
     SweepProgress,
     SweepTelemetry,
     aggregate_profiles,
+    fold_fleet,
     fold_records,
     merged_chrome_trace,
     render_profile_table,
@@ -77,6 +78,7 @@ __all__ = [
     "SweepProgress",
     "SweepTelemetry",
     "aggregate_profiles",
+    "fold_fleet",
     "fold_records",
     "merged_chrome_trace",
     "render_profile_table",

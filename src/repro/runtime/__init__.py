@@ -12,13 +12,21 @@ Layering (lowest first):
     :class:`Job` / :class:`JobResult` — the unit of work and its wire
     result; runner references; the job-kind registry.
 ``backends``
-    The :class:`Backend` protocol and its implementations
-    (:class:`SerialBackend`, :class:`PoolBackend`,
-    :class:`LoopbackSocketBackend`), plus the worker-side chunk
-    executor they share.
+    The :class:`Backend` protocol and its in-machine implementations
+    (:class:`SerialBackend`, :class:`PoolBackend`), plus the
+    worker-side chunk executor every backend shares.
+``sync`` / ``hosts``
+    The multi-node substrate: FETCH/HAVE artifact-sync frames, and
+    host inventory (``--hosts a:4,b:8`` / TOML) with the
+    :class:`WorkerLauncher` bootstrap interface.
+``remote``
+    :class:`RemoteBackend` — the multi-node fleet (work-stealing
+    dispatch, heartbeats, re-dispatch, fingerprint-keyed artifact
+    sync) — and :class:`LoopbackSocketBackend`, its one-host
+    shared-store configuration.
 ``scheduler``
-    :class:`Scheduler` — chunking, ordering, caching, retry,
-    rehydration, interrupt teardown.
+    :class:`Scheduler` — work-stealing chunking, ordering, caching,
+    retry, rehydration, interrupt teardown.
 ``session``
     :class:`RuntimeSession` — per-invocation wiring of pipeline,
     scheduler, progress and run ledger for the CLI.
@@ -28,11 +36,21 @@ from .backends import (
     Backend,
     BackendBroken,
     BackendUnavailable,
-    LoopbackSocketBackend,
     PoolBackend,
     SerialBackend,
     execute_wire_chunk,
+    execute_wire_chunk_keys,
     worker_store,
+)
+from .hosts import (
+    HostSpec,
+    HostsError,
+    LocalLauncher,
+    SshLauncher,
+    WorkerLauncher,
+    launcher_for,
+    load_hosts_file,
+    parse_hosts,
 )
 from .job import (
     Job,
@@ -45,18 +63,28 @@ from .job import (
     resolve_runner,
     runner_ref,
 )
+from .remote import (
+    LoopbackSocketBackend,
+    RemoteBackend,
+)
 from .scheduler import (
     CHUNK_THRESHOLD,
     TRANSPORTS,
     JobFuture,
     Scheduler,
     default_workers,
+    resolve_hosts,
 )
 from .session import (
     ExecutionConfig,
     RuntimeSession,
     command_ledger_record,
     shared_pipeline,
+)
+from .sync import (
+    SyncError,
+    decode_sync,
+    encode_sync,
 )
 
 __all__ = [
@@ -65,23 +93,37 @@ __all__ = [
     "BackendUnavailable",
     "CHUNK_THRESHOLD",
     "ExecutionConfig",
+    "HostSpec",
+    "HostsError",
     "Job",
     "JobFuture",
     "JobResult",
     "JobTransportError",
+    "LocalLauncher",
     "LoopbackSocketBackend",
     "PoolBackend",
+    "RemoteBackend",
     "ResultEnvelope",
     "RuntimeSession",
     "Scheduler",
     "SerialBackend",
+    "SshLauncher",
+    "SyncError",
     "TRANSPORTS",
     "TransportFailure",
+    "WorkerLauncher",
     "command_ledger_record",
+    "decode_sync",
     "default_workers",
+    "encode_sync",
     "execute_wire_chunk",
+    "execute_wire_chunk_keys",
+    "launcher_for",
+    "load_hosts_file",
+    "parse_hosts",
     "register_job_kind",
     "registered_job_kinds",
+    "resolve_hosts",
     "resolve_runner",
     "runner_ref",
     "shared_pipeline",

@@ -7,7 +7,7 @@ retry, result rehydration — lives in :mod:`repro.runtime.scheduler`
 and is backend-agnostic, which is what makes every backend produce
 byte-identical results.
 
-Three implementations:
+This module holds the in-machine implementations:
 
 :class:`SerialBackend`
     No workers at all.  The scheduler executes jobs lazily in the
@@ -18,21 +18,23 @@ Three implementations:
     process (scenario registry resolved, shared artifact store opened,
     garbage collection frozen and moved to chunk boundaries) and
     reused across phases and subcommands.
-:class:`LoopbackSocketBackend`
-    Worker subprocesses reached over a length-prefixed TCP protocol on
-    localhost — the seed of a multi-node scheduler.  The wire protocol
-    carries only opaque chunk frames (the same bytes the pool pipes
-    carry), workers bootstrap themselves from a ``repro.runtime.worker``
-    entry point, and bulk results still travel through the shared
-    artifact store; only the machine boundary is simulated.  Exercised
-    on localhost so it is CI-testable.
+
+The socket-reached backends — the multi-node
+:class:`~repro.runtime.remote.RemoteBackend` fabric and its one-host
+:class:`~repro.runtime.remote.LoopbackSocketBackend` configuration —
+live in :mod:`repro.runtime.remote` and build on the wire framing
+(:func:`send_frame` / :func:`recv_frame`) and error taxonomy defined
+here.
 
 The worker-side entry point :func:`execute_wire_chunk` is shared by
 every remote backend: it decodes a chunk frame, resolves each job's
 runner by reference, executes, seals bulk results into the shared
 store (envelope data plane), and ships back per-job
 :class:`~repro.runtime.job.JobResult` frames plus the chunk's
-telemetry spans.
+telemetry spans.  :func:`execute_wire_chunk_keys` is the multi-node
+variant that additionally reports which store keys the chunk sealed,
+so the parent learns where each artifact lives without opening the
+reply payload.
 """
 
 from __future__ import annotations
@@ -43,13 +45,9 @@ import pickle
 import signal
 import socket
 import struct
-import subprocess
-import sys
-import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from queue import Empty, SimpleQueue
 from typing import Any, List, Optional, Tuple
 
 from ..obs.telemetry import (
@@ -67,10 +65,10 @@ __all__ = [
     "Backend",
     "BackendBroken",
     "BackendUnavailable",
-    "LoopbackSocketBackend",
     "PoolBackend",
     "SerialBackend",
     "execute_wire_chunk",
+    "execute_wire_chunk_keys",
     "worker_store",
 ]
 
@@ -192,6 +190,20 @@ def execute_wire_chunk(wire: bytes, envelope: bool,
     zero, since wall clocks across processes may disagree by more than
     a short queue wait.
     """
+    wire_out, _keys, _njobs = execute_wire_chunk_keys(
+        wire, envelope, telemetry_ctx)
+    return wire_out
+
+
+def execute_wire_chunk_keys(wire: bytes, envelope: bool,
+                            telemetry_ctx: Optional[Tuple[str, int]] = None
+                            ) -> Tuple[bytes, List[str], int]:
+    """:func:`execute_wire_chunk` plus provenance: returns ``(wire_out,
+    sealed_keys, njobs)`` where ``sealed_keys`` names every store
+    artifact this chunk parked in the worker's store.  The multi-node
+    done frame carries the extras so the parent learns which node
+    holds each artifact — the index behind lazy ``FETCH`` — without
+    unpickling the reply payload."""
     chunk_tok = None
     if telemetry_ctx is not None:
         sweep_id, submit_ns = telemetry_ctx
@@ -201,6 +213,7 @@ def execute_wire_chunk(wire: bytes, envelope: bool,
         chunk_tok = span_begin()
     items: List[Tuple[str, str, str, Any, str]] = pickle.loads(wire)
     out: List[JobResult] = []
+    sealed: List[str] = []
     for runner_ref, kind, label, payload, key in items:
         tok = span_begin()
         try:
@@ -212,7 +225,10 @@ def execute_wire_chunk(wire: bytes, envelope: bool,
             continue
         span_end(tok, kind, label)
         if envelope and _WORKER_STORE is not None:
-            out.append(_seal(result, key, kind))
+            job_result = _seal(result, key, kind)
+            if job_result.envelope is not None:
+                sealed.append(job_result.envelope.key)
+            out.append(job_result)
         else:
             out.append(JobResult.of(result))
     spans_blob = None
@@ -227,7 +243,7 @@ def execute_wire_chunk(wire: bytes, envelope: bool,
         if _worker_chunks_since_gc >= _GC_CHUNKS_PER_SWEEP:
             _worker_chunks_since_gc = 0
             gc.collect()
-    return wire_out
+    return wire_out, sealed, len(items)
 
 
 # ======================================================================
@@ -373,171 +389,3 @@ class PoolBackend(Backend):
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=cancel)
             self._pool = None
-
-
-class LoopbackSocketBackend(Backend):
-    """Worker subprocesses reached over length-prefixed TCP frames.
-
-    The parent binds an ephemeral localhost listener, spawns
-    ``workers`` interpreter subprocesses running
-    ``python -m repro.runtime.worker --port <p>``, and hands each
-    accepted connection to a dispatcher thread that feeds it chunks
-    from a shared queue — work-conserving scheduling with zero
-    protocol beyond "one request frame, one reply frame".  Workers
-    initialize exactly like pool workers (:func:`_worker_init` via the
-    entry point), so results are byte-identical to every other
-    backend.
-
-    Unlike the pool, worker count is *not* capped at core count: the
-    backend exists to exercise the multi-node wire protocol, and a
-    4-worker matrix row must mean 4 real worker processes even on a
-    small CI box.
-    """
-
-    name = "socket"
-    remote = True
-
-    # How long to wait for a spawned worker to connect back before
-    # declaring the backend unavailable (imports on a cold FS can be
-    # slow; a worker that crashes on startup fails much faster).
-    ACCEPT_TIMEOUT_S = 60.0
-
-    def __init__(self, workers: int):
-        self.workers = max(1, int(workers))
-        self._listener: Optional[socket.socket] = None
-        self._procs: List[subprocess.Popen] = []
-        self._threads: List[threading.Thread] = []
-        self._conns: List[socket.socket] = []
-        self._queue: "SimpleQueue" = SimpleQueue()
-        self._lock = threading.Lock()
-        self._closed = False
-        self.worker_pids: List[int] = []
-
-    def pool_size(self) -> int:
-        return self.workers
-
-    # -- lifecycle ------------------------------------------------------
-    def start(self, store_root: Optional[str]) -> None:
-        if self._conns:
-            return
-        try:
-            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            listener.bind(("127.0.0.1", 0))
-            listener.listen(self.workers)
-        except OSError as exc:
-            raise BackendUnavailable(f"cannot bind loopback socket: {exc}")
-        self._listener = listener
-        port = listener.getsockname()[1]
-        env = dict(os.environ)
-        # Make the repro package importable in the fresh interpreter
-        # regardless of how the parent found it (installed, src tree,
-        # pytest pythonpath).
-        pkg_root = os.path.dirname(os.path.dirname(
-            os.path.dirname(os.path.abspath(__file__))))
-        parts = [pkg_root] + [p for p in sys.path if p]
-        if env.get("PYTHONPATH"):
-            parts.append(env["PYTHONPATH"])
-        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
-        cmd = [sys.executable, "-m", "repro.runtime.worker",
-               "--port", str(port)]
-        if store_root:
-            cmd.extend(["--store-root", store_root])
-        try:
-            for _ in range(self.workers):
-                self._procs.append(subprocess.Popen(
-                    cmd, env=env, stdin=subprocess.DEVNULL))
-        except OSError as exc:
-            self.shutdown()
-            raise BackendUnavailable(f"cannot spawn socket worker: {exc}")
-        listener.settimeout(self.ACCEPT_TIMEOUT_S)
-        try:
-            for _ in range(self.workers):
-                conn, _addr = listener.accept()
-                conn.settimeout(None)
-                hello = recv_frame(conn)
-                self.worker_pids.append(int(hello.get("pid", 0)))
-                self._conns.append(conn)
-        except (socket.timeout, OSError, BackendBroken) as exc:
-            self.shutdown()
-            raise BackendUnavailable(
-                f"socket worker failed to connect: {exc}")
-        for i, conn in enumerate(self._conns):
-            thread = threading.Thread(target=self._dispatch, args=(conn,),
-                                      name=f"repro-socket-{i}", daemon=True)
-            thread.start()
-            self._threads.append(thread)
-
-    def submit(self, wire: bytes, envelope: bool,
-               telemetry_ctx: Optional[Tuple[str, int]]) -> Future:
-        if self._closed or not self._conns:
-            raise BackendBroken("socket backend is closed")
-        future: Future = Future()
-        self._queue.put((wire, envelope, telemetry_ctx, future))
-        return future
-
-    def _dispatch(self, conn: socket.socket) -> None:
-        """One dispatcher thread per worker connection: pull a chunk,
-        round-trip it, resolve its future.  A dead connection fails the
-        in-flight future; queued chunks stay available to the
-        surviving workers."""
-        while True:
-            item = self._queue.get()
-            if item is None:
-                return
-            wire, envelope, telemetry_ctx, future = item
-            if not future.set_running_or_notify_cancel():
-                continue
-            try:
-                send_frame(conn, (wire, envelope, telemetry_ctx))
-                ok, reply = recv_frame(conn)
-            except (OSError, BackendBroken, pickle.PickleError) as exc:
-                future.set_exception(BackendBroken(
-                    f"socket worker died: {exc}"))
-                return
-            if ok:
-                future.set_result(reply)
-            else:
-                future.set_exception(BackendBroken(
-                    f"socket worker error: {reply}"))
-
-    def shutdown(self, cancel: bool = False) -> None:
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-        if cancel:
-            # Drop chunks that have not started; their futures cancel
-            # and the scheduler never reads them again.
-            while True:
-                try:
-                    item = self._queue.get_nowait()
-                except Empty:
-                    break
-                if item is not None:
-                    item[3].cancel()
-        for _ in self._threads:
-            self._queue.put(None)
-        for thread in self._threads:
-            thread.join(timeout=10.0)
-        for conn in self._conns:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            conn.close()
-        if self._listener is not None:
-            self._listener.close()
-            self._listener = None
-        for proc in self._procs:
-            try:
-                proc.wait(timeout=5.0)
-            except subprocess.TimeoutExpired:
-                proc.terminate()
-                try:
-                    proc.wait(timeout=5.0)
-                except subprocess.TimeoutExpired:  # pragma: no cover
-                    proc.kill()
-                    proc.wait()
-        self._conns = []
-        self._threads = []
-        self._procs = []

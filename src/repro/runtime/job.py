@@ -82,6 +82,12 @@ class Job:
     # Remote-execution payload variants (see module docstring).
     wire_payload: Any = None
     slim_payload: Any = None
+    # Shared-store keys the slim payload references (e.g. a modulated
+    # trial's ``replay_ref``).  Multi-node backends sync these to a
+    # node's private store — deduplicated with HAVE frames — before
+    # dispatching the chunk there; single-machine backends, whose
+    # workers share the parent's store, ignore them.
+    input_refs: tuple = ()
 
     def span_label(self) -> str:
         """How this job appears in the sweep timeline."""

@@ -7,8 +7,13 @@ interleaved with trial code in ``validation/parallel.py``:
   attached :class:`~repro.pipeline.Pipeline` before they are submitted
   (a hit returns an already-resolved future without touching the
   backend), and computed results are stored as they land;
-* **chunking** — cheap jobs travel together in one backend round-trip,
-  expensive ones travel alone, longest first;
+* **work-stealing dispatch** — chunks are not assigned up front: a
+  cost-ordered heap holds pending work and a bounded number of chunks
+  is kept in flight; each completion pulls the next chunk off the
+  heap, with the chunk size re-derived from what is *left* (adaptive:
+  a draining sweep sends smaller chunks so the tail stays parallel).
+  Cheap jobs travel together in one backend round-trip, expensive ones
+  travel alone, longest first;
 * **ordering guarantees** — futures align index-for-index with the
   submitted batch, and results are read in submission order, never in
   completion order;
@@ -39,15 +44,18 @@ objects.
 
 from __future__ import annotations
 
+import heapq
 import math
 import os
 import pickle
 import shutil
 import tempfile
+import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..obs.registry import MetricsRegistry
 from ..obs.telemetry import SweepProgress, SweepTelemetry, unpack_spans
@@ -56,10 +64,11 @@ from .backends import (
     Backend,
     BackendBroken,
     BackendUnavailable,
-    LoopbackSocketBackend,
     PoolBackend,
 )
+from .hosts import HostSpec, load_hosts_file, parse_hosts
 from .job import Job, JobResult, ResultEnvelope, resolve_runner
+from .remote import LoopbackSocketBackend, RemoteBackend
 
 __all__ = [
     "CHUNK_THRESHOLD",
@@ -67,6 +76,7 @@ __all__ = [
     "JobFuture",
     "Scheduler",
     "default_workers",
+    "resolve_hosts",
 ]
 
 # Jobs whose cost hint is below this travel together in one chunked
@@ -74,15 +84,34 @@ __all__ = [
 # Affects scheduling only, never results.
 CHUNK_THRESHOLD = 100.0
 
-# The recognised values of ``transport``: the first three select the
-# data plane on the warm process pool ("auto" resolves to envelope);
-# "socket" selects the loopback-socket backend (envelope data plane).
-TRANSPORTS = ("auto", "envelope", "pickle", "socket")
+# The recognised values of ``transport``: "auto"/"envelope"/"pickle"
+# select the data plane on the warm process pool ("auto" resolves to
+# envelope); "socket" selects the loopback-socket backend; "remote"
+# selects the multi-node fleet backend (both envelope data plane).
+TRANSPORTS = ("auto", "envelope", "pickle", "socket", "remote")
 
 
 def default_workers() -> int:
     """Worker count used when the caller does not pin one."""
     return os.cpu_count() or 1
+
+
+def resolve_hosts(hosts: Union[str, Sequence[HostSpec], None]
+                  ) -> Optional[List[HostSpec]]:
+    """Normalize a ``hosts`` argument: ``None`` stays ``None``, a list
+    of specs passes through, a string is either a TOML hosts-file path
+    (ends in ``.toml`` or starts with ``@``) or an inline ``a:4,b:8``
+    expression."""
+    if hosts is None:
+        return None
+    if isinstance(hosts, str):
+        text = hosts.strip()
+        if text.startswith("@"):
+            return load_hosts_file(Path(text[1:]))
+        if text.endswith(".toml"):
+            return load_hosts_file(Path(text))
+        return parse_hosts(text)
+    return list(hosts)
 
 
 def _stamp_sweep(payload: Any, sweep_id: str) -> Any:
@@ -131,6 +160,37 @@ class _ChunkHandle:
         return self._payload
 
 
+class _Slot:
+    """One pending job's place in the work-stealing dispatch.
+
+    A slot is created at submission time, *before* the job is assigned
+    to any chunk; the pump binds it to a :class:`_ChunkHandle` (plus
+    the job's index inside that chunk) when a worker actually pulls
+    the chunk — or marks it ``inline`` when the job must run in the
+    parent instead (unpicklable chunk, broken backend, cancel).  The
+    ``event`` is set exactly once, at binding, so a reader blocked in
+    :meth:`JobFuture.result` wakes the moment the job's fate is known.
+    """
+
+    __slots__ = ("job", "event", "handle", "chunk_index", "inline")
+
+    def __init__(self, job: Job):
+        self.job = job
+        self.event = threading.Event()
+        self.handle: Optional[_ChunkHandle] = None
+        self.chunk_index = 0
+        self.inline = False
+
+    def bind(self, handle: _ChunkHandle, chunk_index: int) -> None:
+        self.handle = handle
+        self.chunk_index = chunk_index
+        self.event.set()
+
+    def release_inline(self) -> None:
+        self.inline = True
+        self.event.set()
+
+
 class JobFuture:
     """Result handle for one submitted job.
 
@@ -148,6 +208,11 @@ class JobFuture:
     the caller can mutate it.  ``store_key``, when set, names the
     shared-store artifact holding this result (callers use it to pass
     bulk inputs to downstream jobs by reference).
+
+    Under work-stealing dispatch a future starts with a ``slot``
+    instead of a chunk handle; reading it waits for the pump to bind
+    the slot (workers pull chunks as they free up), then proceeds
+    exactly as before.
     """
 
     _UNSET = object()
@@ -155,7 +220,8 @@ class JobFuture:
     def __init__(self, job: Job, future: Optional[_ChunkHandle] = None,
                  scheduler: Optional["Scheduler"] = None,
                  value=_UNSET, pipeline: Optional[Pipeline] = None,
-                 chunk_index: int = 0, store_key: Optional[str] = None):
+                 chunk_index: int = 0, store_key: Optional[str] = None,
+                 slot: Optional[_Slot] = None):
         self.job = job
         self._future = future
         self._scheduler = scheduler
@@ -163,6 +229,7 @@ class JobFuture:
         self._pipeline = pipeline
         self._chunk_index = chunk_index
         self.store_key = store_key
+        self._slot = slot
 
     def result(self):
         try:
@@ -178,6 +245,18 @@ class JobFuture:
     def _resolve(self):
         if self._result is not self._UNSET:
             return self._result
+        if self._slot is not None:
+            slot = self._slot
+            if not slot.event.is_set() and self._scheduler is not None:
+                # Make sure dispatch is progressing (a no-op when the
+                # in-flight window is already full), then wait for a
+                # worker to pull this job's chunk.
+                self._scheduler._pump()
+            slot.event.wait()
+            if slot.handle is not None:
+                self._future = slot.handle
+                self._chunk_index = slot.chunk_index
+            self._slot = None
         value = self._UNSET
         stored_remotely = False
         if self._future is not None:
@@ -231,13 +310,26 @@ class JobFuture:
 
     def _rehydrate(self, env: ResultEnvelope):
         """Decode an envelope's artifact from the shared store; on any
-        integrity problem return ``_UNSET`` so the caller recomputes."""
+        integrity problem return ``_UNSET`` so the caller recomputes.
+
+        On a multi-node backend the parent store starts *empty* — the
+        artifact was sealed into the executing node's private store —
+        so a miss first goes through the backend's fingerprint-keyed
+        ``fetch_artifact`` (FETCH frames, parent-store dedup) before
+        falling back to recomputation."""
         sched = self._scheduler
         store = sched._ipc_store if sched is not None else None
         if store is None:
             return self._UNSET
         t0 = time.perf_counter_ns()
         found, blob = store.raw_get(env.key)
+        if not found:
+            backend = sched._backend
+            fetch = getattr(backend, "fetch_artifact", None)
+            if fetch is not None:
+                fetched = fetch(env.key, env.digest)
+                if fetched is not None:
+                    found, blob = True, fetched
         if not found or codec.content_digest(blob) != env.digest:
             sched._note_fallback(f"envelope {env.key[:12]}...: artifact "
                                  f"missing or digest mismatch")
@@ -273,8 +365,14 @@ class Scheduler:
     ``transport`` selects the backend and its data plane:
     ``"envelope"`` (warm pool, store-mediated handoff), ``"pickle"``
     (warm pool, results through the pipe), ``"socket"`` (loopback
-    worker subprocesses, envelope data plane), or ``"auto"`` (envelope
-    whenever a backend is used).
+    worker subprocesses, envelope data plane), ``"remote"`` (the
+    multi-node fleet of :mod:`repro.runtime.remote`, envelope data
+    plane plus FETCH/HAVE artifact sync), or ``"auto"`` (envelope
+    whenever a backend is used — unless ``hosts`` is given, which
+    resolves "auto" to "remote").  ``hosts`` takes an ``"a:4,b:8"``
+    expression, a TOML hosts-file path, or a prepared
+    :class:`~repro.runtime.hosts.HostSpec` list; ``"remote"`` without
+    hosts means ``local:<workers>`` — one pseudo-host.
 
     Usable as a context manager; the backend is created lazily on the
     first parallel submission and reused across phases and batches so
@@ -295,11 +393,21 @@ class Scheduler:
 
     def __init__(self, workers: Optional[int] = None,
                  pipeline: Optional[Pipeline] = None,
-                 transport: str = "auto"):
+                 transport: str = "auto",
+                 hosts: Union[str, Sequence[HostSpec], None] = None):
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}")
         self.workers = (default_workers() if workers is None
                         else max(1, int(workers)))
+        self.hosts = resolve_hosts(hosts)
+        if self.hosts is not None and transport == "auto":
+            transport = "remote"
+        if transport == "remote":
+            if self.hosts is None:
+                self.hosts = parse_hosts(f"local:{self.workers}")
+            # The fleet defines the width; ``workers`` is per-host
+            # only insofar as the hosts expression says so.
+            self.workers = sum(h.workers for h in self.hosts)
         self.pipeline = pipeline
         self.transport = transport
         self.metrics = MetricsRegistry()
@@ -316,15 +424,29 @@ class Scheduler:
         if pipeline is not None:
             self.metrics.add_collector(pipeline.collector(), key="pipeline")
         self._backend: Optional[Backend] = None
-        # workers=1 runs serially — except on the socket backend,
-        # where even one worker exercises the wire protocol.
-        self._serial_fallback = self.workers <= 1 and transport != "socket"
+        # workers=1 runs serially — except on the socket-reached
+        # backends, where even one worker exercises the wire protocol.
+        self._serial_fallback = (self.workers <= 1
+                                 and transport not in ("socket", "remote"))
         self._transport_used = "serial"
         self._ipc_store: Optional[ArtifactStore] = None
         self._ipc_root: Optional[str] = None
         self._ipc_tmp: Optional[str] = None
         self._ipc_shared = False
         self._seq = 0
+        # Work-stealing dispatch state: a cost-ordered heap of pending
+        # (job, slot) entries, pumped into the backend with a bounded
+        # in-flight window.  The pump lock serializes dispatch; the
+        # repump flag lets a contending thread hand its pump request to
+        # the current holder instead of blocking (completion callbacks
+        # run on backend threads and must never block here).
+        self._pending: List[Tuple[float, int, Job, _Slot]] = []
+        self._pump_lock = threading.Lock()
+        self._inflight_lock = threading.Lock()
+        self._repump = False
+        self._inflight = 0
+        self._heap_seq = 0
+        self._backend_stats: Optional[Dict[str, Any]] = None
 
     # -- lifecycle ------------------------------------------------------
     def __enter__(self) -> "Scheduler":
@@ -347,14 +469,32 @@ class Scheduler:
         running in a worker finish (workers ignore SIGINT) but their
         results are never read."""
         self._serial_fallback = True
+        self._flush_pending_inline()
         backend, self._backend = self._backend, None
         if backend is not None:
+            self._capture_backend_stats(backend)
             backend.shutdown(cancel=True)
 
     def _close_backend(self) -> None:
+        self._flush_pending_inline()
         if self._backend is not None:
+            self._capture_backend_stats(self._backend)
             self._backend.shutdown()
             self._backend = None
+
+    def _capture_backend_stats(self, backend: Backend) -> None:
+        stats = getattr(backend, "stats", None)
+        if stats is not None:
+            self._backend_stats = stats()
+
+    def _flush_pending_inline(self) -> None:
+        """Release every not-yet-dispatched slot to the in-process
+        path, so no reader can block on a chunk that will never be
+        pulled."""
+        with self._pump_lock:
+            pending, self._pending = self._pending, []
+        for _cost, _seq, _job, slot in pending:
+            slot.release_inline()
 
     def _mark_broken(self, exc: Optional[BaseException] = None) -> None:
         """Drop to serial for every later submission (backend died)."""
@@ -392,9 +532,17 @@ class Scheduler:
         return self._transport_used
 
     def transport_stats(self) -> Dict[str, Any]:
-        """Snapshot of the scheduler's data-plane counters."""
+        """Snapshot of the scheduler's data-plane counters.  A backend
+        with its own accounting (the multi-node fleet: per-node
+        contribution, redispatches, artifact-sync volume) appears under
+        ``"backend"``; the snapshot survives backend shutdown."""
         metrics = self.metrics
-        return {
+        backend_stats = self._backend_stats
+        if self._backend is not None:
+            stats = getattr(self._backend, "stats", None)
+            if stats is not None:
+                backend_stats = stats()
+        stats_dict = {
             "transport": self._transport_used,
             "workers": self.effective_workers,
             "envelope_count":
@@ -414,6 +562,9 @@ class Scheduler:
             "fallback_reasons": list(self.fallback_reasons),
             "pool_broken": self.pool_broken,
         }
+        if backend_stats is not None:
+            stats_dict["backend"] = backend_stats
+        return stats_dict
 
     # -- execution ------------------------------------------------------
     def submit_job(self, job: Job) -> JobFuture:
@@ -428,12 +579,7 @@ class Scheduler:
         tasks fill the tail of the schedule); the returned futures
         align index-for-index with ``jobs``.
         """
-        t0 = time.perf_counter_ns()
-        try:
-            return self._submit_jobs(list(jobs))
-        finally:
-            self.metrics.counter("executor.dispatch_ns").inc(
-                time.perf_counter_ns() - t0)
+        return self._submit_jobs(list(jobs))
 
     def _submit_jobs(self, jobs: List[Job]) -> List[JobFuture]:
         if self.progress is not None:
@@ -464,26 +610,18 @@ class Scheduler:
                 futures[i] = JobFuture(job, scheduler=self,
                                        pipeline=self.pipeline)
             return futures
-        envelope = self._resolve_transport() == "envelope"
-        pending.sort(key=lambda item: item[1].cost_hint, reverse=True)
-        solo = [item for item in pending
-                if item[1].cost_hint >= CHUNK_THRESHOLD]
-        cheap = [item for item in pending
-                 if item[1].cost_hint < CHUNK_THRESHOLD]
-        chunks: List[List[Tuple[int, Job]]] = [[it] for it in solo]
-        size = self._chunksize(len(cheap))
-        chunks.extend(cheap[k:k + size] for k in range(0, len(cheap), size))
-        for chunk in chunks:
-            handle = self._submit_chunk(chunk, envelope)
-            if handle is None:
-                for i, job in chunk:
-                    futures[i] = JobFuture(job, scheduler=self,
-                                           pipeline=self.pipeline)
-                continue
-            for ci, (i, job) in enumerate(chunk):
-                futures[i] = JobFuture(job, future=handle, scheduler=self,
-                                       pipeline=self.pipeline,
-                                       chunk_index=ci)
+        # Work-stealing dispatch: every pending job gets a slot on the
+        # cost-ordered heap; the pump decides chunk membership only
+        # when a worker is actually about to pull the chunk.
+        with self._pump_lock:
+            for i, job in pending:
+                slot = _Slot(job)
+                futures[i] = JobFuture(job, scheduler=self,
+                                       pipeline=self.pipeline, slot=slot)
+                heapq.heappush(self._pending,
+                               (-job.cost_hint, self._heap_seq, job, slot))
+                self._heap_seq += 1
+        self._pump()
         return futures
 
     def map_jobs(self, jobs: Sequence[Job]) -> List:
@@ -495,11 +633,12 @@ class Scheduler:
         """
         return [f.result() for f in self.submit_jobs(list(jobs))]
 
-    # -- plumbing -------------------------------------------------------
+    # -- work-stealing pump ---------------------------------------------
     def _chunksize(self, n_cheap: int) -> int:
-        """Chunk size tuned to the batch: enough chunks to keep every
-        worker busy twice over, capped so one chunk never serializes a
-        long tail."""
+        """Chunk size tuned to what *remains*: enough chunks to keep
+        every worker busy twice over, capped so one chunk never
+        serializes a long tail.  Re-derived on every pull, so chunks
+        shrink as the sweep drains and the tail stays parallel."""
         if n_cheap <= 0:
             return 1
         return max(1, min(8, math.ceil(n_cheap / (self._pool_size() * 2))))
@@ -508,18 +647,95 @@ class Scheduler:
         """Actual backend width (see the backends' ``pool_size``)."""
         if self._backend is not None:
             return self._backend.pool_size()
-        if self.transport == "socket":
+        if self.transport in ("socket", "remote"):
             return self.workers
         cores = os.cpu_count() or self.workers
         return max(1, min(self.workers, cores + 1))
 
-    def _submit_chunk(self, chunk: List[Tuple[int, Job]],
-                      envelope: bool) -> Optional[_ChunkHandle]:
+    def _inflight_limit(self) -> int:
+        """How many chunks may be dispatched at once: the backend's
+        width plus a small buffer, so a worker finishing always finds
+        the next chunk staged but chunk composition is decided as late
+        as possible."""
+        pool = self._pool_size()
+        return pool + max(2, pool // 2)
+
+    def _pump(self) -> None:
+        """Dispatch pending chunks up to the in-flight window.
+
+        Callable from any thread (completion callbacks run on backend
+        threads): the lock is taken non-blocking, and a contender hands
+        its request to the current holder via the repump flag instead
+        of waiting — the holder re-runs until no request is pending, so
+        no dispatch opportunity is ever lost and no backend thread ever
+        blocks here.
+        """
+        while True:
+            if not self._pump_lock.acquire(blocking=False):
+                self._repump = True
+                return
+            try:
+                self._repump = False
+                broken = self._dispatch_ready()
+            finally:
+                self._pump_lock.release()
+            if broken is not None:
+                self._mark_broken(broken)
+                return
+            if not self._repump:
+                return
+
+    def _dispatch_ready(self) -> Optional[BaseException]:
+        """Pull cost-ordered chunks off the heap and hand them to the
+        backend while the in-flight window has room.  Runs with the
+        pump lock held; returns the exception when the backend broke
+        (handled by the caller outside the lock)."""
         if self._serial_fallback or self._backend is None:
+            self._release_heap_inline()
             return None
+        if not self._pending:
+            return None
+        t0 = time.perf_counter_ns()
+        envelope = self._resolve_transport() == "envelope"
+        broken: Optional[BaseException] = None
+        while self._pending and self._inflight < self._inflight_limit():
+            chunk = self._next_chunk()
+            broken = self._dispatch_chunk(chunk, envelope)
+            if broken is not None:
+                self._release_heap_inline()
+                break
+        self.metrics.counter("executor.dispatch_ns").inc(
+            time.perf_counter_ns() - t0)
+        return broken
+
+    def _release_heap_inline(self) -> None:
+        pending, self._pending = self._pending, []
+        for _cost, _seq, _job, slot in pending:
+            slot.release_inline()
+
+    def _next_chunk(self) -> List[Tuple[Job, _Slot]]:
+        """The next cost-ordered chunk: an expensive job travels alone;
+        a cheap one takes companions sized to the remaining heap."""
+        neg_cost, _seq, job, slot = heapq.heappop(self._pending)
+        chunk = [(job, slot)]
+        if -neg_cost >= CHUNK_THRESHOLD:
+            return chunk
+        size = self._chunksize(len(self._pending) + 1)
+        while len(chunk) < size and self._pending:
+            _c, _s, j, s = heapq.heappop(self._pending)
+            chunk.append((j, s))
+        return chunk
+
+    def _dispatch_chunk(self, chunk: List[Tuple[Job, _Slot]],
+                        envelope: bool) -> Optional[BaseException]:
+        """Frame one chunk and submit it.  An unpicklable chunk falls
+        its slots to the inline path (not fatal); a backend submission
+        failure releases the slots and reports the exception so the
+        pump can mark the whole backend broken."""
         telemetry = self.telemetry
         items: List[Tuple[str, str, str, Any, str]] = []
-        for _, job in chunk:
+        refs: List[str] = []
+        for job, _slot in chunk:
             payload = job.for_wire(envelope)
             key = ""
             if envelope:
@@ -527,6 +743,7 @@ class Scheduler:
                 if key is None or not self._ipc_shared:
                     key = f"ipc:{self._seq:08d}"
                     self._seq += 1
+                refs.extend(r for r in job.input_refs if r)
             if telemetry is not None:
                 payload = _stamp_sweep(payload, telemetry.sweep_id)
             items.append((job.runner, job.kind, job.span_label(),
@@ -536,25 +753,47 @@ class Scheduler:
         except (pickle.PickleError, TypeError, AttributeError) as exc:
             self._note_fallback(
                 f"spec not picklable: {type(exc).__name__}: {exc}")
+            for _job, slot in chunk:
+                slot.release_inline()
             return None
         telemetry_ctx = None
         if telemetry is not None:
             telemetry_ctx = (telemetry.sweep_id, time.time_ns())
+        backend = self._backend
         try:
-            future = self._backend.submit(blob, envelope, telemetry_ctx)
+            submit_chunk = getattr(backend, "submit_chunk", None)
+            if submit_chunk is not None:
+                future = submit_chunk(blob, envelope, telemetry_ctx,
+                                      tuple(dict.fromkeys(refs)))
+            else:
+                future = backend.submit(blob, envelope, telemetry_ctx)
         except (BackendBroken, BrokenProcessPool, OSError,
                 RuntimeError) as exc:
-            self._mark_broken(exc)
-            return None
+            for _job, slot in chunk:
+                slot.release_inline()
+            return exc
         self.metrics.counter("executor.ipc_bytes_sent").inc(len(blob))
-        self._transport_used = (
-            "socket" if self._backend.name == "socket"
-            else ("envelope" if envelope else "pickle"))
+        if backend.name in ("socket", "remote"):
+            self._transport_used = backend.name
+        else:
+            self._transport_used = "envelope" if envelope else "pickle"
+        handle = _ChunkHandle(future)
+        for ci, (_job, slot) in enumerate(chunk):
+            slot.bind(handle, ci)
+        with self._inflight_lock:
+            self._inflight += 1
+        count = len(chunk)
+        future.add_done_callback(lambda _f: self._on_chunk_done(count))
+        return None
+
+    def _on_chunk_done(self, count: int) -> None:
+        """Completion callback (runs on a backend thread): free one
+        in-flight slot and pump the next chunk to the idle worker."""
+        with self._inflight_lock:
+            self._inflight -= 1
         if self.progress is not None:
-            progress, count = self.progress, len(chunk)
-            future.add_done_callback(
-                lambda _f: progress.completed(count))
-        return _ChunkHandle(future)
+            self.progress.completed(count)
+        self._pump()
 
     def _resolve_transport(self) -> str:
         """The data plane: pickle only when asked for; envelope
@@ -582,6 +821,8 @@ class Scheduler:
     def _make_backend(self) -> Backend:
         if self.transport == "socket":
             return LoopbackSocketBackend(self.workers)
+        if self.transport == "remote":
+            return RemoteBackend(self.hosts)
         return PoolBackend(self.workers)
 
     def _ensure_backend(self) -> Optional[Backend]:

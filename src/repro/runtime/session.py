@@ -68,6 +68,7 @@ class ExecutionConfig:
     cache_dir: Optional[str] = None
     progress: bool = False
     run_dir: Optional[str] = None
+    hosts: Optional[str] = None
 
     @classmethod
     def from_args(cls, args: Any) -> "ExecutionConfig":
@@ -80,6 +81,7 @@ class ExecutionConfig:
             cache_dir=getattr(args, "cache_dir", None),
             progress=bool(getattr(args, "progress", False)),
             run_dir=getattr(args, "run_dir", None),
+            hosts=getattr(args, "hosts", None),
         )
 
 
@@ -122,7 +124,8 @@ class RuntimeSession:
 
             self._scheduler = TrialExecutor(
                 workers=self.config.workers, pipeline=self.pipeline,
-                transport=self.config.transport)
+                transport=self.config.transport,
+                hosts=self.config.hosts)
         return self._scheduler
 
     def progress(self, label: str) -> Optional[SweepProgress]:

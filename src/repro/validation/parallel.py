@@ -286,11 +286,17 @@ def job_for_spec(spec: TrialSpec) -> Job:
     most once per worker.
     """
     slim = None
+    refs: tuple = ()
     if spec.replay is not None and spec.replay_ref is not None:
         slim = replace(spec, replay=None)
+        # Multi-node backends push this store artifact to the
+        # executing node (HAVE-deduplicated) before dispatch, so the
+        # slim spec resolves there exactly as it does on one machine.
+        refs = (spec.replay_ref,)
     return Job(kind=spec.kind, runner=_EXECUTE_TRIAL, payload=spec,
                label=spec.span_label(), fingerprint=spec.fingerprint,
-               cost_hint=spec.cost_hint(), slim_payload=slim)
+               cost_hint=spec.cost_hint(), slim_payload=slim,
+               input_refs=refs)
 
 
 def spec_fingerprint(spec: TrialSpec,
@@ -372,12 +378,13 @@ class TrialExecutor(Scheduler):
 def _executor_for(workers: Optional[int],
                   executor: Optional[TrialExecutor],
                   pipeline: Optional[Pipeline] = None,
-                  transport: str = "auto") -> tuple:
+                  transport: str = "auto",
+                  hosts=None) -> tuple:
     """(executor, owns_it): reuse the caller's executor when given.
 
     A given ``pipeline`` is attached to the executor either way (a
     caller-supplied executor keeps its own pipeline if it already has
-    one, and always keeps its own transport).
+    one, and always keeps its own transport and hosts).
     """
     if executor is not None:
         if pipeline is not None and executor.pipeline is None:
@@ -387,7 +394,7 @@ def _executor_for(workers: Optional[int],
                                            key="pipeline")
         return executor, False
     return TrialExecutor(workers=workers, pipeline=pipeline,
-                         transport=transport), True
+                         transport=transport, hosts=hosts), True
 
 
 # ======================================================================
@@ -592,6 +599,7 @@ class ValidationSweep:
 def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
                    runner: BenchmarkRunner,
                    seed: int = 0, trials: int = 4,
+                   seeds: int = 1,
                    distiller: Optional[Distiller] = None,
                    compensation: Optional[float] = None,
                    baseline: bool = False,
@@ -600,6 +608,7 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
                    obs: Optional[ObsConfig] = None,
                    cache=None,
                    transport: str = "auto",
+                   hosts=None,
                    telemetry: Optional[SweepTelemetry] = None,
                    progress: Optional[SweepProgress] = None
                    ) -> ValidationSweep:
@@ -628,11 +637,25 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
     selects the backend and data plane (see
     :class:`~repro.runtime.scheduler.Scheduler`).  Results are
     identical with or without a cache, on every transport.
+
+    ``seeds`` widens the sweep into a Monte Carlo workload: the full
+    trial protocol repeats for ``seed, seed+1, ..., seed+seeds-1`` and
+    every per-metric summary pools all ``seeds × trials`` runs.  The
+    default ``seeds=1`` is byte-identical to the pre-``seeds``
+    behavior; ``hosts`` (an ``"a:4,b:8"`` expression, hosts-file path
+    or spec list) routes the sweep onto the multi-node fleet backend.
     """
     if isinstance(scenarios, Scenario):
         scenarios = [scenarios]
     # Accept scenario classes (ALL_SCENARIOS is a tuple of classes).
     scenarios = [s() if isinstance(s, type) else s for s in scenarios]
+    seeds_n = max(1, int(seeds))
+    # One entry per (seed, trial) execution of the protocol, seed-major
+    # — with seeds=1 this is exactly the classic trial list, so all
+    # slicing below degenerates to the original layout byte-for-byte.
+    runs = [(sd, t) for sd in range(seed, seed + seeds_n)
+            for t in range(trials)]
+    n_runs = len(runs)
     pipeline = as_pipeline(cache)
     cache_mark = len(pipeline.executions) if pipeline is not None else 0
     comp_tok = telemetry.begin() if telemetry is not None else None
@@ -644,7 +667,8 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
         comp = compensation_vb()
     if telemetry is not None:
         telemetry.end(comp_tok, "compensation")
-    exe, owned = _executor_for(workers, executor, pipeline, transport)
+    exe, owned = _executor_for(workers, executor, pipeline, transport,
+                               hosts)
     if telemetry is not None:
         exe.telemetry = telemetry
     if progress is not None:
@@ -667,33 +691,35 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
         if pipeline is not None:
             for scenario in scenarios:
                 dist_stages.append([
-                    DistillStage(CollectStage(scenario, seed, t, obs=obs),
+                    DistillStage(CollectStage(scenario, sd, t, obs=obs),
                                  distiller=distiller,
                                  label=f"{scenario.name}-{t}")
-                    for t in range(trials)])
+                    for sd, t in runs])
 
         # ---- queue every dependency-free trial -----------------------
         nodep_specs: List[TrialSpec] = []
         for scenario in scenarios:
             nodep_specs.extend(
-                _fp(spec) for spec in
-                _distill_specs(scenario, seed, trials, distiller, obs))
+                _fp(TrialSpec(kind="distill", seed=sd, trial=t,
+                              scenario=scenario, distiller=distiller,
+                              name=f"{scenario.name}-{t}", obs=obs))
+                for sd, t in runs)
         for scenario in scenarios:
             for variant in variants:
-                for t in range(trials):
+                for sd, t in runs:
                     nodep_specs.append(_fp(TrialSpec(
-                        kind="live", seed=seed, trial=t,
+                        kind="live", seed=sd, trial=t,
                         scenario=scenario, runner=variant, obs=obs)))
         if baseline:
             for variant in variants:
-                for t in range(trials):
+                for sd, t in runs:
                     nodep_specs.append(_fp(TrialSpec(
-                        kind="ethernet", seed=seed, trial=t,
+                        kind="ethernet", seed=sd, trial=t,
                         runner=variant, obs=obs)))
         nodep_futs = exe.submit_all(nodep_specs)
-        dist_futs = [nodep_futs[s * trials:(s + 1) * trials]
+        dist_futs = [nodep_futs[s * n_runs:(s + 1) * n_runs]
                      for s in range(n)]
-        bench_futs = nodep_futs[n * trials:]
+        bench_futs = nodep_futs[n * n_runs:]
 
         # ---- queue modulated trials as distillations resolve ---------
         # Cheapest scenarios first: their modulated trials slot in
@@ -709,14 +735,15 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
                 dist_by_scenario[s].append(dist)
                 if record is not None:
                     collect_records[s].append(record)
-            mod_specs = [_fp(TrialSpec(kind="modulated", seed=seed, trial=t,
+            mod_specs = [_fp(TrialSpec(kind="modulated", seed=sd, trial=t,
                                        runner=variant,
-                                       replay=dist_by_scenario[s][t].replay,
-                                       replay_ref=dist_futs[s][t].store_key,
+                                       replay=dist_by_scenario[s][r].replay,
+                                       replay_ref=dist_futs[s][r].store_key,
                                        compensation=comp, obs=obs),
-                             dist_stages[s][t] if pipeline is not None
+                             dist_stages[s][r] if pipeline is not None
                              else None)
-                         for variant in variants for t in range(trials)]
+                         for variant in variants
+                         for r, (sd, t) in enumerate(runs)]
             mod_futs[s] = exe.submit_all(mod_specs)
 
         # ---- reassembly ---------------------------------------------
@@ -741,10 +768,10 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
             mod_by_variant: List[List[Dict[str, float]]] = []
             for v, _variant in enumerate(variants):
                 real_runs = [f.result()
-                             for f in bench_futs[cursor:cursor + trials]]
-                cursor += trials
+                             for f in bench_futs[cursor:cursor + n_runs]]
+                cursor += n_runs
                 mod_runs = [f.result()
-                            for f in mod_futs[s][v * trials:(v + 1) * trials]]
+                            for f in mod_futs[s][v * n_runs:(v + 1) * n_runs]]
                 sweep.trial_metrics.extend(_take_records(real_runs))
                 sweep.trial_metrics.extend(_take_records(mod_runs))
                 real_by_variant.append(real_runs)
@@ -755,12 +782,13 @@ def run_validation(scenarios: Union[Scenario, Sequence[Scenario]],
         if baseline:
             out: Dict[str, Summary] = {}
             for variant in variants:
-                runs = [f.result()
-                        for f in bench_futs[cursor:cursor + trials]]
-                cursor += trials
-                sweep.trial_metrics.extend(_take_records(runs))
+                base_runs = [f.result()
+                             for f in bench_futs[cursor:cursor + n_runs]]
+                cursor += n_runs
+                sweep.trial_metrics.extend(_take_records(base_runs))
                 for metric in variant.metrics:
-                    out[metric] = Summary.of([r[metric] for r in runs])
+                    out[metric] = Summary.of(
+                        [r[metric] for r in base_runs])
             sweep.baseline = out
         if pipeline is not None:
             stats = pipeline.summary(since=cache_mark)
